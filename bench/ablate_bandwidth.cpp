@@ -1,0 +1,93 @@
+// Extension bench: DRAM bandwidth as a second gated resource.
+//
+// The paper's BLAS-1 result is its one loss: streaming workloads gain
+// nothing from LLC-only admission because their bottleneck is memory
+// bandwidth, so RDA just reduces concurrency. With the multi-resource
+// extension, streaming periods declare their bandwidth appetite and the
+// predicate stops co-scheduling more streams than the memory system can
+// serve — the surplus cores idle instead of queueing on DRAM, which costs
+// the same time but less energy.
+#include <cstdio>
+
+#include "core/rda_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rda;
+using rda::util::MB;
+
+struct Outcome {
+  double gflops = 0.0;
+  double system_joules = 0.0;
+  double makespan = 0.0;
+  std::uint64_t blocks = 0;
+};
+
+/// 24 streaming processes (BLAS-1-like): 0.6 MB working sets, ~7 GB/s of
+/// DRAM appetite each when unconstrained.
+Outcome run(bool gate_bandwidth, double per_stream_gbs) {
+  sim::EngineConfig cfg;
+  cfg.machine = sim::MachineConfig::e5_2420();
+  sim::Engine engine(cfg);
+
+  core::RdaOptions options;
+  options.policy = core::PolicyKind::kStrict;
+  options.bandwidth_capacity =
+      gate_bandwidth ? cfg.machine.dram_bandwidth : 0.0;
+  core::RdaScheduler gate(static_cast<double>(cfg.machine.llc_bytes),
+                          cfg.calib, options);
+  engine.set_gate(&gate);
+
+  for (int i = 0; i < 24; ++i) {
+    const sim::ProcessId pid = engine.create_process();
+    engine.add_thread(pid,
+                      sim::ProgramBuilder()
+                          .period_bw("stream", 1.5e9, MB(0.6),
+                                     ReuseLevel::kLow, per_stream_gbs * 1e9)
+                          .build());
+  }
+  const sim::SimResult result = engine.run();
+  Outcome o;
+  o.gflops = result.gflops();
+  o.system_joules = result.system_joules();
+  o.makespan = result.makespan;
+  o.blocks = result.gate_blocks;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: bandwidth-aware admission (24 streaming "
+              "processes, 30 GB/s machine) ===\n\n");
+
+  util::Table table({"gating", "declared GB/s each", "GFLOPS", "makespan [s]",
+                     "system J", "gate blocks"});
+  for (const double gbs : {7.0, 5.0, 3.0}) {
+    const Outcome off = run(false, gbs);
+    const Outcome on = run(true, gbs);
+    table.begin_row()
+        .add_cell("LLC only (paper)")
+        .add_cell(gbs, 1)
+        .add_cell(off.gflops, 2)
+        .add_cell(off.makespan, 1)
+        .add_cell(off.system_joules, 0)
+        .add_cell(off.blocks);
+    table.begin_row()
+        .add_cell("LLC + bandwidth")
+        .add_cell(gbs, 1)
+        .add_cell(on.gflops, 2)
+        .add_cell(on.makespan, 1)
+        .add_cell(on.system_joules, 0)
+        .add_cell(on.blocks);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading: throughput is pinned by the 30 GB/s memory system "
+              "either way; bandwidth gating runs fewer streams at once, so "
+              "the surplus cores idle and the same work costs less "
+              "energy.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension bench: counter-feedback demand correction.
+//
+// The paper's demands are developer-declared; the related-work section
+// proposes fusing them with real-time hardware counters. This bench sweeps
+// declaration error (declared / true working set) and shows that feedback
+// recovers most of the performance lost to mis-estimation in both
+// directions.
+#include <cstdio>
+
+#include "core/rda_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rda;
+using rda::util::MB;
+
+struct Outcome {
+  double gflops = 0.0;
+  double system_joules = 0.0;
+};
+
+Outcome run(bool feedback, double true_mb, double declared_mb) {
+  sim::EngineConfig cfg;
+  cfg.machine = sim::MachineConfig::e5_2420();
+  sim::Engine engine(cfg);
+  core::RdaOptions options;
+  options.policy = core::PolicyKind::kStrict;
+  options.feedback.enable = feedback;
+  options.feedback.min_samples = 2;
+  options.feedback.decay = 0.6;
+  core::RdaScheduler gate(static_cast<double>(cfg.machine.llc_bytes),
+                          cfg.calib, options);
+  engine.set_gate(&gate);
+  for (int p = 0; p < 12; ++p) {
+    const sim::ProcessId pid = engine.create_process();
+    sim::ProgramBuilder b;
+    for (int r = 0; r < 8; ++r) {
+      b.period("pp", 1.5e9, MB(true_mb), ReuseLevel::kHigh)
+          .declared(MB(declared_mb));
+    }
+    engine.add_thread(pid, b.build());
+  }
+  const sim::SimResult result = engine.run();
+  return {result.gflops(), result.system_joules()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: counter-feedback demand correction ===\n");
+  std::printf("(12 processes x 8 periods, true working set 2 MB each; the "
+              "declaration is wrong by the given factor)\n\n");
+
+  util::Table table({"declared/true", "GFLOPS (declared only)",
+                     "GFLOPS (+feedback)", "J (declared only)",
+                     "J (+feedback)"});
+  const double true_mb = 2.0;
+  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0, 6.0}) {
+    const Outcome off = run(false, true_mb, true_mb * factor);
+    const Outcome on = run(true, true_mb, true_mb * factor);
+    table.begin_row()
+        .add_cell(factor, 2)
+        .add_cell(off.gflops, 2)
+        .add_cell(on.gflops, 2)
+        .add_cell(off.system_joules, 0)
+        .add_cell(on.system_joules, 0);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading: over-declaration (factor > 1) wastes concurrency and "
+              "under-declaration (< 1) re-admits thrash; the counter "
+              "feedback converges to the true demand after ~2 instances "
+              "per period.\n");
+  return 0;
+}

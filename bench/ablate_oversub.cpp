@@ -1,0 +1,56 @@
+// Ablation: sweep the Compromise oversubscription factor x.
+//
+// The paper fixes x = 2 ("shown to be effective in attaining the best
+// balance between energy efficiency and performance", §3.3) but never shows
+// the sweep. This bench fills that gap on a high-reuse and a mixed workload:
+// x = 1 is Strict, large x approaches the Linux default.
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "exp/harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rda;
+  const bool quick = !(argc > 1 && std::strcmp(argv[1], "--full") == 0);
+  std::cout << "=== Ablation: RDA:Compromise oversubscription factor x ===\n"
+               "(paper fixes x=2; x=1 == Strict, x->inf == Linux default)\n\n";
+
+  sim::EngineConfig engine;
+  engine.machine = sim::MachineConfig::e5_2420();
+
+  const auto specs = workload::table2_workloads();
+  for (const char* name : {"BLAS-3", "Ocean_cp"}) {
+    const workload::WorkloadSpec spec =
+        quick ? workload::scale_workload(workload::find_workload(specs, name),
+                                         0.25, 2)
+              : workload::find_workload(specs, name);
+
+    exp::RunConfig base_cfg;
+    base_cfg.engine = engine;
+    base_cfg.policy = core::PolicyKind::kLinuxDefault;
+    const exp::RunRow baseline = exp::run_workload(spec, base_cfg);
+
+    util::Table table({"x", "GFLOPS", "system J", "GFLOPS/W",
+                       "speedup vs Linux", "energy vs Linux"});
+    for (const double x : {1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 8.0}) {
+      exp::RunConfig cfg;
+      cfg.engine = engine;
+      cfg.policy = core::PolicyKind::kCompromise;
+      cfg.oversubscription = x;
+      const exp::RunRow row = exp::run_workload(spec, cfg);
+      table.begin_row()
+          .add_cell(x, 2)
+          .add_cell(row.gflops, 2)
+          .add_cell(row.system_joules, 0)
+          .add_cell(row.gflops_per_watt, 3)
+          .add_cell(row.gflops / baseline.gflops, 2)
+          .add_cell(row.system_joules / baseline.system_joules, 2);
+    }
+    std::cout << spec.name << " (Linux default: " << baseline.gflops
+              << " GFLOPS, " << baseline.system_joules << " J)\n"
+              << table.render() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces paper Figure 10: GFLOPS per Watt of the whole system (total
+// flops divided by total system energy) per workload and policy.
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rda;
+  std::cout << "=== Figure 10: GFLOPS per Watt (system) ===\n"
+            << "(higher is better; paper Fig. 10)\n\n";
+  const bench::FigureData data =
+      bench::run_all_workloads(bench::quick_requested(argc, argv));
+  const bool csv = bench::csv_requested(argc, argv);
+
+  bench::print_metric_table(data, "GFLOPS/W", 3, [](const exp::RunRow& row) {
+    return row.gflops_per_watt;
+  }, csv);
+  if (csv) return 0;
+
+  util::Table gains({"workload", "best RDA policy", "efficiency gain"});
+  for (std::size_t i = 0; i < data.comparisons.size(); ++i) {
+    const exp::PolicyComparison& cmp = data.comparisons[i];
+    const exp::RunRow& strict = cmp.strict;
+    const exp::RunRow& comp = cmp.compromise;
+    const exp::RunRow& best =
+        cmp.efficiency_gain(strict) >= cmp.efficiency_gain(comp) ? strict
+                                                                 : comp;
+    gains.begin_row()
+        .add_cell(data.specs[i].name)
+        .add_cell(best.policy)
+        .add_cell(cmp.efficiency_gain(best), 2);
+  }
+  std::cout << gains.render()
+            << "\n(paper: max efficiency gain 2.05x on Raytrace/Compromise; "
+               "strict best for Water_nsq 1.68x and Ocean_cp 1.36x)\n";
+  return 0;
+}

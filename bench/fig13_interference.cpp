@@ -1,0 +1,66 @@
+// Reproduces paper Figure 13: aggregate GFLOPS of the largest water_nsquared
+// progress period when 1, 6, or 12 concurrent instances run under the Linux
+// default scheduler, for input sizes 512, 3375, 8000, and 32768 molecules.
+//
+// Paper shapes to reproduce:
+//   * 512 / 3375: scale well up to 12 instances (the LLC is barely used),
+//   * 8000: scales to 6 instances, then drops sharply at 12 (6 working sets
+//     fit the 15 MB LLC, 12 do not),
+//   * 32768: flat from 6 to 12 (memory-bandwidth bound either way).
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/trace_models.hpp"
+
+namespace {
+
+using namespace rda;
+
+double run_instances(std::uint64_t molecules, int instances,
+                     double flop_scale) {
+  sim::EngineConfig cfg;
+  cfg.machine = sim::MachineConfig::e5_2420();
+  sim::Engine engine(cfg);
+  for (int i = 0; i < instances; ++i) {
+    sim::PhaseProgram program =
+        workload::wnsq_largest_pp_program(molecules);
+    for (sim::PhaseSpec& p : program.phases) p.flops *= flop_scale;
+    const sim::ProcessId pid = engine.create_process();
+    engine.add_thread(pid, program);
+  }
+  return engine.run().gflops();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const double flop_scale = quick ? 0.1 : 1.0;
+  std::cout << "=== Figure 13: LLC interference for the largest "
+               "water_nsquared period ===\n"
+               "(aggregate GFLOPS under the default scheduler; paper: 8000 "
+               "drops 33->20 from 6 to 12 instances, 32768 is flat)\n\n";
+
+  const std::vector<std::uint64_t> inputs = {512, 3375, 8000, 32768};
+  const std::vector<int> instance_counts = {1, 6, 12};
+
+  util::Table table({"molecules", "WSS/instance [MB]", "1 inst", "6 inst",
+                     "12 inst"});
+  for (const std::uint64_t n : inputs) {
+    table.begin_row()
+        .add_cell(static_cast<std::uint64_t>(n))
+        .add_cell(util::bytes_to_mb(workload::wnsq_pp1_wss(n)), 2);
+    for (const int instances : instance_counts) {
+      table.add_cell(run_instances(n, instances, flop_scale), 1);
+    }
+  }
+  std::cout << table.render()
+            << "\nreading: 6x{8000-molecule} working sets fit the 15 MB LLC, "
+               "12 do not; at 32768 the run is DRAM-bandwidth bound from 6 "
+               "instances on.\n";
+  return 0;
+}

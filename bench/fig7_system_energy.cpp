@@ -1,0 +1,48 @@
+// Reproduces paper Figure 7: energy (Joules) consumed by the whole system
+// (CPU + cache + DRAM) for the eight Table-2 workloads under the Linux
+// default, RDA:Strict, and RDA:Compromise scheduling policies.
+//
+// Also prints the §4.2 headline aggregation (the paper: max 48% energy
+// decrease, average 12%; max 1.88x speedup, average 1.16x).
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rda;
+  std::cout << "=== Figure 7: system energy (CPU + cache + DRAM), Joules ==="
+            << "\n(lower is better; paper Fig. 7)\n\n";
+  const bench::FigureData data =
+      bench::run_all_workloads(bench::quick_requested(argc, argv));
+  const bool csv = bench::csv_requested(argc, argv);
+
+  bench::print_metric_table(data, "system energy [J]", 0,
+                            [](const exp::RunRow& row) {
+                              return row.system_joules;
+                            }, csv);
+  if (csv) return 0;
+
+  util::Table drops({"workload", "best RDA policy", "energy drop vs Linux"});
+  for (std::size_t i = 0; i < data.comparisons.size(); ++i) {
+    const exp::PolicyComparison& cmp = data.comparisons[i];
+    const exp::RunRow& best = cmp.best_rda_by_energy();
+    drops.begin_row()
+        .add_cell(data.specs[i].name)
+        .add_cell(best.policy)
+        .add_cell(std::to_string(
+                      static_cast<int>(100.0 * cmp.energy_drop(best))) +
+                  "%");
+  }
+  std::cout << drops.render() << "\n";
+
+  const exp::Headline h = exp::summarize(data.comparisons);
+  std::cout << "headline (paper: max -48% / avg -12% energy; max 1.88x / "
+               "avg 1.16x speedup)\n"
+            << "  max energy drop: " << static_cast<int>(100 * h.max_energy_drop)
+            << "%\n  avg energy drop: "
+            << static_cast<int>(100 * h.avg_energy_drop)
+            << "%\n  max speedup:     " << h.max_speedup
+            << "x\n  avg speedup:     " << h.avg_speedup << "x\n";
+  return 0;
+}

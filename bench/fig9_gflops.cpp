@@ -1,0 +1,34 @@
+// Reproduces paper Figure 9: performance in GFLOPS for each workload under
+// the three scheduling policies.
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rda;
+  std::cout << "=== Figure 9: performance, GFLOPS ===\n"
+            << "(higher is better; paper Fig. 9)\n\n";
+  const bench::FigureData data =
+      bench::run_all_workloads(bench::quick_requested(argc, argv));
+  const bool csv = bench::csv_requested(argc, argv);
+
+  bench::print_metric_table(data, "GFLOPS", 2, [](const exp::RunRow& row) {
+    return row.gflops;
+  }, csv);
+  if (csv) return 0;
+
+  util::Table speedups({"workload", "best RDA policy", "speedup vs Linux"});
+  for (std::size_t i = 0; i < data.comparisons.size(); ++i) {
+    const exp::PolicyComparison& cmp = data.comparisons[i];
+    const exp::RunRow& best = cmp.best_rda_by_gflops();
+    speedups.begin_row()
+        .add_cell(data.specs[i].name)
+        .add_cell(best.policy)
+        .add_cell(cmp.speedup(best), 2);
+  }
+  std::cout << speedups.render()
+            << "\n(paper: max 1.88x on Raytrace/Strict; low-reuse workloads "
+               "at or below 1.0)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "fig_common.hpp"
+
+#include <cstring>
+#include <iostream>
+
+#include "util/table.hpp"
+
+namespace rda::bench {
+
+FigureData run_all_workloads(bool quick) {
+  FigureData data;
+  sim::EngineConfig engine;
+  engine.machine = sim::MachineConfig::e5_2420();
+
+  for (const workload::WorkloadSpec& spec : workload::table2_workloads()) {
+    const workload::WorkloadSpec run_spec =
+        quick ? workload::scale_workload(spec, 0.125, 4) : spec;
+    data.specs.push_back(run_spec);
+    data.comparisons.push_back(exp::compare_policies(run_spec, engine));
+    std::cerr << "  ran " << spec.name << (quick ? " (quick)" : "") << "\n";
+  }
+  return data;
+}
+
+namespace {
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool quick_requested(int argc, char** argv) {
+  return has_flag(argc, argv, "--quick");
+}
+
+bool csv_requested(int argc, char** argv) {
+  return has_flag(argc, argv, "--csv");
+}
+
+void print_metric_table(
+    const FigureData& data, const std::string& metric_name, int precision,
+    const std::function<double(const exp::RunRow&)>& metric, bool csv) {
+  if (csv) {
+    std::cout << "workload,linux_default,rda_strict,rda_compromise\n";
+    for (std::size_t i = 0; i < data.comparisons.size(); ++i) {
+      const exp::PolicyComparison& cmp = data.comparisons[i];
+      std::cout << data.specs[i].name << ',' << metric(cmp.baseline) << ','
+                << metric(cmp.strict) << ',' << metric(cmp.compromise)
+                << '\n';
+    }
+    return;
+  }
+  util::Table table({"workload", "Linux default", "RDA:Strict",
+                     "RDA:Compromise(x=2)"});
+  for (std::size_t i = 0; i < data.comparisons.size(); ++i) {
+    const exp::PolicyComparison& cmp = data.comparisons[i];
+    table.begin_row()
+        .add_cell(data.specs[i].name)
+        .add_cell(metric(cmp.baseline), precision)
+        .add_cell(metric(cmp.strict), precision)
+        .add_cell(metric(cmp.compromise), precision);
+  }
+  std::cout << "metric: " << metric_name << "\n" << table.render() << "\n";
+}
+
+}  // namespace rda::bench

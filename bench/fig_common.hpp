@@ -1,0 +1,41 @@
+// Shared machinery for the Fig. 7-10 reproduction binaries: run the eight
+// Table-2 workloads under {Linux default, RDA:Strict, RDA:Compromise} on the
+// paper's machine and hand each figure binary the comparison rows.
+//
+// A --quick flag divides the workload sizes so a full figure regenerates in
+// roughly a second (admission decisions preserved; see
+// workload::scale_workload).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/harness.hpp"
+
+namespace rda::bench {
+
+struct FigureData {
+  std::vector<workload::WorkloadSpec> specs;
+  std::vector<exp::PolicyComparison> comparisons;  // index-aligned with specs
+};
+
+/// Runs all eight workloads under the three policies. `quick` shrinks the
+/// workloads (x1/4 processes, x1/8 flops).
+FigureData run_all_workloads(bool quick);
+
+/// True if argv contains --quick.
+bool quick_requested(int argc, char** argv);
+
+/// True if argv contains --csv (machine-readable output for plotting).
+bool csv_requested(int argc, char** argv);
+
+/// Standard three-column (policy) table for one metric. With `csv`, emits
+/// "workload,linux_default,rda_strict,rda_compromise" rows instead — ready
+/// for gnuplot/pandas.
+void print_metric_table(
+    const FigureData& data, const std::string& metric_name, int precision,
+    const std::function<double(const exp::RunRow&)>& metric,
+    bool csv = false);
+
+}  // namespace rda::bench

@@ -1,0 +1,106 @@
+// Microbenchmarks of the BLAS kernels: attained GFLOPS per level. These are
+// the real compute bodies behind the Table-2 workloads and the native
+// Fig. 11 measurement.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "blas/level3.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rda;
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.next_double(-1.0, 1.0);
+  return v;
+}
+
+void BM_Daxpy(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec(n, 1);
+  auto y = random_vec(n, 2);
+  for (auto _ : state) {
+    blas::daxpy(1.0001, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      blas::daxpy_flops(n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Daxpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DgemvN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 3);
+  const auto x = random_vec(n, 4);
+  auto y = random_vec(n, 5);
+  for (auto _ : state) {
+    blas::dgemv_n(n, n, 1.0, a, x, 0.5, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      blas::dgemv_flops(n, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DgemvN)->Arg(256)->Arg(1024);
+
+void BM_DgemmBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 6);
+  const auto b = random_vec(n * n, 7);
+  std::vector<double> c(n * n, 0.0);
+  for (auto _ : state) {
+    blas::dgemm(n, n, n, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      blas::dgemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DgemmBlocked)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_DgemmNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 8);
+  const auto b = random_vec(n * n, 9);
+  std::vector<double> c(n * n, 0.0);
+  for (auto _ : state) {
+    blas::dgemm_naive(n, n, n, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      blas::dgemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DgemmNaive)->Arg(128)->Arg(256);
+
+void BM_DtrsmRu(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(10);
+  std::vector<double> u(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) u[i * n + j] = rng.next_double();
+    u[i * n + i] = rng.next_double(1.0, 2.0);
+  }
+  auto b = random_vec(n * n, 11);
+  for (auto _ : state) {
+    blas::dtrsm_ru(n, n, u, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      blas::dtrsm_flops(n, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DtrsmRu)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Microbenchmarks of the native userspace admission gate: the cost the
+// pp_begin/pp_end API adds around a real progress period.
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "runtime/gate.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rda;
+using rda::util::MB;
+
+rt::GateConfig config(core::PolicyKind policy) {
+  rt::GateConfig cfg;
+  cfg.llc_capacity_bytes = static_cast<double>(MB(15));
+  cfg.policy = policy;
+  return cfg;
+}
+
+/// Uncontended begin/end round trip (always admitted).
+void BM_GateBeginEnd_Uncontended(benchmark::State& state) {
+  rt::AdmissionGate gate(config(core::PolicyKind::kStrict));
+  for (auto _ : state) {
+    const auto id = gate.begin(ResourceKind::kLLC,
+                               static_cast<double>(MB(1)), ReuseLevel::kHigh);
+    gate.end(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GateBeginEnd_Uncontended);
+
+/// try_begin when the request never fits (pure predicate + withdrawal).
+void BM_GateTryBegin_Denied(benchmark::State& state) {
+  rt::AdmissionGate gate(config(core::PolicyKind::kStrict));
+  // Occupy most of the cache from this thread via a held period... a second
+  // thread must hold it (one active period per thread).
+  std::promise<void> hold, release;
+  std::thread holder([&] {
+    const auto id = gate.begin(ResourceKind::kLLC,
+                               static_cast<double>(MB(12)),
+                               ReuseLevel::kHigh);
+    hold.set_value();
+    release.get_future().wait();
+    gate.end(id);
+  });
+  hold.get_future().wait();
+  for (auto _ : state) {
+    auto denied = gate.try_begin(ResourceKind::kLLC,
+                                 static_cast<double>(MB(8)),
+                                 ReuseLevel::kHigh);
+    benchmark::DoNotOptimize(denied);
+  }
+  release.set_value();
+  holder.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GateTryBegin_Denied);
+
+/// Contended round trips from several threads (within capacity).
+void BM_GateBeginEnd_Threads(benchmark::State& state) {
+  static rt::AdmissionGate gate(config(core::PolicyKind::kCompromise));
+  for (auto _ : state) {
+    const auto id = gate.begin(ResourceKind::kLLC,
+                               static_cast<double>(MB(1)),
+                               ReuseLevel::kHigh);
+    gate.end(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GateBeginEnd_Threads)->Threads(2)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Microbenchmarks of the simulator itself: how fast a Table-2-scale run
+// executes, and how the gate path affects engine throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/rda_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rda;
+using rda::util::MB;
+
+sim::PhaseProgram make_program(int phases, double flops_per_phase) {
+  sim::ProgramBuilder b;
+  for (int i = 0; i < phases; ++i) {
+    b.period("p", flops_per_phase, MB(2), ReuseLevel::kHigh);
+  }
+  return b.build();
+}
+
+void BM_EngineBaseline(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.machine = sim::MachineConfig::e5_2420();
+    sim::Engine engine(cfg);
+    for (int t = 0; t < threads; ++t) {
+      const sim::ProcessId pid = engine.create_process();
+      engine.add_thread(pid, make_program(4, 5e7));
+    }
+    const sim::SimResult result = engine.run();
+    benchmark::DoNotOptimize(result.system_joules());
+    state.counters["sim_seconds"] = result.makespan;
+  }
+}
+BENCHMARK(BM_EngineBaseline)->Arg(12)->Arg(48)->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineWithGate(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.machine = sim::MachineConfig::e5_2420();
+    sim::Engine engine(cfg);
+    core::RdaOptions options;
+    options.policy = core::PolicyKind::kStrict;
+    core::RdaScheduler gate(static_cast<double>(cfg.machine.llc_bytes),
+                            cfg.calib, options);
+    engine.set_gate(&gate);
+    for (int t = 0; t < threads; ++t) {
+      const sim::ProcessId pid = engine.create_process();
+      engine.add_thread(pid, make_program(4, 5e7));
+    }
+    const sim::SimResult result = engine.run();
+    benchmark::DoNotOptimize(result.system_joules());
+  }
+}
+BENCHMARK(BM_EngineWithGate)->Arg(12)->Arg(48)->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EnginePhaseChurn(benchmark::State& state) {
+  // Many tiny marked phases: stresses the phase-boundary state machine
+  // (the Fig. 11 inner-loop regime).
+  const int phases = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.machine = sim::MachineConfig::e5_2420();
+    sim::Engine engine(cfg);
+    core::RdaOptions options;
+    options.policy = core::PolicyKind::kStrict;
+    options.fast_path = true;
+    core::RdaScheduler gate(static_cast<double>(cfg.machine.llc_bytes),
+                            cfg.calib, options);
+    engine.set_gate(&gate);
+    const sim::ProcessId pid = engine.create_process();
+    engine.add_thread(pid, make_program(phases, 1e5));
+    const sim::SimResult result = engine.run();
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EnginePhaseChurn)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

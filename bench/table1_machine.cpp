@@ -1,0 +1,55 @@
+// Reproduces paper Table 1: the evaluation machine configuration, plus the
+// calibration constants layered on top of it by the simulator.
+#include <iostream>
+
+#include "sim/calibration.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace rda;
+  const sim::MachineConfig m = sim::MachineConfig::e5_2420();
+  std::cout << "=== Table 1: machine configuration ===\n\n";
+
+  util::Table table({"component", "value"});
+  table.begin_row().add_cell("CPU").add_cell(m.name);
+  table.begin_row().add_cell("Cores").add_cell(m.cores);
+  table.begin_row().add_cell("Clock").add_cell(m.clock_hz / 1e9, 2);
+  table.begin_row().add_cell("L1-Data").add_cell(
+      std::to_string(m.l1_data_bytes / util::kKiB) + " KBytes");
+  table.begin_row().add_cell("L1-Instruction").add_cell(
+      std::to_string(m.l1_insn_bytes / util::kKiB) + " KBytes");
+  table.begin_row().add_cell("L2-Private").add_cell(
+      std::to_string(m.l2_private_bytes / util::kKiB) + " KBytes");
+  table.begin_row().add_cell("L3-Shared").add_cell(
+      std::to_string(m.llc_bytes / util::kKiB) + " KBytes");
+  table.begin_row().add_cell("Main Memory").add_cell(
+      std::to_string(m.dram_bytes / util::kGiB) + " GiB");
+  table.begin_row().add_cell("DRAM bandwidth").add_cell(
+      std::to_string(static_cast<int>(m.dram_bandwidth / 1e9)) + " GB/s");
+  std::cout << table.render() << "\n";
+
+  const sim::Calibration c;
+  util::Table calib({"calibration constant", "value"});
+  calib.begin_row().add_cell("core flops (resident)").add_cell(
+      std::to_string(c.core_flops / 1e9) + " Gflop/s");
+  calib.begin_row().add_cell("exposed miss stall").add_cell(
+      std::to_string(util::to_ns(c.miss_stall)) + " ns");
+  calib.begin_row().add_cell("timeslice").add_cell(
+      std::to_string(util::to_ms(c.quantum)) + " ms");
+  calib.begin_row().add_cell("context switch").add_cell(
+      std::to_string(util::to_us(c.context_switch_cost)) + " us");
+  calib.begin_row().add_cell("pp API call (slow path)").add_cell(
+      std::to_string(util::to_us(c.api_call_cost)) + " us");
+  calib.begin_row().add_cell("pp API call (fast path)").add_cell(
+      std::to_string(util::to_ns(c.api_fast_path_cost)) + " ns");
+  calib.begin_row().add_cell("core power active/idle").add_cell(
+      std::to_string(c.core_active_power) + " / " +
+      std::to_string(c.core_idle_power) + " W");
+  calib.begin_row().add_cell("uncore / DRAM static").add_cell(
+      std::to_string(c.uncore_power) + " / " +
+      std::to_string(c.dram_static_power) + " W");
+  std::cout << calib.render();
+  return 0;
+}

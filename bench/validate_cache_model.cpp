@@ -1,0 +1,93 @@
+// Validation: the engine's fluid occupancy/miss model vs a real
+// set-associative LRU cache replaying actual address traces.
+//
+// The fluid model predicts, for a phase with resident fraction f and reuse
+// level r, a miss rate of stream(r) + reuse(r)·(1−f) per flop. Here we
+// measure the ground truth: hot/cold access patterns of growing working
+// sets run through a 20-way LRU cache of the paper's LLC geometry, alone
+// and against a co-running polluter. The claim to validate is the SHAPE the
+// scheduler's benefit rests on: miss ratio is low while the working set
+// fits, rises steeply once it does not, and a co-runner's pollution moves
+// the crossover to smaller working sets.
+#include <cstdio>
+
+#include "sim/assoc_cache.hpp"
+#include "trace/generators.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rda;
+using rda::util::MB;
+
+double measured_miss_ratio(double ws_mb, bool with_polluter) {
+  sim::AssocCacheConfig cfg;
+  cfg.capacity_bytes = MB(15);
+  cfg.ways = 20;
+  sim::SetAssociativeCache cache(cfg);
+
+  // Accesses scale with the working set (40 touches per line) so the cold
+  // floor is a flat 1/40 = 2.5% at every size; everything above that floor
+  // is capacity/conflict misses.
+  const std::uint64_t lines = MB(ws_mb) / 64;
+  const std::uint64_t accesses = 40 * lines;
+  trace::RegionSpec spec;
+  spec.base = 0;
+  spec.size_bytes = MB(ws_mb);
+  spec.pattern = trace::Pattern::kRandomUniform;
+  spec.access_granularity = 64;
+  trace::RegionAccessSource subject(spec, accesses, 11);
+
+  trace::RegionSpec pol;
+  pol.base = 1ull << 40;
+  pol.size_bytes = MB(12);
+  pol.pattern = trace::Pattern::kRandomUniform;
+  pol.access_granularity = 64;
+  trace::RegionAccessSource polluter(pol, accesses, 12);
+
+  trace::TraceRecord a, b;
+  bool more_subject = true, more_polluter = with_polluter;
+  // Interleave accesses 1:1, like two co-scheduled threads sharing the LLC.
+  while (more_subject || more_polluter) {
+    if (more_subject && (more_subject = subject.next(a))) {
+      cache.access(a.value, 1);
+    }
+    if (more_polluter && (more_polluter = polluter.next(b))) {
+      cache.access(b.value, 2);
+    }
+  }
+  const sim::AssocCacheStats stats = cache.owner_stats(1);
+  return stats.miss_ratio();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Validation: fluid occupancy model vs set-associative LRU "
+              "===\n(paper LLC geometry: 15 MB, 20-way; subject thread's "
+              "miss ratio)\n\n");
+
+  util::Table table({"working set [MB]", "alone", "vs 12 MB polluter",
+                     "pollution penalty"});
+  for (const double ws : {1.0, 2.0, 4.0, 8.0, 12.0, 15.0, 20.0, 30.0}) {
+    const double alone = measured_miss_ratio(ws, false);
+    const double contended = measured_miss_ratio(ws, true);
+    table.begin_row()
+        .add_cell(ws, 1)
+        .add_cell(alone, 3)
+        .add_cell(contended, 3)
+        .add_cell(contended - alone, 3);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "shape checks (the premises of the fluid model and of RDA itself):\n"
+      "  * alone: miss ratio stays near the 2.5% cold floor while the set\n"
+      "    fits the 15 MB cache,\n"
+      "    then climbs steeply — residency is what performance rides on;\n"
+      "  * with a polluter: the climb starts far earlier — exactly the\n"
+      "    interference Algorithm 1 refuses to co-schedule;\n"
+      "  * the penalty column is the (1 - resident_fraction) term the\n"
+      "    fluid model charges, observed on a real LRU cache.\n");
+  return 0;
+}

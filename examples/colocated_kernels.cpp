@@ -1,0 +1,105 @@
+// Co-located BLAS kernels through the real userspace gate.
+//
+// Eight worker threads each run a sequence of BLAS-3 kernels, every kernel
+// wrapped in a progress period sized to its working set (the paper's BLAS-3
+// workload in miniature). The run is repeated under three policies:
+//   * Linux default  — no gate, every worker free-runs,
+//   * RDA:Strict     — aggregate declared demand capped at the LLC size,
+//   * RDA:Compromise — capped at 2x.
+// On a many-core machine with a shared LLC the strict run shows the paper's
+// effect (less thrash, faster kernels); on a small CI container the example
+// still demonstrates the full API and prints the admission statistics.
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "blas/level3.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/gate.hpp"
+#include "util/units.hpp"
+
+using namespace rda;
+using rda::util::MB;
+
+namespace {
+
+constexpr std::size_t kMatrix = 192;     // 3 x 192^2 doubles ~ 0.84 MB
+constexpr int kWorkers = 8;
+constexpr int kKernelsPerWorker = 6;
+
+double run_policy(const char* name, double total_flops,
+                  std::optional<core::PolicyKind> policy) {
+  std::optional<rt::AdmissionGate> gate;
+  if (policy) {
+    rt::GateConfig cfg;
+    cfg.llc_capacity_bytes =
+        static_cast<double>(rt::detect_llc_bytes().value_or(MB(15)));
+    cfg.policy = *policy;
+    gate.emplace(cfg);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      rt::pin_to_cpu(w % rt::online_cpus());
+      std::vector<double> a(kMatrix * kMatrix, 1.0 + w);
+      std::vector<double> b(kMatrix * kMatrix, 0.5);
+      std::vector<double> c(kMatrix * kMatrix, 0.0);
+      const double demand =
+          static_cast<double>(3 * kMatrix * kMatrix * sizeof(double));
+      for (int k = 0; k < kKernelsPerWorker; ++k) {
+        core::PeriodId id = core::kInvalidPeriod;
+        if (gate) {
+          id = gate->begin(ResourceKind::kLLC, demand, ReuseLevel::kHigh,
+                           "dgemm");
+        }
+        blas::dgemm(kMatrix, kMatrix, kMatrix, 1.0, a, b, 0.0, c);
+        if (gate) gate->end(id);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("  %-26s  %.3f s  (%.2f GFLOPS aggregate)\n", name, seconds,
+              total_flops / seconds / 1e9);
+  if (gate) {
+    const rt::GateStats stats = gate->stats();
+    std::printf("    gate: %llu begins, %llu waits, %.1f ms total wait\n",
+                static_cast<unsigned long long>(stats.monitor.begins),
+                static_cast<unsigned long long>(stats.waits),
+                1e3 * stats.total_wait_seconds);
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("co-locating %d workers x %d dgemm(%zu) kernels\n", kWorkers,
+              kKernelsPerWorker, kMatrix);
+  std::printf("detected LLC: %.1f MB\n",
+              util::bytes_to_mb(rt::detect_llc_bytes().value_or(MB(15))));
+
+  const double flops = 2.0 * kMatrix * kMatrix * kMatrix * kWorkers *
+                       kKernelsPerWorker;
+
+  struct Run {
+    const char* name;
+    std::optional<core::PolicyKind> policy;
+  };
+  const Run runs[] = {
+      {"Linux default (no gate)", std::nullopt},
+      {"RDA:Strict", core::PolicyKind::kStrict},
+      {"RDA:Compromise(x=2)", core::PolicyKind::kCompromise},
+  };
+  for (const Run& run : runs) {
+    run_policy(run.name, flops, run.policy);
+  }
+  return 0;
+}

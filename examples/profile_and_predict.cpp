@@ -1,0 +1,68 @@
+// The §2.4 + §4.4 toolchain end to end:
+//   1. "instrument" water_nsquared with the PIN-substitute trace generator,
+//   2. run the windowed profiler, detect progress periods, map them onto the
+//      loop nest (ParseAPI substitute),
+//   3. print the pp_begin/pp_end annotations a compiler pass would insert,
+//   4. fit the logarithmic WSS model over three input scales and predict the
+//      working set at an unseen fourth input (the paper's Fig. 12 protocol).
+#include <cstdio>
+#include <vector>
+
+#include "predict/regression.hpp"
+#include "profiler/report.hpp"
+#include "util/units.hpp"
+#include "workload/trace_models.hpp"
+
+using namespace rda;
+
+namespace {
+
+prof::ProfileReport profile_at(std::uint64_t molecules) {
+  const workload::AppTraceModel model =
+      workload::make_wnsq_trace(molecules, /*windows_per_pp=*/5, /*seed=*/42);
+  prof::WindowConfig wcfg;
+  wcfg.window_accesses = model.window_accesses;
+  wcfg.hot_threshold = model.hot_threshold;
+  return prof::Profiler(wcfg, {}).profile(*model.source, model.nest);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("profiling water_nsquared at its default input (8000 "
+              "molecules)...\n\n");
+  const prof::ProfileReport report = profile_at(8000);
+  std::printf("%s\n", report.to_string().c_str());
+
+  std::printf("scaling study (paper Fig. 12 protocol):\n");
+  const std::vector<std::uint64_t> inputs = workload::wnsq_input_sizes();
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < 3; ++i) {  // train on 1x/2x/4x
+    const prof::ProfileReport r = profile_at(inputs[i]);
+    if (r.periods.empty()) continue;
+    xs.push_back(static_cast<double>(inputs[i]));
+    ys.push_back(static_cast<double>(r.periods[0].period.wss_bytes));
+    std::printf("  n=%5llu -> PP1 wss %.2f MB\n",
+                static_cast<unsigned long long>(inputs[i]),
+                util::bytes_to_mb(r.periods[0].period.wss_bytes));
+  }
+
+  const predict::WssPredictor predictor(xs, ys);
+  const double predicted = predictor.predict(static_cast<double>(inputs[3]));
+  const prof::ProfileReport validation = profile_at(inputs[3]);
+  const double actual =
+      validation.periods.empty()
+          ? 0.0
+          : static_cast<double>(validation.periods[0].period.wss_bytes);
+
+  std::printf("\n  fit: %s\n", predictor.describe().c_str());
+  std::printf("  predicted wss at n=%llu: %.2f MB, measured %.2f MB -> "
+              "accuracy %d%%\n",
+              static_cast<unsigned long long>(inputs[3]),
+              predicted / 1024.0 / 1024.0, actual / 1024.0 / 1024.0,
+              static_cast<int>(
+                  100.0 * predict::prediction_accuracy(predicted, actual)));
+  std::printf("\n(the annotations above are exactly what a source-level "
+              "compiler pass would insert per §4.4)\n");
+  return 0;
+}

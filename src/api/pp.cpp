@@ -1,0 +1,40 @@
+#include "api/pp.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace rda::api {
+
+namespace {
+
+std::unique_ptr<rt::AdmissionGate>& gate_slot() {
+  static std::unique_ptr<rt::AdmissionGate> gate;
+  return gate;
+}
+
+std::once_flag& gate_once() {
+  static std::once_flag flag;
+  return flag;
+}
+
+}  // namespace
+
+void pp_configure(const rt::GateConfig& config) {
+  gate_slot() = std::make_unique<rt::AdmissionGate>(config);
+}
+
+rt::AdmissionGate& pp_gate() {
+  std::call_once(gate_once(), [] {
+    if (!gate_slot()) gate_slot() = std::make_unique<rt::AdmissionGate>();
+  });
+  return *gate_slot();
+}
+
+core::PeriodId pp_begin(ResourceKind resource, std::uint64_t demand_bytes,
+                        ReuseLevel reuse) {
+  return pp_gate().begin(resource, static_cast<double>(demand_bytes), reuse);
+}
+
+void pp_end(core::PeriodId id) { pp_gate().end(id); }
+
+}  // namespace rda::api

@@ -1,0 +1,54 @@
+// The user-level progress-period API (§2.3), paper-shaped.
+//
+// Applications communicate their just-in-time resource demands through two
+// calls (paper Fig. 4):
+//
+//   double pp_id = pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH);
+//   DGEMM(n, A, B, C);
+//   pp_end(pp_id);
+//
+// These free functions bind to one process-wide native AdmissionGate. Call
+// pp_configure() once at startup (or accept the Table 1 defaults); every
+// thread of the process then uses pp_begin/pp_end around its periods.
+// PeriodScope is the RAII form.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "runtime/gate.hpp"
+#include "util/units.hpp"
+
+namespace rda::api {
+
+/// Installs/replaces the process-wide gate configuration. Not thread-safe
+/// against concurrent pp_begin calls — configure before spawning workers.
+void pp_configure(const rt::GateConfig& config);
+
+/// The process-wide gate (created on first use with default config).
+rt::AdmissionGate& pp_gate();
+
+/// Begins a progress period; blocks until the demand is admitted. Returns
+/// the unique period identifier.
+core::PeriodId pp_begin(ResourceKind resource, std::uint64_t demand_bytes,
+                        ReuseLevel reuse);
+
+/// Ends the period identified by `id`.
+void pp_end(core::PeriodId id);
+
+/// RAII progress period: begins on construction, ends on destruction.
+class PeriodScope {
+ public:
+  PeriodScope(ResourceKind resource, std::uint64_t demand_bytes,
+              ReuseLevel reuse)
+      : id_(pp_begin(resource, demand_bytes, reuse)) {}
+  ~PeriodScope() { pp_end(id_); }
+  PeriodScope(const PeriodScope&) = delete;
+  PeriodScope& operator=(const PeriodScope&) = delete;
+  core::PeriodId id() const { return id_; }
+
+ private:
+  core::PeriodId id_;
+};
+
+}  // namespace rda::api

@@ -1,0 +1,49 @@
+#include "api/validate.hpp"
+
+#include <sstream>
+
+namespace rda::api {
+
+std::vector<ValidationIssue> validate_program(
+    const sim::PhaseProgram& program, const ValidationOptions& options) {
+  std::vector<ValidationIssue> issues;
+  auto add = [&](ValidationIssue::Severity severity, std::size_t index,
+                 std::string message) {
+    issues.push_back({severity, index, std::move(message)});
+  };
+
+  for (std::size_t i = 0; i < program.phases.size(); ++i) {
+    const sim::PhaseSpec& p = program.phases[i];
+    if (p.flops < 0.0) {
+      add(ValidationIssue::Severity::kError, i, "negative flops");
+    }
+    if (p.marked && p.contains_blocking_sync) {
+      // §3.4: a paused sibling inside a synchronizing period can deadlock
+      // the whole group; such regions must stay default-scheduled.
+      add(ValidationIssue::Severity::kError, i,
+          "blocking synchronization inside a progress period");
+    }
+    if (p.marked && p.wss_bytes == 0) {
+      add(ValidationIssue::Severity::kWarning, i,
+          "marked period declares zero demand; it gains nothing from RDA");
+    }
+    if (options.llc_capacity_bytes > 0 && p.marked &&
+        p.wss_bytes > options.llc_capacity_bytes) {
+      std::ostringstream os;
+      os << "working set (" << p.wss_bytes
+         << " B) exceeds LLC capacity (" << options.llc_capacity_bytes
+         << " B); §3.4 expects individually fitting periods";
+      add(ValidationIssue::Severity::kWarning, i, os.str());
+    }
+  }
+  return issues;
+}
+
+bool program_ok(const std::vector<ValidationIssue>& issues) {
+  for (const ValidationIssue& issue : issues) {
+    if (issue.severity == ValidationIssue::Severity::kError) return false;
+  }
+  return true;
+}
+
+}  // namespace rda::api

@@ -1,0 +1,40 @@
+// Phase-program validation — the API-contract checks of §3.4.
+//
+// The paper's model requires (1) no blocking synchronization inside a
+// progress period (a paused sibling could deadlock a barrier), and a group
+// of periods works best when each working set individually fits the cache.
+// Workload builders and tests run programs through these checks before
+// handing them to the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/phase.hpp"
+
+namespace rda::api {
+
+struct ValidationIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::size_t phase_index = 0;
+  std::string message;
+};
+
+struct ValidationOptions {
+  /// Warn when a single marked period's working set exceeds this capacity
+  /// (§3.4 constraint 1: individually fit within the cache).
+  std::uint64_t llc_capacity_bytes = 0;  ///< 0 disables the check
+};
+
+/// Structural checks. Errors: negative work, a *marked* period carrying a
+/// barrier (blocking sync inside a period), zero-demand marked periods.
+/// Warnings: marked working set exceeding the LLC capacity.
+std::vector<ValidationIssue> validate_program(const sim::PhaseProgram& program,
+                                              const ValidationOptions& options
+                                              = {});
+
+/// True when no kError issue is present.
+bool program_ok(const std::vector<ValidationIssue>& issues);
+
+}  // namespace rda::api

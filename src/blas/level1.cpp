@@ -1,0 +1,31 @@
+#include "blas/level1.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rda::blas {
+
+void daxpy(double alpha, std::span<const double> x, std::span<double> y) {
+  RDA_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void dcopy(std::span<const double> x, std::span<double> y) {
+  RDA_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i];
+}
+
+void dscal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+void dswap(std::span<double> x, std::span<double> y) {
+  RDA_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) std::swap(x[i], y[i]);
+}
+
+}  // namespace rda::blas

@@ -1,0 +1,29 @@
+// BLAS level-1 kernels (vector–vector): daxpy, dcopy, dscal, dswap.
+//
+// These are the paper's BLAS-1 workload (Table 2): streaming operations with
+// minimal cache reuse. Implementations are straightforward, contiguous, and
+// auto-vectorizable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rda::blas {
+
+/// y := alpha*x + y. Requires x.size() == y.size().
+void daxpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// y := x. Requires x.size() == y.size().
+void dcopy(std::span<const double> x, std::span<double> y);
+
+/// x := alpha*x.
+void dscal(double alpha, std::span<double> x);
+
+/// x <-> y. Requires x.size() == y.size().
+void dswap(std::span<double> x, std::span<double> y);
+
+/// Flop counts for the energy/performance accounting.
+inline double daxpy_flops(std::size_t n) { return 2.0 * static_cast<double>(n); }
+inline double dscal_flops(std::size_t n) { return static_cast<double>(n); }
+
+}  // namespace rda::blas

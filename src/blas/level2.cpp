@@ -1,0 +1,63 @@
+#include "blas/level2.hpp"
+
+#include "util/check.hpp"
+
+namespace rda::blas {
+
+void dgemv_n(std::size_t m, std::size_t n, double alpha,
+             std::span<const double> a, std::span<const double> x, double beta,
+             std::span<double> y) {
+  RDA_CHECK(a.size() >= m * n);
+  RDA_CHECK(x.size() >= n);
+  RDA_CHECK(y.size() >= m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = &a[i * n];
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
+    y[i] = alpha * acc + beta * y[i];
+  }
+}
+
+void dgemv_t(std::size_t m, std::size_t n, double alpha,
+             std::span<const double> a, std::span<const double> x, double beta,
+             std::span<double> y) {
+  RDA_CHECK(a.size() >= m * n);
+  RDA_CHECK(x.size() >= m);
+  RDA_CHECK(y.size() >= n);
+  for (std::size_t j = 0; j < n; ++j) y[j] *= beta;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = &a[i * n];
+    const double xi = alpha * x[i];
+    for (std::size_t j = 0; j < n; ++j) y[j] += xi * row[j];
+  }
+}
+
+void dtrmv_upper(std::size_t n, std::span<const double> a,
+                 std::span<double> x) {
+  RDA_CHECK(a.size() >= n * n);
+  RDA_CHECK(x.size() >= n);
+  // Forward order is safe: x[i] depends only on x[j >= i].
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = &a[i * n];
+    double acc = 0.0;
+    for (std::size_t j = i; j < n; ++j) acc += row[j] * x[j];
+    x[i] = acc;
+  }
+}
+
+void dtrsv_upper(std::size_t n, std::span<const double> a,
+                 std::span<double> x) {
+  RDA_CHECK(a.size() >= n * n);
+  RDA_CHECK(x.size() >= n);
+  RDA_CHECK(n > 0);
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* row = &a[ii * n];
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+    RDA_CHECK_MSG(row[ii] != 0.0, "singular triangular matrix");
+    x[ii] = acc / row[ii];
+  }
+}
+
+}  // namespace rda::blas

@@ -1,0 +1,42 @@
+// BLAS level-2 kernels (matrix–vector): dgemvN, dgemvT, dtrmv, dtrsv.
+//
+// The paper's BLAS-2 workload (Table 2): medium cache reuse — the matrix is
+// streamed once, the vectors are reused. All matrices are dense row-major
+// with leading dimension == column count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rda::blas {
+
+/// y := alpha*A*x + beta*y, A is m×n row-major.
+void dgemv_n(std::size_t m, std::size_t n, double alpha,
+             std::span<const double> a, std::span<const double> x, double beta,
+             std::span<double> y);
+
+/// y := alpha*A^T*x + beta*y, A is m×n row-major (y has n elements).
+void dgemv_t(std::size_t m, std::size_t n, double alpha,
+             std::span<const double> a, std::span<const double> x, double beta,
+             std::span<double> y);
+
+/// x := U*x with U the upper triangle (incl. diagonal) of the n×n matrix a.
+void dtrmv_upper(std::size_t n, std::span<const double> a,
+                 std::span<double> x);
+
+/// Solves U*x = b in place (x holds b on entry, the solution on exit);
+/// U upper triangular, non-unit diagonal.
+void dtrsv_upper(std::size_t n, std::span<const double> a,
+                 std::span<double> x);
+
+inline double dgemv_flops(std::size_t m, std::size_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n);
+}
+inline double dtrmv_flops(std::size_t n) {
+  return static_cast<double>(n) * static_cast<double>(n);
+}
+inline double dtrsv_flops(std::size_t n) {
+  return static_cast<double>(n) * static_cast<double>(n);
+}
+
+}  // namespace rda::blas

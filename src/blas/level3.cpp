@@ -1,0 +1,112 @@
+#include "blas/level3.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rda::blas {
+
+namespace {
+
+/// Inner kernel: C[i0:i1, j0:j1] += A[i0:i1, l0:l1] * B[l0:l1, j0:j1].
+void gemm_tile(std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
+               std::size_t l0, std::size_t l1, std::size_t n, std::size_t k,
+               double alpha, const double* a, const double* b, double* c) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t l = l0; l < l1; ++l) {
+      const double av = alpha * arow[l];
+      const double* brow = b + l * n;
+      for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm(std::size_t m, std::size_t n, std::size_t k, double alpha,
+           std::span<const double> a, std::span<const double> b, double beta,
+           std::span<double> c) {
+  RDA_CHECK(a.size() >= m * k);
+  RDA_CHECK(b.size() >= k * n);
+  RDA_CHECK(c.size() >= m * n);
+  for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  constexpr std::size_t B = kGemmBlock;
+  for (std::size_t i0 = 0; i0 < m; i0 += B) {
+    const std::size_t i1 = std::min(m, i0 + B);
+    for (std::size_t l0 = 0; l0 < k; l0 += B) {
+      const std::size_t l1 = std::min(k, l0 + B);
+      for (std::size_t j0 = 0; j0 < n; j0 += B) {
+        const std::size_t j1 = std::min(n, j0 + B);
+        gemm_tile(i0, i1, j0, j1, l0, l1, n, k, alpha, a.data(), b.data(),
+                  c.data());
+      }
+    }
+  }
+}
+
+void dgemm_naive(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                 std::span<const double> a, std::span<const double> b,
+                 double beta, std::span<double> c) {
+  RDA_CHECK(a.size() >= m * k);
+  RDA_CHECK(b.size() >= k * n);
+  RDA_CHECK(c.size() >= m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t l = 0; l < k; ++l) acc += a[i * k + l] * b[l * n + j];
+      c[i * n + j] = alpha * acc + beta * c[i * n + j];
+    }
+  }
+}
+
+void dsyrk_upper(std::size_t n, std::size_t k, double alpha,
+                 std::span<const double> a, double beta, std::span<double> c) {
+  RDA_CHECK(a.size() >= n * k);
+  RDA_CHECK(c.size() >= n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ai = &a[i * k];
+    for (std::size_t j = i; j < n; ++j) {
+      const double* aj = &a[j * k];
+      double acc = 0.0;
+      for (std::size_t l = 0; l < k; ++l) acc += ai[l] * aj[l];
+      c[i * n + j] = alpha * acc + beta * c[i * n + j];
+    }
+  }
+}
+
+void dtrmm_ru(std::size_t m, std::size_t n, std::span<const double> a,
+              std::span<double> b) {
+  RDA_CHECK(a.size() >= n * n);
+  RDA_CHECK(b.size() >= m * n);
+  // B := B*U. Column j of the result depends on columns 0..j of B, so
+  // sweep columns right-to-left to update in place.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* row = &b[i * n];
+    for (std::size_t jj = n; jj-- > 0;) {
+      double acc = 0.0;
+      for (std::size_t l = 0; l <= jj; ++l) acc += row[l] * a[l * n + jj];
+      row[jj] = acc;
+    }
+  }
+}
+
+void dtrsm_ru(std::size_t m, std::size_t n, std::span<const double> a,
+              std::span<double> b) {
+  RDA_CHECK(a.size() >= n * n);
+  RDA_CHECK(b.size() >= m * n);
+  // Solve X*U = B row-wise: x[j] = (b[j] - sum_{l<j} x[l]*U[l][j]) / U[j][j],
+  // left-to-right (forward substitution in the column index).
+  for (std::size_t i = 0; i < m; ++i) {
+    double* row = &b[i * n];
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = row[j];
+      for (std::size_t l = 0; l < j; ++l) acc -= row[l] * a[l * n + j];
+      RDA_CHECK_MSG(a[j * n + j] != 0.0, "singular triangular matrix");
+      row[j] = acc / a[j * n + j];
+    }
+  }
+}
+
+}  // namespace rda::blas

@@ -1,0 +1,59 @@
+// BLAS level-3 kernels (matrix–matrix): dgemm, dsyrk, dtrmm(ru), dtrsm(ru).
+//
+// The paper's BLAS-3 workload (Table 2): high cache reuse. dgemm is
+// cache-blocked ("optimized with loop blocking so that individually its
+// working set size fits within the last-level cache", §4.1); the naive
+// variants exist as test oracles. All matrices are dense row-major.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rda::blas {
+
+/// Cache-blocking tile edge (doubles). 3 tiles of 96x96 doubles ≈ 216 KB —
+/// comfortably inside a 256 KB private L2.
+inline constexpr std::size_t kGemmBlock = 96;
+
+/// C := alpha*A*B + beta*C; A m×k, B k×n, C m×n. Cache-blocked.
+void dgemm(std::size_t m, std::size_t n, std::size_t k, double alpha,
+           std::span<const double> a, std::span<const double> b, double beta,
+           std::span<double> c);
+
+/// Reference triple loop (test oracle).
+void dgemm_naive(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                 std::span<const double> a, std::span<const double> b,
+                 double beta, std::span<double> c);
+
+/// C := alpha*A*A^T + beta*C, updating the upper triangle only; A n×k.
+void dsyrk_upper(std::size_t n, std::size_t k, double alpha,
+                 std::span<const double> a, double beta, std::span<double> c);
+
+/// B := B*U (right-side multiply by the upper triangle of the n×n matrix a);
+/// B is m×n. The paper's dtrmm(ru).
+void dtrmm_ru(std::size_t m, std::size_t n, std::span<const double> a,
+              std::span<double> b);
+
+/// Solves X*U = B for X in place (B holds the solution on exit); U upper
+/// triangular non-unit n×n, B m×n. The paper's dtrsm(ru).
+void dtrsm_ru(std::size_t m, std::size_t n, std::span<const double> a,
+              std::span<double> b);
+
+inline double dgemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+inline double dsyrk_flops(std::size_t n, std::size_t k) {
+  return static_cast<double>(n) * static_cast<double>(n + 1) *
+         static_cast<double>(k);
+}
+inline double dtrmm_flops(std::size_t m, std::size_t n) {
+  return static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(n);
+}
+inline double dtrsm_flops(std::size_t m, std::size_t n) {
+  return static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(n);
+}
+
+}  // namespace rda::blas

@@ -1,0 +1,91 @@
+// Multi-node extension (§5: "Our work is currently developed at the
+// single-node level but can be extended to multiple nodes as part of our
+// future work").
+//
+// A cluster is N identical nodes, each with its own LLC, DRAM, and RDA
+// gate. Processes are placed on a node at submission time using their
+// DECLARED demands — the same information the single-node predicate uses —
+// then each node runs independently (processes never migrate across nodes,
+// matching the paper's process-level granularity).
+//
+// Placement policies:
+//   * round-robin            — demand-blind (the baseline a batch system does),
+//   * least-declared-load    — balance the sum of declared working sets,
+//   * first-fit-capacity     — pack nodes up to their LLC capacity before
+//                              spilling (bin-packing by declared demand).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rda_scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace rda::cluster {
+
+enum class PlacementPolicy {
+  kRoundRobin,
+  kLeastDeclaredLoad,
+  kFirstFitCapacity,
+};
+
+std::string to_string(PlacementPolicy policy);
+
+struct ClusterConfig {
+  int nodes = 2;
+  /// Every node is one instance of this machine.
+  sim::EngineConfig node{};
+  /// Per-node RDA gate options; `use_gate` false = Linux default everywhere.
+  bool use_gate = true;
+  core::RdaOptions gate{};
+};
+
+struct ClusterResult {
+  std::vector<sim::SimResult> nodes;
+  std::vector<int> processes_per_node;
+
+  /// Cluster makespan = slowest node (all nodes start together).
+  double makespan() const;
+  double total_flops() const;
+  /// Sum of node energies (each node pays its own idle power for the whole
+  /// cluster makespan — an idle node still burns static power).
+  double system_joules() const;
+  double gflops() const;
+  double gflops_per_watt() const;
+};
+
+/// Places processes and runs all nodes to completion.
+class ClusterScheduler {
+ public:
+  ClusterScheduler(ClusterConfig config, PlacementPolicy policy);
+
+  /// Submits one process (its per-thread phase programs). Placement happens
+  /// immediately, based on the process's declared peak demand. Returns the
+  /// node index chosen.
+  int add_process(std::vector<sim::PhaseProgram> thread_programs,
+                  bool task_pool = false);
+
+  /// Declared-demand estimate used for placement: the max over time of the
+  /// sum of each thread's declared working set (threads of a process run
+  /// their programs in lockstep at worst).
+  static double process_demand_estimate(
+      const std::vector<sim::PhaseProgram>& thread_programs);
+
+  ClusterResult run();
+
+  const std::vector<double>& placed_demand() const { return node_demand_; }
+
+ private:
+  int pick_node(double demand) const;
+
+  ClusterConfig config_;
+  PlacementPolicy policy_;
+  std::vector<std::unique_ptr<sim::Engine>> engines_;
+  std::vector<std::unique_ptr<core::RdaScheduler>> gates_;
+  std::vector<double> node_demand_;  ///< placed declared demand per node
+  std::vector<int> node_processes_;
+  int next_round_robin_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace rda::cluster

@@ -1,0 +1,74 @@
+// Fundamental vocabulary types shared across the whole library.
+//
+// These mirror the arguments of the paper's user-level API (Fig. 4):
+//   pp_id = pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH);
+// The profiler categorizes measured reuse ratios into the same three levels
+// the paper's Table 2 uses (low / med / high).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rda {
+
+/// Hardware resources a progress period can target. The paper evaluates the
+/// shared last-level cache but designs the resource monitor as a table keyed
+/// by resource (§3.2, "an entry is allocated to each resource").
+enum class ResourceKind : std::uint8_t {
+  kLLC,          ///< shared last-level cache capacity (bytes)
+  kMemBandwidth, ///< DRAM bandwidth (bytes/second)
+  kL2,           ///< private L2 capacity (bytes) — available for extensions
+};
+
+inline constexpr std::size_t kNumResourceKinds = 3;
+
+constexpr std::string_view to_string(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kLLC: return "LLC";
+    case ResourceKind::kMemBandwidth: return "MemBW";
+    case ResourceKind::kL2: return "L2";
+  }
+  return "?";
+}
+
+/// Relative temporal-locality factor of a progress period (§2.2): how heavily
+/// the working set will be reused while the period runs.
+enum class ReuseLevel : std::uint8_t {
+  kLow,     ///< streaming, little to gain from cache residency (BLAS-1)
+  kMedium,  ///< some reuse (BLAS-2, matrix-vector)
+  kHigh,    ///< heavy reuse (BLAS-3, blocked matrix-matrix)
+};
+
+constexpr std::string_view to_string(ReuseLevel level) {
+  switch (level) {
+    case ReuseLevel::kLow: return "low";
+    case ReuseLevel::kMedium: return "med";
+    case ReuseLevel::kHigh: return "high";
+  }
+  return "?";
+}
+
+/// Thresholds for mapping a measured reuse ratio (average accesses per unique
+/// cache line within a window, §2.4) onto the three levels. Values are
+/// configurable because the paper tuned them per granularity.
+struct ReuseThresholds {
+  double medium_at = 2.0;  ///< ratio >= this → at least medium
+  double high_at = 8.0;    ///< ratio >= this → high
+};
+
+constexpr ReuseLevel categorize_reuse(double reuse_ratio,
+                                      ReuseThresholds t = {}) {
+  if (reuse_ratio >= t.high_at) return ReuseLevel::kHigh;
+  if (reuse_ratio >= t.medium_at) return ReuseLevel::kMedium;
+  return ReuseLevel::kLow;
+}
+
+/// Paper §2.3 spells the API constants in SHOUTY case; provide aliases so the
+/// quickstart example reads exactly like the paper's Figure 4.
+inline constexpr ResourceKind RESOURCE_LLC = ResourceKind::kLLC;
+inline constexpr ResourceKind RESOURCE_MEM_BW = ResourceKind::kMemBandwidth;
+inline constexpr ReuseLevel REUSE_LOW = ReuseLevel::kLow;
+inline constexpr ReuseLevel REUSE_MED = ReuseLevel::kMedium;
+inline constexpr ReuseLevel REUSE_HIGH = ReuseLevel::kHigh;
+
+}  // namespace rda

@@ -1,0 +1,44 @@
+#include "core/feedback.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rda::core {
+
+DemandCorrector::DemandCorrector(FeedbackOptions options)
+    : options_(options) {
+  RDA_CHECK(options_.decay > 0.0 && options_.decay <= 1.0);
+  RDA_CHECK(options_.min_correction > 0.0);
+  RDA_CHECK(options_.max_correction >= options_.min_correction);
+}
+
+double DemandCorrector::correction(const std::string& label) const {
+  if (!options_.enable) return 1.0;
+  const auto it = states_.find(label);
+  if (it == states_.end() || it->second.samples < options_.min_samples) {
+    return 1.0;
+  }
+  return std::clamp(it->second.ratio, options_.min_correction,
+                    options_.max_correction);
+}
+
+void DemandCorrector::observe(const std::string& label,
+                              double declared_demand, double observed_peak,
+                              bool contended) {
+  if (!options_.enable || declared_demand <= 0.0) return;
+  ++observations_;
+  State& state = states_[label];
+  ++state.samples;
+  const double ratio = observed_peak / declared_demand;
+  if (contended) {
+    // The peak is only a lower bound: allow it to GROW the correction (the
+    // period demonstrably used more than believed) but never shrink it.
+    state.ratio = std::max(state.ratio, ratio);
+  } else {
+    // Decayed running max: shrinks only under repeated uncontended evidence.
+    state.ratio = std::max(ratio, state.ratio * options_.decay);
+  }
+}
+
+}  // namespace rda::core

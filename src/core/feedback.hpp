@@ -1,0 +1,68 @@
+// Counter-feedback demand correction (extension).
+//
+// The paper's related-work discussion proposes combining demand-aware
+// scheduling with real-time hardware counters: "using real-time hardware
+// counters to determine current resource usage, in combination with demand
+// aware scheduling, would be able to schedule processes much more
+// efficiently ... and is therefore a subject to explore in later work."
+//
+// This module implements that hybrid: each completed period's observed peak
+// LLC occupancy (the counter view) is compared with its declared demand, and
+// future instances of the same period — identified by its label, i.e. its
+// static code location, which the paper argues is the stable key — are
+// charged a corrected demand. Over-declaring code stops wasting capacity;
+// under-declaring code stops thrashing its neighbours.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace rda::core {
+
+struct FeedbackOptions {
+  bool enable = false;
+  /// Per-observation decay of the correction state toward new evidence.
+  /// The state tracks the MAXIMUM observed usage ratio with this decay:
+  /// shrinking a demand is only safe once several consecutive observations
+  /// confirm the period really uses less than declared (a contended period
+  /// may simply have been unable to grow its occupancy).
+  double decay = 0.90;
+  /// Clamp on the correction factor.
+  double min_correction = 0.25;
+  double max_correction = 4.0;
+  /// Observations required before a correction is applied.
+  std::uint32_t min_samples = 2;
+};
+
+class DemandCorrector {
+ public:
+  explicit DemandCorrector(FeedbackOptions options = {});
+
+  /// Multiplier to apply to the declared demand of a period with this
+  /// label; 1.0 while unknown or under-sampled.
+  double correction(const std::string& label) const;
+
+  /// Records one completed period: what it declared vs the peak occupancy
+  /// the counters saw. `contended` should be true when the cache was full
+  /// while the period ran (its peak is then a lower bound, not a
+  /// measurement, and must not shrink the correction).
+  void observe(const std::string& label, double declared_demand,
+               double observed_peak, bool contended);
+
+  std::size_t tracked_labels() const { return states_.size(); }
+  std::uint64_t observations() const { return observations_; }
+  const FeedbackOptions& options() const { return options_; }
+
+ private:
+  struct State {
+    double ratio = 1.0;  ///< decayed max of observed/declared
+    std::uint32_t samples = 0;
+  };
+
+  FeedbackOptions options_;
+  std::unordered_map<std::string, State> states_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace rda::core

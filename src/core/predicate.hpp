@@ -1,0 +1,55 @@
+// Scheduling predicate (§3.3, Algorithm 1).
+//
+//   function TrySchedule(pp, resource)
+//     remaining <- resource.capacity - resource.usage
+//     outcome   <- remaining - pp.demand
+//     runnable  <- apply_policy(outcome, resource)
+//     if runnable then increment_load(pp.demand); schedule(get_process(pp))
+//     else waitlist(pp)
+//
+// This class is the pure decision + load update; queueing the loser is the
+// progress monitor's job.
+#pragma once
+
+#include "core/policy.hpp"
+#include "core/registry.hpp"
+#include "core/resource_monitor.hpp"
+
+namespace rda::core {
+
+class SchedulingPredicate {
+ public:
+  /// Non-owning references; both must outlive the predicate.
+  SchedulingPredicate(const SchedulingPolicy& policy,
+                      ResourceMonitor& resources)
+      : policy_(&policy), resources_(&resources) {}
+
+  /// Algorithm 1, generalized to multi-resource periods: every declared
+  /// demand must pass apply_policy on its resource. On true, all demands
+  /// have been added to the load table atomically.
+  bool try_schedule(const PeriodRecord& pp) {
+    for (const ResourceDemand& d : pp.demands) {
+      const ResourceState& res = resources_->state(d.resource);
+      const double outcome = res.remaining() - d.amount;
+      if (!policy_->allow(outcome, res)) return false;
+    }
+    for (const ResourceDemand& d : pp.demands) {
+      resources_->increment_load(d.resource, d.amount);
+    }
+    return true;
+  }
+
+  /// Decision only, no load change — used for group (thread-pool) checks.
+  bool would_admit(ResourceKind resource, double demand) const {
+    const ResourceState& res = resources_->state(resource);
+    return policy_->allow(res.remaining() - demand, res);
+  }
+
+  const SchedulingPolicy& policy() const { return *policy_; }
+
+ private:
+  const SchedulingPolicy* policy_;
+  ResourceMonitor* resources_;
+};
+
+}  // namespace rda::core

@@ -1,0 +1,214 @@
+#include "core/progress_monitor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rda::core {
+
+ProgressMonitor::ProgressMonitor(SchedulingPredicate& predicate,
+                                 ResourceMonitor& resources,
+                                 MonitorOptions options)
+    : predicate_(&predicate), resources_(&resources), options_(options) {}
+
+void ProgressMonitor::admit(PeriodId id) { admitted_.insert(id); }
+
+void ProgressMonitor::wake_entry(const Waitlist::Entry& entry) {
+  ++stats_.wakes;
+  if (waker_) waker_(entry.thread);
+}
+
+double ProgressMonitor::pending_pool_demand(sim::ProcessId process,
+                                            ResourceKind resource) const {
+  double total = 0.0;
+  for (const Waitlist::Entry& e : waitlist_.entries()) {
+    if (e.process != process) continue;
+    const PeriodRecord* record = registry_.find(e.period);
+    RDA_CHECK(record != nullptr);
+    total += record->demand_for(resource);
+  }
+  return total;
+}
+
+bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force) {
+  // Collect per-resource demand sums of the pool's waiting members.
+  double sums[kNumResourceKinds] = {};
+  bool any = false;
+  for (const Waitlist::Entry& e : waitlist_.entries()) {
+    if (e.process != process) continue;
+    const PeriodRecord* record = registry_.find(e.period);
+    RDA_CHECK(record != nullptr);
+    for (const ResourceDemand& d : record->demands) {
+      sums[static_cast<std::size_t>(d.resource)] += d.amount;
+    }
+    any = true;
+  }
+  if (!any) {
+    disabled_pools_.erase(process);
+    return true;
+  }
+  if (!force) {
+    for (std::size_t r = 0; r < kNumResourceKinds; ++r) {
+      if (sums[r] <= 0.0) continue;
+      if (!predicate_->would_admit(static_cast<ResourceKind>(r), sums[r])) {
+        return false;
+      }
+    }
+  }
+  // Whole group fits (or is forced): admit and wake every member.
+  std::vector<Waitlist::Entry> group = waitlist_.remove_process(process);
+  for (const Waitlist::Entry& e : group) {
+    const PeriodRecord* record = registry_.find(e.period);
+    RDA_CHECK(record != nullptr);
+    for (const ResourceDemand& d : record->demands) {
+      resources_->increment_load(d.resource, d.amount);
+    }
+    admit(e.period);
+    if (force) ++stats_.forced_admissions;
+    wake_entry(e);
+  }
+  disabled_pools_.erase(process);
+  ++stats_.pool_group_admissions;
+  return true;
+}
+
+ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
+    PeriodRecord record, double now) {
+  ++stats_.begins;
+  record.begin_time = now;
+  const sim::ThreadId thread = record.thread;
+  const sim::ProcessId process = record.process;
+  const PeriodId id = registry_.insert(std::move(record));
+
+  BeginOutcome outcome;
+  outcome.id = id;
+
+  const bool member_of_disabled_pool =
+      options_.pool_guard && pool_disabled(process);
+
+  if (!member_of_disabled_pool) {
+    const PeriodRecord* stored = registry_.find(id);
+    if (predicate_->try_schedule(*stored)) {
+      admit(id);
+      ++stats_.immediate_admissions;
+      outcome.admitted = true;
+      return outcome;
+    }
+    // Liveness override: nothing else holds any targeted resource, yet
+    // the demand is over the policy bound — it can never fit, so run solo.
+    const PeriodRecord* inserted = registry_.find(id);
+    bool targets_free = true;
+    for (const ResourceDemand& d : inserted->demands) {
+      if (!resources_->effectively_free(d.resource)) {
+        targets_free = false;
+        break;
+      }
+    }
+    if (targets_free) {
+      for (const ResourceDemand& d : inserted->demands) {
+        resources_->increment_load(d.resource, d.amount);
+      }
+      admit(id);
+      ++stats_.forced_admissions;
+      outcome.admitted = true;
+      outcome.forced = true;
+      return outcome;
+    }
+    if (options_.pool_guard && is_pool(process)) {
+      // §3.4: one denied member disables the whole pool.
+      disabled_pools_.insert(process);
+      ++stats_.pool_disables;
+    }
+  }
+
+  Waitlist::Entry entry;
+  entry.period = id;
+  entry.thread = thread;
+  entry.process = process;
+  entry.enqueue_time = now;
+  waitlist_.push(entry);
+  ++stats_.blocks;
+  return outcome;
+}
+
+void ProgressMonitor::rescan(double now) {
+  (void)now;
+  // 1. Disabled pools first: they have been waiting as a group.
+  //    (copy — try_admit_pool mutates disabled_pools_)
+  const std::vector<sim::ProcessId> disabled(disabled_pools_.begin(),
+                                             disabled_pools_.end());
+  for (sim::ProcessId p : disabled) try_admit_pool(p, /*force=*/false);
+
+  // 2. Ordinary entries in FIFO order.
+  const auto admit_fn = [&](const Waitlist::Entry& e) {
+    if (options_.pool_guard && pool_disabled(e.process)) return false;
+    const PeriodRecord* record = registry_.find(e.period);
+    RDA_CHECK(record != nullptr);
+    if (!predicate_->try_schedule(*record)) return false;
+    admit(e.period);
+    return true;
+  };
+  const std::vector<Waitlist::Entry> admitted = waitlist_.drain_admissible(
+      admit_fn, /*head_only=*/!options_.work_conserving);
+  for (const Waitlist::Entry& e : admitted) wake_entry(e);
+
+  // 3. Liveness: if nothing holds any resource but threads still wait, the
+  //    head can never fit under the policy — force it through.
+  if (!waitlist_.empty()) {
+    bool all_free = true;
+    for (std::size_t r = 0; r < kNumResourceKinds; ++r) {
+      if (!resources_->effectively_free(static_cast<ResourceKind>(r))) {
+        all_free = false;
+        break;
+      }
+    }
+    if (all_free) {
+      const Waitlist::Entry head = waitlist_.entries().front();
+      if (options_.pool_guard && pool_disabled(head.process)) {
+        try_admit_pool(head.process, /*force=*/true);
+      } else {
+        const PeriodRecord* record = registry_.find(head.period);
+        RDA_CHECK(record != nullptr);
+        for (const ResourceDemand& d : record->demands) {
+          resources_->increment_load(d.resource, d.amount);
+        }
+        admit(head.period);
+        ++stats_.forced_admissions;
+        const std::vector<Waitlist::Entry> forced =
+            waitlist_.drain_admissible(
+                [&](const Waitlist::Entry& e) {
+                  return e.period == head.period;
+                },
+                /*head_only=*/false);
+        for (const Waitlist::Entry& e : forced) wake_entry(e);
+      }
+    }
+  }
+}
+
+PeriodRecord ProgressMonitor::end_period(PeriodId id, double now) {
+  ++stats_.ends;
+  PeriodRecord record = registry_.remove(id);
+  const bool was_admitted = admitted_.erase(id) != 0;
+  RDA_CHECK_MSG(was_admitted,
+                "pp_end on period " << id
+                                    << " that was never admitted (still "
+                                       "waitlisted?)");
+  for (const ResourceDemand& d : record.demands) {
+    resources_->decrement_load(d.resource, d.amount);
+  }
+  rescan(now);
+  return record;
+}
+
+bool ProgressMonitor::cancel_waiting(PeriodId id) {
+  if (admitted_.count(id) != 0) return false;
+  if (registry_.find(id) == nullptr) return false;
+  waitlist_.drain_admissible(
+      [&](const Waitlist::Entry& e) { return e.period == id; },
+      /*head_only=*/false);
+  registry_.remove(id);
+  return true;
+}
+
+}  // namespace rda::core

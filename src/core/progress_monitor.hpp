@@ -1,0 +1,116 @@
+// Progress monitor (§3.1, Figs. 2/5/6): the component that tracks pp_begin /
+// pp_end transitions, keeps the period registry, and re-schedules waitlisted
+// threads when capacity frees up.
+//
+// Behaviour on begin (paper Fig. 5):
+//   create period -> scheduling predicate -> run (load incremented) or
+//   pause (placed on the resource waitlist).
+// Behaviour on end (paper Fig. 6):
+//   remove from registry -> decrement load -> attempt to schedule waiting
+//   threads.
+//
+// Extensions faithful to §3.4:
+//   * thread-pool guard: when a member of a pool process is denied, the
+//     whole pool is disabled; it is re-admitted only when the pool's entire
+//     pending demand fits ("until there is sufficient resources for all of
+//     them").
+//   * liveness override: a period whose demand can never fit (larger than
+//     the policy bound) is force-admitted when the resource is completely
+//     free — otherwise a paper-conform system would hang forever on it.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <unordered_set>
+
+#include "core/predicate.hpp"
+#include "core/registry.hpp"
+#include "core/waitlist.hpp"
+
+namespace rda::core {
+
+struct MonitorOptions {
+  /// Waitlist scan mode on release: admit every fitting entry (true) or stop
+  /// at the first non-fitting one (false; stricter FIFO fairness).
+  bool work_conserving = true;
+  /// Enable the §3.4 thread-pool group pause.
+  bool pool_guard = true;
+};
+
+struct MonitorStats {
+  std::uint64_t begins = 0;
+  std::uint64_t ends = 0;
+  std::uint64_t immediate_admissions = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t wakes = 0;              ///< admissions from the waitlist
+  std::uint64_t forced_admissions = 0;  ///< liveness overrides
+  std::uint64_t pool_disables = 0;
+  std::uint64_t pool_group_admissions = 0;
+};
+
+class ProgressMonitor {
+ public:
+  using WakeFn = std::function<void(sim::ThreadId)>;
+
+  /// Non-owning references must outlive the monitor.
+  ProgressMonitor(SchedulingPredicate& predicate, ResourceMonitor& resources,
+                  MonitorOptions options = {});
+
+  /// Channel used to resume a previously paused thread once its period is
+  /// admitted (the kernel wake event of the paper's implementation).
+  void set_waker(WakeFn waker) { waker_ = std::move(waker); }
+
+  /// Declares a process as a task-pool (§3.4 group semantics).
+  void mark_pool(sim::ProcessId process) { pools_.insert(process); }
+  bool is_pool(sim::ProcessId process) const { return pools_.count(process); }
+  bool pool_disabled(sim::ProcessId process) const {
+    return disabled_pools_.count(process) != 0;
+  }
+
+  struct BeginOutcome {
+    PeriodId id = kInvalidPeriod;
+    bool admitted = false;
+    bool forced = false;  ///< admitted via the liveness override
+  };
+
+  /// pp_begin. The record's id field is assigned by the registry.
+  BeginOutcome begin_period(PeriodRecord record, double now);
+
+  /// pp_end. Throws if the id is unknown. Returns the closed record.
+  PeriodRecord end_period(PeriodId id, double now);
+
+  /// Cancels a period that is still waitlisted (native-runtime timeout /
+  /// shutdown path). Returns false if the period was already admitted or
+  /// unknown.
+  bool cancel_waiting(PeriodId id);
+
+  const MonitorStats& stats() const { return stats_; }
+  const Waitlist& waitlist() const { return waitlist_; }
+  const PeriodRegistry& registry() const { return registry_; }
+  std::size_t admitted_count() const { return admitted_.size(); }
+
+ private:
+  void admit(PeriodId id);  ///< bookkeeping common to every admission
+  void wake_entry(const Waitlist::Entry& entry);
+  /// Re-evaluates the waitlist after load decreased.
+  void rescan(double now);
+  /// Group admission check for one disabled pool; admits and wakes the whole
+  /// group when it fits. Returns true if the pool was re-enabled.
+  bool try_admit_pool(sim::ProcessId process, bool force);
+  double pending_pool_demand(sim::ProcessId process,
+                             ResourceKind resource) const;
+
+  SchedulingPredicate* predicate_;
+  ResourceMonitor* resources_;
+  MonitorOptions options_;
+  WakeFn waker_;
+
+  PeriodRegistry registry_;
+  Waitlist waitlist_;
+  std::unordered_set<PeriodId> admitted_;  ///< periods holding load
+  std::set<sim::ProcessId> pools_;
+  std::set<sim::ProcessId> disabled_pools_;
+  MonitorStats stats_;
+};
+
+}  // namespace rda::core

@@ -1,0 +1,136 @@
+#include "core/rda_scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace rda::core {
+
+RdaScheduler::RdaScheduler(double llc_capacity_bytes,
+                           const sim::Calibration& calib, RdaOptions options)
+    : calib_(calib),
+      options_(options),
+      policy_(make_policy(options.policy, options.oversubscription)),
+      predicate_(*policy_, resources_),
+      monitor_(predicate_, resources_, options.monitor),
+      corrector_(options.feedback) {
+  resources_.set_capacity(ResourceKind::kLLC, llc_capacity_bytes);
+  if (options_.bandwidth_capacity > 0.0) {
+    resources_.set_capacity(ResourceKind::kMemBandwidth,
+                            options_.bandwidth_capacity);
+  }
+}
+
+void RdaScheduler::mark_pool(sim::ProcessId process) {
+  monitor_.mark_pool(process);
+}
+
+void RdaScheduler::attach(sim::ThreadWaker& waker) {
+  monitor_.set_waker([&waker](sim::ThreadId tid) { waker.wake(tid); });
+}
+
+bool RdaScheduler::fast_path_usable(sim::ThreadId thread,
+                                    sim::ProcessId process, double demand,
+                                    double bw_demand) const {
+  if (!options_.fast_path) return false;
+  const auto it = cache_.find(thread);
+  if (it == cache_.end() || !it->second.valid) return false;
+  if (it->second.demand != demand) return false;
+  if (it->second.bw_demand != bw_demand) return false;
+  // Nobody else touched the load table since this thread's own last call,
+  // the previous identical request was admitted, and nobody is queued ahead
+  // — so replaying the predicate gives the identical "admit".
+  if (it->second.version != resources_.version()) return false;
+  if (!monitor_.waitlist().empty()) return false;
+  if (monitor_.pool_disabled(process)) return false;
+  return true;
+}
+
+sim::BeginResult RdaScheduler::on_phase_begin(sim::ThreadId thread,
+                                              sim::ProcessId process,
+                                              const sim::PhaseSpec& phase,
+                                              double now) {
+  double demand = static_cast<double>(phase.declared_wss());
+  // Counter-feedback: charge the corrected demand learned from previous
+  // instances of this period (keyed by its static code location).
+  demand *= corrector_.correction(phase.label);
+  double cap = 0.0;
+  if (options_.partitioning.enable &&
+      demand > resources_.capacity(ResourceKind::kLLC)) {
+    // §6: a larger-than-LLC working set streams from DRAM regardless —
+    // confine it to a small partition and charge only that.
+    cap = options_.partitioning.streaming_fraction *
+          resources_.capacity(ResourceKind::kLLC);
+    demand = cap;
+    ++partitioned_periods_;
+  }
+  const double bw_demand = options_.bandwidth_capacity > 0.0
+                               ? phase.bw_bytes_per_sec
+                               : 0.0;
+  const bool fast = fast_path_usable(thread, process, demand, bw_demand);
+  if (fast) ++fast_path_hits_;
+
+  PeriodRecord record;
+  record.thread = thread;
+  record.process = process;
+  record.set_single(ResourceKind::kLLC, demand);
+  if (bw_demand > 0.0) {
+    record.add_demand(ResourceKind::kMemBandwidth, bw_demand);
+  }
+  record.reuse = phase.reuse;
+  record.label = phase.label;
+  const ProgressMonitor::BeginOutcome outcome =
+      monitor_.begin_period(std::move(record), now);
+
+  RDA_CHECK_MSG(!fast || outcome.admitted,
+                "fast path replay diverged from the cached admit decision");
+
+  active_period_[thread] = outcome.id;
+
+  ThreadCache& cache = cache_[thread];
+  cache.valid = outcome.admitted && !outcome.forced;
+  cache.demand = demand;
+  cache.bw_demand = bw_demand;
+  cache.version = resources_.version();
+
+  sim::BeginResult result;
+  result.admit = outcome.admitted;
+  result.call_cost = fast ? calib_.api_fast_path_cost : calib_.api_call_cost;
+  result.occupancy_cap = cap;
+  return result;
+}
+
+sim::EndResult RdaScheduler::on_phase_end(sim::ThreadId thread,
+                                          sim::ProcessId process,
+                                          const sim::PhaseSpec& phase,
+                                          const sim::PhaseObservation& observed,
+                                          double now) {
+  (void)process;
+  corrector_.observe(phase.label, static_cast<double>(phase.declared_wss()),
+                     observed.peak_occupancy, observed.cache_contended);
+  const auto it = active_period_.find(thread);
+  RDA_CHECK_MSG(it != active_period_.end(),
+                "phase end from thread " << thread
+                                         << " with no active period");
+  // The end is fast-pathable when no waiter can be affected: with an empty
+  // waitlist the decrement wakes nobody, so the kernel entry is skippable.
+  const bool fast = options_.fast_path && monitor_.waitlist().empty();
+  // Replay validity: the cached admit decision survives this end only if
+  // nobody else touched the load table between our begin and now (then our
+  // increment+decrement cancel and the table returns to the decision's
+  // state).
+  ThreadCache& cache = cache_[thread];
+  const bool undisturbed = resources_.version() == cache.version;
+  monitor_.end_period(it->second, now);
+  active_period_.erase(it);
+
+  if (fast && undisturbed && cache.valid) {
+    cache.version = resources_.version();
+  } else {
+    cache.valid = false;
+  }
+
+  sim::EndResult result;
+  result.call_cost = fast ? calib_.api_fast_path_cost : calib_.api_call_cost;
+  return result;
+}
+
+}  // namespace rda::core

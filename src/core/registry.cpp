@@ -1,0 +1,55 @@
+#include "core/registry.hpp"
+
+#include "util/check.hpp"
+
+namespace rda::core {
+
+PeriodId PeriodRegistry::insert(PeriodRecord record) {
+  for (const ResourceDemand& d : record.demands) {
+    RDA_CHECK_MSG(d.amount >= 0.0, "negative period demand on "
+                                       << to_string(d.resource));
+  }
+  RDA_CHECK_MSG(by_thread_.count(record.thread) == 0,
+                "thread " << record.thread
+                          << " already has an active period; periods do not "
+                             "nest");
+  record.id = next_id_++;
+  const PeriodId id = record.id;
+  by_thread_.emplace(record.thread, id);
+  records_.emplace(id, std::move(record));
+  return id;
+}
+
+const PeriodRecord* PeriodRegistry::find(PeriodId id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+PeriodRecord PeriodRegistry::remove(PeriodId id) {
+  const auto it = records_.find(id);
+  RDA_CHECK_MSG(it != records_.end(),
+                "pp_end with unknown period id " << id);
+  PeriodRecord record = std::move(it->second);
+  records_.erase(it);
+  by_thread_.erase(record.thread);
+  return record;
+}
+
+std::optional<PeriodId> PeriodRegistry::active_for_thread(
+    sim::ThreadId thread) const {
+  const auto it = by_thread_.find(thread);
+  if (it == by_thread_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<PeriodRecord> PeriodRegistry::snapshot() const {
+  std::vector<PeriodRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) {
+    (void)id;
+    out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace rda::core

@@ -1,0 +1,95 @@
+// Progress-period registry (§3.1).
+//
+// "The progress monitor stores all active progress period information in a
+//  registry, so the resource usage footprint of each progress period can be
+//  removed from our environment after the period completes."
+//
+// pp_begin returns a PeriodId that uniquely identifies the period (paper
+// Fig. 4 line 6); pp_end passes it back. Ids are never reused within a
+// registry's lifetime so a stale pp_end is detected, not misattributed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/ids.hpp"
+
+namespace rda::core {
+
+/// One declared demand of a progress period.
+struct ResourceDemand {
+  ResourceKind resource = ResourceKind::kLLC;
+  double amount = 0.0;  ///< bytes for kLLC, bytes/second for kMemBandwidth
+};
+
+/// Everything the scheduler knows about one active progress period. A
+/// period may target several resources at once (§3.2's per-resource load
+/// table; the conclusion's "configurable to allow multiple hardware
+/// resources to be targeted") — admission requires every declared demand to
+/// fit its resource.
+struct PeriodRecord {
+  PeriodId id = kInvalidPeriod;
+  sim::ThreadId thread = sim::kInvalidThread;
+  sim::ProcessId process = sim::kInvalidProcess;
+  std::vector<ResourceDemand> demands;
+  ReuseLevel reuse = ReuseLevel::kLow;
+  double begin_time = 0.0;
+  std::string label;
+
+  /// Declares a single-resource period (the common, paper-default case).
+  void set_single(ResourceKind resource, double amount) {
+    demands = {{resource, amount}};
+  }
+  /// Adds one more targeted resource.
+  void add_demand(ResourceKind resource, double amount) {
+    demands.push_back({resource, amount});
+  }
+  /// Demand on one resource (0 when the period does not target it).
+  double demand_for(ResourceKind resource) const {
+    for (const ResourceDemand& d : demands) {
+      if (d.resource == resource) return d.amount;
+    }
+    return 0.0;
+  }
+  /// The primary (first-declared) resource and demand — convenience for the
+  /// single-resource call sites.
+  ResourceKind primary_resource() const {
+    return demands.empty() ? ResourceKind::kLLC : demands.front().resource;
+  }
+  double primary_demand() const {
+    return demands.empty() ? 0.0 : demands.front().amount;
+  }
+};
+
+class PeriodRegistry {
+ public:
+  /// Registers a new active period; assigns and returns its unique id.
+  PeriodId insert(PeriodRecord record);
+
+  /// nullptr if the id is not active.
+  const PeriodRecord* find(PeriodId id) const;
+
+  /// Removes and returns the record; throws util::CheckFailure if the id is
+  /// unknown (double pp_end or a forged id).
+  PeriodRecord remove(PeriodId id);
+
+  std::size_t active_count() const { return records_.size(); }
+
+  /// Active period of a given thread, if any (a thread can be inside at
+  /// most one period at a time — periods do not nest in the paper's model).
+  std::optional<PeriodId> active_for_thread(sim::ThreadId thread) const;
+
+  /// Snapshot for diagnostics.
+  std::vector<PeriodRecord> snapshot() const;
+
+ private:
+  std::unordered_map<PeriodId, PeriodRecord> records_;
+  std::unordered_map<sim::ThreadId, PeriodId> by_thread_;
+  PeriodId next_id_ = 1;
+};
+
+}  // namespace rda::core

@@ -1,0 +1,52 @@
+#include "core/resource_monitor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rda::core {
+
+ResourceMonitor::ResourceMonitor() = default;
+
+void ResourceMonitor::set_capacity(ResourceKind kind, double capacity) {
+  RDA_CHECK_MSG(capacity > 0.0, "capacity must be positive for "
+                                    << to_string(kind));
+  states_[static_cast<std::size_t>(kind)].capacity = capacity;
+  ++version_;
+}
+
+const ResourceState& ResourceMonitor::state(ResourceKind kind) const {
+  return states_[static_cast<std::size_t>(kind)];
+}
+
+void ResourceMonitor::increment_load(ResourceKind kind, double demand) {
+  RDA_CHECK_MSG(demand >= 0.0, "negative demand on " << to_string(kind));
+  states_[static_cast<std::size_t>(kind)].usage += demand;
+  ++version_;
+}
+
+void ResourceMonitor::decrement_load(ResourceKind kind, double demand) {
+  RDA_CHECK_MSG(demand >= 0.0, "negative demand on " << to_string(kind));
+  ResourceState& s = states_[static_cast<std::size_t>(kind)];
+  // Relative tolerance: repeated add/subtract at megabyte scale accumulates
+  // ~ulp-sized dust; a REAL underflow (double end, forged demand) is off by
+  // a whole demand, far beyond this band.
+  const double tolerance = 1e-6 * demand + 1e-9;
+  RDA_CHECK_MSG(s.usage + tolerance >= demand,
+                "load underflow on " << to_string(kind) << ": usage "
+                                     << s.usage << ", removing " << demand);
+  s.usage -= demand;
+  if (s.usage < dust_threshold(kind)) s.usage = 0.0;  // snap dust to zero
+  ++version_;
+}
+
+bool ResourceMonitor::effectively_free(ResourceKind kind) const {
+  return state(kind).usage <= dust_threshold(kind);
+}
+
+double ResourceMonitor::dust_threshold(ResourceKind kind) const {
+  // Anything below a millionth of capacity is arithmetic residue, not load.
+  return 1e-6 * std::max(1.0, state(kind).capacity);
+}
+
+}  // namespace rda::core

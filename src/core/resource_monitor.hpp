@@ -1,0 +1,66 @@
+// Resource monitor (§3.2): real-time estimation of hardware load.
+//
+// "A table is used to keep track of the current load level for the
+//  resources, where an entry is allocated to each resource to save its
+//  current usage level. The resource manager keeps the usage estimation
+//  up-to-date any time a process enters or completes a progress period."
+//
+// The version counter supports the cached-decision fast path: a thread's
+// prior admission decision is reusable only while nobody else has changed
+// any load entry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace rda::core {
+
+/// Capacity + current aggregate demand of one hardware resource.
+struct ResourceState {
+  double capacity = 0.0;
+  double usage = 0.0;
+
+  double remaining() const { return capacity - usage; }
+};
+
+class ResourceMonitor {
+ public:
+  ResourceMonitor();
+
+  /// Configures the maximum capacity of a resource (e.g. LLC bytes from the
+  /// machine description). Capacity must be positive before use.
+  void set_capacity(ResourceKind kind, double capacity);
+
+  const ResourceState& state(ResourceKind kind) const;
+  double capacity(ResourceKind kind) const { return state(kind).capacity; }
+  double usage(ResourceKind kind) const { return state(kind).usage; }
+  double remaining(ResourceKind kind) const { return state(kind).remaining(); }
+
+  /// Adds a progress period's demand to the active load (paper Fig. 5,
+  /// "increment load value").
+  void increment_load(ResourceKind kind, double demand);
+
+  /// Removes a completed period's demand (paper Fig. 6, "decrement load").
+  /// Checks the load never goes negative (up to floating-point dust, which
+  /// is snapped to zero).
+  void decrement_load(ResourceKind kind, double demand);
+
+  /// True when the resource carries no load beyond floating-point dust.
+  /// Admission liveness decisions must use this, never `usage() > 0`: a
+  /// long sequence of increment/decrement pairs at megabyte scale leaves
+  /// residues of ~1e-2 bytes.
+  bool effectively_free(ResourceKind kind) const;
+
+  /// Bumped on every load change; keying for cached admission decisions.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  double dust_threshold(ResourceKind kind) const;
+
+  std::array<ResourceState, kNumResourceKinds> states_{};
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace rda::core

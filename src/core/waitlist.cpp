@@ -1,0 +1,43 @@
+#include "core/waitlist.hpp"
+
+#include <algorithm>
+
+namespace rda::core {
+
+std::vector<Waitlist::Entry> Waitlist::drain_admissible(
+    const std::function<bool(const Entry&)>& admit, bool head_only) {
+  std::vector<Entry> admitted;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (admit(*it)) {
+      admitted.push_back(*it);
+      it = entries_.erase(it);
+    } else if (head_only) {
+      break;
+    } else {
+      ++it;
+    }
+  }
+  return admitted;
+}
+
+std::vector<Waitlist::Entry> Waitlist::remove_process(
+    sim::ProcessId process) {
+  std::vector<Entry> removed;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->process == process) {
+      removed.push_back(*it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t Waitlist::count_process(sim::ProcessId process) const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [&](const Entry& e) { return e.process == process; }));
+}
+
+}  // namespace rda::core

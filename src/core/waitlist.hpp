@@ -1,0 +1,53 @@
+// Resource waitlist (§3.1).
+//
+// "Processes that are paused are placed on a resource waitlist so they may
+//  be rescheduled later when another progress period completes and releases
+//  sufficient resources."
+//
+// FIFO by default. The scan policy on release is configurable:
+//   * work-conserving (default): walk the list in arrival order and admit
+//     every entry that now fits (skipping ones that don't);
+//   * head-only: stop at the first entry that does not fit — stronger
+//     arrival-order fairness, weaker utilization (ablation bench).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace rda::core {
+
+class Waitlist {
+ public:
+  struct Entry {
+    PeriodId period = kInvalidPeriod;
+    sim::ThreadId thread = sim::kInvalidThread;
+    sim::ProcessId process = sim::kInvalidProcess;
+    double enqueue_time = 0.0;
+  };
+
+  void push(Entry entry) { entries_.push_back(entry); }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::deque<Entry>& entries() const { return entries_; }
+
+  /// Removes and returns every entry `admit` accepts, in FIFO order. When
+  /// `head_only`, scanning stops at the first rejection.
+  std::vector<Entry> drain_admissible(
+      const std::function<bool(const Entry&)>& admit, bool head_only);
+
+  /// Removes all entries of one process (group admission for thread pools).
+  std::vector<Entry> remove_process(sim::ProcessId process);
+
+  /// Total pending entries of one process.
+  std::size_t count_process(sim::ProcessId process) const;
+
+ private:
+  std::deque<Entry> entries_;
+};
+
+}  // namespace rda::core

@@ -1,0 +1,90 @@
+#include "exp/harness.hpp"
+
+#include <memory>
+
+namespace rda::exp {
+
+RunRow run_workload(const workload::WorkloadSpec& spec,
+                    const RunConfig& config) {
+  sim::Engine engine(config.engine);
+
+  std::unique_ptr<core::RdaScheduler> gate;
+  if (config.policy != core::PolicyKind::kLinuxDefault) {
+    core::RdaOptions options;
+    options.policy = config.policy;
+    options.oversubscription = config.oversubscription;
+    options.fast_path = config.fast_path;
+    gate = std::make_unique<core::RdaScheduler>(
+        static_cast<double>(config.engine.machine.llc_bytes),
+        config.engine.calib, options);
+    engine.set_gate(gate.get());
+  }
+
+  workload::populate_engine(engine, spec, [&](sim::ProcessId pid) {
+    if (gate) gate->mark_pool(pid);
+  });
+
+  const sim::SimResult result = engine.run();
+
+  RunRow row;
+  row.workload = spec.name;
+  row.policy = core::to_string(config.policy);
+  row.system_joules = result.system_joules();
+  row.dram_joules = result.dram_joules;
+  row.gflops = result.gflops();
+  row.gflops_per_watt = result.gflops_per_watt();
+  row.makespan = result.makespan;
+  row.total_flops = result.total_flops;
+  row.gate_blocks = result.gate_blocks;
+  row.context_switches = result.context_switches;
+  row.migrations = result.migrations;
+  return row;
+}
+
+const RunRow& PolicyComparison::best_rda_by_energy() const {
+  return strict.system_joules <= compromise.system_joules ? strict
+                                                          : compromise;
+}
+
+const RunRow& PolicyComparison::best_rda_by_gflops() const {
+  return strict.gflops >= compromise.gflops ? strict : compromise;
+}
+
+PolicyComparison compare_policies(const workload::WorkloadSpec& spec,
+                                  const sim::EngineConfig& engine_config) {
+  PolicyComparison cmp;
+  RunConfig config;
+  config.engine = engine_config;
+
+  config.policy = core::PolicyKind::kLinuxDefault;
+  cmp.baseline = run_workload(spec, config);
+
+  config.policy = core::PolicyKind::kStrict;
+  cmp.strict = run_workload(spec, config);
+
+  config.policy = core::PolicyKind::kCompromise;
+  config.oversubscription = 2.0;  // the paper's configured factor
+  cmp.compromise = run_workload(spec, config);
+
+  return cmp;
+}
+
+Headline summarize(const std::vector<PolicyComparison>& comparisons) {
+  Headline h;
+  if (comparisons.empty()) return h;
+  double energy_sum = 0.0;
+  double speedup_sum = 0.0;
+  for (const PolicyComparison& cmp : comparisons) {
+    const double drop = cmp.energy_drop(cmp.best_rda_by_energy());
+    const double speedup = cmp.speedup(cmp.best_rda_by_gflops());
+    energy_sum += drop;
+    speedup_sum += speedup;
+    h.max_energy_drop = std::max(h.max_energy_drop, drop);
+    h.max_speedup = std::max(h.max_speedup, speedup);
+  }
+  h.avg_energy_drop = energy_sum / static_cast<double>(comparisons.size());
+  h.avg_speedup = speedup_sum / static_cast<double>(comparisons.size());
+  return h;
+}
+
+}  // namespace rda::exp

@@ -1,0 +1,84 @@
+// Experiment harness: runs a Table-2 workload under a scheduling policy and
+// reports the paper's four metrics (Figs. 7–10). Shared by every bench
+// binary and the integration tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/rda_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "workload/table2.hpp"
+
+namespace rda::exp {
+
+struct RunConfig {
+  sim::EngineConfig engine{};
+  core::PolicyKind policy = core::PolicyKind::kLinuxDefault;
+  double oversubscription = 2.0;  ///< paper's x for RDA:Compromise
+  bool fast_path = false;
+};
+
+/// One row of a Fig. 7–10 style table.
+struct RunRow {
+  std::string workload;
+  std::string policy;
+  double system_joules = 0.0;
+  double dram_joules = 0.0;
+  double gflops = 0.0;
+  double gflops_per_watt = 0.0;
+  double makespan = 0.0;
+  double total_flops = 0.0;
+  std::uint64_t gate_blocks = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t migrations = 0;
+};
+
+/// Simulates `spec` under `config` and collects the metrics row.
+RunRow run_workload(const workload::WorkloadSpec& spec,
+                    const RunConfig& config);
+
+/// The paper's three-way comparison for one workload.
+struct PolicyComparison {
+  RunRow baseline;    ///< Linux default
+  RunRow strict;      ///< RDA:Strict
+  RunRow compromise;  ///< RDA:Compromise(x=2)
+
+  /// Best RDA configuration by a metric (the paper quotes per-workload
+  /// bests for its headline numbers).
+  const RunRow& best_rda_by_energy() const;
+  const RunRow& best_rda_by_gflops() const;
+
+  double speedup(const RunRow& rda) const {
+    return baseline.gflops > 0.0 ? rda.gflops / baseline.gflops : 0.0;
+  }
+  /// Fractional system-energy decrease vs the Linux baseline (0.48 = −48%).
+  double energy_drop(const RunRow& rda) const {
+    return baseline.system_joules > 0.0
+               ? 1.0 - rda.system_joules / baseline.system_joules
+               : 0.0;
+  }
+  double efficiency_gain(const RunRow& rda) const {
+    return baseline.gflops_per_watt > 0.0
+               ? rda.gflops_per_watt / baseline.gflops_per_watt
+               : 0.0;
+  }
+};
+
+/// Runs one workload under all three policies on identical engine config.
+PolicyComparison compare_policies(const workload::WorkloadSpec& spec,
+                                  const sim::EngineConfig& engine_config);
+
+/// The paper's §4.2 headline aggregation over all workloads, taking each
+/// workload's best RDA configuration.
+struct Headline {
+  double max_energy_drop = 0.0;  ///< paper: 48% (water_nsquared, Strict)
+  double avg_energy_drop = 0.0;  ///< paper: 12%
+  double max_speedup = 0.0;      ///< paper: 1.88x (Raytrace)
+  double avg_speedup = 0.0;      ///< paper: 1.16x
+};
+
+Headline summarize(const std::vector<PolicyComparison>& comparisons);
+
+}  // namespace rda::exp

@@ -1,0 +1,69 @@
+#include "predict/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rda::predict {
+
+double LogFit::operator()(double x) const { return a + b * std::log(x); }
+
+LogFit fit_log(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> log_xs;
+  log_xs.reserve(xs.size());
+  for (double x : xs) {
+    if (x <= 0.0) {
+      throw std::invalid_argument("fit_log: input sizes must be positive");
+    }
+    log_xs.push_back(std::log(x));
+  }
+  const util::LineFit line = util::fit_line(log_xs, ys);
+  LogFit fit;
+  fit.a = line.intercept;
+  fit.b = line.slope;
+  fit.r_squared = line.r_squared;
+  return fit;
+}
+
+double prediction_accuracy(double predicted, double actual) {
+  if (actual == 0.0) return predicted == 0.0 ? 1.0 : 0.0;
+  const double rel_err = std::fabs(predicted - actual) / std::fabs(actual);
+  return std::clamp(1.0 - rel_err, 0.0, 1.0);
+}
+
+WssPredictor::WssPredictor(std::span<const double> xs,
+                           std::span<const double> ys) {
+  log_fit_ = fit_log(xs, ys);
+  line_fit_ = util::fit_line(xs, ys);
+  family_ = log_fit_.r_squared >= line_fit_.r_squared
+                ? FitFamily::kLogarithmic
+                : FitFamily::kLinear;
+}
+
+double WssPredictor::predict(double input_size) const {
+  const double raw = family_ == FitFamily::kLogarithmic
+                         ? log_fit_(input_size)
+                         : line_fit_(input_size);
+  return std::max(0.0, raw);  // a working set cannot be negative
+}
+
+double WssPredictor::r_squared() const {
+  return family_ == FitFamily::kLogarithmic ? log_fit_.r_squared
+                                            : line_fit_.r_squared;
+}
+
+std::string WssPredictor::describe() const {
+  std::ostringstream os;
+  if (family_ == FitFamily::kLogarithmic) {
+    os << "wss(n) = " << log_fit_.a << " + " << log_fit_.b
+       << "*ln(n)  [R^2=" << log_fit_.r_squared << "]";
+  } else {
+    os << "wss(n) = " << line_fit_.intercept << " + " << line_fit_.slope
+       << "*n  [R^2=" << line_fit_.r_squared << "]";
+  }
+  return os.str();
+}
+
+}  // namespace rda::predict

@@ -1,0 +1,56 @@
+// Working-set-size prediction across input scales (§4.4, Fig. 12).
+//
+// The paper observes that a progress period's measured WSS grows with input
+// size "not linearly ... but rather in the shape of a logarithmic curve",
+// runs a logarithmic regression over the first three input sizes, and
+// validates the prediction on the fourth (80–95 % accuracy). This module
+// implements that fit plus a linear fallback, and the accuracy metric.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace rda::predict {
+
+/// y = a + b·ln(x). Fit via OLS on (ln x, y). All x must be positive.
+struct LogFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+
+  double operator()(double x) const;
+};
+
+LogFit fit_log(std::span<const double> xs, std::span<const double> ys);
+
+/// Prediction accuracy as the paper reports it: 1 − |pred − actual| / actual,
+/// clamped to [0, 1]. (92 % accuracy ⇒ 8 % relative error.)
+double prediction_accuracy(double predicted, double actual);
+
+/// Which curve family a WssPredictor selected.
+enum class FitFamily { kLogarithmic, kLinear };
+
+/// Per-progress-period WSS predictor: fits both families on the training
+/// points and keeps the one with the higher R², mirroring the paper's
+/// observation-driven choice of the log curve.
+class WssPredictor {
+ public:
+  /// xs: input sizes (e.g. molecule counts); ys: measured WSS in bytes.
+  /// Requires >= 2 training points with positive xs.
+  WssPredictor(std::span<const double> xs, std::span<const double> ys);
+
+  double predict(double input_size) const;
+  FitFamily family() const { return family_; }
+  double r_squared() const;
+  /// e.g. "wss(n) = -1.2e6 + 4.1e5*ln(n)  [R^2=0.998]"
+  std::string describe() const;
+
+ private:
+  LogFit log_fit_{};
+  util::LineFit line_fit_{};
+  FitFamily family_ = FitFamily::kLogarithmic;
+};
+
+}  // namespace rda::predict

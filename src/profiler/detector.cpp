@@ -1,0 +1,109 @@
+#include "profiler/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace rda::prof {
+
+namespace {
+
+/// Relative difference |a-b| / max(|a|,|b|, eps).
+double rel_diff(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-9});
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace
+
+PeriodDetector::PeriodDetector(DetectorConfig config) : config_(config) {
+  RDA_CHECK(config_.min_windows >= 2);
+  RDA_CHECK(config_.similarity_threshold > 0.0);
+}
+
+bool PeriodDetector::similar(const WindowStats& w, double mean_wss,
+                             double mean_reuse) const {
+  if (w.wss_bytes < config_.min_wss_bytes) return false;
+  return rel_diff(static_cast<double>(w.wss_bytes), mean_wss) <=
+             config_.similarity_threshold &&
+         rel_diff(w.reuse_ratio, mean_reuse) <= config_.similarity_threshold;
+}
+
+DetectedPeriod PeriodDetector::summarize(
+    const std::vector<WindowStats>& windows, std::size_t first,
+    std::size_t last) const {
+  DetectedPeriod period;
+  period.first_window = first;
+  period.last_window = last;
+  double wss = 0.0, footprint = 0.0, reuse = 0.0;
+  std::unordered_map<std::uint64_t, std::uint64_t> jump_counts;
+  for (std::size_t i = first; i <= last; ++i) {
+    const WindowStats& w = windows[i];
+    wss += static_cast<double>(w.wss_bytes);
+    footprint += static_cast<double>(w.footprint_bytes);
+    reuse += w.reuse_ratio;
+    for (const auto& [pc, count] : w.jump_counts) jump_counts[pc] += count;
+  }
+  const double n = static_cast<double>(last - first + 1);
+  period.wss_bytes = static_cast<std::uint64_t>(wss / n);
+  period.footprint_bytes = static_cast<std::uint64_t>(footprint / n);
+  period.reuse_ratio = reuse / n;
+  period.reuse_level =
+      categorize_reuse(period.reuse_ratio, config_.reuse_thresholds);
+  std::uint64_t best_pc = 0, best_count = 0;
+  for (const auto& [pc, count] : jump_counts) {
+    if (count > best_count || (count == best_count && pc < best_pc)) {
+      best_pc = pc;
+      best_count = count;
+    }
+  }
+  period.dominant_jump_pc = best_pc;
+  return period;
+}
+
+std::vector<DetectedPeriod> PeriodDetector::detect(
+    const std::vector<WindowStats>& windows) const {
+  std::vector<DetectedPeriod> periods;
+  std::size_t start = 0;
+  while (start + config_.min_windows <= windows.size()) {
+    // Try to seed a repetition at `start`: all of the first min_windows
+    // windows must agree with the group's running mean.
+    double mean_wss = static_cast<double>(windows[start].wss_bytes);
+    double mean_reuse = windows[start].reuse_ratio;
+    bool seeded = windows[start].wss_bytes >= config_.min_wss_bytes;
+    std::size_t count = 1;
+    if (seeded) {
+      for (std::size_t i = start + 1; i < start + config_.min_windows; ++i) {
+        if (!similar(windows[i], mean_wss, mean_reuse)) {
+          seeded = false;
+          break;
+        }
+        ++count;
+        const double c = static_cast<double>(count);
+        mean_wss += (static_cast<double>(windows[i].wss_bytes) - mean_wss) / c;
+        mean_reuse += (windows[i].reuse_ratio - mean_reuse) / c;
+      }
+    }
+    if (!seeded) {
+      ++start;  // paper: "otherwise, the next y/x periods starting at p2"
+      continue;
+    }
+    // Extend the repetition until behaviour changes.
+    std::size_t end = start + config_.min_windows;  // one past last accepted
+    while (end < windows.size() &&
+           similar(windows[end], mean_wss, mean_reuse)) {
+      ++count;
+      const double c = static_cast<double>(count);
+      mean_wss += (static_cast<double>(windows[end].wss_bytes) - mean_wss) / c;
+      mean_reuse += (windows[end].reuse_ratio - mean_reuse) / c;
+      ++end;
+    }
+    periods.push_back(summarize(windows, start, end - 1));
+    start = end;  // paper: "the next y/x periods starting at p_{j+1}"
+  }
+  return periods;
+}
+
+}  // namespace rda::prof

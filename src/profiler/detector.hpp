@@ -1,0 +1,71 @@
+// Progress-period detection over window statistics (§2.4).
+//
+// The paper's algorithm: decompose the execution into consecutive windows
+// p0..pn; for each group of y/x consecutive windows, if their statistics are
+// "sufficiently similar based on a predetermined threshold" the group begins
+// a significant repetition; extend it window by window until one differs,
+// and report [start, end-1] as a progress period. Scanning then resumes
+// after an accepted period, or one window later after a rejection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "profiler/window.hpp"
+
+namespace rda::prof {
+
+/// Similarity/extension parameters for the detector.
+struct DetectorConfig {
+  /// y/x in the paper: consecutive similar windows needed to *start* a
+  /// period.
+  std::size_t min_windows = 3;
+  /// Two windows are similar when both their WSS and reuse ratio differ by
+  /// at most this relative fraction from the period's running mean.
+  double similarity_threshold = 0.25;
+  /// Ignore windows whose working set is below this floor (startup noise).
+  std::uint64_t min_wss_bytes = 0;
+  /// Categorization thresholds for the reported reuse level.
+  ReuseThresholds reuse_thresholds{};
+};
+
+/// One detected progress period: a run of behaviourally-uniform windows.
+struct DetectedPeriod {
+  std::size_t first_window = 0;  ///< inclusive
+  std::size_t last_window = 0;   ///< inclusive
+  std::uint64_t wss_bytes = 0;   ///< mean WSS over the run (paper: "averaging
+                                 ///  the metrics from all windows")
+  std::uint64_t footprint_bytes = 0;  ///< mean footprint
+  double reuse_ratio = 0.0;           ///< mean reuse ratio
+  ReuseLevel reuse_level = ReuseLevel::kLow;
+  /// Most frequent retired-JMP PC across the run; input to the loop mapper.
+  std::uint64_t dominant_jump_pc = 0;
+
+  std::size_t window_count() const { return last_window - first_window + 1; }
+};
+
+/// Implements the §2.4 repetition scan.
+class PeriodDetector {
+ public:
+  explicit PeriodDetector(DetectorConfig config = {});
+
+  std::vector<DetectedPeriod> detect(
+      const std::vector<WindowStats>& windows) const;
+
+  /// Exposed for unit tests: relative-similarity predicate between one
+  /// window and period running means.
+  bool similar(const WindowStats& w, double mean_wss,
+               double mean_reuse) const;
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectedPeriod summarize(const std::vector<WindowStats>& windows,
+                           std::size_t first, std::size_t last) const;
+
+  DetectorConfig config_;
+};
+
+}  // namespace rda::prof

@@ -1,0 +1,26 @@
+#include "profiler/loop_mapper.hpp"
+
+namespace rda::prof {
+
+MappedPeriod LoopMapper::map(const DetectedPeriod& period) const {
+  MappedPeriod mapped;
+  mapped.period = period;
+  if (period.dominant_jump_pc != 0) {
+    mapped.innermost_loop =
+        nest_->innermost_containing(period.dominant_jump_pc);
+    if (mapped.innermost_loop) {
+      mapped.boundary_loop = nest_->outermost_ancestor(*mapped.innermost_loop);
+    }
+  }
+  return mapped;
+}
+
+std::vector<MappedPeriod> LoopMapper::map_all(
+    const std::vector<DetectedPeriod>& periods) const {
+  std::vector<MappedPeriod> out;
+  out.reserve(periods.size());
+  for (const auto& p : periods) out.push_back(map(p));
+  return out;
+}
+
+}  // namespace rda::prof

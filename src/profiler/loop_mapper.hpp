@@ -1,0 +1,43 @@
+// Mapping detected periods back to source structure (§2.4).
+//
+// "To correlate the detected runtime information with the source code of an
+//  application, we sample the linear memory addresses of the JMP
+//  instructions retired within each window, and use Dyninst ParseAPI to
+//  locate these JMPs within the loop nest structure of the binary. The
+//  outermost loop that contains the identified progress period is then used
+//  as the beginning and ending of the period."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profiler/detector.hpp"
+#include "trace/loop_nest.hpp"
+
+namespace rda::prof {
+
+/// A detected period anchored to a loop in the program structure.
+struct MappedPeriod {
+  DetectedPeriod period;
+  /// Innermost loop the dominant JMP belongs to (where the behaviour lives).
+  std::optional<trace::LoopId> innermost_loop;
+  /// Outermost enclosing loop — the paper's chosen insertion point for the
+  /// pp_begin/pp_end calls (minimizes tracking overhead, §4.3).
+  std::optional<trace::LoopId> boundary_loop;
+};
+
+/// Resolves each detected period's dominant JMP PC against a loop nest.
+class LoopMapper {
+ public:
+  explicit LoopMapper(const trace::LoopNest& nest) : nest_(&nest) {}
+
+  MappedPeriod map(const DetectedPeriod& period) const;
+  std::vector<MappedPeriod> map_all(
+      const std::vector<DetectedPeriod>& periods) const;
+
+ private:
+  const trace::LoopNest* nest_;
+};
+
+}  // namespace rda::prof

@@ -1,0 +1,87 @@
+#include "profiler/multi_granularity.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rda::prof {
+
+MultiGranularityProfiler::MultiGranularityProfiler(
+    MultiGranularityConfig config)
+    : config_(std::move(config)) {
+  if (!config_.windows.empty()) {
+    ladder_ = config_.windows;
+  } else {
+    RDA_CHECK(config_.levels >= 1);
+    RDA_CHECK(config_.ladder_ratio >= 2);
+    std::uint64_t w = config_.base_window;
+    for (int level = 0; level < config_.levels && w >= 1024; ++level) {
+      ladder_.push_back(w);
+      w /= static_cast<std::uint64_t>(config_.ladder_ratio);
+    }
+  }
+  RDA_CHECK_MSG(!ladder_.empty(), "empty window ladder");
+  // Coarse-to-fine order is what the merge step assumes.
+  std::sort(ladder_.begin(), ladder_.end(), std::greater<>());
+}
+
+MultiGranularityReport MultiGranularityProfiler::profile(
+    const std::function<std::unique_ptr<trace::TraceSource>()>& make_source)
+    const {
+  MultiGranularityReport report;
+
+  for (const std::uint64_t window : ladder_) {
+    WindowConfig wcfg;
+    wcfg.window_accesses = window;
+    wcfg.hot_threshold = config_.hot_threshold;
+    const auto source = make_source();
+    RDA_CHECK(source != nullptr);
+    const std::vector<WindowStats> windows =
+        WindowAnalyzer(wcfg).analyze(*source);
+    const std::vector<DetectedPeriod> detected =
+        PeriodDetector(config_.detector).detect(windows);
+
+    std::vector<GranularPeriod> normalized;
+    normalized.reserve(detected.size());
+    for (const DetectedPeriod& p : detected) {
+      GranularPeriod g;
+      g.window_accesses = window;
+      g.first_access = p.first_window * window;
+      g.last_access = (p.last_window + 1) * window;
+      g.period = p;
+      normalized.push_back(std::move(g));
+    }
+    report.per_granularity.emplace_back(window, normalized);
+  }
+
+  // Merge coarse to fine: keep a finer period only where coarser periods
+  // left the region unexplained.
+  for (const auto& [window, found] : report.per_granularity) {
+    (void)window;
+    for (const GranularPeriod& candidate : found) {
+      std::uint64_t covered = 0;
+      for (const GranularPeriod& kept : report.periods) {
+        const std::uint64_t lo =
+            std::max(candidate.first_access, kept.first_access);
+        const std::uint64_t hi =
+            std::min(candidate.last_access, kept.last_access);
+        if (hi > lo) covered += hi - lo;
+      }
+      const double covered_fraction =
+          candidate.span() > 0
+              ? static_cast<double>(covered) /
+                    static_cast<double>(candidate.span())
+              : 1.0;
+      if (covered_fraction <= config_.overlap_tolerance) {
+        report.periods.push_back(candidate);
+      }
+    }
+  }
+  std::sort(report.periods.begin(), report.periods.end(),
+            [](const GranularPeriod& a, const GranularPeriod& b) {
+              return a.first_access < b.first_access;
+            });
+  return report;
+}
+
+}  // namespace rda::prof

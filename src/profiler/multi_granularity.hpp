@@ -1,0 +1,73 @@
+// Multi-granularity progress-period search (§2.4 automation).
+//
+// The paper parameterizes detection by two granularities — x (window size,
+// bounding the loop body) and y (minimum total instructions in the
+// repetition) — and reports "manually experimenting with different
+// granularities of window sizes" per application. This class automates the
+// sweep: it profiles the trace at several window sizes, then merges the
+// per-granularity detections, preferring the COARSEST granularity that
+// explains each region of the execution (matching §4.3's conclusion that a
+// single period at the outermost loop level minimizes tracking overhead).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "profiler/report.hpp"
+
+namespace rda::prof {
+
+struct MultiGranularityConfig {
+  /// Window sizes (accesses) to sweep, coarse to fine. Empty = derive a
+  /// geometric ladder from `base_window` and `levels`.
+  std::vector<std::uint64_t> windows;
+  std::uint64_t base_window = 1u << 22;  ///< coarsest window when deriving
+  int levels = 4;                        ///< ladder length when deriving
+  int ladder_ratio = 4;                  ///< divide by this per level
+  std::uint32_t hot_threshold = 4;
+  DetectorConfig detector{};
+  /// A finer-granularity period is kept only if at most this fraction of
+  /// its access range is already covered by a coarser period.
+  double overlap_tolerance = 0.25;
+};
+
+/// A detected period normalized to absolute access offsets so detections
+/// from different window sizes are comparable.
+struct GranularPeriod {
+  std::uint64_t window_accesses = 0;  ///< granularity it was found at
+  std::uint64_t first_access = 0;     ///< inclusive, in trace accesses
+  std::uint64_t last_access = 0;      ///< exclusive
+  DetectedPeriod period;
+
+  std::uint64_t span() const { return last_access - first_access; }
+};
+
+struct MultiGranularityReport {
+  /// Merged result: coarse periods first, finer ones only where no coarse
+  /// period explains the region.
+  std::vector<GranularPeriod> periods;
+  /// Everything found per granularity, for inspection.
+  std::vector<std::pair<std::uint64_t, std::vector<GranularPeriod>>>
+      per_granularity;
+};
+
+class MultiGranularityProfiler {
+ public:
+  explicit MultiGranularityProfiler(MultiGranularityConfig config = {});
+
+  /// `make_source` must produce a fresh pass over the same trace each call
+  /// (one pass per granularity).
+  MultiGranularityReport profile(
+      const std::function<std::unique_ptr<trace::TraceSource>()>& make_source)
+      const;
+
+  const std::vector<std::uint64_t>& window_ladder() const { return ladder_; }
+
+ private:
+  MultiGranularityConfig config_;
+  std::vector<std::uint64_t> ladder_;
+};
+
+}  // namespace rda::prof

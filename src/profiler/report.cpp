@@ -1,0 +1,67 @@
+#include "profiler/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace rda::prof {
+
+std::string render_begin_call(std::uint64_t wss_bytes, ReuseLevel reuse) {
+  std::ostringstream os;
+  os << "pp_begin(RESOURCE_LLC, MB(" << std::fixed << std::setprecision(2)
+     << util::bytes_to_mb(wss_bytes) << "), REUSE_";
+  switch (reuse) {
+    case ReuseLevel::kLow: os << "LOW"; break;
+    case ReuseLevel::kMedium: os << "MED"; break;
+    case ReuseLevel::kHigh: os << "HIGH"; break;
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string ProfileReport::to_string() const {
+  std::ostringstream os;
+  os << "windows: " << windows.size() << ", detected periods: "
+     << periods.size() << "\n";
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const MappedPeriod& mp = periods[i];
+    os << "  PP" << (i + 1) << ": windows [" << mp.period.first_window << ", "
+       << mp.period.last_window << "], wss="
+       << std::fixed << std::setprecision(2)
+       << util::bytes_to_mb(mp.period.wss_bytes) << " MB, reuse_ratio="
+       << std::setprecision(1) << mp.period.reuse_ratio << " ("
+       << rda::to_string(mp.period.reuse_level) << ")";
+    if (i < annotations.size()) {
+      os << "\n      boundary loop: " << annotations[i].loop_name
+         << "\n      insert: " << annotations[i].begin_call << " ... "
+         << annotations[i].end_call;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ProfileReport Profiler::profile(trace::TraceSource& source,
+                                const trace::LoopNest& nest) const {
+  ProfileReport report;
+  report.windows = analyzer_.analyze(source);
+  const std::vector<DetectedPeriod> detected =
+      detector_.detect(report.windows);
+  LoopMapper mapper(nest);
+  report.periods = mapper.map_all(detected);
+  report.annotations.reserve(report.periods.size());
+  for (const MappedPeriod& mp : report.periods) {
+    Annotation ann;
+    ann.loop_name =
+        mp.boundary_loop ? nest.loop(*mp.boundary_loop).name : std::string("?");
+    ann.wss_bytes = mp.period.wss_bytes;
+    ann.reuse = mp.period.reuse_level;
+    ann.begin_call = render_begin_call(ann.wss_bytes, ann.reuse);
+    ann.end_call = "pp_end(pp_id)";
+    report.annotations.push_back(std::move(ann));
+  }
+  return report;
+}
+
+}  // namespace rda::prof

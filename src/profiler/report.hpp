@@ -1,0 +1,61 @@
+// Profiler front door: trace → windows → periods → loop-anchored report,
+// plus synthesis of the API annotations a compiler pass would insert.
+//
+// §4.4: "The main component that needed developer intervention is actually
+// inserting the API calls into the application" — the annotation text this
+// report emits is that insertion, mechanically derived.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profiler/detector.hpp"
+#include "profiler/loop_mapper.hpp"
+#include "profiler/window.hpp"
+#include "trace/loop_nest.hpp"
+#include "trace/record.hpp"
+
+namespace rda::prof {
+
+/// A ready-to-insert pair of API calls for one detected period.
+struct Annotation {
+  std::string loop_name;    ///< boundary (outermost) loop, "?" if unmapped
+  std::uint64_t wss_bytes = 0;
+  ReuseLevel reuse = ReuseLevel::kLow;
+  /// e.g. "pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH)"
+  std::string begin_call;
+  std::string end_call;  ///< "pp_end(pp_id)"
+};
+
+/// Full profiling result for one application run.
+struct ProfileReport {
+  std::vector<WindowStats> windows;
+  std::vector<MappedPeriod> periods;
+  std::vector<Annotation> annotations;
+
+  /// Human-readable rendering (used by the profile_and_predict example).
+  std::string to_string() const;
+};
+
+/// One-call pipeline over a trace: window analysis, §2.4 detection, loop
+/// mapping, annotation synthesis.
+class Profiler {
+ public:
+  Profiler(WindowConfig window_config, DetectorConfig detector_config)
+      : analyzer_(window_config), detector_(detector_config) {}
+
+  ProfileReport profile(trace::TraceSource& source,
+                        const trace::LoopNest& nest) const;
+
+  const WindowAnalyzer& analyzer() const { return analyzer_; }
+  const PeriodDetector& detector() const { return detector_; }
+
+ private:
+  WindowAnalyzer analyzer_;
+  PeriodDetector detector_;
+};
+
+/// Renders "pp_begin(RESOURCE_LLC, MB(x.x), REUSE_Y)" for a period.
+std::string render_begin_call(std::uint64_t wss_bytes, ReuseLevel reuse);
+
+}  // namespace rda::prof

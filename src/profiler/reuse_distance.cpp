@@ -1,0 +1,128 @@
+#include "profiler/reuse_distance.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rda::prof {
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(std::uint64_t granularity,
+                                             std::uint64_t max_tracked)
+    : granularity_(granularity), max_tracked_(max_tracked) {
+  RDA_CHECK(granularity_ > 0);
+  RDA_CHECK(max_tracked_ > 0);
+  fenwick_.assign(1024, 0);
+}
+
+void ReuseDistanceAnalyzer::fenwick_add(std::uint64_t index,
+                                        std::int64_t delta) {
+  // 1-based Fenwick tree.
+  for (std::uint64_t i = index + 1; i < fenwick_.size(); i += i & (~i + 1)) {
+    fenwick_[i] += delta;
+  }
+}
+
+std::int64_t ReuseDistanceAnalyzer::fenwick_sum(std::uint64_t index) const {
+  std::int64_t sum = 0;
+  for (std::uint64_t i =
+           std::min<std::uint64_t>(index + 1, fenwick_.size() - 1);
+       i > 0; i -= i & (~i + 1)) {
+    sum += fenwick_[i];
+  }
+  return sum;
+}
+
+void ReuseDistanceAnalyzer::access(std::uint64_t address) {
+  const std::uint64_t line = address / granularity_;
+  ++total_;
+
+  // Position compaction keeps memory O(unique lines): when the timestamp
+  // space outgrows 4x the live set, renumber live marks preserving order.
+  if (clock_ + 2 >= fenwick_.size()) {
+    if (fenwick_.size() < 4 * (last_position_.size() + 256)) {
+      fenwick_.resize(fenwick_.size() * 2, 0);
+      // Rebuild marks into the enlarged tree.
+      std::fill(fenwick_.begin(), fenwick_.end(), 0);
+      for (const auto& [l, pos] : last_position_) {
+        (void)l;
+        fenwick_add(pos, +1);
+      }
+    } else {
+      // Renumber: sort live (position, line) pairs, assign dense positions.
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> live;
+      live.reserve(last_position_.size());
+      for (const auto& [l, pos] : last_position_) live.push_back({pos, l});
+      std::sort(live.begin(), live.end());
+      std::fill(fenwick_.begin(), fenwick_.end(), 0);
+      std::uint64_t next = 0;
+      for (const auto& [pos, l] : live) {
+        (void)pos;
+        last_position_[l] = next;
+        fenwick_add(next, +1);
+        ++next;
+      }
+      clock_ = next;
+    }
+  }
+
+  const auto it = last_position_.find(line);
+  if (it == last_position_.end()) {
+    // Cold miss: infinite distance, kept out of the histogram.
+    ++cold_;
+  } else {
+    const std::int64_t marks_up_to = fenwick_sum(it->second);
+    const std::int64_t live = static_cast<std::int64_t>(
+        last_position_.size());
+    std::uint64_t distance = static_cast<std::uint64_t>(live - marks_up_to);
+    distance = std::min(distance, max_tracked_);
+    fenwick_add(it->second, -1);
+    if (histogram_.size() <= distance) histogram_.resize(distance + 1, 0);
+    ++histogram_[distance];
+  }
+
+  last_position_[line] = clock_;
+  fenwick_add(clock_, +1);
+  ++clock_;
+}
+
+void ReuseDistanceAnalyzer::consume(trace::TraceSource& source) {
+  trace::TraceRecord record;
+  while (source.next(record)) {
+    if (record.is_memory()) access(record.value);
+  }
+}
+
+std::uint64_t ReuseDistanceAnalyzer::hits_with_cache_lines(
+    std::uint64_t lines) const {
+  std::uint64_t hits = 0;
+  // Distances capped at max_tracked_ are lower-bounded, not measured, so
+  // they never count as hits regardless of the queried size.
+  const std::uint64_t bound = std::min<std::uint64_t>(
+      std::min<std::uint64_t>(lines, histogram_.size()), max_tracked_);
+  for (std::uint64_t d = 0; d < bound; ++d) hits += histogram_[d];
+  return hits;
+}
+
+double ReuseDistanceAnalyzer::miss_ratio(std::uint64_t bytes) const {
+  if (total_ == 0) return 0.0;
+  const std::uint64_t lines = bytes / granularity_;
+  const std::uint64_t hits = hits_with_cache_lines(lines);
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+std::uint64_t ReuseDistanceAnalyzer::working_set_bytes(double slack) const {
+  if (total_ == 0) return 0;
+  const double floor_misses = static_cast<double>(cold_);
+  const double budget =
+      floor_misses + slack * static_cast<double>(total_);
+  // Walk the cumulative histogram for the smallest size meeting the budget.
+  std::uint64_t hits = 0;
+  for (std::uint64_t d = 0; d < histogram_.size(); ++d) {
+    hits += histogram_[d];
+    const double misses = static_cast<double>(total_ - hits);
+    if (misses <= budget) return (d + 1) * granularity_;
+  }
+  return (histogram_.empty() ? 1 : histogram_.size()) * granularity_;
+}
+
+}  // namespace rda::prof

@@ -1,0 +1,81 @@
+#include "profiler/window.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rda::prof {
+
+std::uint64_t WindowStats::dominant_jump_pc() const {
+  std::uint64_t best_pc = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [pc, count] : jump_counts) {
+    if (count > best_count || (count == best_count && pc < best_pc)) {
+      best_pc = pc;
+      best_count = count;
+    }
+  }
+  return best_pc;
+}
+
+WindowAnalyzer::WindowAnalyzer(WindowConfig config) : config_(config) {
+  RDA_CHECK(config_.window_accesses > 0);
+  RDA_CHECK(config_.granularity > 0);
+  RDA_CHECK(config_.hot_threshold >= 1);
+}
+
+std::vector<WindowStats> WindowAnalyzer::analyze(
+    trace::TraceSource& source) const {
+  std::vector<WindowStats> windows;
+  // The paper resets its address-count array at the start of each window; a
+  // hash map keyed by line address plays that role here.
+  std::unordered_map<std::uint64_t, std::uint32_t> line_counts;
+  WindowStats current;
+  current.index = 0;
+
+  auto finalize = [&](WindowStats& w) {
+    const std::uint64_t unique = line_counts.size();
+    w.footprint_bytes = unique * config_.granularity;
+    std::uint64_t hot = 0;
+    for (const auto& [line, count] : line_counts) {
+      (void)line;
+      if (count >= config_.hot_threshold) ++hot;
+    }
+    w.wss_bytes = hot * config_.granularity;
+    w.reuse_ratio =
+        unique == 0 ? 0.0
+                    : static_cast<double>(w.accesses) /
+                          static_cast<double>(unique);
+  };
+
+  trace::TraceRecord rec;
+  while (source.next(rec)) {
+    if (rec.kind == trace::RecordKind::kJump) {
+      ++current.jump_counts[rec.value];
+      continue;
+    }
+    const std::uint64_t line = rec.value / config_.granularity;
+    ++line_counts[line];
+    ++current.accesses;
+    if (rec.kind == trace::RecordKind::kStore) {
+      ++current.stores;
+    } else {
+      ++current.loads;
+    }
+    if (current.accesses >= config_.window_accesses) {
+      finalize(current);
+      windows.push_back(std::move(current));
+      current = WindowStats{};
+      current.index = windows.size();
+      line_counts.clear();
+    }
+  }
+  // Keep a trailing window only if it is long enough to be comparable.
+  if (current.accesses * 2 >= config_.window_accesses) {
+    finalize(current);
+    windows.push_back(std::move(current));
+  }
+  return windows;
+}
+
+}  // namespace rda::prof

@@ -1,0 +1,181 @@
+#include "runtime/gate.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace rda::rt {
+
+AdmissionGate::AdmissionGate(GateConfig config)
+    : config_(config),
+      policy_(core::make_policy(config.policy, config.oversubscription)),
+      predicate_(*policy_, resources_),
+      monitor_(predicate_, resources_, config.monitor),
+      epoch_(std::chrono::steady_clock::now()) {
+  resources_.set_capacity(ResourceKind::kLLC, config_.llc_capacity_bytes);
+  if (config_.bandwidth_capacity > 0.0) {
+    resources_.set_capacity(ResourceKind::kMemBandwidth,
+                            config_.bandwidth_capacity);
+  }
+  // The kernel wake event: flag the thread and ping every sleeper.
+  monitor_.set_waker([this](sim::ThreadId tid) {
+    granted_.insert(static_cast<std::uint32_t>(tid));
+    cv_.notify_all();
+  });
+}
+
+std::uint32_t AdmissionGate::self_id() {
+  const auto key = std::this_thread::get_id();
+  const auto it = thread_ids_.find(key);
+  if (it != thread_ids_.end()) return it->second;
+  const std::uint32_t id = next_thread_id_++;
+  thread_ids_.emplace(key, id);
+  return id;
+}
+
+std::uint32_t AdmissionGate::group_of(std::uint32_t thread_id) const {
+  const auto it = groups_.find(thread_id);
+  // Default: every thread is its own singleton group, so pool semantics
+  // never trigger unless join_group was called.
+  return it == groups_.end() ? thread_id : it->second;
+}
+
+double AdmissionGate::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+core::PeriodId AdmissionGate::begin(ResourceKind resource, double demand,
+                                    ReuseLevel reuse, std::string label) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint32_t tid = self_id();
+
+  core::PeriodRecord record;
+  record.thread = tid;
+  record.process = group_of(tid);
+  record.set_single(resource, demand);
+  record.reuse = reuse;
+  record.label = std::move(label);
+
+  const auto outcome = monitor_.begin_period(std::move(record), now_seconds());
+  if (outcome.admitted) return outcome.id;
+
+  ++waits_;
+  const double wait_start = now_seconds();
+  cv_.wait(lock, [&] { return granted_.count(tid) != 0; });
+  granted_.erase(tid);
+  total_wait_seconds_ += now_seconds() - wait_start;
+  return outcome.id;
+}
+
+core::PeriodId AdmissionGate::begin_multi(
+    std::vector<core::ResourceDemand> demands, ReuseLevel reuse,
+    std::string label) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint32_t tid = self_id();
+
+  core::PeriodRecord record;
+  record.thread = tid;
+  record.process = group_of(tid);
+  record.demands = std::move(demands);
+  record.reuse = reuse;
+  record.label = std::move(label);
+
+  const auto outcome = monitor_.begin_period(std::move(record), now_seconds());
+  if (outcome.admitted) return outcome.id;
+
+  ++waits_;
+  const double wait_start = now_seconds();
+  cv_.wait(lock, [&] { return granted_.count(tid) != 0; });
+  granted_.erase(tid);
+  total_wait_seconds_ += now_seconds() - wait_start;
+  return outcome.id;
+}
+
+std::optional<core::PeriodId> AdmissionGate::try_begin(ResourceKind resource,
+                                                       double demand,
+                                                       ReuseLevel reuse,
+                                                       std::string label) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint32_t tid = self_id();
+
+  core::PeriodRecord record;
+  record.thread = tid;
+  record.process = group_of(tid);
+  record.set_single(resource, demand);
+  record.reuse = reuse;
+  record.label = std::move(label);
+
+  const auto outcome = monitor_.begin_period(std::move(record), now_seconds());
+  if (outcome.admitted) return outcome.id;
+  const bool cancelled = monitor_.cancel_waiting(outcome.id);
+  RDA_CHECK(cancelled);
+  return std::nullopt;
+}
+
+std::optional<core::PeriodId> AdmissionGate::begin_for(
+    ResourceKind resource, double demand, ReuseLevel reuse,
+    std::chrono::nanoseconds timeout, std::string label) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint32_t tid = self_id();
+
+  core::PeriodRecord record;
+  record.thread = tid;
+  record.process = group_of(tid);
+  record.set_single(resource, demand);
+  record.reuse = reuse;
+  record.label = std::move(label);
+
+  const auto outcome = monitor_.begin_period(std::move(record), now_seconds());
+  if (outcome.admitted) return outcome.id;
+
+  ++waits_;
+  const double wait_start = now_seconds();
+  const bool granted = cv_.wait_for(
+      lock, timeout, [&] { return granted_.count(tid) != 0; });
+  total_wait_seconds_ += now_seconds() - wait_start;
+  if (granted) {
+    granted_.erase(tid);
+    return outcome.id;
+  }
+  const bool cancelled = monitor_.cancel_waiting(outcome.id);
+  RDA_CHECK(cancelled);
+  return std::nullopt;
+}
+
+void AdmissionGate::end(core::PeriodId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  monitor_.end_period(id, now_seconds());
+}
+
+void AdmissionGate::mark_pool(std::uint32_t group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  monitor_.mark_pool(group);
+}
+
+void AdmissionGate::join_group(std::uint32_t group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  groups_[self_id()] = group;
+}
+
+GateStats AdmissionGate::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GateStats s;
+  s.monitor = monitor_.stats();
+  s.waits = waits_;
+  s.total_wait_seconds = total_wait_seconds_;
+  return s;
+}
+
+double AdmissionGate::usage(ResourceKind resource) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resources_.usage(resource);
+}
+
+std::size_t AdmissionGate::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return monitor_.waitlist().size();
+}
+
+}  // namespace rda::rt

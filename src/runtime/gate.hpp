@@ -1,0 +1,118 @@
+// Native userspace admission gate.
+//
+// This is the paper's scheduling extension realized for real threads without
+// a kernel patch: pp_begin runs the same registry / resource-monitor /
+// scheduling-predicate pipeline as the simulator gate, but a denied caller
+// blocks on a condition variable (standing in for the kernel wait queue +
+// wake events of §3) until a completing period releases enough capacity.
+//
+// Threads that never call the API are simply never throttled — exactly the
+// paper's behaviour for un-instrumented processes ("our system ignores
+// processes that have not provided progress period information").
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/policy.hpp"
+#include "core/predicate.hpp"
+#include "core/progress_monitor.hpp"
+#include "core/resource_monitor.hpp"
+
+namespace rda::rt {
+
+struct GateConfig {
+  /// LLC capacity the admission decisions are made against.
+  double llc_capacity_bytes = 15360.0 * 1024.0;  // paper Table 1 default
+  /// Multi-resource extension: when > 0, DRAM bandwidth (bytes/second)
+  /// becomes a second gated resource (used via begin_multi).
+  double bandwidth_capacity = 0.0;
+  core::PolicyKind policy = core::PolicyKind::kStrict;
+  double oversubscription = 2.0;
+  core::MonitorOptions monitor{};
+};
+
+struct GateStats {
+  core::MonitorStats monitor;
+  std::uint64_t waits = 0;          ///< begins that had to block
+  double total_wait_seconds = 0.0;  ///< cumulative blocked time
+};
+
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(GateConfig config = {});
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// pp_begin: blocks until the demand is admitted. Returns the period id
+  /// to pass to end().
+  core::PeriodId begin(ResourceKind resource, double demand, ReuseLevel reuse,
+                       std::string label = {});
+
+  /// Multi-resource pp_begin: blocks until EVERY declared demand is
+  /// admitted atomically (e.g. LLC bytes + DRAM bandwidth).
+  core::PeriodId begin_multi(std::vector<core::ResourceDemand> demands,
+                             ReuseLevel reuse, std::string label = {});
+
+  /// Non-blocking begin: admitted immediately or not at all (the request is
+  /// withdrawn, not waitlisted).
+  std::optional<core::PeriodId> try_begin(ResourceKind resource,
+                                          double demand, ReuseLevel reuse,
+                                          std::string label = {});
+
+  /// Bounded-wait begin: gives up (withdrawing the request) after `timeout`.
+  std::optional<core::PeriodId> begin_for(ResourceKind resource,
+                                          double demand, ReuseLevel reuse,
+                                          std::chrono::nanoseconds timeout,
+                                          std::string label = {});
+
+  /// pp_end.
+  void end(core::PeriodId id);
+
+  /// Declares a group of callers (identified by `group`) a task pool
+  /// (§3.4): one denied member pauses the group until all fit.
+  void mark_pool(std::uint32_t group);
+
+  /// Associates the calling thread with a pool group (default: each thread
+  /// is its own singleton group).
+  void join_group(std::uint32_t group);
+
+  GateStats stats() const;
+  double usage(ResourceKind resource) const;
+  std::size_t waiting() const;
+
+ private:
+  /// Stable small id for the calling thread.
+  std::uint32_t self_id();
+  std::uint32_t group_of(std::uint32_t thread_id) const;
+  double now_seconds() const;
+
+  GateConfig config_;
+  std::unique_ptr<core::SchedulingPolicy> policy_;
+  core::ResourceMonitor resources_;
+  core::SchedulingPredicate predicate_;
+  core::ProgressMonitor monitor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_set<std::uint32_t> granted_;  ///< woken thread ids
+  std::unordered_map<std::thread::id, std::uint32_t> thread_ids_;
+  std::unordered_map<std::uint32_t, std::uint32_t> groups_;
+  std::uint32_t next_thread_id_ = 1;
+  std::uint64_t waits_ = 0;
+  double total_wait_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace rda::rt

@@ -1,0 +1,126 @@
+#include "sim/assoc_cache.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rda::sim {
+
+namespace {
+
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+SetAssociativeCache::SetAssociativeCache(AssocCacheConfig config)
+    : config_(config) {
+  RDA_CHECK(config_.line_bytes > 0);
+  RDA_CHECK(config_.ways > 0);
+  RDA_CHECK(config_.capacity_bytes >= config_.line_bytes * config_.ways);
+  ways_ = config_.ways;
+  const std::uint64_t total_lines =
+      config_.capacity_bytes / config_.line_bytes;
+  sets_ = static_cast<std::uint32_t>(total_lines / ways_);
+  RDA_CHECK_MSG(sets_ > 0, "cache too small for its associativity");
+  RDA_CHECK_MSG(is_power_of_two(config_.line_bytes),
+                "line size must be a power of two");
+  lines_.assign(static_cast<std::size_t>(sets_) * ways_, Line{});
+}
+
+SetAssociativeCache::Line* SetAssociativeCache::find_line(std::uint64_t set,
+                                                          std::uint64_t tag) {
+  Line* base = &lines_[set * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+SetAssociativeCache::Line* SetAssociativeCache::pick_victim(
+    std::uint64_t set, std::uint32_t allowed_ways) {
+  Line* base = &lines_[set * ways_];
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < allowed_ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) return &line;
+    if (victim == nullptr || line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+  return victim;
+}
+
+bool SetAssociativeCache::access(std::uint64_t address, ThreadId owner) {
+  ++clock_;
+  const std::uint64_t line_addr = address / config_.line_bytes;
+  const std::uint64_t set = line_addr % sets_;
+  const std::uint64_t tag = line_addr / sets_;
+
+  ++stats_.accesses;
+  AssocCacheStats& os = owner_stats_[owner];
+  ++os.accesses;
+
+  if (Line* hit = find_line(set, tag)) {
+    hit->last_use = clock_;
+    ++stats_.hits;
+    ++os.hits;
+    return true;
+  }
+
+  ++stats_.misses;
+  ++os.misses;
+
+  const auto part = partitions_.find(owner);
+  const std::uint32_t allowed =
+      part == partitions_.end() ? ways_ : std::min(part->second, ways_);
+  RDA_CHECK_MSG(allowed > 0, "owner " << owner << " has a zero-way partition");
+
+  Line* victim = pick_victim(set, allowed);
+  if (victim->valid) {
+    ++stats_.evictions;
+    auto it = owner_lines_.find(victim->owner);
+    if (it != owner_lines_.end() && it->second > 0) --it->second;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->owner = owner;
+  victim->last_use = clock_;
+  ++owner_lines_[owner];
+  return false;
+}
+
+void SetAssociativeCache::set_partition(ThreadId owner,
+                                        std::uint32_t allowed_ways) {
+  RDA_CHECK(allowed_ways > 0);
+  partitions_[owner] = std::min(allowed_ways, ways_);
+}
+
+void SetAssociativeCache::clear_partition(ThreadId owner) {
+  partitions_.erase(owner);
+}
+
+void SetAssociativeCache::flush_owner(ThreadId owner) {
+  for (Line& line : lines_) {
+    if (line.valid && line.owner == owner) {
+      line.valid = false;
+      ++stats_.evictions;
+    }
+  }
+  owner_lines_[owner] = 0;
+}
+
+std::uint64_t SetAssociativeCache::occupancy_lines(ThreadId owner) const {
+  const auto it = owner_lines_.find(owner);
+  return it == owner_lines_.end() ? 0 : it->second;
+}
+
+std::uint64_t SetAssociativeCache::occupancy_bytes(ThreadId owner) const {
+  return occupancy_lines(owner) * config_.line_bytes;
+}
+
+AssocCacheStats SetAssociativeCache::owner_stats(ThreadId owner) const {
+  const auto it = owner_stats_.find(owner);
+  return it == owner_stats_.end() ? AssocCacheStats{} : it->second;
+}
+
+}  // namespace rda::sim

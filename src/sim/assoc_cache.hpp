@@ -1,0 +1,92 @@
+// Set-associative LRU cache simulator.
+//
+// Two roles:
+//   1. Validation substrate for the fluid occupancy model (sim/cache_model):
+//      the engine's analytic miss rates should agree in shape with a real
+//      LRU cache replaying the same access patterns
+//      (tests/sim/assoc_cache_test.cpp, bench/validate_cache_model).
+//   2. Mechanism for the paper's §6 future-work extension: way partitioning
+//      ("we can partition the cache and give this application only a small
+//      portion"). Owners can be confined to a subset of the ways.
+//
+// Addresses are attributed to an owner (thread) so per-owner occupancy and
+// hit ratios can be compared against the fluid model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/ids.hpp"
+
+namespace rda::sim {
+
+struct AssocCacheConfig {
+  std::uint64_t capacity_bytes = 15360 * 1024ull;  // paper Table 1 LLC
+  std::uint32_t ways = 20;                         // E5-2420 L3 is 20-way
+  std::uint32_t line_bytes = 64;
+};
+
+struct AssocCacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_ratio() const {
+    return accesses ? static_cast<double>(hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+  double miss_ratio() const { return accesses ? 1.0 - hit_ratio() : 0.0; }
+};
+
+class SetAssociativeCache {
+ public:
+  explicit SetAssociativeCache(AssocCacheConfig config = {});
+
+  /// Performs one access; returns true on hit. `owner` attributes the line.
+  bool access(std::uint64_t address, ThreadId owner);
+
+  /// Confines an owner's fills to ways [0, allowed_ways). Pass `ways()` (or
+  /// anything >= it) to lift the restriction. Hits outside the partition
+  /// still count (data already resident is not flushed).
+  void set_partition(ThreadId owner, std::uint32_t allowed_ways);
+  void clear_partition(ThreadId owner);
+
+  /// Evicts every line owned by `owner` (used when a phase ends).
+  void flush_owner(ThreadId owner);
+
+  std::uint64_t occupancy_lines(ThreadId owner) const;
+  std::uint64_t occupancy_bytes(ThreadId owner) const;
+
+  const AssocCacheStats& stats() const { return stats_; }
+  AssocCacheStats owner_stats(ThreadId owner) const;
+
+  std::uint32_t ways() const { return ways_; }
+  std::uint32_t sets() const { return sets_; }
+  std::uint64_t capacity_bytes() const { return config_.capacity_bytes; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;  ///< global access counter for LRU
+    ThreadId owner = kInvalidThread;
+    bool valid = false;
+  };
+
+  Line* find_line(std::uint64_t set, std::uint64_t tag);
+  Line* pick_victim(std::uint64_t set, std::uint32_t allowed_ways);
+
+  AssocCacheConfig config_;
+  std::uint32_t ways_ = 0;
+  std::uint32_t sets_ = 0;
+  std::vector<Line> lines_;  ///< sets_ x ways_, row-major
+  std::unordered_map<ThreadId, std::uint32_t> partitions_;
+  std::unordered_map<ThreadId, std::uint64_t> owner_lines_;
+  std::unordered_map<ThreadId, AssocCacheStats> owner_stats_;
+  AssocCacheStats stats_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace rda::sim

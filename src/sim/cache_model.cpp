@@ -1,0 +1,122 @@
+#include "sim/cache_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace rda::sim {
+
+LlcModel::LlcModel(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {
+  RDA_CHECK(capacity_bytes > 0);
+}
+
+void LlcModel::phase_enter(ThreadId thread, std::uint64_t wss_bytes,
+                           double carry_bytes, double occupancy_cap_bytes) {
+  RDA_CHECK_MSG(!registered(thread),
+                "thread " << thread << " already has an active phase");
+  Entry e;
+  e.wss = static_cast<double>(wss_bytes);
+  e.cap = occupancy_cap_bytes > 0.0
+              ? occupancy_cap_bytes
+              : std::numeric_limits<double>::infinity();
+  const double free_bytes =
+      std::max(0.0, static_cast<double>(capacity_) - total_occupancy_);
+  e.occupancy =
+      std::clamp(carry_bytes, 0.0, std::min(e.growth_limit(), free_bytes));
+  total_occupancy_ += e.occupancy;
+  entries_.emplace(thread, e);
+}
+
+double LlcModel::phase_exit(ThreadId thread) {
+  auto it = entries_.find(thread);
+  RDA_CHECK_MSG(it != entries_.end(),
+                "thread " << thread << " has no active phase");
+  const double held = it->second.occupancy;
+  total_occupancy_ -= held;
+  if (total_occupancy_ < 0.0) total_occupancy_ = 0.0;  // float dust
+  entries_.erase(it);
+  return held;
+}
+
+bool LlcModel::registered(ThreadId thread) const {
+  return entries_.count(thread) != 0;
+}
+
+double LlcModel::occupancy_bytes(ThreadId thread) const {
+  auto it = entries_.find(thread);
+  return it == entries_.end() ? 0.0 : it->second.occupancy;
+}
+
+double LlcModel::resident_fraction(ThreadId thread) const {
+  auto it = entries_.find(thread);
+  if (it == entries_.end()) return 0.0;
+  if (it->second.wss <= 0.0) return 1.0;
+  return std::clamp(it->second.occupancy / it->second.wss, 0.0, 1.0);
+}
+
+void LlcModel::evict_proportional(double bytes) {
+  if (bytes <= 0.0 || total_occupancy_ <= 0.0) return;
+  const double scale =
+      std::max(0.0, 1.0 - bytes / total_occupancy_);
+  double total = 0.0;
+  for (auto& [tid, entry] : entries_) {
+    (void)tid;
+    entry.occupancy *= scale;
+    total += entry.occupancy;
+  }
+  total_occupancy_ = total;
+}
+
+void LlcModel::advance(const std::vector<FillTraffic>& fills) {
+  const double cap = static_cast<double>(capacity_);
+
+  // 1. Streaming traffic sweeps through the cache. Each streamed line
+  //    displaces a resident line with probability equal to the occupancy
+  //    density, which itself decays as lines are lost: integrating
+  //    dO/dS = -O/C gives exponential decay in the streamed volume.
+  double streaming_total = 0.0;
+  for (const FillTraffic& f : fills) streaming_total += f.streaming_bytes;
+  if (streaming_total > 0.0 && total_occupancy_ > 0.0) {
+    const double survive = std::exp(-streaming_total / cap);
+    evict_proportional(total_occupancy_ * (1.0 - survive));
+  }
+
+  // 2. Residency fills grow each running thread toward its working set.
+  for (const FillTraffic& f : fills) {
+    auto it = entries_.find(f.thread);
+    RDA_CHECK_MSG(it != entries_.end(),
+                  "fill for thread " << f.thread << " with no active phase");
+    Entry& e = it->second;
+    const double grow = std::min(
+        f.residency_bytes, std::max(0.0, e.growth_limit() - e.occupancy));
+    e.occupancy += grow;
+    total_occupancy_ += grow;
+  }
+
+  // 3. Capacity overflow: the newly-filled lines landed on someone; evict
+  //    proportionally until the cache fits again.
+  if (total_occupancy_ > cap) {
+    evict_proportional(total_occupancy_ - cap);
+  }
+}
+
+void LlcModel::check_invariants() const {
+  double total = 0.0;
+  for (const auto& [tid, entry] : entries_) {
+    RDA_CHECK_MSG(entry.occupancy >= -1e-6,
+                  "negative occupancy for thread " << tid);
+    RDA_CHECK_MSG(entry.occupancy <= entry.wss + 1e-6,
+                  "occupancy exceeds wss for thread " << tid);
+    total += entry.occupancy;
+  }
+  RDA_CHECK_MSG(std::fabs(total - total_occupancy_) <=
+                    1e-6 * std::max(1.0, total),
+                "occupancy sum drifted");
+  RDA_CHECK_MSG(total_occupancy_ <=
+                    static_cast<double>(capacity_) * (1.0 + 1e-9) + 1e-6,
+                "total occupancy exceeds capacity");
+}
+
+}  // namespace rda::sim

@@ -1,0 +1,88 @@
+// Shared last-level-cache occupancy model.
+//
+// The simulator tracks, per thread in a phase, how many bytes of that
+// phase's working set are currently LLC-resident. Running threads grow
+// their occupancy through their reuse-miss fill traffic; everyone's
+// occupancy is eroded by other threads' fills (capacity contention) and by
+// streaming traffic passing through the cache. This is a fluid version of
+// the classic LRU-occupancy race: co-scheduled working sets that sum past
+// capacity steal lines from each other, which is exactly the interference
+// the paper's scheduler avoids.
+//
+// Invariants (enforced, see check_invariants):
+//   * 0 <= occupancy(t) <= wss(t) for every registered thread,
+//   * sum of occupancies <= capacity.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/ids.hpp"
+
+namespace rda::sim {
+
+/// Fill traffic of one running thread over an interval.
+struct FillTraffic {
+  ThreadId thread = kInvalidThread;
+  /// Bytes of working-set lines brought in (grow residency).
+  double residency_bytes = 0.0;
+  /// Bytes of pass-through streaming traffic (evict others, don't persist).
+  double streaming_bytes = 0.0;
+};
+
+class LlcModel {
+ public:
+  explicit LlcModel(std::uint64_t capacity_bytes);
+
+  /// Thread enters a phase with the given working set. `carry_bytes` is the
+  /// occupancy inherited from the thread's previous phase (consecutive
+  /// periods of one thread typically revisit the same data — e.g. a loop
+  /// split into many fine-grained periods, paper Fig. 11); it is capped at
+  /// the new working set and at the free capacity. `occupancy_cap_bytes`
+  /// implements the paper's §6 cache-partitioning extension: the phase may
+  /// never hold more than this many bytes (<= 0 disables the cap).
+  void phase_enter(ThreadId thread, std::uint64_t wss_bytes,
+                   double carry_bytes = 0.0, double occupancy_cap_bytes = 0.0);
+
+  /// Thread leaves its phase; its lines are released. Returns the occupancy
+  /// held at exit (the potential carry into the thread's next phase).
+  double phase_exit(ThreadId thread);
+
+  /// True if the thread currently has a registered phase.
+  bool registered(ThreadId thread) const;
+
+  /// Advances the model by one interval of fill traffic.
+  void advance(const std::vector<FillTraffic>& fills);
+
+  double occupancy_bytes(ThreadId thread) const;
+  /// occupancy / wss in [0,1]; 1.0 for zero-wss phases (nothing to cache).
+  double resident_fraction(ThreadId thread) const;
+  double total_occupancy() const { return total_occupancy_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::size_t active_phases() const { return entries_.size(); }
+
+  /// Throws util::CheckFailure if an invariant is violated.
+  void check_invariants() const;
+
+ private:
+  struct Entry {
+    double wss = 0.0;
+    double occupancy = 0.0;
+    /// Partition ceiling (§6 extension); infinity when unpartitioned.
+    double cap = 0.0;
+
+    double growth_limit() const { return std::min(wss, cap); }
+  };
+
+  /// Removes `bytes` of occupancy spread over all entries proportionally to
+  /// their current occupancy.
+  void evict_proportional(double bytes);
+
+  std::uint64_t capacity_;
+  std::unordered_map<ThreadId, Entry> entries_;
+  double total_occupancy_ = 0.0;
+};
+
+}  // namespace rda::sim

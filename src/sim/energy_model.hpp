@@ -1,0 +1,53 @@
+// RAPL-style energy accounting.
+//
+// The paper measures (1) overall system energy — CPU + cache + DRAM — and
+// (2) DRAM-only energy, via Intel RAPL power metering. This meter integrates
+// the same two planes from the calibration's power figures: the package
+// plane (active/idle cores + uncore) and the DRAM plane (static + per-byte
+// transfer energy).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/calibration.hpp"
+
+namespace rda::sim {
+
+class EnergyMeter {
+ public:
+  EnergyMeter(const Calibration& calib, int total_cores)
+      : calib_(calib), total_cores_(total_cores) {}
+
+  /// Accounts one interval: `active_cores` ran work (or scheduler overhead),
+  /// the rest idled; `dram_bytes` moved to/from memory.
+  void accumulate(double dt, int active_cores, double dram_bytes) {
+    const int idle_cores = total_cores_ - active_cores;
+    package_joules_ +=
+        dt * (static_cast<double>(active_cores) * calib_.core_active_power +
+              static_cast<double>(idle_cores) * calib_.core_idle_power +
+              calib_.uncore_power);
+    dram_joules_ += dt * calib_.dram_static_power +
+                    dram_bytes * calib_.dram_energy_per_byte;
+    dram_bytes_ += dram_bytes;
+    elapsed_ += dt;
+  }
+
+  /// CPU + cache (uncore) energy — the RAPL package domain.
+  double package_joules() const { return package_joules_; }
+  /// DRAM-only energy — the RAPL DRAM domain (paper Fig. 8).
+  double dram_joules() const { return dram_joules_; }
+  /// CPU + cache + DRAM — the paper's "system" energy (Fig. 7).
+  double system_joules() const { return package_joules_ + dram_joules_; }
+  double dram_bytes() const { return dram_bytes_; }
+  double elapsed() const { return elapsed_; }
+
+ private:
+  Calibration calib_;
+  int total_cores_;
+  double package_joules_ = 0.0;
+  double dram_joules_ = 0.0;
+  double dram_bytes_ = 0.0;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace rda::sim

@@ -1,0 +1,23 @@
+// Strongly-typed identifiers used across the simulator and the RDA core.
+#pragma once
+
+#include <cstdint>
+
+namespace rda::sim {
+
+using ThreadId = std::uint32_t;
+using ProcessId = std::uint32_t;
+
+inline constexpr ThreadId kInvalidThread = static_cast<ThreadId>(-1);
+inline constexpr ProcessId kInvalidProcess = static_cast<ProcessId>(-1);
+
+}  // namespace rda::sim
+
+namespace rda::core {
+
+/// Unique identifier a pp_begin call returns to the application (§2.3);
+/// passed back to pp_end.
+using PeriodId = std::uint64_t;
+inline constexpr PeriodId kInvalidPeriod = 0;
+
+}  // namespace rda::core

@@ -1,0 +1,47 @@
+// Simulation results — the same metrics the paper reports (§4.1):
+// system energy (J), DRAM energy (J), GFLOPS, GFLOPS per Watt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rda::sim {
+
+struct ThreadStats {
+  double cpu_time = 0.0;           ///< seconds on a core (work + overhead)
+  double gate_blocked_time = 0.0;  ///< seconds parked on the RDA wait queue
+  double finish_time = 0.0;        ///< completion timestamp
+  double flops = 0.0;
+  double dram_bytes = 0.0;
+};
+
+struct SimResult {
+  double makespan = 0.0;  ///< time at which the last thread finished
+  double total_flops = 0.0;
+  double package_joules = 0.0;  ///< CPU + cache (RAPL package domain)
+  double dram_joules = 0.0;     ///< DRAM domain (paper Fig. 8)
+  double dram_bytes = 0.0;
+
+  std::uint64_t context_switches = 0;
+  std::uint64_t migrations = 0;  ///< cross-core moves (per-core queue mode)
+  std::uint64_t gate_blocks = 0;      ///< begins that had to wait
+  std::uint64_t gate_admissions = 0;  ///< begins admitted (incl. after wait)
+  std::uint64_t api_calls = 0;        ///< pp_begin + pp_end consults
+  bool hit_time_limit = false;
+
+  std::vector<ThreadStats> threads;
+
+  /// Paper Fig. 7 metric: CPU + cache + DRAM energy.
+  double system_joules() const { return package_joules + dram_joules; }
+  /// Paper Fig. 9 metric: average attained GFLOPS over the whole run.
+  double gflops() const {
+    return makespan > 0.0 ? total_flops / makespan / 1e9 : 0.0;
+  }
+  /// Paper Fig. 10 metric: total flops / total system energy.
+  double gflops_per_watt() const {
+    const double joules = system_joules();
+    return joules > 0.0 ? total_flops / joules / 1e9 : 0.0;
+  }
+};
+
+}  // namespace rda::sim

@@ -1,0 +1,77 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rda::sim {
+
+namespace {
+
+/// Rate under a queueing factor q applied to the miss stall.
+PhaseRate rate_with_queueing(const Calibration& calib, ReuseLevel reuse,
+                             double resident_fraction, double q) {
+  const double f = std::clamp(resident_fraction, 0.0, 1.0);
+  const double stream_mpf = calib.stream_misses_per_flop(reuse);
+  const double reuse_mpf = calib.reuse_misses_per_flop(reuse) * (1.0 - f);
+  const double mpf = stream_mpf + reuse_mpf;
+  const double time_per_flop = calib.flop_time() + mpf * calib.miss_stall * q;
+
+  PhaseRate rate;
+  rate.flops_per_sec = 1.0 / time_per_flop;
+  rate.dram_bytes_per_sec = rate.flops_per_sec * mpf * calib.line_bytes;
+  rate.residency_bytes_per_sec =
+      rate.flops_per_sec * reuse_mpf * calib.line_bytes * calib.fill_efficiency;
+  rate.streaming_bytes_per_sec =
+      rate.flops_per_sec * stream_mpf * calib.line_bytes;
+  return rate;
+}
+
+double aggregate_traffic(const Calibration& calib,
+                         const std::vector<RateRequest>& requests, double q) {
+  double total = 0.0;
+  for (const RateRequest& r : requests) {
+    total += rate_with_queueing(calib, r.reuse, r.resident_fraction, q)
+                 .dram_bytes_per_sec;
+  }
+  return total;
+}
+
+}  // namespace
+
+PhaseRate compute_rate(const Calibration& calib, ReuseLevel reuse,
+                       double resident_fraction) {
+  return rate_with_queueing(calib, reuse, resident_fraction, 1.0);
+}
+
+std::vector<PhaseRate> compute_rates_capped(
+    const Calibration& calib, const std::vector<RateRequest>& requests,
+    double bandwidth) {
+  RDA_CHECK(bandwidth > 0.0);
+  double q = 1.0;
+  if (aggregate_traffic(calib, requests, 1.0) > bandwidth) {
+    // Aggregate traffic is strictly decreasing in q; bracket then bisect.
+    double lo = 1.0, hi = 2.0;
+    while (aggregate_traffic(calib, requests, hi) > bandwidth && hi < 1e6) {
+      hi *= 2.0;
+    }
+    for (int iter = 0; iter < 60 && hi - lo > 1e-9 * hi; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (aggregate_traffic(calib, requests, mid) > bandwidth) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    q = hi;
+  }
+  std::vector<PhaseRate> rates;
+  rates.reserve(requests.size());
+  for (const RateRequest& r : requests) {
+    rates.push_back(rate_with_queueing(calib, r.reuse, r.resident_fraction, q));
+  }
+  return rates;
+}
+
+}  // namespace rda::sim

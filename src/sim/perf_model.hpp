@@ -1,0 +1,44 @@
+// Per-thread execution-rate model.
+//
+// A thread in a phase retires flops at a rate set by how much of its working
+// set is LLC-resident: misses add an exposed stall per line. A global DRAM
+// bandwidth cap inflates everyone's effective stall when aggregate traffic
+// oversubscribes memory (queueing), which produces the memory-bound plateau
+// the paper observes in Fig. 13.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/calibration.hpp"
+
+namespace rda::sim {
+
+/// Instantaneous rates of one running thread.
+struct PhaseRate {
+  double flops_per_sec = 0.0;
+  double dram_bytes_per_sec = 0.0;       ///< all miss traffic
+  double residency_bytes_per_sec = 0.0;  ///< reuse fills (grow occupancy)
+  double streaming_bytes_per_sec = 0.0;  ///< pass-through traffic
+};
+
+/// Inputs for one running thread when solving the shared-bandwidth cap.
+struct RateRequest {
+  ReuseLevel reuse = ReuseLevel::kLow;
+  double resident_fraction = 1.0;  ///< LLC occupancy / wss, in [0,1]
+};
+
+/// Uncontended rate (no bandwidth queueing).
+PhaseRate compute_rate(const Calibration& calib, ReuseLevel reuse,
+                       double resident_fraction);
+
+/// Rates for a co-running set under the machine's DRAM bandwidth cap.
+/// When aggregate traffic exceeds `bandwidth`, a common queueing factor q>=1
+/// inflates every miss stall until traffic fits; q is found by bisection
+/// (the aggregate is strictly decreasing in q). Compute-bound threads are
+/// barely affected; memory-bound threads absorb the queueing.
+std::vector<PhaseRate> compute_rates_capped(
+    const Calibration& calib, const std::vector<RateRequest>& requests,
+    double bandwidth);
+
+}  // namespace rda::sim

@@ -1,0 +1,123 @@
+// Phase programs: what a simulated thread executes.
+//
+// A phase is the simulator-side image of a progress period (§2): a stretch
+// of execution with a roughly constant resource demand — an amount of work
+// (flops), a working-set size, and a reuse level. `marked` phases carry the
+// pp_begin/pp_end annotations; unmarked phases model un-instrumented code
+// that the paper's extension "ignores ... and schedules directly on the
+// operating system".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rda::sim {
+
+struct PhaseSpec {
+  double flops = 0.0;            ///< work to retire in this phase
+  std::uint64_t wss_bytes = 0;   ///< TRUE working set (drives cache behaviour)
+  /// What the application DECLARES to the scheduler via pp_begin; 0 means
+  /// "honest" (same as wss_bytes). Letting these differ models developers
+  /// who over- or under-estimate their working sets — the scenario the
+  /// counter-feedback extension corrects.
+  std::uint64_t declared_wss_bytes = 0;
+  /// Declared DRAM-bandwidth demand (bytes/second); 0 = undeclared. Gated
+  /// only when the scheduler's multi-resource extension is enabled.
+  double bw_bytes_per_sec = 0.0;
+  ReuseLevel reuse = ReuseLevel::kLow;
+
+  std::uint64_t declared_wss() const {
+    return declared_wss_bytes != 0 ? declared_wss_bytes : wss_bytes;
+  }
+  bool marked = false;           ///< wrapped in pp_begin/pp_end
+  bool barrier_after = false;    ///< process-wide barrier when phase ends
+  /// The phase body performs blocking synchronization (locks/barriers).
+  /// Legal only on unmarked phases (§3.4: "we do not allow progress periods
+  /// to contain blocking synchronizations").
+  bool contains_blocking_sync = false;
+  std::string label;             ///< for reports ("dgemm", "wnsq.PP1", ...)
+};
+
+/// The per-thread script: phases executed in order.
+struct PhaseProgram {
+  std::vector<PhaseSpec> phases;
+
+  double total_flops() const {
+    double sum = 0.0;
+    for (const auto& p : phases) sum += p.flops;
+    return sum;
+  }
+
+  std::size_t marked_count() const {
+    std::size_t n = 0;
+    for (const auto& p : phases) n += p.marked ? 1 : 0;
+    return n;
+  }
+};
+
+/// Builder so workload definitions read declaratively.
+class ProgramBuilder {
+ public:
+  /// Appends a marked progress period.
+  ProgramBuilder& period(std::string label, double flops,
+                         std::uint64_t wss_bytes, ReuseLevel reuse) {
+    PhaseSpec p;
+    p.label = std::move(label);
+    p.flops = flops;
+    p.wss_bytes = wss_bytes;
+    p.reuse = reuse;
+    p.marked = true;
+    program_.phases.push_back(std::move(p));
+    return *this;
+  }
+
+  /// Appends a marked period that also declares a bandwidth demand
+  /// (multi-resource extension).
+  ProgramBuilder& period_bw(std::string label, double flops,
+                            std::uint64_t wss_bytes, ReuseLevel reuse,
+                            double bw_bytes_per_sec) {
+    period(std::move(label), flops, wss_bytes, reuse);
+    program_.phases.back().bw_bytes_per_sec = bw_bytes_per_sec;
+    return *this;
+  }
+
+  /// Appends an un-instrumented phase (default-scheduled).
+  ProgramBuilder& plain(std::string label, double flops,
+                        std::uint64_t wss_bytes, ReuseLevel reuse) {
+    PhaseSpec p;
+    p.label = std::move(label);
+    p.flops = flops;
+    p.wss_bytes = wss_bytes;
+    p.reuse = reuse;
+    p.marked = false;
+    program_.phases.push_back(std::move(p));
+    return *this;
+  }
+
+  /// Overrides the declared working set of the most recent phase (a
+  /// developer's mis-estimate; the counter-feedback extension corrects it).
+  ProgramBuilder& declared(std::uint64_t declared_wss_bytes) {
+    if (!program_.phases.empty()) {
+      program_.phases.back().declared_wss_bytes = declared_wss_bytes;
+    }
+    return *this;
+  }
+
+  /// Marks a process-wide barrier after the most recent phase. Blocking
+  /// synchronization may not live inside a progress period (§3.4), so the
+  /// barrier attaches to phase *ends* only.
+  ProgramBuilder& barrier() {
+    if (!program_.phases.empty()) program_.phases.back().barrier_after = true;
+    return *this;
+  }
+
+  PhaseProgram build() { return std::move(program_); }
+
+ private:
+  PhaseProgram program_;
+};
+
+}  // namespace rda::sim

@@ -1,0 +1,251 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rda::trace {
+
+// --- ConcatSource ------------------------------------------------------------
+
+ConcatSource::ConcatSource(std::vector<std::unique_ptr<TraceSource>> parts)
+    : parts_(std::move(parts)) {}
+
+bool ConcatSource::next(TraceRecord& out) {
+  while (index_ < parts_.size()) {
+    if (parts_[index_] && parts_[index_]->next(out)) return true;
+    ++index_;
+  }
+  return false;
+}
+
+// --- RepeatSource ------------------------------------------------------------
+
+RepeatSource::RepeatSource(Factory factory, std::size_t times)
+    : factory_(std::move(factory)), remaining_(times) {
+  RDA_CHECK(factory_ != nullptr);
+}
+
+bool RepeatSource::next(TraceRecord& out) {
+  for (;;) {
+    if (current_ && current_->next(out)) return true;
+    if (remaining_ == 0) return false;
+    --remaining_;
+    current_ = factory_();
+    RDA_CHECK(current_ != nullptr);
+  }
+}
+
+// --- VectorSource ------------------------------------------------------------
+
+VectorSource::VectorSource(std::vector<TraceRecord> records)
+    : records_(std::move(records)) {}
+
+bool VectorSource::next(TraceRecord& out) {
+  if (index_ >= records_.size()) return false;
+  out = records_[index_++];
+  return true;
+}
+
+// --- RegionAccessSource ------------------------------------------------------
+
+RegionAccessSource::RegionAccessSource(RegionSpec spec,
+                                       std::uint64_t num_accesses,
+                                       std::uint64_t rng_seed)
+    : spec_(spec), remaining_(num_accesses), rng_(rng_seed) {
+  RDA_CHECK_MSG(spec_.size_bytes >= spec_.access_granularity,
+                "region smaller than one access");
+  RDA_CHECK(spec_.access_granularity > 0);
+}
+
+std::uint64_t RegionAccessSource::pick_address() {
+  const std::uint64_t words = spec_.size_bytes / spec_.access_granularity;
+  std::uint64_t word = 0;
+  switch (spec_.pattern) {
+    case Pattern::kSequential:
+      word = cursor_ % words;
+      ++cursor_;
+      break;
+    case Pattern::kStrided: {
+      const std::uint64_t stride_words =
+          std::max<std::uint64_t>(1, spec_.stride / spec_.access_granularity);
+      word = (cursor_ * stride_words) % words;
+      ++cursor_;
+      break;
+    }
+    case Pattern::kRandomUniform:
+      word = rng_.next_below(words);
+      break;
+    case Pattern::kHotCold: {
+      const std::uint64_t hot_words = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(static_cast<double>(words) *
+                                        spec_.hot_fraction));
+      if (rng_.next_bool(spec_.hot_probability)) {
+        word = rng_.next_below(hot_words);
+      } else {
+        word = rng_.next_below(words);
+      }
+      break;
+    }
+  }
+  return spec_.base + word * spec_.access_granularity;
+}
+
+bool RegionAccessSource::next(TraceRecord& out) {
+  if (spec_.jump_pc != 0 && emitted_since_jump_ >= spec_.jump_period) {
+    emitted_since_jump_ = 0;
+    out.value = spec_.jump_pc;
+    out.kind = RecordKind::kJump;
+    return true;
+  }
+  if (remaining_ == 0) return false;
+  --remaining_;
+  ++emitted_since_jump_;
+  out.value = pick_address();
+  out.kind = rng_.next_bool(spec_.store_ratio) ? RecordKind::kStore
+                                               : RecordKind::kLoad;
+  return true;
+}
+
+// --- PairInteractionSource ---------------------------------------------------
+
+PairInteractionSource::PairInteractionSource(std::uint64_t base,
+                                             std::uint64_t num_records,
+                                             std::uint64_t record_bytes,
+                                             std::uint64_t max_pairs,
+                                             std::uint64_t jump_pc)
+    : base_(base),
+      n_(num_records),
+      record_bytes_(record_bytes),
+      pairs_remaining_(max_pairs),
+      jump_pc_(jump_pc) {
+  RDA_CHECK_MSG(num_records >= 2, "need at least two interacting records");
+  RDA_CHECK(record_bytes > 0);
+}
+
+std::uint64_t PairInteractionSource::addr_of(std::uint64_t index) const {
+  return base_ + index * record_bytes_;
+}
+
+bool PairInteractionSource::next(TraceRecord& out) {
+  if (pairs_remaining_ == 0) return false;
+  switch (step_) {
+    case 0:
+      out = {addr_of(i_), RecordKind::kLoad};
+      step_ = 1;
+      return true;
+    case 1:
+      out = {addr_of(j_), RecordKind::kLoad};
+      step_ = 2;
+      return true;
+    case 2:
+      out = {addr_of(i_), RecordKind::kStore};
+      step_ = jump_pc_ != 0 ? 3 : 0;
+      if (step_ == 0) {
+        --pairs_remaining_;
+        if (++j_ >= n_) {
+          ++i_;
+          j_ = i_ + 1;
+          if (j_ >= n_) {
+            i_ = 0;
+            j_ = 1;  // next interaction sweep
+          }
+        }
+      }
+      return true;
+    default:  // 3: back-edge jump closing this pair's inner-loop trip
+      out = {jump_pc_, RecordKind::kJump};
+      step_ = 0;
+      --pairs_remaining_;
+      if (++j_ >= n_) {
+        ++i_;
+        j_ = i_ + 1;
+        if (j_ >= n_) {
+          i_ = 0;
+          j_ = 1;
+        }
+      }
+      return true;
+  }
+}
+
+// --- GridSweepSource ---------------------------------------------------------
+
+GridSweepSource::GridSweepSource(std::uint64_t base, std::uint64_t n,
+                                 std::uint64_t cell_bytes, std::uint64_t sweeps,
+                                 std::uint64_t jump_pc)
+    : base_(base),
+      n_(n),
+      cell_bytes_(cell_bytes),
+      sweeps_remaining_(sweeps),
+      jump_pc_(jump_pc) {
+  RDA_CHECK_MSG(n >= 3, "stencil needs at least a 3x3 grid");
+  RDA_CHECK(cell_bytes > 0);
+}
+
+std::uint64_t GridSweepSource::addr_of(std::uint64_t row,
+                                       std::uint64_t col) const {
+  return base_ + (row * n_ + col) * cell_bytes_;
+}
+
+bool GridSweepSource::advance_cell() {
+  if (++col_ >= n_ - 1) {
+    col_ = 1;
+    if (++row_ >= n_ - 1) {
+      row_ = 1;
+      if (sweeps_remaining_ > 0) --sweeps_remaining_;
+      return sweeps_remaining_ > 0;
+    }
+  }
+  return true;
+}
+
+bool GridSweepSource::next(TraceRecord& out) {
+  if (sweeps_remaining_ == 0) return false;
+  switch (step_) {
+    case 0:
+      out = {addr_of(row_ - 1, col_), RecordKind::kLoad};
+      step_ = 1;
+      return true;
+    case 1:
+      out = {addr_of(row_ + 1, col_), RecordKind::kLoad};
+      step_ = 2;
+      return true;
+    case 2:
+      out = {addr_of(row_, col_ - 1), RecordKind::kLoad};
+      step_ = 3;
+      return true;
+    case 3:
+      out = {addr_of(row_, col_ + 1), RecordKind::kLoad};
+      step_ = 4;
+      return true;
+    case 4:
+      out = {addr_of(row_, col_), RecordKind::kStore};
+      step_ = jump_pc_ != 0 ? 5 : 0;
+      if (step_ == 0) advance_cell();
+      return true;
+    default:  // 5: back-edge jump after finishing a cell
+      out = {jump_pc_, RecordKind::kJump};
+      step_ = 0;
+      advance_cell();
+      return true;
+  }
+}
+
+// --- helpers -----------------------------------------------------------------
+
+std::vector<TraceRecord> drain(TraceSource& source) {
+  std::vector<TraceRecord> records;
+  TraceRecord rec;
+  while (source.next(rec)) records.push_back(rec);
+  return records;
+}
+
+std::uint64_t count_records(TraceSource& source) {
+  std::uint64_t count = 0;
+  TraceRecord rec;
+  while (source.next(rec)) ++count;
+  return count;
+}
+
+}  // namespace rda::trace

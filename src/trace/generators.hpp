@@ -1,0 +1,166 @@
+// Synthetic memory-trace generators.
+//
+// These replace Intel PIN instrumentation of real binaries (which we cannot
+// run here): each generator produces the load/store/JMP record stream a real
+// application phase would produce, from an explicit access-pattern model.
+// The profiler (src/profiler) consumes these streams with no knowledge that
+// they are synthetic.
+//
+// All generators are O(1) memory: records are produced on demand so traces
+// of hundreds of millions of accesses never materialize.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace rda::trace {
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// Plays a list of sources back to back.
+class ConcatSource final : public TraceSource {
+ public:
+  explicit ConcatSource(std::vector<std::unique_ptr<TraceSource>> parts);
+  bool next(TraceRecord& out) override;
+
+ private:
+  std::vector<std::unique_ptr<TraceSource>> parts_;
+  std::size_t index_ = 0;
+};
+
+/// Re-creates a source `times` times via a factory (sources are one-shot).
+class RepeatSource final : public TraceSource {
+ public:
+  using Factory = std::function<std::unique_ptr<TraceSource>()>;
+  RepeatSource(Factory factory, std::size_t times);
+  bool next(TraceRecord& out) override;
+
+ private:
+  Factory factory_;
+  std::size_t remaining_;
+  std::unique_ptr<TraceSource> current_;
+};
+
+/// Streams a pre-built record vector (used by unit tests).
+class VectorSource final : public TraceSource {
+ public:
+  explicit VectorSource(std::vector<TraceRecord> records);
+  bool next(TraceRecord& out) override;
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t index_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Region access patterns
+// ---------------------------------------------------------------------------
+
+enum class Pattern : std::uint8_t {
+  kSequential,     ///< streaming pass(es) over the region
+  kStrided,        ///< fixed stride, wraps around the region
+  kRandomUniform,  ///< uniform random within the region
+  kHotCold,        ///< most accesses in a hot subset, rest anywhere
+};
+
+/// Declarative description of one phase's data-access behaviour.
+struct RegionSpec {
+  std::uint64_t base = 0;        ///< region base virtual address
+  std::uint64_t size_bytes = 0;  ///< region extent
+  Pattern pattern = Pattern::kSequential;
+  std::uint64_t stride = 64;           ///< kStrided step
+  double hot_fraction = 0.125;         ///< kHotCold: hot subset size / region
+  double hot_probability = 0.9;        ///< kHotCold: P(access lands in hot)
+  double store_ratio = 0.25;           ///< fraction of accesses that write
+  std::uint64_t access_granularity = 8;  ///< address quantization (word size)
+
+  /// PC of the enclosing loop back-edge; 0 emits no jump records.
+  std::uint64_t jump_pc = 0;
+  /// A jump record is emitted every this many memory records (loop trip).
+  std::uint64_t jump_period = 64;
+};
+
+/// Emits `num_accesses` memory records following a RegionSpec, interleaved
+/// with back-edge jump records.
+class RegionAccessSource final : public TraceSource {
+ public:
+  RegionAccessSource(RegionSpec spec, std::uint64_t num_accesses,
+                     std::uint64_t rng_seed);
+  bool next(TraceRecord& out) override;
+
+ private:
+  std::uint64_t pick_address();
+
+  RegionSpec spec_;
+  std::uint64_t remaining_;
+  std::uint64_t emitted_since_jump_ = 0;
+  std::uint64_t cursor_ = 0;  ///< sequential/strided position within region
+  util::Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+// Application-shaped patterns
+// ---------------------------------------------------------------------------
+
+/// All-pairs interaction sweep (water_nsquared-like): for molecule pairs
+/// (i, j), i<j, reads both records and writes back forces into record i.
+/// Emits up to `max_pairs` pairs (3 memory records per pair) so phase length
+/// can be bounded independently of n.
+class PairInteractionSource final : public TraceSource {
+ public:
+  PairInteractionSource(std::uint64_t base, std::uint64_t num_records,
+                        std::uint64_t record_bytes, std::uint64_t max_pairs,
+                        std::uint64_t jump_pc = 0);
+  bool next(TraceRecord& out) override;
+
+ private:
+  std::uint64_t addr_of(std::uint64_t index) const;
+
+  std::uint64_t base_;
+  std::uint64_t n_;
+  std::uint64_t record_bytes_;
+  std::uint64_t pairs_remaining_;
+  std::uint64_t i_ = 0, j_ = 1;
+  int step_ = 0;  ///< 0: load i, 1: load j, 2: store i, 3: jump
+  std::uint64_t jump_pc_;
+};
+
+/// Five-point-stencil sweep over an n×n grid (ocean_cp-like): for each
+/// interior cell, loads the four neighbours and stores the centre.
+class GridSweepSource final : public TraceSource {
+ public:
+  GridSweepSource(std::uint64_t base, std::uint64_t n, std::uint64_t cell_bytes,
+                  std::uint64_t sweeps, std::uint64_t jump_pc = 0);
+  bool next(TraceRecord& out) override;
+
+ private:
+  std::uint64_t addr_of(std::uint64_t row, std::uint64_t col) const;
+  bool advance_cell();
+
+  std::uint64_t base_;
+  std::uint64_t n_;
+  std::uint64_t cell_bytes_;
+  std::uint64_t sweeps_remaining_;
+  std::uint64_t row_ = 1, col_ = 1;
+  int step_ = 0;  ///< 0..3 neighbour loads, 4 centre store, 5 jump
+  std::uint64_t jump_pc_;
+};
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Materializes a source (tests / small traces only).
+std::vector<TraceRecord> drain(TraceSource& source);
+
+/// Counts records without materializing.
+std::uint64_t count_records(TraceSource& source);
+
+}  // namespace rda::trace

@@ -1,0 +1,67 @@
+#include "trace/loop_nest.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace rda::trace {
+
+LoopId LoopNest::add_loop(std::string name, std::uint64_t pc_begin,
+                          std::uint64_t pc_end) {
+  RDA_CHECK_MSG(pc_begin < pc_end, "loop '" << name << "' has empty PC range");
+  LoopInfo info;
+  info.name = std::move(name);
+  info.pc_begin = pc_begin;
+  info.pc_end = pc_end;
+  info.parent = kNoLoop;
+  info.depth = 0;
+  loops_.push_back(std::move(info));
+  return static_cast<LoopId>(loops_.size() - 1);
+}
+
+LoopId LoopNest::add_nested(LoopId parent, std::string name,
+                            std::uint64_t pc_begin, std::uint64_t pc_end) {
+  RDA_CHECK(parent < loops_.size());
+  const LoopInfo& outer = loops_[parent];
+  RDA_CHECK_MSG(pc_begin >= outer.pc_begin && pc_end <= outer.pc_end,
+                "loop '" << name << "' escapes parent '" << outer.name << "'");
+  RDA_CHECK_MSG(pc_begin < pc_end, "loop '" << name << "' has empty PC range");
+  LoopInfo info;
+  info.name = std::move(name);
+  info.pc_begin = pc_begin;
+  info.pc_end = pc_end;
+  info.parent = parent;
+  info.depth = outer.depth + 1;
+  loops_.push_back(std::move(info));
+  return static_cast<LoopId>(loops_.size() - 1);
+}
+
+std::optional<LoopId> LoopNest::innermost_containing(std::uint64_t pc) const {
+  std::optional<LoopId> best;
+  int best_depth = -1;
+  for (LoopId id = 0; id < loops_.size(); ++id) {
+    const LoopInfo& info = loops_[id];
+    if (info.contains(pc) && info.depth > best_depth) {
+      best = id;
+      best_depth = info.depth;
+    }
+  }
+  return best;
+}
+
+std::optional<LoopId> LoopNest::outermost_containing(std::uint64_t pc) const {
+  for (LoopId id = 0; id < loops_.size(); ++id) {
+    const LoopInfo& info = loops_[id];
+    if (info.depth == 0 && info.contains(pc)) return id;
+  }
+  return std::nullopt;
+}
+
+LoopId LoopNest::outermost_ancestor(LoopId loop) const {
+  RDA_CHECK(loop < loops_.size());
+  LoopId cur = loop;
+  while (loops_[cur].parent != kNoLoop) cur = loops_[cur].parent;
+  return cur;
+}
+
+}  // namespace rda::trace

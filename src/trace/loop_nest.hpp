@@ -1,0 +1,65 @@
+// Loop-nest metadata — the stand-in for Dyninst ParseAPI.
+//
+// The paper samples retired-JMP addresses inside each profiling window and
+// asks ParseAPI for the loop-nest structure of the binary, then uses "the
+// outermost loop that contains the identified progress period" as the
+// period's boundary (§2.4). We model the binary's loop structure as a tree
+// of PC ranges; the profiler's LoopMapper performs the same outermost-loop
+// query against it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rda::trace {
+
+/// Identifies a loop within a LoopNest. Index into LoopNest::loops().
+using LoopId = std::uint32_t;
+inline constexpr LoopId kNoLoop = static_cast<LoopId>(-1);
+
+/// A single natural loop: the half-open PC range of its body and its
+/// position in the nest.
+struct LoopInfo {
+  std::string name;          ///< source-level label, e.g. "dgemm.k"
+  std::uint64_t pc_begin = 0;
+  std::uint64_t pc_end = 0;  ///< exclusive
+  LoopId parent = kNoLoop;   ///< enclosing loop, kNoLoop for top level
+  int depth = 0;             ///< 0 for top-level loops
+
+  bool contains(std::uint64_t pc) const {
+    return pc >= pc_begin && pc < pc_end;
+  }
+};
+
+/// Immutable loop-nest tree for one "binary". Built top-down; children must
+/// be strictly nested inside their parent's PC range.
+class LoopNest {
+ public:
+  /// Adds a top-level loop; returns its id.
+  LoopId add_loop(std::string name, std::uint64_t pc_begin,
+                  std::uint64_t pc_end);
+  /// Adds a loop nested inside `parent`; throws if the range escapes it.
+  LoopId add_nested(LoopId parent, std::string name, std::uint64_t pc_begin,
+                    std::uint64_t pc_end);
+
+  /// Innermost loop whose body contains `pc`, if any.
+  std::optional<LoopId> innermost_containing(std::uint64_t pc) const;
+
+  /// Outermost (depth-0 ancestor) loop containing `pc`, if any. This is the
+  /// query §2.4 uses to place progress-period boundaries.
+  std::optional<LoopId> outermost_containing(std::uint64_t pc) const;
+
+  /// Walks up from `loop` to its depth-0 ancestor.
+  LoopId outermost_ancestor(LoopId loop) const;
+
+  const LoopInfo& loop(LoopId id) const { return loops_.at(id); }
+  const std::vector<LoopInfo>& loops() const { return loops_; }
+  std::size_t size() const { return loops_.size(); }
+
+ private:
+  std::vector<LoopInfo> loops_;
+};
+
+}  // namespace rda::trace

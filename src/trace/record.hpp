@@ -1,0 +1,43 @@
+// Trace record types — the stand-in for an Intel PIN instruction stream.
+//
+// The paper's preliminary profiler (§2.4) uses PIN to collect (1) the
+// virtual memory address of every load/store in fixed-size instruction
+// windows and (2) the linear addresses of retired JMP instructions, which
+// Dyninst ParseAPI then locates within the binary's loop-nest structure.
+// Our generators emit exactly that record stream.
+#pragma once
+
+#include <cstdint>
+
+namespace rda::trace {
+
+enum class RecordKind : std::uint8_t {
+  kLoad,   ///< data read; value = virtual address
+  kStore,  ///< data write; value = virtual address
+  kJump,   ///< retired JMP; value = instruction pointer (PC)
+};
+
+/// One trace event. 16 bytes, trivially copyable; traces are streamed, never
+/// fully materialized, so the layout matters less than the cheap copy.
+struct TraceRecord {
+  std::uint64_t value = 0;  ///< address (load/store) or PC (jump)
+  RecordKind kind = RecordKind::kLoad;
+
+  constexpr bool is_memory() const { return kind != RecordKind::kJump; }
+};
+
+/// Streaming trace producer. Generators are one-shot: after next() returns
+/// false the source is exhausted.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Fills `out` with the next record; returns false at end of trace.
+  virtual bool next(TraceRecord& out) = 0;
+
+  TraceSource() = default;
+  TraceSource(const TraceSource&) = delete;
+  TraceSource& operator=(const TraceSource&) = delete;
+};
+
+}  // namespace rda::trace

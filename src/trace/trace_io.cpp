@@ -1,0 +1,164 @@
+#include "trace/trace_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rda::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'D', 'A', 'T', 'R', 'C', '0', '1'};
+constexpr std::uint32_t kNoParent = 0xffffffffu;
+constexpr std::size_t kRecordBytes = 9;  // u64 value + u8 kind
+
+void write_bytes(std::FILE* f, const void* data, std::size_t n) {
+  RDA_CHECK_MSG(std::fwrite(data, 1, n, f) == n, "trace file write failed");
+}
+
+template <typename T>
+void write_pod(std::FILE* f, T value) {
+  write_bytes(f, &value, sizeof(T));
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t n) {
+  RDA_CHECK_MSG(std::fread(data, 1, n, f) == n,
+                "trace file truncated or unreadable");
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T value{};
+  read_bytes(f, &value, sizeof(T));
+  return value;
+}
+
+/// Streaming reader over the record section of a trace file.
+class FileTraceSource final : public TraceSource {
+ public:
+  FileTraceSource(const std::string& path, long offset, std::uint64_t count)
+      : remaining_(count) {
+    file_ = std::fopen(path.c_str(), "rb");
+    RDA_CHECK_MSG(file_ != nullptr, "cannot open trace file " << path);
+    RDA_CHECK(std::fseek(file_, offset, SEEK_SET) == 0);
+  }
+
+  ~FileTraceSource() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  bool next(TraceRecord& out) override {
+    if (remaining_ == 0) return false;
+    if (buffer_pos_ >= buffer_len_) {
+      const std::size_t want =
+          std::min<std::uint64_t>(remaining_, kBufferRecords);
+      buffer_.resize(want * kRecordBytes);
+      read_bytes(file_, buffer_.data(), buffer_.size());
+      buffer_len_ = want;
+      buffer_pos_ = 0;
+    }
+    const unsigned char* p = buffer_.data() + buffer_pos_ * kRecordBytes;
+    std::memcpy(&out.value, p, sizeof(std::uint64_t));
+    out.kind = static_cast<RecordKind>(p[8]);
+    ++buffer_pos_;
+    --remaining_;
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kBufferRecords = 64 * 1024;
+  std::FILE* file_ = nullptr;
+  std::uint64_t remaining_ = 0;
+  std::vector<unsigned char> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::size_t buffer_pos_ = 0;
+};
+
+}  // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string& path,
+                                 const LoopNest& nest) {
+  file_ = std::fopen(path.c_str(), "wb");
+  RDA_CHECK_MSG(file_ != nullptr, "cannot create trace file " << path);
+  write_bytes(file_, kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(file_,
+                           static_cast<std::uint32_t>(nest.size()));
+  for (const LoopInfo& loop : nest.loops()) {
+    RDA_CHECK_MSG(loop.name.size() <= 0xffff, "loop name too long");
+    write_pod<std::uint16_t>(file_,
+                             static_cast<std::uint16_t>(loop.name.size()));
+    write_bytes(file_, loop.name.data(), loop.name.size());
+    write_pod<std::uint64_t>(file_, loop.pc_begin);
+    write_pod<std::uint64_t>(file_, loop.pc_end);
+    write_pod<std::uint32_t>(
+        file_, loop.parent == kNoLoop ? kNoParent : loop.parent);
+  }
+  count_offset_ = std::ftell(file_);
+  write_pod<std::uint64_t>(file_, 0);  // patched in finalize()
+}
+
+TraceFileWriter::~TraceFileWriter() { finalize(); }
+
+void TraceFileWriter::write(const TraceRecord& record) {
+  RDA_CHECK_MSG(!finalized_, "write after finalize");
+  unsigned char buf[kRecordBytes];
+  std::memcpy(buf, &record.value, sizeof(std::uint64_t));
+  buf[8] = static_cast<unsigned char>(record.kind);
+  write_bytes(file_, buf, sizeof(buf));
+  ++count_;
+}
+
+void TraceFileWriter::write_all(TraceSource& source) {
+  TraceRecord record;
+  while (source.next(record)) write(record);
+}
+
+void TraceFileWriter::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  RDA_CHECK(std::fseek(file_, count_offset_, SEEK_SET) == 0);
+  write_pod<std::uint64_t>(file_, count_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+TraceFile TraceFile::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  RDA_CHECK_MSG(f != nullptr, "cannot open trace file " << path);
+  char magic[8];
+  read_bytes(f, magic, sizeof(magic));
+  RDA_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                path << " is not an RDA trace file");
+
+  TraceFile out;
+  out.path_ = path;
+  const std::uint32_t loop_count = read_pod<std::uint32_t>(f);
+  // Loops are stored parents-first (add order), so rebuilding in order is
+  // safe.
+  for (std::uint32_t i = 0; i < loop_count; ++i) {
+    const std::uint16_t name_len = read_pod<std::uint16_t>(f);
+    std::string name(name_len, '\0');
+    read_bytes(f, name.data(), name_len);
+    const std::uint64_t pc_begin = read_pod<std::uint64_t>(f);
+    const std::uint64_t pc_end = read_pod<std::uint64_t>(f);
+    const std::uint32_t parent = read_pod<std::uint32_t>(f);
+    if (parent == kNoParent) {
+      out.nest_.add_loop(std::move(name), pc_begin, pc_end);
+    } else {
+      out.nest_.add_nested(parent, std::move(name), pc_begin, pc_end);
+    }
+  }
+  out.record_count_ = read_pod<std::uint64_t>(f);
+  out.records_offset_ = std::ftell(f);
+  std::fclose(f);
+  return out;
+}
+
+std::unique_ptr<TraceSource> TraceFile::records() const {
+  return std::make_unique<FileTraceSource>(path_, records_offset_,
+                                           record_count_);
+}
+
+}  // namespace rda::trace

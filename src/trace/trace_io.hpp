@@ -1,0 +1,73 @@
+// Binary trace file format.
+//
+// Lets traces be captured once (rda_trace_gen) and profiled repeatedly
+// (rda_profile) — the same decoupling PIN users get from logging a trace to
+// disk. The format carries both the record stream and the loop-nest side
+// table (the ParseAPI view), so a trace file is self-contained.
+//
+// Layout (little-endian):
+//   magic   "RDATRC01" (8 bytes)
+//   u32     loop count
+//   per loop: u16 name length, name bytes, u64 pc_begin, u64 pc_end,
+//             u32 parent (0xffffffff = top level)
+//   u64     record count
+//   per record: u64 value, u8 kind
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/loop_nest.hpp"
+#include "trace/record.hpp"
+
+namespace rda::trace {
+
+/// Streams a trace (and its loop nest) into a file. Records are buffered;
+/// the header's record count is patched on finalize()/destruction.
+class TraceFileWriter {
+ public:
+  TraceFileWriter(const std::string& path, const LoopNest& nest);
+  ~TraceFileWriter();
+
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  void write(const TraceRecord& record);
+  /// Drains an entire source into the file.
+  void write_all(TraceSource& source);
+
+  /// Flushes, patches the record count, closes. Idempotent.
+  void finalize();
+
+  std::uint64_t records_written() const { return count_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  long count_offset_ = 0;
+  std::uint64_t count_ = 0;
+  bool finalized_ = false;
+};
+
+/// An opened trace file: the loop nest plus a streaming record source.
+class TraceFile {
+ public:
+  /// Throws util::CheckFailure on malformed input.
+  static TraceFile open(const std::string& path);
+
+  const LoopNest& nest() const { return nest_; }
+  std::uint64_t record_count() const { return record_count_; }
+
+  /// One-shot streaming source over the records (fresh file handle each
+  /// call, so multiple passes are possible).
+  std::unique_ptr<TraceSource> records() const;
+
+ private:
+  std::string path_;
+  LoopNest nest_;
+  std::uint64_t record_count_ = 0;
+  long records_offset_ = 0;
+};
+
+}  // namespace rda::trace

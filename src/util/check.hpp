@@ -1,0 +1,47 @@
+// Invariant checking that stays on in release builds.
+//
+// Simulation correctness depends on conservation invariants (occupancy sums,
+// non-negative loads); a silently-corrupt state produces plausible-looking
+// but wrong Joules. RDA_CHECK aborts with location info instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rda::util {
+
+/// Thrown when an RDA_CHECK fails; carries the failing expression and site.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RDA_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace rda::util
+
+/// Always-on invariant check. Throws CheckFailure (tests can assert on it).
+#define RDA_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::rda::util::check_failed(#expr, __FILE__, __LINE__, std::string()); \
+    }                                                                       \
+  } while (false)
+
+/// Invariant check with a formatted context message.
+#define RDA_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream rda_check_os;                                   \
+      rda_check_os << msg;                                               \
+      ::rda::util::check_failed(#expr, __FILE__, __LINE__,               \
+                                rda_check_os.str());                     \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,62 @@
+// Streaming statistics and small least-squares fits.
+//
+// Used by the experiment harness (mean/stddev over repeated measurements —
+// the paper repeats each measurement four times and reports a 2% average
+// standard deviation) and by the prediction module (Fig. 12 logarithmic
+// regression is built on the linear fit below).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rda::util {
+
+/// Welford running mean/variance. Numerically stable for long streams.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of an ordinary least-squares line fit y = intercept + slope * x.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 when the fit is exact.
+  double r_squared = 0.0;
+
+  double operator()(double x) const { return intercept + slope * x; }
+};
+
+/// OLS fit over paired samples. Requires xs.size() == ys.size() >= 2.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Exact percentile (linear interpolation) over a copy of the data.
+/// p in [0,100]. Empty input returns 0.
+double percentile(std::span<const double> data, double p);
+
+/// Arithmetic mean of a span; 0 when empty.
+double mean_of(std::span<const double> data);
+
+/// Geometric mean of strictly positive values; 0 when empty.
+double geometric_mean(std::span<const double> data);
+
+}  // namespace rda::util

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <iomanip>
+
+namespace rda::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add_cell(std::string text) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::add_cell(const char* text) { return add_cell(std::string(text)); }
+
+Table& Table::add_cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add_cell(os.str());
+}
+
+Table& Table::add_cell(std::uint64_t value) {
+  return add_cell(std::to_string(value));
+}
+
+Table& Table::add_cell(int value) { return add_cell(std::to_string(value)); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << text;
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+}  // namespace rda::util

@@ -1,0 +1,40 @@
+// Minimal ASCII table rendering for the benchmark harness output.
+//
+// Every bench binary prints the rows/series of the paper exhibit it
+// regenerates; this class keeps that output aligned and uniform.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rda::util {
+
+/// Column-aligned text table. Cells are strings; numeric convenience
+/// overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_cell calls fill it left to right.
+  Table& begin_row();
+  Table& add_cell(std::string text);
+  Table& add_cell(const char* text);
+  /// Fixed-precision numeric cell (default 2 decimal places).
+  Table& add_cell(double value, int precision = 2);
+  Table& add_cell(std::uint64_t value);
+  Table& add_cell(int value);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rda::util

@@ -1,0 +1,51 @@
+// Byte and time unit helpers shared by all modules.
+//
+// The paper quantifies working-set sizes in megabytes (e.g. "MB(6.3)" in its
+// Figure 4 API sample) and cache capacities in KBytes (Table 1). We keep all
+// sizes in plain bytes (std::uint64_t) and all simulated time in seconds
+// (double); these helpers exist so call sites read like the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace rda::util {
+
+/// One kibibyte in bytes.
+inline constexpr std::uint64_t kKiB = 1024ull;
+/// One mebibyte in bytes.
+inline constexpr std::uint64_t kMiB = 1024ull * 1024ull;
+/// One gibibyte in bytes.
+inline constexpr std::uint64_t kGiB = 1024ull * 1024ull * 1024ull;
+
+/// Bytes from a (possibly fractional) KiB count, e.g. KB(256).
+constexpr std::uint64_t KB(double kib) {
+  return static_cast<std::uint64_t>(kib * static_cast<double>(kKiB));
+}
+
+/// Bytes from a (possibly fractional) MiB count, e.g. MB(6.3) as in paper Fig 4.
+constexpr std::uint64_t MB(double mib) {
+  return static_cast<std::uint64_t>(mib * static_cast<double>(kMiB));
+}
+
+/// Bytes from a (possibly fractional) GiB count.
+constexpr std::uint64_t GB(double gib) {
+  return static_cast<std::uint64_t>(gib * static_cast<double>(kGiB));
+}
+
+/// Bytes rendered back as fractional MiB (for tables mirroring the paper).
+constexpr double bytes_to_mb(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+// --- time (seconds as double) ------------------------------------------------
+
+constexpr double ns(double v) { return v * 1e-9; }
+constexpr double us(double v) { return v * 1e-6; }
+constexpr double ms(double v) { return v * 1e-3; }
+constexpr double seconds(double v) { return v; }
+
+constexpr double to_ms(double sec) { return sec * 1e3; }
+constexpr double to_us(double sec) { return sec * 1e6; }
+constexpr double to_ns(double sec) { return sec * 1e9; }
+
+}  // namespace rda::util

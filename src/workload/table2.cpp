@@ -1,0 +1,243 @@
+#include "workload/table2.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace rda::workload {
+
+namespace {
+
+using rda::util::MB;
+using sim::PhaseProgram;
+using sim::ProgramBuilder;
+
+/// A single-period BLAS process: one kernel, one progress period.
+PhaseProgram blas_program(const std::string& kernel, double flops,
+                          std::uint64_t wss, ReuseLevel reuse) {
+  return ProgramBuilder().period(kernel, flops, wss, reuse).build();
+}
+
+/// A SPLASH-style thread: `repeats` timesteps, each timestep a sequence of
+/// progress periods separated by unmarked glue phases that carry the
+/// barrier synchronization (kept outside periods per §3.4). Glue work is
+/// sized at ~5-12% of a timestep — the un-instrumented, default-scheduled
+/// fraction real SPLASH-2 codes spend outside their hot loops, which
+/// dilutes RDA's benefit the same way it did in the paper.
+PhaseProgram splash_program(const std::string& app,
+                            const std::vector<sim::PhaseSpec>& periods,
+                            int repeats, double glue_flops) {
+  ProgramBuilder b;
+  for (int r = 0; r < repeats; ++r) {
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      const sim::PhaseSpec& p = periods[i];
+      b.period(app + ".PP" + std::to_string(i + 1), p.flops, p.wss_bytes,
+               p.reuse);
+      // Glue: reduction + barrier, default-scheduled.
+      b.plain(app + ".sync", glue_flops, MB(0.05), ReuseLevel::kLow);
+      b.barrier();
+    }
+  }
+  PhaseProgram program = b.build();
+  for (sim::PhaseSpec& p : program.phases) {
+    if (!p.marked && p.barrier_after) p.contains_blocking_sync = true;
+  }
+  return program;
+}
+
+sim::PhaseSpec pp(double flops, std::uint64_t wss, ReuseLevel reuse) {
+  sim::PhaseSpec p;
+  p.flops = flops;
+  p.wss_bytes = wss;
+  p.reuse = reuse;
+  p.marked = true;
+  return p;
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> table2_workloads() {
+  std::vector<WorkloadSpec> specs;
+
+  // --- BLAS-1: 96 x 1, 0.6 MB, low reuse -----------------------------------
+  {
+    WorkloadSpec s;
+    s.name = "BLAS-1";
+    s.processes = 96;
+    s.threads_per_process = 1;
+    s.wss_text = ".6";
+    s.reuse_text = "Low";
+    s.program = [](int proc, int /*thread*/) {
+      static const char* kKernels[4] = {"daxpy", "dcopy", "dscal", "dswap"};
+      return blas_program(kKernels[proc % 4], 1.5e9, MB(0.6),
+                          ReuseLevel::kLow);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // --- BLAS-2: 96 x 1, 0.6 MB, medium reuse --------------------------------
+  {
+    WorkloadSpec s;
+    s.name = "BLAS-2";
+    s.processes = 96;
+    s.threads_per_process = 1;
+    s.wss_text = ".6";
+    s.reuse_text = "med";
+    s.program = [](int proc, int /*thread*/) {
+      static const char* kKernels[4] = {"dgemvN", "dgemvT", "dtrmv", "dtrsv"};
+      return blas_program(kKernels[proc % 4], 4.0e9, MB(0.6),
+                          ReuseLevel::kMedium);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // --- BLAS-3: 96 x 1, per-kernel WSS, high reuse ---------------------------
+  {
+    WorkloadSpec s;
+    s.name = "BLAS-3";
+    s.processes = 96;
+    s.threads_per_process = 1;
+    s.wss_text = "1.6, 2.4, 2.4, 3.2";
+    s.reuse_text = "High";
+    s.program = [](int proc, int /*thread*/) {
+      static const char* kKernels[4] = {"dgemm", "dsyrk", "dtrmm(ru)",
+                                        "dtrsm(ru)"};
+      static const double kWss[4] = {1.6, 2.4, 2.4, 3.2};
+      static const double kFlops[4] = {20e9, 16e9, 16e9, 16e9};
+      const int k = proc % 4;
+      return blas_program(kKernels[k], kFlops[k], MB(kWss[k]),
+                          ReuseLevel::kHigh);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // --- Water_sp: 12 x 2, low reuse (RDA should not help) --------------------
+  {
+    WorkloadSpec s;
+    s.name = "Water_sp";
+    s.processes = 12;
+    s.threads_per_process = 2;
+    s.wss_text = "1.6, 1.3, 1.3, 1.6";
+    s.reuse_text = "low, low, low, low";
+    s.program = [](int, int) {
+      return splash_program(
+          "wsp",
+          {pp(4e9, MB(1.6), ReuseLevel::kLow), pp(3e9, MB(1.3), ReuseLevel::kLow),
+           pp(3e9, MB(1.3), ReuseLevel::kLow), pp(4e9, MB(1.6), ReuseLevel::kLow)},
+          /*repeats=*/2, /*glue_flops=*/0.5e9);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // --- Water_nsq: 12 x 2, high reuse ----------------------------------------
+  {
+    WorkloadSpec s;
+    s.name = "Water_nsq";
+    s.processes = 12;
+    s.threads_per_process = 2;
+    s.wss_text = "3.6, 3.6, 3.7";
+    s.reuse_text = "high, high, high";
+    s.program = [](int, int) {
+      return splash_program("wnsq",
+                            {pp(8e9, MB(3.6), ReuseLevel::kHigh),
+                             pp(8e9, MB(3.6), ReuseLevel::kHigh),
+                             pp(8e9, MB(3.7), ReuseLevel::kHigh)},
+                            /*repeats=*/2, /*glue_flops=*/1.0e9);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // --- Ocean_cp: 48 x 2, mixed reuse ----------------------------------------
+  {
+    WorkloadSpec s;
+    s.name = "Ocean_cp";
+    s.processes = 48;
+    s.threads_per_process = 2;
+    s.wss_text = "2.1, 0.76, 1.5, 0.59";
+    s.reuse_text = "high, med, high, med";
+    s.program = [](int, int) {
+      return splash_program("ocp",
+                            {pp(5e9, MB(2.1), ReuseLevel::kHigh),
+                             pp(2e9, MB(0.76), ReuseLevel::kMedium),
+                             pp(4e9, MB(1.5), ReuseLevel::kHigh),
+                             pp(2e9, MB(0.59), ReuseLevel::kMedium)},
+                            /*repeats=*/2, /*glue_flops=*/0.5e9);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // --- Raytrace: 48 x 4, high reuse, task pool ------------------------------
+  {
+    WorkloadSpec s;
+    s.name = "Raytrace";
+    s.processes = 48;
+    s.threads_per_process = 4;
+    s.task_pool = true;  // SPLASH-2 raytrace distributes rays via a task pool
+    s.wss_text = "5.1, 5.2";
+    s.reuse_text = "high, high";
+    s.program = [](int, int) {
+      return splash_program("rt",
+                            {pp(3e9, MB(5.1), ReuseLevel::kHigh),
+                             pp(3e9, MB(5.2), ReuseLevel::kHigh)},
+                            /*repeats=*/1, /*glue_flops=*/0.3e9);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // --- Volrend: 48 x 4, high reuse ------------------------------------------
+  {
+    WorkloadSpec s;
+    s.name = "Volrend";
+    s.processes = 48;
+    s.threads_per_process = 4;
+    s.wss_text = "1.8, 1.7";
+    s.reuse_text = "high, high";
+    s.program = [](int, int) {
+      return splash_program("vr",
+                            {pp(3e9, MB(1.8), ReuseLevel::kHigh),
+                             pp(3e9, MB(1.7), ReuseLevel::kHigh)},
+                            /*repeats=*/1, /*glue_flops=*/0.3e9);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  return specs;
+}
+
+const WorkloadSpec& find_workload(const std::vector<WorkloadSpec>& all,
+                                  const std::string& name) {
+  for (const WorkloadSpec& s : all) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+WorkloadSpec scale_workload(const WorkloadSpec& spec, double flop_scale,
+                            int proc_divisor) {
+  RDA_CHECK(flop_scale > 0.0);
+  RDA_CHECK(proc_divisor >= 1);
+  WorkloadSpec scaled = spec;
+  scaled.processes = std::max(1, spec.processes / proc_divisor);
+  const auto inner = spec.program;
+  scaled.program = [inner, flop_scale](int proc, int thread) {
+    sim::PhaseProgram program = inner(proc, thread);
+    for (sim::PhaseSpec& p : program.phases) p.flops *= flop_scale;
+    return program;
+  };
+  return scaled;
+}
+
+void populate_engine(sim::Engine& engine, const WorkloadSpec& spec,
+                     const std::function<void(sim::ProcessId)>& on_pool) {
+  for (int p = 0; p < spec.processes; ++p) {
+    const sim::ProcessId pid = engine.create_process();
+    if (spec.task_pool && on_pool) on_pool(pid);
+    for (int t = 0; t < spec.threads_per_process; ++t) {
+      engine.add_thread(pid, spec.program(p, t));
+    }
+  }
+}
+
+}  // namespace rda::workload

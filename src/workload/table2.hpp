@@ -1,0 +1,62 @@
+// The paper's evaluation workloads (Table 2).
+//
+//   BLAS-1 (daxpy,dcopy,dscal,dswap)    96 proc x 1 thr, .6 MB, low reuse
+//   BLAS-2 (dgemvN,dgemvT,dtrmv,dtrsv)  96 proc x 1 thr, .6 MB, med reuse
+//   BLAS-3 (dgemm,dsyrk,dtrmm,dtrsm)    96 proc x 1 thr, 1.6/2.4/2.4/3.2 MB, high
+//   Water_sp   12 x 2, 1.6/1.3/1.3/1.6 MB, low x4
+//   Water_nsq  12 x 2, 3.6/3.6/3.7 MB, high x3
+//   Ocean_cp   48 x 2, 2.1/0.76/1.5/0.59 MB, high/med/high/med
+//   Raytrace   48 x 4, 5.1/5.2 MB, high x2
+//   Volrend    48 x 4, 1.8/1.7 MB, high x2
+//
+// Each BLAS kernel is one progress period ("each BLAS kernel as a whole is
+// considered as a single progress period", §4.1); each SPLASH-2 application
+// is a sequence of periods separated by short un-instrumented glue phases
+// containing the barrier synchronization that §3.4 keeps outside periods.
+// Work amounts (flops) are sized so a full workload simulates in seconds;
+// they scale all policies identically, so relative results are unaffected.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/phase.hpp"
+
+namespace rda::workload {
+
+struct WorkloadSpec {
+  std::string name;
+  int processes = 1;
+  int threads_per_process = 1;
+  /// Raytrace distributes work through a task pool; its processes get the
+  /// §3.4 group-pause semantics.
+  bool task_pool = false;
+  /// Table 2 columns, for the table2 bench.
+  std::string wss_text;
+  std::string reuse_text;
+  /// Builds the phase program of thread `thread_idx` of process `proc_idx`.
+  std::function<sim::PhaseProgram(int proc_idx, int thread_idx)> program;
+};
+
+/// All eight workloads, in the paper's order.
+std::vector<WorkloadSpec> table2_workloads();
+
+/// One workload by name ("BLAS-1", ..., "Raytrace"); throws if unknown.
+const WorkloadSpec& find_workload(const std::vector<WorkloadSpec>& all,
+                                  const std::string& name);
+
+/// Instantiates a workload's processes/threads into an engine.
+void populate_engine(sim::Engine& engine, const WorkloadSpec& spec,
+                     const std::function<void(sim::ProcessId)>& on_pool =
+                         {});
+
+/// A cheaper copy of a workload: process count divided by `proc_divisor`
+/// (min 1) and every phase's flops multiplied by `flop_scale`. Demand/reuse
+/// are untouched, so admission behaviour is preserved at reduced cost —
+/// used by tests and quick-look benches.
+WorkloadSpec scale_workload(const WorkloadSpec& spec, double flop_scale,
+                            int proc_divisor);
+
+}  // namespace rda::workload

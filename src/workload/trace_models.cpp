@@ -1,0 +1,180 @@
+#include "workload/trace_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/units.hpp"
+
+namespace rda::workload {
+
+namespace {
+
+using rda::util::MB;
+
+constexpr std::uint64_t kLineBytes = 64;
+/// Hot/cold mixture of a progress period's accesses: the working set is the
+/// hot fraction of the touched footprint.
+constexpr double kHotFraction = 0.625;
+constexpr double kHotProbability = 0.97;
+/// Window length per footprint line so hot lines clear the threshold and
+/// cold lines stay below it (Poisson separation; see trace_models.hpp).
+constexpr double kAccessesPerLine = 24.0;
+
+std::uint64_t log_wss(double scale_mb, double knee, std::uint64_t n) {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(MB(scale_mb)) *
+      std::log1p(static_cast<double>(n) / knee));
+}
+
+/// Rounds a working set to its hot/cold footprint.
+std::uint64_t footprint_of(std::uint64_t wss) {
+  return static_cast<std::uint64_t>(static_cast<double>(wss) / kHotFraction);
+}
+
+/// One progress-period phase of the trace: hot/cold accesses over a region
+/// sized so the hot subset is the ground-truth working set.
+std::unique_ptr<trace::TraceSource> period_source(std::uint64_t base,
+                                                  std::uint64_t wss,
+                                                  std::uint64_t accesses,
+                                                  std::uint64_t jump_pc,
+                                                  std::uint64_t seed) {
+  trace::RegionSpec spec;
+  spec.base = base;
+  spec.size_bytes = footprint_of(wss);
+  spec.pattern = trace::Pattern::kHotCold;
+  spec.hot_fraction = kHotFraction;
+  spec.hot_probability = kHotProbability;
+  spec.store_ratio = 0.3;
+  spec.access_granularity = 8;
+  spec.jump_pc = jump_pc;
+  spec.jump_period = 48;
+  return std::make_unique<trace::RegionAccessSource>(spec, accesses, seed);
+}
+
+/// Behaviour break between periods: one window of pure streaming (working
+/// set ~0 under the hot threshold), so the detector sees a boundary.
+std::unique_ptr<trace::TraceSource> transition_source(std::uint64_t base,
+                                                      std::uint64_t accesses,
+                                                      std::uint64_t seed) {
+  trace::RegionSpec spec;
+  spec.base = base;
+  spec.size_bytes = MB(8);
+  spec.pattern = trace::Pattern::kSequential;
+  spec.store_ratio = 0.5;
+  spec.access_granularity = 8;
+  return std::make_unique<trace::RegionAccessSource>(spec, accesses, seed);
+}
+
+AppTraceModel make_two_period_trace(std::uint64_t wss1, std::uint64_t wss2,
+                                    const char* loop1_outer,
+                                    const char* loop1_inner,
+                                    const char* loop2_outer,
+                                    const char* loop2_inner,
+                                    std::size_t windows_per_pp,
+                                    std::uint64_t seed) {
+  AppTraceModel model;
+
+  // Window sized against the larger footprint so both periods' hot sets
+  // clear the threshold.
+  const std::uint64_t max_lines =
+      footprint_of(std::max(wss1, wss2)) / kLineBytes;
+  model.window_accesses = static_cast<std::uint64_t>(
+      kAccessesPerLine * static_cast<double>(max_lines));
+  model.hot_threshold = 6;
+
+  // "Binary" layout: two top-level loop nests (the paper's boundary query
+  // returns the outermost loop of each period — e.g. ocean's slave2 holds
+  // several sibling periods).
+  const trace::LoopId l1 =
+      model.nest.add_loop(loop1_outer, 0x1000, 0x2000);
+  model.nest.add_nested(l1, loop1_inner, 0x1100, 0x1c00);
+  const trace::LoopId l2 =
+      model.nest.add_loop(loop2_outer, 0x3000, 0x4000);
+  model.nest.add_nested(l2, loop2_inner, 0x3100, 0x3c00);
+
+  const std::uint64_t pp_accesses =
+      model.window_accesses * static_cast<std::uint64_t>(windows_per_pp);
+  const std::uint64_t gap_accesses = model.window_accesses;
+
+  std::vector<std::unique_ptr<trace::TraceSource>> parts;
+  parts.push_back(
+      period_source(/*base=*/0x10000000, wss1, pp_accesses,
+                    /*jump_pc=*/0x1400, seed + 1));
+  parts.push_back(
+      transition_source(/*base=*/0x40000000, gap_accesses, seed + 2));
+  parts.push_back(
+      period_source(/*base=*/0x20000000, wss2, pp_accesses,
+                    /*jump_pc=*/0x3400, seed + 3));
+  parts.push_back(
+      transition_source(/*base=*/0x50000000, gap_accesses, seed + 4));
+  model.source = std::make_unique<trace::ConcatSource>(std::move(parts));
+
+  model.true_wss = {wss1, wss2};
+  return model;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> wnsq_input_sizes() {
+  return {8000, 15625, 32768, 64000};  // §4.4: 1x, 2x, 4x, 8x molecules
+}
+
+std::vector<std::uint64_t> ocp_input_sizes() {
+  return {514, 1026, 2050, 4098};  // §4.4: 1x, 2x, 4x, 8x cells
+}
+
+std::uint64_t wnsq_pp1_wss(std::uint64_t molecules) {
+  // Slightly super-logarithmic (ln^2): still "the shape of a logarithmic
+  // curve" over the Fig. 12 scales, but large inputs grow enough that six
+  // 32768-molecule instances oversubscribe DRAM bandwidth — the Fig. 13
+  // plateau.
+  const double l = std::log1p(static_cast<double>(molecules) / 600.0);
+  return static_cast<std::uint64_t>(static_cast<double>(MB(0.30)) * l * l);
+}
+
+std::uint64_t wnsq_pp2_wss(std::uint64_t molecules) {
+  return log_wss(0.50, 800.0, molecules);
+}
+
+std::uint64_t ocp_pp1_wss(std::uint64_t cells) {
+  return log_wss(1.40, 300.0, cells);
+}
+
+std::uint64_t ocp_pp2_wss(std::uint64_t cells) {
+  return log_wss(0.90, 450.0, cells);
+}
+
+AppTraceModel make_wnsq_trace(std::uint64_t molecules,
+                              std::size_t windows_per_pp, std::uint64_t seed) {
+  return make_two_period_trace(
+      wnsq_pp1_wss(molecules), wnsq_pp2_wss(molecules),
+      "wnsq.interf(outer)", "wnsq.interf(inner)", "wnsq.poteng(outer)",
+      "wnsq.poteng(inner)", windows_per_pp, seed);
+}
+
+AppTraceModel make_ocp_trace(std::uint64_t cells, std::size_t windows_per_pp,
+                             std::uint64_t seed) {
+  return make_two_period_trace(
+      ocp_pp1_wss(cells), ocp_pp2_wss(cells), "ocp.relax(outer)",
+      "ocp.relax(inner)", "ocp.slave2(outer)", "ocp.slave2(inner)",
+      windows_per_pp, seed);
+}
+
+double wnsq_largest_pp_flops(std::uint64_t molecules) {
+  // Pair-interaction work: ~n^2/2 pairs, ~30 flops each, plus a fixed
+  // per-timestep floor so the smallest input is not dominated by the cache
+  // warm-up transient.
+  const double n = static_cast<double>(molecules);
+  return 15.0 * n * n + 5e7;
+}
+
+sim::PhaseProgram wnsq_largest_pp_program(std::uint64_t molecules) {
+  return sim::ProgramBuilder()
+      .period("wnsq.PP1@" + std::to_string(molecules),
+              wnsq_largest_pp_flops(molecules), wnsq_pp1_wss(molecules),
+              ReuseLevel::kHigh)
+      .build();
+}
+
+}  // namespace rda::workload

@@ -1,0 +1,67 @@
+// Input-scalable models of water_nsquared and ocean_cp (§4.4, Figs. 12/13).
+//
+// The paper profiles these two SPLASH-2 applications at 1x/2x/4x/8x input
+// sizes (8000/15625/32768/64000 molecules; 514/1026/2050/4098 cells) and
+// observes that each progress period's working set grows "in the shape of a
+// logarithmic curve". Lacking the real applications, we embed that observed
+// growth law in the models: each period's ground-truth WSS follows
+// a·ln(1 + n/k), and the trace generator emits a hot/cold access pattern
+// whose *measured* WSS (via the §2.4 profiler) approximates it with
+// realistic sampling noise. Fig. 13 additionally needs the work scaling of
+// the n² pair-interaction phase.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/phase.hpp"
+#include "trace/generators.hpp"
+#include "trace/loop_nest.hpp"
+
+namespace rda::workload {
+
+/// Paper input scales.
+std::vector<std::uint64_t> wnsq_input_sizes();  // molecules, 1x..8x
+std::vector<std::uint64_t> ocp_input_sizes();   // cells, 1x..8x
+
+/// Ground-truth working-set sizes (bytes) of the top two periods, as a
+/// function of input size. These are the curves Fig. 12 plots.
+std::uint64_t wnsq_pp1_wss(std::uint64_t molecules);
+std::uint64_t wnsq_pp2_wss(std::uint64_t molecules);
+std::uint64_t ocp_pp1_wss(std::uint64_t cells);
+std::uint64_t ocp_pp2_wss(std::uint64_t cells);
+
+/// One application's profiling package: the trace (both periods, repeated
+/// across timesteps) plus the loop-nest metadata the profiler maps against.
+struct AppTraceModel {
+  std::unique_ptr<trace::TraceSource> source;
+  trace::LoopNest nest;
+  /// Ground truth, index-aligned with the expected detected periods.
+  std::vector<std::uint64_t> true_wss;
+  /// Profiling window length (accesses) matched to the trace's footprints
+  /// so the hot-threshold statistics are well conditioned; feed this into
+  /// prof::WindowConfig.
+  std::uint64_t window_accesses = 0;
+  /// Recommended hot threshold for the same reason.
+  std::uint32_t hot_threshold = 6;
+};
+
+/// Builds the water_nsquared trace at a given input size. `windows_per_pp`
+/// controls period length in profiler windows.
+AppTraceModel make_wnsq_trace(std::uint64_t molecules,
+                              std::size_t windows_per_pp, std::uint64_t seed);
+
+/// Builds the ocean_cp trace at a given input size.
+AppTraceModel make_ocp_trace(std::uint64_t cells, std::size_t windows_per_pp,
+                             std::uint64_t seed);
+
+/// Fig. 13: the largest water_nsquared progress period as a simulator phase
+/// program — flops scale with the n² pair interactions, WSS with the log
+/// model. Inputs used by the paper: 512, 3375, 8000, 32768 molecules.
+sim::PhaseProgram wnsq_largest_pp_program(std::uint64_t molecules);
+
+/// Work (flops) of the largest period at a given input size.
+double wnsq_largest_pp_flops(std::uint64_t molecules);
+
+}  // namespace rda::workload

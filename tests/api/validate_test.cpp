@@ -1,0 +1,103 @@
+#include "api/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/units.hpp"
+#include "workload/table2.hpp"
+
+namespace rda::api {
+namespace {
+
+using rda::util::MB;
+using sim::ProgramBuilder;
+
+TEST(Validate, CleanProgramPasses) {
+  const auto program = ProgramBuilder()
+                           .period("pp1", 1e9, MB(2), ReuseLevel::kHigh)
+                           .plain("sync", 1e7, MB(0.1), ReuseLevel::kLow)
+                           .period("pp2", 1e9, MB(3), ReuseLevel::kHigh)
+                           .build();
+  const auto issues = validate_program(program);
+  EXPECT_TRUE(program_ok(issues));
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(Validate, BlockingSyncInsidePeriodIsError) {
+  auto program =
+      ProgramBuilder().period("pp", 1e9, MB(2), ReuseLevel::kHigh).build();
+  program.phases[0].contains_blocking_sync = true;  // §3.4 violation
+  const auto issues = validate_program(program);
+  EXPECT_FALSE(program_ok(issues));
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].severity, ValidationIssue::Severity::kError);
+  EXPECT_NE(issues[0].message.find("synchronization"), std::string::npos);
+}
+
+TEST(Validate, BlockingSyncOutsidePeriodIsFine) {
+  auto program = ProgramBuilder()
+                     .plain("sync", 1e7, MB(0.1), ReuseLevel::kLow)
+                     .barrier()
+                     .build();
+  program.phases[0].contains_blocking_sync = true;
+  EXPECT_TRUE(program_ok(validate_program(program)));
+}
+
+TEST(Validate, NegativeFlopsIsError) {
+  auto program =
+      ProgramBuilder().plain("bad", 1.0, MB(1), ReuseLevel::kLow).build();
+  program.phases[0].flops = -5.0;
+  EXPECT_FALSE(program_ok(validate_program(program)));
+}
+
+TEST(Validate, ZeroDemandPeriodWarns) {
+  const auto program =
+      ProgramBuilder().period("pp", 1e9, 0, ReuseLevel::kHigh).build();
+  const auto issues = validate_program(program);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].severity, ValidationIssue::Severity::kWarning);
+  EXPECT_TRUE(program_ok(issues));  // warnings do not fail
+}
+
+TEST(Validate, OversizedWorkingSetWarnsAgainstCapacity) {
+  const auto program =
+      ProgramBuilder().period("pp", 1e9, MB(20), ReuseLevel::kHigh).build();
+  ValidationOptions options;
+  options.llc_capacity_bytes = MB(15);
+  const auto issues = validate_program(program, options);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].severity, ValidationIssue::Severity::kWarning);
+  EXPECT_NE(issues[0].message.find("exceeds LLC capacity"),
+            std::string::npos);
+  // Without a configured capacity the check is off.
+  EXPECT_TRUE(validate_program(program).empty());
+}
+
+TEST(Validate, IssueIndexesPointAtPhases) {
+  auto program = ProgramBuilder()
+                     .plain("ok", 1e7, MB(1), ReuseLevel::kLow)
+                     .period("bad", 1e9, MB(1), ReuseLevel::kHigh)
+                     .build();
+  program.phases[1].contains_blocking_sync = true;
+  const auto issues = validate_program(program);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].phase_index, 1u);
+}
+
+TEST(Validate, Table2ProgramsAllValid) {
+  // Every workload the benches run must pass validation.
+  ValidationOptions options;
+  options.llc_capacity_bytes = MB(15);
+  // Raytrace's 5.1/5.2 MB periods fit; nothing should error.
+  for (const auto& spec : workload::table2_workloads()) {
+    for (int p = 0; p < std::min(spec.processes, 4); ++p) {
+      const auto program = spec.program(p, 0);
+      EXPECT_TRUE(program_ok(validate_program(program, options)))
+          << spec.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rda::api

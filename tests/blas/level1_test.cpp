@@ -1,0 +1,87 @@
+#include "blas/level1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rda::blas {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.next_double(-10.0, 10.0);
+  return v;
+}
+
+TEST(Daxpy, ComputesAlphaXPlusY) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  daxpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(Daxpy, ZeroAlphaLeavesY) {
+  std::vector<double> x = random_vector(100, 1);
+  std::vector<double> y = random_vector(100, 2);
+  const std::vector<double> y0 = y;
+  daxpy(0.0, x, y);
+  EXPECT_EQ(y, y0);
+}
+
+TEST(Daxpy, SizeMismatchRejected) {
+  std::vector<double> x(3), y(4);
+  EXPECT_THROW(daxpy(1.0, x, y), util::CheckFailure);
+}
+
+TEST(Dcopy, CopiesExactly) {
+  std::vector<double> x = random_vector(257, 3);
+  std::vector<double> y(257, 0.0);
+  dcopy(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Dscal, ScalesInPlace) {
+  std::vector<double> x = {1, -2, 4};
+  dscal(-0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], -2.0);
+}
+
+TEST(Dscal, EmptyVectorOk) {
+  std::vector<double> x;
+  EXPECT_NO_THROW(dscal(3.0, x));
+}
+
+TEST(Dswap, ExchangesContents) {
+  std::vector<double> x = random_vector(64, 4);
+  std::vector<double> y = random_vector(64, 5);
+  const std::vector<double> x0 = x, y0 = y;
+  dswap(x, y);
+  EXPECT_EQ(x, y0);
+  EXPECT_EQ(y, x0);
+}
+
+TEST(Dswap, DoubleSwapIsIdentity) {
+  std::vector<double> x = random_vector(32, 6);
+  std::vector<double> y = random_vector(32, 7);
+  const std::vector<double> x0 = x, y0 = y;
+  dswap(x, y);
+  dswap(x, y);
+  EXPECT_EQ(x, x0);
+  EXPECT_EQ(y, y0);
+}
+
+TEST(FlopCounts, Level1) {
+  EXPECT_DOUBLE_EQ(daxpy_flops(1000), 2000.0);
+  EXPECT_DOUBLE_EQ(dscal_flops(1000), 1000.0);
+}
+
+}  // namespace
+}  // namespace rda::blas

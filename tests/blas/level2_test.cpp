@@ -1,0 +1,112 @@
+#include "blas/level2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rda::blas {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.next_double(-2.0, 2.0);
+  return v;
+}
+
+/// Upper-triangular matrix with a well-conditioned diagonal.
+std::vector<double> random_upper(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a[i * n + j] = rng.next_double(-1.0, 1.0);
+    }
+    a[i * n + i] = rng.next_double(1.0, 2.0);  // dominant diagonal
+  }
+  return a;
+}
+
+TEST(DgemvN, SmallKnownResult) {
+  // A = [[1,2],[3,4]], x = [1,1], y = [10,10]; y := 2*A*x + 1*y.
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> x = {1, 1};
+  std::vector<double> y = {10, 10};
+  dgemv_n(2, 2, 2.0, a, x, 1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 3.0 + 10.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0 * 7.0 + 10.0);
+}
+
+TEST(DgemvN, BetaZeroOverwritesY) {
+  const std::vector<double> a = {1, 0, 0, 1};
+  const std::vector<double> x = {5, 7};
+  std::vector<double> y = {999, 999};
+  dgemv_n(2, 2, 1.0, a, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(DgemvT, TransposeMatchesManualN) {
+  // y := A^T x must equal applying dgemv_n with the transposed matrix.
+  const std::size_t m = 7, n = 5;
+  const std::vector<double> a = random_vector(m * n, 11);
+  const std::vector<double> x = random_vector(m, 12);
+  std::vector<double> y_t(n, 0.0);
+  dgemv_t(m, n, 1.0, a, x, 0.0, y_t);
+
+  std::vector<double> at(n * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) at[j * m + i] = a[i * n + j];
+  }
+  std::vector<double> y_n(n, 0.0);
+  dgemv_n(n, m, 1.0, at, x, 0.0, y_n);
+  for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(y_t[j], y_n[j], 1e-12);
+}
+
+TEST(DtrmvUpper, IdentityIsNoop) {
+  const std::size_t n = 6;
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = 1.0;
+  std::vector<double> x = random_vector(n, 13);
+  const std::vector<double> x0 = x;
+  dtrmv_upper(n, a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x0[i], 1e-14);
+}
+
+TEST(DtrmvUpper, MatchesDenseMultiply) {
+  const std::size_t n = 9;
+  const std::vector<double> a = random_upper(n, 14);
+  std::vector<double> x = random_vector(n, 15);
+  std::vector<double> expected(n, 0.0);
+  dgemv_n(n, n, 1.0, a, x, 0.0, expected);  // dense multiply of U (zeros below)
+  dtrmv_upper(n, a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], expected[i], 1e-12);
+}
+
+TEST(DtrsvUpper, InvertsDtrmv) {
+  const std::size_t n = 12;
+  const std::vector<double> a = random_upper(n, 16);
+  const std::vector<double> x0 = random_vector(n, 17);
+  std::vector<double> x = x0;
+  dtrmv_upper(n, a, x);  // b = U x0
+  dtrsv_upper(n, a, x);  // solve U x = b
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x0[i], 1e-10);
+}
+
+TEST(DtrsvUpper, SingularDiagonalDetected) {
+  std::vector<double> a = {0.0, 1.0, 0.0, 1.0};  // U[0][0] == 0
+  std::vector<double> x = {1.0, 1.0};
+  EXPECT_THROW(dtrsv_upper(2, a, x), util::CheckFailure);
+}
+
+TEST(FlopCounts, Level2) {
+  EXPECT_DOUBLE_EQ(dgemv_flops(100, 50), 10000.0);
+  EXPECT_DOUBLE_EQ(dtrmv_flops(64), 4096.0);
+  EXPECT_DOUBLE_EQ(dtrsv_flops(64), 4096.0);
+}
+
+}  // namespace
+}  // namespace rda::blas

@@ -1,0 +1,152 @@
+#include "blas/level3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rda::blas {
+namespace {
+
+std::vector<double> random_matrix(std::size_t rows, std::size_t cols,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> m(rows * cols);
+  for (double& x : m) x = rng.next_double(-1.0, 1.0);
+  return m;
+}
+
+std::vector<double> random_upper(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      a[i * n + j] = rng.next_double(-1.0, 1.0);
+    }
+    a[i * n + i] = rng.next_double(1.0, 2.0);
+  }
+  return a;
+}
+
+TEST(Dgemm, TinyKnownResult) {
+  // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {5, 6, 7, 8};
+  std::vector<double> c = {0, 0, 0, 0};
+  dgemm(2, 2, 2, 1.0, a, b, 0.0, c);
+  EXPECT_DOUBLE_EQ(c[0], 19.0);
+  EXPECT_DOUBLE_EQ(c[1], 22.0);
+  EXPECT_DOUBLE_EQ(c[2], 43.0);
+  EXPECT_DOUBLE_EQ(c[3], 50.0);
+}
+
+TEST(Dgemm, AlphaBetaHandled) {
+  const std::vector<double> a = {1, 0, 0, 1};  // identity
+  const std::vector<double> b = {2, 3, 4, 5};
+  std::vector<double> c = {10, 10, 10, 10};
+  dgemm(2, 2, 2, 2.0, a, b, 0.5, c);  // C = 2*B + 0.5*C
+  EXPECT_DOUBLE_EQ(c[0], 9.0);
+  EXPECT_DOUBLE_EQ(c[1], 11.0);
+  EXPECT_DOUBLE_EQ(c[2], 13.0);
+  EXPECT_DOUBLE_EQ(c[3], 15.0);
+}
+
+// The blocked kernel must match the naive oracle, including at sizes that
+// are not multiples of the 96-wide tiles.
+class DgemmVsNaive
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DgemmVsNaive, Matches) {
+  const auto [m, n, k] = GetParam();
+  const auto a = random_matrix(m, k, 21);
+  const auto b = random_matrix(k, n, 22);
+  auto c_blocked = random_matrix(m, n, 23);
+  auto c_naive = c_blocked;
+  dgemm(m, n, k, 1.3, a, b, 0.7, c_blocked);
+  dgemm_naive(m, n, k, 1.3, a, b, 0.7, c_naive);
+  for (std::size_t i = 0; i < c_blocked.size(); ++i) {
+    EXPECT_NEAR(c_blocked[i], c_naive[i], 1e-10) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DgemmVsNaive,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(8, 8, 8),
+                      std::make_tuple(96, 96, 96),
+                      std::make_tuple(97, 95, 33),
+                      std::make_tuple(128, 64, 200),
+                      std::make_tuple(191, 7, 96)));
+
+TEST(DsyrkUpper, MatchesGemmWithTranspose) {
+  const std::size_t n = 17, k = 9;
+  const auto a = random_matrix(n, k, 31);
+  // Dense A*A^T via dgemm_naive with manual transpose.
+  std::vector<double> at(k * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = 0; l < k; ++l) at[l * n + i] = a[i * k + l];
+  }
+  std::vector<double> dense(n * n, 0.0);
+  dgemm_naive(n, n, k, 1.0, a, at, 0.0, dense);
+
+  std::vector<double> c(n * n, 0.0);
+  dsyrk_upper(n, k, 1.0, a, 0.0, c);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      EXPECT_NEAR(c[i * n + j], dense[i * n + j], 1e-10);
+    }
+  }
+}
+
+TEST(DsyrkUpper, LowerTriangleUntouched) {
+  const std::size_t n = 5, k = 3;
+  const auto a = random_matrix(n, k, 32);
+  std::vector<double> c(n * n, -7.0);
+  dsyrk_upper(n, k, 1.0, a, 0.0, c);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_DOUBLE_EQ(c[i * n + j], -7.0);
+    }
+  }
+}
+
+TEST(DtrmmRu, MatchesDenseMultiply) {
+  const std::size_t m = 11, n = 8;
+  const auto u = random_upper(n, 41);
+  auto b = random_matrix(m, n, 42);
+  std::vector<double> expected(m * n, 0.0);
+  dgemm_naive(m, n, n, 1.0, b, u, 0.0, expected);  // B*U, zeros below diag
+  dtrmm_ru(m, n, u, b);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(b[i], expected[i], 1e-10);
+  }
+}
+
+TEST(DtrsmRu, InvertsDtrmm) {
+  const std::size_t m = 10, n = 12;
+  const auto u = random_upper(n, 51);
+  const auto b0 = random_matrix(m, n, 52);
+  auto b = b0;
+  dtrmm_ru(m, n, u, b);  // B = B0 * U
+  dtrsm_ru(m, n, u, b);  // solve X*U = B -> X = B0
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(b[i], b0[i], 1e-9);
+  }
+}
+
+TEST(DtrsmRu, SingularDiagonalDetected) {
+  std::vector<double> u = {1.0, 2.0, 0.0, 0.0};  // U[1][1] == 0
+  std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW(dtrsm_ru(1, 2, u, b), util::CheckFailure);
+}
+
+TEST(FlopCounts, Level3) {
+  EXPECT_DOUBLE_EQ(dgemm_flops(512, 512, 512), 2.0 * 512 * 512 * 512);
+  EXPECT_DOUBLE_EQ(dsyrk_flops(10, 4), 10.0 * 11.0 * 4.0);
+  EXPECT_DOUBLE_EQ(dtrmm_flops(8, 4), 128.0);
+  EXPECT_DOUBLE_EQ(dtrsm_flops(8, 4), 128.0);
+}
+
+}  // namespace
+}  // namespace rda::blas

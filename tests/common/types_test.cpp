@@ -1,0 +1,48 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rda {
+namespace {
+
+TEST(Types, ResourceNames) {
+  EXPECT_EQ(to_string(ResourceKind::kLLC), "LLC");
+  EXPECT_EQ(to_string(ResourceKind::kMemBandwidth), "MemBW");
+  EXPECT_EQ(to_string(ResourceKind::kL2), "L2");
+}
+
+TEST(Types, ReuseNamesMatchTable2Vocabulary) {
+  EXPECT_EQ(to_string(ReuseLevel::kLow), "low");
+  EXPECT_EQ(to_string(ReuseLevel::kMedium), "med");
+  EXPECT_EQ(to_string(ReuseLevel::kHigh), "high");
+}
+
+TEST(Types, CategorizeReuseDefaults) {
+  EXPECT_EQ(categorize_reuse(0.0), ReuseLevel::kLow);
+  EXPECT_EQ(categorize_reuse(1.9), ReuseLevel::kLow);
+  EXPECT_EQ(categorize_reuse(2.0), ReuseLevel::kMedium);
+  EXPECT_EQ(categorize_reuse(7.9), ReuseLevel::kMedium);
+  EXPECT_EQ(categorize_reuse(8.0), ReuseLevel::kHigh);
+  EXPECT_EQ(categorize_reuse(1000.0), ReuseLevel::kHigh);
+}
+
+TEST(Types, CategorizeReuseCustomThresholds) {
+  ReuseThresholds t;
+  t.medium_at = 1.5;
+  t.high_at = 3.0;
+  EXPECT_EQ(categorize_reuse(1.4, t), ReuseLevel::kLow);
+  EXPECT_EQ(categorize_reuse(2.0, t), ReuseLevel::kMedium);
+  EXPECT_EQ(categorize_reuse(3.0, t), ReuseLevel::kHigh);
+}
+
+TEST(Types, PaperStyleAliases) {
+  // The Fig. 4 spelling must compile and mean the same thing.
+  EXPECT_EQ(RESOURCE_LLC, ResourceKind::kLLC);
+  EXPECT_EQ(RESOURCE_MEM_BW, ResourceKind::kMemBandwidth);
+  EXPECT_EQ(REUSE_LOW, ReuseLevel::kLow);
+  EXPECT_EQ(REUSE_MED, ReuseLevel::kMedium);
+  EXPECT_EQ(REUSE_HIGH, ReuseLevel::kHigh);
+}
+
+}  // namespace
+}  // namespace rda

@@ -1,0 +1,97 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace rda::core {
+namespace {
+
+using rda::util::MB;
+
+ResourceState state(double capacity, double usage) {
+  return ResourceState{capacity, usage};
+}
+
+TEST(StrictPolicy, AllowsExactlyUpToCapacity) {
+  StrictPolicy p;
+  const ResourceState res = state(100.0, 40.0);
+  EXPECT_TRUE(p.allow(/*outcome=*/0.0, res));    // fills exactly
+  EXPECT_TRUE(p.allow(/*outcome=*/60.0, res));   // plenty of room
+  EXPECT_FALSE(p.allow(/*outcome=*/-1.0, res));  // one byte over
+}
+
+TEST(CompromisePolicy, AllowsUpToFactorTimesCapacity) {
+  // usage + demand <= 2*capacity <=> outcome >= -capacity.
+  CompromisePolicy p(2.0);
+  const ResourceState res = state(100.0, 150.0);
+  EXPECT_TRUE(p.allow(-100.0, res));   // lands exactly at 2x
+  EXPECT_TRUE(p.allow(-50.0, res));
+  EXPECT_FALSE(p.allow(-100.1, res));  // just over 2x
+}
+
+TEST(CompromisePolicy, FactorOneEqualsStrict) {
+  CompromisePolicy compromise(1.0);
+  StrictPolicy strict;
+  const ResourceState res = state(64.0, 10.0);
+  for (double outcome : {-10.0, -0.1, 0.0, 0.1, 30.0}) {
+    EXPECT_EQ(compromise.allow(outcome, res), strict.allow(outcome, res))
+        << outcome;
+  }
+}
+
+TEST(CompromisePolicy, SubUnityFactorRejected) {
+  EXPECT_THROW(CompromisePolicy{0.5}, util::CheckFailure);
+}
+
+TEST(AlwaysAdmitPolicy, AdmitsAnything) {
+  AlwaysAdmitPolicy p;
+  EXPECT_TRUE(p.allow(-1e18, state(1.0, 1e18)));
+}
+
+TEST(PolicyFactory, MapsKinds) {
+  EXPECT_EQ(make_policy(PolicyKind::kStrict)->name(), "RDA:Strict");
+  EXPECT_EQ(make_policy(PolicyKind::kCompromise, 2.0)->name(),
+            "RDA:Compromise(x=2)");
+  EXPECT_EQ(make_policy(PolicyKind::kLinuxDefault)->name(), "AlwaysAdmit");
+}
+
+TEST(PolicyNames, HumanReadable) {
+  EXPECT_EQ(to_string(PolicyKind::kLinuxDefault), "Linux default");
+  EXPECT_EQ(to_string(PolicyKind::kStrict), "RDA:Strict");
+  EXPECT_EQ(to_string(PolicyKind::kCompromise), "RDA:Compromise");
+}
+
+// Algorithm-1 semantics sweep with a real monitor: strict admits while
+// usage + demand <= capacity, compromise while <= 2x capacity.
+class PolicySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolicySweep, StrictVsCompromiseBoundary) {
+  const double demand = GetParam();
+  ResourceMonitor monitor;
+  monitor.set_capacity(ResourceKind::kLLC, static_cast<double>(MB(15)));
+  monitor.increment_load(ResourceKind::kLLC, static_cast<double>(MB(10)));
+  const ResourceState& res = monitor.state(ResourceKind::kLLC);
+  const double outcome = res.remaining() - demand;
+
+  StrictPolicy strict;
+  CompromisePolicy compromise(2.0);
+  EXPECT_EQ(strict.allow(outcome, res),
+            res.usage + demand <= res.capacity + 1e-9);
+  EXPECT_EQ(compromise.allow(outcome, res),
+            res.usage + demand <= 2.0 * res.capacity + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Demands, PolicySweep,
+    ::testing::Values(0.0, static_cast<double>(MB(1)),
+                      static_cast<double>(MB(5)),
+                      static_cast<double>(MB(5.0001)),
+                      static_cast<double>(MB(15)),
+                      static_cast<double>(MB(20)),
+                      static_cast<double>(MB(20.0001)),
+                      static_cast<double>(MB(40))));
+
+}  // namespace
+}  // namespace rda::core

@@ -1,0 +1,100 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace rda::core {
+namespace {
+
+PeriodRecord record_for(sim::ThreadId thread, double demand = 1000.0) {
+  PeriodRecord r;
+  r.thread = thread;
+  r.process = thread / 2;
+  r.set_single(ResourceKind::kLLC, demand);
+  r.reuse = ReuseLevel::kHigh;
+  r.label = "test";
+  return r;
+}
+
+TEST(PeriodRegistry, InsertAssignsUniqueIds) {
+  PeriodRegistry reg;
+  const PeriodId a = reg.insert(record_for(1));
+  const PeriodId b = reg.insert(record_for(2));
+  EXPECT_NE(a, kInvalidPeriod);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.active_count(), 2u);
+}
+
+TEST(PeriodRegistry, FindReturnsStoredRecord) {
+  PeriodRegistry reg;
+  const PeriodId id = reg.insert(record_for(3, 555.0));
+  const PeriodRecord* found = reg.find(id);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->thread, 3u);
+  EXPECT_DOUBLE_EQ(found->primary_demand(), 555.0);
+  EXPECT_DOUBLE_EQ(found->demand_for(ResourceKind::kLLC), 555.0);
+  EXPECT_DOUBLE_EQ(found->demand_for(ResourceKind::kMemBandwidth), 0.0);
+  EXPECT_EQ(found->id, id);
+  EXPECT_EQ(reg.find(9999), nullptr);
+}
+
+TEST(PeriodRegistry, RemoveReturnsAndErases) {
+  PeriodRegistry reg;
+  const PeriodId id = reg.insert(record_for(4));
+  const PeriodRecord removed = reg.remove(id);
+  EXPECT_EQ(removed.thread, 4u);
+  EXPECT_EQ(reg.active_count(), 0u);
+  EXPECT_EQ(reg.find(id), nullptr);
+}
+
+TEST(PeriodRegistry, DoubleEndDetected) {
+  PeriodRegistry reg;
+  const PeriodId id = reg.insert(record_for(5));
+  reg.remove(id);
+  EXPECT_THROW(reg.remove(id), util::CheckFailure);
+}
+
+TEST(PeriodRegistry, UnknownIdDetected) {
+  PeriodRegistry reg;
+  EXPECT_THROW(reg.remove(42), util::CheckFailure);
+}
+
+TEST(PeriodRegistry, PeriodsDoNotNestPerThread) {
+  PeriodRegistry reg;
+  reg.insert(record_for(6));
+  EXPECT_THROW(reg.insert(record_for(6)), util::CheckFailure);
+}
+
+TEST(PeriodRegistry, ThreadCanStartNewPeriodAfterEnd) {
+  PeriodRegistry reg;
+  const PeriodId first = reg.insert(record_for(7));
+  reg.remove(first);
+  const PeriodId second = reg.insert(record_for(7));
+  EXPECT_NE(first, second);  // ids are never reused
+}
+
+TEST(PeriodRegistry, ActiveForThread) {
+  PeriodRegistry reg;
+  const PeriodId id = reg.insert(record_for(8));
+  EXPECT_EQ(reg.active_for_thread(8), id);
+  EXPECT_FALSE(reg.active_for_thread(9).has_value());
+  reg.remove(id);
+  EXPECT_FALSE(reg.active_for_thread(8).has_value());
+}
+
+TEST(PeriodRegistry, NegativeDemandRejected) {
+  PeriodRegistry reg;
+  EXPECT_THROW(reg.insert(record_for(10, -1.0)), util::CheckFailure);
+}
+
+TEST(PeriodRegistry, SnapshotListsAllActive) {
+  PeriodRegistry reg;
+  reg.insert(record_for(11));
+  reg.insert(record_for(12));
+  const auto snapshot = reg.snapshot();
+  EXPECT_EQ(snapshot.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rda::core

@@ -1,0 +1,92 @@
+#include "core/resource_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace rda::core {
+namespace {
+
+using rda::util::MB;
+
+TEST(ResourceMonitor, CapacityAndRemaining) {
+  ResourceMonitor m;
+  m.set_capacity(ResourceKind::kLLC, MB(15));
+  EXPECT_DOUBLE_EQ(m.capacity(ResourceKind::kLLC),
+                   static_cast<double>(MB(15)));
+  EXPECT_DOUBLE_EQ(m.usage(ResourceKind::kLLC), 0.0);
+  EXPECT_DOUBLE_EQ(m.remaining(ResourceKind::kLLC),
+                   static_cast<double>(MB(15)));
+}
+
+TEST(ResourceMonitor, IncrementDecrementRoundTrip) {
+  ResourceMonitor m;
+  m.set_capacity(ResourceKind::kLLC, MB(15));
+  m.increment_load(ResourceKind::kLLC, MB(6.3));
+  EXPECT_DOUBLE_EQ(m.usage(ResourceKind::kLLC), static_cast<double>(MB(6.3)));
+  m.increment_load(ResourceKind::kLLC, MB(2));
+  m.decrement_load(ResourceKind::kLLC, MB(6.3));
+  EXPECT_NEAR(m.usage(ResourceKind::kLLC), static_cast<double>(MB(2)), 1e-6);
+  m.decrement_load(ResourceKind::kLLC, MB(2));
+  EXPECT_NEAR(m.usage(ResourceKind::kLLC), 0.0, 1e-6);
+}
+
+TEST(ResourceMonitor, UsageMayExceedCapacity) {
+  // Oversubscription is a policy question, not the monitor's: Compromise
+  // deliberately lets usage exceed capacity.
+  ResourceMonitor m;
+  m.set_capacity(ResourceKind::kLLC, MB(15));
+  m.increment_load(ResourceKind::kLLC, MB(20));
+  EXPECT_GT(m.usage(ResourceKind::kLLC), m.capacity(ResourceKind::kLLC));
+  EXPECT_LT(m.remaining(ResourceKind::kLLC), 0.0);
+}
+
+TEST(ResourceMonitor, UnderflowDetected) {
+  ResourceMonitor m;
+  m.set_capacity(ResourceKind::kLLC, MB(15));
+  m.increment_load(ResourceKind::kLLC, MB(1));
+  EXPECT_THROW(m.decrement_load(ResourceKind::kLLC, MB(2)),
+               util::CheckFailure);
+}
+
+TEST(ResourceMonitor, NegativeDemandRejected) {
+  ResourceMonitor m;
+  m.set_capacity(ResourceKind::kLLC, MB(15));
+  EXPECT_THROW(m.increment_load(ResourceKind::kLLC, -1.0),
+               util::CheckFailure);
+  EXPECT_THROW(m.decrement_load(ResourceKind::kLLC, -1.0),
+               util::CheckFailure);
+}
+
+TEST(ResourceMonitor, ResourcesAreIndependent) {
+  ResourceMonitor m;
+  m.set_capacity(ResourceKind::kLLC, MB(15));
+  m.set_capacity(ResourceKind::kMemBandwidth, 30e9);
+  m.increment_load(ResourceKind::kLLC, MB(3));
+  EXPECT_DOUBLE_EQ(m.usage(ResourceKind::kMemBandwidth), 0.0);
+  m.increment_load(ResourceKind::kMemBandwidth, 10e9);
+  EXPECT_DOUBLE_EQ(m.usage(ResourceKind::kLLC), static_cast<double>(MB(3)));
+}
+
+TEST(ResourceMonitor, VersionBumpsOnEveryChange) {
+  ResourceMonitor m;
+  const std::uint64_t v0 = m.version();
+  m.set_capacity(ResourceKind::kLLC, MB(15));
+  const std::uint64_t v1 = m.version();
+  EXPECT_GT(v1, v0);
+  m.increment_load(ResourceKind::kLLC, 100.0);
+  const std::uint64_t v2 = m.version();
+  EXPECT_GT(v2, v1);
+  m.decrement_load(ResourceKind::kLLC, 100.0);
+  EXPECT_GT(m.version(), v2);
+}
+
+TEST(ResourceMonitor, ZeroCapacityRejected) {
+  ResourceMonitor m;
+  EXPECT_THROW(m.set_capacity(ResourceKind::kLLC, 0.0), util::CheckFailure);
+  EXPECT_THROW(m.set_capacity(ResourceKind::kLLC, -5.0), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace rda::core

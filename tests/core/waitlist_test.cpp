@@ -1,0 +1,86 @@
+#include "core/waitlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rda::core {
+namespace {
+
+Waitlist::Entry entry(PeriodId period, sim::ThreadId thread,
+                      sim::ProcessId process) {
+  return Waitlist::Entry{period, thread, process, 0.0};
+}
+
+TEST(Waitlist, FifoOrderPreserved) {
+  Waitlist wl;
+  wl.push(entry(1, 10, 0));
+  wl.push(entry(2, 11, 0));
+  wl.push(entry(3, 12, 1));
+  ASSERT_EQ(wl.size(), 3u);
+  EXPECT_EQ(wl.entries().front().period, 1u);
+  EXPECT_EQ(wl.entries().back().period, 3u);
+}
+
+TEST(Waitlist, DrainWorkConservingSkipsNonFitting) {
+  Waitlist wl;
+  wl.push(entry(1, 10, 0));
+  wl.push(entry(2, 11, 0));
+  wl.push(entry(3, 12, 1));
+  // Admit odd period ids only.
+  const auto admitted = wl.drain_admissible(
+      [](const Waitlist::Entry& e) { return e.period % 2 == 1; },
+      /*head_only=*/false);
+  ASSERT_EQ(admitted.size(), 2u);
+  EXPECT_EQ(admitted[0].period, 1u);
+  EXPECT_EQ(admitted[1].period, 3u);
+  ASSERT_EQ(wl.size(), 1u);
+  EXPECT_EQ(wl.entries().front().period, 2u);
+}
+
+TEST(Waitlist, DrainHeadOnlyStopsAtFirstRejection) {
+  Waitlist wl;
+  wl.push(entry(1, 10, 0));
+  wl.push(entry(2, 11, 0));
+  wl.push(entry(3, 12, 1));
+  const auto admitted = wl.drain_admissible(
+      [](const Waitlist::Entry& e) { return e.period != 2; },
+      /*head_only=*/true);
+  // Head (1) admitted, 2 rejected -> stop; 3 never examined.
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0].period, 1u);
+  EXPECT_EQ(wl.size(), 2u);
+}
+
+TEST(Waitlist, DrainAdmitAllEmptiesList) {
+  Waitlist wl;
+  for (PeriodId id = 1; id <= 5; ++id) wl.push(entry(id, 10, 0));
+  const auto admitted = wl.drain_admissible(
+      [](const Waitlist::Entry&) { return true; }, false);
+  EXPECT_EQ(admitted.size(), 5u);
+  EXPECT_TRUE(wl.empty());
+}
+
+TEST(Waitlist, RemoveProcessPullsWholeGroup) {
+  Waitlist wl;
+  wl.push(entry(1, 10, 7));
+  wl.push(entry(2, 11, 8));
+  wl.push(entry(3, 12, 7));
+  EXPECT_EQ(wl.count_process(7), 2u);
+  const auto removed = wl.remove_process(7);
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0].period, 1u);
+  EXPECT_EQ(removed[1].period, 3u);
+  EXPECT_EQ(wl.size(), 1u);
+  EXPECT_EQ(wl.count_process(7), 0u);
+}
+
+TEST(Waitlist, EmptyOperations) {
+  Waitlist wl;
+  EXPECT_TRUE(wl.empty());
+  EXPECT_TRUE(wl.drain_admissible([](const auto&) { return true; }, false)
+                  .empty());
+  EXPECT_TRUE(wl.remove_process(1).empty());
+  EXPECT_EQ(wl.count_process(1), 0u);
+}
+
+}  // namespace
+}  // namespace rda::core

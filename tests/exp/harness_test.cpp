@@ -1,0 +1,110 @@
+#include "exp/harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rda::exp {
+namespace {
+
+workload::WorkloadSpec tiny(const char* name) {
+  const auto specs = workload::table2_workloads();
+  return workload::scale_workload(workload::find_workload(specs, name),
+                                  0.05, 8);
+}
+
+TEST(Harness, RunRowCarriesAllMetrics) {
+  RunConfig cfg;
+  cfg.engine.machine = sim::MachineConfig::e5_2420();
+  cfg.policy = core::PolicyKind::kStrict;
+  const RunRow row = run_workload(tiny("BLAS-3"), cfg);
+  EXPECT_EQ(row.workload, "BLAS-3");
+  EXPECT_EQ(row.policy, "RDA:Strict");
+  EXPECT_GT(row.system_joules, 0.0);
+  EXPECT_GT(row.dram_joules, 0.0);
+  EXPECT_LT(row.dram_joules, row.system_joules);
+  EXPECT_GT(row.gflops, 0.0);
+  EXPECT_GT(row.gflops_per_watt, 0.0);
+  EXPECT_GT(row.makespan, 0.0);
+  EXPECT_GT(row.total_flops, 0.0);
+  // Cross-metric consistency.
+  EXPECT_NEAR(row.gflops, row.total_flops / row.makespan / 1e9,
+              1e-9 * row.gflops);
+  EXPECT_NEAR(row.gflops_per_watt, row.total_flops / row.system_joules / 1e9,
+              1e-9 * row.gflops_per_watt);
+}
+
+TEST(Harness, BaselineNeverBlocks) {
+  RunConfig cfg;
+  cfg.engine.machine = sim::MachineConfig::e5_2420();
+  cfg.policy = core::PolicyKind::kLinuxDefault;
+  const RunRow row = run_workload(tiny("Water_nsq"), cfg);
+  EXPECT_EQ(row.gate_blocks, 0u);
+}
+
+TEST(Harness, ComparisonSelectorsPickExtremes) {
+  PolicyComparison cmp;
+  cmp.baseline.gflops = 10.0;
+  cmp.baseline.system_joules = 1000.0;
+  cmp.baseline.gflops_per_watt = 0.1;
+  cmp.strict.gflops = 20.0;
+  cmp.strict.system_joules = 400.0;
+  cmp.compromise.gflops = 15.0;
+  cmp.compromise.system_joules = 700.0;
+  EXPECT_EQ(&cmp.best_rda_by_energy(), &cmp.strict);
+  EXPECT_EQ(&cmp.best_rda_by_gflops(), &cmp.strict);
+  EXPECT_DOUBLE_EQ(cmp.speedup(cmp.strict), 2.0);
+  EXPECT_DOUBLE_EQ(cmp.energy_drop(cmp.strict), 0.6);
+  cmp.compromise.system_joules = 300.0;
+  EXPECT_EQ(&cmp.best_rda_by_energy(), &cmp.compromise);
+}
+
+TEST(Harness, ComparisonHandlesZeroBaseline) {
+  PolicyComparison cmp;  // all zeros
+  EXPECT_DOUBLE_EQ(cmp.speedup(cmp.strict), 0.0);
+  EXPECT_DOUBLE_EQ(cmp.energy_drop(cmp.strict), 0.0);
+  EXPECT_DOUBLE_EQ(cmp.efficiency_gain(cmp.strict), 0.0);
+}
+
+TEST(Harness, SummarizeEmptyIsZero) {
+  const Headline h = summarize({});
+  EXPECT_DOUBLE_EQ(h.max_speedup, 0.0);
+  EXPECT_DOUBLE_EQ(h.avg_energy_drop, 0.0);
+}
+
+TEST(Harness, SummarizeAveragesAndMaxes) {
+  PolicyComparison a;
+  a.baseline.gflops = 10.0;
+  a.baseline.system_joules = 100.0;
+  a.strict.gflops = 20.0;           // 2.0x
+  a.strict.system_joules = 50.0;    // -50%
+  a.compromise = a.strict;
+  PolicyComparison b;
+  b.baseline.gflops = 10.0;
+  b.baseline.system_joules = 100.0;
+  b.strict.gflops = 10.0;           // 1.0x
+  b.strict.system_joules = 100.0;   // 0%
+  b.compromise = b.strict;
+  const Headline h = summarize({a, b});
+  EXPECT_DOUBLE_EQ(h.max_speedup, 2.0);
+  EXPECT_DOUBLE_EQ(h.avg_speedup, 1.5);
+  EXPECT_DOUBLE_EQ(h.max_energy_drop, 0.5);
+  EXPECT_DOUBLE_EQ(h.avg_energy_drop, 0.25);
+}
+
+TEST(Harness, ScaledWorkloadPreservesStructure) {
+  const auto specs = workload::table2_workloads();
+  const auto& full = workload::find_workload(specs, "Water_nsq");
+  const auto scaled = workload::scale_workload(full, 0.5, 3);
+  EXPECT_EQ(scaled.processes, 4);  // 12 / 3
+  EXPECT_EQ(scaled.threads_per_process, full.threads_per_process);
+  const auto fp = full.program(0, 0);
+  const auto sp = scaled.program(0, 0);
+  ASSERT_EQ(fp.phases.size(), sp.phases.size());
+  for (std::size_t i = 0; i < fp.phases.size(); ++i) {
+    EXPECT_NEAR(sp.phases[i].flops, 0.5 * fp.phases[i].flops, 1.0);
+    EXPECT_EQ(sp.phases[i].wss_bytes, fp.phases[i].wss_bytes);
+    EXPECT_EQ(sp.phases[i].marked, fp.phases[i].marked);
+  }
+}
+
+}  // namespace
+}  // namespace rda::exp

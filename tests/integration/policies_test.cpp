@@ -1,0 +1,99 @@
+// End-to-end policy behaviour on (scaled-down) paper workloads. These pin
+// the directional claims of §4.2:
+//   * high-reuse workloads (BLAS-3-like) gain performance AND energy from
+//     RDA scheduling,
+//   * low-reuse workloads (BLAS-1-like) do not gain (RDA at best ties,
+//     typically loses a little to reduced concurrency),
+//   * Strict never oversubscribes the LLC, Compromise stays within 2x.
+#include <gtest/gtest.h>
+
+#include "exp/harness.hpp"
+#include "util/units.hpp"
+
+namespace rda::exp {
+namespace {
+
+using rda::util::MB;
+
+sim::EngineConfig paper_engine() {
+  sim::EngineConfig cfg;
+  cfg.machine = sim::MachineConfig::e5_2420();
+  return cfg;
+}
+
+workload::WorkloadSpec cheap(const std::string& name) {
+  const auto specs = workload::table2_workloads();
+  // Quarter the processes and an eighth of the flops: decisions preserved,
+  // runtime in milliseconds.
+  return workload::scale_workload(workload::find_workload(specs, name),
+                                  /*flop_scale=*/0.125, /*proc_divisor=*/4);
+}
+
+TEST(Policies, HighReuseWorkloadGainsFromStrict) {
+  const PolicyComparison cmp = compare_policies(cheap("BLAS-3"),
+                                                paper_engine());
+  // The paper's central claim: fewer co-runners, better cache residency,
+  // higher throughput AND lower energy.
+  EXPECT_GT(cmp.strict.gflops, cmp.baseline.gflops * 1.05);
+  EXPECT_LT(cmp.strict.system_joules, cmp.baseline.system_joules);
+  EXPECT_LT(cmp.strict.dram_joules, cmp.baseline.dram_joules);
+}
+
+TEST(Policies, LowReuseWorkloadDoesNotGain) {
+  const PolicyComparison cmp = compare_policies(cheap("BLAS-1"),
+                                                paper_engine());
+  // §4.2: "workloads with low data reuses ... attained results inferior to
+  // the Linux default scheduling policy" — allow a tie, forbid a big win.
+  EXPECT_LT(cmp.strict.gflops, cmp.baseline.gflops * 1.05);
+}
+
+TEST(Policies, CompromiseBetweenBaselineAndStrictConcurrency) {
+  const PolicyComparison cmp = compare_policies(cheap("BLAS-3"),
+                                                paper_engine());
+  // Compromise admits more than Strict (it blocks less).
+  EXPECT_LE(cmp.compromise.gate_blocks, cmp.strict.gate_blocks);
+  // And still beats the baseline on energy for high-reuse work.
+  EXPECT_LT(cmp.compromise.system_joules, cmp.baseline.system_joules);
+}
+
+TEST(Policies, StrictReducesDramTrafficMost) {
+  const PolicyComparison cmp = compare_policies(cheap("Water_nsq"),
+                                                paper_engine());
+  // §4.2: "the strict policy almost always resulted in better LLC
+  // utilization than the compromise configuration" (less DRAM energy).
+  EXPECT_LE(cmp.strict.dram_joules, cmp.compromise.dram_joules * 1.02);
+  EXPECT_LT(cmp.strict.dram_joules, cmp.baseline.dram_joules);
+}
+
+TEST(Policies, AllWorkDoneUnderEveryPolicy) {
+  const auto spec = cheap("Ocean_cp");
+  const PolicyComparison cmp = compare_policies(spec, paper_engine());
+  EXPECT_NEAR(cmp.strict.total_flops, cmp.baseline.total_flops,
+              1e-6 * cmp.baseline.total_flops);
+  EXPECT_NEAR(cmp.compromise.total_flops, cmp.baseline.total_flops,
+              1e-6 * cmp.baseline.total_flops);
+}
+
+TEST(Policies, PoolWorkloadCompletesUnderStrict) {
+  // Raytrace is the task-pool workload; §3.4 group semantics must not
+  // deadlock it.
+  const PolicyComparison cmp = compare_policies(cheap("Raytrace"),
+                                                paper_engine());
+  EXPECT_GT(cmp.strict.total_flops, 0.0);
+  EXPECT_NEAR(cmp.strict.total_flops, cmp.baseline.total_flops,
+              1e-6 * cmp.baseline.total_flops);
+}
+
+TEST(Policies, HeadlineAggregationShapes) {
+  std::vector<PolicyComparison> comparisons;
+  for (const char* name : {"BLAS-1", "BLAS-3"}) {
+    comparisons.push_back(compare_policies(cheap(name), paper_engine()));
+  }
+  const Headline h = summarize(comparisons);
+  EXPECT_GT(h.max_speedup, 1.0);
+  EXPECT_GE(h.max_speedup, h.avg_speedup);
+  EXPECT_GE(h.max_energy_drop, h.avg_energy_drop);
+}
+
+}  // namespace
+}  // namespace rda::exp

@@ -1,0 +1,86 @@
+// The Fig. 12 protocol end-to-end: profile an application at 1x/2x/4x
+// inputs, fit the logarithmic regression to the MEASURED working sets, and
+// predict the 8x measurement. The paper reports 80-95% accuracy; we require
+// >= 75% for every modelled period (measurement noise included).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "predict/regression.hpp"
+#include "profiler/report.hpp"
+#include "workload/trace_models.hpp"
+
+namespace rda {
+namespace {
+
+std::vector<double> measured_wss(
+    const std::function<workload::AppTraceModel(std::uint64_t)>& make_model,
+    const std::vector<std::uint64_t>& inputs, std::size_t period_index) {
+  std::vector<double> out;
+  for (const std::uint64_t n : inputs) {
+    const auto model = make_model(n);
+    prof::WindowConfig wcfg;
+    wcfg.window_accesses = model.window_accesses;
+    wcfg.hot_threshold = model.hot_threshold;
+    const auto report =
+        prof::Profiler(wcfg, {}).profile(*model.source, model.nest);
+    if (report.periods.size() <= period_index) {
+      ADD_FAILURE() << "period " << period_index << " not detected at n="
+                    << n;
+      out.push_back(0.0);
+      continue;
+    }
+    out.push_back(
+        static_cast<double>(report.periods[period_index].period.wss_bytes));
+  }
+  return out;
+}
+
+void check_prediction(
+    const std::function<workload::AppTraceModel(std::uint64_t)>& make_model,
+    const std::vector<std::uint64_t>& inputs, std::size_t period_index,
+    double min_accuracy) {
+  const std::vector<double> wss = measured_wss(make_model, inputs,
+                                               period_index);
+  ASSERT_EQ(wss.size(), 4u);
+  const std::vector<double> train_x = {static_cast<double>(inputs[0]),
+                                       static_cast<double>(inputs[1]),
+                                       static_cast<double>(inputs[2])};
+  const std::vector<double> train_y = {wss[0], wss[1], wss[2]};
+  const predict::WssPredictor predictor(train_x, train_y);
+  const double predicted = predictor.predict(static_cast<double>(inputs[3]));
+  const double accuracy = predict::prediction_accuracy(predicted, wss[3]);
+  EXPECT_GE(accuracy, min_accuracy)
+      << "period " << period_index << ": predicted " << predicted
+      << " vs measured " << wss[3];
+  // The observed growth is logarithmic; the model choice should agree.
+  EXPECT_EQ(predictor.family(), predict::FitFamily::kLogarithmic);
+}
+
+TEST(PredictionPipeline, WnsqPp1) {
+  check_prediction(
+      [](std::uint64_t n) { return workload::make_wnsq_trace(n, 5, 301); },
+      workload::wnsq_input_sizes(), 0, 0.75);
+}
+
+TEST(PredictionPipeline, WnsqPp2) {
+  check_prediction(
+      [](std::uint64_t n) { return workload::make_wnsq_trace(n, 5, 302); },
+      workload::wnsq_input_sizes(), 1, 0.75);
+}
+
+TEST(PredictionPipeline, OcpPp1) {
+  check_prediction(
+      [](std::uint64_t n) { return workload::make_ocp_trace(n, 5, 303); },
+      workload::ocp_input_sizes(), 0, 0.75);
+}
+
+TEST(PredictionPipeline, OcpPp2) {
+  check_prediction(
+      [](std::uint64_t n) { return workload::make_ocp_trace(n, 5, 304); },
+      workload::ocp_input_sizes(), 1, 0.75);
+}
+
+}  // namespace
+}  // namespace rda

@@ -1,0 +1,80 @@
+// Full §2.4 pipeline: application trace -> windows -> detected periods ->
+// loop mapping -> annotation, across both modelled applications and several
+// input sizes. This is the machinery behind Fig. 12 and Table 2's
+// SPLASH-2 rows.
+#include <gtest/gtest.h>
+
+#include "profiler/report.hpp"
+#include "workload/trace_models.hpp"
+
+namespace rda {
+namespace {
+
+prof::ProfileReport profile_model(const workload::AppTraceModel& model) {
+  prof::WindowConfig wcfg;
+  wcfg.window_accesses = model.window_accesses;
+  wcfg.hot_threshold = model.hot_threshold;
+  prof::DetectorConfig dcfg;
+  return prof::Profiler(wcfg, dcfg).profile(*model.source, model.nest);
+}
+
+class WnsqInputs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WnsqInputs, TwoPeriodsDetectedAndMeasured) {
+  const std::uint64_t molecules = GetParam();
+  const auto model = workload::make_wnsq_trace(molecules, 5, 101);
+  const auto report = profile_model(model);
+  ASSERT_GE(report.periods.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double truth = static_cast<double>(model.true_wss[i]);
+    const double measured =
+        static_cast<double>(report.periods[i].period.wss_bytes);
+    // The paper's own accuracy on this pipeline is 80-95%; require the
+    // measurement side to be at least that tight.
+    EXPECT_NEAR(measured, truth, 0.2 * truth)
+        << "input " << molecules << " period " << i;
+    EXPECT_TRUE(report.periods[i].boundary_loop.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperScales, WnsqInputs,
+                         ::testing::Values(8000, 15625, 32768, 64000));
+
+class OcpInputs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OcpInputs, TwoPeriodsDetectedAndMeasured) {
+  const std::uint64_t cells = GetParam();
+  const auto model = workload::make_ocp_trace(cells, 5, 202);
+  const auto report = profile_model(model);
+  ASSERT_GE(report.periods.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double truth = static_cast<double>(model.true_wss[i]);
+    const double measured =
+        static_cast<double>(report.periods[i].period.wss_bytes);
+    EXPECT_NEAR(measured, truth, 0.2 * truth)
+        << "input " << cells << " period " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperScales, OcpInputs,
+                         ::testing::Values(514, 1026, 2050, 4098));
+
+TEST(ProfilerPipeline, AnnotationsNameDistinctLoops) {
+  const auto model = workload::make_wnsq_trace(8000, 5, 103);
+  const auto report = profile_model(model);
+  ASSERT_GE(report.annotations.size(), 2u);
+  EXPECT_NE(report.annotations[0].loop_name, report.annotations[1].loop_name);
+  EXPECT_NE(report.annotations[0].loop_name, "?");
+}
+
+TEST(ProfilerPipeline, HighReuseDetectedInPeriods) {
+  // Hot/cold accesses revisit the working set heavily: the categorized
+  // reuse level of both modelled periods must be high.
+  const auto model = workload::make_wnsq_trace(8000, 5, 104);
+  const auto report = profile_model(model);
+  ASSERT_GE(report.periods.size(), 2u);
+  EXPECT_EQ(report.periods[0].period.reuse_level, ReuseLevel::kHigh);
+}
+
+}  // namespace
+}  // namespace rda

@@ -1,0 +1,149 @@
+#include "profiler/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace rda::prof {
+namespace {
+
+using rda::util::MB;
+
+WindowStats window(std::uint64_t wss_mbx100, double reuse,
+                   std::uint64_t jump_pc = 0) {
+  WindowStats w;
+  w.wss_bytes = MB(static_cast<double>(wss_mbx100) / 100.0);
+  w.footprint_bytes = w.wss_bytes * 3 / 2;
+  w.reuse_ratio = reuse;
+  w.accesses = 1000;
+  if (jump_pc != 0) w.jump_counts[jump_pc] = 10;
+  return w;
+}
+
+std::vector<WindowStats> repeat_window(std::uint64_t wss_mbx100, double reuse,
+                                       std::size_t count,
+                                       std::uint64_t jump_pc = 0) {
+  std::vector<WindowStats> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(window(wss_mbx100, reuse, jump_pc));
+  }
+  return out;
+}
+
+TEST(PeriodDetector, UniformRunDetectedAsOnePeriod) {
+  const auto windows = repeat_window(200, 8.0, 10, 0x42);
+  PeriodDetector detector;
+  const auto periods = detector.detect(windows);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_EQ(periods[0].first_window, 0u);
+  EXPECT_EQ(periods[0].last_window, 9u);
+  EXPECT_NEAR(static_cast<double>(periods[0].wss_bytes),
+              static_cast<double>(MB(2.0)), 1e3);
+  EXPECT_EQ(periods[0].dominant_jump_pc, 0x42u);
+}
+
+TEST(PeriodDetector, TwoDistinctBehavioursSplit) {
+  auto windows = repeat_window(200, 9.0, 6, 0x10);
+  const auto second = repeat_window(500, 2.5, 6, 0x20);
+  windows.insert(windows.end(), second.begin(), second.end());
+  PeriodDetector detector;
+  const auto periods = detector.detect(windows);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].last_window, 5u);
+  EXPECT_EQ(periods[1].first_window, 6u);
+  EXPECT_EQ(periods[0].dominant_jump_pc, 0x10u);
+  EXPECT_EQ(periods[1].dominant_jump_pc, 0x20u);
+}
+
+TEST(PeriodDetector, NoisyButSimilarWindowsStayTogether) {
+  // +-10% jitter, inside the 25% default threshold.
+  std::vector<WindowStats> windows;
+  const std::uint64_t base[6] = {200, 215, 195, 208, 190, 205};
+  for (std::uint64_t b : base) windows.push_back(window(b, 8.0));
+  PeriodDetector detector;
+  const auto periods = detector.detect(windows);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_EQ(periods[0].window_count(), 6u);
+}
+
+TEST(PeriodDetector, ReuseChangeAloneSplitsPeriods) {
+  // Same working set, very different reuse: distinct resource behaviour.
+  auto windows = repeat_window(200, 12.0, 5);
+  const auto tail = repeat_window(200, 2.0, 5);
+  windows.insert(windows.end(), tail.begin(), tail.end());
+  const auto periods = PeriodDetector().detect(windows);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].reuse_level, ReuseLevel::kHigh);
+  EXPECT_EQ(periods[1].reuse_level, ReuseLevel::kMedium);
+}
+
+TEST(PeriodDetector, ShortBlipsDoNotSeedPeriods) {
+  // Alternating windows never provide min_windows consecutive similars.
+  std::vector<WindowStats> windows;
+  for (int i = 0; i < 10; ++i) {
+    windows.push_back(window(i % 2 == 0 ? 100 : 600, i % 2 == 0 ? 2.0 : 10.0));
+  }
+  const auto periods = PeriodDetector().detect(windows);
+  EXPECT_TRUE(periods.empty());
+}
+
+TEST(PeriodDetector, MinWssFloorSkipsStartupNoise) {
+  DetectorConfig cfg;
+  cfg.min_wss_bytes = MB(1);
+  auto windows = repeat_window(10, 1.0, 4);  // 0.1 MB startup chatter
+  const auto main_phase = repeat_window(300, 9.0, 6);
+  windows.insert(windows.end(), main_phase.begin(), main_phase.end());
+  const auto periods = PeriodDetector(cfg).detect(windows);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_EQ(periods[0].first_window, 4u);
+}
+
+TEST(PeriodDetector, FewerThanMinWindowsYieldsNothing) {
+  const auto windows = repeat_window(200, 8.0, 2);
+  EXPECT_TRUE(PeriodDetector().detect(windows).empty());
+}
+
+TEST(PeriodDetector, ReportsAveragedMetrics) {
+  std::vector<WindowStats> windows;
+  windows.push_back(window(100, 4.0));
+  windows.push_back(window(110, 5.0));
+  windows.push_back(window(120, 6.0));
+  const auto periods = PeriodDetector().detect(windows);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_NEAR(periods[0].reuse_ratio, 5.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(periods[0].wss_bytes),
+              static_cast<double>(MB(1.1)), 1e4);
+}
+
+TEST(PeriodDetector, ScanResumesAfterAcceptedPeriod) {
+  // PP1 (5 windows), noise (1), PP2 (5 windows).
+  auto windows = repeat_window(200, 8.0, 5);
+  windows.push_back(window(50, 1.0));
+  const auto second = repeat_window(210, 8.2, 5);
+  windows.insert(windows.end(), second.begin(), second.end());
+  const auto periods = PeriodDetector().detect(windows);
+  // The noise window separates the similar-looking runs: the detector must
+  // not bridge across it (it differs by >25% from the running mean).
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].last_window, 4u);
+  EXPECT_EQ(periods[1].first_window, 6u);
+}
+
+TEST(PeriodDetector, SimilarPredicateRelativeBand) {
+  PeriodDetector detector;
+  WindowStats w = window(200, 8.0);
+  EXPECT_TRUE(detector.similar(w, static_cast<double>(MB(2.0)), 8.0));
+  EXPECT_TRUE(detector.similar(w, static_cast<double>(MB(2.4)), 8.0));
+  EXPECT_FALSE(detector.similar(w, static_cast<double>(MB(3.0)), 8.0));
+  EXPECT_FALSE(detector.similar(w, static_cast<double>(MB(2.0)), 16.0));
+}
+
+TEST(PeriodDetector, ConfigValidation) {
+  DetectorConfig bad;
+  bad.min_windows = 1;
+  EXPECT_THROW(PeriodDetector{bad}, util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace rda::prof

@@ -1,0 +1,70 @@
+#include "profiler/loop_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rda::prof {
+namespace {
+
+DetectedPeriod period_with_jump(std::uint64_t pc) {
+  DetectedPeriod p;
+  p.first_window = 0;
+  p.last_window = 3;
+  p.dominant_jump_pc = pc;
+  return p;
+}
+
+TEST(LoopMapper, MapsJumpToOutermostEnclosingLoop) {
+  trace::LoopNest nest;
+  const auto outer = nest.add_loop("outer", 0x1000, 0x2000);
+  const auto inner = nest.add_nested(outer, "inner", 0x1100, 0x1800);
+  LoopMapper mapper(nest);
+  const MappedPeriod mapped = mapper.map(period_with_jump(0x1400));
+  ASSERT_TRUE(mapped.innermost_loop.has_value());
+  ASSERT_TRUE(mapped.boundary_loop.has_value());
+  EXPECT_EQ(*mapped.innermost_loop, inner);
+  // §2.4: the OUTERMOST containing loop becomes the period boundary.
+  EXPECT_EQ(*mapped.boundary_loop, outer);
+}
+
+TEST(LoopMapper, SiblingNestsMapIndependently) {
+  trace::LoopNest nest;
+  const auto a = nest.add_loop("pp1", 0x1000, 0x2000);
+  const auto b = nest.add_loop("pp2", 0x3000, 0x4000);
+  LoopMapper mapper(nest);
+  EXPECT_EQ(*mapper.map(period_with_jump(0x1500)).boundary_loop, a);
+  EXPECT_EQ(*mapper.map(period_with_jump(0x3500)).boundary_loop, b);
+}
+
+TEST(LoopMapper, UnknownPcLeavesUnmapped) {
+  trace::LoopNest nest;
+  nest.add_loop("only", 0x1000, 0x2000);
+  LoopMapper mapper(nest);
+  const MappedPeriod mapped = mapper.map(period_with_jump(0x9000));
+  EXPECT_FALSE(mapped.innermost_loop.has_value());
+  EXPECT_FALSE(mapped.boundary_loop.has_value());
+}
+
+TEST(LoopMapper, ZeroPcMeansNoJumpsObserved) {
+  trace::LoopNest nest;
+  nest.add_loop("only", 0x0, 0x2000);  // would contain pc 0 if queried
+  LoopMapper mapper(nest);
+  const MappedPeriod mapped = mapper.map(period_with_jump(0));
+  EXPECT_FALSE(mapped.innermost_loop.has_value());
+}
+
+TEST(LoopMapper, MapAllPreservesOrderAndPayload) {
+  trace::LoopNest nest;
+  nest.add_loop("l", 0x1000, 0x2000);
+  LoopMapper mapper(nest);
+  std::vector<DetectedPeriod> periods = {period_with_jump(0x1001),
+                                         period_with_jump(0x1ff0)};
+  periods[0].wss_bytes = 111;
+  periods[1].wss_bytes = 222;
+  const auto mapped = mapper.map_all(periods);
+  ASSERT_EQ(mapped.size(), 2u);
+  EXPECT_EQ(mapped[0].period.wss_bytes, 111u);
+  EXPECT_EQ(mapped[1].period.wss_bytes, 222u);
+}
+
+}  // namespace
+}  // namespace rda::prof

@@ -1,0 +1,117 @@
+#include "profiler/multi_granularity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "util/units.hpp"
+
+namespace rda::prof {
+namespace {
+
+using rda::util::KB;
+using rda::util::MB;
+
+/// Fresh-pass factory over: long phase A + short phase B + long phase A2.
+/// Phase B is only visible at fine granularity (it spans less than one
+/// coarse window).
+std::unique_ptr<trace::TraceSource> make_layered_trace() {
+  auto phase = [](std::uint64_t base, std::uint64_t size,
+                  std::uint64_t accesses,
+                  std::uint64_t seed) -> std::unique_ptr<trace::TraceSource> {
+    trace::RegionSpec spec;
+    spec.base = base;
+    spec.size_bytes = size;
+    spec.pattern = trace::Pattern::kHotCold;
+    spec.hot_fraction = 0.625;
+    spec.hot_probability = 0.97;
+    spec.access_granularity = 8;
+    return std::make_unique<trace::RegionAccessSource>(spec, accesses, seed);
+  };
+  std::vector<std::unique_ptr<trace::TraceSource>> parts;
+  const std::uint64_t coarse = 1u << 18;
+  parts.push_back(phase(0x10000000, MB(2), coarse * 4, 1));   // A: 4 coarse
+  parts.push_back(phase(0x40000000, KB(256), coarse, 2));     // B: 1 coarse
+  parts.push_back(phase(0x20000000, MB(2), coarse * 4, 3));   // A2
+  return std::make_unique<trace::ConcatSource>(std::move(parts));
+}
+
+MultiGranularityConfig layered_config() {
+  MultiGranularityConfig cfg;
+  cfg.windows = {1u << 18, 1u << 16};  // coarse + fine
+  cfg.hot_threshold = 4;
+  cfg.detector.min_windows = 3;
+  return cfg;
+}
+
+TEST(MultiGranularity, LadderDerivedWhenUnspecified) {
+  MultiGranularityConfig cfg;
+  cfg.base_window = 1u << 20;
+  cfg.levels = 3;
+  cfg.ladder_ratio = 4;
+  const MultiGranularityProfiler profiler(cfg);
+  const auto& ladder = profiler.window_ladder();
+  ASSERT_EQ(ladder.size(), 3u);
+  EXPECT_EQ(ladder[0], 1u << 20);
+  EXPECT_EQ(ladder[1], 1u << 18);
+  EXPECT_EQ(ladder[2], 1u << 16);
+}
+
+TEST(MultiGranularity, ExplicitWindowsSortedCoarseFirst) {
+  MultiGranularityConfig cfg;
+  cfg.windows = {1u << 14, 1u << 20, 1u << 17};
+  const MultiGranularityProfiler profiler(cfg);
+  const auto& ladder = profiler.window_ladder();
+  EXPECT_EQ(ladder[0], 1u << 20);
+  EXPECT_EQ(ladder[2], 1u << 14);
+}
+
+TEST(MultiGranularity, FindsCoarsePhases) {
+  const MultiGranularityProfiler profiler(layered_config());
+  const auto report = profiler.profile(make_layered_trace);
+  // The two long phases must be found at the coarse granularity.
+  int coarse_periods = 0;
+  for (const GranularPeriod& p : report.periods) {
+    if (p.window_accesses == (1u << 18)) ++coarse_periods;
+  }
+  EXPECT_GE(coarse_periods, 2);
+}
+
+TEST(MultiGranularity, FinerPeriodsOnlyWhereUncovered) {
+  const MultiGranularityProfiler profiler(layered_config());
+  const auto report = profiler.profile(make_layered_trace);
+  // Fine-granularity findings inside the long phases are redundant and
+  // must be suppressed; the short middle phase region may survive as fine.
+  for (std::size_t i = 0; i + 1 < report.periods.size(); ++i) {
+    const GranularPeriod& a = report.periods[i];
+    const GranularPeriod& b = report.periods[i + 1];
+    const std::uint64_t lo = std::max(a.first_access, b.first_access);
+    const std::uint64_t hi = std::min(a.last_access, b.last_access);
+    const std::uint64_t overlap = hi > lo ? hi - lo : 0;
+    EXPECT_LE(static_cast<double>(overlap),
+              0.5 * static_cast<double>(std::min(a.span(), b.span())))
+        << "periods " << i << " and " << i + 1 << " largely overlap";
+  }
+}
+
+TEST(MultiGranularity, PerGranularityResultsExposed) {
+  const MultiGranularityProfiler profiler(layered_config());
+  const auto report = profiler.profile(make_layered_trace);
+  ASSERT_EQ(report.per_granularity.size(), 2u);
+  EXPECT_EQ(report.per_granularity[0].first, 1u << 18);
+  EXPECT_EQ(report.per_granularity[1].first, 1u << 16);
+  // The fine pass sees at least as many windows' worth of periods.
+  EXPECT_GE(report.per_granularity[1].second.size(),
+            report.per_granularity[0].second.size());
+}
+
+TEST(MultiGranularity, MergedPeriodsSortedByOffset) {
+  const MultiGranularityProfiler profiler(layered_config());
+  const auto report = profiler.profile(make_layered_trace);
+  for (std::size_t i = 0; i + 1 < report.periods.size(); ++i) {
+    EXPECT_LE(report.periods[i].first_access,
+              report.periods[i + 1].first_access);
+  }
+}
+
+}  // namespace
+}  // namespace rda::prof

@@ -1,0 +1,93 @@
+#include "profiler/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "util/units.hpp"
+
+namespace rda::prof {
+namespace {
+
+using rda::util::MB;
+
+TEST(RenderBeginCall, PaperShapedText) {
+  EXPECT_EQ(render_begin_call(MB(6.3), ReuseLevel::kHigh),
+            "pp_begin(RESOURCE_LLC, MB(6.30), REUSE_HIGH)");
+  EXPECT_EQ(render_begin_call(MB(0.6), ReuseLevel::kLow),
+            "pp_begin(RESOURCE_LLC, MB(0.60), REUSE_LOW)");
+  EXPECT_EQ(render_begin_call(MB(2.0), ReuseLevel::kMedium),
+            "pp_begin(RESOURCE_LLC, MB(2.00), REUSE_MED)");
+}
+
+// End-to-end over a synthetic two-phase trace: the pipeline should find two
+// periods, map them to their loops, and synthesize insertable annotations.
+TEST(Profiler, FullPipelineOnTwoPhaseTrace) {
+  trace::LoopNest nest;
+  nest.add_loop("phaseA", 0x1000, 0x2000);
+  nest.add_loop("phaseB", 0x3000, 0x4000);
+
+  const std::uint64_t region_a = MB(1);
+  const std::uint64_t region_b = MB(4);
+  const std::uint64_t lines_b = region_b / 64;
+  const std::uint64_t window = lines_b * 24;
+
+  auto phase = [&](std::uint64_t base, std::uint64_t size, std::uint64_t pc,
+                   std::uint64_t seed) {
+    trace::RegionSpec spec;
+    spec.base = base;
+    spec.size_bytes = size;
+    spec.pattern = trace::Pattern::kHotCold;
+    spec.hot_fraction = 0.625;
+    spec.hot_probability = 0.97;
+    spec.access_granularity = 8;
+    spec.jump_pc = pc;
+    spec.jump_period = 64;
+    return std::make_unique<trace::RegionAccessSource>(spec, window * 5, seed);
+  };
+
+  std::vector<std::unique_ptr<trace::TraceSource>> parts;
+  parts.push_back(phase(0x10000000, region_a, 0x1400, 1));
+  parts.push_back(phase(0x20000000, region_b, 0x3400, 2));
+  trace::ConcatSource source(std::move(parts));
+
+  WindowConfig wcfg;
+  wcfg.window_accesses = window;
+  wcfg.hot_threshold = 6;
+  DetectorConfig dcfg;
+  dcfg.min_windows = 3;
+
+  const ProfileReport report =
+      Profiler(wcfg, dcfg).profile(source, nest);
+
+  ASSERT_EQ(report.periods.size(), 2u);
+  ASSERT_EQ(report.annotations.size(), 2u);
+  EXPECT_EQ(report.annotations[0].loop_name, "phaseA");
+  EXPECT_EQ(report.annotations[1].loop_name, "phaseB");
+  // Measured working sets approximate the hot subsets.
+  EXPECT_NEAR(static_cast<double>(report.periods[0].period.wss_bytes),
+              0.625 * static_cast<double>(region_a),
+              0.2 * static_cast<double>(region_a));
+  EXPECT_NEAR(static_cast<double>(report.periods[1].period.wss_bytes),
+              0.625 * static_cast<double>(region_b),
+              0.2 * static_cast<double>(region_b));
+  // Annotations carry paper-shaped begin calls.
+  EXPECT_NE(report.annotations[0].begin_call.find("pp_begin(RESOURCE_LLC"),
+            std::string::npos);
+  EXPECT_EQ(report.annotations[0].end_call, "pp_end(pp_id)");
+  // Human-readable rendering mentions both periods.
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("PP1"), std::string::npos);
+  EXPECT_NE(text.find("PP2"), std::string::npos);
+}
+
+TEST(Profiler, EmptyTraceYieldsEmptyReport) {
+  trace::LoopNest nest;
+  trace::VectorSource source({});
+  const ProfileReport report = Profiler({}, {}).profile(source, nest);
+  EXPECT_TRUE(report.windows.empty());
+  EXPECT_TRUE(report.periods.empty());
+  EXPECT_TRUE(report.annotations.empty());
+}
+
+}  // namespace
+}  // namespace rda::prof

@@ -1,0 +1,158 @@
+#include "profiler/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "util/units.hpp"
+
+namespace rda::prof {
+namespace {
+
+using rda::trace::RecordKind;
+using rda::trace::TraceRecord;
+using rda::trace::VectorSource;
+using rda::util::KB;
+
+TEST(WindowAnalyzer, FootprintCountsUniqueLines) {
+  // 8 accesses to 2 distinct lines (0 and 64).
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 4; ++i) {
+    records.push_back({0, RecordKind::kLoad});
+    records.push_back({64, RecordKind::kStore});
+  }
+  VectorSource src(std::move(records));
+  WindowConfig cfg;
+  cfg.window_accesses = 8;
+  cfg.granularity = 64;
+  cfg.hot_threshold = 4;
+  const auto windows = WindowAnalyzer(cfg).analyze(src);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].footprint_bytes, 2u * 64u);
+  EXPECT_EQ(windows[0].loads, 4u);
+  EXPECT_EQ(windows[0].stores, 4u);
+  EXPECT_DOUBLE_EQ(windows[0].reuse_ratio, 4.0);  // 8 accesses / 2 lines
+  // Both lines touched 4 times -> both hot.
+  EXPECT_EQ(windows[0].wss_bytes, 2u * 64u);
+}
+
+TEST(WindowAnalyzer, HotThresholdFiltersWorkingSet) {
+  // Line 0 touched 5 times, line 64 once.
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 5; ++i) records.push_back({0, RecordKind::kLoad});
+  records.push_back({64, RecordKind::kLoad});
+  VectorSource src(std::move(records));
+  WindowConfig cfg;
+  cfg.window_accesses = 6;
+  cfg.hot_threshold = 4;
+  const auto windows = WindowAnalyzer(cfg).analyze(src);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].footprint_bytes, 2u * 64u);
+  EXPECT_EQ(windows[0].wss_bytes, 1u * 64u);  // only the reused line
+}
+
+TEST(WindowAnalyzer, ResetsBetweenWindows) {
+  // Window 1 touches line 0; window 2 touches line 640.
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 4; ++i) records.push_back({0, RecordKind::kLoad});
+  for (int i = 0; i < 4; ++i) records.push_back({640, RecordKind::kLoad});
+  VectorSource src(std::move(records));
+  WindowConfig cfg;
+  cfg.window_accesses = 4;
+  cfg.hot_threshold = 2;
+  const auto windows = WindowAnalyzer(cfg).analyze(src);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].footprint_bytes, 64u);
+  EXPECT_EQ(windows[1].footprint_bytes, 64u);
+  EXPECT_EQ(windows[0].index, 0u);
+  EXPECT_EQ(windows[1].index, 1u);
+}
+
+TEST(WindowAnalyzer, ShortTrailingWindowDropped) {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 9; ++i) records.push_back({0, RecordKind::kLoad});
+  VectorSource src(std::move(records));
+  WindowConfig cfg;
+  cfg.window_accesses = 8;
+  const auto windows = WindowAnalyzer(cfg).analyze(src);
+  // 1 access remains after the first window: < half, dropped.
+  EXPECT_EQ(windows.size(), 1u);
+}
+
+TEST(WindowAnalyzer, LongTrailingWindowKept) {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 13; ++i) records.push_back({0, RecordKind::kLoad});
+  VectorSource src(std::move(records));
+  WindowConfig cfg;
+  cfg.window_accesses = 8;
+  const auto windows = WindowAnalyzer(cfg).analyze(src);
+  // 5 accesses remain: >= half, kept.
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[1].accesses, 5u);
+}
+
+TEST(WindowAnalyzer, JumpsDoNotCountAsAccesses) {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 4; ++i) {
+    records.push_back({0, RecordKind::kLoad});
+    records.push_back({0xCAFE, RecordKind::kJump});
+  }
+  VectorSource src(std::move(records));
+  WindowConfig cfg;
+  cfg.window_accesses = 4;
+  const auto windows = WindowAnalyzer(cfg).analyze(src);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].accesses, 4u);
+  // The 4th jump trails the window's last access and lands in the (dropped)
+  // successor window, mirroring instruction-granularity window boundaries.
+  EXPECT_EQ(windows[0].jump_counts.at(0xCAFE), 3u);
+}
+
+TEST(WindowStats, DominantJumpPcPicksMostFrequent) {
+  WindowStats w;
+  w.jump_counts[0x10] = 3;
+  w.jump_counts[0x20] = 7;
+  w.jump_counts[0x30] = 7;  // tie broken toward the lower PC
+  EXPECT_EQ(w.dominant_jump_pc(), 0x20u);
+  WindowStats empty;
+  EXPECT_EQ(empty.dominant_jump_pc(), 0u);
+}
+
+TEST(WindowAnalyzer, GranularityQuantizesAddresses) {
+  // Two addresses within one 64B line are one footprint line.
+  std::vector<TraceRecord> records = {{0, RecordKind::kLoad},
+                                      {32, RecordKind::kLoad},
+                                      {63, RecordKind::kLoad},
+                                      {64, RecordKind::kLoad}};
+  VectorSource src(std::move(records));
+  WindowConfig cfg;
+  cfg.window_accesses = 4;
+  const auto windows = WindowAnalyzer(cfg).analyze(src);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].footprint_bytes, 2u * 64u);
+}
+
+TEST(WindowAnalyzer, HotColdTraceMeasuresHotSubset) {
+  // End-to-end check used by the Fig. 12 machinery: the measured working
+  // set of a hot/cold stream approximates the hot region size.
+  trace::RegionSpec spec;
+  spec.base = 0;
+  spec.size_bytes = KB(256);
+  spec.pattern = trace::Pattern::kHotCold;
+  spec.hot_fraction = 0.25;
+  spec.hot_probability = 0.97;
+  spec.access_granularity = 8;
+  const std::uint64_t lines = KB(256) / 64;
+  const std::uint64_t window = lines * 24;
+  trace::RegionAccessSource src(spec, window, 99);
+  WindowConfig cfg;
+  cfg.window_accesses = window;
+  cfg.hot_threshold = 6;
+  const auto windows = WindowAnalyzer(cfg).analyze(src);
+  ASSERT_EQ(windows.size(), 1u);
+  const double expected = 0.25 * static_cast<double>(KB(256));
+  EXPECT_NEAR(static_cast<double>(windows[0].wss_bytes), expected,
+              0.15 * expected);
+}
+
+}  // namespace
+}  // namespace rda::prof

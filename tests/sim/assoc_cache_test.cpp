@@ -1,0 +1,182 @@
+#include "sim/assoc_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace rda::sim {
+namespace {
+
+using rda::util::KB;
+using rda::util::MB;
+
+AssocCacheConfig small_cache() {
+  AssocCacheConfig cfg;
+  cfg.capacity_bytes = KB(64);  // 1024 lines
+  cfg.ways = 8;
+  cfg.line_bytes = 64;
+  return cfg;
+}
+
+TEST(AssocCache, GeometryDerived) {
+  SetAssociativeCache cache(small_cache());
+  EXPECT_EQ(cache.ways(), 8u);
+  EXPECT_EQ(cache.sets(), 128u);
+  EXPECT_EQ(cache.capacity_bytes(), KB(64));
+}
+
+TEST(AssocCache, PaperLlcGeometry) {
+  SetAssociativeCache cache;  // defaults: 15 MB, 20-way
+  EXPECT_EQ(cache.ways(), 20u);
+  EXPECT_EQ(cache.sets(), 12288u);
+}
+
+TEST(AssocCache, MissThenHit) {
+  SetAssociativeCache cache(small_cache());
+  EXPECT_FALSE(cache.access(0x1000, 1));  // cold miss
+  EXPECT_TRUE(cache.access(0x1000, 1));   // now resident
+  EXPECT_TRUE(cache.access(0x1020, 1));   // same 64B line
+  EXPECT_FALSE(cache.access(0x1040, 1));  // next line
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(AssocCache, WorkingSetWithinCapacityAllHitsAfterWarmup) {
+  SetAssociativeCache cache(small_cache());
+  const std::uint64_t lines = 512;  // half the cache
+  for (std::uint64_t i = 0; i < lines; ++i) cache.access(i * 64, 1);
+  AssocCacheStats warm;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t i = 0; i < lines; ++i) cache.access(i * 64, 1);
+  }
+  EXPECT_EQ(cache.stats().misses, lines);  // only the cold misses
+  EXPECT_EQ(cache.occupancy_lines(1), lines);
+  (void)warm;
+}
+
+TEST(AssocCache, WorkingSetOverCapacityThrashesUnderLru) {
+  SetAssociativeCache cache(small_cache());
+  const std::uint64_t lines = 2048;  // 2x capacity
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t i = 0; i < lines; ++i) cache.access(i * 64, 1);
+  }
+  // Cyclic sweep over 2x capacity under LRU: every access misses.
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(AssocCache, LruEvictsOldest) {
+  AssocCacheConfig cfg;
+  cfg.capacity_bytes = 2 * 64;  // one set, two ways
+  cfg.ways = 2;
+  cfg.line_bytes = 64;
+  SetAssociativeCache cache(cfg);
+  cache.access(0 * 64, 1);  // A
+  cache.access(1 * 64, 1);  // B
+  cache.access(0 * 64, 1);  // touch A (B becomes LRU)
+  cache.access(2 * 64, 1);  // C evicts B
+  EXPECT_TRUE(cache.access(0 * 64, 1));   // A still here
+  EXPECT_FALSE(cache.access(1 * 64, 1));  // B gone
+}
+
+TEST(AssocCache, OccupancyTracksOwners) {
+  SetAssociativeCache cache(small_cache());
+  for (std::uint64_t i = 0; i < 100; ++i) cache.access(i * 64, 1);
+  for (std::uint64_t i = 0; i < 50; ++i) cache.access(MB(1) + i * 64, 2);
+  EXPECT_EQ(cache.occupancy_lines(1), 100u);
+  EXPECT_EQ(cache.occupancy_lines(2), 50u);
+  EXPECT_EQ(cache.occupancy_bytes(2), 50u * 64u);
+  EXPECT_EQ(cache.occupancy_lines(99), 0u);
+}
+
+TEST(AssocCache, CompetingOwnersStealOccupancy) {
+  SetAssociativeCache cache(small_cache());
+  // Owner 1 fills the whole cache; owner 2 then streams through it.
+  for (std::uint64_t i = 0; i < 1024; ++i) cache.access(i * 64, 1);
+  EXPECT_EQ(cache.occupancy_lines(1), 1024u);
+  for (std::uint64_t i = 0; i < 512; ++i) cache.access(MB(2) + i * 64, 2);
+  EXPECT_EQ(cache.occupancy_lines(1) + cache.occupancy_lines(2), 1024u);
+  EXPECT_EQ(cache.occupancy_lines(2), 512u);
+}
+
+TEST(AssocCache, PartitionConfinesFills) {
+  SetAssociativeCache cache(small_cache());
+  cache.set_partition(2, 2);  // owner 2 gets 2 of 8 ways
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t i = 0; i < 1024; ++i) cache.access(i * 64, 2);
+  }
+  // At most 2/8 of the cache despite touching all of it.
+  EXPECT_LE(cache.occupancy_lines(2), 2u * cache.sets());
+  cache.clear_partition(2);
+  for (std::uint64_t i = 0; i < 1024; ++i) cache.access(i * 64, 2);
+  EXPECT_GT(cache.occupancy_lines(2), 2u * cache.sets());
+}
+
+TEST(AssocCache, PartitionProtectsVictim) {
+  SetAssociativeCache cache(small_cache());
+  // Owner 1 (high reuse) owns the cache; owner 2 is a confined streamer.
+  for (std::uint64_t i = 0; i < 512; ++i) cache.access(i * 64, 1);
+  cache.set_partition(2, 1);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    cache.access(MB(4) + i * 64, 2);
+  }
+  // Owner 1 keeps at least the 7 unpartitioned ways' worth of lines.
+  EXPECT_GE(cache.occupancy_lines(1), 512u - cache.sets());
+  // Re-touching its working set is mostly hits.
+  const AssocCacheStats before = cache.owner_stats(1);
+  for (std::uint64_t i = 0; i < 512; ++i) cache.access(i * 64, 1);
+  const AssocCacheStats after = cache.owner_stats(1);
+  // Exactly the protected lines hit (512 - one way's worth = 384).
+  EXPECT_GE(after.hits - before.hits, 380u);
+}
+
+TEST(AssocCache, FlushOwnerEvictsAllItsLines) {
+  SetAssociativeCache cache(small_cache());
+  for (std::uint64_t i = 0; i < 200; ++i) cache.access(i * 64, 1);
+  for (std::uint64_t i = 0; i < 100; ++i) cache.access(MB(1) + i * 64, 2);
+  cache.flush_owner(1);
+  EXPECT_EQ(cache.occupancy_lines(1), 0u);
+  EXPECT_EQ(cache.occupancy_lines(2), 100u);
+  EXPECT_FALSE(cache.access(0, 1));  // cold again
+}
+
+TEST(AssocCache, ZeroWayPartitionRejected) {
+  SetAssociativeCache cache(small_cache());
+  EXPECT_THROW(cache.set_partition(1, 0), util::CheckFailure);
+}
+
+// Validation against the fluid occupancy model: a hot/cold pattern whose
+// working set fits should show a high hit ratio; as the working set grows
+// past capacity the hit ratio must fall monotonically — the same shape
+// compute_rate assumes via resident_fraction.
+class AssocVsFluid : public ::testing::TestWithParam<double> {};
+
+TEST_P(AssocVsFluid, HitRatioFallsWithOversubscription) {
+  const double ws_scale = GetParam();  // working set / capacity
+  SetAssociativeCache cache(small_cache());
+  const std::uint64_t ws_bytes =
+      static_cast<std::uint64_t>(ws_scale * KB(64));
+  trace::RegionSpec spec;
+  spec.base = 0;
+  spec.size_bytes = std::max<std::uint64_t>(ws_bytes, 1024);
+  spec.pattern = trace::Pattern::kRandomUniform;
+  spec.access_granularity = 64;
+  trace::RegionAccessSource src(spec, 200000, 7);
+  trace::TraceRecord rec;
+  while (src.next(rec)) cache.access(rec.value, 1);
+
+  const double hit_ratio = cache.stats().hit_ratio();
+  if (ws_scale <= 0.5) {
+    EXPECT_GT(hit_ratio, 0.95);
+  } else if (ws_scale >= 4.0) {
+    EXPECT_LT(hit_ratio, 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, AssocVsFluid,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace rda::sim

@@ -1,0 +1,140 @@
+#include "sim/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace rda::sim {
+namespace {
+
+using rda::util::MB;
+
+TEST(LlcModel, PhaseLifecycle) {
+  LlcModel llc(MB(15));
+  EXPECT_FALSE(llc.registered(1));
+  llc.phase_enter(1, MB(2));
+  EXPECT_TRUE(llc.registered(1));
+  EXPECT_DOUBLE_EQ(llc.occupancy_bytes(1), 0.0);
+  EXPECT_DOUBLE_EQ(llc.resident_fraction(1), 0.0);
+  llc.phase_exit(1);
+  EXPECT_FALSE(llc.registered(1));
+  llc.check_invariants();
+}
+
+TEST(LlcModel, DoubleEnterRejected) {
+  LlcModel llc(MB(15));
+  llc.phase_enter(1, MB(1));
+  EXPECT_THROW(llc.phase_enter(1, MB(1)), util::CheckFailure);
+}
+
+TEST(LlcModel, ExitWithoutEnterRejected) {
+  LlcModel llc(MB(15));
+  EXPECT_THROW(llc.phase_exit(7), util::CheckFailure);
+}
+
+TEST(LlcModel, FillGrowsTowardWorkingSet) {
+  LlcModel llc(MB(15));
+  llc.phase_enter(1, MB(2));
+  llc.advance({{1, static_cast<double>(MB(1)), 0.0}});
+  EXPECT_DOUBLE_EQ(llc.occupancy_bytes(1), static_cast<double>(MB(1)));
+  EXPECT_NEAR(llc.resident_fraction(1), 0.5, 1e-12);
+  // Over-filling saturates at the working set.
+  llc.advance({{1, static_cast<double>(MB(5)), 0.0}});
+  EXPECT_DOUBLE_EQ(llc.occupancy_bytes(1), static_cast<double>(MB(2)));
+  EXPECT_DOUBLE_EQ(llc.resident_fraction(1), 1.0);
+  llc.check_invariants();
+}
+
+TEST(LlcModel, CapacityOverflowEvictsProportionally) {
+  LlcModel llc(MB(10));
+  llc.phase_enter(1, MB(8));
+  llc.phase_enter(2, MB(8));
+  llc.advance({{1, static_cast<double>(MB(8)), 0.0},
+               {2, static_cast<double>(MB(8)), 0.0}});
+  // 16 MB demanded of a 10 MB cache: both get scaled to ~5 MB.
+  EXPECT_NEAR(llc.total_occupancy(), static_cast<double>(MB(10)), 1.0);
+  EXPECT_NEAR(llc.occupancy_bytes(1), llc.occupancy_bytes(2), 1.0);
+  llc.check_invariants();
+}
+
+TEST(LlcModel, StreamingEvictsResidents) {
+  LlcModel llc(MB(10));
+  llc.phase_enter(1, MB(5));
+  llc.advance({{1, static_cast<double>(MB(5)), 0.0}});
+  EXPECT_DOUBLE_EQ(llc.resident_fraction(1), 1.0);
+  llc.phase_enter(2, MB(1));
+  // Thread 2 streams 20 MB through the cache; thread 1 must lose lines.
+  llc.advance({{2, 0.0, static_cast<double>(MB(20))}});
+  EXPECT_LT(llc.resident_fraction(1), 1.0);
+  EXPECT_GT(llc.resident_fraction(1), 0.0);
+  llc.check_invariants();
+}
+
+TEST(LlcModel, ExitReleasesOccupancyForOthers) {
+  LlcModel llc(MB(10));
+  llc.phase_enter(1, MB(8));
+  llc.phase_enter(2, MB(8));
+  llc.advance({{1, static_cast<double>(MB(8)), 0.0},
+               {2, static_cast<double>(MB(8)), 0.0}});
+  llc.phase_exit(1);
+  const double before = llc.occupancy_bytes(2);
+  // With 1 gone, 2 can now grow to its full working set.
+  llc.advance({{2, static_cast<double>(MB(8)), 0.0}});
+  EXPECT_GT(llc.occupancy_bytes(2), before);
+  EXPECT_NEAR(llc.resident_fraction(2), 1.0, 1e-9);
+  llc.check_invariants();
+}
+
+TEST(LlcModel, ZeroWssPhaseIsFullyResident) {
+  LlcModel llc(MB(10));
+  llc.phase_enter(1, 0);
+  EXPECT_DOUBLE_EQ(llc.resident_fraction(1), 1.0);
+  llc.check_invariants();
+}
+
+TEST(LlcModel, UnknownFillRejected) {
+  LlcModel llc(MB(10));
+  EXPECT_THROW(llc.advance({{99, 100.0, 0.0}}), util::CheckFailure);
+}
+
+// Property sweep: random fill/exit sequences never violate the invariants.
+class LlcPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LlcPropertyTest, InvariantsHoldUnderRandomTraffic) {
+  util::Rng rng(GetParam());
+  LlcModel llc(MB(15));
+  std::vector<ThreadId> active;
+  ThreadId next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.next_double();
+    if (action < 0.15 && active.size() < 24) {
+      const ThreadId tid = next_id++;
+      llc.phase_enter(tid, MB(rng.next_double(0.1, 6.0)));
+      active.push_back(tid);
+    } else if (action < 0.25 && !active.empty()) {
+      const std::size_t idx = rng.next_below(active.size());
+      llc.phase_exit(active[idx]);
+      active.erase(active.begin() + static_cast<long>(idx));
+    } else if (!active.empty()) {
+      std::vector<FillTraffic> fills;
+      for (const ThreadId tid : active) {
+        if (rng.next_bool(0.5)) {
+          fills.push_back({tid, rng.next_double(0, 1e6),
+                           rng.next_double(0, 1e6)});
+        }
+      }
+      llc.advance(fills);
+    }
+    llc.check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LlcPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 17, 23));
+
+}  // namespace
+}  // namespace rda::sim

@@ -1,0 +1,66 @@
+#include "sim/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rda::sim {
+namespace {
+
+TEST(EnergyMeter, StartsAtZero) {
+  Calibration calib;
+  EnergyMeter meter(calib, 12);
+  EXPECT_DOUBLE_EQ(meter.package_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.dram_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.system_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.dram_bytes(), 0.0);
+}
+
+TEST(EnergyMeter, AllIdleBurnsStaticPowerOnly) {
+  Calibration calib;
+  EnergyMeter meter(calib, 12);
+  meter.accumulate(10.0, /*active=*/0, /*dram_bytes=*/0.0);
+  const double expected_pkg =
+      10.0 * (12 * calib.core_idle_power + calib.uncore_power);
+  EXPECT_NEAR(meter.package_joules(), expected_pkg, 1e-9);
+  EXPECT_NEAR(meter.dram_joules(), 10.0 * calib.dram_static_power, 1e-9);
+}
+
+TEST(EnergyMeter, ActiveCoresCostMore) {
+  Calibration calib;
+  EnergyMeter idle(calib, 12), busy(calib, 12);
+  idle.accumulate(1.0, 0, 0.0);
+  busy.accumulate(1.0, 12, 0.0);
+  EXPECT_GT(busy.package_joules(), idle.package_joules());
+  const double delta = busy.package_joules() - idle.package_joules();
+  EXPECT_NEAR(delta, 12 * (calib.core_active_power - calib.core_idle_power),
+              1e-9);
+}
+
+TEST(EnergyMeter, DramEnergyScalesWithBytes) {
+  Calibration calib;
+  EnergyMeter meter(calib, 1);
+  meter.accumulate(0.0, 0, 1e9);  // a gigabyte, instantaneously
+  EXPECT_NEAR(meter.dram_joules(), 1e9 * calib.dram_energy_per_byte, 1e-12);
+  EXPECT_DOUBLE_EQ(meter.dram_bytes(), 1e9);
+}
+
+TEST(EnergyMeter, SystemIsPackagePlusDram) {
+  Calibration calib;
+  EnergyMeter meter(calib, 4);
+  meter.accumulate(2.5, 3, 5e8);
+  EXPECT_DOUBLE_EQ(meter.system_joules(),
+                   meter.package_joules() + meter.dram_joules());
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 2.5);
+}
+
+TEST(EnergyMeter, AccumulationIsAdditive) {
+  Calibration calib;
+  EnergyMeter a(calib, 12), b(calib, 12);
+  a.accumulate(1.0, 6, 1e8);
+  a.accumulate(1.0, 6, 1e8);
+  b.accumulate(2.0, 6, 2e8);
+  EXPECT_NEAR(a.package_joules(), b.package_joules(), 1e-9);
+  EXPECT_NEAR(a.dram_joules(), b.dram_joules(), 1e-9);
+}
+
+}  // namespace
+}  // namespace rda::sim

@@ -1,0 +1,308 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace rda::sim {
+namespace {
+
+using rda::util::MB;
+
+EngineConfig small_machine(int cores = 2) {
+  EngineConfig cfg;
+  cfg.machine = MachineConfig();
+  cfg.machine.cores = cores;
+  cfg.machine.llc_bytes = MB(8);
+  cfg.machine.dram_bandwidth = 30e9;
+  return cfg;
+}
+
+PhaseProgram single_phase(double flops, std::uint64_t wss, ReuseLevel reuse,
+                          bool marked = false) {
+  ProgramBuilder b;
+  if (marked) {
+    b.period("p", flops, wss, reuse);
+  } else {
+    b.plain("p", flops, wss, reuse);
+  }
+  return b.build();
+}
+
+TEST(Engine, SingleThreadRunsToCompletion) {
+  Engine engine(small_machine(1));
+  const ProcessId pid = engine.create_process();
+  engine.add_thread(pid, single_phase(1e9, MB(1), ReuseLevel::kHigh));
+  const SimResult result = engine.run();
+  EXPECT_NEAR(result.total_flops, 1e9, 1.0);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_FALSE(result.hit_time_limit);
+  // Alone with a fitting working set, near-peak throughput.
+  EXPECT_GT(result.gflops(), 4.5);
+  EXPECT_LT(result.gflops(), 5.6);
+}
+
+TEST(Engine, EnergyAccountedForWholeRun) {
+  Engine engine(small_machine(2));
+  const ProcessId pid = engine.create_process();
+  engine.add_thread(pid, single_phase(2e9, MB(1), ReuseLevel::kHigh));
+  const SimResult result = engine.run();
+  EXPECT_GT(result.package_joules, 0.0);
+  EXPECT_GT(result.dram_joules, 0.0);
+  EXPECT_GT(result.system_joules(), result.package_joules);
+  EXPECT_GT(result.gflops_per_watt(), 0.0);
+}
+
+TEST(Engine, TwoThreadsOnTwoCoresRunConcurrently) {
+  Engine engine(small_machine(2));
+  const ProcessId pid = engine.create_process();
+  engine.add_thread(pid, single_phase(1e9, MB(1), ReuseLevel::kHigh));
+  engine.add_thread(pid, single_phase(1e9, MB(1), ReuseLevel::kHigh));
+  const SimResult result = engine.run();
+  Engine solo_engine(small_machine(2));
+  const ProcessId solo_pid = solo_engine.create_process();
+  solo_engine.add_thread(solo_pid, single_phase(1e9, MB(1), ReuseLevel::kHigh));
+  const SimResult solo = solo_engine.run();
+  // Independent cores, fitting working sets: near-perfect scaling.
+  EXPECT_LT(result.makespan, solo.makespan * 1.1);
+  EXPECT_NEAR(result.total_flops, 2e9, 1.0);
+}
+
+TEST(Engine, TimeSharingIsFair) {
+  // 2 threads, 1 core: both finish, at roughly double the solo time.
+  Engine engine(small_machine(1));
+  const ProcessId pid = engine.create_process();
+  engine.add_thread(pid, single_phase(1e9, MB(1), ReuseLevel::kHigh));
+  engine.add_thread(pid, single_phase(1e9, MB(1), ReuseLevel::kHigh));
+  const SimResult result = engine.run();
+  ASSERT_EQ(result.threads.size(), 2u);
+  // Fairness: cpu time within 20% of each other.
+  const double a = result.threads[0].cpu_time;
+  const double b = result.threads[1].cpu_time;
+  EXPECT_NEAR(a, b, 0.2 * std::max(a, b));
+  EXPECT_GT(result.context_switches, 0u);
+}
+
+TEST(Engine, CacheContentionSlowsCoRunners) {
+  // Two high-reuse threads whose working sets together exceed the LLC.
+  auto cfg = small_machine(2);
+  cfg.machine.llc_bytes = MB(4);
+  Engine contended(cfg);
+  const ProcessId pid = contended.create_process();
+  contended.add_thread(pid, single_phase(2e9, MB(4), ReuseLevel::kHigh));
+  contended.add_thread(pid, single_phase(2e9, MB(4), ReuseLevel::kHigh));
+  const SimResult both = contended.run();
+
+  Engine alone(cfg);
+  const ProcessId pid2 = alone.create_process();
+  alone.add_thread(pid2, single_phase(2e9, MB(4), ReuseLevel::kHigh));
+  const SimResult solo = alone.run();
+
+  // Each of the co-runners gets only ~half the cache: throughput per thread
+  // drops well below solo throughput.
+  const double per_thread_gflops = both.total_flops / both.makespan / 2.0;
+  const double solo_gflops = solo.total_flops / solo.makespan;
+  EXPECT_LT(per_thread_gflops, 0.85 * solo_gflops);
+}
+
+TEST(Engine, BarrierSynchronizesProcess) {
+  Engine engine(small_machine(2));
+  const ProcessId pid = engine.create_process();
+  // Thread 0 has much less phase-1 work; the barrier makes it wait.
+  PhaseProgram fast = ProgramBuilder()
+                          .plain("a", 1e8, MB(1), ReuseLevel::kHigh)
+                          .barrier()
+                          .plain("b", 1e8, MB(1), ReuseLevel::kHigh)
+                          .build();
+  PhaseProgram slow = ProgramBuilder()
+                          .plain("a", 2e9, MB(1), ReuseLevel::kHigh)
+                          .barrier()
+                          .plain("b", 1e8, MB(1), ReuseLevel::kHigh)
+                          .build();
+  engine.add_thread(pid, fast);
+  engine.add_thread(pid, slow);
+  const SimResult result = engine.run();
+  // Both finish; the fast thread's finish time is dominated by the barrier.
+  EXPECT_NEAR(result.threads[0].finish_time, result.threads[1].finish_time,
+              0.15 * result.threads[1].finish_time);
+}
+
+TEST(Engine, BarrierReleasedWhenSiblingFinishes) {
+  // Thread 1's program ends before the barrier phase of thread 0 arrives;
+  // the barrier must not wait for finished threads.
+  Engine engine(small_machine(2));
+  const ProcessId pid = engine.create_process();
+  PhaseProgram with_barrier = ProgramBuilder()
+                                  .plain("a", 5e8, MB(1), ReuseLevel::kHigh)
+                                  .barrier()
+                                  .plain("b", 1e8, MB(1), ReuseLevel::kHigh)
+                                  .build();
+  PhaseProgram short_program =
+      ProgramBuilder().plain("a", 1e8, MB(1), ReuseLevel::kHigh).build();
+  engine.add_thread(pid, with_barrier);
+  engine.add_thread(pid, short_program);
+  const SimResult result = engine.run();
+  EXPECT_FALSE(result.hit_time_limit);
+  EXPECT_NEAR(result.total_flops, 7e8, 1.0);
+}
+
+TEST(Engine, ManyThreadsAllComplete) {
+  auto cfg = small_machine(4);
+  Engine engine(cfg);
+  for (int p = 0; p < 16; ++p) {
+    const ProcessId pid = engine.create_process();
+    engine.add_thread(pid,
+                      single_phase(2e8, MB(0.5), ReuseLevel::kMedium));
+  }
+  const SimResult result = engine.run();
+  EXPECT_NEAR(result.total_flops, 16 * 2e8, 10.0);
+  for (const ThreadStats& t : result.threads) {
+    EXPECT_GT(t.finish_time, 0.0);
+    EXPECT_GT(t.flops, 0.0);
+  }
+}
+
+TEST(Engine, TimeLimitAborts) {
+  auto cfg = small_machine(1);
+  cfg.time_limit = 1e-3;
+  Engine engine(cfg);
+  const ProcessId pid = engine.create_process();
+  engine.add_thread(pid, single_phase(1e12, MB(1), ReuseLevel::kHigh));
+  const SimResult result = engine.run();
+  EXPECT_TRUE(result.hit_time_limit);
+  EXPECT_LT(result.total_flops, 1e12);
+}
+
+TEST(Engine, RunIsSingleShot) {
+  Engine engine(small_machine(1));
+  const ProcessId pid = engine.create_process();
+  engine.add_thread(pid, single_phase(1e6, MB(1), ReuseLevel::kLow));
+  engine.run();
+  EXPECT_THROW(engine.run(), util::CheckFailure);
+}
+
+TEST(Engine, ZeroFlopPhasesPassThrough) {
+  Engine engine(small_machine(1));
+  const ProcessId pid = engine.create_process();
+  PhaseProgram program = ProgramBuilder()
+                             .plain("empty", 0.0, MB(1), ReuseLevel::kLow)
+                             .plain("work", 1e8, MB(1), ReuseLevel::kLow)
+                             .plain("empty2", 0.0, 0, ReuseLevel::kLow)
+                             .build();
+  engine.add_thread(pid, program);
+  const SimResult result = engine.run();
+  EXPECT_NEAR(result.total_flops, 1e8, 1.0);
+  EXPECT_FALSE(result.hit_time_limit);
+}
+
+// A gate that denies the first N begins, then admits everything and wakes
+// one parked thread per end.
+class CountingGate : public PhaseGate {
+ public:
+  explicit CountingGate(int deny_first) : deny_remaining_(deny_first) {}
+
+  BeginResult on_phase_begin(ThreadId thread, ProcessId, const PhaseSpec&,
+                             double) override {
+    ++begins_;
+    if (deny_remaining_ > 0) {
+      --deny_remaining_;
+      parked_.push_back(thread);
+      return {false, 1e-6};
+    }
+    return {true, 1e-6};
+  }
+
+  EndResult on_phase_end(ThreadId, ProcessId, const PhaseSpec&,
+                         const PhaseObservation&, double) override {
+    ++ends_;
+    if (!parked_.empty() && waker_ != nullptr) {
+      const ThreadId tid = parked_.back();
+      parked_.pop_back();
+      waker_->wake(tid);
+    }
+    return {1e-6};
+  }
+
+  void attach(ThreadWaker& waker) override { waker_ = &waker; }
+
+  int begins_ = 0;
+  int ends_ = 0;
+
+ private:
+  int deny_remaining_;
+  std::vector<ThreadId> parked_;
+  ThreadWaker* waker_ = nullptr;
+};
+
+TEST(Engine, GateBlocksAndWakesThreads) {
+  Engine engine(small_machine(2));
+  CountingGate gate(/*deny_first=*/1);
+  engine.set_gate(&gate);
+  const ProcessId p1 = engine.create_process();
+  const ProcessId p2 = engine.create_process();
+  engine.add_thread(p1, single_phase(5e8, MB(1), ReuseLevel::kHigh,
+                                     /*marked=*/true));
+  engine.add_thread(p2, single_phase(5e8, MB(1), ReuseLevel::kHigh,
+                                     /*marked=*/true));
+  const SimResult result = engine.run();
+  EXPECT_EQ(gate.begins_, 2);
+  EXPECT_EQ(gate.ends_, 2);
+  EXPECT_EQ(result.gate_blocks, 1u);
+  EXPECT_NEAR(result.total_flops, 1e9, 1.0);
+  // One thread spent time parked.
+  const double blocked = result.threads[0].gate_blocked_time +
+                         result.threads[1].gate_blocked_time;
+  EXPECT_GT(blocked, 0.0);
+}
+
+TEST(Engine, UnmarkedPhasesNeverConsultGate) {
+  Engine engine(small_machine(1));
+  CountingGate gate(0);
+  engine.set_gate(&gate);
+  const ProcessId pid = engine.create_process();
+  engine.add_thread(pid, single_phase(1e8, MB(1), ReuseLevel::kLow,
+                                      /*marked=*/false));
+  engine.run();
+  EXPECT_EQ(gate.begins_, 0);
+  EXPECT_EQ(gate.ends_, 0);
+}
+
+TEST(Engine, ApiCostChargedToMakespan) {
+  // Same work, one run with free API calls, one with expensive ones.
+  auto run_with_cost = [&](double cost) {
+    Engine engine(small_machine(1));
+    class CostGate : public PhaseGate {
+     public:
+      explicit CostGate(double c) : cost_(c) {}
+      BeginResult on_phase_begin(ThreadId, ProcessId, const PhaseSpec&,
+                                 double) override {
+        return {true, cost_};
+      }
+      EndResult on_phase_end(ThreadId, ProcessId, const PhaseSpec&,
+                             const PhaseObservation&, double) override {
+        return {cost_};
+      }
+      void attach(ThreadWaker&) override {}
+
+     private:
+      double cost_;
+    };
+    CostGate gate(cost);
+    engine.set_gate(&gate);
+    const ProcessId pid = engine.create_process();
+    ProgramBuilder b;
+    for (int i = 0; i < 100; ++i) {
+      b.period("pp", 1e6, MB(0.5), ReuseLevel::kHigh);
+    }
+    engine.add_thread(pid, b.build());
+    return engine.run().makespan;
+  };
+  const double cheap = run_with_cost(0.0);
+  const double costly = run_with_cost(1e-3);
+  // 200 calls x 1ms = 0.2s of pure overhead.
+  EXPECT_NEAR(costly - cheap, 0.2, 0.02);
+}
+
+}  // namespace
+}  // namespace rda::sim

@@ -1,0 +1,129 @@
+#include "sim/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rda::sim {
+namespace {
+
+TEST(PerfModel, FullyResidentHighReuseNearPeak) {
+  Calibration calib;
+  const PhaseRate rate = compute_rate(calib, ReuseLevel::kHigh, 1.0);
+  // Only the small streaming term remains: within a few % of peak.
+  EXPECT_GT(rate.flops_per_sec, 0.95 * calib.core_flops);
+  EXPECT_DOUBLE_EQ(rate.residency_bytes_per_sec, 0.0);
+}
+
+TEST(PerfModel, EvictionSlowsHighReuseMoreThanLow) {
+  Calibration calib;
+  const double high_resident =
+      compute_rate(calib, ReuseLevel::kHigh, 1.0).flops_per_sec;
+  const double high_evicted =
+      compute_rate(calib, ReuseLevel::kHigh, 0.0).flops_per_sec;
+  const double low_resident =
+      compute_rate(calib, ReuseLevel::kLow, 1.0).flops_per_sec;
+  const double low_evicted =
+      compute_rate(calib, ReuseLevel::kLow, 0.0).flops_per_sec;
+  const double high_slowdown = high_resident / high_evicted;
+  const double low_slowdown = low_resident / low_evicted;
+  EXPECT_GT(high_slowdown, low_slowdown);
+  EXPECT_GT(high_slowdown, 1.5);  // losing the cache must hurt a lot
+  EXPECT_LT(low_slowdown, 1.2);   // streaming barely cares
+}
+
+TEST(PerfModel, RateMonotonicInResidency) {
+  Calibration calib;
+  double prev = 0.0;
+  for (double f = 0.0; f <= 1.0; f += 0.1) {
+    const double rate = compute_rate(calib, ReuseLevel::kHigh, f).flops_per_sec;
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(PerfModel, TrafficConsistentWithMissRates) {
+  Calibration calib;
+  const PhaseRate r = compute_rate(calib, ReuseLevel::kMedium, 0.5);
+  EXPECT_NEAR(r.dram_bytes_per_sec,
+              r.residency_bytes_per_sec / calib.fill_efficiency +
+                  r.streaming_bytes_per_sec,
+              1e-6 * r.dram_bytes_per_sec);
+}
+
+TEST(PerfModel, ResidentFractionClamped) {
+  Calibration calib;
+  const PhaseRate below = compute_rate(calib, ReuseLevel::kHigh, -0.5);
+  const PhaseRate zero = compute_rate(calib, ReuseLevel::kHigh, 0.0);
+  EXPECT_DOUBLE_EQ(below.flops_per_sec, zero.flops_per_sec);
+  const PhaseRate above = compute_rate(calib, ReuseLevel::kHigh, 1.5);
+  const PhaseRate one = compute_rate(calib, ReuseLevel::kHigh, 1.0);
+  EXPECT_DOUBLE_EQ(above.flops_per_sec, one.flops_per_sec);
+}
+
+TEST(PerfModel, BandwidthCapScalesAggregateTraffic) {
+  Calibration calib;
+  // 12 fully-evicted low-reuse (streaming) threads oversubscribe DRAM.
+  std::vector<RateRequest> requests(12, {ReuseLevel::kLow, 0.0});
+  const double bw = 10e9;
+  const auto rates = compute_rates_capped(calib, requests, bw);
+  double total = 0.0;
+  for (const PhaseRate& r : rates) total += r.dram_bytes_per_sec;
+  EXPECT_LE(total, bw * 1.001);
+  EXPECT_GT(total, bw * 0.98);  // the cap binds, not over-throttles
+}
+
+TEST(PerfModel, NoCapWhenTrafficFits) {
+  Calibration calib;
+  std::vector<RateRequest> requests(2, {ReuseLevel::kHigh, 1.0});
+  const auto capped = compute_rates_capped(calib, requests, 100e9);
+  const PhaseRate solo = compute_rate(calib, ReuseLevel::kHigh, 1.0);
+  EXPECT_DOUBLE_EQ(capped[0].flops_per_sec, solo.flops_per_sec);
+}
+
+TEST(PerfModel, CapHitsMemoryBoundThreadsHarder) {
+  Calibration calib;
+  std::vector<RateRequest> requests = {
+      {ReuseLevel::kLow, 0.0},   // streaming, memory bound
+      {ReuseLevel::kHigh, 1.0},  // resident, compute bound
+  };
+  // Add streaming threads until the cap binds.
+  for (int i = 0; i < 10; ++i) requests.push_back({ReuseLevel::kLow, 0.0});
+  const auto capped = compute_rates_capped(calib, requests, 8e9);
+  const double stream_uncapped =
+      compute_rate(calib, ReuseLevel::kLow, 0.0).flops_per_sec;
+  const double compute_uncapped =
+      compute_rate(calib, ReuseLevel::kHigh, 1.0).flops_per_sec;
+  const double stream_loss = capped[0].flops_per_sec / stream_uncapped;
+  const double compute_loss = capped[1].flops_per_sec / compute_uncapped;
+  EXPECT_LT(stream_loss, 0.9);           // memory-bound thread throttled
+  EXPECT_GT(compute_loss, stream_loss);  // compute-bound one less affected
+}
+
+TEST(PerfModel, EmptyRequestListOk) {
+  Calibration calib;
+  EXPECT_TRUE(compute_rates_capped(calib, {}, 1e9).empty());
+}
+
+// Property sweep over reuse levels and residency: rates and traffic always
+// positive and finite.
+class PerfSweep
+    : public ::testing::TestWithParam<std::tuple<ReuseLevel, double>> {};
+
+TEST_P(PerfSweep, RatesFiniteAndPositive) {
+  Calibration calib;
+  const auto [reuse, fraction] = GetParam();
+  const PhaseRate r = compute_rate(calib, reuse, fraction);
+  EXPECT_GT(r.flops_per_sec, 0.0);
+  EXPECT_GE(r.dram_bytes_per_sec, 0.0);
+  EXPECT_GE(r.residency_bytes_per_sec, 0.0);
+  EXPECT_GE(r.streaming_bytes_per_sec, 0.0);
+  EXPECT_LT(r.flops_per_sec, calib.core_flops * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PerfSweep,
+    ::testing::Combine(::testing::Values(ReuseLevel::kLow, ReuseLevel::kMedium,
+                                         ReuseLevel::kHigh),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0)));
+
+}  // namespace
+}  // namespace rda::sim

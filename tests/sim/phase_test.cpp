@@ -1,0 +1,86 @@
+#include "sim/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace rda::sim {
+namespace {
+
+using rda::util::MB;
+
+TEST(ProgramBuilder, PeriodsAreMarked) {
+  const PhaseProgram p = ProgramBuilder()
+                             .period("pp", 1e9, MB(2), ReuseLevel::kHigh)
+                             .plain("glue", 1e8, MB(0.1), ReuseLevel::kLow)
+                             .build();
+  ASSERT_EQ(p.phases.size(), 2u);
+  EXPECT_TRUE(p.phases[0].marked);
+  EXPECT_FALSE(p.phases[1].marked);
+  EXPECT_EQ(p.phases[0].label, "pp");
+  EXPECT_EQ(p.marked_count(), 1u);
+}
+
+TEST(ProgramBuilder, TotalsSum) {
+  const PhaseProgram p = ProgramBuilder()
+                             .period("a", 1e9, MB(1), ReuseLevel::kHigh)
+                             .period("b", 2e9, MB(1), ReuseLevel::kHigh)
+                             .plain("c", 5e8, MB(1), ReuseLevel::kLow)
+                             .build();
+  EXPECT_DOUBLE_EQ(p.total_flops(), 3.5e9);
+  EXPECT_EQ(p.marked_count(), 2u);
+}
+
+TEST(ProgramBuilder, BarrierAttachesToLastPhase) {
+  const PhaseProgram p = ProgramBuilder()
+                             .plain("a", 1e8, MB(1), ReuseLevel::kLow)
+                             .barrier()
+                             .plain("b", 1e8, MB(1), ReuseLevel::kLow)
+                             .build();
+  EXPECT_TRUE(p.phases[0].barrier_after);
+  EXPECT_FALSE(p.phases[1].barrier_after);
+}
+
+TEST(ProgramBuilder, BarrierOnEmptyProgramIsNoop) {
+  const PhaseProgram p = ProgramBuilder().barrier().build();
+  EXPECT_TRUE(p.phases.empty());
+}
+
+TEST(ProgramBuilder, DeclaredOverridesGateView) {
+  const PhaseProgram p = ProgramBuilder()
+                             .period("pp", 1e9, MB(2), ReuseLevel::kHigh)
+                             .declared(MB(12))
+                             .build();
+  EXPECT_EQ(p.phases[0].wss_bytes, MB(2));            // true behaviour
+  EXPECT_EQ(p.phases[0].declared_wss(), MB(12));      // what the gate sees
+}
+
+TEST(ProgramBuilder, HonestByDefault) {
+  const PhaseProgram p = ProgramBuilder()
+                             .period("pp", 1e9, MB(2), ReuseLevel::kHigh)
+                             .build();
+  EXPECT_EQ(p.phases[0].declared_wss_bytes, 0u);
+  EXPECT_EQ(p.phases[0].declared_wss(), MB(2));
+}
+
+TEST(ProgramBuilder, PeriodBwDeclaresBandwidth) {
+  const PhaseProgram p =
+      ProgramBuilder()
+          .period_bw("stream", 1e9, MB(0.6), ReuseLevel::kLow, 8e9)
+          .period("plainpp", 1e9, MB(1), ReuseLevel::kHigh)
+          .build();
+  EXPECT_DOUBLE_EQ(p.phases[0].bw_bytes_per_sec, 8e9);
+  EXPECT_DOUBLE_EQ(p.phases[1].bw_bytes_per_sec, 0.0);
+}
+
+TEST(PhaseSpec, DefaultsAreSafe) {
+  const PhaseSpec p;
+  EXPECT_FALSE(p.marked);
+  EXPECT_FALSE(p.barrier_after);
+  EXPECT_FALSE(p.contains_blocking_sync);
+  EXPECT_DOUBLE_EQ(p.flops, 0.0);
+  EXPECT_EQ(p.declared_wss(), 0u);
+}
+
+}  // namespace
+}  // namespace rda::sim

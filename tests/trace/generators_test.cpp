@@ -1,0 +1,224 @@
+#include "trace/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "util/units.hpp"
+
+namespace rda::trace {
+namespace {
+
+using rda::util::KB;
+
+std::vector<TraceRecord> memory_only(const std::vector<TraceRecord>& records) {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records) {
+    if (r.is_memory()) out.push_back(r);
+  }
+  return out;
+}
+
+TEST(RegionAccessSource, SequentialCoversRegionInOrder) {
+  RegionSpec spec;
+  spec.base = 0x1000;
+  spec.size_bytes = 64;  // 8 words
+  spec.pattern = Pattern::kSequential;
+  spec.store_ratio = 0.0;
+  RegionAccessSource src(spec, 16, /*seed=*/1);
+  const auto records = drain(src);
+  ASSERT_EQ(records.size(), 16u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].value, 0x1000 + (i % 8) * 8) << i;
+    EXPECT_EQ(records[i].kind, RecordKind::kLoad);
+  }
+}
+
+TEST(RegionAccessSource, StoreRatioRespected) {
+  RegionSpec spec;
+  spec.base = 0;
+  spec.size_bytes = KB(64);
+  spec.pattern = Pattern::kRandomUniform;
+  spec.store_ratio = 0.5;
+  RegionAccessSource src(spec, 20000, 2);
+  std::size_t stores = 0, total = 0;
+  TraceRecord rec;
+  while (src.next(rec)) {
+    ++total;
+    stores += rec.kind == RecordKind::kStore;
+  }
+  EXPECT_EQ(total, 20000u);
+  EXPECT_NEAR(static_cast<double>(stores) / total, 0.5, 0.02);
+}
+
+TEST(RegionAccessSource, RandomStaysInRegion) {
+  RegionSpec spec;
+  spec.base = 0x4000;
+  spec.size_bytes = KB(4);
+  spec.pattern = Pattern::kRandomUniform;
+  RegionAccessSource src(spec, 5000, 3);
+  TraceRecord rec;
+  while (src.next(rec)) {
+    if (!rec.is_memory()) continue;
+    EXPECT_GE(rec.value, 0x4000u);
+    EXPECT_LT(rec.value, 0x4000u + KB(4));
+  }
+}
+
+TEST(RegionAccessSource, HotColdConcentratesAccesses) {
+  RegionSpec spec;
+  spec.base = 0;
+  spec.size_bytes = KB(64);
+  spec.pattern = Pattern::kHotCold;
+  spec.hot_fraction = 0.125;
+  spec.hot_probability = 0.9;
+  RegionAccessSource src(spec, 50000, 4);
+  const std::uint64_t hot_end = static_cast<std::uint64_t>(KB(64) * 0.125);
+  std::size_t hot = 0, total = 0;
+  TraceRecord rec;
+  while (src.next(rec)) {
+    ++total;
+    hot += rec.value < hot_end;
+  }
+  // ~90% go directly to the hot set plus ~12.5% of the uniform remainder.
+  EXPECT_NEAR(static_cast<double>(hot) / total, 0.9 + 0.1 * 0.125, 0.02);
+}
+
+TEST(RegionAccessSource, JumpRecordsInterleaved) {
+  RegionSpec spec;
+  spec.base = 0;
+  spec.size_bytes = KB(1);
+  spec.pattern = Pattern::kSequential;
+  spec.jump_pc = 0xBEEF;
+  spec.jump_period = 10;
+  RegionAccessSource src(spec, 100, 5);
+  const auto records = drain(src);
+  std::size_t jumps = 0;
+  for (const TraceRecord& r : records) {
+    if (r.kind == RecordKind::kJump) {
+      EXPECT_EQ(r.value, 0xBEEFu);
+      ++jumps;
+    }
+  }
+  EXPECT_EQ(jumps, 100u / 10u - 0u);  // one per 10 memory records
+  EXPECT_EQ(memory_only(records).size(), 100u);
+}
+
+TEST(RegionAccessSource, DeterministicForSeed) {
+  RegionSpec spec;
+  spec.base = 0;
+  spec.size_bytes = KB(16);
+  spec.pattern = Pattern::kRandomUniform;
+  RegionAccessSource a(spec, 1000, 42), b(spec, 1000, 42);
+  const auto ra = drain(a), rb = drain(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].value, rb[i].value);
+    EXPECT_EQ(ra[i].kind, rb[i].kind);
+  }
+}
+
+TEST(PairInteraction, EmitsLoadLoadStoreTriples) {
+  PairInteractionSource src(/*base=*/0x100, /*num_records=*/4,
+                            /*record_bytes=*/32, /*max_pairs=*/6);
+  const auto records = drain(src);
+  ASSERT_EQ(records.size(), 18u);  // 6 pairs x 3 records
+  // First pair: (0,1) -> load m0, load m1, store m0.
+  EXPECT_EQ(records[0].value, 0x100u);
+  EXPECT_EQ(records[0].kind, RecordKind::kLoad);
+  EXPECT_EQ(records[1].value, 0x100u + 32u);
+  EXPECT_EQ(records[1].kind, RecordKind::kLoad);
+  EXPECT_EQ(records[2].value, 0x100u);
+  EXPECT_EQ(records[2].kind, RecordKind::kStore);
+}
+
+TEST(PairInteraction, TouchesAllRecords) {
+  const std::uint64_t n = 10;
+  PairInteractionSource src(0, n, 8, /*max_pairs=*/n * (n - 1) / 2);
+  std::set<std::uint64_t> addresses;
+  TraceRecord rec;
+  while (src.next(rec)) addresses.insert(rec.value);
+  EXPECT_EQ(addresses.size(), n);
+}
+
+TEST(PairInteraction, JumpAfterEachPairWhenRequested) {
+  PairInteractionSource src(0, 4, 8, 5, /*jump_pc=*/0xAB);
+  const auto records = drain(src);
+  ASSERT_EQ(records.size(), 20u);  // 5 pairs x (3 mem + 1 jump)
+  for (std::size_t i = 3; i < records.size(); i += 4) {
+    EXPECT_EQ(records[i].kind, RecordKind::kJump);
+    EXPECT_EQ(records[i].value, 0xABu);
+  }
+}
+
+TEST(GridSweep, StencilTouchesNeighboursAndCentre) {
+  const std::uint64_t n = 4, cell = 8;
+  GridSweepSource src(0, n, cell, /*sweeps=*/1);
+  const auto records = drain(src);
+  // Interior cells of a 4x4 grid: 2x2 = 4 cells x 5 records... the sweep
+  // terminates after the last interior cell of the final sweep.
+  ASSERT_GE(records.size(), 5u);
+  // First cell (1,1): loads (0,1),(2,1),(1,0),(1,2), stores (1,1).
+  auto addr = [&](std::uint64_t r, std::uint64_t c) {
+    return (r * n + c) * cell;
+  };
+  EXPECT_EQ(records[0].value, addr(0, 1));
+  EXPECT_EQ(records[1].value, addr(2, 1));
+  EXPECT_EQ(records[2].value, addr(1, 0));
+  EXPECT_EQ(records[3].value, addr(1, 2));
+  EXPECT_EQ(records[4].value, addr(1, 1));
+  EXPECT_EQ(records[4].kind, RecordKind::kStore);
+}
+
+TEST(GridSweep, NeverTouchesOutsideGrid) {
+  const std::uint64_t n = 8, cell = 16;
+  GridSweepSource src(0x1000, n, cell, 2);
+  TraceRecord rec;
+  while (src.next(rec)) {
+    EXPECT_GE(rec.value, 0x1000u);
+    EXPECT_LT(rec.value, 0x1000u + n * n * cell);
+  }
+}
+
+TEST(Combinators, ConcatPlaysInOrder) {
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  parts.push_back(std::make_unique<VectorSource>(
+      std::vector<TraceRecord>{{1, RecordKind::kLoad}}));
+  parts.push_back(std::make_unique<VectorSource>(
+      std::vector<TraceRecord>{{2, RecordKind::kStore}, {3, RecordKind::kLoad}}));
+  ConcatSource concat(std::move(parts));
+  const auto records = drain(concat);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].value, 1u);
+  EXPECT_EQ(records[1].value, 2u);
+  EXPECT_EQ(records[2].value, 3u);
+}
+
+TEST(Combinators, RepeatInvokesFactoryEachRound) {
+  int builds = 0;
+  RepeatSource repeat(
+      [&]() -> std::unique_ptr<TraceSource> {
+        ++builds;
+        return std::make_unique<VectorSource>(
+            std::vector<TraceRecord>{{7, RecordKind::kLoad}});
+      },
+      3);
+  EXPECT_EQ(count_records(repeat), 3u);
+  EXPECT_EQ(builds, 3);
+}
+
+TEST(Combinators, EmptyConcatAndRepeat) {
+  ConcatSource empty_concat({});
+  TraceRecord rec;
+  EXPECT_FALSE(empty_concat.next(rec));
+  RepeatSource empty_repeat(
+      [] {
+        return std::make_unique<VectorSource>(std::vector<TraceRecord>{});
+      },
+      5);
+  EXPECT_FALSE(empty_repeat.next(rec));
+}
+
+}  // namespace
+}  // namespace rda::trace

@@ -1,0 +1,81 @@
+#include "trace/loop_nest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace rda::trace {
+namespace {
+
+LoopNest make_gemm_nest(LoopId* i, LoopId* j, LoopId* k) {
+  // dgemm's classic three-deep nest (the paper's Fig. 11 subject).
+  LoopNest nest;
+  *i = nest.add_loop("dgemm.i", 0x1000, 0x2000);
+  *j = nest.add_nested(*i, "dgemm.j", 0x1100, 0x1e00);
+  *k = nest.add_nested(*j, "dgemm.k", 0x1200, 0x1c00);
+  return nest;
+}
+
+TEST(LoopNest, InnermostQueryPicksDeepest) {
+  LoopId i, j, k;
+  const LoopNest nest = make_gemm_nest(&i, &j, &k);
+  EXPECT_EQ(nest.innermost_containing(0x1500), k);
+  EXPECT_EQ(nest.innermost_containing(0x1d00), j);  // in j, outside k
+  EXPECT_EQ(nest.innermost_containing(0x1f00), i);  // in i only
+  EXPECT_FALSE(nest.innermost_containing(0x5000).has_value());
+}
+
+TEST(LoopNest, OutermostQueryPicksTopLevel) {
+  LoopId i, j, k;
+  const LoopNest nest = make_gemm_nest(&i, &j, &k);
+  EXPECT_EQ(nest.outermost_containing(0x1500), i);
+  EXPECT_FALSE(nest.outermost_containing(0x0).has_value());
+}
+
+TEST(LoopNest, OutermostAncestorWalksUp) {
+  LoopId i, j, k;
+  const LoopNest nest = make_gemm_nest(&i, &j, &k);
+  EXPECT_EQ(nest.outermost_ancestor(k), i);
+  EXPECT_EQ(nest.outermost_ancestor(j), i);
+  EXPECT_EQ(nest.outermost_ancestor(i), i);
+}
+
+TEST(LoopNest, DepthsAssigned) {
+  LoopId i, j, k;
+  const LoopNest nest = make_gemm_nest(&i, &j, &k);
+  EXPECT_EQ(nest.loop(i).depth, 0);
+  EXPECT_EQ(nest.loop(j).depth, 1);
+  EXPECT_EQ(nest.loop(k).depth, 2);
+  EXPECT_EQ(nest.loop(j).parent, i);
+}
+
+TEST(LoopNest, SiblingTopLevelLoops) {
+  LoopNest nest;
+  const LoopId a = nest.add_loop("phase1", 0x100, 0x200);
+  const LoopId b = nest.add_loop("phase2", 0x300, 0x400);
+  EXPECT_EQ(nest.outermost_containing(0x150), a);
+  EXPECT_EQ(nest.outermost_containing(0x350), b);
+  EXPECT_EQ(nest.size(), 2u);
+}
+
+TEST(LoopNest, RejectsEscapingNestedRange) {
+  LoopNest nest;
+  const LoopId outer = nest.add_loop("outer", 0x100, 0x200);
+  EXPECT_THROW(nest.add_nested(outer, "bad", 0x150, 0x250),
+               util::CheckFailure);
+}
+
+TEST(LoopNest, RejectsEmptyRange) {
+  LoopNest nest;
+  EXPECT_THROW(nest.add_loop("empty", 0x100, 0x100), util::CheckFailure);
+}
+
+TEST(LoopNest, BoundariesAreHalfOpen) {
+  LoopNest nest;
+  const LoopId a = nest.add_loop("a", 0x100, 0x200);
+  EXPECT_EQ(nest.innermost_containing(0x100), a);   // inclusive start
+  EXPECT_FALSE(nest.innermost_containing(0x200));   // exclusive end
+}
+
+}  // namespace
+}  // namespace rda::trace

@@ -1,0 +1,47 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rda::util {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(RDA_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(RDA_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailingCheckThrowsWithExpression) {
+  try {
+    RDA_CHECK(2 < 1);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsFormattedIntoWhat) {
+  try {
+    RDA_CHECK_MSG(false, "thread " << 42 << " misbehaved");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("thread 42 misbehaved"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&] {
+    ++calls;
+    return true;
+  };
+  RDA_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace rda::util

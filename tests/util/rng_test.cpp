@@ -1,0 +1,87 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rda::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(9);
+  const std::uint64_t first = a.next_u64();
+  a.next_u64();
+  a.reseed(9);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RangedDoubleWithinBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double(-3.0, 7.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 7.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(8);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  // bound 1 is always 0
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformishCoverage) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(16));
+  EXPECT_EQ(seen.size(), 16u);  // every bucket hit
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(12);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace rda::util

@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rda::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_gaussian() * 3.0 + 1.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit(10.0), 21.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  Rng rng(11);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(4.0 - 0.5 * x + rng.next_gaussian() * 0.1);
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, -0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 4.0, 0.2);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLine, DegenerateXGivesMean) {
+  const std::vector<double> xs = {2, 2, 2};
+  const std::vector<double> ys = {1, 2, 3};
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(FitLine, RejectsBadInput) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(fit_line(one, one), std::invalid_argument);
+  const std::vector<double> two = {1.0, 2.0};
+  const std::vector<double> three = {1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(two, three), std::invalid_argument);
+}
+
+TEST(Percentile, InterpolatesAndClamps) {
+  const std::vector<double> data = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(data, -5), 10.0);   // clamped
+  EXPECT_DOUBLE_EQ(percentile(data, 200), 40.0);  // clamped
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Means, ArithmeticAndGeometric) {
+  const std::vector<double> data = {1.0, 4.0, 16.0};
+  EXPECT_DOUBLE_EQ(mean_of(data), 7.0);
+  EXPECT_NEAR(geometric_mean(data), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace rda::util

@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rda::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"workload", "policy", "joules"});
+  t.begin_row().add_cell("BLAS-3").add_cell("strict").add_cell(123.456, 1);
+  t.begin_row().add_cell("Raytrace").add_cell("compromise").add_cell(7.0, 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("workload"), std::string::npos);
+  EXPECT_NE(out.find("BLAS-3"), std::string::npos);
+  EXPECT_NE(out.find("123.5"), std::string::npos);
+  EXPECT_NE(out.find("7.00"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "bbbb"});
+  t.begin_row().add_cell("xxxxxxx").add_cell("y");
+  const std::string out = t.render();
+  std::istringstream lines(out);
+  std::string header, underline, row;
+  std::getline(lines, header);
+  std::getline(lines, underline);
+  std::getline(lines, row);
+  // Second column starts at the same offset in header and row.
+  EXPECT_EQ(header.find("bbbb"), row.find("y"));
+  EXPECT_EQ(underline.size(), row.size());
+}
+
+TEST(Table, NumericCellTypes) {
+  Table t({"u64", "int", "double"});
+  t.begin_row()
+      .add_cell(std::uint64_t{18446744073709551615ull})
+      .add_cell(-3)
+      .add_cell(0.5, 3);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(out.find("-3"), std::string::npos);
+  EXPECT_NE(out.find("0.500"), std::string::npos);
+}
+
+TEST(Table, CellWithoutBeginRowStartsOne) {
+  Table t({"only"});
+  t.add_cell("value");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"h"});
+  t.begin_row().add_cell("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.render());
+}
+
+}  // namespace
+}  // namespace rda::util

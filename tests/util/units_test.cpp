@@ -1,0 +1,33 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rda::util {
+namespace {
+
+TEST(Units, ByteConversions) {
+  EXPECT_EQ(KB(1), 1024u);
+  EXPECT_EQ(MB(1), 1024u * 1024u);
+  EXPECT_EQ(GB(1), 1024ull * 1024ull * 1024ull);
+  // The paper's Fig. 4 literal: MB(6.3) for the dgemm working set.
+  EXPECT_EQ(MB(6.3), static_cast<std::uint64_t>(6.3 * 1024 * 1024));
+  EXPECT_EQ(KB(15360), MB(15));  // Table 1: 15360 KB L3 == 15 MB
+}
+
+TEST(Units, RoundTripMb) {
+  EXPECT_DOUBLE_EQ(bytes_to_mb(MB(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(bytes_to_mb(0), 0.0);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(ns(1), 1e-9);
+  EXPECT_DOUBLE_EQ(us(1), 1e-6);
+  EXPECT_DOUBLE_EQ(ms(6), 6e-3);
+  EXPECT_DOUBLE_EQ(seconds(2.5), 2.5);
+  EXPECT_DOUBLE_EQ(to_ms(ms(6)), 6.0);
+  EXPECT_DOUBLE_EQ(to_us(us(9)), 9.0);
+  EXPECT_DOUBLE_EQ(to_ns(ns(55)), 55.0);
+}
+
+}  // namespace
+}  // namespace rda::util

@@ -1,0 +1,70 @@
+#include "workload/native_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace rda::workload {
+namespace {
+
+using rda::util::MB;
+
+NativeRunConfig tiny(std::optional<core::PolicyKind> policy) {
+  NativeRunConfig cfg;
+  cfg.policy = policy;
+  cfg.llc_capacity_bytes = static_cast<double>(MB(15));
+  cfg.threads = 3;
+  cfg.repeats = 4;
+  cfg.size_scale = 0.25;
+  return cfg;
+}
+
+TEST(NativeRunner, Level1RunsWithoutGate) {
+  const NativeRunResult r = run_native_blas(1, tiny(std::nullopt));
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.flops, 0.0);
+  EXPECT_EQ(r.gate_waits, 0u);
+}
+
+TEST(NativeRunner, Level2RunsUnderStrict) {
+  const NativeRunResult r =
+      run_native_blas(2, tiny(core::PolicyKind::kStrict));
+  EXPECT_GT(r.flops, 0.0);
+  EXPECT_GT(r.gflops(), 0.0);
+}
+
+TEST(NativeRunner, Level3RunsUnderCompromise) {
+  const NativeRunResult r =
+      run_native_blas(3, tiny(core::PolicyKind::kCompromise));
+  EXPECT_GT(r.flops, 0.0);
+}
+
+TEST(NativeRunner, StrictSerializesWhenDemandsCollide) {
+  // Shrink the "LLC" so two operand sets cannot coexist: the gate must
+  // produce waits, and the work must still finish.
+  NativeRunConfig cfg = tiny(core::PolicyKind::kStrict);
+  cfg.threads = 4;
+  cfg.size_scale = 1.0;  // 3 x 192^2 doubles ~ 0.85 MB per worker
+  cfg.llc_capacity_bytes = static_cast<double>(MB(1));
+  const NativeRunResult r = run_native_blas(3, cfg);
+  EXPECT_GT(r.gate_waits, 0u);
+  EXPECT_GT(r.flops, 0.0);
+}
+
+TEST(NativeRunner, FlopCountsScaleWithRepeats) {
+  NativeRunConfig once = tiny(std::nullopt);
+  once.repeats = 4;
+  NativeRunConfig twice = tiny(std::nullopt);
+  twice.repeats = 8;
+  const double f1 = run_native_blas(3, once).flops;
+  const double f2 = run_native_blas(3, twice).flops;
+  EXPECT_NEAR(f2, 2.0 * f1, 1e-6 * f2);
+}
+
+TEST(NativeRunner, InvalidLevelRejected) {
+  EXPECT_THROW(run_native_blas(4, tiny(std::nullopt)), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace rda::workload

@@ -1,0 +1,124 @@
+#include "workload/table2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/units.hpp"
+
+namespace rda::workload {
+namespace {
+
+using rda::util::MB;
+
+TEST(Table2, AllEightWorkloadsPresent) {
+  const auto specs = table2_workloads();
+  ASSERT_EQ(specs.size(), 8u);
+  const std::set<std::string> names = {
+      specs[0].name, specs[1].name, specs[2].name, specs[3].name,
+      specs[4].name, specs[5].name, specs[6].name, specs[7].name};
+  for (const char* expected :
+       {"BLAS-1", "BLAS-2", "BLAS-3", "Water_sp", "Water_nsq", "Ocean_cp",
+        "Raytrace", "Volrend"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(Table2, ProcessAndThreadCountsMatchPaper) {
+  const auto specs = table2_workloads();
+  auto check = [&](const std::string& name, int procs, int threads) {
+    const WorkloadSpec& s = find_workload(specs, name);
+    EXPECT_EQ(s.processes, procs) << name;
+    EXPECT_EQ(s.threads_per_process, threads) << name;
+  };
+  check("BLAS-1", 96, 1);
+  check("BLAS-2", 96, 1);
+  check("BLAS-3", 96, 1);
+  check("Water_sp", 12, 2);
+  check("Water_nsq", 12, 2);
+  check("Ocean_cp", 48, 2);
+  check("Raytrace", 48, 4);
+  check("Volrend", 48, 4);
+}
+
+TEST(Table2, BlasKernelsCycleThroughFour) {
+  const auto specs = table2_workloads();
+  const WorkloadSpec& blas3 = find_workload(specs, "BLAS-3");
+  std::set<std::string> labels;
+  for (int p = 0; p < 8; ++p) {
+    const auto program = blas3.program(p, 0);
+    ASSERT_EQ(program.phases.size(), 1u);
+    labels.insert(program.phases[0].label);
+  }
+  EXPECT_EQ(labels.size(), 4u);  // dgemm, dsyrk, dtrmm(ru), dtrsm(ru)
+  EXPECT_TRUE(labels.count("dgemm"));
+}
+
+TEST(Table2, Blas3WorkingSetsMatchPaper) {
+  const auto specs = table2_workloads();
+  const WorkloadSpec& blas3 = find_workload(specs, "BLAS-3");
+  const double expected[4] = {1.6, 2.4, 2.4, 3.2};
+  for (int p = 0; p < 4; ++p) {
+    const auto program = blas3.program(p, 0);
+    EXPECT_NEAR(static_cast<double>(program.phases[0].wss_bytes),
+                static_cast<double>(MB(expected[p])), 1e3)
+        << p;
+    EXPECT_EQ(program.phases[0].reuse, ReuseLevel::kHigh);
+    EXPECT_TRUE(program.phases[0].marked);
+  }
+}
+
+TEST(Table2, WaterNsqHasThreeHighReusePeriods) {
+  const auto specs = table2_workloads();
+  const WorkloadSpec& wnsq = find_workload(specs, "Water_nsq");
+  const auto program = wnsq.program(0, 0);
+  std::size_t marked = 0;
+  for (const auto& phase : program.phases) {
+    if (phase.marked) {
+      ++marked;
+      EXPECT_EQ(phase.reuse, ReuseLevel::kHigh);
+    } else {
+      // Glue phases carry the synchronization and stay unmarked (§3.4).
+      EXPECT_TRUE(phase.barrier_after);
+      EXPECT_TRUE(phase.contains_blocking_sync);
+    }
+  }
+  // 3 periods per timestep x 2 timesteps.
+  EXPECT_EQ(marked, 6u);
+}
+
+TEST(Table2, OnlyRaytraceIsTaskPool) {
+  for (const auto& spec : table2_workloads()) {
+    EXPECT_EQ(spec.task_pool, spec.name == "Raytrace") << spec.name;
+  }
+}
+
+TEST(Table2, LowReuseWorkloadsDeclaredLow) {
+  const auto specs = table2_workloads();
+  for (const char* name : {"BLAS-1", "Water_sp"}) {
+    const auto program = find_workload(specs, name).program(0, 0);
+    for (const auto& phase : program.phases) {
+      if (phase.marked) EXPECT_EQ(phase.reuse, ReuseLevel::kLow) << name;
+    }
+  }
+}
+
+TEST(Table2, FindWorkloadThrowsOnUnknown) {
+  const auto specs = table2_workloads();
+  EXPECT_THROW(find_workload(specs, "NoSuch"), std::invalid_argument);
+}
+
+TEST(Table2, PopulateEngineCreatesAllThreads) {
+  const auto specs = table2_workloads();
+  const WorkloadSpec& wnsq = find_workload(specs, "Water_nsq");
+  sim::EngineConfig cfg;
+  cfg.machine = sim::MachineConfig::e5_2420();
+  sim::Engine engine(cfg);
+  int pools = 0;
+  populate_engine(engine, wnsq, [&](sim::ProcessId) { ++pools; });
+  EXPECT_EQ(engine.thread_count(), 24u);  // 12 procs x 2 threads
+  EXPECT_EQ(pools, 0);                    // not a pool workload
+}
+
+}  // namespace
+}  // namespace rda::workload

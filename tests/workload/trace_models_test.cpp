@@ -1,0 +1,113 @@
+#include "workload/trace_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profiler/report.hpp"
+#include "util/units.hpp"
+
+namespace rda::workload {
+namespace {
+
+using rda::util::MB;
+
+TEST(TraceModels, InputScalesMatchPaper) {
+  EXPECT_EQ(wnsq_input_sizes(),
+            (std::vector<std::uint64_t>{8000, 15625, 32768, 64000}));
+  EXPECT_EQ(ocp_input_sizes(),
+            (std::vector<std::uint64_t>{514, 1026, 2050, 4098}));
+}
+
+TEST(TraceModels, WssGrowsMonotonicallyAndSublinearly) {
+  auto check_curve = [](auto wss_fn, const std::vector<std::uint64_t>& inputs) {
+    std::uint64_t prev = 0;
+    for (const std::uint64_t n : inputs) {
+      const std::uint64_t wss = wss_fn(n);
+      EXPECT_GT(wss, prev);  // monotone growth
+      prev = wss;
+    }
+    // Sublinear: doubling input must grow WSS by much less than 2x.
+    const double ratio = static_cast<double>(wss_fn(inputs[1])) /
+                         static_cast<double>(wss_fn(inputs[0]));
+    EXPECT_LT(ratio, 1.7);
+  };
+  check_curve(wnsq_pp1_wss, wnsq_input_sizes());
+  check_curve(wnsq_pp2_wss, wnsq_input_sizes());
+  check_curve(ocp_pp1_wss, ocp_input_sizes());
+  check_curve(ocp_pp2_wss, ocp_input_sizes());
+}
+
+TEST(TraceModels, WnsqFig13CrossoverCalibration) {
+  // Fig. 13's shape requires: 6 instances at 8000 molecules fit the 15 MB
+  // LLC; 12 do not; at 32768 even 6 exceed it.
+  const double llc = static_cast<double>(MB(15));
+  EXPECT_LT(6.0 * static_cast<double>(wnsq_pp1_wss(8000)), llc);
+  EXPECT_GT(12.0 * static_cast<double>(wnsq_pp1_wss(8000)), llc);
+  EXPECT_GT(6.0 * static_cast<double>(wnsq_pp1_wss(32768)), llc);
+  // And 512 molecules barely touch the cache even with 12 instances.
+  EXPECT_LT(12.0 * static_cast<double>(wnsq_pp1_wss(512)), llc * 0.6);
+}
+
+TEST(TraceModels, LargestPpWorkScalesQuadratically) {
+  // Asymptotically quadratic (a fixed per-timestep floor dominates only at
+  // tiny inputs).
+  const double f1 = wnsq_largest_pp_flops(10000);
+  const double f2 = wnsq_largest_pp_flops(20000);
+  EXPECT_NEAR(f2 / f1, 4.0, 0.15);
+  const auto program = wnsq_largest_pp_program(8000);
+  ASSERT_EQ(program.phases.size(), 1u);
+  EXPECT_TRUE(program.phases[0].marked);
+  EXPECT_EQ(program.phases[0].wss_bytes, wnsq_pp1_wss(8000));
+}
+
+TEST(TraceModels, ProfilerMeasuresModelWssWithin20Percent) {
+  // The end-to-end property Fig. 12 rests on: running the §2.4 profiler on
+  // the generated trace recovers the model's ground-truth working sets.
+  const AppTraceModel model = make_wnsq_trace(8000, /*windows_per_pp=*/5,
+                                              /*seed=*/77);
+  prof::WindowConfig wcfg;
+  wcfg.window_accesses = model.window_accesses;
+  wcfg.hot_threshold = model.hot_threshold;
+  prof::DetectorConfig dcfg;
+  const prof::ProfileReport report =
+      prof::Profiler(wcfg, dcfg).profile(*model.source, model.nest);
+  ASSERT_GE(report.periods.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double measured =
+        static_cast<double>(report.periods[i].period.wss_bytes);
+    const double truth = static_cast<double>(model.true_wss[i]);
+    EXPECT_NEAR(measured, truth, 0.20 * truth) << "period " << i;
+  }
+}
+
+TEST(TraceModels, ProfilerMapsPeriodsToDistinctLoops) {
+  const AppTraceModel model = make_ocp_trace(514, 5, 78);
+  prof::WindowConfig wcfg;
+  wcfg.window_accesses = model.window_accesses;
+  wcfg.hot_threshold = model.hot_threshold;
+  const prof::ProfileReport report =
+      prof::Profiler(wcfg, {}).profile(*model.source, model.nest);
+  ASSERT_GE(report.periods.size(), 2u);
+  ASSERT_TRUE(report.periods[0].boundary_loop.has_value());
+  ASSERT_TRUE(report.periods[1].boundary_loop.has_value());
+  EXPECT_NE(*report.periods[0].boundary_loop,
+            *report.periods[1].boundary_loop);
+}
+
+TEST(TraceModels, TracesDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    const AppTraceModel model = make_wnsq_trace(8000, 3, seed);
+    trace::TraceRecord rec;
+    std::uint64_t hash = 1469598103934665603ull;
+    while (model.source->next(rec)) {
+      hash = (hash ^ rec.value) * 1099511628211ull;
+    }
+    return hash;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace rda::workload

@@ -1,0 +1,135 @@
+// rda_sched_sim — simulate a Table-2 workload under a scheduling policy.
+//
+//   rda_sched_sim --workload BLAS-3 --policy strict
+//   rda_sched_sim --workload Raytrace --policy all --quick
+//   rda_sched_sim --workload Water_nsq --policy compromise --oversub 1.5
+//
+// Knobs for what-if studies: --cores, --llc-mb, --bw-gbs override the paper
+// machine; --partition / --feedback / --gate-bw enable the extensions.
+#include <cstdio>
+#include <string>
+
+#include "args.hpp"
+#include "core/rda_scheduler.hpp"
+#include "exp/harness.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rda;
+
+exp::RunRow run_one(const workload::WorkloadSpec& spec,
+                    const sim::EngineConfig& engine_cfg,
+                    core::PolicyKind policy, const tools::Args& args) {
+  if (policy == core::PolicyKind::kLinuxDefault && !args.has("partition") &&
+      !args.has("feedback") && !args.has("gate-bw")) {
+    exp::RunConfig cfg;
+    cfg.engine = engine_cfg;
+    cfg.policy = policy;
+    return exp::run_workload(spec, cfg);
+  }
+
+  // Extension paths need direct gate construction.
+  sim::Engine engine(engine_cfg);
+  core::RdaOptions options;
+  options.policy = policy;
+  options.oversubscription = args.get_double("oversub", 2.0);
+  options.fast_path = args.has("fast-path");
+  options.partitioning.enable = args.has("partition");
+  if (args.has("gate-bw")) {
+    options.bandwidth_capacity = engine_cfg.machine.dram_bandwidth;
+  }
+  options.feedback.enable = args.has("feedback");
+  core::RdaScheduler gate(
+      static_cast<double>(engine_cfg.machine.llc_bytes), engine_cfg.calib,
+      options);
+  if (policy != core::PolicyKind::kLinuxDefault) engine.set_gate(&gate);
+  workload::populate_engine(engine, spec, [&](sim::ProcessId pid) {
+    gate.mark_pool(pid);
+  });
+  const sim::SimResult result = engine.run();
+
+  exp::RunRow row;
+  row.workload = spec.name;
+  row.policy = core::to_string(policy);
+  row.system_joules = result.system_joules();
+  row.dram_joules = result.dram_joules;
+  row.gflops = result.gflops();
+  row.gflops_per_watt = result.gflops_per_watt();
+  row.makespan = result.makespan;
+  row.total_flops = result.total_flops;
+  row.gate_blocks = result.gate_blocks;
+  row.context_switches = result.context_switches;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rda;
+  const tools::Args args(argc, argv);
+  if (args.has("help")) {
+    tools::usage(
+        "usage: rda_sched_sim --workload NAME --policy "
+        "default|strict|compromise|all\n"
+        "  [--quick] [--oversub X=2] [--cores N] [--llc-mb M] [--bw-gbs B]\n"
+        "  [--partition] [--feedback] [--gate-bw] [--fast-path]\n"
+        "workloads: BLAS-1 BLAS-2 BLAS-3 Water_sp Water_nsq Ocean_cp "
+        "Raytrace Volrend\n");
+  }
+
+  sim::EngineConfig engine;
+  engine.machine = sim::MachineConfig::e5_2420();
+  if (args.has("cores")) {
+    engine.machine.cores = static_cast<int>(args.get_u64("cores", 12));
+  }
+  if (args.has("llc-mb")) {
+    engine.machine.llc_bytes = util::MB(args.get_double("llc-mb", 15.0));
+  }
+  if (args.has("bw-gbs")) {
+    engine.machine.dram_bandwidth = args.get_double("bw-gbs", 30.0) * 1e9;
+  }
+
+  const auto specs = workload::table2_workloads();
+  workload::WorkloadSpec spec =
+      workload::find_workload(specs, args.get("workload", "BLAS-3"));
+  if (args.has("quick")) spec = workload::scale_workload(spec, 0.125, 4);
+
+  const std::string policy_arg = args.get("policy", "all");
+  std::vector<core::PolicyKind> policies;
+  if (policy_arg == "default") {
+    policies = {core::PolicyKind::kLinuxDefault};
+  } else if (policy_arg == "strict") {
+    policies = {core::PolicyKind::kStrict};
+  } else if (policy_arg == "compromise") {
+    policies = {core::PolicyKind::kCompromise};
+  } else if (policy_arg == "all") {
+    policies = {core::PolicyKind::kLinuxDefault, core::PolicyKind::kStrict,
+                core::PolicyKind::kCompromise};
+  } else {
+    tools::usage("unknown --policy '" + policy_arg + "'\n");
+  }
+
+  std::printf("workload %s on %s (%d cores, %.1f MB LLC, %.0f GB/s)\n\n",
+              spec.name.c_str(), engine.machine.name.c_str(),
+              engine.machine.cores,
+              util::bytes_to_mb(engine.machine.llc_bytes),
+              engine.machine.dram_bandwidth / 1e9);
+
+  util::Table table({"policy", "GFLOPS", "makespan [s]", "system J",
+                     "DRAM J", "GFLOPS/W", "gate blocks"});
+  for (const core::PolicyKind policy : policies) {
+    const exp::RunRow row = run_one(spec, engine, policy, args);
+    table.begin_row()
+        .add_cell(row.policy)
+        .add_cell(row.gflops, 2)
+        .add_cell(row.makespan, 1)
+        .add_cell(row.system_joules, 0)
+        .add_cell(row.dram_joules, 0)
+        .add_cell(row.gflops_per_watt, 3)
+        .add_cell(row.gate_blocks);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
