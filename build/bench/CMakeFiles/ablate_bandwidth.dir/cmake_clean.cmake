@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_bandwidth.dir/ablate_bandwidth.cpp.o"
+  "CMakeFiles/ablate_bandwidth.dir/ablate_bandwidth.cpp.o.d"
+  "ablate_bandwidth"
+  "ablate_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

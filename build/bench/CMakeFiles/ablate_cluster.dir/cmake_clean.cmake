@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cluster.dir/ablate_cluster.cpp.o"
+  "CMakeFiles/ablate_cluster.dir/ablate_cluster.cpp.o.d"
+  "ablate_cluster"
+  "ablate_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

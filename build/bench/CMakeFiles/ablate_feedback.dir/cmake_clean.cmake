@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_feedback.dir/ablate_feedback.cpp.o"
+  "CMakeFiles/ablate_feedback.dir/ablate_feedback.cpp.o.d"
+  "ablate_feedback"
+  "ablate_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

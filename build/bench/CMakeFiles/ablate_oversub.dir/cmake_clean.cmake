@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_oversub.dir/ablate_oversub.cpp.o"
+  "CMakeFiles/ablate_oversub.dir/ablate_oversub.cpp.o.d"
+  "ablate_oversub"
+  "ablate_oversub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_oversub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_quantum.dir/ablate_quantum.cpp.o"
+  "CMakeFiles/ablate_quantum.dir/ablate_quantum.cpp.o.d"
+  "ablate_quantum"
+  "ablate_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

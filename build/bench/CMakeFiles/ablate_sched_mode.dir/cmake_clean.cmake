@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sched_mode.dir/ablate_sched_mode.cpp.o"
+  "CMakeFiles/ablate_sched_mode.dir/ablate_sched_mode.cpp.o.d"
+  "ablate_sched_mode"
+  "ablate_sched_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sched_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_waitlist.dir/ablate_waitlist.cpp.o"
+  "CMakeFiles/ablate_waitlist.dir/ablate_waitlist.cpp.o.d"
+  "ablate_waitlist"
+  "ablate_waitlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_waitlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

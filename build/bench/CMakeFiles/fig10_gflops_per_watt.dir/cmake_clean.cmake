@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gflops_per_watt.dir/fig10_gflops_per_watt.cpp.o"
+  "CMakeFiles/fig10_gflops_per_watt.dir/fig10_gflops_per_watt.cpp.o.d"
+  "CMakeFiles/fig10_gflops_per_watt.dir/fig_common.cpp.o"
+  "CMakeFiles/fig10_gflops_per_watt.dir/fig_common.cpp.o.d"
+  "fig10_gflops_per_watt"
+  "fig10_gflops_per_watt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gflops_per_watt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

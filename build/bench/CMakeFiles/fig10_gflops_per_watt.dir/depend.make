@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_gflops_per_watt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_interference.dir/fig13_interference.cpp.o"
+  "CMakeFiles/fig13_interference.dir/fig13_interference.cpp.o.d"
+  "fig13_interference"
+  "fig13_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_system_energy.dir/fig7_system_energy.cpp.o"
+  "CMakeFiles/fig7_system_energy.dir/fig7_system_energy.cpp.o.d"
+  "CMakeFiles/fig7_system_energy.dir/fig_common.cpp.o"
+  "CMakeFiles/fig7_system_energy.dir/fig_common.cpp.o.d"
+  "fig7_system_energy"
+  "fig7_system_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_system_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

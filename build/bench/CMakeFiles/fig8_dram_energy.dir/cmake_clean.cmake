@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dram_energy.dir/fig8_dram_energy.cpp.o"
+  "CMakeFiles/fig8_dram_energy.dir/fig8_dram_energy.cpp.o.d"
+  "CMakeFiles/fig8_dram_energy.dir/fig_common.cpp.o"
+  "CMakeFiles/fig8_dram_energy.dir/fig_common.cpp.o.d"
+  "fig8_dram_energy"
+  "fig8_dram_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dram_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

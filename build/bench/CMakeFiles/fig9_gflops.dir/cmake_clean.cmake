@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_gflops.dir/fig9_gflops.cpp.o"
+  "CMakeFiles/fig9_gflops.dir/fig9_gflops.cpp.o.d"
+  "CMakeFiles/fig9_gflops.dir/fig_common.cpp.o"
+  "CMakeFiles/fig9_gflops.dir/fig_common.cpp.o.d"
+  "fig9_gflops"
+  "fig9_gflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_gflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_blas.dir/micro_blas.cpp.o"
+  "CMakeFiles/micro_blas.dir/micro_blas.cpp.o.d"
+  "micro_blas"
+  "micro_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gate.dir/micro_gate.cpp.o"
+  "CMakeFiles/micro_gate.dir/micro_gate.cpp.o.d"
+  "micro_gate"
+  "micro_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_table2.dir/native_table2.cpp.o"
+  "CMakeFiles/native_table2.dir/native_table2.cpp.o.d"
+  "native_table2"
+  "native_table2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_table2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

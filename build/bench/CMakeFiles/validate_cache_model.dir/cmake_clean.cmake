@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_cache_model.dir/validate_cache_model.cpp.o"
+  "CMakeFiles/validate_cache_model.dir/validate_cache_model.cpp.o.d"
+  "validate_cache_model"
+  "validate_cache_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_cache_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_streams.dir/bandwidth_streams.cpp.o"
+  "CMakeFiles/bandwidth_streams.dir/bandwidth_streams.cpp.o.d"
+  "bandwidth_streams"
+  "bandwidth_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

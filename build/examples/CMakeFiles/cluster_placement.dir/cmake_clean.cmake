@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_placement.dir/cluster_placement.cpp.o"
+  "CMakeFiles/cluster_placement.dir/cluster_placement.cpp.o.d"
+  "cluster_placement"
+  "cluster_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

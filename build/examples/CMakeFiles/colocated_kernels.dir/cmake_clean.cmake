@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocated_kernels.dir/colocated_kernels.cpp.o"
+  "CMakeFiles/colocated_kernels.dir/colocated_kernels.cpp.o.d"
+  "colocated_kernels"
+  "colocated_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocated_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

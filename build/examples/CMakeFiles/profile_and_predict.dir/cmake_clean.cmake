@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_and_predict.dir/profile_and_predict.cpp.o"
+  "CMakeFiles/profile_and_predict.dir/profile_and_predict.cpp.o.d"
+  "profile_and_predict"
+  "profile_and_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_and_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("trace")
+subdirs("profiler")
+subdirs("predict")
+subdirs("sim")
+subdirs("core")
+subdirs("api")
+subdirs("runtime")
+subdirs("blas")
+subdirs("workload")
+subdirs("exp")
+subdirs("cluster")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_api.dir/pp.cpp.o"
+  "CMakeFiles/rda_api.dir/pp.cpp.o.d"
+  "CMakeFiles/rda_api.dir/validate.cpp.o"
+  "CMakeFiles/rda_api.dir/validate.cpp.o.d"
+  "librda_api.a"
+  "librda_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

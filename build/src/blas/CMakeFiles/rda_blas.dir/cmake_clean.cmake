@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_blas.dir/level1.cpp.o"
+  "CMakeFiles/rda_blas.dir/level1.cpp.o.d"
+  "CMakeFiles/rda_blas.dir/level2.cpp.o"
+  "CMakeFiles/rda_blas.dir/level2.cpp.o.d"
+  "CMakeFiles/rda_blas.dir/level3.cpp.o"
+  "CMakeFiles/rda_blas.dir/level3.cpp.o.d"
+  "librda_blas.a"
+  "librda_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

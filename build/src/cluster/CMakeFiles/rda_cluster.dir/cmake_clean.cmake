@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/rda_cluster.dir/cluster.cpp.o.d"
+  "librda_cluster.a"
+  "librda_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feedback.cpp" "src/core/CMakeFiles/rda_core.dir/feedback.cpp.o" "gcc" "src/core/CMakeFiles/rda_core.dir/feedback.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/rda_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/rda_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/progress_monitor.cpp" "src/core/CMakeFiles/rda_core.dir/progress_monitor.cpp.o" "gcc" "src/core/CMakeFiles/rda_core.dir/progress_monitor.cpp.o.d"
+  "/root/repo/src/core/rda_scheduler.cpp" "src/core/CMakeFiles/rda_core.dir/rda_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/rda_core.dir/rda_scheduler.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/rda_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/rda_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/resource_monitor.cpp" "src/core/CMakeFiles/rda_core.dir/resource_monitor.cpp.o" "gcc" "src/core/CMakeFiles/rda_core.dir/resource_monitor.cpp.o.d"
+  "/root/repo/src/core/waitlist.cpp" "src/core/CMakeFiles/rda_core.dir/waitlist.cpp.o" "gcc" "src/core/CMakeFiles/rda_core.dir/waitlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

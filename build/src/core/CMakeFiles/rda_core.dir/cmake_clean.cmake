@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_core.dir/feedback.cpp.o"
+  "CMakeFiles/rda_core.dir/feedback.cpp.o.d"
+  "CMakeFiles/rda_core.dir/policy.cpp.o"
+  "CMakeFiles/rda_core.dir/policy.cpp.o.d"
+  "CMakeFiles/rda_core.dir/progress_monitor.cpp.o"
+  "CMakeFiles/rda_core.dir/progress_monitor.cpp.o.d"
+  "CMakeFiles/rda_core.dir/rda_scheduler.cpp.o"
+  "CMakeFiles/rda_core.dir/rda_scheduler.cpp.o.d"
+  "CMakeFiles/rda_core.dir/registry.cpp.o"
+  "CMakeFiles/rda_core.dir/registry.cpp.o.d"
+  "CMakeFiles/rda_core.dir/resource_monitor.cpp.o"
+  "CMakeFiles/rda_core.dir/resource_monitor.cpp.o.d"
+  "CMakeFiles/rda_core.dir/waitlist.cpp.o"
+  "CMakeFiles/rda_core.dir/waitlist.cpp.o.d"
+  "librda_core.a"
+  "librda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

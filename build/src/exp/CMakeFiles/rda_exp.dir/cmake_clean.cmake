@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_exp.dir/harness.cpp.o"
+  "CMakeFiles/rda_exp.dir/harness.cpp.o.d"
+  "librda_exp.a"
+  "librda_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

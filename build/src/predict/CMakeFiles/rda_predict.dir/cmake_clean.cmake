@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_predict.dir/regression.cpp.o"
+  "CMakeFiles/rda_predict.dir/regression.cpp.o.d"
+  "librda_predict.a"
+  "librda_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/detector.cpp" "src/profiler/CMakeFiles/rda_profiler.dir/detector.cpp.o" "gcc" "src/profiler/CMakeFiles/rda_profiler.dir/detector.cpp.o.d"
+  "/root/repo/src/profiler/loop_mapper.cpp" "src/profiler/CMakeFiles/rda_profiler.dir/loop_mapper.cpp.o" "gcc" "src/profiler/CMakeFiles/rda_profiler.dir/loop_mapper.cpp.o.d"
+  "/root/repo/src/profiler/multi_granularity.cpp" "src/profiler/CMakeFiles/rda_profiler.dir/multi_granularity.cpp.o" "gcc" "src/profiler/CMakeFiles/rda_profiler.dir/multi_granularity.cpp.o.d"
+  "/root/repo/src/profiler/report.cpp" "src/profiler/CMakeFiles/rda_profiler.dir/report.cpp.o" "gcc" "src/profiler/CMakeFiles/rda_profiler.dir/report.cpp.o.d"
+  "/root/repo/src/profiler/reuse_distance.cpp" "src/profiler/CMakeFiles/rda_profiler.dir/reuse_distance.cpp.o" "gcc" "src/profiler/CMakeFiles/rda_profiler.dir/reuse_distance.cpp.o.d"
+  "/root/repo/src/profiler/window.cpp" "src/profiler/CMakeFiles/rda_profiler.dir/window.cpp.o" "gcc" "src/profiler/CMakeFiles/rda_profiler.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/rda_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

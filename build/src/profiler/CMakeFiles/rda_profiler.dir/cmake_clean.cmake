@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_profiler.dir/detector.cpp.o"
+  "CMakeFiles/rda_profiler.dir/detector.cpp.o.d"
+  "CMakeFiles/rda_profiler.dir/loop_mapper.cpp.o"
+  "CMakeFiles/rda_profiler.dir/loop_mapper.cpp.o.d"
+  "CMakeFiles/rda_profiler.dir/multi_granularity.cpp.o"
+  "CMakeFiles/rda_profiler.dir/multi_granularity.cpp.o.d"
+  "CMakeFiles/rda_profiler.dir/report.cpp.o"
+  "CMakeFiles/rda_profiler.dir/report.cpp.o.d"
+  "CMakeFiles/rda_profiler.dir/reuse_distance.cpp.o"
+  "CMakeFiles/rda_profiler.dir/reuse_distance.cpp.o.d"
+  "CMakeFiles/rda_profiler.dir/window.cpp.o"
+  "CMakeFiles/rda_profiler.dir/window.cpp.o.d"
+  "librda_profiler.a"
+  "librda_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

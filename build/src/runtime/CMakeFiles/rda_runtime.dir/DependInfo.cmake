@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/affinity.cpp" "src/runtime/CMakeFiles/rda_runtime.dir/affinity.cpp.o" "gcc" "src/runtime/CMakeFiles/rda_runtime.dir/affinity.cpp.o.d"
+  "/root/repo/src/runtime/gate.cpp" "src/runtime/CMakeFiles/rda_runtime.dir/gate.cpp.o" "gcc" "src/runtime/CMakeFiles/rda_runtime.dir/gate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_runtime.dir/affinity.cpp.o"
+  "CMakeFiles/rda_runtime.dir/affinity.cpp.o.d"
+  "CMakeFiles/rda_runtime.dir/gate.cpp.o"
+  "CMakeFiles/rda_runtime.dir/gate.cpp.o.d"
+  "librda_runtime.a"
+  "librda_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

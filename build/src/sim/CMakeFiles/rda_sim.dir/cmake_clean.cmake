@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_sim.dir/assoc_cache.cpp.o"
+  "CMakeFiles/rda_sim.dir/assoc_cache.cpp.o.d"
+  "CMakeFiles/rda_sim.dir/cache_model.cpp.o"
+  "CMakeFiles/rda_sim.dir/cache_model.cpp.o.d"
+  "CMakeFiles/rda_sim.dir/engine.cpp.o"
+  "CMakeFiles/rda_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/rda_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/rda_sim.dir/perf_model.cpp.o.d"
+  "librda_sim.a"
+  "librda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

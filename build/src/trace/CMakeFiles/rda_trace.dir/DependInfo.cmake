@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generators.cpp" "src/trace/CMakeFiles/rda_trace.dir/generators.cpp.o" "gcc" "src/trace/CMakeFiles/rda_trace.dir/generators.cpp.o.d"
+  "/root/repo/src/trace/loop_nest.cpp" "src/trace/CMakeFiles/rda_trace.dir/loop_nest.cpp.o" "gcc" "src/trace/CMakeFiles/rda_trace.dir/loop_nest.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/rda_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/rda_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

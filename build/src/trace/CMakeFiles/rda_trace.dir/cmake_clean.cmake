@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_trace.dir/generators.cpp.o"
+  "CMakeFiles/rda_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/rda_trace.dir/loop_nest.cpp.o"
+  "CMakeFiles/rda_trace.dir/loop_nest.cpp.o.d"
+  "CMakeFiles/rda_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/rda_trace.dir/trace_io.cpp.o.d"
+  "librda_trace.a"
+  "librda_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_util.dir/stats.cpp.o"
+  "CMakeFiles/rda_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rda_util.dir/table.cpp.o"
+  "CMakeFiles/rda_util.dir/table.cpp.o.d"
+  "librda_util.a"
+  "librda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/native_runner.cpp" "src/workload/CMakeFiles/rda_workload.dir/native_runner.cpp.o" "gcc" "src/workload/CMakeFiles/rda_workload.dir/native_runner.cpp.o.d"
+  "/root/repo/src/workload/table2.cpp" "src/workload/CMakeFiles/rda_workload.dir/table2.cpp.o" "gcc" "src/workload/CMakeFiles/rda_workload.dir/table2.cpp.o.d"
+  "/root/repo/src/workload/trace_models.cpp" "src/workload/CMakeFiles/rda_workload.dir/trace_models.cpp.o" "gcc" "src/workload/CMakeFiles/rda_workload.dir/trace_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rda_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rda_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/rda_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rda_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

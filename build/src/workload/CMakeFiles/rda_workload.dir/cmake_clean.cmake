@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_workload.dir/native_runner.cpp.o"
+  "CMakeFiles/rda_workload.dir/native_runner.cpp.o.d"
+  "CMakeFiles/rda_workload.dir/table2.cpp.o"
+  "CMakeFiles/rda_workload.dir/table2.cpp.o.d"
+  "CMakeFiles/rda_workload.dir/trace_models.cpp.o"
+  "CMakeFiles/rda_workload.dir/trace_models.cpp.o.d"
+  "librda_workload.a"
+  "librda_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/feedback_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/feedback_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/multi_resource_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/multi_resource_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/partitioning_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/partitioning_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/policy_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/policy_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/progress_monitor_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/progress_monitor_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/rda_scheduler_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/rda_scheduler_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/registry_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/registry_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/resource_monitor_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/resource_monitor_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/waitlist_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/waitlist_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

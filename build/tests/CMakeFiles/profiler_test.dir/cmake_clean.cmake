@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_test.dir/profiler/detector_test.cpp.o"
+  "CMakeFiles/profiler_test.dir/profiler/detector_test.cpp.o.d"
+  "CMakeFiles/profiler_test.dir/profiler/loop_mapper_test.cpp.o"
+  "CMakeFiles/profiler_test.dir/profiler/loop_mapper_test.cpp.o.d"
+  "CMakeFiles/profiler_test.dir/profiler/multi_granularity_test.cpp.o"
+  "CMakeFiles/profiler_test.dir/profiler/multi_granularity_test.cpp.o.d"
+  "CMakeFiles/profiler_test.dir/profiler/report_test.cpp.o"
+  "CMakeFiles/profiler_test.dir/profiler/report_test.cpp.o.d"
+  "CMakeFiles/profiler_test.dir/profiler/reuse_distance_test.cpp.o"
+  "CMakeFiles/profiler_test.dir/profiler/reuse_distance_test.cpp.o.d"
+  "CMakeFiles/profiler_test.dir/profiler/window_test.cpp.o"
+  "CMakeFiles/profiler_test.dir/profiler/window_test.cpp.o.d"
+  "profiler_test"
+  "profiler_test.pdb"
+  "profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/assoc_cache_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/assoc_cache_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/cache_model_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/cache_model_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/calibration_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/calibration_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/energy_model_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/energy_model_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/perf_model_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/perf_model_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/phase_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/phase_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/scheduler_mode_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/scheduler_mode_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/check_test.cpp" "tests/CMakeFiles/util_test.dir/util/check_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/check_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/units_test.cpp" "tests/CMakeFiles/util_test.dir/util/units_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rda_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rda_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rda_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/rda_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rda_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/rda_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/rda_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rda_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/rda_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_profile.dir/rda_profile.cpp.o"
+  "CMakeFiles/rda_profile.dir/rda_profile.cpp.o.d"
+  "rda_profile"
+  "rda_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_sched_sim.dir/rda_sched_sim.cpp.o"
+  "CMakeFiles/rda_sched_sim.dir/rda_sched_sim.cpp.o.d"
+  "rda_sched_sim"
+  "rda_sched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_sched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_trace_gen.dir/rda_trace_gen.cpp.o"
+  "CMakeFiles/rda_trace_gen.dir/rda_trace_gen.cpp.o.d"
+  "rda_trace_gen"
+  "rda_trace_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_trace_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
