@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + full test suite, then the concurrency-sensitive
+# runtime gate tests again under ThreadSanitizer.
+#
+#   scripts/tier1.sh            # both stages
+#   scripts/tier1.sh --no-tsan  # skip the sanitizer stage
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== tier-1: build + full test suite =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== tier-1: runtime gate tests under ThreadSanitizer =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)" --target runtime_test
+  ( cd build-tsan && ctest -R 'AdmissionGate' --output-on-failure -j "$(nproc)" )
+fi
+
+echo "tier-1 OK"

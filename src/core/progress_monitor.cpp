@@ -13,24 +13,33 @@ ProgressMonitor::ProgressMonitor(SchedulingPredicate& predicate,
 
 void ProgressMonitor::admit(PeriodId id) { admitted_.insert(id); }
 
-void ProgressMonitor::wake_entry(const Waitlist::Entry& entry) {
+void ProgressMonitor::trace(obs::EventKind kind, double now,
+                            const PeriodRecord& record) {
+  if (sink_ == nullptr) return;
+  obs::Event e;
+  e.time = now;
+  e.kind = kind;
+  e.thread = record.thread;
+  e.process = record.process;
+  e.period = record.id;
+  e.resource = record.primary_resource();
+  e.demand = record.primary_demand();
+  e.set_label(record.label);
+  sink_->record(e);
+}
+
+void ProgressMonitor::wake_entry(const Waitlist::Entry& entry, double now) {
   ++stats_.wakes;
+  if (sink_ != nullptr) {
+    const PeriodRecord* record = registry_.find(entry.period);
+    RDA_CHECK(record != nullptr);
+    trace(obs::EventKind::kWake, now, *record);
+  }
   if (waker_) waker_(entry.thread);
 }
 
-double ProgressMonitor::pending_pool_demand(sim::ProcessId process,
-                                            ResourceKind resource) const {
-  double total = 0.0;
-  for (const Waitlist::Entry& e : waitlist_.entries()) {
-    if (e.process != process) continue;
-    const PeriodRecord* record = registry_.find(e.period);
-    RDA_CHECK(record != nullptr);
-    total += record->demand_for(resource);
-  }
-  return total;
-}
-
-bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force) {
+bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force,
+                                     double now) {
   // Collect per-resource demand sums of the pool's waiting members.
   double sums[kNumResourceKinds] = {};
   bool any = false;
@@ -64,8 +73,11 @@ bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force) {
       resources_->increment_load(d.resource, d.amount);
     }
     admit(e.period);
-    if (force) ++stats_.forced_admissions;
-    wake_entry(e);
+    if (force) {
+      ++stats_.forced_admissions;
+      trace(obs::EventKind::kForceAdmit, now, *record);
+    }
+    wake_entry(e, now);
   }
   disabled_pools_.erase(process);
   ++stats_.pool_group_admissions;
@@ -79,6 +91,8 @@ ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
   const sim::ThreadId thread = record.thread;
   const sim::ProcessId process = record.process;
   const PeriodId id = registry_.insert(std::move(record));
+  const PeriodRecord* stored = registry_.find(id);
+  trace(obs::EventKind::kBegin, now, *stored);
 
   BeginOutcome outcome;
   outcome.id = id;
@@ -87,29 +101,29 @@ ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
       options_.pool_guard && pool_disabled(process);
 
   if (!member_of_disabled_pool) {
-    const PeriodRecord* stored = registry_.find(id);
     if (predicate_->try_schedule(*stored)) {
       admit(id);
       ++stats_.immediate_admissions;
+      trace(obs::EventKind::kAdmit, now, *stored);
       outcome.admitted = true;
       return outcome;
     }
     // Liveness override: nothing else holds any targeted resource, yet
     // the demand is over the policy bound — it can never fit, so run solo.
-    const PeriodRecord* inserted = registry_.find(id);
     bool targets_free = true;
-    for (const ResourceDemand& d : inserted->demands) {
+    for (const ResourceDemand& d : stored->demands) {
       if (!resources_->effectively_free(d.resource)) {
         targets_free = false;
         break;
       }
     }
     if (targets_free) {
-      for (const ResourceDemand& d : inserted->demands) {
+      for (const ResourceDemand& d : stored->demands) {
         resources_->increment_load(d.resource, d.amount);
       }
       admit(id);
       ++stats_.forced_admissions;
+      trace(obs::EventKind::kForceAdmit, now, *stored);
       outcome.admitted = true;
       outcome.forced = true;
       return outcome;
@@ -118,6 +132,7 @@ ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
       // §3.4: one denied member disables the whole pool.
       disabled_pools_.insert(process);
       ++stats_.pool_disables;
+      trace(obs::EventKind::kPoolDisable, now, *stored);
     }
   }
 
@@ -128,16 +143,16 @@ ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
   entry.enqueue_time = now;
   waitlist_.push(entry);
   ++stats_.blocks;
+  trace(obs::EventKind::kBlock, now, *stored);
   return outcome;
 }
 
 void ProgressMonitor::rescan(double now) {
-  (void)now;
   // 1. Disabled pools first: they have been waiting as a group.
   //    (copy — try_admit_pool mutates disabled_pools_)
   const std::vector<sim::ProcessId> disabled(disabled_pools_.begin(),
                                              disabled_pools_.end());
-  for (sim::ProcessId p : disabled) try_admit_pool(p, /*force=*/false);
+  for (sim::ProcessId p : disabled) try_admit_pool(p, /*force=*/false, now);
 
   // 2. Ordinary entries in FIFO order.
   const auto admit_fn = [&](const Waitlist::Entry& e) {
@@ -150,7 +165,7 @@ void ProgressMonitor::rescan(double now) {
   };
   const std::vector<Waitlist::Entry> admitted = waitlist_.drain_admissible(
       admit_fn, /*head_only=*/!options_.work_conserving);
-  for (const Waitlist::Entry& e : admitted) wake_entry(e);
+  for (const Waitlist::Entry& e : admitted) wake_entry(e, now);
 
   // 3. Liveness: if nothing holds any resource but threads still wait, the
   //    head can never fit under the policy — force it through.
@@ -165,7 +180,7 @@ void ProgressMonitor::rescan(double now) {
     if (all_free) {
       const Waitlist::Entry head = waitlist_.entries().front();
       if (options_.pool_guard && pool_disabled(head.process)) {
-        try_admit_pool(head.process, /*force=*/true);
+        try_admit_pool(head.process, /*force=*/true, now);
       } else {
         const PeriodRecord* record = registry_.find(head.period);
         RDA_CHECK(record != nullptr);
@@ -174,13 +189,14 @@ void ProgressMonitor::rescan(double now) {
         }
         admit(head.period);
         ++stats_.forced_admissions;
+        trace(obs::EventKind::kForceAdmit, now, *record);
         const std::vector<Waitlist::Entry> forced =
             waitlist_.drain_admissible(
                 [&](const Waitlist::Entry& e) {
                   return e.period == head.period;
                 },
                 /*head_only=*/false);
-        for (const Waitlist::Entry& e : forced) wake_entry(e);
+        for (const Waitlist::Entry& e : forced) wake_entry(e, now);
       }
     }
   }
@@ -194,6 +210,7 @@ PeriodRecord ProgressMonitor::end_period(PeriodId id, double now) {
                 "pp_end on period " << id
                                     << " that was never admitted (still "
                                        "waitlisted?)");
+  trace(obs::EventKind::kEnd, now, record);
   for (const ResourceDemand& d : record.demands) {
     resources_->decrement_load(d.resource, d.amount);
   }
@@ -201,13 +218,20 @@ PeriodRecord ProgressMonitor::end_period(PeriodId id, double now) {
   return record;
 }
 
-bool ProgressMonitor::cancel_waiting(PeriodId id) {
+bool ProgressMonitor::cancel_waiting(PeriodId id, double now) {
   if (admitted_.count(id) != 0) return false;
   if (registry_.find(id) == nullptr) return false;
   waitlist_.drain_admissible(
       [&](const Waitlist::Entry& e) { return e.period == id; },
       /*head_only=*/false);
-  registry_.remove(id);
+  const PeriodRecord record = registry_.remove(id);
+  ++stats_.cancels;
+  trace(obs::EventKind::kCancel, now, record);
+  // The withdrawn waiter may have been what kept its pool disabled (a
+  // timed-out last member used to strand the pool until some unrelated
+  // end_period), and under head-only scanning it may have been the barrier
+  // in front of admissible entries — re-evaluate both.
+  rescan(now);
   return true;
 }
 

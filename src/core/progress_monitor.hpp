@@ -26,6 +26,7 @@
 #include "core/predicate.hpp"
 #include "core/registry.hpp"
 #include "core/waitlist.hpp"
+#include "obs/sink.hpp"
 
 namespace rda::core {
 
@@ -46,6 +47,7 @@ struct MonitorStats {
   std::uint64_t forced_admissions = 0;  ///< liveness overrides
   std::uint64_t pool_disables = 0;
   std::uint64_t pool_group_admissions = 0;
+  std::uint64_t cancels = 0;  ///< waitlisted requests withdrawn
 };
 
 class ProgressMonitor {
@@ -59,6 +61,10 @@ class ProgressMonitor {
   /// Channel used to resume a previously paused thread once its period is
   /// admitted (the kernel wake event of the paper's implementation).
   void set_waker(WakeFn waker) { waker_ = std::move(waker); }
+
+  /// Attaches a lifecycle-event sink (non-owning; nullptr disables tracing
+  /// at the cost of one branch per transition).
+  void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
 
   /// Declares a process as a task-pool (§3.4 group semantics).
   void mark_pool(sim::ProcessId process) { pools_.insert(process); }
@@ -81,8 +87,9 @@ class ProgressMonitor {
 
   /// Cancels a period that is still waitlisted (native-runtime timeout /
   /// shutdown path). Returns false if the period was already admitted or
-  /// unknown.
-  bool cancel_waiting(PeriodId id);
+  /// unknown. Rescans afterwards: removing the waiter can re-enable a pool
+  /// it had disabled (and thereby admit the remaining members).
+  bool cancel_waiting(PeriodId id, double now);
 
   const MonitorStats& stats() const { return stats_; }
   const Waitlist& waitlist() const { return waitlist_; }
@@ -91,19 +98,20 @@ class ProgressMonitor {
 
  private:
   void admit(PeriodId id);  ///< bookkeeping common to every admission
-  void wake_entry(const Waitlist::Entry& entry);
+  void wake_entry(const Waitlist::Entry& entry, double now);
   /// Re-evaluates the waitlist after load decreased.
   void rescan(double now);
   /// Group admission check for one disabled pool; admits and wakes the whole
   /// group when it fits. Returns true if the pool was re-enabled.
-  bool try_admit_pool(sim::ProcessId process, bool force);
-  double pending_pool_demand(sim::ProcessId process,
-                             ResourceKind resource) const;
+  bool try_admit_pool(sim::ProcessId process, bool force, double now);
+  /// Emits one lifecycle event when a sink is attached.
+  void trace(obs::EventKind kind, double now, const PeriodRecord& record);
 
   SchedulingPredicate* predicate_;
   ResourceMonitor* resources_;
   MonitorOptions options_;
   WakeFn waker_;
+  obs::TraceSink* sink_ = nullptr;
 
   PeriodRegistry registry_;
   Waitlist waitlist_;

@@ -17,10 +17,15 @@ RdaScheduler::RdaScheduler(double llc_capacity_bytes,
     resources_.set_capacity(ResourceKind::kMemBandwidth,
                             options_.bandwidth_capacity);
   }
+  monitor_.set_trace_sink(options_.trace_sink);
 }
 
 void RdaScheduler::mark_pool(sim::ProcessId process) {
   monitor_.mark_pool(process);
+}
+
+void RdaScheduler::set_trace_sink(obs::TraceSink* sink) {
+  monitor_.set_trace_sink(sink);
 }
 
 void RdaScheduler::attach(sim::ThreadWaker& waker) {
@@ -67,6 +72,15 @@ sim::BeginResult RdaScheduler::on_phase_begin(sim::ThreadId thread,
                                : 0.0;
   const bool fast = fast_path_usable(thread, process, demand, bw_demand);
   if (fast) ++fast_path_hits_;
+
+  // Periods do not nest (§2.3): a second begin from the same thread would
+  // silently overwrite active_period_[thread] and leak the first period's
+  // charged load forever (it could never be ended).
+  const auto active_it = active_period_.find(thread);
+  RDA_CHECK_MSG(active_it == active_period_.end(),
+                "nested pp_begin from thread "
+                    << thread << ": period " << active_it->second
+                    << " is still active");
 
   PeriodRecord record;
   record.thread = thread;

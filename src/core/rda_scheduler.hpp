@@ -21,6 +21,7 @@
 #include "core/predicate.hpp"
 #include "core/progress_monitor.hpp"
 #include "core/resource_monitor.hpp"
+#include "obs/sink.hpp"
 #include "sim/calibration.hpp"
 #include "sim/gate.hpp"
 
@@ -54,6 +55,8 @@ struct RdaOptions {
   /// per-period hardware counters.
   FeedbackOptions feedback{};
   MonitorOptions monitor{};
+  /// Admission-lifecycle event sink (non-owning; nullptr = tracing off).
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 class RdaScheduler final : public sim::PhaseGate {
@@ -65,6 +68,9 @@ class RdaScheduler final : public sim::PhaseGate {
 
   /// Declares a process as a task-pool (§3.4 group pause semantics).
   void mark_pool(sim::ProcessId process);
+
+  /// Attaches/detaches the lifecycle-event sink at runtime.
+  void set_trace_sink(obs::TraceSink* sink);
 
   // sim::PhaseGate
   sim::BeginResult on_phase_begin(sim::ThreadId thread,

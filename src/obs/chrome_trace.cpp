@@ -1,0 +1,83 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rda::obs {
+
+namespace {
+
+/// Escapes the few JSON-special characters a label could contain.
+void write_escaped(std::ostream& os, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) os << c;
+    }
+  }
+}
+
+void write_event(std::ostream& os, const Event& e) {
+  const char* ph = nullptr;
+  switch (e.kind) {
+    case EventKind::kBegin: ph = "B"; break;
+    case EventKind::kEnd: ph = "E"; break;
+    default: ph = "i"; break;
+  }
+  os << "{\"name\":\"";
+  if (e.kind == EventKind::kBegin || e.kind == EventKind::kEnd) {
+    // B/E names must match within a track for the viewer to pair them.
+    write_escaped(os, e.label[0] != '\0' ? std::string_view(e.label)
+                                         : std::string_view("period"));
+  } else {
+    write_escaped(os, to_string(e.kind));
+  }
+  os << "\",\"cat\":\"admission\",\"ph\":\"" << ph << "\",\"ts\":"
+     << e.time * 1e6 << ",\"pid\":" << e.process << ",\"tid\":" << e.thread;
+  if (e.kind != EventKind::kEnd) {
+    // The spec forbids args on "E" (they belong to the matching "B").
+    os << ",\"args\":{\"period\":" << e.period << ",\"resource\":\""
+       << to_string(e.resource) << "\",\"demand\":" << e.demand << "}";
+  }
+  if (ph[0] == 'i') os << ",\"s\":\"t\"";
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, std::span<const Event> events) {
+  os.precision(15);  // microsecond timestamps must not round away
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    write_event(os, e);
+  }
+  os << "]}\n";
+}
+
+std::string chrome_trace_json(std::span<const Event> events) {
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  return os.str();
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             std::span<const Event> events) {
+  std::ofstream os(path);
+  RDA_CHECK_MSG(os.good(), "cannot open trace output file " << path);
+  write_chrome_trace(os, events);
+  os.flush();
+  RDA_CHECK_MSG(os.good(), "write to trace output file " << path
+                                                         << " failed");
+}
+
+}  // namespace rda::obs

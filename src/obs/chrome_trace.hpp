@@ -1,0 +1,29 @@
+// Chrome trace_event JSON exporter.
+//
+// Emits the JSON Object Format of the Trace Event spec, loadable in
+// chrome://tracing and Perfetto: begin/end become "B"/"E" duration slices
+// per (process, thread) track; block/wake/force-admit/pool-disable/cancel
+// become thread-scoped instant events, so a stranded waiter shows up as a
+// slice that opens and never closes next to a lone "block" tick.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/event.hpp"
+
+namespace rda::obs {
+
+/// Writes {"displayTimeUnit":...,"traceEvents":[...]} for the given events.
+/// Timestamps are converted from seconds to microseconds (the spec's unit).
+void write_chrome_trace(std::ostream& os, std::span<const Event> events);
+
+/// Convenience: the same JSON as a string.
+std::string chrome_trace_json(std::span<const Event> events);
+
+/// Writes the JSON to a file; throws util::CheckFailure on I/O failure.
+void write_chrome_trace_file(const std::string& path,
+                             std::span<const Event> events);
+
+}  // namespace rda::obs

@@ -1,0 +1,70 @@
+// Admission-lifecycle event vocabulary (observability layer).
+//
+// Every state transition a progress period can take through the scheduler —
+// begin, admit, block, wake, force-admit, pool-disable, cancel, end — is
+// recordable as one fixed-size typed event. The §5 evaluation figures all
+// derive from *when* these transitions happened; aggregate counters alone
+// (MonitorStats) cannot localize bugs like a leaked period or a stranded
+// pool. Events carry enough payload to reconstruct the full lifecycle of
+// each period and to reconcile against the aggregate stats.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "sim/ids.hpp"
+
+namespace rda::obs {
+
+/// One admission-lifecycle transition.
+enum class EventKind : std::uint8_t {
+  kBegin,        ///< pp_begin entered the scheduler
+  kAdmit,        ///< admitted immediately (predicate passed on begin)
+  kBlock,        ///< denied; parked on the resource waitlist
+  kWake,         ///< admitted from the waitlist and woken
+  kForceAdmit,   ///< liveness override (demand can never fit; resource free)
+  kPoolDisable,  ///< §3.4: one denied member paused the whole pool
+  kCancel,       ///< waitlisted request withdrawn (timeout / try_begin)
+  kEnd,          ///< pp_end released the period's load
+};
+
+inline constexpr std::size_t kNumEventKinds = 8;
+
+constexpr std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBegin: return "begin";
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kBlock: return "block";
+    case EventKind::kWake: return "wake";
+    case EventKind::kForceAdmit: return "force_admit";
+    case EventKind::kPoolDisable: return "pool_disable";
+    case EventKind::kCancel: return "cancel";
+    case EventKind::kEnd: return "end";
+  }
+  return "?";
+}
+
+/// Fixed-size event record. Labels are truncated to fit so a ring of these
+/// never allocates on the hot path.
+struct Event {
+  double time = 0.0;  ///< seconds (sim time or gate-epoch time)
+  EventKind kind = EventKind::kBegin;
+  ResourceKind resource = ResourceKind::kLLC;
+  sim::ThreadId thread = sim::kInvalidThread;
+  sim::ProcessId process = sim::kInvalidProcess;
+  core::PeriodId period = core::kInvalidPeriod;
+  double demand = 0.0;  ///< primary-resource demand (bytes or bytes/second)
+  char label[24] = {};  ///< truncated period label ("dgemm", "wnsq.PP1", ...)
+
+  void set_label(std::string_view text) {
+    const std::size_t n = std::min(text.size(), sizeof(label) - 1);
+    std::memcpy(label, text.data(), n);
+    label[n] = '\0';
+  }
+};
+
+}  // namespace rda::obs

@@ -1,0 +1,63 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rda::obs {
+
+std::size_t WaitHistogram::bucket_of(double seconds) {
+  if (!(seconds > 0.0)) return 0;  // negatives/NaN land in the floor bucket
+  const double ns = seconds * 1e9;
+  if (ns < 1.0) return 0;
+  const auto whole = static_cast<std::uint64_t>(ns);
+  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(whole));
+  return std::min(bucket, kBuckets - 1);
+}
+
+double WaitHistogram::bucket_floor(std::size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(bucket) - 1) * 1e-9;
+}
+
+void WaitHistogram::add(double seconds) {
+  seconds = std::max(seconds, 0.0);
+  ++buckets_[bucket_of(seconds)];
+  ++count_;
+  sum_ += seconds;
+  min_ = count_ == 1 ? seconds : std::min(min_, seconds);
+  max_ = std::max(max_, seconds);
+}
+
+void WaitHistogram::merge(const WaitHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double WaitHistogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double WaitHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) > target) {
+      // Geometric midpoint of [floor, 2*floor); clamp into the observed
+      // range so the estimate never exceeds the exact extremes.
+      const double lo = bucket_floor(b);
+      const double mid = lo > 0.0 ? lo * std::sqrt(2.0) : 0.5e-9;
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace rda::obs

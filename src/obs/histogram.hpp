@@ -1,0 +1,48 @@
+// Wait-latency histogram (block → wake/force-admit time).
+//
+// Power-of-two nanosecond buckets: constant memory, O(1) insert, and
+// quantiles good to a factor of two across fourteen decades — plenty to
+// tell "microseconds of queueing" from "stranded for seconds", which is the
+// question the cancel-path starvation bug hid. Exact min/max are tracked on
+// the side so the tails are not bucket-quantized.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rda::obs {
+
+class WaitHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(double seconds);
+  void merge(const WaitHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const;
+  /// Quantile in [0,1]; returns a bucket-resolution estimate (the geometric
+  /// midpoint of the bucket holding the q-th sample). 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+
+  std::uint64_t bucket_count(std::size_t bucket) const {
+    return buckets_[bucket];
+  }
+  /// Lower bound of a bucket, in seconds.
+  static double bucket_floor(std::size_t bucket);
+
+ private:
+  static std::size_t bucket_of(double seconds);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rda::obs

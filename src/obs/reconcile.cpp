@@ -1,0 +1,153 @@
+#include "obs/reconcile.hpp"
+
+#include <array>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace rda::obs {
+
+namespace {
+
+/// Lifecycle position of one period during replay.
+enum class State : std::uint8_t {
+  kPending,   ///< begun, admission not yet decided
+  kBlocked,   ///< parked on the waitlist
+  kAdmitted,  ///< holding load
+  kClosed,    ///< ended or cancelled
+};
+
+}  // namespace
+
+ReconcileReport reconcile(std::span<const Event> events,
+                          const core::MonitorStats& stats) {
+  ReconcileReport report;
+  std::vector<std::string> errors;
+  const auto fail = [&](const std::string& what) { errors.push_back(what); };
+
+  std::array<std::uint64_t, kNumEventKinds> counts{};
+  std::unordered_map<core::PeriodId, State> periods;
+
+  for (const Event& e : events) {
+    ++counts[static_cast<std::size_t>(e.kind)];
+    const auto it = periods.find(e.period);
+    const bool known = it != periods.end();
+    std::ostringstream site;
+    site << to_string(e.kind) << " of period " << e.period << " at t="
+         << e.time;
+    switch (e.kind) {
+      case EventKind::kBegin:
+        if (known) {
+          fail(site.str() + ": period id seen before (ids are never reused)");
+        } else {
+          periods.emplace(e.period, State::kPending);
+        }
+        break;
+      case EventKind::kAdmit:
+        if (!known || it->second != State::kPending) {
+          fail(site.str() + ": admit without a pending begin");
+        } else {
+          it->second = State::kAdmitted;
+        }
+        break;
+      case EventKind::kBlock:
+        if (!known || it->second != State::kPending) {
+          fail(site.str() + ": block without a pending begin");
+        } else {
+          it->second = State::kBlocked;
+        }
+        break;
+      case EventKind::kForceAdmit:
+        if (known && it->second == State::kPending) {
+          ++report.begin_forced;
+          it->second = State::kAdmitted;
+        } else if (known && it->second == State::kBlocked) {
+          it->second = State::kAdmitted;  // liveness override; wake follows
+        } else {
+          fail(site.str() + ": force-admit while neither pending nor blocked");
+        }
+        break;
+      case EventKind::kWake:
+        if (known && it->second == State::kBlocked) {
+          it->second = State::kAdmitted;
+        } else if (known && it->second == State::kAdmitted) {
+          // Force-admitted from the waitlist: the wake trails the admit.
+        } else {
+          fail(site.str() + ": wake of a period that was never blocked");
+        }
+        break;
+      case EventKind::kPoolDisable:
+        if (!known || it->second != State::kPending) {
+          fail(site.str() + ": pool-disable outside a begin in progress");
+        }
+        break;
+      case EventKind::kCancel:
+        if (!known || it->second != State::kBlocked) {
+          fail(site.str() + ": cancel of a period that is not waitlisted");
+        } else {
+          it->second = State::kClosed;
+        }
+        break;
+      case EventKind::kEnd:
+        if (!known || it->second != State::kAdmitted) {
+          fail(site.str() + ": end of a period that is not admitted");
+        } else {
+          it->second = State::kClosed;
+        }
+        break;
+    }
+  }
+
+  for (const auto& [id, state] : periods) {
+    if (state == State::kBlocked) ++report.still_blocked;
+    if (state == State::kAdmitted || state == State::kPending) {
+      ++report.still_admitted;
+    }
+  }
+
+  const auto expect = [&](EventKind kind, std::uint64_t stat,
+                          const char* name) {
+    const std::uint64_t seen = counts[static_cast<std::size_t>(kind)];
+    if (seen != stat) {
+      std::ostringstream os;
+      os << "event count mismatch: " << seen << " " << to_string(kind)
+         << " events vs stats." << name << " == " << stat;
+      fail(os.str());
+    }
+  };
+  expect(EventKind::kBegin, stats.begins, "begins");
+  expect(EventKind::kEnd, stats.ends, "ends");
+  expect(EventKind::kAdmit, stats.immediate_admissions,
+         "immediate_admissions");
+  expect(EventKind::kBlock, stats.blocks, "blocks");
+  expect(EventKind::kWake, stats.wakes, "wakes");
+  expect(EventKind::kForceAdmit, stats.forced_admissions,
+         "forced_admissions");
+  expect(EventKind::kPoolDisable, stats.pool_disables, "pool_disables");
+  expect(EventKind::kCancel, stats.cancels, "cancels");
+
+  // Every begin resolves exactly one way: admitted now, forced now, or
+  // parked. (Waitlist exits — wake/force/cancel — are counted above.)
+  const std::uint64_t resolved =
+      stats.immediate_admissions + stats.blocks + report.begin_forced;
+  if (stats.begins != resolved) {
+    std::ostringstream os;
+    os << "begins (" << stats.begins << ") != immediate admissions ("
+       << stats.immediate_admissions << ") + blocks (" << stats.blocks
+       << ") + begin-path force-admits (" << report.begin_forced << ")";
+    fail(os.str());
+  }
+
+  if (!errors.empty()) {
+    report.ok = false;
+    std::ostringstream os;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      if (i) os << "\n";
+      os << errors[i];
+    }
+    report.message = os.str();
+  }
+  return report;
+}
+
+}  // namespace rda::obs

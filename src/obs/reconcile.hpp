@@ -1,0 +1,41 @@
+// Event/stats reconciliation.
+//
+// Replays a recorded event stream through the period-lifecycle state
+// machine and cross-checks the per-kind event counts against the monitor's
+// aggregate MonitorStats. The two are maintained at the same sites in
+// ProgressMonitor, so any disagreement means events were lost (ring
+// wrap-around), double-emitted, or a lifecycle transition fired from an
+// illegal state — exactly the class of bug (nested begins, stranded
+// cancels) this layer exists to surface.
+//
+// Checked invariants:
+//   * count(kind) == the matching MonitorStats field, for every kind;
+//   * begins == immediate admissions + blocks + begin-path force-admits;
+//   * per period: begin first and only once; admit/block only while
+//     pending; wake/cancel only while blocked; end only while admitted.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/progress_monitor.hpp"
+#include "obs/event.hpp"
+
+namespace rda::obs {
+
+struct ReconcileReport {
+  bool ok = true;
+  /// Empty when ok; otherwise newline-joined mismatch descriptions.
+  std::string message;
+
+  std::uint64_t begin_forced = 0;    ///< force-admits on the begin path
+  std::uint64_t still_blocked = 0;   ///< periods blocked at capture end
+  std::uint64_t still_admitted = 0;  ///< periods admitted but not yet ended
+};
+
+/// Requires a complete capture (EventRing::dropped() == 0) — a lossy ring
+/// cannot reconcile and the counts will (correctly) disagree.
+ReconcileReport reconcile(std::span<const Event> events,
+                          const core::MonitorStats& stats);
+
+}  // namespace rda::obs

@@ -1,0 +1,49 @@
+#include "obs/ring.hpp"
+
+#include "util/check.hpp"
+
+namespace rda::obs {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+EventRing::EventRing(std::size_t capacity) {
+  RDA_CHECK(capacity > 0);
+  slots_.resize(round_up_pow2(capacity));
+}
+
+void EventRing::push(const Event& event) {
+  SpinGuard guard(lock_);
+  slots_[next_ & (slots_.size() - 1)] = event;
+  ++next_;
+}
+
+std::vector<Event> EventRing::snapshot() const {
+  SpinGuard guard(lock_);
+  const std::size_t mask = slots_.size() - 1;
+  const std::uint64_t held =
+      next_ < slots_.size() ? next_ : static_cast<std::uint64_t>(slots_.size());
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(held));
+  for (std::uint64_t i = next_ - held; i < next_; ++i) {
+    out.push_back(slots_[i & mask]);
+  }
+  return out;
+}
+
+std::uint64_t EventRing::total_recorded() const {
+  SpinGuard guard(lock_);
+  return next_;
+}
+
+std::uint64_t EventRing::dropped() const {
+  SpinGuard guard(lock_);
+  return next_ < slots_.size() ? 0 : next_ - slots_.size();
+}
+
+}  // namespace rda::obs

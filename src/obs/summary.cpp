@@ -1,0 +1,63 @@
+#include "obs/summary.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace rda::obs {
+
+namespace {
+
+std::string format_seconds(double s) {
+  std::ostringstream os;
+  os.precision(3);
+  if (s < 1e-6) {
+    os << s * 1e9 << " ns";
+  } else if (s < 1e-3) {
+    os << s * 1e6 << " us";
+  } else if (s < 1.0) {
+    os << s * 1e3 << " ms";
+  } else {
+    os << s << " s";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string summarize(std::span<const Event> events,
+                      const WaitHistogram& waits) {
+  std::array<std::uint64_t, kNumEventKinds> counts{};
+  double t_min = 0.0;
+  double t_max = 0.0;
+  for (const Event& e : events) {
+    ++counts[static_cast<std::size_t>(e.kind)];
+    if (&e == &events.front() || e.time < t_min) t_min = e.time;
+    if (&e == &events.front() || e.time > t_max) t_max = e.time;
+  }
+
+  util::Table table({"event", "count"});
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    table.begin_row()
+        .add_cell(std::string(to_string(static_cast<EventKind>(k))))
+        .add_cell(counts[k]);
+  }
+
+  std::ostringstream os;
+  os << "admission trace: " << events.size() << " events";
+  if (!events.empty()) {
+    os << " over " << format_seconds(t_max - t_min);
+  }
+  os << "\n" << table.render();
+  os << "wait latency: " << waits.count() << " waits";
+  if (waits.count() > 0) {
+    os << "  p50 " << format_seconds(waits.p50()) << "  p95 "
+       << format_seconds(waits.p95()) << "  max "
+       << format_seconds(waits.max());
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace rda::obs

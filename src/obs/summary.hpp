@@ -1,0 +1,18 @@
+// Human-readable summary of a recorded admission trace: per-kind event
+// counts and the wait-latency distribution, rendered with util::Table so it
+// matches the bench/tool output style.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/event.hpp"
+#include "obs/histogram.hpp"
+
+namespace rda::obs {
+
+/// Per-kind counts + wait distribution as an aligned text block.
+std::string summarize(std::span<const Event> events,
+                      const WaitHistogram& waits);
+
+}  // namespace rda::obs

@@ -1,6 +1,6 @@
 #include "runtime/gate.hpp"
 
-#include <thread>
+#include <atomic>
 
 #include "util/check.hpp"
 
@@ -22,15 +22,17 @@ AdmissionGate::AdmissionGate(GateConfig config)
     granted_.insert(static_cast<std::uint32_t>(tid));
     cv_.notify_all();
   });
+  monitor_.set_trace_sink(config_.trace_sink);
 }
 
 std::uint32_t AdmissionGate::self_id() {
-  const auto key = std::this_thread::get_id();
-  const auto it = thread_ids_.find(key);
-  if (it != thread_ids_.end()) return it->second;
-  const std::uint32_t id = next_thread_id_++;
-  thread_ids_.emplace(key, id);
-  return id;
+  // thread_local slot token: assigned once per OS thread, never recycled
+  // within the process, shared across all gates (the token only has to
+  // identify the thread, not the gate).
+  static std::atomic<std::uint32_t> next_token{1};
+  thread_local const std::uint32_t token =
+      next_token.fetch_add(1, std::memory_order_relaxed);
+  return token;
 }
 
 std::uint32_t AdmissionGate::group_of(std::uint32_t thread_id) const {
@@ -109,7 +111,7 @@ std::optional<core::PeriodId> AdmissionGate::try_begin(ResourceKind resource,
 
   const auto outcome = monitor_.begin_period(std::move(record), now_seconds());
   if (outcome.admitted) return outcome.id;
-  const bool cancelled = monitor_.cancel_waiting(outcome.id);
+  const bool cancelled = monitor_.cancel_waiting(outcome.id, now_seconds());
   RDA_CHECK(cancelled);
   return std::nullopt;
 }
@@ -139,7 +141,7 @@ std::optional<core::PeriodId> AdmissionGate::begin_for(
     granted_.erase(tid);
     return outcome.id;
   }
-  const bool cancelled = monitor_.cancel_waiting(outcome.id);
+  const bool cancelled = monitor_.cancel_waiting(outcome.id, now_seconds());
   RDA_CHECK(cancelled);
   return std::nullopt;
 }

@@ -18,7 +18,6 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "core/predicate.hpp"
 #include "core/progress_monitor.hpp"
 #include "core/resource_monitor.hpp"
+#include "obs/sink.hpp"
 
 namespace rda::rt {
 
@@ -40,6 +40,9 @@ struct GateConfig {
   core::PolicyKind policy = core::PolicyKind::kStrict;
   double oversubscription = 2.0;
   core::MonitorOptions monitor{};
+  /// Admission-lifecycle event sink (non-owning; nullptr = tracing off).
+  /// Events are stamped with gate-epoch seconds.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 struct GateStats {
@@ -93,8 +96,11 @@ class AdmissionGate {
   std::size_t waiting() const;
 
  private:
-  /// Stable small id for the calling thread.
-  std::uint32_t self_id();
+  /// Stable small id for the calling thread: a process-lifetime token that
+  /// is never reused, unlike std::this_thread::get_id() (which the OS
+  /// recycles after thread exit, letting a new thread inherit a dead
+  /// thread's group membership and stale granted_ flag).
+  static std::uint32_t self_id();
   std::uint32_t group_of(std::uint32_t thread_id) const;
   double now_seconds() const;
 
@@ -107,9 +113,7 @@ class AdmissionGate {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::unordered_set<std::uint32_t> granted_;  ///< woken thread ids
-  std::unordered_map<std::thread::id, std::uint32_t> thread_ids_;
   std::unordered_map<std::uint32_t, std::uint32_t> groups_;
-  std::uint32_t next_thread_id_ = 1;
   std::uint64_t waits_ = 0;
   double total_wait_seconds_ = 0.0;
   std::chrono::steady_clock::time_point epoch_;

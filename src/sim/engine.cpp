@@ -43,6 +43,19 @@ const PhaseSpec& Engine::current_phase(const Thread& t) const {
   return t.program.phases[t.phase_index];
 }
 
+void Engine::trace(obs::EventKind kind, const Thread& t) const {
+  if (config_.trace_sink == nullptr) return;
+  const PhaseSpec& phase = current_phase(t);
+  obs::Event e;
+  e.time = now_;
+  e.kind = kind;
+  e.thread = t.id;
+  e.process = t.process;
+  e.demand = static_cast<double>(phase.wss_bytes);
+  e.set_label(phase.label);
+  config_.trace_sink->record(e);
+}
+
 bool Engine::needs_point_processing(const Thread& t) const {
   if (t.state != ThreadState::kRunning) return false;
   if (t.pending_overhead > kTimeEpsilon) return false;
@@ -202,6 +215,7 @@ void Engine::process_points(Thread& t) {
           t.pending_cap = r.occupancy_cap;
           if (!r.admit) {
             ++result_.gate_blocks;
+            trace(obs::EventKind::kBlock, t);
             // The paper parks the caller on a kernel wait queue; the API
             // cost is burned when it resumes.
             block(t, ThreadState::kGateBlocked);
@@ -216,6 +230,7 @@ void Engine::process_points(Thread& t) {
           cap = phase.marked ? t.pending_cap : config_.unannotated_cap_bytes;
         }
         llc_.phase_enter(t.id, phase.wss_bytes, t.carry_occupancy, cap);
+        trace(obs::EventKind::kBegin, t);
         t.carry_occupancy = 0.0;
         t.pending_cap = 0.0;
         t.point = Point::kBody;
@@ -231,6 +246,7 @@ void Engine::process_points(Thread& t) {
       case Point::kBody: {
         if (t.remaining > kFlopEpsilon) return;  // keep executing
         t.remaining = 0.0;
+        trace(obs::EventKind::kEnd, t);
         const PhaseSpec& phase = current_phase(t);
         if (phase.marked && gate_ != nullptr) {
           PhaseObservation observed;
@@ -450,6 +466,7 @@ void Engine::wake(ThreadId thread) {
   Thread& t = threads_[thread];
   RDA_CHECK_MSG(t.state == ThreadState::kGateBlocked,
                 "wake on thread " << thread << " that is not gate-blocked");
+  trace(obs::EventKind::kWake, t);
   t.stats.gate_blocked_time += now_ - t.block_since;
   t.admitted = true;  // the gate admits before waking (paper Fig. 6)
   ++result_.gate_admissions;

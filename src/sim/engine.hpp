@@ -19,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "sim/cache_model.hpp"
 #include "sim/calibration.hpp"
 #include "sim/energy_model.hpp"
@@ -53,6 +54,12 @@ struct EngineConfig {
   /// pollute admitted periods ("allowing the instrumented programs to share
   /// a large cache partition"). 0 disables the confinement.
   double unannotated_cap_bytes = 0.0;
+  /// Execution-level event sink (non-owning; nullptr = tracing off): phase
+  /// body entry/exit, gate denials, and wakes, stamped with sim time. This
+  /// is distinct from the gate's own admission-lifecycle sink — the engine
+  /// records what threads *did*, the gate records what the scheduler
+  /// *decided*.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 class Engine final : public ThreadWaker {
@@ -141,6 +148,8 @@ class Engine final : public ThreadWaker {
 
   const PhaseSpec& current_phase(const Thread& t) const;
   bool needs_point_processing(const Thread& t) const;
+  /// Records an execution-level event for the thread's current phase.
+  void trace(obs::EventKind kind, const Thread& t) const;
 
   void enqueue_ready(Thread& t);
   ThreadId pop_ready();

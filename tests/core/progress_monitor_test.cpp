@@ -157,13 +157,68 @@ TEST(ProgressMonitor, CancelWaitingWithdrawsRequest) {
   MonitorFixture fx(PolicyKind::kStrict);
   const auto a = fx.begin(1, 1, 10.0);
   const auto parked = fx.begin(2, 2, 10.0);
-  EXPECT_TRUE(fx.monitor_.cancel_waiting(parked.id));
+  EXPECT_TRUE(fx.monitor_.cancel_waiting(parked.id, 1.0));
   EXPECT_EQ(fx.monitor_.waitlist().size(), 0u);
+  EXPECT_EQ(fx.monitor_.stats().cancels, 1u);
   // Cancelling an admitted or unknown period fails.
-  EXPECT_FALSE(fx.monitor_.cancel_waiting(a.id));
-  EXPECT_FALSE(fx.monitor_.cancel_waiting(9999));
+  EXPECT_FALSE(fx.monitor_.cancel_waiting(a.id, 1.0));
+  EXPECT_FALSE(fx.monitor_.cancel_waiting(9999, 1.0));
+  EXPECT_EQ(fx.monitor_.stats().cancels, 1u);
   fx.end(a.id);
   EXPECT_TRUE(fx.woken_.empty());  // nobody left to wake
+}
+
+// Regression: a timed-out / withdrawn waiter used to leave its pool
+// disabled (§3.4) with nobody left to re-enable it — every later member
+// request parked forever unless some unrelated end_period happened to run
+// a rescan. cancel_waiting must rescan, which clears a pool whose last
+// waiting member just left.
+TEST(ProgressMonitor, CancelReenablesStrandedPool) {
+  MonitorOptions options;
+  options.pool_guard = true;
+  MonitorFixture fx(PolicyKind::kStrict, options);
+  fx.monitor_.mark_pool(7);
+  const auto solo = fx.begin(1, 1, 12.0);
+  ASSERT_TRUE(solo.admitted);
+  // Pool member denied (12 + 5 > 15): pool disabled, member parked.
+  const auto m1 = fx.begin(10, 7, 5.0);
+  ASSERT_FALSE(m1.admitted);
+  ASSERT_TRUE(fx.monitor_.pool_disabled(7));
+  // The member gives up (begin_for timeout). No pool member waits anymore,
+  // so the pool must come back out of the §3.4 pause.
+  ASSERT_TRUE(fx.monitor_.cancel_waiting(m1.id, fx.now_));
+  EXPECT_FALSE(fx.monitor_.pool_disabled(7));
+  // A fitting member request (12 + 2 < 15) is admitted immediately again.
+  const auto m2 = fx.begin(11, 7, 2.0);
+  EXPECT_TRUE(m2.admitted);
+}
+
+// Regression companion: cancelling one member of a paused pool shrinks the
+// group's demand sum — the remaining members may now fit as a group, so
+// cancel_waiting must rescan instead of leaving them parked until some
+// unrelated end_period.
+TEST(ProgressMonitor, CancelShrinksPoolGroupAndAdmitsRest) {
+  MonitorOptions options;
+  options.pool_guard = true;
+  MonitorFixture fx(PolicyKind::kStrict, options);
+  fx.monitor_.mark_pool(7);
+  const auto solo = fx.begin(1, 1, 10.0);
+  ASSERT_TRUE(solo.admitted);
+  // m1 denied (10 + 8 > 15): pool disabled; m2 parks behind the pause.
+  const auto m1 = fx.begin(10, 7, 8.0);
+  const auto m2 = fx.begin(11, 7, 4.0);
+  ASSERT_FALSE(m1.admitted);
+  ASSERT_FALSE(m2.admitted);
+  ASSERT_TRUE(fx.monitor_.pool_disabled(7));
+  // m1 gives up. The remaining group sum (4 MB) fits next to the solo
+  // 10 MB, so the rescan admits the rest of the pool right now.
+  ASSERT_TRUE(fx.monitor_.cancel_waiting(m1.id, fx.now_));
+  EXPECT_FALSE(fx.monitor_.pool_disabled(7));
+  ASSERT_EQ(fx.woken_.size(), 1u);
+  EXPECT_EQ(fx.woken_[0], 11u);
+  fx.end(solo.id);
+  fx.end(m2.id);
+  EXPECT_NEAR(fx.usage(), 0.0, 1e-6);
 }
 
 TEST(ProgressMonitor, PoolDisabledOnFirstDenial) {

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "util/check.hpp"
 #include "util/units.hpp"
 
@@ -153,6 +154,31 @@ TEST(RdaScheduler, PoolMarkPropagates) {
   EXPECT_TRUE(sched.on_phase_begin(1, 1, phase(12), 0.0).admit);
   EXPECT_FALSE(sched.on_phase_begin(10, 7, phase(5), 0.0).admit);
   EXPECT_TRUE(sched.monitor().pool_disabled(7));
+}
+
+// Regression: a nested pp_begin from a thread with a still-active period
+// used to reach ProgressMonitor::begin_period, which bumped stats.begins
+// and emitted a kBegin trace event before the registry finally rejected
+// the insert — skewing the stats/trace reconciliation invariant and
+// overwriting active_period_[thread] on builds without registry checks.
+// Periods do not nest (§2.3); the scheduler must reject this at the API
+// boundary, before any stats or trace mutation.
+TEST(RdaScheduler, NestedBeginFromSameThreadRejected) {
+  RdaScheduler sched = make_sched(PolicyKind::kStrict);
+  obs::EventRecorder recorder(64);
+  sched.set_trace_sink(&recorder);
+  RecordingWaker waker;
+  sched.attach(waker);
+  EXPECT_TRUE(sched.on_phase_begin(1, 1, phase(2), 0.0).admit);
+  EXPECT_THROW(sched.on_phase_begin(1, 1, phase(2), 0.1),
+               util::CheckFailure);
+  // The doomed begin must not have been counted or traced: otherwise the
+  // begins == admissions + blocks invariant is broken for the capture.
+  EXPECT_EQ(sched.monitor_stats().begins, 1u);
+  EXPECT_EQ(recorder.count(obs::EventKind::kBegin), 1u);
+  // The original period is intact and can still be ended cleanly.
+  sched.on_phase_end(1, 1, phase(2), sim::PhaseObservation{}, 1.0);
+  EXPECT_NEAR(sched.resources().usage(ResourceKind::kLLC), 0.0, 1e-6);
 }
 
 TEST(RdaScheduler, EndWithoutBeginRejected) {

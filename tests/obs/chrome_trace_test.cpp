@@ -1,0 +1,103 @@
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/summary.hpp"
+
+namespace rda::obs {
+namespace {
+
+std::vector<Event> sample_events() {
+  std::vector<Event> events;
+  Event e;
+  e.thread = 3;
+  e.process = 1;
+  e.period = 42;
+  e.demand = 1048576.0;
+  e.set_label("dgemm");
+  e.kind = EventKind::kBegin;
+  e.time = 1.5;
+  events.push_back(e);
+  e.kind = EventKind::kBlock;
+  e.time = 1.5;
+  events.push_back(e);
+  e.kind = EventKind::kWake;
+  e.time = 2.0;
+  events.push_back(e);
+  e.kind = EventKind::kEnd;
+  e.time = 2.5;
+  events.push_back(e);
+  return events;
+}
+
+TEST(ChromeTrace, EmitsObjectFormatWithAllEvents) {
+  const std::string json = chrome_trace_json(sample_events());
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Begin/end become B/E duration slices named after the label...
+  EXPECT_NE(json.find("\"name\":\"dgemm\",\"cat\":\"admission\",\"ph\":\"B\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  // ...and block/wake become thread-scoped instants named after the kind.
+  EXPECT_NE(json.find("\"name\":\"block\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wake\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(ChromeTrace, TimestampsAreMicroseconds) {
+  const std::string json = chrome_trace_json(sample_events());
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos);  // 1.5 s
+  EXPECT_NE(json.find("\"ts\":2500000"), std::string::npos);  // 2.5 s
+}
+
+TEST(ChromeTrace, ArgsOnBeginButNotOnEnd) {
+  const std::string json = chrome_trace_json(sample_events());
+  const std::size_t end_pos = json.find("\"ph\":\"E\"");
+  ASSERT_NE(end_pos, std::string::npos);
+  const std::size_t end_close = json.find('}', end_pos);
+  // The E record carries no args object (spec: args belong to the B).
+  EXPECT_EQ(json.find("\"args\"", end_pos), json.find("\"args\"", end_close));
+  // The B record does.
+  EXPECT_NE(json.find("\"args\":{\"period\":42,\"resource\":\"LLC\""),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesLabelCharacters) {
+  Event e;
+  e.set_label("a\"b\\c");
+  e.kind = EventKind::kBegin;
+  const std::string json = chrome_trace_json({&e, 1});
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyLabelFallsBackToPeriod) {
+  Event e;
+  e.kind = EventKind::kBegin;
+  const std::string json = chrome_trace_json({&e, 1});
+  EXPECT_NE(json.find("\"name\":\"period\""), std::string::npos);
+}
+
+TEST(Summary, ListsAllKindsAndWaitLine) {
+  WaitHistogram waits;
+  waits.add(1e-3);
+  const std::string text = summarize(sample_events(), waits);
+  for (const char* kind : {"begin", "admit", "block", "wake", "force_admit",
+                           "pool_disable", "cancel", "end"}) {
+    EXPECT_NE(text.find(kind), std::string::npos) << kind;
+  }
+  EXPECT_NE(text.find("wait latency"), std::string::npos);
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+}
+
+TEST(Summary, EmptyCaptureStillRenders) {
+  const std::string text = summarize({}, WaitHistogram{});
+  EXPECT_NE(text.find("0 events"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rda::obs

@@ -1,0 +1,78 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rda::obs {
+namespace {
+
+TEST(WaitHistogram, EmptyReportsZeros) {
+  WaitHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p95(), 0.0);
+}
+
+TEST(WaitHistogram, SingleSampleIsExact) {
+  WaitHistogram h;
+  h.add(3e-3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 3e-3);
+  EXPECT_DOUBLE_EQ(h.mean(), 3e-3);
+  // Bucket midpoint is clamped to the observed [min, max] == the sample.
+  EXPECT_DOUBLE_EQ(h.p50(), 3e-3);
+  EXPECT_DOUBLE_EQ(h.p95(), 3e-3);
+}
+
+TEST(WaitHistogram, QuantilesAreBucketAccurate) {
+  WaitHistogram h;
+  // 90 waits near 1 us, 10 near 1 s: p50 must see the short cluster and
+  // p95 the long one; power-of-two buckets are exact to a factor of two.
+  for (int i = 0; i < 90; ++i) h.add(1e-6);
+  for (int i = 0; i < 10; ++i) h.add(1.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_GE(h.p50(), 0.5e-6);
+  EXPECT_LE(h.p50(), 2e-6);
+  EXPECT_GE(h.p95(), 0.5);
+  EXPECT_LE(h.p95(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_NEAR(h.mean(), (90.0 * 1e-6 + 10.0) / 100.0, 1e-9);
+}
+
+TEST(WaitHistogram, NegativeAndZeroClampToFloorBucket) {
+  WaitHistogram h;
+  h.add(-1.0);  // clock skew must not corrupt the histogram
+  h.add(0.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+}
+
+TEST(WaitHistogram, MergeCombinesCountsAndExtremes) {
+  WaitHistogram a;
+  WaitHistogram b;
+  a.add(1e-6);
+  a.add(2e-6);
+  b.add(1e-3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.max(), 1e-3);
+  // Merging an empty histogram is a no-op.
+  a.merge(WaitHistogram{});
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(WaitHistogram, BucketFloorsDouble) {
+  EXPECT_DOUBLE_EQ(WaitHistogram::bucket_floor(0), 0.0);
+  EXPECT_DOUBLE_EQ(WaitHistogram::bucket_floor(1), 1e-9);
+  EXPECT_DOUBLE_EQ(WaitHistogram::bucket_floor(2), 2e-9);
+  EXPECT_DOUBLE_EQ(WaitHistogram::bucket_floor(11), 1024e-9);
+}
+
+}  // namespace
+}  // namespace rda::obs

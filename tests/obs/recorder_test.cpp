@@ -1,0 +1,76 @@
+#include "obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rda::obs {
+namespace {
+
+Event make_event(EventKind kind, core::PeriodId period, double time) {
+  Event e;
+  e.kind = kind;
+  e.period = period;
+  e.time = time;
+  return e;
+}
+
+TEST(EventRecorder, CountsPerKind) {
+  EventRecorder rec;
+  rec.record(make_event(EventKind::kBegin, 1, 0.0));
+  rec.record(make_event(EventKind::kAdmit, 1, 0.0));
+  rec.record(make_event(EventKind::kBegin, 2, 1.0));
+  rec.record(make_event(EventKind::kBlock, 2, 1.0));
+  EXPECT_EQ(rec.count(EventKind::kBegin), 2u);
+  EXPECT_EQ(rec.count(EventKind::kAdmit), 1u);
+  EXPECT_EQ(rec.count(EventKind::kBlock), 1u);
+  EXPECT_EQ(rec.count(EventKind::kEnd), 0u);
+  EXPECT_EQ(rec.total_recorded(), 4u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.events().size(), 4u);
+}
+
+TEST(EventRecorder, WakeClosesWaitInterval) {
+  EventRecorder rec;
+  rec.record(make_event(EventKind::kBlock, 7, 1.0));
+  rec.record(make_event(EventKind::kWake, 7, 1.5));
+  const WaitHistogram waits = rec.wait_histogram();
+  ASSERT_EQ(waits.count(), 1u);
+  EXPECT_NEAR(waits.max(), 0.5, 1e-9);
+}
+
+TEST(EventRecorder, CancelCountsAbortedWaitAsLatency) {
+  EventRecorder rec;
+  rec.record(make_event(EventKind::kBlock, 3, 2.0));
+  rec.record(make_event(EventKind::kCancel, 3, 2.25));
+  const WaitHistogram waits = rec.wait_histogram();
+  ASSERT_EQ(waits.count(), 1u);
+  EXPECT_NEAR(waits.max(), 0.25, 1e-9);
+}
+
+TEST(EventRecorder, BeginPathForceAdmitHasNoWaitInterval) {
+  EventRecorder rec;
+  // Forced on the begin path: never blocked, so nothing to time.
+  rec.record(make_event(EventKind::kBegin, 9, 0.0));
+  rec.record(make_event(EventKind::kForceAdmit, 9, 0.0));
+  EXPECT_EQ(rec.wait_histogram().count(), 0u);
+  // Forced from the waitlist: the open block interval is closed.
+  rec.record(make_event(EventKind::kBlock, 10, 1.0));
+  rec.record(make_event(EventKind::kForceAdmit, 10, 1.125));
+  const WaitHistogram waits = rec.wait_histogram();
+  ASSERT_EQ(waits.count(), 1u);
+  EXPECT_NEAR(waits.max(), 0.125, 1e-9);
+}
+
+TEST(EventRecorder, RingOverflowReportsDropped) {
+  EventRecorder rec(4);
+  for (core::PeriodId id = 1; id <= 10; ++id) {
+    rec.record(make_event(EventKind::kBegin, id, 0.0));
+  }
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  EXPECT_EQ(rec.events().size(), 4u);
+  // Counters are not subject to ring capacity.
+  EXPECT_EQ(rec.count(EventKind::kBegin), 10u);
+}
+
+}  // namespace
+}  // namespace rda::obs

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -199,6 +200,136 @@ TEST(AdmissionGate, PoolGroupBlocksAndResumesTogether) {
   for (auto& m : members) m.join();
   EXPECT_EQ(admitted.load(), 3);
   EXPECT_GE(gate.stats().monitor.pool_group_admissions, 1u);
+}
+
+// Regression: a pool member whose begin_for timed out used to leave the
+// pool disabled forever (the §3.4 pause was only lifted by a rescan, and
+// cancel_waiting never ran one) — every later member request starved even
+// when it trivially fit. The withdraw must re-enable a pool with no waiting
+// members.
+TEST(AdmissionGate, PoolNotStrandedAfterMemberTimeout) {
+  AdmissionGate gate(strict_config());
+  gate.mark_pool(200);
+  HeldPeriod big(gate, static_cast<double>(MB(12)));
+  // Member 1: denied (12 + 8 > 15), pool disabled, gives up after 50ms.
+  std::thread member1([&] {
+    gate.join_group(200);
+    const auto denied =
+        gate.begin_for(ResourceKind::kLLC, static_cast<double>(MB(8)),
+                       ReuseLevel::kHigh, 50ms);
+    EXPECT_FALSE(denied.has_value());
+  });
+  member1.join();
+  EXPECT_EQ(gate.stats().monitor.cancels, 1u);
+  // Member 2 fits easily (12 + 2 < 15). Pre-fix the pool was still
+  // disabled and this parked until `big` ended — far beyond the timeout.
+  std::thread member2([&] {
+    gate.join_group(200);
+    const auto id =
+        gate.begin_for(ResourceKind::kLLC, static_cast<double>(MB(2)),
+                       ReuseLevel::kHigh, 2s);
+    ASSERT_TRUE(id.has_value());
+    gate.end(*id);
+  });
+  member2.join();
+  big.release();
+}
+
+// Regression: self_id() used to key a map on std::this_thread::get_id(),
+// which the OS recycles after a join — a brand-new thread could inherit a
+// dead thread's pool membership (and stale wake grants). The id is now a
+// process-lifetime token that is never reused.
+TEST(AdmissionGate, RecycledOsThreadIdDoesNotInheritGroup) {
+  AdmissionGate gate(strict_config());
+  gate.mark_pool(300);
+  // Disable pool 300: a member is denied behind a 12 MB blocker.
+  HeldPeriod big(gate, static_cast<double>(MB(12)));
+  std::thread member([&] {
+    gate.join_group(300);
+    const auto id =
+        gate.begin_for(ResourceKind::kLLC, static_cast<double>(MB(8)),
+                       ReuseLevel::kHigh, 10s);
+    if (id) gate.end(*id);
+  });
+  while (gate.waiting() == 0) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(gate.stats().monitor.pool_disables > 0);
+  // A pool member joins and dies while its pool is paused; the OS is now
+  // free to hand its thread id to the very next spawn.
+  std::thread::id dead_os_id;
+  std::thread joiner([&] {
+    dead_os_id = std::this_thread::get_id();
+    gate.join_group(300);
+  });
+  joiner.join();
+  // Spawn until the OS hands the dead thread's id back (on glibc the very
+  // next thread usually gets it). The recycled thread never called
+  // join_group, so it must NOT be treated as a member of the paused pool:
+  // its 2 MB request fits (12 + 2 < 15) and must be admitted immediately.
+  bool reused = false;
+  for (int attempt = 0; attempt < 64 && !reused; ++attempt) {
+    std::thread probe([&] {
+      if (std::this_thread::get_id() != dead_os_id) return;
+      reused = true;
+      const auto id =
+          gate.try_begin(ResourceKind::kLLC, static_cast<double>(MB(2)),
+                         ReuseLevel::kHigh);
+      EXPECT_TRUE(id.has_value())
+          << "recycled OS thread id inherited pool membership";
+      if (id) gate.end(*id);
+    });
+    probe.join();
+  }
+  // If the OS never reused the id we could not provoke the bug — fine.
+  big.release();
+  member.join();
+}
+
+// After a timeout-withdrawn request, the same caller re-enters at the tail
+// of the FIFO waitlist — it does not retain its old position.
+TEST(AdmissionGate, PostCancelReadmissionIsFifo) {
+  AdmissionGate gate(strict_config());
+  auto big = std::make_unique<HeldPeriod>(gate, static_cast<double>(MB(12)));
+  std::mutex order_mu;
+  std::vector<int> admission_order;
+  std::promise<void> y_parked;
+  std::shared_future<void> y_parked_future = y_parked.get_future().share();
+  // X parks and times out: its waitlist slot is withdrawn.
+  std::thread x([&] {
+    const auto denied =
+        gate.begin_for(ResourceKind::kLLC, static_cast<double>(MB(8)),
+                       ReuseLevel::kHigh, 50ms);
+    EXPECT_FALSE(denied.has_value());
+    // Re-request only after Y is queued: X now sits behind Y.
+    y_parked_future.wait();
+    const auto id = gate.begin(ResourceKind::kLLC,
+                               static_cast<double>(MB(8)), ReuseLevel::kHigh);
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      admission_order.push_back(1);
+    }
+    gate.end(id);
+  });
+  // Wait for X's first request to time out and withdraw.
+  while (gate.stats().monitor.cancels == 0) std::this_thread::sleep_for(1ms);
+  std::thread y([&] {
+    const auto id = gate.begin(ResourceKind::kLLC,
+                               static_cast<double>(MB(8)), ReuseLevel::kHigh);
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      admission_order.push_back(0);
+    }
+    gate.end(id);
+  });
+  while (gate.waiting() < 1) std::this_thread::sleep_for(1ms);
+  y_parked.set_value();
+  // X re-queues behind Y (both 8 MB; only one fits at a time).
+  while (gate.waiting() < 2) std::this_thread::sleep_for(1ms);
+  big->release();
+  x.join();
+  y.join();
+  ASSERT_EQ(admission_order.size(), 2u);
+  EXPECT_EQ(admission_order[0], 0);  // Y first: FIFO from requeue time
+  EXPECT_EQ(admission_order[1], 1);
 }
 
 TEST(AdmissionGate, StatsSnapshotConsistent) {

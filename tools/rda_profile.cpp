@@ -10,12 +10,53 @@
 // its knee — a principled value for the pp_begin demand.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "args.hpp"
+#include "obs/chrome_trace.hpp"
 #include "profiler/report.hpp"
 #include "profiler/reuse_distance.hpp"
 #include "trace/trace_io.hpp"
 #include "util/units.hpp"
+
+namespace {
+
+/// Exports the detected periods as Chrome trace slices on a window-index
+/// timeline (1 window == 1 "second"), so the period structure the detector
+/// found can be eyeballed in chrome://tracing / Perfetto.
+void write_period_trace(const std::string& path,
+                        const rda::prof::ProfileReport& report) {
+  using rda::obs::Event;
+  using rda::obs::EventKind;
+  std::vector<Event> events;
+  events.reserve(report.periods.size() * 2);
+  for (std::size_t i = 0; i < report.periods.size(); ++i) {
+    const rda::prof::MappedPeriod& mapped = report.periods[i];
+    Event e;
+    // One track per period: detected ranges may overlap, which would break
+    // the B/E slice stack if they shared a thread row.
+    e.thread = static_cast<rda::sim::ThreadId>(i);
+    e.process = 0;
+    e.period = static_cast<rda::core::PeriodId>(i + 1);
+    e.demand = static_cast<double>(mapped.period.wss_bytes);
+    const std::string label =
+        i < report.annotations.size() && report.annotations[i].loop_name != "?"
+            ? report.annotations[i].loop_name
+            : "period " + std::to_string(i + 1);
+    e.set_label(label);
+    e.kind = EventKind::kBegin;
+    e.time = static_cast<double>(mapped.period.first_window);
+    events.push_back(e);
+    e.kind = EventKind::kEnd;
+    e.time = static_cast<double>(mapped.period.last_window + 1);
+    events.push_back(e);
+  }
+  rda::obs::write_chrome_trace_file(path, events);
+  std::printf("\nwrote %zu period slices to %s (timeline: window index)\n",
+              report.periods.size(), path.c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rda;
@@ -31,7 +72,9 @@ int main(int argc, char** argv) {
         "  --min-windows consecutive similar windows to seed a period "
         "(default 3)\n"
         "  --similarity  relative similarity band (default 0.25)\n"
-        "  --reuse-curve also print the LRU miss-ratio curve + WSS knee\n");
+        "  --reuse-curve also print the LRU miss-ratio curve + WSS knee\n"
+        "  --trace-out FILE  export detected periods as Chrome trace JSON\n"
+        "                    (window-index timeline, for chrome://tracing)\n");
   }
 
   const trace::TraceFile file = trace::TraceFile::open(path);
@@ -68,6 +111,10 @@ int main(int argc, char** argv) {
     std::printf("  knee (2%% slack): %.2f MB — a principled pp_begin "
                 "demand\n",
                 util::bytes_to_mb(rd.working_set_bytes(0.02)));
+  }
+
+  if (args.has("trace-out")) {
+    write_period_trace(args.get("trace-out"), report);
   }
 
   if (report.periods.empty()) {

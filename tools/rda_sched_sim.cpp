@@ -6,12 +6,22 @@
 //
 // Knobs for what-if studies: --cores, --llc-mb, --bw-gbs override the paper
 // machine; --partition / --feedback / --gate-bw enable the extensions.
+// --trace-out FILE records the full admission + execution event stream of
+// the last listed policy as Chrome trace_event JSON (chrome://tracing,
+// Perfetto), prints an event summary, and cross-checks the recorded events
+// against the scheduler's aggregate counters (exit 1 on mismatch).
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "args.hpp"
 #include "core/rda_scheduler.hpp"
 #include "exp/harness.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/reconcile.hpp"
+#include "obs/recorder.hpp"
+#include "obs/summary.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -19,19 +29,59 @@ namespace {
 
 using namespace rda;
 
+/// Merges the scheduler's admission events with the engine's execution
+/// events into one timeline. At equal timestamps the slice stack must stay
+/// balanced: the engine's body slice nests inside the scheduler's period
+/// slice, so inner ends close before outer ends and outer begins open
+/// before inner begins (and all ends precede the next phase's begins).
+std::vector<obs::Event> merge_events(const std::vector<obs::Event>& sched,
+                                     const std::vector<obs::Event>& exec) {
+  struct Tagged {
+    obs::Event event;
+    int rank;  ///< tie-break at equal timestamps
+  };
+  const auto rank_of = [](const obs::Event& e, bool from_engine) {
+    if (e.kind == obs::EventKind::kEnd) return from_engine ? 0 : 1;
+    if (e.kind == obs::EventKind::kBegin) return from_engine ? 3 : 2;
+    return 4;  // instants sit above the freshly opened slices
+  };
+  std::vector<Tagged> tagged;
+  tagged.reserve(sched.size() + exec.size());
+  for (const obs::Event& e : sched) tagged.push_back({e, rank_of(e, false)});
+  for (const obs::Event& e : exec) tagged.push_back({e, rank_of(e, true)});
+  std::stable_sort(tagged.begin(), tagged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     if (a.event.time != b.event.time) {
+                       return a.event.time < b.event.time;
+                     }
+                     return a.rank < b.rank;
+                   });
+  std::vector<obs::Event> merged;
+  merged.reserve(tagged.size());
+  for (const Tagged& t : tagged) merged.push_back(t.event);
+  return merged;
+}
+
 exp::RunRow run_one(const workload::WorkloadSpec& spec,
                     const sim::EngineConfig& engine_cfg,
-                    core::PolicyKind policy, const tools::Args& args) {
-  if (policy == core::PolicyKind::kLinuxDefault && !args.has("partition") &&
-      !args.has("feedback") && !args.has("gate-bw")) {
+                    core::PolicyKind policy, const tools::Args& args,
+                    const std::string& trace_out, int* trace_failures) {
+  const bool tracing = !trace_out.empty();
+  if (!tracing && policy == core::PolicyKind::kLinuxDefault &&
+      !args.has("partition") && !args.has("feedback") &&
+      !args.has("gate-bw")) {
     exp::RunConfig cfg;
     cfg.engine = engine_cfg;
     cfg.policy = policy;
     return exp::run_workload(spec, cfg);
   }
 
-  // Extension paths need direct gate construction.
-  sim::Engine engine(engine_cfg);
+  // Extension paths (and tracing) need direct gate construction.
+  obs::EventRecorder admission_events(1 << 18);
+  obs::EventRecorder execution_events(1 << 18);
+  sim::EngineConfig traced_cfg = engine_cfg;
+  if (tracing) traced_cfg.trace_sink = &execution_events;
+  sim::Engine engine(traced_cfg);
   core::RdaOptions options;
   options.policy = policy;
   options.oversubscription = args.get_double("oversub", 2.0);
@@ -41,6 +91,7 @@ exp::RunRow run_one(const workload::WorkloadSpec& spec,
     options.bandwidth_capacity = engine_cfg.machine.dram_bandwidth;
   }
   options.feedback.enable = args.has("feedback");
+  if (tracing) options.trace_sink = &admission_events;
   core::RdaScheduler gate(
       static_cast<double>(engine_cfg.machine.llc_bytes), engine_cfg.calib,
       options);
@@ -49,6 +100,33 @@ exp::RunRow run_one(const workload::WorkloadSpec& spec,
     gate.mark_pool(pid);
   });
   const sim::SimResult result = engine.run();
+
+  if (tracing) {
+    const std::vector<obs::Event> sched = admission_events.events();
+    obs::write_chrome_trace_file(
+        trace_out, merge_events(sched, execution_events.events()));
+    std::printf("[%s] wrote %llu events to %s (%llu dropped)\n",
+                core::to_string(policy).c_str(),
+                static_cast<unsigned long long>(
+                    admission_events.total_recorded() +
+                    execution_events.total_recorded()),
+                trace_out.c_str(),
+                static_cast<unsigned long long>(admission_events.dropped() +
+                                                execution_events.dropped()));
+    std::printf("%s", obs::summarize(sched,
+                                     admission_events.wait_histogram())
+                          .c_str());
+    const obs::ReconcileReport report =
+        obs::reconcile(sched, gate.monitor_stats());
+    if (report.ok) {
+      std::printf("reconcile: OK — events match MonitorStats "
+                  "(%llu begin-path force-admits)\n\n",
+                  static_cast<unsigned long long>(report.begin_forced));
+    } else {
+      std::printf("reconcile: FAILED\n%s\n\n", report.message.c_str());
+      ++*trace_failures;
+    }
+  }
 
   exp::RunRow row;
   row.workload = spec.name;
@@ -75,6 +153,11 @@ int main(int argc, char** argv) {
         "default|strict|compromise|all\n"
         "  [--quick] [--oversub X=2] [--cores N] [--llc-mb M] [--bw-gbs B]\n"
         "  [--partition] [--feedback] [--gate-bw] [--fast-path]\n"
+        "  [--trace-out FILE]  record the last policy's admission+execution\n"
+        "                      events as Chrome trace JSON (chrome://tracing\n"
+        "                      or Perfetto) and reconcile them against the\n"
+        "                      scheduler's aggregate stats (exit 1 on "
+        "mismatch)\n"
         "workloads: BLAS-1 BLAS-2 BLAS-3 Water_sp Water_nsq Ocean_cp "
         "Raytrace Volrend\n");
   }
@@ -117,10 +200,16 @@ int main(int argc, char** argv) {
               util::bytes_to_mb(engine.machine.llc_bytes),
               engine.machine.dram_bandwidth / 1e9);
 
+  const std::string trace_out = args.get("trace-out", "");
+  int trace_failures = 0;
   util::Table table({"policy", "GFLOPS", "makespan [s]", "system J",
                      "DRAM J", "GFLOPS/W", "gate blocks"});
-  for (const core::PolicyKind policy : policies) {
-    const exp::RunRow row = run_one(spec, engine, policy, args);
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    // Tracing covers one run; with --policy all that is the last listed.
+    const bool traced = i + 1 == policies.size();
+    const exp::RunRow row = run_one(spec, engine, policies[i], args,
+                                    traced ? trace_out : std::string(),
+                                    &trace_failures);
     table.begin_row()
         .add_cell(row.policy)
         .add_cell(row.gflops, 2)
@@ -131,5 +220,5 @@ int main(int argc, char** argv) {
         .add_cell(row.gate_blocks);
   }
   std::printf("%s", table.render().c_str());
-  return 0;
+  return trace_failures > 0 ? 1 : 0;
 }
