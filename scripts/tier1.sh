@@ -16,10 +16,17 @@ cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tier-1: runtime gate tests under ThreadSanitizer =="
+  echo "== tier-1: runtime gate + profiler pipeline tests under ThreadSanitizer =="
   cmake --preset tsan
-  cmake --build --preset tsan -j "$(nproc)" --target runtime_test
-  ( cd build-tsan && ctest -R 'AdmissionGate' --output-on-failure -j "$(nproc)" )
+  cmake --build --preset tsan -j "$(nproc)" --target runtime_test profiler_test trace_test
+  ( cd build-tsan && ctest -R 'AdmissionGate|ProfilePipeline|TraceArena' \
+      --output-on-failure -j "$(nproc)" )
 fi
+
+echo "== tier-1: profiler perf snapshot (BENCH_profiler.json) =="
+# Small trace keeps the gate fast; the acceptance-scale run is
+#   build/bench/micro_profiler --records 50000000 --jobs 4 --sample-rate 0.01
+( cd build/bench && ./micro_profiler --records 2000000 --jobs 4 \
+    --sample-rate 0.02 --out BENCH_profiler.json )
 
 echo "tier-1 OK"

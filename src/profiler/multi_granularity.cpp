@@ -54,34 +54,56 @@ MultiGranularityReport MultiGranularityProfiler::profile(
     report.per_granularity.emplace_back(window, normalized);
   }
 
-  // Merge coarse to fine: keep a finer period only where coarser periods
-  // left the region unexplained.
-  for (const auto& [window, found] : report.per_granularity) {
+  report.periods =
+      merge_coarse_to_fine(report.per_granularity, config_.overlap_tolerance);
+  return report;
+}
+
+double covered_fraction(const GranularPeriod& candidate,
+                        const std::vector<GranularPeriod>& kept) {
+  if (candidate.span() == 0) return 1.0;
+  // Clip kept periods to the candidate and take the length of their interval
+  // UNION: kept periods from different granularities may overlap each other,
+  // and summing raw intersections would double-count the overlap, overstate
+  // coverage, and wrongly reject finer candidates.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> clipped;
+  clipped.reserve(kept.size());
+  for (const GranularPeriod& k : kept) {
+    const std::uint64_t lo = std::max(candidate.first_access, k.first_access);
+    const std::uint64_t hi = std::min(candidate.last_access, k.last_access);
+    if (hi > lo) clipped.emplace_back(lo, hi);
+  }
+  std::sort(clipped.begin(), clipped.end());
+  std::uint64_t covered = 0;
+  std::uint64_t reach = candidate.first_access;
+  for (const auto& [lo, hi] : clipped) {
+    const std::uint64_t from = std::max(lo, reach);
+    if (hi > from) covered += hi - from;
+    reach = std::max(reach, hi);
+  }
+  return static_cast<double>(covered) / static_cast<double>(candidate.span());
+}
+
+std::vector<GranularPeriod> merge_coarse_to_fine(
+    const std::vector<std::pair<std::uint64_t, std::vector<GranularPeriod>>>&
+        per_granularity,
+    double overlap_tolerance) {
+  // Keep a finer period only where coarser periods left the region
+  // unexplained.
+  std::vector<GranularPeriod> merged;
+  for (const auto& [window, found] : per_granularity) {
     (void)window;
     for (const GranularPeriod& candidate : found) {
-      std::uint64_t covered = 0;
-      for (const GranularPeriod& kept : report.periods) {
-        const std::uint64_t lo =
-            std::max(candidate.first_access, kept.first_access);
-        const std::uint64_t hi =
-            std::min(candidate.last_access, kept.last_access);
-        if (hi > lo) covered += hi - lo;
-      }
-      const double covered_fraction =
-          candidate.span() > 0
-              ? static_cast<double>(covered) /
-                    static_cast<double>(candidate.span())
-              : 1.0;
-      if (covered_fraction <= config_.overlap_tolerance) {
-        report.periods.push_back(candidate);
+      if (covered_fraction(candidate, merged) <= overlap_tolerance) {
+        merged.push_back(candidate);
       }
     }
   }
-  std::sort(report.periods.begin(), report.periods.end(),
+  std::sort(merged.begin(), merged.end(),
             [](const GranularPeriod& a, const GranularPeriod& b) {
               return a.first_access < b.first_access;
             });
-  return report;
+  return merged;
 }
 
 }  // namespace rda::prof

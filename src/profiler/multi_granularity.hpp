@@ -53,6 +53,22 @@ struct MultiGranularityReport {
       per_granularity;
 };
 
+/// Fraction of `candidate`'s access range covered by the interval UNION of
+/// the already-kept periods (overlapping kept periods are not
+/// double-counted). Empty candidates count as fully covered.
+double covered_fraction(const GranularPeriod& candidate,
+                        const std::vector<GranularPeriod>& kept);
+
+/// Coarse-to-fine merge over per-granularity detections (must be ordered
+/// coarse first): a candidate is kept only when at most `overlap_tolerance`
+/// of its range is already covered. Result is sorted by first access. Shared
+/// by the serial profiler and the parallel pipeline so both merge
+/// identically.
+std::vector<GranularPeriod> merge_coarse_to_fine(
+    const std::vector<std::pair<std::uint64_t, std::vector<GranularPeriod>>>&
+        per_granularity,
+    double overlap_tolerance);
+
 class MultiGranularityProfiler {
  public:
   explicit MultiGranularityProfiler(MultiGranularityConfig config = {});

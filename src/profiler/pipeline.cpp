@@ -1,0 +1,76 @@
+#include "profiler/pipeline.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "profiler/detector.hpp"
+#include "profiler/window.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace rda::prof {
+
+ProfilePipeline::ProfilePipeline(PipelineConfig config)
+    : config_(std::move(config)),
+      // Delegate ladder derivation/validation so pipeline and serial
+      // profiler always sweep identical windows.
+      ladder_(MultiGranularityProfiler(config_.multi).window_ladder()) {}
+
+PipelineResult ProfilePipeline::run(const trace::TraceArena& arena) const {
+  PipelineResult result;
+  result.level_reports.resize(ladder_.size());
+  std::vector<std::vector<GranularPeriod>> per_level(ladder_.size());
+
+  // One job per ladder level plus (optionally) the reuse pass. Jobs touch
+  // only their own slot, so any interleaving yields the same result.
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(ladder_.size() + 1);
+  for (std::size_t i = 0; i < ladder_.size(); ++i) {
+    jobs.push_back([this, &arena, &result, &per_level, i] {
+      const std::uint64_t window = ladder_[i];
+      WindowConfig wcfg;
+      wcfg.window_accesses = window;
+      wcfg.hot_threshold = config_.multi.hot_threshold;
+      const auto source = arena.records();
+      ProfileReport report =
+          assemble_report(WindowAnalyzer(wcfg).analyze(*source),
+                          PeriodDetector(config_.multi.detector),
+                          arena.nest());
+      std::vector<GranularPeriod> normalized;
+      normalized.reserve(report.periods.size());
+      for (const MappedPeriod& mp : report.periods) {
+        GranularPeriod g;
+        g.window_accesses = window;
+        g.first_access = mp.period.first_window * window;
+        g.last_access = (mp.period.last_window + 1) * window;
+        g.period = mp.period;
+        normalized.push_back(std::move(g));
+      }
+      per_level[i] = std::move(normalized);
+      result.level_reports[i] = std::move(report);
+    });
+  }
+  if (config_.reuse_curve) {
+    result.reuse = std::make_unique<ReuseDistanceAnalyzer>(
+        config_.reuse_granularity, config_.reuse_max_tracked,
+        config_.sample_rate);
+    jobs.push_back([&arena, reuse = result.reuse.get()] {
+      const auto source = arena.records();
+      reuse->consume(*source);
+    });
+  }
+
+  util::parallel_run(jobs, config_.jobs);
+
+  // Sequential tail: assemble per-granularity lists in ladder order and
+  // merge coarse to fine — independent of how the jobs were scheduled.
+  for (std::size_t i = 0; i < ladder_.size(); ++i) {
+    result.multi.per_granularity.emplace_back(ladder_[i],
+                                              std::move(per_level[i]));
+  }
+  result.multi.periods = merge_coarse_to_fine(result.multi.per_granularity,
+                                              config_.multi.overlap_tolerance);
+  return result;
+}
+
+}  // namespace rda::prof

@@ -1,0 +1,67 @@
+// Single-read, multi-core profiling pipeline (§2.4 at scale).
+//
+// The serial path decodes the trace file once per ladder level plus once for
+// the reuse curve. This pipeline decodes it exactly once into a TraceArena
+// and fans the independent analyses out over a worker pool:
+//
+//   arena ──┬── ladder level 0: WindowAnalyzer → PeriodDetector → report
+//           ├── ladder level 1:            "              "
+//           ├── ...
+//           └── reuse curve:    ReuseDistanceAnalyzer (exact or sampled)
+//           ═══ join ═══ coarse-to-fine merge (sequential)
+//
+// Each job reads a private zero-copy arena view and writes a private result
+// slot; the merge runs after the join in ladder order. Results are therefore
+// bit-identical for any job count — `jobs` trades wall-clock only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "profiler/multi_granularity.hpp"
+#include "profiler/report.hpp"
+#include "profiler/reuse_distance.hpp"
+#include "trace/arena.hpp"
+
+namespace rda::prof {
+
+struct PipelineConfig {
+  /// Window ladder, detector, and merge knobs (as for the serial profiler).
+  MultiGranularityConfig multi;
+  /// Also run a reuse-distance pass (as a parallel job).
+  bool reuse_curve = false;
+  std::uint64_t reuse_granularity = 64;
+  std::uint64_t reuse_max_tracked = 1u << 22;
+  /// Spatial sampling rate for the reuse pass; 1.0 = exact Mattson.
+  double sample_rate = 1.0;
+  /// Worker threads; <= 1 runs everything inline (the verifiable baseline).
+  int jobs = 1;
+};
+
+struct PipelineResult {
+  /// Per-granularity detections + the coarse-to-fine merged period list.
+  MultiGranularityReport multi;
+  /// Fully assembled (loop-mapped, annotated) report per ladder level, in
+  /// ladder (coarse-first) order — level_reports[i] is what the serial
+  /// Profiler would produce at window_ladder()[i].
+  std::vector<ProfileReport> level_reports;
+  /// Reuse-distance pass result; null unless `reuse_curve` was requested.
+  std::unique_ptr<ReuseDistanceAnalyzer> reuse;
+};
+
+class ProfilePipeline {
+ public:
+  explicit ProfilePipeline(PipelineConfig config);
+
+  /// Runs all passes over `arena` and merges. Deterministic in `jobs`.
+  PipelineResult run(const trace::TraceArena& arena) const;
+
+  const std::vector<std::uint64_t>& window_ladder() const { return ladder_; }
+
+ private:
+  PipelineConfig config_;
+  std::vector<std::uint64_t> ladder_;
+};
+
+}  // namespace rda::prof

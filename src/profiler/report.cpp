@@ -42,12 +42,12 @@ std::string ProfileReport::to_string() const {
   return os.str();
 }
 
-ProfileReport Profiler::profile(trace::TraceSource& source,
-                                const trace::LoopNest& nest) const {
+ProfileReport assemble_report(std::vector<WindowStats> windows,
+                              const PeriodDetector& detector,
+                              const trace::LoopNest& nest) {
   ProfileReport report;
-  report.windows = analyzer_.analyze(source);
-  const std::vector<DetectedPeriod> detected =
-      detector_.detect(report.windows);
+  report.windows = std::move(windows);
+  const std::vector<DetectedPeriod> detected = detector.detect(report.windows);
   LoopMapper mapper(nest);
   report.periods = mapper.map_all(detected);
   report.annotations.reserve(report.periods.size());
@@ -62,6 +62,11 @@ ProfileReport Profiler::profile(trace::TraceSource& source,
     report.annotations.push_back(std::move(ann));
   }
   return report;
+}
+
+ProfileReport Profiler::profile(trace::TraceSource& source,
+                                const trace::LoopNest& nest) const {
+  return assemble_report(analyzer_.analyze(source), detector_, nest);
 }
 
 }  // namespace rda::prof

@@ -58,4 +58,11 @@ class Profiler {
 /// Renders "pp_begin(RESOURCE_LLC, MB(x.x), REUSE_Y)" for a period.
 std::string render_begin_call(std::uint64_t wss_bytes, ReuseLevel reuse);
 
+/// Detection → loop mapping → annotation synthesis over already-computed
+/// window statistics. Shared by Profiler::profile and the parallel pipeline
+/// so both assemble byte-identical reports from the same windows.
+ProfileReport assemble_report(std::vector<WindowStats> windows,
+                              const PeriodDetector& detector,
+                              const trace::LoopNest& nest);
+
 }  // namespace rda::prof

@@ -1,17 +1,48 @@
 #include "profiler/reuse_distance.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
 namespace rda::prof {
 
+namespace {
+
+/// splitmix64 finalizer — cheap, stateless, and uncorrelated with the
+/// line-address arithmetic of any generator, which is what spatial sampling
+/// needs from its hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(std::uint64_t granularity,
-                                             std::uint64_t max_tracked)
-    : granularity_(granularity), max_tracked_(max_tracked) {
+                                             std::uint64_t max_tracked,
+                                             double sample_rate)
+    : granularity_(granularity),
+      max_tracked_(max_tracked),
+      sample_rate_(sample_rate) {
   RDA_CHECK(granularity_ > 0);
   RDA_CHECK(max_tracked_ > 0);
+  RDA_CHECK_MSG(sample_rate_ > 0.0 && sample_rate_ <= 1.0,
+                "sample rate must be in (0, 1], got " << sample_rate_);
+  if (sample_rate_ >= 1.0) {
+    sample_threshold_ = ~0ull;  // every line passes
+  } else {
+    sample_threshold_ = static_cast<std::uint64_t>(
+        sample_rate_ * 18446744073709551616.0 /* 2^64 */);
+  }
   fenwick_.assign(1024, 0);
+}
+
+bool ReuseDistanceAnalyzer::sampled_line(std::uint64_t line) const {
+  if (sample_rate_ >= 1.0) return true;
+  return mix64(line) < sample_threshold_;
 }
 
 void ReuseDistanceAnalyzer::fenwick_add(std::uint64_t index,
@@ -23,10 +54,14 @@ void ReuseDistanceAnalyzer::fenwick_add(std::uint64_t index,
 }
 
 std::int64_t ReuseDistanceAnalyzer::fenwick_sum(std::uint64_t index) const {
+  // An out-of-range position would silently truncate the prefix sum (and
+  // with it the reported distance); positions are assigned by access() and
+  // renumbered by compaction, so out-of-range here is an invariant breach.
+  RDA_CHECK_MSG(index + 1 < fenwick_.size(),
+                "stale position " << index << " vs tree of "
+                                  << fenwick_.size());
   std::int64_t sum = 0;
-  for (std::uint64_t i =
-           std::min<std::uint64_t>(index + 1, fenwick_.size() - 1);
-       i > 0; i -= i & (~i + 1)) {
+  for (std::uint64_t i = index + 1; i > 0; i -= i & (~i + 1)) {
     sum += fenwick_[i];
   }
   return sum;
@@ -35,14 +70,20 @@ std::int64_t ReuseDistanceAnalyzer::fenwick_sum(std::uint64_t index) const {
 void ReuseDistanceAnalyzer::access(std::uint64_t address) {
   const std::uint64_t line = address / granularity_;
   ++total_;
+  if (!sampled_line(line)) return;
+  ++sampled_;
 
   // Position compaction keeps memory O(unique lines): when the timestamp
   // space outgrows 4x the live set, renumber live marks preserving order.
   if (clock_ + 2 >= fenwick_.size()) {
     if (fenwick_.size() < 4 * (last_position_.size() + 256)) {
-      fenwick_.resize(fenwick_.size() * 2, 0);
+      // Grow until the next position (clock_) is addressable; a single
+      // doubling is enough today (clock_ advances one per access) but the
+      // loop keeps sizing correct by construction.
+      std::size_t size = fenwick_.size();
+      while (clock_ + 2 >= size) size *= 2;
+      fenwick_.assign(size, 0);
       // Rebuild marks into the enlarged tree.
-      std::fill(fenwick_.begin(), fenwick_.end(), 0);
       for (const auto& [l, pos] : last_position_) {
         (void)l;
         fenwick_add(pos, +1);
@@ -74,6 +115,11 @@ void ReuseDistanceAnalyzer::access(std::uint64_t address) {
     const std::int64_t live = static_cast<std::int64_t>(
         last_position_.size());
     std::uint64_t distance = static_cast<std::uint64_t>(live - marks_up_to);
+    if (sample_rate_ < 1.0) {
+      // A distance of d tracked lines estimates d/R true lines in between.
+      distance = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(distance) / sample_rate_));
+    }
     distance = std::min(distance, max_tracked_);
     fenwick_add(it->second, -1);
     if (histogram_.size() <= distance) histogram_.resize(distance + 1, 0);
@@ -104,22 +150,36 @@ std::uint64_t ReuseDistanceAnalyzer::hits_with_cache_lines(
 }
 
 double ReuseDistanceAnalyzer::miss_ratio(std::uint64_t bytes) const {
-  if (total_ == 0) return 0.0;
+  // Ratios are over the sampled population; spatial sampling keeps the
+  // sampled accesses an unbiased slice of all accesses.
+  if (sampled_ == 0) return 0.0;
   const std::uint64_t lines = bytes / granularity_;
   const std::uint64_t hits = hits_with_cache_lines(lines);
-  return 1.0 - static_cast<double>(hits) / static_cast<double>(total_);
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(sampled_);
+}
+
+std::uint64_t ReuseDistanceAnalyzer::cold_misses() const {
+  if (sample_rate_ >= 1.0) return cold_;
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(cold_) / sample_rate_));
+}
+
+std::uint64_t ReuseDistanceAnalyzer::unique_lines() const {
+  if (sample_rate_ >= 1.0) return last_position_.size();
+  return static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(last_position_.size()) / sample_rate_));
 }
 
 std::uint64_t ReuseDistanceAnalyzer::working_set_bytes(double slack) const {
-  if (total_ == 0) return 0;
+  if (sampled_ == 0) return 0;
   const double floor_misses = static_cast<double>(cold_);
   const double budget =
-      floor_misses + slack * static_cast<double>(total_);
+      floor_misses + slack * static_cast<double>(sampled_);
   // Walk the cumulative histogram for the smallest size meeting the budget.
   std::uint64_t hits = 0;
   for (std::uint64_t d = 0; d < histogram_.size(); ++d) {
     hits += histogram_[d];
-    const double misses = static_cast<double>(total_ - hits);
+    const double misses = static_cast<double>(sampled_ - hits);
     if (misses <= budget) return (d + 1) * granularity_;
   }
   return (histogram_.empty() ? 1 : histogram_.size()) * granularity_;

@@ -8,8 +8,17 @@
 // user pick the declared demand as "the cache size at which the miss ratio
 // knees".
 //
-// Implementation: Mattson's algorithm with an order-statistic tree
-// (Fenwick-indexed positions), O(log n) per access.
+// Two modes:
+//  * exact (default): Mattson's algorithm with an order-statistic tree
+//    (Fenwick-indexed positions), O(log n) per access.
+//  * sampled (`sample_rate < 1`): SHARDS-style fixed-rate spatial hash
+//    sampling of cache lines. A line is tracked iff hash(line) < R·2^64, so
+//    the tracked set is an unbiased R-fraction of all lines, every access to
+//    a tracked line is processed, and a measured stack distance d among
+//    tracked lines estimates a true distance of d/R. Cost drops to
+//    O(R·N log(R·M)); expected relative error of the miss-ratio curve is
+//    O(1/sqrt(R·M)) (M = unique lines), so R = 0.01 on a million-line trace
+//    stays within a few percent.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +33,11 @@ namespace rda::prof {
 class ReuseDistanceAnalyzer {
  public:
   /// `granularity` quantizes addresses (cache line); `max_tracked` bounds
-  /// the distance histogram (distances beyond it count as cold).
+  /// the distance histogram (distances beyond it count as cold);
+  /// `sample_rate` in (0, 1] selects the spatially-sampled mode (1 = exact).
   explicit ReuseDistanceAnalyzer(std::uint64_t granularity = 64,
-                                 std::uint64_t max_tracked = 1u << 22);
+                                 std::uint64_t max_tracked = 1u << 22,
+                                 double sample_rate = 1.0);
 
   /// Processes one memory access (jumps should be filtered by the caller).
   void access(std::uint64_t address);
@@ -36,6 +47,7 @@ class ReuseDistanceAnalyzer {
 
   /// Number of accesses whose reuse distance was exactly in
   /// [0, lines) — i.e. hits in a fully-associative LRU cache of that size.
+  /// Sampled mode: count over the sampled accesses (distances pre-scaled).
   std::uint64_t hits_with_cache_lines(std::uint64_t lines) const;
 
   /// Miss ratio of a fully-associative LRU cache holding `bytes`.
@@ -45,21 +57,31 @@ class ReuseDistanceAnalyzer {
   /// `slack` of the compulsory-only floor — a principled "working set size".
   std::uint64_t working_set_bytes(double slack = 0.02) const;
 
+  /// All memory accesses seen, sampled or not.
   std::uint64_t total_accesses() const { return total_; }
-  std::uint64_t cold_misses() const { return cold_; }
-  std::uint64_t unique_lines() const { return last_position_.size(); }
+  /// Accesses that passed the spatial filter (== total_accesses() when
+  /// exact). Ratios are computed over this population.
+  std::uint64_t sampled_accesses() const { return sampled_; }
+  /// Cold misses, scaled to the full trace under sampling.
+  std::uint64_t cold_misses() const;
+  /// Distinct lines touched, scaled to the full trace under sampling.
+  std::uint64_t unique_lines() const;
 
-  /// Raw histogram: histogram()[d] = accesses with stack distance d
-  /// (capped at max_tracked).
+  double sample_rate() const { return sample_rate_; }
+
+  /// Raw histogram: histogram()[d] = sampled accesses with (scaled) stack
+  /// distance d (capped at max_tracked).
   const std::vector<std::uint64_t>& histogram() const { return histogram_; }
 
  private:
-  std::uint64_t count_live_after(std::uint64_t position) const;
+  bool sampled_line(std::uint64_t line) const;
   void fenwick_add(std::uint64_t index, std::int64_t delta);
   std::int64_t fenwick_sum(std::uint64_t index) const;  // prefix [0, index]
 
   std::uint64_t granularity_;
   std::uint64_t max_tracked_;
+  double sample_rate_;
+  std::uint64_t sample_threshold_ = 0;  ///< hash < this -> line is tracked
   /// line -> most recent access position (timestamp)
   std::unordered_map<std::uint64_t, std::uint64_t> last_position_;
   /// Fenwick tree over positions: 1 where a line's latest access sits.
@@ -67,6 +89,7 @@ class ReuseDistanceAnalyzer {
   std::vector<std::uint64_t> histogram_;
   std::uint64_t clock_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t sampled_ = 0;
   std::uint64_t cold_ = 0;
 };
 

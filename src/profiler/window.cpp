@@ -1,10 +1,93 @@
 #include "profiler/window.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/check.hpp"
 
 namespace rda::prof {
+
+namespace {
+
+/// Open-addressing line → touch-count table. The per-access increment is the
+/// hottest operation in the whole profiler (every memory record of every
+/// ladder pass goes through it); linear probing over flat arrays beats
+/// std::unordered_map by avoiding per-node allocation and pointer chasing.
+/// Counting is order-independent, so swapping the container cannot change
+/// any window statistic.
+class LineCountTable {
+ public:
+  LineCountTable() { rehash(1u << 12); }
+
+  void increment(std::uint64_t line) {
+    if ((size_ + 1) * 10 >= capacity() * 7) rehash(capacity() * 2);
+    const std::uint64_t key = line + 1;  // 0 marks an empty slot
+    std::size_t slot = hash(line) & mask_;
+    while (true) {
+      if (keys_[slot] == key) {
+        ++counts_[slot];
+        return;
+      }
+      if (keys_[slot] == 0) {
+        keys_[slot] = key;
+        counts_[slot] = 1;
+        ++size_;
+        return;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  std::size_t unique() const { return size_; }
+
+  /// Count of lines touched at least `threshold` times.
+  std::uint64_t count_at_least(std::uint32_t threshold) const {
+    std::uint64_t hot = 0;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0 && counts_[i] >= threshold) ++hot;
+    }
+    return hot;
+  }
+
+  /// Keeps capacity (the next window usually has a similar footprint).
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), 0);
+    size_ = 0;
+  }
+
+ private:
+  static std::uint64_t hash(std::uint64_t x) {
+    // splitmix64 finalizer — decorrelates the low bits from strides.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t capacity() const { return keys_.size(); }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_counts = std::move(counts_);
+    keys_.assign(new_capacity, 0);
+    counts_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      std::size_t slot = hash(old_keys[i] - 1) & mask_;
+      while (keys_[slot] != 0) slot = (slot + 1) & mask_;
+      keys_[slot] = old_keys[i];
+      counts_[slot] = old_counts[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> counts_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
 
 std::uint64_t WindowStats::dominant_jump_pc() const {
   std::uint64_t best_pc = 0;
@@ -28,20 +111,17 @@ std::vector<WindowStats> WindowAnalyzer::analyze(
     trace::TraceSource& source) const {
   std::vector<WindowStats> windows;
   // The paper resets its address-count array at the start of each window; a
-  // hash map keyed by line address plays that role here.
-  std::unordered_map<std::uint64_t, std::uint32_t> line_counts;
+  // flat hash table keyed by line address plays that role here.
+  LineCountTable line_counts;
   WindowStats current;
   current.index = 0;
 
   auto finalize = [&](WindowStats& w) {
-    const std::uint64_t unique = line_counts.size();
+    const std::uint64_t unique = line_counts.unique();
     w.footprint_bytes = unique * config_.granularity;
-    std::uint64_t hot = 0;
-    for (const auto& [line, count] : line_counts) {
-      (void)line;
-      if (count >= config_.hot_threshold) ++hot;
-    }
-    w.wss_bytes = hot * config_.granularity;
+    w.wss_bytes =
+        line_counts.count_at_least(config_.hot_threshold) *
+        config_.granularity;
     w.reuse_ratio =
         unique == 0 ? 0.0
                     : static_cast<double>(w.accesses) /
@@ -55,7 +135,7 @@ std::vector<WindowStats> WindowAnalyzer::analyze(
       continue;
     }
     const std::uint64_t line = rec.value / config_.granularity;
-    ++line_counts[line];
+    line_counts.increment(line);
     ++current.accesses;
     if (rec.kind == trace::RecordKind::kStore) {
       ++current.stores;

@@ -1,0 +1,139 @@
+#include "trace/arena.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "trace/trace_io.hpp"
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RDA_ARENA_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define RDA_ARENA_HAS_MMAP 0
+#endif
+
+namespace rda::trace {
+
+namespace {
+
+/// Decodes packed records straight out of the arena buffer. Holds a shared
+/// reference to the buffer so a view outliving its arena stays valid.
+class ArenaRecordView final : public TraceSource {
+ public:
+  ArenaRecordView(std::shared_ptr<const void> owner, const unsigned char* begin,
+                  std::uint64_t count)
+      : owner_(std::move(owner)),
+        cursor_(begin),
+        end_(begin + count * kTraceRecordBytes) {}
+
+  bool next(TraceRecord& out) override {
+    if (cursor_ == end_) return false;
+    std::memcpy(&out.value, cursor_, sizeof(std::uint64_t));
+    out.kind = static_cast<RecordKind>(cursor_[8]);
+    cursor_ += kTraceRecordBytes;
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const unsigned char* cursor_;
+  const unsigned char* end_;
+};
+
+}  // namespace
+
+/// Owns the record bytes: a read-only file mapping when available, a heap
+/// copy otherwise. The record section starts at `records()`.
+class TraceArena::Buffer {
+ public:
+  ~Buffer() {
+#if RDA_ARENA_HAS_MMAP
+    if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+#endif
+  }
+
+  static std::shared_ptr<const Buffer> create(const std::string& path,
+                                              long offset,
+                                              std::uint64_t record_count) {
+    auto buffer = std::make_shared<Buffer>();
+    const std::size_t record_bytes =
+        static_cast<std::size_t>(record_count) * kTraceRecordBytes;
+#if RDA_ARENA_HAS_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    RDA_CHECK_MSG(fd >= 0, "cannot open trace file " << path);
+    struct stat st{};
+    const int stat_rc = ::fstat(fd, &st);
+    const std::size_t file_size =
+        stat_rc == 0 ? static_cast<std::size_t>(st.st_size) : 0;
+    if (stat_rc == 0) {
+      RDA_CHECK_MSG(file_size >= static_cast<std::size_t>(offset) + record_bytes,
+                    path << " truncated: header promises "
+                         << record_count << " records");
+      void* base = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (base != MAP_FAILED) {
+        buffer->map_base_ = base;
+        buffer->map_length_ = file_size;
+        buffer->records_ =
+            static_cast<const unsigned char*>(base) + offset;
+        ::close(fd);
+        return buffer;
+      }
+    }
+    ::close(fd);
+#endif
+    // Fallback: read the record section into a heap buffer.
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    RDA_CHECK_MSG(f != nullptr, "cannot open trace file " << path);
+    RDA_CHECK(std::fseek(f, offset, SEEK_SET) == 0);
+    buffer->heap_.resize(record_bytes);
+    const std::size_t got =
+        std::fread(buffer->heap_.data(), 1, record_bytes, f);
+    std::fclose(f);
+    RDA_CHECK_MSG(got == record_bytes, path << " truncated: header promises "
+                                            << record_count << " records");
+    buffer->records_ = buffer->heap_.data();
+    return buffer;
+  }
+
+  const unsigned char* records() const { return records_; }
+  bool mapped() const { return map_base_ != nullptr; }
+
+ private:
+  void* map_base_ = nullptr;
+  std::size_t map_length_ = 0;
+  std::vector<unsigned char> heap_;
+  const unsigned char* records_ = nullptr;
+};
+
+TraceArena TraceArena::load(const std::string& path) {
+  const TraceFile file = TraceFile::open(path);
+  TraceArena arena;
+  arena.nest_ = file.nest();
+  arena.record_count_ = file.record_count();
+  arena.buffer_ =
+      Buffer::create(path, file.records_offset(), file.record_count());
+  return arena;
+}
+
+std::unique_ptr<TraceSource> TraceArena::records() const {
+  RDA_CHECK_MSG(buffer_ != nullptr, "TraceArena not loaded");
+  return std::make_unique<ArenaRecordView>(buffer_, buffer_->records(),
+                                           record_count_);
+}
+
+const unsigned char* TraceArena::raw_records() const {
+  RDA_CHECK_MSG(buffer_ != nullptr, "TraceArena not loaded");
+  return buffer_->records();
+}
+
+bool TraceArena::mapped() const {
+  return buffer_ != nullptr && buffer_->mapped();
+}
+
+}  // namespace rda::trace

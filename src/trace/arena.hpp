@@ -1,0 +1,57 @@
+// Single-read trace arena: decode a trace file from disk once, then hand out
+// any number of zero-copy record views.
+//
+// The multi-granularity profiler needs one full pass per ladder level plus
+// one for the reuse curve; streaming each pass through its own
+// FileTraceSource re-reads and re-decodes the file every time, which is the
+// dominant cost on large traces and serializes passes that are otherwise
+// independent. TraceArena maps (or, when mmap is unavailable, loads) the
+// record section into memory exactly once; views decode the packed 9-byte
+// records in place, so concurrent passes share one read-only buffer and the
+// OS page cache does the rest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/loop_nest.hpp"
+#include "trace/record.hpp"
+
+namespace rda::trace {
+
+/// An immutable, fully-resident (mmap'd or heap-loaded) trace: loop nest
+/// plus the raw record section. Safe to share across threads; views are
+/// independent cursors over the same bytes.
+class TraceArena {
+ public:
+  /// Opens `path`, parses the header/loop nest, and maps the record
+  /// section. Falls back to reading the section into a heap buffer when
+  /// mmap is not usable. Throws util::CheckFailure on malformed input.
+  static TraceArena load(const std::string& path);
+
+  const LoopNest& nest() const { return nest_; }
+  std::uint64_t record_count() const { return record_count_; }
+
+  /// Fresh zero-copy streaming view over all records. Any number of views
+  /// may be live at once, on any threads.
+  std::unique_ptr<TraceSource> records() const;
+
+  /// Start of the packed record bytes (9 bytes per record), for bulk
+  /// consumers that want to skip the TraceSource indirection.
+  const unsigned char* raw_records() const;
+
+  /// True when the records are served from an mmap rather than a copy.
+  bool mapped() const;
+
+ private:
+  class Buffer;  // owns either the mapping or the heap copy
+
+  TraceArena() = default;
+
+  LoopNest nest_;
+  std::uint64_t record_count_ = 0;
+  std::shared_ptr<const Buffer> buffer_;
+};
+
+}  // namespace rda::trace

@@ -12,7 +12,9 @@ namespace {
 
 constexpr char kMagic[8] = {'R', 'D', 'A', 'T', 'R', 'C', '0', '1'};
 constexpr std::uint32_t kNoParent = 0xffffffffu;
-constexpr std::size_t kRecordBytes = 9;  // u64 value + u8 kind
+constexpr std::size_t kRecordBytes = kTraceRecordBytes;
+/// Writer flush / reader refill unit, in records (~2.25 MB of file bytes).
+constexpr std::size_t kIoChunkRecords = 256 * 1024;
 
 void write_bytes(std::FILE* f, const void* data, std::size_t n) {
   RDA_CHECK_MSG(std::fwrite(data, 1, n, f) == n, "trace file write failed");
@@ -39,7 +41,9 @@ T read_pod(std::FILE* f) {
 class FileTraceSource final : public TraceSource {
  public:
   FileTraceSource(const std::string& path, long offset, std::uint64_t count)
-      : remaining_(count) {
+      : remaining_(count),
+        buffer_(std::min<std::uint64_t>(count, kIoChunkRecords) *
+                kRecordBytes) {
     file_ = std::fopen(path.c_str(), "rb");
     RDA_CHECK_MSG(file_ != nullptr, "cannot open trace file " << path);
     RDA_CHECK(std::fseek(file_, offset, SEEK_SET) == 0);
@@ -52,10 +56,12 @@ class FileTraceSource final : public TraceSource {
   bool next(TraceRecord& out) override {
     if (remaining_ == 0) return false;
     if (buffer_pos_ >= buffer_len_) {
+      // The buffer is allocated once in the constructor; refills only read
+      // into it (a resize per refill would touch the allocator and memset
+      // the tail on every chunk).
       const std::size_t want =
-          std::min<std::uint64_t>(remaining_, kBufferRecords);
-      buffer_.resize(want * kRecordBytes);
-      read_bytes(file_, buffer_.data(), buffer_.size());
+          std::min<std::uint64_t>(remaining_, kIoChunkRecords);
+      read_bytes(file_, buffer_.data(), want * kRecordBytes);
       buffer_len_ = want;
       buffer_pos_ = 0;
     }
@@ -68,7 +74,6 @@ class FileTraceSource final : public TraceSource {
   }
 
  private:
-  static constexpr std::size_t kBufferRecords = 64 * 1024;
   std::FILE* file_ = nullptr;
   std::uint64_t remaining_ = 0;
   std::vector<unsigned char> buffer_;
@@ -97,17 +102,25 @@ TraceFileWriter::TraceFileWriter(const std::string& path,
   }
   count_offset_ = std::ftell(file_);
   write_pod<std::uint64_t>(file_, 0);  // patched in finalize()
+  buffer_.reserve(kIoChunkRecords * kRecordBytes);
 }
 
 TraceFileWriter::~TraceFileWriter() { finalize(); }
 
+void TraceFileWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  write_bytes(file_, buffer_.data(), buffer_.size());
+  buffer_.clear();
+}
+
 void TraceFileWriter::write(const TraceRecord& record) {
   RDA_CHECK_MSG(!finalized_, "write after finalize");
-  unsigned char buf[kRecordBytes];
-  std::memcpy(buf, &record.value, sizeof(std::uint64_t));
-  buf[8] = static_cast<unsigned char>(record.kind);
-  write_bytes(file_, buf, sizeof(buf));
+  const std::size_t at = buffer_.size();
+  buffer_.resize(at + kRecordBytes);
+  std::memcpy(buffer_.data() + at, &record.value, sizeof(std::uint64_t));
+  buffer_[at + 8] = static_cast<unsigned char>(record.kind);
   ++count_;
+  if (buffer_.size() >= kIoChunkRecords * kRecordBytes) flush_buffer();
 }
 
 void TraceFileWriter::write_all(TraceSource& source) {
@@ -118,6 +131,7 @@ void TraceFileWriter::write_all(TraceSource& source) {
 void TraceFileWriter::finalize() {
   if (finalized_) return;
   finalized_ = true;
+  flush_buffer();
   RDA_CHECK(std::fseek(file_, count_offset_, SEEK_SET) == 0);
   write_pod<std::uint64_t>(file_, count_);
   std::fclose(file_);

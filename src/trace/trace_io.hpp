@@ -19,13 +19,19 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "trace/loop_nest.hpp"
 #include "trace/record.hpp"
 
 namespace rda::trace {
 
-/// Streams a trace (and its loop nest) into a file. Records are buffered;
-/// the header's record count is patched on finalize()/destruction.
+/// On-disk size of one record: u64 value + u8 kind.
+inline constexpr std::size_t kTraceRecordBytes = 9;
+
+/// Streams a trace (and its loop nest) into a file. Records accumulate in a
+/// large write buffer (one fwrite per ~2 MB, not per record); the header's
+/// record count is patched on finalize()/destruction.
 class TraceFileWriter {
  public:
   TraceFileWriter(const std::string& path, const LoopNest& nest);
@@ -44,10 +50,13 @@ class TraceFileWriter {
   std::uint64_t records_written() const { return count_; }
 
  private:
+  void flush_buffer();
+
   std::FILE* file_ = nullptr;
   long count_offset_ = 0;
   std::uint64_t count_ = 0;
   bool finalized_ = false;
+  std::vector<unsigned char> buffer_;
 };
 
 /// An opened trace file: the loop nest plus a streaming record source.
@@ -62,6 +71,9 @@ class TraceFile {
   /// One-shot streaming source over the records (fresh file handle each
   /// call, so multiple passes are possible).
   std::unique_ptr<TraceSource> records() const;
+
+  /// Byte offset of the record section (TraceArena maps from here).
+  long records_offset() const { return records_offset_; }
 
  private:
   std::string path_;

@@ -1,0 +1,27 @@
+// Minimal fork-join worker pool for independent analysis jobs.
+//
+// The profiling pipeline fans per-granularity trace passes out across
+// threads; each job writes only to its own pre-allocated result slot, so the
+// pool needs nothing beyond "run these tasks on up to N threads and join".
+// Determinism is the caller's contract: jobs must not communicate, and the
+// caller must consume results in a thread-count-independent order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace rda::util {
+
+/// Resolves a --jobs style request: values >= 1 pass through, anything else
+/// (0, negative) means "one per hardware thread" with a floor of 1.
+int resolve_jobs(int requested);
+
+/// Runs `tasks` to completion on at most `jobs` threads (work-stealing via a
+/// shared atomic cursor, so long tasks do not serialize behind short ones).
+/// `jobs <= 1` runs everything inline on the calling thread — the
+/// single-threaded baseline path has no pool overhead and no nondeterminism.
+/// The first exception thrown by any task is rethrown after all threads
+/// join; remaining tasks still run (they may hold references to live state).
+void parallel_run(std::vector<std::function<void()>>& tasks, int jobs);
+
+}  // namespace rda::util

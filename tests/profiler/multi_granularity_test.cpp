@@ -104,6 +104,49 @@ TEST(MultiGranularity, PerGranularityResultsExposed) {
             report.per_granularity[0].second.size());
 }
 
+GranularPeriod make_period(std::uint64_t window, std::uint64_t first,
+                           std::uint64_t last) {
+  GranularPeriod g;
+  g.window_accesses = window;
+  g.first_access = first;
+  g.last_access = last;
+  return g;
+}
+
+TEST(MultiGranularity, CoveredFractionIsIntervalUnion) {
+  // Two kept periods overlapping on [400, 600): summing intersections would
+  // report (600 + 400)/1000 = 100% covered; the union is only 800/1000.
+  const std::vector<GranularPeriod> kept = {
+      make_period(100, 0, 600), make_period(100, 400, 800)};
+  const GranularPeriod candidate = make_period(10, 0, 1000);
+  EXPECT_DOUBLE_EQ(covered_fraction(candidate, kept), 0.8);
+}
+
+TEST(MultiGranularity, MergeDoesNotDoubleCountOverlapRegression) {
+  // Regression for the pre-union merge: kept periods A=[0,200) and
+  // B=[0,800) overlap on [0,200). Candidate C=[0,3200) is 25% covered by
+  // the union (exactly at tolerance, so keepable), but summing per-period
+  // intersections claims (200+800)/3200 = 31.25% and wrongly rejects it.
+  std::vector<std::pair<std::uint64_t, std::vector<GranularPeriod>>>
+      per_granularity;
+  per_granularity.emplace_back(
+      400, std::vector<GranularPeriod>{make_period(400, 0, 200)});
+  per_granularity.emplace_back(
+      200, std::vector<GranularPeriod>{make_period(200, 0, 800)});
+  per_granularity.emplace_back(
+      100, std::vector<GranularPeriod>{make_period(100, 0, 3200)});
+
+  const std::vector<GranularPeriod> merged =
+      merge_coarse_to_fine(per_granularity, 0.25);
+  ASSERT_EQ(merged.size(), 3u);
+  bool fine_kept = false;
+  for (const GranularPeriod& p : merged) {
+    if (p.window_accesses == 100) fine_kept = true;
+  }
+  EXPECT_TRUE(fine_kept) << "union coverage is exactly 0.25, double-counted "
+                            "coverage would be 0.3125";
+}
+
 TEST(MultiGranularity, MergedPeriodsSortedByOffset) {
   const MultiGranularityProfiler profiler(layered_config());
   const auto report = profiler.profile(make_layered_trace);

@@ -1,0 +1,167 @@
+#include "profiler/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "profiler/multi_granularity.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+#include "util/units.hpp"
+
+namespace rda::prof {
+namespace {
+
+using rda::util::KB;
+using rda::util::MB;
+
+/// Writes a three-phase trace (A big, B small, A2 big) with loop back-edges
+/// to a temp file and returns its path.
+std::string write_phased_trace(const char* tag) {
+  using namespace rda::trace;
+  const std::string path =
+      testing::TempDir() + "pipeline_test_" + tag + ".rdatrc";
+  auto phase = [](std::uint64_t base, std::uint64_t bytes,
+                  std::uint64_t accesses, std::uint64_t jump_pc,
+                  std::uint64_t seed) {
+    RegionSpec spec;
+    spec.base = base;
+    spec.size_bytes = bytes;
+    spec.pattern = Pattern::kHotCold;
+    spec.hot_fraction = 0.625;
+    spec.hot_probability = 0.97;
+    spec.access_granularity = 8;
+    spec.jump_pc = jump_pc;
+    spec.jump_period = 64;
+    return std::make_unique<RegionAccessSource>(spec, accesses, seed);
+  };
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  const std::uint64_t coarse = 1u << 16;
+  parts.push_back(phase(0x10000000, MB(2), coarse * 4, 0x1050, 1));
+  parts.push_back(phase(0x40000000, KB(256), coarse, 0x2050, 2));
+  parts.push_back(phase(0x20000000, MB(2), coarse * 4, 0x1050, 3));
+
+  LoopNest nest;
+  nest.add_loop("outer.A", 0x1000, 0x1100);
+  nest.add_loop("inner.B", 0x2000, 0x2100);
+  TraceFileWriter writer(path, nest);
+  ConcatSource all(std::move(parts));
+  writer.write_all(all);
+  writer.finalize();
+  return path;
+}
+
+PipelineConfig phased_config() {
+  PipelineConfig cfg;
+  cfg.multi.windows = {1u << 16, 1u << 14};
+  cfg.multi.hot_threshold = 4;
+  cfg.multi.detector.min_windows = 3;
+  cfg.reuse_curve = true;
+  return cfg;
+}
+
+TEST(ProfilePipeline, MatchesSerialProfilerAtEveryLevel) {
+  const std::string path = write_phased_trace("serialparity");
+  const trace::TraceArena arena = trace::TraceArena::load(path);
+  const trace::TraceFile file = trace::TraceFile::open(path);
+
+  PipelineConfig cfg = phased_config();
+  cfg.reuse_curve = false;
+  const PipelineResult result = ProfilePipeline(cfg).run(arena);
+
+  // Level reports must be byte-identical to the serial single-window
+  // profiler streaming from disk.
+  ASSERT_EQ(result.level_reports.size(), cfg.multi.windows.size());
+  for (std::size_t i = 0; i < cfg.multi.windows.size(); ++i) {
+    WindowConfig wcfg;
+    wcfg.window_accesses = cfg.multi.windows[i];
+    wcfg.hot_threshold = cfg.multi.hot_threshold;
+    auto source = file.records();
+    const ProfileReport serial =
+        Profiler(wcfg, cfg.multi.detector).profile(*source, file.nest());
+    EXPECT_EQ(serial.to_string(), result.level_reports[i].to_string());
+  }
+
+  // And the merged periods must match the serial multi-granularity sweep.
+  MultiGranularityConfig mcfg = cfg.multi;
+  const MultiGranularityReport serial_multi =
+      MultiGranularityProfiler(mcfg).profile([&] { return file.records(); });
+  ASSERT_EQ(serial_multi.periods.size(), result.multi.periods.size());
+  for (std::size_t i = 0; i < serial_multi.periods.size(); ++i) {
+    EXPECT_EQ(serial_multi.periods[i].first_access,
+              result.multi.periods[i].first_access);
+    EXPECT_EQ(serial_multi.periods[i].last_access,
+              result.multi.periods[i].last_access);
+    EXPECT_EQ(serial_multi.periods[i].window_accesses,
+              result.multi.periods[i].window_accesses);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ProfilePipeline, JobCountDoesNotChangeResults) {
+  const std::string path = write_phased_trace("determinism");
+  const trace::TraceArena arena = trace::TraceArena::load(path);
+
+  PipelineConfig cfg = phased_config();
+  cfg.sample_rate = 0.5;  // sampling must be deterministic too
+  cfg.jobs = 1;
+  const PipelineResult one = ProfilePipeline(cfg).run(arena);
+  cfg.jobs = 4;
+  const PipelineResult four = ProfilePipeline(cfg).run(arena);
+
+  ASSERT_EQ(one.level_reports.size(), four.level_reports.size());
+  for (std::size_t i = 0; i < one.level_reports.size(); ++i) {
+    EXPECT_EQ(one.level_reports[i].to_string(),
+              four.level_reports[i].to_string());
+  }
+  ASSERT_EQ(one.multi.periods.size(), four.multi.periods.size());
+  for (std::size_t i = 0; i < one.multi.periods.size(); ++i) {
+    EXPECT_EQ(one.multi.periods[i].first_access,
+              four.multi.periods[i].first_access);
+    EXPECT_EQ(one.multi.periods[i].last_access,
+              four.multi.periods[i].last_access);
+  }
+  ASSERT_NE(one.reuse, nullptr);
+  ASSERT_NE(four.reuse, nullptr);
+  EXPECT_EQ(one.reuse->histogram(), four.reuse->histogram());
+  EXPECT_EQ(one.reuse->total_accesses(), four.reuse->total_accesses());
+  EXPECT_EQ(one.reuse->sampled_accesses(), four.reuse->sampled_accesses());
+  EXPECT_EQ(one.reuse->cold_misses(), four.reuse->cold_misses());
+  std::remove(path.c_str());
+}
+
+TEST(ProfilePipeline, SampledReuseCurveTracksExact) {
+  const std::string path = write_phased_trace("sampling");
+  const trace::TraceArena arena = trace::TraceArena::load(path);
+
+  PipelineConfig cfg = phased_config();
+  const PipelineResult exact = ProfilePipeline(cfg).run(arena);
+  cfg.sample_rate = 0.1;
+  const PipelineResult sampled = ProfilePipeline(cfg).run(arena);
+
+  ASSERT_NE(exact.reuse, nullptr);
+  ASSERT_NE(sampled.reuse, nullptr);
+  // Spatial sampling keeps the miss-ratio curve and its knee close to the
+  // exact analysis. 15% is generous for a ~330k-access trace at R=0.1; the
+  // 50M-record benchmark gate demands (and gets) < 10%.
+  const double exact_wss =
+      static_cast<double>(exact.reuse->working_set_bytes());
+  const double sampled_wss =
+      static_cast<double>(sampled.reuse->working_set_bytes());
+  ASSERT_GT(exact_wss, 0.0);
+  EXPECT_NEAR(sampled_wss / exact_wss, 1.0, 0.15);
+
+  for (const double mb : {0.25, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(sampled.reuse->miss_ratio(MB(mb)),
+                exact.reuse->miss_ratio(MB(mb)), 0.05)
+        << "at cache size " << mb << " MB";
+  }
+  // The sampled pass must only have touched ~a tenth of the accesses.
+  EXPECT_LT(sampled.reuse->sampled_accesses(),
+            exact.reuse->sampled_accesses() / 5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rda::prof

@@ -125,6 +125,61 @@ TEST(ReuseDistance, CompactionPreservesDistances) {
   EXPECT_EQ(rd.cold_misses(), n);
 }
 
+TEST(ReuseDistance, FullSampleRateIsExactMode) {
+  // sample_rate = 1.0 must take the exact path: identical histograms and
+  // no scaling anywhere.
+  ReuseDistanceAnalyzer exact(64, 1u << 22);
+  ReuseDistanceAnalyzer full(64, 1u << 22, 1.0);
+  util::Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.next_below(KB(128));
+    exact.access(a);
+    full.access(a);
+  }
+  EXPECT_EQ(exact.histogram(), full.histogram());
+  EXPECT_EQ(exact.cold_misses(), full.cold_misses());
+  EXPECT_EQ(exact.sampled_accesses(), exact.total_accesses());
+}
+
+TEST(ReuseDistance, SampledCurveApproximatesExact) {
+  // Cyclic sweep over 4096 lines: exact mode puts every reuse at distance
+  // 4095; sampled mode must place the scaled distances near there and
+  // reproduce the same cliff in the miss-ratio curve.
+  const std::uint64_t n = 4096;
+  ReuseDistanceAnalyzer exact(64);
+  ReuseDistanceAnalyzer sampled(64, 1u << 22, 0.25);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      exact.access(i * 64);
+      sampled.access(i * 64);
+    }
+  }
+  // Unique-line estimate is unbiased: 4096 scaled from ~1024 tracked.
+  EXPECT_NEAR(static_cast<double>(sampled.unique_lines()),
+              static_cast<double>(n), 0.15 * static_cast<double>(n));
+  // Both see ~zero hits below the footprint and ~all hits above it.
+  EXPECT_NEAR(sampled.miss_ratio(64 * n / 2), exact.miss_ratio(64 * n / 2),
+              0.1);
+  EXPECT_NEAR(sampled.miss_ratio(64 * n * 2), exact.miss_ratio(64 * n * 2),
+              0.1);
+  const double exact_ws = static_cast<double>(exact.working_set_bytes());
+  const double sampled_ws = static_cast<double>(sampled.working_set_bytes());
+  EXPECT_NEAR(sampled_ws / exact_ws, 1.0, 0.15);
+}
+
+TEST(ReuseDistance, SampledModeOnlyTracksSampledLines) {
+  ReuseDistanceAnalyzer sampled(64, 1u << 22, 0.1);
+  util::Rng rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    sampled.access(rng.next_below(KB(512)));
+  }
+  EXPECT_EQ(sampled.total_accesses(), 100000u);
+  // ~10% of lines pass the spatial filter, so ~10% of accesses do too.
+  EXPECT_NEAR(static_cast<double>(sampled.sampled_accesses()), 10000.0,
+              3000.0);
+  EXPECT_GT(sampled.sampled_accesses(), 0u);
+}
+
 TEST(ReuseDistance, AgreesWithAssociativeCacheOnFittingSet) {
   // Cross-validation: for a working set that fits, the reuse-distance hit
   // count equals a fully-warm LRU cache's (modulo associativity conflicts,

@@ -1,0 +1,140 @@
+#include "trace/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace rda::trace {
+namespace {
+
+using rda::util::KB;
+
+std::string temp_trace_path(const char* tag) {
+  return testing::TempDir() + "arena_test_" + tag + ".rdatrc";
+}
+
+std::vector<TraceRecord> write_sample_trace(const std::string& path,
+                                            std::uint64_t accesses) {
+  RegionSpec spec;
+  spec.base = 0x1000;
+  spec.size_bytes = KB(128);
+  spec.pattern = Pattern::kHotCold;
+  spec.jump_pc = 0x500;
+  spec.jump_period = 32;
+  RegionAccessSource source(spec, accesses, 42);
+  const std::vector<TraceRecord> records = drain(source);
+
+  LoopNest nest;
+  nest.add_loop("outer", 0x400, 0x600);
+  TraceFileWriter writer(path, nest);
+  VectorSource replay(records);
+  writer.write_all(replay);
+  writer.finalize();
+  return records;
+}
+
+TEST(TraceArena, RoundTripMatchesFileSource) {
+  const std::string path = temp_trace_path("roundtrip");
+  const std::vector<TraceRecord> expected = write_sample_trace(path, 20000);
+
+  const TraceArena arena = TraceArena::load(path);
+  EXPECT_EQ(arena.record_count(), expected.size());
+  EXPECT_EQ(arena.nest().size(), 1u);
+
+  auto view = arena.records();
+  TraceRecord rec;
+  for (const TraceRecord& want : expected) {
+    ASSERT_TRUE(view->next(rec));
+    EXPECT_EQ(rec.value, want.value);
+    EXPECT_EQ(rec.kind, want.kind);
+  }
+  EXPECT_FALSE(view->next(rec));
+  std::remove(path.c_str());
+}
+
+TEST(TraceArena, ViewsAreIndependentCursors) {
+  const std::string path = temp_trace_path("views");
+  const std::vector<TraceRecord> expected = write_sample_trace(path, 5000);
+
+  const TraceArena arena = TraceArena::load(path);
+  auto a = arena.records();
+  auto b = arena.records();
+  TraceRecord ra, rb;
+  // Advance `a` far ahead; `b` must still start from the beginning.
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(a->next(ra));
+  ASSERT_TRUE(b->next(rb));
+  EXPECT_EQ(rb.value, expected[0].value);
+  std::remove(path.c_str());
+}
+
+TEST(TraceArena, ViewOutlivesArena) {
+  const std::string path = temp_trace_path("outlive");
+  const std::vector<TraceRecord> expected = write_sample_trace(path, 100);
+
+  std::unique_ptr<TraceSource> view;
+  {
+    const TraceArena arena = TraceArena::load(path);
+    view = arena.records();
+  }  // arena destroyed; the view keeps the buffer alive
+  TraceRecord rec;
+  std::size_t n = 0;
+  while (view->next(rec)) {
+    ASSERT_LT(n, expected.size());
+    EXPECT_EQ(rec.value, expected[n].value);
+    ++n;
+  }
+  EXPECT_EQ(n, expected.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceArena, ConcurrentViewsSeeIdenticalStreams) {
+  const std::string path = temp_trace_path("concurrent");
+  const std::vector<TraceRecord> expected = write_sample_trace(path, 50000);
+
+  const TraceArena arena = TraceArena::load(path);
+  constexpr int kThreads = 4;
+  std::vector<std::uint64_t> sums(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&arena, &sums, t] {
+      auto view = arena.records();
+      TraceRecord rec;
+      std::uint64_t sum = 0;
+      while (view->next(rec)) sum += rec.value;
+      sums[static_cast<std::size_t>(t)] = sum;
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::uint64_t want = 0;
+  for (const TraceRecord& r : expected) want += r.value;
+  for (const std::uint64_t got : sums) EXPECT_EQ(got, want);
+  std::remove(path.c_str());
+}
+
+TEST(TraceArena, TruncatedRecordSectionIsRejected) {
+  const std::string path = temp_trace_path("truncated");
+  write_sample_trace(path, 1000);
+  // Chop the tail off the record section; the header still promises the
+  // full count, which load() must detect up front (a streaming source only
+  // notices when it reaches the hole).
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(0, truncate(path.c_str(), size - 100));
+  EXPECT_THROW(TraceArena::load(path), util::CheckFailure);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rda::trace

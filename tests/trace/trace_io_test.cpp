@@ -60,7 +60,7 @@ TEST(TraceIo, LargeTraceStreamsThroughBuffer) {
   spec.base = 0;
   spec.size_bytes = util::MB(1);
   spec.pattern = Pattern::kRandomUniform;
-  const std::uint64_t n = 200000;  // > one 64k-record buffer
+  const std::uint64_t n = 200000;  // needs several reader refills
   {
     RegionAccessSource src(spec, n, 9);
     TraceFileWriter writer(path, nest);
@@ -79,6 +79,34 @@ TEST(TraceIo, LargeTraceStreamsThroughBuffer) {
     ASSERT_EQ(a.value, b.value);
     ASSERT_EQ(a.kind, b.kind);
   }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, WriterFlushesAcrossChunkBoundary) {
+  // The writer batches ~256k records per fwrite; a trace crossing that
+  // boundary (plus a partial tail) must survive the flush/finalize dance
+  // bit-for-bit.
+  const std::string path = temp_path("chunked.rdatrc");
+  LoopNest nest;
+  const std::uint64_t n = 300001;
+  {
+    TraceFileWriter writer(path, nest);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      writer.write({i, i % 3 == 0 ? RecordKind::kStore : RecordKind::kLoad});
+    }
+    EXPECT_EQ(writer.records_written(), n);
+  }
+  const TraceFile file = TraceFile::open(path);
+  ASSERT_EQ(file.record_count(), n);
+  auto source = file.records();
+  TraceRecord rec;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(source->next(rec));
+    ASSERT_EQ(rec.value, i);
+    ASSERT_EQ(rec.kind,
+              i % 3 == 0 ? RecordKind::kStore : RecordKind::kLoad);
+  }
+  EXPECT_FALSE(source->next(rec));
   std::remove(path.c_str());
 }
 

@@ -8,15 +8,22 @@
 // --reuse-curve additionally runs Mattson stack-distance analysis over the
 // whole trace and prints the LRU miss-ratio curve plus the cache size at
 // its knee — a principled value for the pp_begin demand.
+//
+// The trace is decoded from disk exactly once (TraceArena); --levels adds a
+// multi-granularity window ladder, --jobs fans the independent passes out
+// across threads (results are bit-identical for any job count), and
+// --sample-rate switches the reuse curve to SHARDS-style spatial sampling.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "args.hpp"
 #include "obs/chrome_trace.hpp"
+#include "profiler/pipeline.hpp"
 #include "profiler/report.hpp"
 #include "profiler/reuse_distance.hpp"
-#include "trace/trace_io.hpp"
+#include "trace/arena.hpp"
+#include "util/parallel.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -66,44 +73,87 @@ int main(int argc, char** argv) {
     tools::usage(
         "usage: rda_profile --trace FILE [--window N] [--threshold K]\n"
         "                   [--min-windows M] [--similarity S]\n"
+        "                   [--levels L] [--jobs J] [--sample-rate R]\n"
         "  --window      accesses per profiling window (default 1048576)\n"
         "  --threshold   touches before a line counts as working set "
         "(default 4)\n"
         "  --min-windows consecutive similar windows to seed a period "
         "(default 3)\n"
         "  --similarity  relative similarity band (default 0.25)\n"
+        "  --levels      window-ladder depth below --window (default 1)\n"
+        "  --ladder-ratio window shrink factor per level (default 4)\n"
+        "  --jobs        worker threads for the passes; 0 = all cores\n"
+        "                (default 1; any J gives bit-identical output)\n"
         "  --reuse-curve also print the LRU miss-ratio curve + WSS knee\n"
+        "  --sample-rate spatial sampling rate for the reuse curve in\n"
+        "                (0, 1]; 1 = exact Mattson (default 1)\n"
         "  --trace-out FILE  export detected periods as Chrome trace JSON\n"
         "                    (window-index timeline, for chrome://tracing)\n");
   }
 
-  const trace::TraceFile file = trace::TraceFile::open(path);
+  // Decode the file exactly once; every pass reads zero-copy arena views.
+  const trace::TraceArena arena = trace::TraceArena::load(path);
   std::printf("%s: %llu records, %zu loops\n\n", path.c_str(),
-              static_cast<unsigned long long>(file.record_count()),
-              file.nest().size());
+              static_cast<unsigned long long>(arena.record_count()),
+              arena.nest().size());
 
-  prof::WindowConfig wcfg;
-  wcfg.window_accesses = args.get_u64("window", wcfg.window_accesses);
-  wcfg.hot_threshold =
-      static_cast<std::uint32_t>(args.get_u64("threshold", wcfg.hot_threshold));
-  prof::DetectorConfig dcfg;
-  dcfg.min_windows = args.get_u64("min-windows", dcfg.min_windows);
-  dcfg.similarity_threshold =
-      args.get_double("similarity", dcfg.similarity_threshold);
+  prof::PipelineConfig pcfg;
+  const std::uint64_t window =
+      args.get_u64("window", prof::WindowConfig{}.window_accesses);
+  const int levels = static_cast<int>(args.get_u64("levels", 1));
+  if (levels <= 1) {
+    pcfg.multi.windows = {window};
+  } else {
+    pcfg.multi.base_window = window;
+    pcfg.multi.levels = levels;
+    pcfg.multi.ladder_ratio =
+        static_cast<int>(args.get_u64("ladder-ratio", 4));
+  }
+  pcfg.multi.hot_threshold = static_cast<std::uint32_t>(
+      args.get_u64("threshold", pcfg.multi.hot_threshold));
+  pcfg.multi.detector.min_windows =
+      args.get_u64("min-windows", pcfg.multi.detector.min_windows);
+  pcfg.multi.detector.similarity_threshold =
+      args.get_double("similarity", pcfg.multi.detector.similarity_threshold);
+  pcfg.reuse_curve = args.has("reuse-curve");
+  pcfg.sample_rate = args.get_double("sample-rate", 1.0);
+  pcfg.jobs = util::resolve_jobs(
+      static_cast<int>(args.get_u64("jobs", 1)));
 
-  auto source = file.records();
-  const prof::ProfileReport report =
-      prof::Profiler(wcfg, dcfg).profile(*source, file.nest());
+  const prof::ProfilePipeline pipeline(pcfg);
+  const prof::PipelineResult result = pipeline.run(arena);
+
+  // The coarsest level is what the serial single-window profiler reported.
+  const prof::ProfileReport& report = result.level_reports.front();
   std::printf("%s", report.to_string().c_str());
 
-  if (args.has("reuse-curve")) {
-    prof::ReuseDistanceAnalyzer rd;
-    auto pass = file.records();
-    rd.consume(*pass);
-    std::printf("\nLRU miss-ratio curve (whole trace, %llu accesses, "
-                "%llu cold):\n",
-                static_cast<unsigned long long>(rd.total_accesses()),
-                static_cast<unsigned long long>(rd.cold_misses()));
+  if (levels > 1) {
+    std::printf("\nmerged across %zu granularities (coarsest wins):\n",
+                pipeline.window_ladder().size());
+    for (const prof::GranularPeriod& g : result.multi.periods) {
+      std::printf("  accesses [%llu, %llu) @ window %llu, wss=%.2f MB\n",
+                  static_cast<unsigned long long>(g.first_access),
+                  static_cast<unsigned long long>(g.last_access),
+                  static_cast<unsigned long long>(g.window_accesses),
+                  util::bytes_to_mb(g.period.wss_bytes));
+    }
+  }
+
+  if (result.reuse != nullptr) {
+    const prof::ReuseDistanceAnalyzer& rd = *result.reuse;
+    if (rd.sample_rate() < 1.0) {
+      std::printf("\nLRU miss-ratio curve (sampled %.3g of lines: %llu of "
+                  "%llu accesses, %llu cold est.):\n",
+                  rd.sample_rate(),
+                  static_cast<unsigned long long>(rd.sampled_accesses()),
+                  static_cast<unsigned long long>(rd.total_accesses()),
+                  static_cast<unsigned long long>(rd.cold_misses()));
+    } else {
+      std::printf("\nLRU miss-ratio curve (whole trace, %llu accesses, "
+                  "%llu cold):\n",
+                  static_cast<unsigned long long>(rd.total_accesses()),
+                  static_cast<unsigned long long>(rd.cold_misses()));
+    }
     for (double mb : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 15.0}) {
       std::printf("  %6.2f MB -> %5.1f%% misses\n", mb,
                   100.0 * rd.miss_ratio(util::MB(mb)));
@@ -117,7 +167,7 @@ int main(int argc, char** argv) {
     write_period_trace(args.get("trace-out"), report);
   }
 
-  if (report.periods.empty()) {
+  if (report.periods.empty() && result.multi.periods.empty()) {
     std::printf("\nno periods detected — try a different --window (the "
                 "trace generator prints a recommended value)\n");
     return 1;
