@@ -1,8 +1,11 @@
-// Ablation: waitlist scan policy and the §3.4 thread-pool guard.
+// Ablation: waitlist scan policy, wake order, and the §3.4 thread-pool
+// guard.
 //
 //   * work-conserving scan (default): admit every fitting waitlist entry,
 //   * head-only scan: strict FIFO — stop at the first entry that does not
 //     fit (stronger arrival-order fairness, weaker utilization),
+//   * wake order (AdmissionCore WakeStrategy): FIFO arrival order vs
+//     demand-aware best-fit — wake the largest waiter that fits first,
 //   * pool guard on/off for the task-pool workload (Raytrace).
 #include <cstring>
 #include <iostream>
@@ -15,7 +18,8 @@ namespace {
 using namespace rda;
 
 exp::RunRow run_with(const workload::WorkloadSpec& spec,
-                     bool work_conserving, bool pool_guard) {
+                     bool work_conserving, bool pool_guard,
+                     core::WakeOrder wake_order = core::WakeOrder::kFifo) {
   sim::EngineConfig engine;
   engine.machine = sim::MachineConfig::e5_2420();
   sim::Engine sim_engine(engine);
@@ -24,6 +28,7 @@ exp::RunRow run_with(const workload::WorkloadSpec& spec,
   options.policy = core::PolicyKind::kStrict;
   options.monitor.work_conserving = work_conserving;
   options.monitor.pool_guard = pool_guard;
+  options.monitor.wake_order = wake_order;
   core::RdaScheduler gate(static_cast<double>(engine.machine.llc_bytes),
                           engine.calib, options);
   sim_engine.set_gate(&gate);
@@ -47,7 +52,8 @@ exp::RunRow run_with(const workload::WorkloadSpec& spec,
 
 int main(int argc, char** argv) {
   const bool quick = !(argc > 1 && std::strcmp(argv[1], "--full") == 0);
-  std::cout << "=== Ablation: waitlist scan policy + thread-pool guard ===\n\n";
+  std::cout << "=== Ablation: waitlist scan policy, wake order, "
+               "thread-pool guard ===\n\n";
 
   const auto specs = workload::table2_workloads();
   auto pick = [&](const char* name) {
@@ -69,6 +75,24 @@ int main(int argc, char** argv) {
           .add_cell(row.makespan, 1);
     }
     std::cout << "BLAS-3 (heterogeneous demands -> scan policy matters)\n"
+              << table.render() << "\n";
+  }
+
+  {
+    const auto spec = pick("BLAS-3");
+    util::Table table({"wake order", "GFLOPS", "system J", "gate blocks",
+                       "makespan [s]"});
+    for (const core::WakeOrder order :
+         {core::WakeOrder::kFifo, core::WakeOrder::kBestFitDemand}) {
+      const exp::RunRow row = run_with(spec, true, true, order);
+      table.begin_row()
+          .add_cell(std::string(core::to_string(order)))
+          .add_cell(row.gflops, 2)
+          .add_cell(row.system_joules, 0)
+          .add_cell(row.gate_blocks)
+          .add_cell(row.makespan, 1);
+    }
+    std::cout << "BLAS-3 (wake order: who gets freed capacity first)\n"
               << table.render() << "\n";
   }
 

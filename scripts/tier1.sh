@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + full test suite, then the concurrency-sensitive
-# runtime gate tests again under ThreadSanitizer.
+# admission/gate tests again under ThreadSanitizer and under ASan+UBSan.
 #
-#   scripts/tier1.sh            # both stages
-#   scripts/tier1.sh --no-tsan  # skip the sanitizer stage
+#   scripts/tier1.sh            # all stages
+#   scripts/tier1.sh --no-tsan  # skip both sanitizer stages
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,10 +16,20 @@ cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tier-1: runtime gate + profiler pipeline tests under ThreadSanitizer =="
+  echo "== tier-1: admission core/gate/parity + profiler tests under ThreadSanitizer =="
   cmake --preset tsan
-  cmake --build --preset tsan -j "$(nproc)" --target runtime_test profiler_test trace_test
-  ( cd build-tsan && ctest -R 'AdmissionGate|ProfilePipeline|TraceArena' \
+  cmake --build --preset tsan -j "$(nproc)" \
+    --target runtime_test core_test integration_test profiler_test trace_test
+  ( cd build-tsan && ctest \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ProfilePipeline|TraceArena' \
+      --output-on-failure -j "$(nproc)" )
+
+  echo "== tier-1: admission core/gate/waitlist tests under ASan+UBSan =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)" \
+    --target runtime_test core_test integration_test
+  ( cd build-asan && ctest \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|Waitlist|WakeStrategy' \
       --output-on-failure -j "$(nproc)" )
 fi
 
@@ -28,5 +38,10 @@ echo "== tier-1: profiler perf snapshot (BENCH_profiler.json) =="
 #   build/bench/micro_profiler --records 50000000 --jobs 4 --sample-rate 0.01
 ( cd build/bench && ./micro_profiler --records 2000000 --jobs 4 \
     --sample-rate 0.02 --out BENCH_profiler.json )
+
+echo "== tier-1: gate overhead snapshot (BENCH_gate.json) =="
+# Exits non-zero if the uncontended begin/end round trip regresses more
+# than 10% over the pre-AdmissionCore baseline (189 ns).
+( cd build/bench && ./micro_gate --iters 1000000 --out BENCH_gate.json )
 
 echo "tier-1 OK"

@@ -62,9 +62,15 @@ int ClusterScheduler::pick_node(double demand) const {
       return best;
     }
     case PlacementPolicy::kFirstFitCapacity: {
-      const double capacity =
-          static_cast<double>(config_.node.machine.llc_bytes);
       for (int n = 0; n < config_.nodes; ++n) {
+        // The capacity the node's own admission core decides against — the
+        // same number its predicate will enforce at runtime. Gateless nodes
+        // fall back to the raw machine LLC size.
+        const core::AdmissionCore* core = node_core(n);
+        const double capacity =
+            core != nullptr
+                ? core->resources().capacity(ResourceKind::kLLC)
+                : static_cast<double>(config_.node.machine.llc_bytes);
         if (node_demand_[n] + demand <= capacity) return n;
       }
       // Nothing fits: fall back to the least-loaded node.
@@ -76,6 +82,12 @@ int ClusterScheduler::pick_node(double demand) const {
     }
   }
   return 0;
+}
+
+const core::AdmissionCore* ClusterScheduler::node_core(int node) const {
+  RDA_CHECK(node >= 0 && node < config_.nodes);
+  const core::RdaScheduler* gate = gates_[static_cast<std::size_t>(node)].get();
+  return gate != nullptr ? &gate->core() : nullptr;
 }
 
 int ClusterScheduler::add_process(
@@ -110,6 +122,10 @@ ClusterResult ClusterScheduler::run() {
       continue;
     }
     result.nodes.push_back(engines_[n]->run());
+  }
+  for (int n = 0; n < config_.nodes; ++n) {
+    const core::AdmissionCore* core = node_core(n);
+    if (core != nullptr) result.admission += core->stats();
   }
   // Nodes that finish early (or never ran) still burn idle + uncore +
   // DRAM-static power until the slowest node completes — the cluster is a

@@ -43,6 +43,9 @@ struct ClusterConfig {
 struct ClusterResult {
   std::vector<sim::SimResult> nodes;
   std::vector<int> processes_per_node;
+  /// Fleet-wide admission totals: the per-node AdmissionCore stats summed
+  /// (all zero when the cluster runs without gates).
+  core::MonitorStats admission;
 
   /// Cluster makespan = slowest node (all nodes start together).
   double makespan() const;
@@ -74,6 +77,10 @@ class ClusterScheduler {
   ClusterResult run();
 
   const std::vector<double>& placed_demand() const { return node_demand_; }
+
+  /// The admission engine of one node's gate (nullptr when `use_gate` is
+  /// off). Placement and fleet-wide stats route through these cores.
+  const core::AdmissionCore* node_core(int node) const;
 
  private:
   int pick_node(double demand) const;

@@ -1,0 +1,153 @@
+#include "core/admission.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rda::core {
+
+AdmissionCore::AdmissionCore(AdmissionConfig config)
+    : config_(config),
+      policy_(make_policy(config.policy, config.oversubscription)),
+      predicate_(*policy_, resources_),
+      monitor_(predicate_, resources_, config.monitor),
+      corrector_(config.feedback) {
+  resources_.set_capacity(ResourceKind::kLLC, config_.llc_capacity_bytes);
+  if (config_.bandwidth_capacity > 0.0) {
+    resources_.set_capacity(ResourceKind::kMemBandwidth,
+                            config_.bandwidth_capacity);
+  }
+  monitor_.set_trace_sink(config_.trace_sink);
+}
+
+bool AdmissionCore::fast_path_usable(
+    sim::ThreadId thread, sim::ProcessId process,
+    const std::vector<ResourceDemand>& demands) const {
+  if (!config_.fast_path) return false;
+  const auto it = cache_.find(thread);
+  if (it == cache_.end() || !it->second.valid) return false;
+  const std::vector<ResourceDemand>& cached = it->second.demands;
+  if (cached.size() != demands.size()) return false;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (cached[i].resource != demands[i].resource) return false;
+    if (cached[i].amount != demands[i].amount) return false;
+  }
+  // Nobody else touched the load table since this thread's own last call,
+  // the previous identical request was admitted, and nobody is queued ahead
+  // — so replaying the predicate gives the identical "admit".
+  if (it->second.version != resources_.version()) return false;
+  if (!monitor_.waitlist().empty()) return false;
+  if (monitor_.pool_disabled(process)) return false;
+  return true;
+}
+
+AdmitTicket AdmissionCore::admit(AdmitRequest request, double now) {
+  RDA_CHECK_MSG(!request.demands.empty(),
+                "pp_begin with no declared demand from thread "
+                    << request.thread);
+  // A nested begin (periods do not nest, §2.3 — a second begin from the
+  // same thread would leak the first period's charged load forever) is
+  // rejected by the registry insert inside begin_period, before any stats
+  // or trace mutation. Counters touched on this path are deferred until
+  // after that insert for the same reason.
+  AdmitTicket ticket;
+  ResourceDemand& primary = request.demands.front();
+  const double declared = primary.amount;
+  bool partitioned = false;
+  if (primary.resource == ResourceKind::kLLC) {
+    // Counter-feedback: charge the corrected demand learned from previous
+    // instances of this period (keyed by its static code location).
+    if (config_.feedback.enable) {
+      primary.amount *= corrector_.correction(request.label);
+    }
+    if (config_.partitioning.enable &&
+        primary.amount > resources_.capacity(ResourceKind::kLLC)) {
+      // §6: a larger-than-LLC working set streams from DRAM regardless —
+      // confine it to a small partition and charge only that.
+      ticket.occupancy_cap = config_.partitioning.streaming_fraction *
+                             resources_.capacity(ResourceKind::kLLC);
+      primary.amount = ticket.occupancy_cap;
+      partitioned = true;
+    }
+  }
+
+  const bool fast =
+      fast_path_usable(request.thread, request.process, request.demands);
+
+  PeriodRecord record;
+  record.thread = request.thread;
+  record.process = request.process;
+  if (config_.fast_path) {
+    record.demands = request.demands;  // copy: the cache keeps the original
+  } else {
+    record.demands = std::move(request.demands);
+  }
+  record.reuse = request.reuse;
+  record.label = std::move(request.label);
+  record.declared_demand = declared;
+  const ProgressMonitor::BeginOutcome outcome =
+      monitor_.begin_period(std::move(record), now);
+
+  RDA_CHECK_MSG(!fast || outcome.admitted,
+                "fast path replay diverged from the cached admit decision");
+  if (partitioned) ++partitioned_periods_;
+  if (fast) ++fast_path_hits_;
+
+  if (config_.fast_path) {
+    ThreadCache& cache = cache_[request.thread];
+    cache.valid = outcome.admitted && !outcome.forced;
+    cache.demands = std::move(request.demands);
+    cache.version = resources_.version();
+  }
+
+  ticket.id = outcome.id;
+  ticket.admitted = outcome.admitted;
+  ticket.forced = outcome.forced;
+  ticket.fast_path = fast;
+  return ticket;
+}
+
+bool AdmissionCore::withdraw(PeriodId id, double now) {
+  RDA_CHECK_MSG(monitor_.registry().find(id) != nullptr,
+                "withdraw of unknown period id " << id);
+  return monitor_.cancel_waiting(id, now);
+}
+
+ReleaseTicket AdmissionCore::release(PeriodId id,
+                                     const ReleaseObservation& observed,
+                                     double now) {
+  ReleaseTicket ticket;
+  if (observed.has_counters && config_.feedback.enable) {
+    const PeriodRecord* active = monitor_.registry().find(id);
+    RDA_CHECK_MSG(active != nullptr, "pp_end with unknown period id " << id);
+    corrector_.observe(active->label, active->declared_demand,
+                       observed.peak_occupancy, observed.cache_contended);
+  }
+  if (!config_.fast_path) {
+    // end_period itself rejects unknown ids; no pre-lookup needed.
+    ticket.record = monitor_.end_period(id, now);
+    return ticket;
+  }
+  const PeriodRecord* active = monitor_.registry().find(id);
+  RDA_CHECK_MSG(active != nullptr, "pp_end with unknown period id " << id);
+  const sim::ThreadId thread = active->thread;
+  // The end is fast-pathable when no waiter can be affected: with an empty
+  // waitlist the decrement wakes nobody, so the kernel entry is skippable.
+  const bool fast = monitor_.waitlist().empty();
+  ticket.fast_path = fast;
+  // Replay validity: the cached admit decision survives this end only if
+  // nobody else touched the load table between our begin and now (then our
+  // increment+decrement cancel and the table returns to the decision's
+  // state).
+  ThreadCache& cache = cache_[thread];
+  const bool undisturbed = resources_.version() == cache.version;
+  ticket.record = monitor_.end_period(id, now);
+  if (fast && undisturbed && cache.valid) {
+    cache.version = resources_.version();
+  } else {
+    cache.valid = false;
+  }
+  return ticket;
+}
+
+}  // namespace rda::core

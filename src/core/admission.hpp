@@ -1,0 +1,185 @@
+// AdmissionCore — the one transactional admit/withdraw/release engine.
+//
+// Every substrate that gates progress periods (the discrete-event simulator
+// via core::RdaScheduler, real threads via rt::AdmissionGate, and the
+// cluster layer's per-node gates) used to re-implement the same pipeline:
+// demand correction, §6 streaming partitioning, the Fig. 11 cached-decision
+// fast path, registry + predicate + waitlist bookkeeping. AdmissionCore owns
+// that pipeline once; the substrates shrink to adapters that translate their
+// wake mechanism (sim event injection, condvar notify) into the core's
+// Waker callback and their notion of time into `now` seconds.
+//
+// Threading contract: the core is EXTERNALLY synchronized. It takes no lock
+// of its own — the simulator is single-threaded and the native gate already
+// serializes every call under one mutex, so an internal lock would only
+// double the cost. Callers must not interleave calls from two threads
+// without holding the same exclusion. The Waker is invoked synchronously
+// from inside admit/withdraw/release, i.e. while the caller's lock is held:
+// it must be cheap and must NOT re-enter the core.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/feedback.hpp"
+#include "core/policy.hpp"
+#include "core/predicate.hpp"
+#include "core/progress_monitor.hpp"
+#include "core/resource_monitor.hpp"
+#include "obs/sink.hpp"
+
+namespace rda::core {
+
+/// §6 future-work extension: cache partitioning for streaming periods.
+/// "If an application whose working set size is larger than the LLC is
+///  scheduled (e.g., streaming applications), we can partition the cache and
+///  give this application only a small portion ... because it would fetch
+///  most data from main memory regardless."
+struct PartitionOptions {
+  bool enable = false;
+  /// Fraction of LLC capacity granted to a larger-than-LLC period. The
+  /// period is admitted with this reduced charge and confined to it, so
+  /// normal periods co-run instead of waiting behind it.
+  double streaming_fraction = 0.10;
+};
+
+struct AdmissionConfig {
+  /// LLC capacity the admission decisions are made against (bytes).
+  double llc_capacity_bytes = 15360.0 * 1024.0;  // paper Table 1 default
+  /// Multi-resource extension: when > 0, DRAM bandwidth (bytes/second)
+  /// becomes a second gated resource.
+  double bandwidth_capacity = 0.0;
+  PolicyKind policy = PolicyKind::kStrict;
+  /// Oversubscription factor x for RDA:Compromise (paper uses 2).
+  double oversubscription = 2.0;
+  /// Enable the cached-decision fast path (Fig. 11 second series).
+  bool fast_path = false;
+  PartitionOptions partitioning{};
+  /// Counter-feedback extension: correct declared demands from observed
+  /// per-period hardware counters.
+  FeedbackOptions feedback{};
+  MonitorOptions monitor{};
+  /// Admission-lifecycle event sink (non-owning; nullptr = tracing off).
+  obs::TraceSink* trace_sink = nullptr;
+};
+
+/// One pp_begin, substrate-neutral. The first demand is the primary one;
+/// when it targets the LLC it is reshaped by counter feedback and §6
+/// partitioning before admission.
+struct AdmitRequest {
+  sim::ThreadId thread = sim::kInvalidThread;
+  sim::ProcessId process = sim::kInvalidProcess;
+  std::vector<ResourceDemand> demands;
+  ReuseLevel reuse = ReuseLevel::kLow;
+  std::string label;
+};
+
+/// Outcome of admit(). `admitted == false` means the period is parked on
+/// the waitlist; the caller must either sleep until the Waker fires for its
+/// thread (the grant) or withdraw() the request.
+struct AdmitTicket {
+  PeriodId id = kInvalidPeriod;
+  bool admitted = false;
+  bool forced = false;     ///< admitted via the liveness override
+  bool fast_path = false;  ///< decision served from the thread cache
+  /// Non-zero when §6 partitioning capped the period's LLC occupancy.
+  double occupancy_cap = 0.0;
+};
+
+/// Observed hardware counters of a completed period, fed back into the
+/// demand corrector. `has_counters == false` (the default) skips feedback —
+/// the native runtime has no per-period counter isolation by default.
+struct ReleaseObservation {
+  double peak_occupancy = 0.0;  ///< bytes actually resident at peak
+  bool cache_contended = false;
+  bool has_counters = false;
+};
+
+/// Outcome of release().
+struct ReleaseTicket {
+  bool fast_path = false;  ///< release needed no full "kernel entry"
+  PeriodRecord record;     ///< the closed period
+};
+
+class AdmissionCore {
+ public:
+  /// The kernel wake event, abstracted: called once per period admitted off
+  /// the waitlist, with the thread that parked it. Invoked while the
+  /// caller's exclusion is held — must not re-enter the core.
+  using Waker = std::function<void(sim::ThreadId)>;
+
+  explicit AdmissionCore(AdmissionConfig config = {});
+
+  AdmissionCore(const AdmissionCore&) = delete;
+  AdmissionCore& operator=(const AdmissionCore&) = delete;
+
+  void set_waker(Waker waker) { monitor_.set_waker(std::move(waker)); }
+  void set_trace_sink(obs::TraceSink* sink) { monitor_.set_trace_sink(sink); }
+  void set_wake_strategy(std::unique_ptr<WakeStrategy> strategy) {
+    monitor_.set_wake_strategy(std::move(strategy));
+  }
+
+  /// Declares a process as a task-pool (§3.4 group pause semantics).
+  void mark_pool(sim::ProcessId process) { monitor_.mark_pool(process); }
+
+  /// pp_begin. Applies feedback correction and §6 partitioning to the
+  /// primary LLC demand, consults the fast-path cache, then runs the full
+  /// predicate pipeline. Throws util::CheckFailure on a nested begin from
+  /// the same thread (before any stats or trace mutation).
+  AdmitTicket admit(AdmitRequest request, double now);
+
+  /// Withdraws a request that is still waitlisted (timeout / try_begin /
+  /// shutdown). Returns false — withdrawing NOTHING — when the period was
+  /// already admitted (the grant raced the timeout; the caller must consume
+  /// it and eventually release()). Throws on an unknown id.
+  bool withdraw(PeriodId id, double now);
+
+  /// pp_end. Feeds observed counters to the demand corrector, releases the
+  /// period's load and rescans the waitlist (invoking the Waker for every
+  /// admission). Throws on an unknown id or a never-admitted period.
+  ReleaseTicket release(PeriodId id, const ReleaseObservation& observed,
+                        double now);
+
+  /// Active (admitted OR waitlisted) period of a thread, if any.
+  std::optional<PeriodId> active_for_thread(sim::ThreadId thread) const {
+    return monitor_.registry().active_for_thread(thread);
+  }
+
+  const AdmissionConfig& config() const { return config_; }
+  const MonitorStats& stats() const { return monitor_.stats(); }
+  std::uint64_t fast_path_hits() const { return fast_path_hits_; }
+  std::uint64_t partitioned_periods() const { return partitioned_periods_; }
+  ResourceMonitor& resources() { return resources_; }
+  const ResourceMonitor& resources() const { return resources_; }
+  const ProgressMonitor& monitor() const { return monitor_; }
+  const SchedulingPolicy& policy() const { return *policy_; }
+  const DemandCorrector& corrector() const { return corrector_; }
+
+ private:
+  struct ThreadCache {
+    bool valid = false;
+    /// Post-transformation demands of the last admitted request.
+    std::vector<ResourceDemand> demands;
+    std::uint64_t version = 0;  ///< load-table version at our last call
+  };
+
+  bool fast_path_usable(sim::ThreadId thread, sim::ProcessId process,
+                        const std::vector<ResourceDemand>& demands) const;
+
+  AdmissionConfig config_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  ResourceMonitor resources_;
+  SchedulingPredicate predicate_;
+  ProgressMonitor monitor_;
+  DemandCorrector corrector_;
+
+  std::unordered_map<sim::ThreadId, ThreadCache> cache_;
+  std::uint64_t fast_path_hits_ = 0;
+  std::uint64_t partitioned_periods_ = 0;
+};
+
+}  // namespace rda::core

@@ -45,6 +45,17 @@ class SchedulingPredicate {
     return policy_->allow(res.remaining() - demand, res);
   }
 
+  /// Multi-resource decision only: the exact check try_schedule performs,
+  /// without the load charge — used by wake strategies to enumerate fitting
+  /// waitlist candidates before committing to one.
+  bool would_admit(const PeriodRecord& pp) const {
+    for (const ResourceDemand& d : pp.demands) {
+      const ResourceState& res = resources_->state(d.resource);
+      if (!policy_->allow(res.remaining() - d.amount, res)) return false;
+    }
+    return true;
+  }
+
   const SchedulingPolicy& policy() const { return *policy_; }
 
  private:

@@ -9,7 +9,17 @@ namespace rda::core {
 ProgressMonitor::ProgressMonitor(SchedulingPredicate& predicate,
                                  ResourceMonitor& resources,
                                  MonitorOptions options)
-    : predicate_(&predicate), resources_(&resources), options_(options) {}
+    : predicate_(&predicate),
+      resources_(&resources),
+      options_(options),
+      strategy_(make_wake_strategy(options.wake_order,
+                                   options.work_conserving)) {}
+
+void ProgressMonitor::set_wake_strategy(
+    std::unique_ptr<WakeStrategy> strategy) {
+  RDA_CHECK(strategy != nullptr);
+  strategy_ = std::move(strategy);
+}
 
 void ProgressMonitor::admit(PeriodId id) { admitted_.insert(id); }
 
@@ -86,11 +96,13 @@ bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force,
 
 ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
     PeriodRecord record, double now) {
-  ++stats_.begins;
   record.begin_time = now;
   const sim::ThreadId thread = record.thread;
   const sim::ProcessId process = record.process;
+  // insert rejects a nested begin (periods do not nest, §2.3) before any
+  // stats or trace mutation: a thrown begin leaves no footprint.
   const PeriodId id = registry_.insert(std::move(record));
+  ++stats_.begins;
   const PeriodRecord* stored = registry_.find(id);
   trace(obs::EventKind::kBegin, now, *stored);
 
@@ -141,6 +153,7 @@ ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
   entry.thread = thread;
   entry.process = process;
   entry.enqueue_time = now;
+  entry.demand = stored->primary_demand();
   waitlist_.push(entry);
   ++stats_.blocks;
   trace(obs::EventKind::kBlock, now, *stored);
@@ -154,18 +167,26 @@ void ProgressMonitor::rescan(double now) {
                                              disabled_pools_.end());
   for (sim::ProcessId p : disabled) try_admit_pool(p, /*force=*/false, now);
 
-  // 2. Ordinary entries in FIFO order.
-  const auto admit_fn = [&](const Waitlist::Entry& e) {
+  // 2. Ordinary entries, in the order the wake strategy picks them. The
+  //    fits check is side-effect-free; the load charge happens only after a
+  //    candidate is committed, so a strategy can rank all fitting entries
+  //    against the same free capacity.
+  const auto fits = [&](const Waitlist::Entry& e) {
     if (options_.pool_guard && pool_disabled(e.process)) return false;
     const PeriodRecord* record = registry_.find(e.period);
     RDA_CHECK(record != nullptr);
-    if (!predicate_->try_schedule(*record)) return false;
-    admit(e.period);
-    return true;
+    return predicate_->would_admit(*record);
   };
-  const std::vector<Waitlist::Entry> admitted = waitlist_.drain_admissible(
-      admit_fn, /*head_only=*/!options_.work_conserving);
-  for (const Waitlist::Entry& e : admitted) wake_entry(e, now);
+  for (;;) {
+    const std::size_t i = strategy_->select(waitlist_.entries(), fits);
+    if (i == WakeStrategy::npos) break;
+    const Waitlist::Entry e = waitlist_.remove_at(i);
+    const PeriodRecord* record = registry_.find(e.period);
+    RDA_CHECK(record != nullptr);
+    RDA_CHECK(predicate_->try_schedule(*record));
+    admit(e.period);
+    wake_entry(e, now);
+  }
 
   // 3. Liveness: if nothing holds any resource but threads still wait, the
   //    head can never fit under the policy — force it through.

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <unordered_set>
 
@@ -32,10 +33,13 @@ namespace rda::core {
 
 struct MonitorOptions {
   /// Waitlist scan mode on release: admit every fitting entry (true) or stop
-  /// at the first non-fitting one (false; stricter FIFO fairness).
+  /// at the first non-fitting one (false; stricter FIFO fairness). Only
+  /// meaningful under WakeOrder::kFifo.
   bool work_conserving = true;
   /// Enable the §3.4 thread-pool group pause.
   bool pool_guard = true;
+  /// Order in which freed capacity is re-offered to parked periods.
+  WakeOrder wake_order = WakeOrder::kFifo;
 };
 
 struct MonitorStats {
@@ -48,6 +52,20 @@ struct MonitorStats {
   std::uint64_t pool_disables = 0;
   std::uint64_t pool_group_admissions = 0;
   std::uint64_t cancels = 0;  ///< waitlisted requests withdrawn
+
+  /// Field-wise accumulation (cluster layer: fleet-wide admission totals).
+  MonitorStats& operator+=(const MonitorStats& o) {
+    begins += o.begins;
+    ends += o.ends;
+    immediate_admissions += o.immediate_admissions;
+    blocks += o.blocks;
+    wakes += o.wakes;
+    forced_admissions += o.forced_admissions;
+    pool_disables += o.pool_disables;
+    pool_group_admissions += o.pool_group_admissions;
+    cancels += o.cancels;
+    return *this;
+  }
 };
 
 class ProgressMonitor {
@@ -61,6 +79,11 @@ class ProgressMonitor {
   /// Channel used to resume a previously paused thread once its period is
   /// admitted (the kernel wake event of the paper's implementation).
   void set_waker(WakeFn waker) { waker_ = std::move(waker); }
+
+  /// Replaces the wake-order strategy (defaults to the one selected by
+  /// MonitorOptions::wake_order). Must not be null.
+  void set_wake_strategy(std::unique_ptr<WakeStrategy> strategy);
+  const WakeStrategy& wake_strategy() const { return *strategy_; }
 
   /// Attaches a lifecycle-event sink (non-owning; nullptr disables tracing
   /// at the cost of one branch per transition).
@@ -110,6 +133,7 @@ class ProgressMonitor {
   SchedulingPredicate* predicate_;
   ResourceMonitor* resources_;
   MonitorOptions options_;
+  std::unique_ptr<WakeStrategy> strategy_;
   WakeFn waker_;
   obs::TraceSink* sink_ = nullptr;
 

@@ -4,111 +4,57 @@
 
 namespace rda::core {
 
+namespace {
+
+AdmissionConfig to_core_config(double llc_capacity_bytes,
+                               const RdaOptions& options) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = llc_capacity_bytes;
+  config.bandwidth_capacity = options.bandwidth_capacity;
+  config.policy = options.policy;
+  config.oversubscription = options.oversubscription;
+  config.fast_path = options.fast_path;
+  config.partitioning = options.partitioning;
+  config.feedback = options.feedback;
+  config.monitor = options.monitor;
+  config.trace_sink = options.trace_sink;
+  return config;
+}
+
+}  // namespace
+
 RdaScheduler::RdaScheduler(double llc_capacity_bytes,
                            const sim::Calibration& calib, RdaOptions options)
-    : calib_(calib),
-      options_(options),
-      policy_(make_policy(options.policy, options.oversubscription)),
-      predicate_(*policy_, resources_),
-      monitor_(predicate_, resources_, options.monitor),
-      corrector_(options.feedback) {
-  resources_.set_capacity(ResourceKind::kLLC, llc_capacity_bytes);
-  if (options_.bandwidth_capacity > 0.0) {
-    resources_.set_capacity(ResourceKind::kMemBandwidth,
-                            options_.bandwidth_capacity);
-  }
-  monitor_.set_trace_sink(options_.trace_sink);
-}
-
-void RdaScheduler::mark_pool(sim::ProcessId process) {
-  monitor_.mark_pool(process);
-}
-
-void RdaScheduler::set_trace_sink(obs::TraceSink* sink) {
-  monitor_.set_trace_sink(sink);
-}
+    : calib_(calib), core_(to_core_config(llc_capacity_bytes, options)) {}
 
 void RdaScheduler::attach(sim::ThreadWaker& waker) {
-  monitor_.set_waker([&waker](sim::ThreadId tid) { waker.wake(tid); });
-}
-
-bool RdaScheduler::fast_path_usable(sim::ThreadId thread,
-                                    sim::ProcessId process, double demand,
-                                    double bw_demand) const {
-  if (!options_.fast_path) return false;
-  const auto it = cache_.find(thread);
-  if (it == cache_.end() || !it->second.valid) return false;
-  if (it->second.demand != demand) return false;
-  if (it->second.bw_demand != bw_demand) return false;
-  // Nobody else touched the load table since this thread's own last call,
-  // the previous identical request was admitted, and nobody is queued ahead
-  // — so replaying the predicate gives the identical "admit".
-  if (it->second.version != resources_.version()) return false;
-  if (!monitor_.waitlist().empty()) return false;
-  if (monitor_.pool_disabled(process)) return false;
-  return true;
+  core_.set_waker([&waker](sim::ThreadId tid) { waker.wake(tid); });
 }
 
 sim::BeginResult RdaScheduler::on_phase_begin(sim::ThreadId thread,
                                               sim::ProcessId process,
                                               const sim::PhaseSpec& phase,
                                               double now) {
-  double demand = static_cast<double>(phase.declared_wss());
-  // Counter-feedback: charge the corrected demand learned from previous
-  // instances of this period (keyed by its static code location).
-  demand *= corrector_.correction(phase.label);
-  double cap = 0.0;
-  if (options_.partitioning.enable &&
-      demand > resources_.capacity(ResourceKind::kLLC)) {
-    // §6: a larger-than-LLC working set streams from DRAM regardless —
-    // confine it to a small partition and charge only that.
-    cap = options_.partitioning.streaming_fraction *
-          resources_.capacity(ResourceKind::kLLC);
-    demand = cap;
-    ++partitioned_periods_;
+  AdmitRequest request;
+  request.thread = thread;
+  request.process = process;
+  request.demands = {
+      {ResourceKind::kLLC, static_cast<double>(phase.declared_wss())}};
+  if (core_.config().bandwidth_capacity > 0.0 &&
+      phase.bw_bytes_per_sec > 0.0) {
+    request.demands.push_back(
+        {ResourceKind::kMemBandwidth, phase.bw_bytes_per_sec});
   }
-  const double bw_demand = options_.bandwidth_capacity > 0.0
-                               ? phase.bw_bytes_per_sec
-                               : 0.0;
-  const bool fast = fast_path_usable(thread, process, demand, bw_demand);
-  if (fast) ++fast_path_hits_;
+  request.reuse = phase.reuse;
+  request.label = phase.label;
 
-  // Periods do not nest (§2.3): a second begin from the same thread would
-  // silently overwrite active_period_[thread] and leak the first period's
-  // charged load forever (it could never be ended).
-  const auto active_it = active_period_.find(thread);
-  RDA_CHECK_MSG(active_it == active_period_.end(),
-                "nested pp_begin from thread "
-                    << thread << ": period " << active_it->second
-                    << " is still active");
-
-  PeriodRecord record;
-  record.thread = thread;
-  record.process = process;
-  record.set_single(ResourceKind::kLLC, demand);
-  if (bw_demand > 0.0) {
-    record.add_demand(ResourceKind::kMemBandwidth, bw_demand);
-  }
-  record.reuse = phase.reuse;
-  record.label = phase.label;
-  const ProgressMonitor::BeginOutcome outcome =
-      monitor_.begin_period(std::move(record), now);
-
-  RDA_CHECK_MSG(!fast || outcome.admitted,
-                "fast path replay diverged from the cached admit decision");
-
-  active_period_[thread] = outcome.id;
-
-  ThreadCache& cache = cache_[thread];
-  cache.valid = outcome.admitted && !outcome.forced;
-  cache.demand = demand;
-  cache.bw_demand = bw_demand;
-  cache.version = resources_.version();
+  const AdmitTicket ticket = core_.admit(std::move(request), now);
 
   sim::BeginResult result;
-  result.admit = outcome.admitted;
-  result.call_cost = fast ? calib_.api_fast_path_cost : calib_.api_call_cost;
-  result.occupancy_cap = cap;
+  result.admit = ticket.admitted;
+  result.call_cost =
+      ticket.fast_path ? calib_.api_fast_path_cost : calib_.api_call_cost;
+  result.occupancy_cap = ticket.occupancy_cap;
   return result;
 }
 
@@ -118,32 +64,19 @@ sim::EndResult RdaScheduler::on_phase_end(sim::ThreadId thread,
                                           const sim::PhaseObservation& observed,
                                           double now) {
   (void)process;
-  corrector_.observe(phase.label, static_cast<double>(phase.declared_wss()),
-                     observed.peak_occupancy, observed.cache_contended);
-  const auto it = active_period_.find(thread);
-  RDA_CHECK_MSG(it != active_period_.end(),
-                "phase end from thread " << thread
-                                         << " with no active period");
-  // The end is fast-pathable when no waiter can be affected: with an empty
-  // waitlist the decrement wakes nobody, so the kernel entry is skippable.
-  const bool fast = options_.fast_path && monitor_.waitlist().empty();
-  // Replay validity: the cached admit decision survives this end only if
-  // nobody else touched the load table between our begin and now (then our
-  // increment+decrement cancel and the table returns to the decision's
-  // state).
-  ThreadCache& cache = cache_[thread];
-  const bool undisturbed = resources_.version() == cache.version;
-  monitor_.end_period(it->second, now);
-  active_period_.erase(it);
-
-  if (fast && undisturbed && cache.valid) {
-    cache.version = resources_.version();
-  } else {
-    cache.valid = false;
-  }
+  (void)phase;
+  const std::optional<PeriodId> id = core_.active_for_thread(thread);
+  RDA_CHECK_MSG(id.has_value(), "phase end from thread "
+                                    << thread << " with no active period");
+  ReleaseObservation counters;
+  counters.peak_occupancy = observed.peak_occupancy;
+  counters.cache_contended = observed.cache_contended;
+  counters.has_counters = true;
+  const ReleaseTicket ticket = core_.release(*id, counters, now);
 
   sim::EndResult result;
-  result.call_cost = fast ? calib_.api_fast_path_cost : calib_.api_call_cost;
+  result.call_cost =
+      ticket.fast_path ? calib_.api_fast_path_cost : calib_.api_call_cost;
   return result;
 }
 

@@ -1,44 +1,22 @@
 // RdaScheduler — the paper's scheduling extension, packaged as a sim gate.
 //
-// Binds policy + resource monitor + scheduling predicate + progress monitor
-// (the three components of paper Fig. 2) and implements sim::PhaseGate so the
-// engine consults it at every marked phase boundary, exactly as the kernel
-// extension intercepts pp_begin/pp_end.
-//
-// It also owns the cached-decision fast path evaluated in the Fig. 11
-// overhead study: when a thread re-enters a period with the same demand and
-// the global load table is unchanged since its own last call (and nobody is
-// waiting), the admission decision is provably identical, so the "kernel
-// entry" can be skipped and only the cheap fast-path cost is charged. The
-// decision itself is still executed for accounting.
+// A thin adapter over core::AdmissionCore: it translates sim phase
+// boundaries (on_phase_begin / on_phase_end) into the core's transactional
+// admit/release calls, the sim's ThreadWaker into the core's Waker, and the
+// core's fast-path verdict into the calibrated API call cost the simulator
+// charges (Fig. 11 overhead study). All policy, partitioning, feedback and
+// waitlist logic lives in the core — shared verbatim with the native
+// rt::AdmissionGate and the cluster layer's per-node gates.
 #pragma once
 
-#include <memory>
-#include <unordered_map>
+#include <cstdint>
 
-#include "core/feedback.hpp"
-#include "core/policy.hpp"
-#include "core/predicate.hpp"
-#include "core/progress_monitor.hpp"
-#include "core/resource_monitor.hpp"
+#include "core/admission.hpp"
 #include "obs/sink.hpp"
 #include "sim/calibration.hpp"
 #include "sim/gate.hpp"
 
 namespace rda::core {
-
-/// §6 future-work extension: cache partitioning for streaming periods.
-/// "If an application whose working set size is larger than the LLC is
-///  scheduled (e.g., streaming applications), we can partition the cache and
-///  give this application only a small portion ... because it would fetch
-///  most data from main memory regardless."
-struct PartitionOptions {
-  bool enable = false;
-  /// Fraction of LLC capacity granted to a larger-than-LLC period. The
-  /// period is admitted with this reduced charge and confined to it, so
-  /// normal periods co-run instead of waiting behind it.
-  double streaming_fraction = 0.10;
-};
 
 struct RdaOptions {
   PolicyKind policy = PolicyKind::kStrict;
@@ -67,10 +45,10 @@ class RdaScheduler final : public sim::PhaseGate {
                RdaOptions options = {});
 
   /// Declares a process as a task-pool (§3.4 group pause semantics).
-  void mark_pool(sim::ProcessId process);
+  void mark_pool(sim::ProcessId process) { core_.mark_pool(process); }
 
   /// Attaches/detaches the lifecycle-event sink at runtime.
-  void set_trace_sink(obs::TraceSink* sink);
+  void set_trace_sink(obs::TraceSink* sink) { core_.set_trace_sink(sink); }
 
   // sim::PhaseGate
   sim::BeginResult on_phase_begin(sim::ThreadId thread,
@@ -83,37 +61,23 @@ class RdaScheduler final : public sim::PhaseGate {
                               double now) override;
   void attach(sim::ThreadWaker& waker) override;
 
-  const MonitorStats& monitor_stats() const { return monitor_.stats(); }
-  std::uint64_t fast_path_hits() const { return fast_path_hits_; }
-  std::uint64_t partitioned_periods() const { return partitioned_periods_; }
-  ResourceMonitor& resources() { return resources_; }
-  const ProgressMonitor& monitor() const { return monitor_; }
-  const SchedulingPolicy& policy() const { return *policy_; }
-  const DemandCorrector& corrector() const { return corrector_; }
+  /// The shared engine (e.g. to swap the wake strategy for ablations).
+  AdmissionCore& core() { return core_; }
+  const AdmissionCore& core() const { return core_; }
+
+  const MonitorStats& monitor_stats() const { return core_.stats(); }
+  std::uint64_t fast_path_hits() const { return core_.fast_path_hits(); }
+  std::uint64_t partitioned_periods() const {
+    return core_.partitioned_periods();
+  }
+  ResourceMonitor& resources() { return core_.resources(); }
+  const ProgressMonitor& monitor() const { return core_.monitor(); }
+  const SchedulingPolicy& policy() const { return core_.policy(); }
+  const DemandCorrector& corrector() const { return core_.corrector(); }
 
  private:
-  struct ThreadCache {
-    bool valid = false;
-    double demand = -1.0;
-    double bw_demand = -1.0;
-    std::uint64_t version = 0;  ///< load-table version at our last call
-  };
-
-  bool fast_path_usable(sim::ThreadId thread, sim::ProcessId process,
-                        double demand, double bw_demand) const;
-
   sim::Calibration calib_;
-  RdaOptions options_;
-  std::unique_ptr<SchedulingPolicy> policy_;
-  ResourceMonitor resources_;
-  SchedulingPredicate predicate_;
-  ProgressMonitor monitor_;
-
-  DemandCorrector corrector_;
-  std::unordered_map<sim::ThreadId, PeriodId> active_period_;
-  std::unordered_map<sim::ThreadId, ThreadCache> cache_;
-  std::uint64_t fast_path_hits_ = 0;
-  std::uint64_t partitioned_periods_ = 0;
+  AdmissionCore core_;
 };
 
 }  // namespace rda::core

@@ -39,6 +39,11 @@ struct PeriodRecord {
   ReuseLevel reuse = ReuseLevel::kLow;
   double begin_time = 0.0;
   std::string label;
+  /// Primary-resource demand as the caller DECLARED it, before
+  /// counter-feedback correction and partition capping reshaped the charged
+  /// amount; what observed hardware counters are compared against at
+  /// release. 0 only for records built outside AdmissionCore.
+  double declared_demand = 0.0;
 
   /// Declares a single-resource period (the common, paper-default case).
   void set_single(ResourceKind resource, double amount) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace rda::core {
 
 std::vector<Waitlist::Entry> Waitlist::drain_admissible(
@@ -18,6 +20,15 @@ std::vector<Waitlist::Entry> Waitlist::drain_admissible(
     }
   }
   return admitted;
+}
+
+Waitlist::Entry Waitlist::remove_at(std::size_t index) {
+  RDA_CHECK_MSG(index < entries_.size(),
+                "waitlist remove_at(" << index << ") with only "
+                                      << entries_.size() << " entries");
+  const Entry entry = entries_[index];
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  return entry;
 }
 
 std::vector<Waitlist::Entry> Waitlist::remove_process(
@@ -38,6 +49,55 @@ std::size_t Waitlist::count_process(sim::ProcessId process) const {
   return static_cast<std::size_t>(
       std::count_if(entries_.begin(), entries_.end(),
                     [&](const Entry& e) { return e.process == process; }));
+}
+
+std::string to_string(WakeOrder order) {
+  switch (order) {
+    case WakeOrder::kFifo: return "fifo";
+    case WakeOrder::kBestFitDemand: return "best-fit";
+  }
+  return "?";
+}
+
+std::size_t FifoWakeStrategy::select(
+    const std::deque<Waitlist::Entry>& entries,
+    const std::function<bool(const Waitlist::Entry&)>& fits) const {
+  if (entries.empty()) return npos;
+  if (!work_conserving_) {
+    // Strict FIFO: only the head may be admitted; a non-fitting head
+    // blocks everyone behind it.
+    return fits(entries.front()) ? 0 : npos;
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (fits(entries[i])) return i;
+  }
+  return npos;
+}
+
+std::string FifoWakeStrategy::name() const {
+  return work_conserving_ ? "fifo" : "fifo-head-only";
+}
+
+std::size_t BestFitWakeStrategy::select(
+    const std::deque<Waitlist::Entry>& entries,
+    const std::function<bool(const Waitlist::Entry&)>& fits) const {
+  std::size_t best = npos;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!fits(entries[i])) continue;
+    if (best == npos || entries[i].demand > entries[best].demand) best = i;
+  }
+  return best;
+}
+
+std::unique_ptr<WakeStrategy> make_wake_strategy(WakeOrder order,
+                                                 bool work_conserving) {
+  switch (order) {
+    case WakeOrder::kFifo:
+      return std::make_unique<FifoWakeStrategy>(work_conserving);
+    case WakeOrder::kBestFitDemand:
+      return std::make_unique<BestFitWakeStrategy>();
+  }
+  return std::make_unique<FifoWakeStrategy>(work_conserving);
 }
 
 }  // namespace rda::core

@@ -1,4 +1,4 @@
-// Resource waitlist (§3.1).
+// Resource waitlist (§3.1) and wake-order strategies.
 //
 // "Processes that are paused are placed on a resource waitlist so they may
 //  be rescheduled later when another progress period completes and releases
@@ -8,12 +8,17 @@
 //   * work-conserving (default): walk the list in arrival order and admit
 //     every entry that now fits (skipping ones that don't);
 //   * head-only: stop at the first entry that does not fit — stronger
-//     arrival-order fairness, weaker utilization (ablation bench).
+//     arrival-order fairness, weaker utilization (ablation bench);
+//   * best-fit (WakeOrder::kBestFitDemand): demand-aware wake order — admit
+//     the LARGEST fitting demand first, packing the freed capacity
+//     (ablation bench `ablate_waitlist`).
 #pragma once
 
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/registry.hpp"
@@ -27,6 +32,9 @@ class Waitlist {
     sim::ThreadId thread = sim::kInvalidThread;
     sim::ProcessId process = sim::kInvalidProcess;
     double enqueue_time = 0.0;
+    /// Primary-resource demand of the parked period; lets wake strategies
+    /// order candidates without a registry lookup.
+    double demand = 0.0;
   };
 
   void push(Entry entry) { entries_.push_back(entry); }
@@ -40,6 +48,9 @@ class Waitlist {
   std::vector<Entry> drain_admissible(
       const std::function<bool(const Entry&)>& admit, bool head_only);
 
+  /// Removes and returns the entry at `index` (0 = head).
+  Entry remove_at(std::size_t index);
+
   /// Removes all entries of one process (group admission for thread pools).
   std::vector<Entry> remove_process(sim::ProcessId process);
 
@@ -49,5 +60,58 @@ class Waitlist {
  private:
   std::deque<Entry> entries_;
 };
+
+/// Wake order applied when released capacity is re-offered to the waitlist.
+enum class WakeOrder {
+  kFifo,           ///< arrival order (paper behaviour)
+  kBestFitDemand,  ///< largest fitting demand first (demand-aware packing)
+};
+
+std::string to_string(WakeOrder order);
+
+/// Strategy deciding WHICH parked entry is admitted next on a rescan. The
+/// progress monitor calls select() repeatedly: each call returns the index
+/// of one entry to admit now, or `npos` to stop. `fits` must be a
+/// side-effect-free admissibility check (pool guard + predicate); the
+/// monitor performs the actual load charge after selection.
+class WakeStrategy {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  virtual ~WakeStrategy() = default;
+  virtual std::size_t select(
+      const std::deque<Waitlist::Entry>& entries,
+      const std::function<bool(const Waitlist::Entry&)>& fits) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Arrival-order wake. `work_conserving` scans past non-fitting entries;
+/// otherwise the scan stops when the head does not fit (strict FIFO).
+class FifoWakeStrategy final : public WakeStrategy {
+ public:
+  explicit FifoWakeStrategy(bool work_conserving = true)
+      : work_conserving_(work_conserving) {}
+  std::size_t select(
+      const std::deque<Waitlist::Entry>& entries,
+      const std::function<bool(const Waitlist::Entry&)>& fits) const override;
+  std::string name() const override;
+
+ private:
+  bool work_conserving_;
+};
+
+/// Demand-aware wake: of all fitting entries, admit the one with the
+/// largest demand (ties: earliest arrival), maximizing how much of the
+/// freed capacity is put back to work per wake.
+class BestFitWakeStrategy final : public WakeStrategy {
+ public:
+  std::size_t select(
+      const std::deque<Waitlist::Entry>& entries,
+      const std::function<bool(const Waitlist::Entry&)>& fits) const override;
+  std::string name() const override { return "best-fit"; }
+};
+
+std::unique_ptr<WakeStrategy> make_wake_strategy(WakeOrder order,
+                                                 bool work_conserving);
 
 }  // namespace rda::core

@@ -1,6 +1,7 @@
 #include "obs/reconcile.hpp"
 
 #include <array>
+#include <cmath>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
@@ -135,6 +136,87 @@ ReconcileReport reconcile(std::span<const Event> events,
     os << "begins (" << stats.begins << ") != immediate admissions ("
        << stats.immediate_admissions << ") + blocks (" << stats.blocks
        << ") + begin-path force-admits (" << report.begin_forced << ")";
+    fail(os.str());
+  }
+
+  if (!errors.empty()) {
+    report.ok = false;
+    std::ostringstream os;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      if (i) os << "\n";
+      os << errors[i];
+    }
+    report.message = os.str();
+  }
+  return report;
+}
+
+ReconcileReport reconcile_waits(std::span<const Event> events,
+                                const WaitHistogram& histogram,
+                                const WaitStatsCheck& gate) {
+  ReconcileReport report;
+  std::vector<std::string> errors;
+  const auto fail = [&](const std::string& what) { errors.push_back(what); };
+
+  // Replay the same block→exit matching the recorder performs online.
+  std::unordered_map<core::PeriodId, double> block_time;
+  std::uint64_t blocks = 0;
+  std::uint64_t resolved = 0;
+  double event_wait_total = 0.0;
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kBlock:
+        ++blocks;
+        block_time[e.period] = e.time;
+        break;
+      case EventKind::kWake:
+      case EventKind::kForceAdmit:
+      case EventKind::kCancel: {
+        const auto it = block_time.find(e.period);
+        if (it != block_time.end()) {
+          ++resolved;
+          event_wait_total += e.time - it->second;
+          block_time.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  report.still_blocked = block_time.size();
+
+  if (histogram.count() != resolved) {
+    std::ostringstream os;
+    os << "wait histogram holds " << histogram.count()
+       << " samples but the event stream closes " << resolved
+       << " block intervals";
+    fail(os.str());
+  }
+  const double hist_total = histogram.mean() * histogram.count();
+  const double rounding =
+      1e-9 * (static_cast<double>(resolved) + 1.0) +
+      1e-12 * std::abs(event_wait_total);
+  if (std::abs(hist_total - event_wait_total) > rounding) {
+    std::ostringstream os;
+    os << "wait histogram total " << hist_total
+       << "s != event-derived wait total " << event_wait_total << "s";
+    fail(os.str());
+  }
+
+  if (gate.waits > blocks) {
+    std::ostringstream os;
+    os << "gate counted " << gate.waits << " waits but the monitor only "
+       << blocks << " blocks — a sleep with no block event";
+    fail(os.str());
+  }
+  const double slack =
+      gate.slack_seconds * (static_cast<double>(blocks) + 1.0);
+  if (std::abs(gate.total_wait_seconds - event_wait_total) > slack) {
+    std::ostringstream os;
+    os << "gate total_wait_seconds " << gate.total_wait_seconds
+       << "s disagrees with the event-derived total " << event_wait_total
+       << "s by more than " << slack << "s";
     fail(os.str());
   }
 

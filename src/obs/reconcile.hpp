@@ -20,6 +20,7 @@
 
 #include "core/progress_monitor.hpp"
 #include "obs/event.hpp"
+#include "obs/histogram.hpp"
 
 namespace rda::obs {
 
@@ -37,5 +38,31 @@ struct ReconcileReport {
 /// cannot reconcile and the counts will (correctly) disagree.
 ReconcileReport reconcile(std::span<const Event> events,
                           const core::MonitorStats& stats);
+
+/// The gate-side wait counters to reconcile against the event stream.
+/// Plain numbers rather than rt::GateStats — obs must not depend on the
+/// runtime layer (the runtime already depends on obs for its trace sink).
+struct WaitStatsCheck {
+  std::uint64_t waits = 0;          ///< rt::GateStats::waits
+  double total_wait_seconds = 0.0;  ///< rt::GateStats::total_wait_seconds
+  /// Per-wait tolerance between the gate's wall-clock wait accounting and
+  /// the event-timestamp-derived total. The gate times mutex reacquisition
+  /// and scheduler latency that the monitor's block→wake interval cannot
+  /// see, so the two legitimately differ by OS-noise amounts.
+  double slack_seconds = 0.05;
+};
+
+/// Cross-checks the wait-latency histogram and the native gate's wait
+/// counters against the event stream:
+///   * histogram count == block intervals closed by a wake/force/cancel;
+///   * histogram total == sum of those event-timestamp intervals (same
+///     inputs, so they must agree to rounding);
+///   * gate waits <= blocks (a try_begin blocks and withdraws without ever
+///     sleeping, so the gate may count fewer sleeps than the monitor
+///     counts blocks — never more);
+///   * |gate total_wait_seconds - event-derived total| within slack.
+ReconcileReport reconcile_waits(std::span<const Event> events,
+                                const WaitHistogram& histogram,
+                                const WaitStatsCheck& gate);
 
 }  // namespace rda::obs

@@ -1,28 +1,41 @@
 #include "runtime/gate.hpp"
 
 #include <atomic>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace rda::rt {
 
+namespace {
+
+core::AdmissionConfig to_core_config(const GateConfig& config) {
+  core::AdmissionConfig c;
+  c.llc_capacity_bytes = config.llc_capacity_bytes;
+  c.bandwidth_capacity = config.bandwidth_capacity;
+  c.policy = config.policy;
+  c.oversubscription = config.oversubscription;
+  c.fast_path = config.fast_path;
+  c.partitioning = config.partitioning;
+  c.feedback = config.feedback;
+  c.monitor = config.monitor;
+  c.trace_sink = config.trace_sink;
+  return c;
+}
+
+}  // namespace
+
 AdmissionGate::AdmissionGate(GateConfig config)
     : config_(config),
-      policy_(core::make_policy(config.policy, config.oversubscription)),
-      predicate_(*policy_, resources_),
-      monitor_(predicate_, resources_, config.monitor),
+      core_(to_core_config(config)),
       epoch_(std::chrono::steady_clock::now()) {
-  resources_.set_capacity(ResourceKind::kLLC, config_.llc_capacity_bytes);
-  if (config_.bandwidth_capacity > 0.0) {
-    resources_.set_capacity(ResourceKind::kMemBandwidth,
-                            config_.bandwidth_capacity);
-  }
-  // The kernel wake event: flag the thread and ping every sleeper.
-  monitor_.set_waker([this](sim::ThreadId tid) {
+  // The kernel wake event: flag the thread and ping every sleeper. Runs
+  // under mu_ (the core is only ever called with mu_ held), so the insert
+  // needs no further synchronization.
+  core_.set_waker([this](sim::ThreadId tid) {
     granted_.insert(static_cast<std::uint32_t>(tid));
     cv_.notify_all();
   });
-  monitor_.set_trace_sink(config_.trace_sink);
 }
 
 std::uint32_t AdmissionGate::self_id() {
@@ -48,112 +61,106 @@ double AdmissionGate::now_seconds() const {
       .count();
 }
 
-core::PeriodId AdmissionGate::begin(ResourceKind resource, double demand,
-                                    ReuseLevel reuse, std::string label) {
+std::optional<core::PeriodId> AdmissionGate::begin_impl(
+    std::vector<core::ResourceDemand> demands, ReuseLevel reuse,
+    std::string label, WaitMode mode, std::chrono::nanoseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
   const std::uint32_t tid = self_id();
 
-  core::PeriodRecord record;
-  record.thread = tid;
-  record.process = group_of(tid);
-  record.set_single(resource, demand);
-  record.reuse = reuse;
-  record.label = std::move(label);
+  core::AdmitRequest request;
+  request.thread = tid;
+  request.process = group_of(tid);
+  request.demands = std::move(demands);
+  request.reuse = reuse;
+  request.label = std::move(label);
 
-  const auto outcome = monitor_.begin_period(std::move(record), now_seconds());
-  if (outcome.admitted) return outcome.id;
+  const core::AdmitTicket ticket = core_.admit(std::move(request),
+                                               now_seconds());
+  if (ticket.admitted) return ticket.id;
+
+  if (mode == WaitMode::kTry) {
+    const bool withdrawn = core_.withdraw(ticket.id, now_seconds());
+    RDA_CHECK(withdrawn);
+    return std::nullopt;
+  }
 
   ++waits_;
   const double wait_start = now_seconds();
-  cv_.wait(lock, [&] { return granted_.count(tid) != 0; });
-  granted_.erase(tid);
+  bool granted = true;
+  if (mode == WaitMode::kBlocking) {
+    cv_.wait(lock, [&] { return granted_.count(tid) != 0; });
+  } else {
+    granted = cv_.wait_for(lock, timeout,
+                           [&] { return granted_.count(tid) != 0; });
+  }
   total_wait_seconds_ += now_seconds() - wait_start;
-  return outcome.id;
+  if (granted) {
+    granted_.erase(tid);
+    return ticket.id;
+  }
+  // Timed out. Withdraw can still lose to a wake that fired between the
+  // predicate's last false and re-acquiring mu_: then the period is already
+  // admitted (its load charged, the grant flagged) and withdraw returns
+  // false — consume the grant instead of stranding the capacity.
+  if (!core_.withdraw(ticket.id, now_seconds())) {
+    RDA_CHECK_MSG(granted_.count(tid) != 0,
+                  "timed-out period " << ticket.id
+                                      << " already admitted but no grant "
+                                         "flagged for thread "
+                                      << tid);
+    granted_.erase(tid);
+    return ticket.id;
+  }
+  return std::nullopt;
+}
+
+core::PeriodId AdmissionGate::begin(ResourceKind resource, double demand,
+                                    ReuseLevel reuse, std::string label) {
+  const std::optional<core::PeriodId> id =
+      begin_impl({{resource, demand}}, reuse, std::move(label),
+                 WaitMode::kBlocking, {});
+  RDA_CHECK(id.has_value());
+  return *id;
 }
 
 core::PeriodId AdmissionGate::begin_multi(
     std::vector<core::ResourceDemand> demands, ReuseLevel reuse,
     std::string label) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const std::uint32_t tid = self_id();
-
-  core::PeriodRecord record;
-  record.thread = tid;
-  record.process = group_of(tid);
-  record.demands = std::move(demands);
-  record.reuse = reuse;
-  record.label = std::move(label);
-
-  const auto outcome = monitor_.begin_period(std::move(record), now_seconds());
-  if (outcome.admitted) return outcome.id;
-
-  ++waits_;
-  const double wait_start = now_seconds();
-  cv_.wait(lock, [&] { return granted_.count(tid) != 0; });
-  granted_.erase(tid);
-  total_wait_seconds_ += now_seconds() - wait_start;
-  return outcome.id;
+  const std::optional<core::PeriodId> id =
+      begin_impl(std::move(demands), reuse, std::move(label),
+                 WaitMode::kBlocking, {});
+  RDA_CHECK(id.has_value());
+  return *id;
 }
 
 std::optional<core::PeriodId> AdmissionGate::try_begin(ResourceKind resource,
                                                        double demand,
                                                        ReuseLevel reuse,
                                                        std::string label) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const std::uint32_t tid = self_id();
-
-  core::PeriodRecord record;
-  record.thread = tid;
-  record.process = group_of(tid);
-  record.set_single(resource, demand);
-  record.reuse = reuse;
-  record.label = std::move(label);
-
-  const auto outcome = monitor_.begin_period(std::move(record), now_seconds());
-  if (outcome.admitted) return outcome.id;
-  const bool cancelled = monitor_.cancel_waiting(outcome.id, now_seconds());
-  RDA_CHECK(cancelled);
-  return std::nullopt;
+  return begin_impl({{resource, demand}}, reuse, std::move(label),
+                    WaitMode::kTry, {});
 }
 
 std::optional<core::PeriodId> AdmissionGate::begin_for(
     ResourceKind resource, double demand, ReuseLevel reuse,
     std::chrono::nanoseconds timeout, std::string label) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const std::uint32_t tid = self_id();
-
-  core::PeriodRecord record;
-  record.thread = tid;
-  record.process = group_of(tid);
-  record.set_single(resource, demand);
-  record.reuse = reuse;
-  record.label = std::move(label);
-
-  const auto outcome = monitor_.begin_period(std::move(record), now_seconds());
-  if (outcome.admitted) return outcome.id;
-
-  ++waits_;
-  const double wait_start = now_seconds();
-  const bool granted = cv_.wait_for(
-      lock, timeout, [&] { return granted_.count(tid) != 0; });
-  total_wait_seconds_ += now_seconds() - wait_start;
-  if (granted) {
-    granted_.erase(tid);
-    return outcome.id;
-  }
-  const bool cancelled = monitor_.cancel_waiting(outcome.id, now_seconds());
-  RDA_CHECK(cancelled);
-  return std::nullopt;
+  return begin_impl({{resource, demand}}, reuse, std::move(label),
+                    WaitMode::kTimed, timeout);
 }
 
 void AdmissionGate::end(core::PeriodId id) {
+  end(id, core::ReleaseObservation{});
+}
+
+void AdmissionGate::end(core::PeriodId id,
+                        const core::ReleaseObservation& observed) {
   std::lock_guard<std::mutex> lock(mu_);
-  monitor_.end_period(id, now_seconds());
+  core_.release(id, observed, now_seconds());
 }
 
 void AdmissionGate::mark_pool(std::uint32_t group) {
   std::lock_guard<std::mutex> lock(mu_);
-  monitor_.mark_pool(group);
+  core_.mark_pool(group);
 }
 
 void AdmissionGate::join_group(std::uint32_t group) {
@@ -164,20 +171,22 @@ void AdmissionGate::join_group(std::uint32_t group) {
 GateStats AdmissionGate::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   GateStats s;
-  s.monitor = monitor_.stats();
+  s.monitor = core_.stats();
   s.waits = waits_;
   s.total_wait_seconds = total_wait_seconds_;
+  s.fast_path_hits = core_.fast_path_hits();
+  s.partitioned_periods = core_.partitioned_periods();
   return s;
 }
 
 double AdmissionGate::usage(ResourceKind resource) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return resources_.usage(resource);
+  return core_.resources().usage(resource);
 }
 
 std::size_t AdmissionGate::waiting() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return monitor_.waitlist().size();
+  return core_.monitor().waitlist().size();
 }
 
 }  // namespace rda::rt

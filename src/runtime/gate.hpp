@@ -1,10 +1,14 @@
 // Native userspace admission gate.
 //
 // This is the paper's scheduling extension realized for real threads without
-// a kernel patch: pp_begin runs the same registry / resource-monitor /
-// scheduling-predicate pipeline as the simulator gate, but a denied caller
-// blocks on a condition variable (standing in for the kernel wait queue +
-// wake events of §3) until a completing period releases enough capacity.
+// a kernel patch: a thin adapter over core::AdmissionCore. pp_begin runs the
+// same transactional admit pipeline as the simulator gate (shared verbatim —
+// registry, predicate, waitlist, fast path, partitioning, feedback all live
+// in the core); a denied caller blocks on a condition variable (standing in
+// for the kernel wait queue + wake events of §3) until a completing period
+// releases enough capacity. The gate's one mutex provides the external
+// synchronization the core's threading contract requires; the core's Waker
+// runs under that mutex and only flags the thread + pings the sleepers.
 //
 // Threads that never call the API are simply never throttled — exactly the
 // paper's behaviour for un-instrumented processes ("our system ignores
@@ -14,7 +18,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -23,10 +26,7 @@
 #include <vector>
 
 #include "common/types.hpp"
-#include "core/policy.hpp"
-#include "core/predicate.hpp"
-#include "core/progress_monitor.hpp"
-#include "core/resource_monitor.hpp"
+#include "core/admission.hpp"
 #include "obs/sink.hpp"
 
 namespace rda::rt {
@@ -39,6 +39,15 @@ struct GateConfig {
   double bandwidth_capacity = 0.0;
   core::PolicyKind policy = core::PolicyKind::kStrict;
   double oversubscription = 2.0;
+  /// Enable the cached-decision fast path (Fig. 11): a repeat begin with an
+  /// unchanged demand against an unchanged load table skips nothing
+  /// semantically (the decision is still replayed) but is counted, letting
+  /// deployments measure how often a real kernel entry could be elided.
+  bool fast_path = false;
+  /// §6 streaming partitioning for larger-than-LLC working sets.
+  core::PartitionOptions partitioning{};
+  /// Counter-feedback demand correction (fed via end(id, observation)).
+  core::FeedbackOptions feedback{};
   core::MonitorOptions monitor{};
   /// Admission-lifecycle event sink (non-owning; nullptr = tracing off).
   /// Events are stamped with gate-epoch seconds.
@@ -49,6 +58,8 @@ struct GateStats {
   core::MonitorStats monitor;
   std::uint64_t waits = 0;          ///< begins that had to block
   double total_wait_seconds = 0.0;  ///< cumulative blocked time
+  std::uint64_t fast_path_hits = 0;
+  std::uint64_t partitioned_periods = 0;
 };
 
 class AdmissionGate {
@@ -75,6 +86,8 @@ class AdmissionGate {
                                           std::string label = {});
 
   /// Bounded-wait begin: gives up (withdrawing the request) after `timeout`.
+  /// If the wake races the timeout, the grant is consumed and the id
+  /// returned — capacity is never charged to a caller that walked away.
   std::optional<core::PeriodId> begin_for(ResourceKind resource,
                                           double demand, ReuseLevel reuse,
                                           std::chrono::nanoseconds timeout,
@@ -82,6 +95,10 @@ class AdmissionGate {
 
   /// pp_end.
   void end(core::PeriodId id);
+
+  /// pp_end with observed hardware counters, feeding the demand corrector
+  /// (GateConfig::feedback) exactly like the simulator's phase observation.
+  void end(core::PeriodId id, const core::ReleaseObservation& observed);
 
   /// Declares a group of callers (identified by `group`) a task pool
   /// (§3.4): one denied member pauses the group until all fit.
@@ -96,6 +113,12 @@ class AdmissionGate {
   std::size_t waiting() const;
 
  private:
+  enum class WaitMode { kBlocking, kTry, kTimed };
+
+  std::optional<core::PeriodId> begin_impl(
+      std::vector<core::ResourceDemand> demands, ReuseLevel reuse,
+      std::string label, WaitMode mode, std::chrono::nanoseconds timeout);
+
   /// Stable small id for the calling thread: a process-lifetime token that
   /// is never reused, unlike std::this_thread::get_id() (which the OS
   /// recycles after thread exit, letting a new thread inherit a dead
@@ -105,10 +128,7 @@ class AdmissionGate {
   double now_seconds() const;
 
   GateConfig config_;
-  std::unique_ptr<core::SchedulingPolicy> policy_;
-  core::ResourceMonitor resources_;
-  core::SchedulingPredicate predicate_;
-  core::ProgressMonitor monitor_;
+  core::AdmissionCore core_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,214 @@
+// AdmissionCore unit tests: the transactional admit/withdraw/release engine
+// both gates (sim and native) and the cluster layer delegate to.
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace rda::core {
+namespace {
+
+double mb(double v) { return static_cast<double>(rda::util::MB(v)); }
+
+AdmitRequest request(sim::ThreadId thread, double demand,
+                     std::string label = "pp") {
+  AdmitRequest r;
+  r.thread = thread;
+  r.process = thread;  // singleton groups, like the native gate's default
+  r.demands = {{ResourceKind::kLLC, demand}};
+  r.label = std::move(label);
+  return r;
+}
+
+TEST(AdmissionCore, AdmitChargesAndReleaseFrees) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  AdmissionCore core(config);
+
+  const AdmitTicket t = core.admit(request(1, mb(6)), 0.0);
+  EXPECT_TRUE(t.admitted);
+  EXPECT_FALSE(t.forced);
+  EXPECT_EQ(core.resources().usage(ResourceKind::kLLC), mb(6));
+  EXPECT_EQ(core.active_for_thread(1), t.id);
+
+  const ReleaseTicket r = core.release(t.id, {}, 1.0);
+  EXPECT_EQ(r.record.id, t.id);
+  EXPECT_EQ(r.record.thread, 1u);
+  EXPECT_TRUE(core.resources().effectively_free(ResourceKind::kLLC));
+  EXPECT_FALSE(core.active_for_thread(1).has_value());
+  EXPECT_EQ(core.stats().begins, 1u);
+  EXPECT_EQ(core.stats().ends, 1u);
+}
+
+TEST(AdmissionCore, DeniedRequestParksUntilReleaseWakes) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  AdmissionCore core(config);
+  std::vector<sim::ThreadId> woken;
+  core.set_waker([&](sim::ThreadId tid) { woken.push_back(tid); });
+
+  const AdmitTicket first = core.admit(request(1, mb(10)), 0.0);
+  ASSERT_TRUE(first.admitted);
+  const AdmitTicket second = core.admit(request(2, mb(10)), 0.1);
+  EXPECT_FALSE(second.admitted);
+  EXPECT_EQ(core.monitor().waitlist().size(), 1u);
+  EXPECT_TRUE(woken.empty());
+
+  core.release(first.id, {}, 1.0);
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0], 2u);
+  EXPECT_EQ(core.resources().usage(ResourceKind::kLLC), mb(10));
+  // The grant already charged load: withdraw must refuse.
+  EXPECT_FALSE(core.withdraw(second.id, 1.1));
+  core.release(second.id, {}, 2.0);
+  EXPECT_TRUE(core.resources().effectively_free(ResourceKind::kLLC));
+}
+
+TEST(AdmissionCore, WithdrawReleasesNothingAndCountsCancel) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  AdmissionCore core(config);
+
+  const AdmitTicket first = core.admit(request(1, mb(12)), 0.0);
+  const AdmitTicket second = core.admit(request(2, mb(12)), 0.1);
+  ASSERT_FALSE(second.admitted);
+  EXPECT_TRUE(core.withdraw(second.id, 0.2));
+  EXPECT_EQ(core.stats().cancels, 1u);
+  EXPECT_EQ(core.monitor().waitlist().size(), 0u);
+  EXPECT_FALSE(core.active_for_thread(2).has_value());
+  EXPECT_EQ(core.resources().usage(ResourceKind::kLLC), mb(12));
+  core.release(first.id, {}, 1.0);
+}
+
+TEST(AdmissionCore, WithdrawUnknownIdThrows) {
+  AdmissionCore core(AdmissionConfig{});
+  EXPECT_THROW(core.withdraw(42, 0.0), util::CheckFailure);
+  EXPECT_THROW(core.release(42, {}, 0.0), util::CheckFailure);
+}
+
+TEST(AdmissionCore, NestedAdmitThrowsBeforeAnyStatsMutation) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  AdmissionCore core(config);
+  const AdmitTicket t = core.admit(request(1, mb(1)), 0.0);
+  ASSERT_TRUE(t.admitted);
+  EXPECT_THROW(core.admit(request(1, mb(1)), 0.1), util::CheckFailure);
+  EXPECT_EQ(core.stats().begins, 1u);
+  EXPECT_EQ(core.resources().usage(ResourceKind::kLLC), mb(1));
+}
+
+TEST(AdmissionCore, FastPathHitsOnRepeatIdenticalRequest) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  config.fast_path = true;
+  AdmissionCore core(config);
+
+  const AdmitTicket first = core.admit(request(1, mb(4)), 0.0);
+  EXPECT_FALSE(first.fast_path);
+  const ReleaseTicket end1 = core.release(first.id, {}, 0.5);
+  EXPECT_TRUE(end1.fast_path);  // empty waitlist: nobody to wake
+
+  const AdmitTicket second = core.admit(request(1, mb(4)), 1.0);
+  EXPECT_TRUE(second.fast_path);
+  EXPECT_TRUE(second.admitted);
+  EXPECT_EQ(core.fast_path_hits(), 1u);
+  core.release(second.id, {}, 1.5);
+}
+
+TEST(AdmissionCore, FastPathInvalidatedByForeignLoadChange) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  config.fast_path = true;
+  AdmissionCore core(config);
+
+  const AdmitTicket a1 = core.admit(request(1, mb(4)), 0.0);
+  core.release(a1.id, {}, 0.5);
+  // Another thread disturbs the load table between thread 1's calls.
+  const AdmitTicket b = core.admit(request(2, mb(4)), 0.6);
+  const AdmitTicket a2 = core.admit(request(1, mb(4)), 1.0);
+  EXPECT_FALSE(a2.fast_path);
+  EXPECT_EQ(core.fast_path_hits(), 0u);
+  core.release(b.id, {}, 2.0);
+  core.release(a2.id, {}, 2.0);
+}
+
+TEST(AdmissionCore, PartitioningCapsStreamingDemand) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  config.partitioning.enable = true;
+  config.partitioning.streaming_fraction = 0.25;
+  AdmissionCore core(config);
+
+  const AdmitTicket t = core.admit(request(1, mb(64)), 0.0);
+  EXPECT_TRUE(t.admitted);
+  EXPECT_EQ(t.occupancy_cap, mb(4));
+  EXPECT_EQ(core.partitioned_periods(), 1u);
+  EXPECT_EQ(core.resources().usage(ResourceKind::kLLC), mb(4));
+  // The registry holds the capped charge but remembers the declaration.
+  const ReleaseTicket r = core.release(t.id, {}, 1.0);
+  EXPECT_EQ(r.record.primary_demand(), mb(4));
+  EXPECT_EQ(r.record.declared_demand, mb(64));
+}
+
+TEST(AdmissionCore, FeedbackCorrectsUnderDeclaredDemand) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  config.feedback.enable = true;
+  config.feedback.min_samples = 1;
+  AdmissionCore core(config);
+
+  // Declares 4 MB but the counters keep seeing 8 MB resident.
+  for (int i = 0; i < 4; ++i) {
+    const AdmitTicket t = core.admit(request(1, mb(4), "hot"), i * 1.0);
+    ASSERT_TRUE(t.admitted);
+    ReleaseObservation observed;
+    observed.peak_occupancy = mb(8);
+    observed.has_counters = true;
+    core.release(t.id, observed, i * 1.0 + 0.5);
+  }
+  EXPECT_GT(core.corrector().correction("hot"), 1.5);
+
+  // The corrected charge, not the declaration, is what admission debits.
+  const AdmitTicket corrected = core.admit(request(1, mb(4), "hot"), 10.0);
+  ASSERT_TRUE(corrected.admitted);
+  EXPECT_GT(core.resources().usage(ResourceKind::kLLC), mb(6));
+  core.release(corrected.id, {}, 11.0);
+}
+
+TEST(AdmissionCore, BestFitWakeOrderPrefersLargestFittingWaiter) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  config.monitor.wake_order = WakeOrder::kBestFitDemand;
+  AdmissionCore core(config);
+  std::vector<sim::ThreadId> woken;
+  core.set_waker([&](sim::ThreadId tid) { woken.push_back(tid); });
+
+  const AdmitTicket hog = core.admit(request(1, mb(14)), 0.0);
+  ASSERT_TRUE(hog.admitted);
+  ASSERT_FALSE(core.admit(request(2, mb(3)), 0.1).admitted);   // FIFO first
+  ASSERT_FALSE(core.admit(request(3, mb(10)), 0.2).admitted);  // biggest
+  ASSERT_FALSE(core.admit(request(4, mb(6)), 0.3).admitted);
+
+  core.release(hog.id, {}, 1.0);
+  // 16 MB free: best-fit admits 10 (thread 3) then 6 (thread 4) then
+  // nothing — FIFO would have admitted 3 (thread 2) then 10 (thread 3).
+  ASSERT_EQ(woken.size(), 2u);
+  EXPECT_EQ(woken[0], 3u);
+  EXPECT_EQ(woken[1], 4u);
+  EXPECT_EQ(core.monitor().waitlist().size(), 1u);
+}
+
+TEST(AdmissionCore, EmptyDemandListRejected) {
+  AdmissionCore core(AdmissionConfig{});
+  AdmitRequest bad;
+  bad.thread = 1;
+  bad.process = 1;
+  EXPECT_THROW(core.admit(std::move(bad), 0.0), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace rda::core

@@ -4,13 +4,16 @@
 // export of that capture must contain exactly one slice pair per period.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rda_scheduler.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/reconcile.hpp"
 #include "obs/recorder.hpp"
+#include "runtime/gate.hpp"
 #include "sim/engine.hpp"
 #include "util/units.hpp"
 
@@ -139,6 +142,90 @@ TEST(ObsReconcile, IllegalTransitionsAreDetected) {
   stats.immediate_admissions = 2;
   report = obs::reconcile(events, stats);
   EXPECT_FALSE(report.ok);
+}
+
+/// Contended native-gate run with the recorder attached: four 6 MB threads
+/// on a 15 MB LLC, so real condvar waits happen and the gate's wall-clock
+/// wait accounting can be reconciled against the event stream.
+class TracedGateRun {
+ public:
+  TracedGateRun() {
+    rt::GateConfig cfg;
+    cfg.llc_capacity_bytes = static_cast<double>(MB(15));
+    cfg.trace_sink = &recorder_;
+    rt::AdmissionGate gate(cfg);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&gate] {
+        for (int i = 0; i < 16; ++i) {
+          const auto id =
+              gate.begin(ResourceKind::kLLC, static_cast<double>(MB(6)),
+                         ReuseLevel::kHigh, "w");
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          gate.end(id);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    stats_ = gate.stats();
+    events_ = recorder_.events();
+    histogram_ = recorder_.wait_histogram();
+  }
+
+  obs::EventRecorder recorder_{1 << 16};
+  rt::GateStats stats_;
+  std::vector<obs::Event> events_;
+  obs::WaitHistogram histogram_;
+};
+
+TEST(ObsReconcile, NativeGateWaitsReconcile) {
+  TracedGateRun run;
+  ASSERT_EQ(run.recorder_.dropped(), 0u);
+  // 4×6 MB on 15 MB: the third concurrent begin must park, so the wait
+  // machinery genuinely fired.
+  ASSERT_GT(run.stats_.monitor.blocks, 0u);
+  ASSERT_GT(run.stats_.waits, 0u);
+  // The lifecycle replay holds for the native gate too.
+  const obs::ReconcileReport lifecycle =
+      obs::reconcile(run.events_, run.stats_.monitor);
+  EXPECT_TRUE(lifecycle.ok) << lifecycle.message;
+  // And the gate's wait counters agree with the event-derived view.
+  obs::WaitStatsCheck gate_side;
+  gate_side.waits = run.stats_.waits;
+  gate_side.total_wait_seconds = run.stats_.total_wait_seconds;
+  const obs::ReconcileReport waits =
+      obs::reconcile_waits(run.events_, run.histogram_, gate_side);
+  EXPECT_TRUE(waits.ok) << waits.message;
+  EXPECT_EQ(waits.still_blocked, 0u);
+}
+
+TEST(ObsReconcile, WaitMismatchesAreDetected) {
+  TracedGateRun run;
+  ASSERT_GT(run.stats_.monitor.blocks, 0u);
+  // More sleeps than block events: impossible, must be flagged.
+  obs::WaitStatsCheck impossible;
+  impossible.waits = run.stats_.monitor.blocks + 1;
+  impossible.total_wait_seconds = run.stats_.total_wait_seconds;
+  obs::ReconcileReport report =
+      obs::reconcile_waits(run.events_, run.histogram_, impossible);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("sleep with no block"), std::string::npos);
+
+  // A histogram with an extra sample no event explains.
+  obs::WaitHistogram padded = run.histogram_;
+  padded.add(1.0);
+  obs::WaitStatsCheck gate_side;
+  gate_side.waits = run.stats_.waits;
+  gate_side.total_wait_seconds = run.stats_.total_wait_seconds;
+  report = obs::reconcile_waits(run.events_, padded, gate_side);
+  EXPECT_FALSE(report.ok);
+
+  // Gate wait time wildly off the event-derived total.
+  obs::WaitStatsCheck drifted = gate_side;
+  drifted.total_wait_seconds += 3600.0;
+  report = obs::reconcile_waits(run.events_, run.histogram_, drifted);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("total_wait_seconds"), std::string::npos);
 }
 
 TEST(ObsReconcile, StructuralInvariantChecked) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.hpp"
+
 namespace rda::core {
 namespace {
 
@@ -71,6 +73,75 @@ TEST(Waitlist, RemoveProcessPullsWholeGroup) {
   EXPECT_EQ(removed[1].period, 3u);
   EXPECT_EQ(wl.size(), 1u);
   EXPECT_EQ(wl.count_process(7), 0u);
+}
+
+TEST(Waitlist, RemoveAtPullsOneEntry) {
+  Waitlist wl;
+  wl.push(entry(1, 10, 0));
+  wl.push(entry(2, 11, 0));
+  wl.push(entry(3, 12, 1));
+  const Waitlist::Entry pulled = wl.remove_at(1);
+  EXPECT_EQ(pulled.period, 2u);
+  ASSERT_EQ(wl.size(), 2u);
+  EXPECT_EQ(wl.entries()[0].period, 1u);
+  EXPECT_EQ(wl.entries()[1].period, 3u);
+  EXPECT_THROW(wl.remove_at(2), util::CheckFailure);
+}
+
+Waitlist::Entry sized(PeriodId period, double demand) {
+  Waitlist::Entry e{period, static_cast<sim::ThreadId>(period),
+                    static_cast<sim::ProcessId>(period), 0.0};
+  e.demand = demand;
+  return e;
+}
+
+TEST(WakeStrategy, FifoPicksFirstFitting) {
+  Waitlist wl;
+  wl.push(sized(1, 8.0));
+  wl.push(sized(2, 2.0));
+  wl.push(sized(3, 4.0));
+  const FifoWakeStrategy fifo(/*work_conserving=*/true);
+  const auto fits_small = [](const Waitlist::Entry& e) {
+    return e.demand <= 4.0;
+  };
+  EXPECT_EQ(fifo.select(wl.entries(), fits_small), 1u);
+  const auto fits_none = [](const Waitlist::Entry&) { return false; };
+  EXPECT_EQ(fifo.select(wl.entries(), fits_none), WakeStrategy::npos);
+}
+
+TEST(WakeStrategy, FifoHeadOnlyBlocksBehindNonFittingHead) {
+  Waitlist wl;
+  wl.push(sized(1, 8.0));
+  wl.push(sized(2, 2.0));
+  const FifoWakeStrategy head_only(/*work_conserving=*/false);
+  const auto fits_small = [](const Waitlist::Entry& e) {
+    return e.demand <= 4.0;
+  };
+  // The head does not fit: nothing may be admitted past it.
+  EXPECT_EQ(head_only.select(wl.entries(), fits_small), WakeStrategy::npos);
+  const auto fits_all = [](const Waitlist::Entry&) { return true; };
+  EXPECT_EQ(head_only.select(wl.entries(), fits_all), 0u);
+}
+
+TEST(WakeStrategy, BestFitPicksLargestFittingDemand) {
+  Waitlist wl;
+  wl.push(sized(1, 3.0));
+  wl.push(sized(2, 9.0));  // does not fit
+  wl.push(sized(3, 6.0));
+  wl.push(sized(4, 6.0));  // tie: earlier index wins
+  const BestFitWakeStrategy best_fit;
+  const auto fits = [](const Waitlist::Entry& e) { return e.demand <= 6.0; };
+  EXPECT_EQ(best_fit.select(wl.entries(), fits), 2u);
+  EXPECT_EQ(best_fit.select({}, fits), WakeStrategy::npos);
+}
+
+TEST(WakeStrategy, FactoryMapsOrderAndConservation) {
+  EXPECT_EQ(make_wake_strategy(WakeOrder::kFifo, true)->name(), "fifo");
+  EXPECT_EQ(make_wake_strategy(WakeOrder::kFifo, false)->name(),
+            "fifo-head-only");
+  EXPECT_EQ(make_wake_strategy(WakeOrder::kBestFitDemand, true)->name(),
+            make_wake_strategy(WakeOrder::kBestFitDemand, false)->name());
+  EXPECT_EQ(to_string(WakeOrder::kBestFitDemand), "best-fit");
 }
 
 TEST(Waitlist, EmptyOperations) {

@@ -1,0 +1,312 @@
+// Adapter-parity suite: the sim gate (core::RdaScheduler) and the native
+// gate (rt::AdmissionGate) are thin adapters over the same AdmissionCore —
+// so one scripted period sequence, driven through both, must produce the
+// IDENTICAL admit/deny/wake order (the lifecycle event stream at the core's
+// obs choke point, compared by kind + label + demand) and identical final
+// MonitorStats. Any divergence means an adapter grew scheduling logic of
+// its own. Runs under TSan in tier-1 (scripts/tier1.sh).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rda_scheduler.hpp"
+#include "obs/recorder.hpp"
+#include "runtime/gate.hpp"
+#include "sim/calibration.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace rda {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr double kCapacity = 15.0 * 1024.0 * 1024.0;
+constexpr int kMaxVThreads = 8;
+
+/// One scripted operation on a virtual thread. Labels carry the vthread
+/// identity, because the two substrates use different thread-id spaces.
+struct Op {
+  enum Kind { kBegin, kEnd, kTryBegin } kind = kBegin;
+  int vt = 0;
+  double demand = 0.0;     ///< bytes (begins only)
+  bool expect_admit = true;  ///< begins: immediately admitted?
+  int group = -1;          ///< pool group id; -1 = singleton process
+};
+
+Op begin(int vt, double mb, bool expect_admit, int group = -1) {
+  return {Op::kBegin, vt, mb * 1024.0 * 1024.0, expect_admit, group};
+}
+Op end(int vt) { return {Op::kEnd, vt, 0.0, false, -1}; }
+Op try_deny(int vt, double mb) {
+  return {Op::kTryBegin, vt, mb * 1024.0 * 1024.0, false, -1};
+}
+
+std::string vt_label(int vt) { return "vt" + std::to_string(vt); }
+
+/// Exercises every lifecycle path: immediate admit, block + FIFO wake,
+/// try-begin cancel, liveness force-admit, and §3.4 pool group pause.
+std::vector<Op> full_script() {
+  return {
+      // A: block and wake on release.
+      begin(0, 10.0, true), begin(1, 8.0, false), begin(2, 4.0, true),
+      end(0), end(2), end(1),
+      // B: try_begin deny -> withdraw.
+      begin(0, 12.0, true), try_deny(1, 8.0), end(0),
+      // C: liveness force-admit of an impossible demand.
+      begin(3, 20.0, true), end(3),
+      // D: pool group pause and group wake (group 0).
+      begin(0, 12.0, true), begin(4, 8.0, false, 0), begin(5, 2.0, false, 0),
+      end(0), end(4), end(5),
+      // E: multi-waiter wake scan on one release.
+      begin(0, 14.0, true), begin(1, 3.0, false), begin(2, 10.0, false),
+      begin(3, 6.0, false), end(0), end(1), end(2), end(3),
+  };
+}
+
+sim::ProcessId process_of(const Op& op) {
+  return op.group >= 0 ? static_cast<sim::ProcessId>(1000 + op.group)
+                       : static_cast<sim::ProcessId>(op.vt);
+}
+
+/// (kind, label, demand) triple — the substrate-neutral projection of the
+/// event stream. Thread/process/period ids and timestamps differ between
+/// substrates by construction.
+struct EventKey {
+  obs::EventKind kind;
+  std::string label;
+  double demand;
+
+  bool operator==(const EventKey& o) const {
+    return kind == o.kind && label == o.label && demand == o.demand;
+  }
+};
+
+std::vector<EventKey> keys_of(const std::vector<obs::Event>& events) {
+  std::vector<EventKey> keys;
+  keys.reserve(events.size());
+  for (const obs::Event& e : events) {
+    keys.push_back({e.kind, std::string(e.label), e.demand});
+  }
+  return keys;
+}
+
+/// Drives the script through the sim adapter, single-threaded, calling the
+/// PhaseGate hooks directly (no engine: admission order is what is under
+/// test, not timing).
+class SimDriver {
+ public:
+  SimDriver(const std::vector<Op>& script, core::RdaOptions options) {
+    options.trace_sink = &recorder_;
+    core::RdaScheduler gate(kCapacity, sim::Calibration{}, options);
+    gate.attach(waker_);
+    gate.mark_pool(1000);  // group 0
+    std::array<sim::PhaseSpec, kMaxVThreads> active_phase;
+    std::array<sim::ProcessId, kMaxVThreads> active_process{};
+    double now = 0.0;
+    for (const Op& op : script) {
+      now += 1.0;
+      const auto vt = static_cast<sim::ThreadId>(op.vt);
+      switch (op.kind) {
+        case Op::kBegin: {
+          sim::PhaseSpec phase;
+          phase.wss_bytes = static_cast<std::uint64_t>(op.demand);
+          phase.reuse = ReuseLevel::kHigh;
+          phase.marked = true;
+          phase.label = vt_label(op.vt);
+          active_phase[op.vt] = phase;
+          active_process[op.vt] = process_of(op);
+          const sim::BeginResult r =
+              gate.on_phase_begin(vt, process_of(op), phase, now);
+          EXPECT_EQ(r.admit, op.expect_admit) << "sim begin " << phase.label;
+          break;
+        }
+        case Op::kTryBegin: {
+          sim::PhaseSpec phase;
+          phase.wss_bytes = static_cast<std::uint64_t>(op.demand);
+          phase.reuse = ReuseLevel::kHigh;
+          phase.marked = true;
+          phase.label = vt_label(op.vt);
+          const sim::BeginResult r =
+              gate.on_phase_begin(vt, process_of(op), phase, now);
+          EXPECT_FALSE(r.admit) << "sim try_begin " << phase.label;
+          if (!r.admit) {
+            const auto id = gate.core().active_for_thread(vt);
+            EXPECT_TRUE(id.has_value());
+            if (id.has_value()) {
+              EXPECT_TRUE(gate.core().withdraw(*id, now));
+            }
+          }
+          break;
+        }
+        case Op::kEnd:
+          gate.on_phase_end(vt, active_process[op.vt], active_phase[op.vt],
+                            sim::PhaseObservation{}, now);
+          break;
+      }
+    }
+    stats_ = gate.monitor_stats();
+    events_ = recorder_.events();
+  }
+
+  std::vector<EventKey> keys() const { return keys_of(events_); }
+  const core::MonitorStats& stats() const { return stats_; }
+
+ private:
+  struct NullWaker final : sim::ThreadWaker {
+    void wake(sim::ThreadId) override {}  // wake order is read from events
+  };
+  NullWaker waker_;
+  obs::EventRecorder recorder_{1 << 12};
+  core::MonitorStats stats_;
+  std::vector<obs::Event> events_;
+};
+
+/// Drives the same script through the native gate with real OS threads.
+/// Each begin runs on a fresh thread (its process-lifetime token is the
+/// vthread's identity for that period); ends are issued by the driver —
+/// the gate allows any thread to end a period. The driver serializes: an
+/// expected-admit begin is joined before the next op, an expected-block
+/// begin is waited for until its kBlock lands (waiting() rises), and a
+/// parked vthread's grant is awaited before its period is ended. Event
+/// order within a release is fixed by the gate mutex, so the recorded
+/// stream is deterministic.
+class NativeDriver {
+ public:
+  NativeDriver(const std::vector<Op>& script, rt::GateConfig config) {
+    config.llc_capacity_bytes = kCapacity;
+    config.trace_sink = &recorder_;
+    rt::AdmissionGate gate(config);
+    gate.mark_pool(1000);  // group 0
+
+    std::array<std::atomic<core::PeriodId>, kMaxVThreads> ids{};
+    std::array<std::atomic<bool>, kMaxVThreads> done{};
+    std::array<std::optional<std::thread>, kMaxVThreads> parked;
+
+    const auto settle = [&](int vt) {
+      // The vthread's begin has returned (its grant consumed): safe to
+      // end its period and to reuse its slot.
+      while (!done[static_cast<std::size_t>(vt)].load(
+          std::memory_order_acquire)) {
+        std::this_thread::sleep_for(100us);
+      }
+      auto& t = parked[static_cast<std::size_t>(vt)];
+      if (t.has_value()) {
+        t->join();
+        t.reset();
+      }
+    };
+
+    for (const Op& op : script) {
+      const auto slot = static_cast<std::size_t>(op.vt);
+      switch (op.kind) {
+        case Op::kBegin: {
+          done[slot].store(false, std::memory_order_relaxed);
+          const std::size_t waiting_before = gate.waiting();
+          std::thread worker([&gate, &ids, &done, op, slot] {
+            if (op.group >= 0) {
+              gate.join_group(static_cast<std::uint32_t>(1000 + op.group));
+            }
+            const core::PeriodId id =
+                gate.begin(ResourceKind::kLLC, op.demand, ReuseLevel::kHigh,
+                           vt_label(op.vt));
+            ids[slot].store(id, std::memory_order_relaxed);
+            done[slot].store(true, std::memory_order_release);
+          });
+          if (op.expect_admit) {
+            worker.join();
+            EXPECT_TRUE(done[slot].load()) << "native begin " << op.vt;
+          } else {
+            // Park confirmed once the monitor holds the extra waiter.
+            while (gate.waiting() <= waiting_before) {
+              std::this_thread::sleep_for(100us);
+            }
+            parked[slot] = std::move(worker);
+          }
+          break;
+        }
+        case Op::kTryBegin: {
+          std::thread worker([&gate, op] {
+            const auto denied =
+                gate.try_begin(ResourceKind::kLLC, op.demand,
+                               ReuseLevel::kHigh, vt_label(op.vt));
+            EXPECT_FALSE(denied.has_value()) << "native try_begin " << op.vt;
+          });
+          worker.join();
+          break;
+        }
+        case Op::kEnd:
+          settle(op.vt);
+          gate.end(ids[slot].load(std::memory_order_relaxed));
+          break;
+      }
+    }
+    stats_ = gate.stats();
+    events_ = recorder_.events();
+  }
+
+  std::vector<EventKey> keys() const { return keys_of(events_); }
+  const core::MonitorStats& stats() const { return stats_.monitor; }
+
+ private:
+  obs::EventRecorder recorder_{1 << 12};
+  rt::GateStats stats_;
+  std::vector<obs::Event> events_;
+};
+
+void expect_stats_equal(const core::MonitorStats& sim_stats,
+                        const core::MonitorStats& native_stats) {
+  EXPECT_EQ(sim_stats.begins, native_stats.begins);
+  EXPECT_EQ(sim_stats.ends, native_stats.ends);
+  EXPECT_EQ(sim_stats.immediate_admissions,
+            native_stats.immediate_admissions);
+  EXPECT_EQ(sim_stats.blocks, native_stats.blocks);
+  EXPECT_EQ(sim_stats.wakes, native_stats.wakes);
+  EXPECT_EQ(sim_stats.forced_admissions, native_stats.forced_admissions);
+  EXPECT_EQ(sim_stats.pool_disables, native_stats.pool_disables);
+  EXPECT_EQ(sim_stats.pool_group_admissions,
+            native_stats.pool_group_admissions);
+  EXPECT_EQ(sim_stats.cancels, native_stats.cancels);
+}
+
+void run_parity(core::WakeOrder wake_order) {
+  core::RdaOptions sim_options;
+  sim_options.monitor.wake_order = wake_order;
+  rt::GateConfig native_config;
+  native_config.monitor.wake_order = wake_order;
+
+  const SimDriver sim(full_script(), sim_options);
+  const NativeDriver native(full_script(), native_config);
+
+  const std::vector<EventKey> sim_keys = sim.keys();
+  const std::vector<EventKey> native_keys = native.keys();
+  ASSERT_EQ(sim_keys.size(), native_keys.size());
+  for (std::size_t i = 0; i < sim_keys.size(); ++i) {
+    EXPECT_TRUE(sim_keys[i] == native_keys[i])
+        << "event " << i << ": sim " << to_string(sim_keys[i].kind) << "/"
+        << sim_keys[i].label << "/" << sim_keys[i].demand << " vs native "
+        << to_string(native_keys[i].kind) << "/" << native_keys[i].label
+        << "/" << native_keys[i].demand;
+  }
+  expect_stats_equal(sim.stats(), native.stats());
+  // The script resolves every period: nothing may be left over.
+  EXPECT_EQ(sim.stats().begins,
+            sim.stats().ends + sim.stats().cancels);
+}
+
+TEST(AdmissionParity, FifoWakeOrderIdenticalAcrossSubstrates) {
+  run_parity(core::WakeOrder::kFifo);
+}
+
+TEST(AdmissionParity, BestFitWakeOrderIdenticalAcrossSubstrates) {
+  run_parity(core::WakeOrder::kBestFitDemand);
+}
+
+}  // namespace
+}  // namespace rda

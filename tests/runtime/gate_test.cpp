@@ -332,6 +332,106 @@ TEST(AdmissionGate, PostCancelReadmissionIsFifo) {
   EXPECT_EQ(admission_order[1], 1);
 }
 
+// Regression (timed-begin race): a begin_for timeout that collides with a
+// concurrent wake must either consume the grant (returning the id) or
+// withdraw cleanly — never both, never neither. Pre-AdmissionCore each
+// outcome path lived in a different adapter and a lost grant stranded the
+// charged capacity forever. Hammer the collision window and verify no
+// capacity leaks and no period is double-resolved.
+TEST(AdmissionGate, TimedBeginRaceConsumesOrReleasesGrant) {
+  AdmissionGate gate(strict_config());
+  std::atomic<bool> stop{false};
+  // Occupant: holds 12 MB briefly, releases, repeats — every release fires
+  // a wake that may collide with the timed waiter's expiry.
+  std::thread occupant([&] {
+    while (!stop.load()) {
+      const auto id = gate.begin(ResourceKind::kLLC,
+                                 static_cast<double>(MB(12)),
+                                 ReuseLevel::kHigh);
+      std::this_thread::sleep_for(200us);
+      gate.end(id);
+      std::this_thread::sleep_for(50us);
+    }
+  });
+  int granted = 0;
+  int timed_out = 0;
+  for (int round = 0; round < 400; ++round) {
+    const auto id =
+        gate.begin_for(ResourceKind::kLLC, static_cast<double>(MB(8)),
+                       ReuseLevel::kHigh, 200us, "race");
+    if (id.has_value()) {
+      ++granted;
+      gate.end(*id);
+    } else {
+      ++timed_out;
+    }
+  }
+  stop = true;
+  occupant.join();
+  // Every begin resolved exactly once: ended (granted paths) or cancelled
+  // (timeout paths). A consumed-and-cancelled or lost grant breaks these.
+  EXPECT_EQ(gate.waiting(), 0u);
+  EXPECT_NEAR(gate.usage(ResourceKind::kLLC), 0.0, 1e-6);
+  const GateStats s = gate.stats();
+  EXPECT_EQ(s.monitor.begins, s.monitor.ends + s.monitor.cancels);
+  EXPECT_EQ(granted + timed_out, 400);
+}
+
+TEST(AdmissionGate, FastPathCountsRepeatedIdenticalBegins) {
+  GateConfig cfg = strict_config();
+  cfg.fast_path = true;
+  AdmissionGate gate(cfg);
+  for (int i = 0; i < 8; ++i) {
+    const auto id = gate.begin(ResourceKind::kLLC,
+                               static_cast<double>(MB(4)), ReuseLevel::kHigh,
+                               "steady");
+    gate.end(id);
+  }
+  // The first begin misses; every later identical, undisturbed one hits.
+  EXPECT_EQ(gate.stats().fast_path_hits, 7u);
+}
+
+TEST(AdmissionGate, PartitioningAdmitsStreamingPeriodAlongsideNormal) {
+  GateConfig cfg = strict_config();  // 15 MB LLC
+  cfg.partitioning.enable = true;
+  cfg.partitioning.streaming_fraction = 0.10;
+  AdmissionGate gate(cfg);
+  HeldPeriod normal(gate, static_cast<double>(MB(8)));
+  // 64 MB > LLC: §6 confines it to 1.5 MB, so it co-runs with the 8 MB
+  // period instead of parking behind it (which try_begin would reject).
+  const auto streaming = gate.try_begin(
+      ResourceKind::kLLC, static_cast<double>(MB(64)), ReuseLevel::kLow);
+  ASSERT_TRUE(streaming.has_value());
+  EXPECT_NEAR(gate.usage(ResourceKind::kLLC),
+              static_cast<double>(MB(8)) + static_cast<double>(MB(1.5)),
+              1.0);
+  gate.end(*streaming);
+  EXPECT_EQ(gate.stats().partitioned_periods, 1u);
+  normal.release();
+}
+
+TEST(AdmissionGate, FeedbackCorrectionLearnsFromObservedCounters) {
+  GateConfig cfg = strict_config();
+  cfg.feedback.enable = true;
+  cfg.feedback.min_samples = 1;
+  AdmissionGate gate(cfg);
+  // Declares 4 MB; the counters keep reporting 8 MB peak occupancy.
+  for (int i = 0; i < 4; ++i) {
+    const auto id = gate.begin(ResourceKind::kLLC,
+                               static_cast<double>(MB(4)), ReuseLevel::kHigh,
+                               "hot");
+    core::ReleaseObservation observed;
+    observed.peak_occupancy = static_cast<double>(MB(8));
+    observed.has_counters = true;
+    gate.end(id, observed);
+  }
+  // The corrected charge is what the next admission debits.
+  const auto id = gate.begin(ResourceKind::kLLC, static_cast<double>(MB(4)),
+                             ReuseLevel::kHigh, "hot");
+  EXPECT_GT(gate.usage(ResourceKind::kLLC), static_cast<double>(MB(6)));
+  gate.end(id);
+}
+
 TEST(AdmissionGate, StatsSnapshotConsistent) {
   AdmissionGate gate(strict_config());
   const auto id = gate.begin(ResourceKind::kLLC, 1000.0, ReuseLevel::kLow);
