@@ -8,8 +8,10 @@
 // serve — the surplus cores idle instead of queueing on DRAM, which costs
 // the same time but less energy.
 #include <cstdio>
+#include <vector>
 
 #include "core/rda_scheduler.hpp"
+#include "exp/harness.hpp"
 #include "sim/engine.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -60,15 +62,25 @@ Outcome run(bool gate_bandwidth, double per_stream_gbs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Extension: bandwidth-aware admission (24 streaming "
               "processes, 30 GB/s machine) ===\n\n");
 
+  // 3 declared bandwidths x {gating off, on} = 6 independent simulations.
+  const std::vector<double> gbs_points = {7.0, 5.0, 3.0};
+  std::vector<Outcome> outcomes(2 * gbs_points.size());
+  exp::run_cells(outcomes.size(), exp::parse_jobs(argc, argv),
+                 [&](std::size_t cell) {
+                   outcomes[cell] = run(/*gate_bandwidth=*/cell % 2 == 1,
+                                        gbs_points[cell / 2]);
+                 });
+
   util::Table table({"gating", "declared GB/s each", "GFLOPS", "makespan [s]",
                      "system J", "gate blocks"});
-  for (const double gbs : {7.0, 5.0, 3.0}) {
-    const Outcome off = run(false, gbs);
-    const Outcome on = run(true, gbs);
+  for (std::size_t g = 0; g < gbs_points.size(); ++g) {
+    const double gbs = gbs_points[g];
+    const Outcome& off = outcomes[2 * g];
+    const Outcome& on = outcomes[2 * g + 1];
     table.begin_row()
         .add_cell("LLC only (paper)")
         .add_cell(gbs, 1)

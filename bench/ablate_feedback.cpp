@@ -6,8 +6,10 @@
 // recovers most of the performance lost to mis-estimation in both
 // directions.
 #include <cstdio>
+#include <vector>
 
 #include "core/rda_scheduler.hpp"
+#include "exp/harness.hpp"
 #include "sim/engine.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -49,20 +51,29 @@ Outcome run(bool feedback, double true_mb, double declared_mb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Extension: counter-feedback demand correction ===\n");
   std::printf("(12 processes x 8 periods, true working set 2 MB each; the "
               "declaration is wrong by the given factor)\n\n");
 
+  // 6 declaration errors x {feedback off, on} = 12 independent simulations.
+  const double true_mb = 2.0;
+  const std::vector<double> factors = {0.25, 0.5, 1.0, 2.0, 4.0, 6.0};
+  std::vector<Outcome> outcomes(2 * factors.size());
+  exp::run_cells(outcomes.size(), exp::parse_jobs(argc, argv),
+                 [&](std::size_t cell) {
+                   outcomes[cell] = run(/*feedback=*/cell % 2 == 1, true_mb,
+                                        true_mb * factors[cell / 2]);
+                 });
+
   util::Table table({"declared/true", "GFLOPS (declared only)",
                      "GFLOPS (+feedback)", "J (declared only)",
                      "J (+feedback)"});
-  const double true_mb = 2.0;
-  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0, 6.0}) {
-    const Outcome off = run(false, true_mb, true_mb * factor);
-    const Outcome on = run(true, true_mb, true_mb * factor);
+  for (std::size_t f = 0; f < factors.size(); ++f) {
+    const Outcome& off = outcomes[2 * f];
+    const Outcome& on = outcomes[2 * f + 1];
     table.begin_row()
-        .add_cell(factor, 2)
+        .add_cell(factors[f], 2)
         .add_cell(off.gflops, 2)
         .add_cell(on.gflops, 2)
         .add_cell(off.system_joules, 0)

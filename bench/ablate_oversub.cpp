@@ -20,35 +20,47 @@ int main(int argc, char** argv) {
   sim::EngineConfig engine;
   engine.machine = sim::MachineConfig::e5_2420();
 
-  const auto specs = workload::table2_workloads();
+  const auto all_specs = workload::table2_workloads();
+  const std::vector<double> xs = {1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 8.0};
+
+  // Matrix: 2 workloads x (baseline + 7 oversubscription factors).
+  std::vector<workload::WorkloadSpec> specs;
   for (const char* name : {"BLAS-3", "Ocean_cp"}) {
-    const workload::WorkloadSpec spec =
-        quick ? workload::scale_workload(workload::find_workload(specs, name),
-                                         0.25, 2)
-              : workload::find_workload(specs, name);
+    specs.push_back(
+        quick ? workload::scale_workload(
+                    workload::find_workload(all_specs, name), 0.25, 2)
+              : workload::find_workload(all_specs, name));
+  }
+  std::vector<exp::RunConfig> configs;
+  exp::RunConfig base_cfg;
+  base_cfg.engine = engine;
+  base_cfg.policy = core::PolicyKind::kLinuxDefault;
+  configs.push_back(base_cfg);
+  for (const double x : xs) {
+    exp::RunConfig cfg;
+    cfg.engine = engine;
+    cfg.policy = core::PolicyKind::kCompromise;
+    cfg.oversubscription = x;
+    configs.push_back(cfg);
+  }
+  const std::vector<exp::RunRow> rows =
+      exp::run_matrix(specs, configs, exp::parse_jobs(argc, argv));
 
-    exp::RunConfig base_cfg;
-    base_cfg.engine = engine;
-    base_cfg.policy = core::PolicyKind::kLinuxDefault;
-    const exp::RunRow baseline = exp::run_workload(spec, base_cfg);
-
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const exp::RunRow& baseline = rows[s * configs.size()];
     util::Table table({"x", "GFLOPS", "system J", "GFLOPS/W",
                        "speedup vs Linux", "energy vs Linux"});
-    for (const double x : {1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 8.0}) {
-      exp::RunConfig cfg;
-      cfg.engine = engine;
-      cfg.policy = core::PolicyKind::kCompromise;
-      cfg.oversubscription = x;
-      const exp::RunRow row = exp::run_workload(spec, cfg);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const exp::RunRow& row = rows[s * configs.size() + 1 + i];
       table.begin_row()
-          .add_cell(x, 2)
+          .add_cell(xs[i], 2)
           .add_cell(row.gflops, 2)
           .add_cell(row.system_joules, 0)
           .add_cell(row.gflops_per_watt, 3)
           .add_cell(row.gflops / baseline.gflops, 2)
           .add_cell(row.system_joules / baseline.system_joules, 2);
     }
-    std::cout << spec.name << " (Linux default: " << baseline.gflops
+    std::cout << specs[s].name << " (Linux default: " << baseline.gflops
               << " GFLOPS, " << baseline.system_joules << " J)\n"
               << table.render() << "\n";
   }

@@ -105,15 +105,29 @@ Outcome run_legacy_scenario(double unannotated_cap_mb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Extension: cache partitioning (paper §6 future work) "
               "===\n\n");
+
+  // 2 hog-scenario cells + 4 legacy-scenario cells, all independent.
+  const std::vector<double> caps = {0.0, 6.0, 3.0, 1.5};
+  std::vector<Outcome> hog(2);
+  std::vector<Outcome> legacy(caps.size());
+  exp::run_cells(hog.size() + legacy.size(), exp::parse_jobs(argc, argv),
+                 [&](std::size_t cell) {
+                   if (cell < hog.size()) {
+                     hog[cell] = run_hog_scenario(cell == 1);
+                   } else {
+                     const std::size_t c = cell - hog.size();
+                     legacy[c] = run_legacy_scenario(caps[c]);
+                   }
+                 });
 
   {
     util::Table table({"partitioning", "aggregate GFLOPS", "system J",
                        "fitters done by [s]"});
     for (const bool partition : {false, true}) {
-      const Outcome o = run_hog_scenario(partition);
+      const Outcome& o = hog[partition ? 1 : 0];
       table.begin_row()
           .add_cell(partition ? "on (hogs -> 10% partition)" : "off")
           .add_cell(o.gflops, 2)
@@ -128,10 +142,11 @@ int main() {
   {
     util::Table table({"unannotated cap [MB]", "aggregate GFLOPS",
                        "system J", "fitters done by [s]"});
-    for (const double cap : {0.0, 6.0, 3.0, 1.5}) {
-      const Outcome o = run_legacy_scenario(cap);
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      const Outcome& o = legacy[c];
       table.begin_row()
-          .add_cell(cap == 0.0 ? std::string("off") : std::to_string(cap))
+          .add_cell(caps[c] == 0.0 ? std::string("off")
+                                   : std::to_string(caps[c]))
           .add_cell(o.gflops, 2)
           .add_cell(o.system_joules, 0)
           .add_cell(o.fitter_finish, 2);

@@ -23,22 +23,30 @@ int main(int argc, char** argv) {
                   workload::find_workload(specs, "BLAS-3"), 0.25, 2)
             : workload::find_workload(specs, "BLAS-3");
 
-  util::Table table({"quantum [ms]", "Linux GFLOPS", "Strict GFLOPS",
-                     "speedup", "Linux J", "Strict J"});
-  for (const double quantum_ms : {1.0, 3.0, 6.0, 12.0, 24.0, 48.0}) {
+  // Matrix: 1 workload x (6 quanta x {Linux, Strict}) = 12 cells.
+  const std::vector<double> quanta_ms = {1.0, 3.0, 6.0, 12.0, 24.0, 48.0};
+  std::vector<exp::RunConfig> configs;
+  for (const double quantum_ms : quanta_ms) {
     sim::EngineConfig engine;
     engine.machine = sim::MachineConfig::e5_2420();
     engine.calib.quantum = util::ms(quantum_ms);
-
     exp::RunConfig cfg;
     cfg.engine = engine;
     cfg.policy = core::PolicyKind::kLinuxDefault;
-    const exp::RunRow base = exp::run_workload(spec, cfg);
+    configs.push_back(cfg);
     cfg.policy = core::PolicyKind::kStrict;
-    const exp::RunRow strict = exp::run_workload(spec, cfg);
+    configs.push_back(cfg);
+  }
+  const std::vector<exp::RunRow> rows =
+      exp::run_matrix({spec}, configs, exp::parse_jobs(argc, argv));
 
+  util::Table table({"quantum [ms]", "Linux GFLOPS", "Strict GFLOPS",
+                     "speedup", "Linux J", "Strict J"});
+  for (std::size_t q = 0; q < quanta_ms.size(); ++q) {
+    const exp::RunRow& base = rows[2 * q];
+    const exp::RunRow& strict = rows[2 * q + 1];
     table.begin_row()
-        .add_cell(quantum_ms, 1)
+        .add_cell(quanta_ms[q], 1)
         .add_cell(base.gflops, 2)
         .add_cell(strict.gflops, 2)
         .add_cell(strict.gflops / base.gflops, 2)

@@ -7,50 +7,52 @@
 #include "exp/harness.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-using namespace rda;
-
-exp::RunRow run(const workload::WorkloadSpec& spec, sim::SchedulerMode mode,
-                core::PolicyKind policy) {
-  exp::RunConfig cfg;
-  cfg.engine.machine = sim::MachineConfig::e5_2420();
-  cfg.engine.scheduler = mode;
-  cfg.policy = policy;
-  return exp::run_workload(spec, cfg);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace rda;
   const bool full = argc > 1 && std::string(argv[1]) == "--full";
   std::printf("=== Ablation: global runqueue vs per-core runqueues ===\n\n");
 
-  const auto specs = workload::table2_workloads();
+  // Matrix: 2 workloads x (2 scheduler modes x 2 policies).
+  const auto all_specs = workload::table2_workloads();
+  std::vector<workload::WorkloadSpec> specs;
   for (const char* name : {"BLAS-3", "Water_nsq"}) {
-    const workload::WorkloadSpec spec =
-        full ? workload::find_workload(specs, name)
-             : workload::scale_workload(workload::find_workload(specs, name),
-                                        0.25, 2);
+    specs.push_back(
+        full ? workload::find_workload(all_specs, name)
+             : workload::scale_workload(
+                   workload::find_workload(all_specs, name), 0.25, 2));
+  }
+  std::vector<exp::RunConfig> configs;
+  for (const auto mode : {sim::SchedulerMode::kGlobalQueue,
+                          sim::SchedulerMode::kPerCoreQueues}) {
+    for (const auto policy :
+         {core::PolicyKind::kLinuxDefault, core::PolicyKind::kStrict}) {
+      exp::RunConfig cfg;
+      cfg.engine.machine = sim::MachineConfig::e5_2420();
+      cfg.engine.scheduler = mode;
+      cfg.policy = policy;
+      configs.push_back(cfg);
+    }
+  }
+  const std::vector<exp::RunRow> rows =
+      exp::run_matrix(specs, configs, exp::parse_jobs(argc, argv));
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
     util::Table table({"scheduler", "policy", "GFLOPS", "system J",
                        "ctx switches", "migrations"});
-    for (const auto mode : {sim::SchedulerMode::kGlobalQueue,
-                            sim::SchedulerMode::kPerCoreQueues}) {
-      for (const auto policy : {core::PolicyKind::kLinuxDefault,
-                                core::PolicyKind::kStrict}) {
-        const exp::RunRow row = run(spec, mode, policy);
-        table.begin_row()
-            .add_cell(mode == sim::SchedulerMode::kGlobalQueue
-                          ? "global queue"
-                          : "per-core + stealing")
-            .add_cell(row.policy)
-            .add_cell(row.gflops, 2)
-            .add_cell(row.system_joules, 0)
-            .add_cell(row.context_switches)
-            .add_cell(row.migrations);
-      }
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const exp::RunRow& row = rows[s * configs.size() + c];
+      table.begin_row()
+          .add_cell(configs[c].engine.scheduler ==
+                            sim::SchedulerMode::kGlobalQueue
+                        ? "global queue"
+                        : "per-core + stealing")
+          .add_cell(row.policy)
+          .add_cell(row.gflops, 2)
+          .add_cell(row.system_joules, 0)
+          .add_cell(row.context_switches)
+          .add_cell(row.migrations);
     }
-    std::printf("%s\n%s\n", spec.name.c_str(), table.render().c_str());
+    std::printf("%s\n%s\n", specs[s].name.c_str(), table.render().c_str());
   }
   std::printf("(the RDA benefit is robust to the baseline scheduler's queue "
               "structure — the interference it removes is in the cache, not "

@@ -17,35 +17,19 @@ namespace {
 
 using namespace rda;
 
-exp::RunRow run_with(const workload::WorkloadSpec& spec,
-                     bool work_conserving, bool pool_guard,
-                     core::WakeOrder wake_order = core::WakeOrder::kFifo) {
-  sim::EngineConfig engine;
-  engine.machine = sim::MachineConfig::e5_2420();
-  sim::Engine sim_engine(engine);
-
+/// Strict-policy RunConfig with the given waitlist knobs, routed through the
+/// harness's full-options override so the cells can join a parallel matrix.
+exp::RunConfig config_with(bool work_conserving, bool pool_guard,
+                           core::WakeOrder wake_order = core::WakeOrder::kFifo) {
+  exp::RunConfig cfg;
+  cfg.engine.machine = sim::MachineConfig::e5_2420();
   core::RdaOptions options;
   options.policy = core::PolicyKind::kStrict;
   options.monitor.work_conserving = work_conserving;
   options.monitor.pool_guard = pool_guard;
   options.monitor.wake_order = wake_order;
-  core::RdaScheduler gate(static_cast<double>(engine.machine.llc_bytes),
-                          engine.calib, options);
-  sim_engine.set_gate(&gate);
-  workload::populate_engine(sim_engine, spec, [&](sim::ProcessId pid) {
-    gate.mark_pool(pid);
-  });
-  const sim::SimResult result = sim_engine.run();
-
-  exp::RunRow row;
-  row.workload = spec.name;
-  row.system_joules = result.system_joules();
-  row.dram_joules = result.dram_joules;
-  row.gflops = result.gflops();
-  row.gflops_per_watt = result.gflops_per_watt();
-  row.makespan = result.makespan;
-  row.gate_blocks = result.gate_blocks;
-  return row;
+  cfg.rda_options = options;
+  return cfg;
 }
 
 }  // namespace
@@ -61,14 +45,35 @@ int main(int argc, char** argv) {
     return quick ? workload::scale_workload(spec, 0.25, 2) : spec;
   };
 
+  // Six independent cells: 2 scan policies + 2 wake orders on BLAS-3,
+  // 2 pool-guard settings on Raytrace.
+  const auto blas = pick("BLAS-3");
+  const auto raytrace = pick("Raytrace");
+  struct Cell {
+    const workload::WorkloadSpec* spec;
+    exp::RunConfig cfg;
+  };
+  const std::vector<Cell> cells = {
+      {&blas, config_with(/*work_conserving=*/true, /*pool_guard=*/true)},
+      {&blas, config_with(/*work_conserving=*/false, /*pool_guard=*/true)},
+      {&blas, config_with(true, true, core::WakeOrder::kFifo)},
+      {&blas, config_with(true, true, core::WakeOrder::kBestFitDemand)},
+      {&raytrace, config_with(true, /*pool_guard=*/true)},
+      {&raytrace, config_with(true, /*pool_guard=*/false)},
+  };
+  std::vector<exp::RunRow> rows(cells.size());
+  exp::run_cells(cells.size(), exp::parse_jobs(argc, argv),
+                 [&](std::size_t i) {
+                   rows[i] = exp::run_workload(*cells[i].spec, cells[i].cfg);
+                 });
+
   {
-    const auto spec = pick("BLAS-3");
     util::Table table({"scan policy", "GFLOPS", "system J", "gate blocks",
                        "makespan [s]"});
-    for (const bool wc : {true, false}) {
-      const exp::RunRow row = run_with(spec, wc, true);
+    for (std::size_t i = 0; i < 2; ++i) {
+      const exp::RunRow& row = rows[i];
       table.begin_row()
-          .add_cell(wc ? "work-conserving" : "head-only FIFO")
+          .add_cell(i == 0 ? "work-conserving" : "head-only FIFO")
           .add_cell(row.gflops, 2)
           .add_cell(row.system_joules, 0)
           .add_cell(row.gate_blocks)
@@ -79,12 +84,12 @@ int main(int argc, char** argv) {
   }
 
   {
-    const auto spec = pick("BLAS-3");
     util::Table table({"wake order", "GFLOPS", "system J", "gate blocks",
                        "makespan [s]"});
-    for (const core::WakeOrder order :
-         {core::WakeOrder::kFifo, core::WakeOrder::kBestFitDemand}) {
-      const exp::RunRow row = run_with(spec, true, true, order);
+    for (const std::size_t i : {std::size_t{2}, std::size_t{3}}) {
+      const core::WakeOrder order = i == 2 ? core::WakeOrder::kFifo
+                                           : core::WakeOrder::kBestFitDemand;
+      const exp::RunRow& row = rows[i];
       table.begin_row()
           .add_cell(std::string(core::to_string(order)))
           .add_cell(row.gflops, 2)
@@ -97,13 +102,12 @@ int main(int argc, char** argv) {
   }
 
   {
-    const auto spec = pick("Raytrace");
     util::Table table({"pool guard", "GFLOPS", "system J", "gate blocks",
                        "makespan [s]"});
-    for (const bool guard : {true, false}) {
-      const exp::RunRow row = run_with(spec, true, guard);
+    for (const std::size_t i : {std::size_t{4}, std::size_t{5}}) {
+      const exp::RunRow& row = rows[i];
       table.begin_row()
-          .add_cell(guard ? "on (§3.4 group pause)" : "off (individual)")
+          .add_cell(i == 4 ? "on (§3.4 group pause)" : "off (individual)")
           .add_cell(row.gflops, 2)
           .add_cell(row.system_joules, 0)
           .add_cell(row.gate_blocks)

@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   std::cout << "=== Figure 10: GFLOPS per Watt (system) ===\n"
             << "(higher is better; paper Fig. 10)\n\n";
   const bench::FigureData data =
-      bench::run_all_workloads(bench::quick_requested(argc, argv));
+      bench::run_all_workloads(bench::quick_requested(argc, argv),
+                               bench::jobs_requested(argc, argv));
   const bool csv = bench::csv_requested(argc, argv);
 
   bench::print_metric_table(data, "GFLOPS/W", 3, [](const exp::RunRow& row) {

@@ -18,10 +18,12 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <iterator>
 #include <vector>
 
 #include "blas/level3.hpp"
 #include "core/rda_scheduler.hpp"
+#include "exp/harness.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/gate.hpp"
 #include "sim/engine.hpp"
@@ -128,19 +130,31 @@ int main(int argc, char** argv) {
       {"inner loop (262144 periods)", 512 * 512, true},
   };
 
-  const double base = simulate(1, false, false);
+  // The simulated points are independent engines — fan them out. Slot 0 is
+  // the uninstrumented base; slots 2k+1 / 2k+2 are row k's slow/fast series.
+  std::vector<double> sim_gflops(1 + 2 * std::size(rows), 0.0);
+  exp::run_cells(sim_gflops.size(), exp::parse_jobs(argc, argv),
+                 [&](std::size_t cell) {
+                   if (cell == 0) {
+                     sim_gflops[0] = simulate(1, false, false);
+                     return;
+                   }
+                   const Row& row = rows[(cell - 1) / 2];
+                   const bool fast_path = (cell - 1) % 2 == 1;
+                   // The inner-loop slow-path point simulates 524k kernel
+                   // calls; skip the heavy series in --quick mode.
+                   if (!fast_path && row.periods > 1000 && quick) return;
+                   sim_gflops[cell] =
+                       simulate(row.periods, row.instrumented, fast_path);
+                 });
+
+  const double base = sim_gflops[0];
   util::Table table({"granularity", "GFLOPS (slow path)", "overhead",
                      "GFLOPS (fast path)", "overhead"});
-  for (const Row& row : rows) {
-    // The inner-loop slow-path point simulates 524k kernel calls; skip the
-    // heavy series in --quick mode.
-    const bool heavy = row.periods > 1000;
-    double slow = 0.0;
-    if (!heavy || !quick) {
-      slow = simulate(row.periods, row.instrumented, /*fast_path=*/false);
-    }
-    const double fast =
-        simulate(row.periods, row.instrumented, /*fast_path=*/true);
+  for (std::size_t r = 0; r < std::size(rows); ++r) {
+    const Row& row = rows[r];
+    const double slow = sim_gflops[1 + 2 * r];
+    const double fast = sim_gflops[2 + 2 * r];
     auto overhead = [&](double gflops) {
       return gflops > 0.0
                  ? std::to_string(

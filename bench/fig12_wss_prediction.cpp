@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "exp/harness.hpp"
 #include "predict/regression.hpp"
 #include "profiler/report.hpp"
 #include "util/table.hpp"
@@ -81,12 +82,33 @@ int main(int argc, char** argv) {
     return workload::make_ocp_trace(n, windows, /*seed=*/5678);
   };
 
-  const std::vector<Series> all = {
-      run_series("Wnsq PP1", wnsq, workload::wnsq_input_sizes(), 0, windows),
-      run_series("Wnsq PP2", wnsq, workload::wnsq_input_sizes(), 1, windows),
-      run_series("Ocp PP1", ocp, workload::ocp_input_sizes(), 0, windows),
-      run_series("Ocp PP2", ocp, workload::ocp_input_sizes(), 1, windows),
-  };
+  // The four series re-profile independent generated traces; fan them out.
+  std::vector<Series> all(4);
+  exp::run_cells(all.size(), exp::parse_jobs(argc, argv),
+                 [&](std::size_t cell) {
+                   switch (cell) {
+                     case 0:
+                       all[0] = run_series("Wnsq PP1", wnsq,
+                                           workload::wnsq_input_sizes(), 0,
+                                           windows);
+                       break;
+                     case 1:
+                       all[1] = run_series("Wnsq PP2", wnsq,
+                                           workload::wnsq_input_sizes(), 1,
+                                           windows);
+                       break;
+                     case 2:
+                       all[2] = run_series("Ocp PP1", ocp,
+                                           workload::ocp_input_sizes(), 0,
+                                           windows);
+                       break;
+                     default:
+                       all[3] = run_series("Ocp PP2", ocp,
+                                           workload::ocp_input_sizes(), 1,
+                                           windows);
+                       break;
+                   }
+                 });
 
   util::Table table({"period", "1x [MB]", "2x [MB]", "4x [MB]",
                      "8x measured [MB]", "8x predicted [MB]", "accuracy"});

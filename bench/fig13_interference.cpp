@@ -11,6 +11,7 @@
 #include <iostream>
 #include <vector>
 
+#include "exp/harness.hpp"
 #include "sim/engine.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -48,14 +49,25 @@ int main(int argc, char** argv) {
   const std::vector<std::uint64_t> inputs = {512, 3375, 8000, 32768};
   const std::vector<int> instance_counts = {1, 6, 12};
 
+  // All 12 (input, instance-count) cells are independent simulations; fan
+  // them out and fill the table from the index-ordered results.
+  std::vector<double> gflops(inputs.size() * instance_counts.size());
+  exp::run_cells(gflops.size(), exp::parse_jobs(argc, argv),
+                 [&](std::size_t cell) {
+                   const std::size_t i = cell / instance_counts.size();
+                   const std::size_t c = cell % instance_counts.size();
+                   gflops[cell] =
+                       run_instances(inputs[i], instance_counts[c], flop_scale);
+                 });
+
   util::Table table({"molecules", "WSS/instance [MB]", "1 inst", "6 inst",
                      "12 inst"});
-  for (const std::uint64_t n : inputs) {
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
     table.begin_row()
-        .add_cell(static_cast<std::uint64_t>(n))
-        .add_cell(util::bytes_to_mb(workload::wnsq_pp1_wss(n)), 2);
-    for (const int instances : instance_counts) {
-      table.add_cell(run_instances(n, instances, flop_scale), 1);
+        .add_cell(static_cast<std::uint64_t>(inputs[i]))
+        .add_cell(util::bytes_to_mb(workload::wnsq_pp1_wss(inputs[i])), 2);
+    for (std::size_t c = 0; c < instance_counts.size(); ++c) {
+      table.add_cell(gflops[i * instance_counts.size() + c], 1);
     }
   }
   std::cout << table.render()

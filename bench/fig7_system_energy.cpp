@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   std::cout << "=== Figure 7: system energy (CPU + cache + DRAM), Joules ==="
             << "\n(lower is better; paper Fig. 7)\n\n";
   const bench::FigureData data =
-      bench::run_all_workloads(bench::quick_requested(argc, argv));
+      bench::run_all_workloads(bench::quick_requested(argc, argv),
+                               bench::jobs_requested(argc, argv));
   const bool csv = bench::csv_requested(argc, argv);
 
   bench::print_metric_table(data, "system energy [J]", 0,

@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   std::cout << "=== Figure 8: DRAM-only energy, Joules ===\n"
             << "(lower is better; paper Fig. 8)\n\n";
   const bench::FigureData data =
-      bench::run_all_workloads(bench::quick_requested(argc, argv));
+      bench::run_all_workloads(bench::quick_requested(argc, argv),
+                               bench::jobs_requested(argc, argv));
   const bool csv = bench::csv_requested(argc, argv);
 
   bench::print_metric_table(data, "DRAM energy [J]", 0,

@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   std::cout << "=== Figure 9: performance, GFLOPS ===\n"
             << "(higher is better; paper Fig. 9)\n\n";
   const bench::FigureData data =
-      bench::run_all_workloads(bench::quick_requested(argc, argv));
+      bench::run_all_workloads(bench::quick_requested(argc, argv),
+                               bench::jobs_requested(argc, argv));
   const bool csv = bench::csv_requested(argc, argv);
 
   bench::print_metric_table(data, "GFLOPS", 2, [](const exp::RunRow& row) {

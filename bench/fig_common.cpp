@@ -7,16 +7,17 @@
 
 namespace rda::bench {
 
-FigureData run_all_workloads(bool quick) {
+FigureData run_all_workloads(bool quick, int jobs) {
   FigureData data;
   sim::EngineConfig engine;
   engine.machine = sim::MachineConfig::e5_2420();
 
   for (const workload::WorkloadSpec& spec : workload::table2_workloads()) {
-    const workload::WorkloadSpec run_spec =
-        quick ? workload::scale_workload(spec, 0.125, 4) : spec;
-    data.specs.push_back(run_spec);
-    data.comparisons.push_back(exp::compare_policies(run_spec, engine));
+    data.specs.push_back(quick ? workload::scale_workload(spec, 0.125, 4)
+                               : spec);
+  }
+  data.comparisons = exp::compare_policies_all(data.specs, engine, jobs);
+  for (const workload::WorkloadSpec& spec : data.specs) {
     std::cerr << "  ran " << spec.name << (quick ? " (quick)" : "") << "\n";
   }
   return data;
@@ -39,6 +40,10 @@ bool quick_requested(int argc, char** argv) {
 
 bool csv_requested(int argc, char** argv) {
   return has_flag(argc, argv, "--csv");
+}
+
+int jobs_requested(int argc, char** argv) {
+  return exp::parse_jobs(argc, argv);
 }
 
 void print_metric_table(

@@ -20,12 +20,17 @@ struct FigureData {
   std::vector<exp::PolicyComparison> comparisons;  // index-aligned with specs
 };
 
-/// Runs all eight workloads under the three policies. `quick` shrinks the
-/// workloads (x1/4 processes, x1/8 flops).
-FigureData run_all_workloads(bool quick);
+/// Runs all eight workloads under the three policies, fanning the 24
+/// (workload, policy) cells across `jobs` threads. `quick` shrinks the
+/// workloads (x1/4 processes, x1/8 flops). Output is identical for any
+/// `jobs` value.
+FigureData run_all_workloads(bool quick, int jobs = 1);
 
 /// True if argv contains --quick.
 bool quick_requested(int argc, char** argv);
+
+/// The resolved `--jobs N` request (1 when absent).
+int jobs_requested(int argc, char** argv);
 
 /// True if argv contains --csv (machine-readable output for plotting).
 bool csv_requested(int argc, char** argv);

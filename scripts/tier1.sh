@@ -21,7 +21,7 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build --preset tsan -j "$(nproc)" \
     --target runtime_test core_test integration_test profiler_test trace_test
   ( cd build-tsan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ProfilePipeline|TraceArena' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ProfilePipeline|TraceArena|MatrixDeterminism' \
       --output-on-failure -j "$(nproc)" )
 
   echo "== tier-1: admission core/gate/waitlist tests under ASan+UBSan =="
@@ -43,5 +43,22 @@ echo "== tier-1: gate overhead snapshot (BENCH_gate.json) =="
 # Exits non-zero if the uncontended begin/end round trip regresses more
 # than 10% over the pre-AdmissionCore baseline (189 ns).
 ( cd build/bench && ./micro_gate --iters 1000000 --out BENCH_gate.json )
+
+echo "== tier-1: simulation hot-path snapshot (BENCH_sim.json) =="
+# Exits non-zero if any engine scenario regresses more than 10% over the
+# post-overhaul baseline, if the parallel matrix is not bit-identical to the
+# serial one, or if sampled-sets miss ratios drift beyond the 2% budget.
+( cd build/bench && ./micro_sim_engine --reps 3 --out BENCH_sim.json )
+
+echo "== tier-1: parallel fig9 smoke (determinism across --jobs) =="
+# The full fig9 sweep fanned across every core, twice, plus a serial run:
+# all three CSVs must be byte-identical or run_matrix has a race.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+build/bench/fig9_gflops --quick --csv --jobs "$(nproc)" > "$smoke_dir/par1.csv"
+build/bench/fig9_gflops --quick --csv --jobs "$(nproc)" > "$smoke_dir/par2.csv"
+build/bench/fig9_gflops --quick --csv --jobs 1 > "$smoke_dir/serial.csv"
+cmp "$smoke_dir/par1.csv" "$smoke_dir/par2.csv"
+cmp "$smoke_dir/par1.csv" "$smoke_dir/serial.csv"
 
 echo "tier-1 OK"

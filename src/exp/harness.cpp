@@ -1,19 +1,35 @@
 #include "exp/harness.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 namespace rda::exp {
+
+int parse_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      return util::resolve_jobs(std::atoi(argv[i + 1]));
+    }
+  }
+  return 1;
+}
 
 RunRow run_workload(const workload::WorkloadSpec& spec,
                     const RunConfig& config) {
   sim::Engine engine(config.engine);
 
-  std::unique_ptr<core::RdaScheduler> gate;
-  if (config.policy != core::PolicyKind::kLinuxDefault) {
-    core::RdaOptions options;
+  core::RdaOptions options;
+  if (config.rda_options.has_value()) {
+    options = *config.rda_options;
+  } else {
     options.policy = config.policy;
     options.oversubscription = config.oversubscription;
     options.fast_path = config.fast_path;
+  }
+
+  std::unique_ptr<core::RdaScheduler> gate;
+  if (options.policy != core::PolicyKind::kLinuxDefault) {
     gate = std::make_unique<core::RdaScheduler>(
         static_cast<double>(config.engine.machine.llc_bytes),
         config.engine.calib, options);
@@ -28,7 +44,7 @@ RunRow run_workload(const workload::WorkloadSpec& spec,
 
   RunRow row;
   row.workload = spec.name;
-  row.policy = core::to_string(config.policy);
+  row.policy = core::to_string(options.policy);
   row.system_joules = result.system_joules();
   row.dram_joules = result.dram_joules;
   row.gflops = result.gflops();
@@ -50,23 +66,58 @@ const RunRow& PolicyComparison::best_rda_by_gflops() const {
   return strict.gflops >= compromise.gflops ? strict : compromise;
 }
 
+namespace {
+
+/// The paper's three-way policy sweep as a config list (matrix columns).
+std::vector<RunConfig> three_policy_configs(
+    const sim::EngineConfig& engine_config) {
+  std::vector<RunConfig> configs(3);
+  for (RunConfig& c : configs) c.engine = engine_config;
+  configs[0].policy = core::PolicyKind::kLinuxDefault;
+  configs[1].policy = core::PolicyKind::kStrict;
+  configs[2].policy = core::PolicyKind::kCompromise;
+  configs[2].oversubscription = 2.0;  // the paper's configured factor
+  return configs;
+}
+
+}  // namespace
+
+std::vector<RunRow> run_matrix(const std::vector<workload::WorkloadSpec>& specs,
+                               const std::vector<RunConfig>& configs,
+                               int jobs) {
+  std::vector<RunRow> rows(specs.size() * configs.size());
+  run_cells(rows.size(), jobs, [&](std::size_t cell) {
+    const std::size_t s = cell / configs.size();
+    const std::size_t c = cell % configs.size();
+    rows[cell] = run_workload(specs[s], configs[c]);
+  });
+  return rows;
+}
+
 PolicyComparison compare_policies(const workload::WorkloadSpec& spec,
-                                  const sim::EngineConfig& engine_config) {
+                                  const sim::EngineConfig& engine_config,
+                                  int jobs) {
+  const std::vector<RunRow> rows =
+      run_matrix({spec}, three_policy_configs(engine_config), jobs);
   PolicyComparison cmp;
-  RunConfig config;
-  config.engine = engine_config;
-
-  config.policy = core::PolicyKind::kLinuxDefault;
-  cmp.baseline = run_workload(spec, config);
-
-  config.policy = core::PolicyKind::kStrict;
-  cmp.strict = run_workload(spec, config);
-
-  config.policy = core::PolicyKind::kCompromise;
-  config.oversubscription = 2.0;  // the paper's configured factor
-  cmp.compromise = run_workload(spec, config);
-
+  cmp.baseline = rows[0];
+  cmp.strict = rows[1];
+  cmp.compromise = rows[2];
   return cmp;
+}
+
+std::vector<PolicyComparison> compare_policies_all(
+    const std::vector<workload::WorkloadSpec>& specs,
+    const sim::EngineConfig& engine_config, int jobs) {
+  const std::vector<RunRow> rows =
+      run_matrix(specs, three_policy_configs(engine_config), jobs);
+  std::vector<PolicyComparison> out(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    out[i].baseline = rows[3 * i + 0];
+    out[i].strict = rows[3 * i + 1];
+    out[i].compromise = rows[3 * i + 2];
+  }
+  return out;
 }
 
 Headline summarize(const std::vector<PolicyComparison>& comparisons) {

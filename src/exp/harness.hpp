@@ -1,14 +1,24 @@
 // Experiment harness: runs a Table-2 workload under a scheduling policy and
 // reports the paper's four metrics (Figs. 7–10). Shared by every bench
 // binary and the integration tests.
+//
+// Experiment cells — one (workload, config) simulation each — are completely
+// independent: every cell builds its own Engine and RdaScheduler, so a
+// matrix of cells can fan out across the util::parallel_run pool. Results
+// land in pre-allocated slots consumed in cell-index order, which makes the
+// output bit-identical for any --jobs value (see DESIGN.md §11).
 #pragma once
 
+#include <cstddef>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/policy.hpp"
 #include "core/rda_scheduler.hpp"
 #include "sim/engine.hpp"
+#include "util/parallel.hpp"
 #include "workload/table2.hpp"
 
 namespace rda::exp {
@@ -18,6 +28,10 @@ struct RunConfig {
   core::PolicyKind policy = core::PolicyKind::kLinuxDefault;
   double oversubscription = 2.0;  ///< paper's x for RDA:Compromise
   bool fast_path = false;
+  /// Full scheduler-options override for ablations: when set, the three
+  /// fields above are ignored and these options are used verbatim (a gate is
+  /// still only attached when options.policy != kLinuxDefault).
+  std::optional<core::RdaOptions> rda_options;
 };
 
 /// One row of a Fig. 7–10 style table.
@@ -38,6 +52,31 @@ struct RunRow {
 /// Simulates `spec` under `config` and collects the metrics row.
 RunRow run_workload(const workload::WorkloadSpec& spec,
                     const RunConfig& config);
+
+/// Parses a `--jobs N` flag out of argv (N == 0 or negative means one job
+/// per hardware thread). Returns 1 when the flag is absent — experiment
+/// binaries stay serial unless parallelism is requested.
+int parse_jobs(int argc, char** argv);
+
+/// Runs `fn(0) .. fn(count - 1)` on up to `jobs` threads. Each invocation
+/// must touch only its own state/result slot; the caller reads results in
+/// index order afterwards, so output is independent of `jobs`.
+template <typename Fn>
+void run_cells(std::size_t count, int jobs, Fn&& fn) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tasks.push_back([i, &fn] { fn(i); });
+  }
+  util::parallel_run(tasks, jobs);
+}
+
+/// Cross product of workloads x configs, one simulation per cell, fanned
+/// across `jobs` threads. Rows come back row-major (all configs of spec 0,
+/// then spec 1, ...) and are bit-identical for any `jobs` value.
+std::vector<RunRow> run_matrix(const std::vector<workload::WorkloadSpec>& specs,
+                               const std::vector<RunConfig>& configs,
+                               int jobs = 1);
 
 /// The paper's three-way comparison for one workload.
 struct PolicyComparison {
@@ -66,9 +105,17 @@ struct PolicyComparison {
   }
 };
 
-/// Runs one workload under all three policies on identical engine config.
+/// Runs one workload under all three policies on identical engine config;
+/// `jobs > 1` fans the three runs out in parallel.
 PolicyComparison compare_policies(const workload::WorkloadSpec& spec,
-                                  const sim::EngineConfig& engine_config);
+                                  const sim::EngineConfig& engine_config,
+                                  int jobs = 1);
+
+/// compare_policies over a whole workload list: all specs x 3 policies fan
+/// out as one flat cell matrix. Result order matches `specs`.
+std::vector<PolicyComparison> compare_policies_all(
+    const std::vector<workload::WorkloadSpec>& specs,
+    const sim::EngineConfig& engine_config, int jobs = 1);
 
 /// The paper's §4.2 headline aggregation over all workloads, taking each
 /// workload's best RDA configuration.

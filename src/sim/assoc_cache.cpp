@@ -1,6 +1,7 @@
 #include "sim/assoc_cache.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -10,12 +11,22 @@ namespace {
 
 bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
+/// splitmix64 finalizer — decorrelates the sampled subset from any stride in
+/// the address stream (a plain `set % K` rule aliases power-of-two strides).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 SetAssociativeCache::SetAssociativeCache(AssocCacheConfig config)
     : config_(config) {
   RDA_CHECK(config_.line_bytes > 0);
   RDA_CHECK(config_.ways > 0);
+  RDA_CHECK(config_.set_sample > 0);
   RDA_CHECK(config_.capacity_bytes >= config_.line_bytes * config_.ways);
   ways_ = config_.ways;
   const std::uint64_t total_lines =
@@ -24,12 +35,27 @@ SetAssociativeCache::SetAssociativeCache(AssocCacheConfig config)
   RDA_CHECK_MSG(sets_ > 0, "cache too small for its associativity");
   RDA_CHECK_MSG(is_power_of_two(config_.line_bytes),
                 "line size must be a power of two");
-  lines_.assign(static_cast<std::size_t>(sets_) * ways_, Line{});
+
+  if (config_.set_sample == 1) {
+    sampled_sets_ = sets_;
+  } else {
+    set_slot_.assign(sets_, kUnsampledSet);
+    for (std::uint32_t s = 0; s < sets_; ++s) {
+      if (mix64(s) % config_.set_sample == 0) {
+        set_slot_[s] = sampled_sets_++;
+      }
+    }
+    RDA_CHECK_MSG(sampled_sets_ > 0,
+                  "set_sample too large: no sets selected");
+  }
+  sample_factor_ =
+      static_cast<double>(sets_) / static_cast<double>(sampled_sets_);
+  lines_.assign(static_cast<std::size_t>(sampled_sets_) * ways_, Line{});
 }
 
-SetAssociativeCache::Line* SetAssociativeCache::find_line(std::uint64_t set,
+SetAssociativeCache::Line* SetAssociativeCache::find_line(std::uint64_t slot,
                                                           std::uint64_t tag) {
-  Line* base = &lines_[set * ways_];
+  Line* base = &lines_[slot * ways_];
   for (std::uint32_t w = 0; w < ways_; ++w) {
     if (base[w].valid && base[w].tag == tag) return &base[w];
   }
@@ -37,8 +63,8 @@ SetAssociativeCache::Line* SetAssociativeCache::find_line(std::uint64_t set,
 }
 
 SetAssociativeCache::Line* SetAssociativeCache::pick_victim(
-    std::uint64_t set, std::uint32_t allowed_ways) {
-  Line* base = &lines_[set * ways_];
+    std::uint64_t slot, std::uint32_t allowed_ways) {
+  Line* base = &lines_[slot * ways_];
   Line* victim = nullptr;
   for (std::uint32_t w = 0; w < allowed_ways; ++w) {
     Line& line = base[w];
@@ -50,17 +76,33 @@ SetAssociativeCache::Line* SetAssociativeCache::pick_victim(
   return victim;
 }
 
+void SetAssociativeCache::ensure_owner(ThreadId owner) {
+  RDA_CHECK(owner != kInvalidThread);
+  if (owner >= owner_stats_.size()) {
+    owner_stats_.resize(owner + 1);
+    owner_lines_.resize(owner + 1, 0);
+    partition_ways_.resize(owner + 1, 0);
+  }
+}
+
 bool SetAssociativeCache::access(std::uint64_t address, ThreadId owner) {
   ++clock_;
   const std::uint64_t line_addr = address / config_.line_bytes;
   const std::uint64_t set = line_addr % sets_;
   const std::uint64_t tag = line_addr / sets_;
 
+  std::uint64_t slot = set;
+  if (!set_slot_.empty()) {
+    slot = set_slot_[set];
+    if (slot == kUnsampledSet) return true;  // not simulated
+  }
+
+  ensure_owner(owner);
   ++stats_.accesses;
   AssocCacheStats& os = owner_stats_[owner];
   ++os.accesses;
 
-  if (Line* hit = find_line(set, tag)) {
+  if (Line* hit = find_line(slot, tag)) {
     hit->last_use = clock_;
     ++stats_.hits;
     ++os.hits;
@@ -70,16 +112,16 @@ bool SetAssociativeCache::access(std::uint64_t address, ThreadId owner) {
   ++stats_.misses;
   ++os.misses;
 
-  const auto part = partitions_.find(owner);
-  const std::uint32_t allowed =
-      part == partitions_.end() ? ways_ : std::min(part->second, ways_);
-  RDA_CHECK_MSG(allowed > 0, "owner " << owner << " has a zero-way partition");
+  const std::uint32_t part = partition_ways_[owner];
+  const std::uint32_t allowed = part == 0 ? ways_ : std::min(part, ways_);
 
-  Line* victim = pick_victim(set, allowed);
+  Line* victim = pick_victim(slot, allowed);
   if (victim->valid) {
     ++stats_.evictions;
-    auto it = owner_lines_.find(victim->owner);
-    if (it != owner_lines_.end() && it->second > 0) --it->second;
+    if (victim->owner < owner_lines_.size() &&
+        owner_lines_[victim->owner] > 0) {
+      --owner_lines_[victim->owner];
+    }
   }
   victim->valid = true;
   victim->tag = tag;
@@ -92,26 +134,31 @@ bool SetAssociativeCache::access(std::uint64_t address, ThreadId owner) {
 void SetAssociativeCache::set_partition(ThreadId owner,
                                         std::uint32_t allowed_ways) {
   RDA_CHECK(allowed_ways > 0);
-  partitions_[owner] = std::min(allowed_ways, ways_);
+  ensure_owner(owner);
+  partition_ways_[owner] = std::min(allowed_ways, ways_);
 }
 
 void SetAssociativeCache::clear_partition(ThreadId owner) {
-  partitions_.erase(owner);
+  if (owner < partition_ways_.size()) partition_ways_[owner] = 0;
 }
 
 void SetAssociativeCache::flush_owner(ThreadId owner) {
   for (Line& line : lines_) {
     if (line.valid && line.owner == owner) {
       line.valid = false;
-      ++stats_.evictions;
+      ++stats_.invalidations;
     }
   }
-  owner_lines_[owner] = 0;
+  if (owner < owner_lines_.size()) {
+    owner_stats_[owner].invalidations += owner_lines_[owner];
+    owner_lines_[owner] = 0;
+  }
 }
 
 std::uint64_t SetAssociativeCache::occupancy_lines(ThreadId owner) const {
-  const auto it = owner_lines_.find(owner);
-  return it == owner_lines_.end() ? 0 : it->second;
+  const std::uint64_t raw =
+      owner < owner_lines_.size() ? owner_lines_[owner] : 0;
+  return scaled(raw);
 }
 
 std::uint64_t SetAssociativeCache::occupancy_bytes(ThreadId owner) const {
@@ -119,8 +166,26 @@ std::uint64_t SetAssociativeCache::occupancy_bytes(ThreadId owner) const {
 }
 
 AssocCacheStats SetAssociativeCache::owner_stats(ThreadId owner) const {
-  const auto it = owner_stats_.find(owner);
-  return it == owner_stats_.end() ? AssocCacheStats{} : it->second;
+  return scaled(owner < owner_stats_.size() ? owner_stats_[owner]
+                                            : AssocCacheStats{});
+}
+
+std::uint64_t SetAssociativeCache::scaled(std::uint64_t raw) const {
+  if (sampled_sets_ == sets_) return raw;
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(raw) * sample_factor_));
+}
+
+AssocCacheStats SetAssociativeCache::scaled(
+    const AssocCacheStats& raw) const {
+  if (sampled_sets_ == sets_) return raw;
+  AssocCacheStats s;
+  s.accesses = scaled(raw.accesses);
+  s.hits = scaled(raw.hits);
+  s.misses = scaled(raw.misses);
+  s.evictions = scaled(raw.evictions);
+  s.invalidations = scaled(raw.invalidations);
+  return s;
 }
 
 }  // namespace rda::sim

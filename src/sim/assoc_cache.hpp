@@ -11,10 +11,16 @@
 //
 // Addresses are attributed to an owner (thread) so per-owner occupancy and
 // hit ratios can be compared against the fluid model.
+//
+// Set sampling (`AssocCacheConfig::set_sample` = K > 1) simulates only the
+// ~1/K sets selected by a hash of the set index and scales every reported
+// count by sets / sampled_sets. Set-index hashing keeps the sample unbiased
+// for strided patterns that would alias a simple `set % K` rule. Accesses to
+// unsampled sets do no bookkeeping (and report a hit); per-access return
+// values are only meaningful in full mode.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/ids.hpp"
@@ -25,13 +31,16 @@ struct AssocCacheConfig {
   std::uint64_t capacity_bytes = 15360 * 1024ull;  // paper Table 1 LLC
   std::uint32_t ways = 20;                         // E5-2420 L3 is 20-way
   std::uint32_t line_bytes = 64;
+  /// Simulate ~1 in `set_sample` sets (1 = full model).
+  std::uint32_t set_sample = 1;
 };
 
 struct AssocCacheStats {
   std::uint64_t accesses = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
+  std::uint64_t evictions = 0;      ///< capacity/conflict replacements
+  std::uint64_t invalidations = 0;  ///< lines dropped by flush_owner
 
   double hit_ratio() const {
     return accesses ? static_cast<double>(hits) /
@@ -54,17 +63,20 @@ class SetAssociativeCache {
   void set_partition(ThreadId owner, std::uint32_t allowed_ways);
   void clear_partition(ThreadId owner);
 
-  /// Evicts every line owned by `owner` (used when a phase ends).
+  /// Invalidates every line owned by `owner` (used when a phase ends).
+  /// Counted as invalidations, not evictions: nothing displaced these lines.
   void flush_owner(ThreadId owner);
 
   std::uint64_t occupancy_lines(ThreadId owner) const;
   std::uint64_t occupancy_bytes(ThreadId owner) const;
 
-  const AssocCacheStats& stats() const { return stats_; }
+  /// Counts are scaled by sets/sampled_sets when set sampling is active.
+  AssocCacheStats stats() const { return scaled(stats_); }
   AssocCacheStats owner_stats(ThreadId owner) const;
 
   std::uint32_t ways() const { return ways_; }
   std::uint32_t sets() const { return sets_; }
+  std::uint32_t sampled_sets() const { return sampled_sets_; }
   std::uint64_t capacity_bytes() const { return config_.capacity_bytes; }
 
  private:
@@ -75,16 +87,30 @@ class SetAssociativeCache {
     bool valid = false;
   };
 
-  Line* find_line(std::uint64_t set, std::uint64_t tag);
-  Line* pick_victim(std::uint64_t set, std::uint32_t allowed_ways);
+  static constexpr std::uint32_t kUnsampledSet =
+      static_cast<std::uint32_t>(-1);
+
+  Line* find_line(std::uint64_t slot, std::uint64_t tag);
+  Line* pick_victim(std::uint64_t slot, std::uint32_t allowed_ways);
+  /// Grows the dense per-owner arrays to cover `owner`.
+  void ensure_owner(ThreadId owner);
+  AssocCacheStats scaled(const AssocCacheStats& raw) const;
+  std::uint64_t scaled(std::uint64_t raw) const;
 
   AssocCacheConfig config_;
   std::uint32_t ways_ = 0;
   std::uint32_t sets_ = 0;
-  std::vector<Line> lines_;  ///< sets_ x ways_, row-major
-  std::unordered_map<ThreadId, std::uint32_t> partitions_;
-  std::unordered_map<ThreadId, std::uint64_t> owner_lines_;
-  std::unordered_map<ThreadId, AssocCacheStats> owner_stats_;
+  std::uint32_t sampled_sets_ = 0;
+  double sample_factor_ = 1.0;  ///< sets_ / sampled_sets_
+  std::vector<Line> lines_;     ///< sampled_sets_ x ways_, row-major
+  /// Maps a set index to its storage slot, or kUnsampledSet. Empty in full
+  /// mode (identity mapping).
+  std::vector<std::uint32_t> set_slot_;
+  /// Dense per-owner state indexed by ThreadId (owner ids are small
+  /// sequential integers); 0 ways in partition_ways_ means unpartitioned.
+  std::vector<std::uint32_t> partition_ways_;
+  std::vector<std::uint64_t> owner_lines_;
+  std::vector<AssocCacheStats> owner_stats_;
   AssocCacheStats stats_;
   std::uint64_t clock_ = 0;
 };

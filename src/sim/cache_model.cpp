@@ -12,11 +12,17 @@ LlcModel::LlcModel(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {
   RDA_CHECK(capacity_bytes > 0);
 }
 
+LlcModel::Entry& LlcModel::slot(ThreadId thread) {
+  RDA_CHECK(thread != kInvalidThread);
+  if (thread >= slots_.size()) slots_.resize(thread + 1);
+  return slots_[thread];
+}
+
 void LlcModel::phase_enter(ThreadId thread, std::uint64_t wss_bytes,
                            double carry_bytes, double occupancy_cap_bytes) {
-  RDA_CHECK_MSG(!registered(thread),
+  Entry& e = slot(thread);
+  RDA_CHECK_MSG(!e.active,
                 "thread " << thread << " already has an active phase");
-  Entry e;
   e.wss = static_cast<double>(wss_bytes);
   e.cap = occupancy_cap_bytes > 0.0
               ? occupancy_cap_bytes
@@ -26,34 +32,42 @@ void LlcModel::phase_enter(ThreadId thread, std::uint64_t wss_bytes,
   e.occupancy =
       std::clamp(carry_bytes, 0.0, std::min(e.growth_limit(), free_bytes));
   total_occupancy_ += e.occupancy;
-  entries_.emplace(thread, e);
+  e.active = true;
+  e.active_pos = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(thread);
 }
 
 double LlcModel::phase_exit(ThreadId thread) {
-  auto it = entries_.find(thread);
-  RDA_CHECK_MSG(it != entries_.end(),
+  RDA_CHECK_MSG(thread < slots_.size() && slots_[thread].active,
                 "thread " << thread << " has no active phase");
-  const double held = it->second.occupancy;
+  Entry& e = slots_[thread];
+  const double held = e.occupancy;
   total_occupancy_ -= held;
   if (total_occupancy_ < 0.0) total_occupancy_ = 0.0;  // float dust
-  entries_.erase(it);
+  // Swap-remove from the active list; patch the moved thread's back-pointer.
+  const ThreadId moved = active_.back();
+  active_[e.active_pos] = moved;
+  slots_[moved].active_pos = e.active_pos;
+  active_.pop_back();
+  e.active = false;
+  e.occupancy = 0.0;
   return held;
 }
 
 bool LlcModel::registered(ThreadId thread) const {
-  return entries_.count(thread) != 0;
+  return find(thread) != nullptr;
 }
 
 double LlcModel::occupancy_bytes(ThreadId thread) const {
-  auto it = entries_.find(thread);
-  return it == entries_.end() ? 0.0 : it->second.occupancy;
+  const Entry* e = find(thread);
+  return e == nullptr ? 0.0 : e->occupancy;
 }
 
 double LlcModel::resident_fraction(ThreadId thread) const {
-  auto it = entries_.find(thread);
-  if (it == entries_.end()) return 0.0;
-  if (it->second.wss <= 0.0) return 1.0;
-  return std::clamp(it->second.occupancy / it->second.wss, 0.0, 1.0);
+  const Entry* e = find(thread);
+  if (e == nullptr) return 0.0;
+  if (e->wss <= 0.0) return 1.0;
+  return std::clamp(e->occupancy / e->wss, 0.0, 1.0);
 }
 
 void LlcModel::evict_proportional(double bytes) {
@@ -61,8 +75,8 @@ void LlcModel::evict_proportional(double bytes) {
   const double scale =
       std::max(0.0, 1.0 - bytes / total_occupancy_);
   double total = 0.0;
-  for (auto& [tid, entry] : entries_) {
-    (void)tid;
+  for (const ThreadId tid : active_) {
+    Entry& entry = slots_[tid];
     entry.occupancy *= scale;
     total += entry.occupancy;
   }
@@ -85,10 +99,9 @@ void LlcModel::advance(const std::vector<FillTraffic>& fills) {
 
   // 2. Residency fills grow each running thread toward its working set.
   for (const FillTraffic& f : fills) {
-    auto it = entries_.find(f.thread);
-    RDA_CHECK_MSG(it != entries_.end(),
+    RDA_CHECK_MSG(f.thread < slots_.size() && slots_[f.thread].active,
                   "fill for thread " << f.thread << " with no active phase");
-    Entry& e = it->second;
+    Entry& e = slots_[f.thread];
     const double grow = std::min(
         f.residency_bytes, std::max(0.0, e.growth_limit() - e.occupancy));
     e.occupancy += grow;
@@ -104,7 +117,8 @@ void LlcModel::advance(const std::vector<FillTraffic>& fills) {
 
 void LlcModel::check_invariants() const {
   double total = 0.0;
-  for (const auto& [tid, entry] : entries_) {
+  for (const ThreadId tid : active_) {
+    const Entry& entry = slots_[tid];
     RDA_CHECK_MSG(entry.occupancy >= -1e-6,
                   "negative occupancy for thread " << tid);
     RDA_CHECK_MSG(entry.occupancy <= entry.wss + 1e-6,

@@ -16,7 +16,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/ids.hpp"
@@ -61,17 +60,22 @@ class LlcModel {
   double resident_fraction(ThreadId thread) const;
   double total_occupancy() const { return total_occupancy_; }
   std::uint64_t capacity() const { return capacity_; }
-  std::size_t active_phases() const { return entries_.size(); }
+  std::size_t active_phases() const { return active_.size(); }
 
   /// Throws util::CheckFailure if an invariant is violated.
   void check_invariants() const;
 
  private:
+  /// Dense per-thread slot (thread ids are small sequential integers, so a
+  /// flat vector replaces the previous unordered_map: the engine's inner
+  /// loop queries occupancy/resident_fraction per running thread per step).
   struct Entry {
     double wss = 0.0;
     double occupancy = 0.0;
     /// Partition ceiling (§6 extension); infinity when unpartitioned.
     double cap = 0.0;
+    std::uint32_t active_pos = 0;  ///< index into active_ while registered
+    bool active = false;
 
     double growth_limit() const { return std::min(wss, cap); }
   };
@@ -80,8 +84,15 @@ class LlcModel {
   /// their current occupancy.
   void evict_proportional(double bytes);
 
+  Entry& slot(ThreadId thread);
+  const Entry* find(ThreadId thread) const {
+    return thread < slots_.size() && slots_[thread].active ? &slots_[thread]
+                                                           : nullptr;
+  }
+
   std::uint64_t capacity_;
-  std::unordered_map<ThreadId, Entry> entries_;
+  std::vector<Entry> slots_;       ///< indexed by ThreadId
+  std::vector<ThreadId> active_;   ///< registered threads (iteration set)
   double total_occupancy_ = 0.0;
 };
 

@@ -31,17 +31,15 @@ ThreadId Engine::add_thread(ProcessId process, PhaseProgram program) {
   t.program = std::move(program);
   t.state = ThreadState::kReady;
   t.home_core = static_cast<int>(threads_.size() % cores_.size());
+  // The phases vector's heap buffer is stable across the Thread move below
+  // and across threads_ reallocation, so the cached pointer stays valid.
+  bind_phase(t);
   threads_.push_back(std::move(t));
   processes_[process].members.push_back(threads_.back().id);
   return threads_.back().id;
 }
 
 void Engine::set_gate(PhaseGate* gate) { gate_ = gate; }
-
-const PhaseSpec& Engine::current_phase(const Thread& t) const {
-  RDA_CHECK(t.phase_index < t.program.phases.size());
-  return t.program.phases[t.phase_index];
-}
 
 void Engine::trace(obs::EventKind kind, const Thread& t) const {
   if (config_.trace_sink == nullptr) return;
@@ -69,10 +67,9 @@ void Engine::enqueue_ready(Thread& t) {
   // standard CFS wake-up placement.
   t.vruntime = std::max(t.vruntime, vclock_);
   if (config_.scheduler == SchedulerMode::kPerCoreQueues) {
-    core_ready_[static_cast<std::size_t>(t.home_core)].insert(
-        {t.vruntime, t.id});
+    core_ready_[static_cast<std::size_t>(t.home_core)].push(t.vruntime, t.id);
   } else {
-    ready_.insert({t.vruntime, t.id});
+    ready_.push(t.vruntime, t.id);
   }
 }
 
@@ -87,12 +84,8 @@ bool Engine::any_ready() const {
 }
 
 ThreadId Engine::pop_for_core(std::size_t core) {
-  auto& own = core_ready_[core];
-  if (!own.empty()) {
-    const ThreadId tid = own.begin()->second;
-    own.erase(own.begin());
-    return tid;
-  }
+  ReadyQueue& own = core_ready_[core];
+  if (!own.empty()) return own.pop_min().second;
   // Idle stealing: take the min-vruntime thread from the fullest queue.
   std::size_t victim = core;
   std::size_t best_size = 0;
@@ -103,9 +96,7 @@ ThreadId Engine::pop_for_core(std::size_t core) {
     }
   }
   if (best_size == 0) return kInvalidThread;
-  auto& queue = core_ready_[victim];
-  const ThreadId tid = queue.begin()->second;
-  queue.erase(queue.begin());
+  const ThreadId tid = core_ready_[victim].pop_min().second;
   Thread& t = threads_[tid];
   t.home_core = static_cast<int>(core);  // migrate
   t.pending_overhead += config_.calib.migration_cost;
@@ -113,13 +104,7 @@ ThreadId Engine::pop_for_core(std::size_t core) {
   return tid;
 }
 
-ThreadId Engine::pop_ready() {
-  RDA_CHECK(!ready_.empty());
-  const auto it = ready_.begin();
-  const ThreadId tid = it->second;
-  ready_.erase(it);
-  return tid;
-}
+ThreadId Engine::pop_ready() { return ready_.pop_min().second; }
 
 bool Engine::dispatch() {
   bool placed = false;
@@ -292,7 +277,8 @@ void Engine::process_points(Thread& t) {
       case Point::kAdvance: {
         ++t.phase_index;
         t.admitted = false;
-        if (t.phase_index >= t.program.phases.size()) {
+        bind_phase(t);
+        if (t.phase == nullptr) {
           finish(t);
           return;
         }
@@ -381,8 +367,8 @@ SimResult Engine::run() {
       }
       requests.push_back(req);
     }
-    rates = compute_rates_capped(config_.calib, requests,
-                                 config_.machine.dram_bandwidth);
+    rate_solver_.solve(config_.calib, requests, config_.machine.dram_bandwidth,
+                       rates);
     // Zero out rates for overhead-burning threads (their request was a
     // placeholder so the vector stays aligned).
     for (std::size_t i = 0; i < running.size(); ++i) {
@@ -393,6 +379,7 @@ SimResult Engine::run() {
     }
 
     const double dt = compute_interval(rates, running);
+    ++result_.sim_steps;
 
     // Integrate the interval.
     fills.clear();

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "obs/sink.hpp"
@@ -29,6 +28,7 @@
 #include "sim/metrics.hpp"
 #include "sim/perf_model.hpp"
 #include "sim/phase.hpp"
+#include "sim/ready_queue.hpp"
 
 namespace rda::sim {
 
@@ -108,6 +108,10 @@ class Engine final : public ThreadWaker {
     ProcessId process = kInvalidProcess;
     PhaseProgram program;
     std::size_t phase_index = 0;
+    /// Cached &program.phases[phase_index] — the begin/body/end state
+    /// machine and the rate loop consult the current phase on every step,
+    /// so it is re-bound only when phase_index moves.
+    const PhaseSpec* phase = nullptr;
     Point point = Point::kBegin;
     double remaining = 0.0;
     bool admitted = false;  ///< gate already granted the pending begin
@@ -146,7 +150,16 @@ class Engine final : public ThreadWaker {
   static constexpr double kFlopEpsilon = 1e-3;
   static constexpr double kTimeEpsilon = 1e-12;
 
-  const PhaseSpec& current_phase(const Thread& t) const;
+  const PhaseSpec& current_phase(const Thread& t) const {
+    RDA_CHECK(t.phase != nullptr);
+    return *t.phase;
+  }
+  /// Re-binds the cached phase pointer after phase_index changed.
+  static void bind_phase(Thread& t) {
+    t.phase = t.phase_index < t.program.phases.size()
+                  ? &t.program.phases[t.phase_index]
+                  : nullptr;
+  }
   bool needs_point_processing(const Thread& t) const;
   /// Records an execution-level event for the thread's current phase.
   void trace(obs::EventKind kind, const Thread& t) const;
@@ -181,13 +194,16 @@ class Engine final : public ThreadWaker {
   std::vector<Thread> threads_;
   std::vector<Process> processes_;
   std::vector<Core> cores_;
-  /// Ready queue ordered by (vruntime, id) — CFS red-black tree stand-in.
+  /// Ready queue ordered by (vruntime, id) — flat binary-heap CFS stand-in.
   /// Global mode uses ready_; per-core mode uses core_ready_.
-  std::set<std::pair<double, ThreadId>> ready_;
-  std::vector<std::set<std::pair<double, ThreadId>>> core_ready_;
+  ReadyQueue ready_;
+  std::vector<ReadyQueue> core_ready_;
 
   LlcModel llc_;
   EnergyMeter energy_;
+  /// Reusable bandwidth-cap solver: avoids a rates-vector allocation and
+  /// re-derived per-thread miss terms on every integration step.
+  RateSolver rate_solver_;
   double now_ = 0.0;
   double vclock_ = 0.0;
   std::size_t finished_count_ = 0;

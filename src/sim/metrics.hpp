@@ -22,6 +22,7 @@ struct SimResult {
   double dram_joules = 0.0;     ///< DRAM domain (paper Fig. 8)
   double dram_bytes = 0.0;
 
+  std::uint64_t sim_steps = 0;  ///< integration intervals executed
   std::uint64_t context_switches = 0;
   std::uint64_t migrations = 0;  ///< cross-core moves (per-core queue mode)
   std::uint64_t gate_blocks = 0;      ///< begins that had to wait

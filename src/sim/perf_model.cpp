@@ -28,16 +28,6 @@ PhaseRate rate_with_queueing(const Calibration& calib, ReuseLevel reuse,
   return rate;
 }
 
-double aggregate_traffic(const Calibration& calib,
-                         const std::vector<RateRequest>& requests, double q) {
-  double total = 0.0;
-  for (const RateRequest& r : requests) {
-    total += rate_with_queueing(calib, r.reuse, r.resident_fraction, q)
-                 .dram_bytes_per_sec;
-  }
-  return total;
-}
-
 }  // namespace
 
 PhaseRate compute_rate(const Calibration& calib, ReuseLevel reuse,
@@ -48,17 +38,50 @@ PhaseRate compute_rate(const Calibration& calib, ReuseLevel reuse,
 std::vector<PhaseRate> compute_rates_capped(
     const Calibration& calib, const std::vector<RateRequest>& requests,
     double bandwidth) {
+  std::vector<PhaseRate> rates;
+  RateSolver solver;
+  solver.solve(calib, requests, bandwidth, rates);
+  return rates;
+}
+
+double RateSolver::aggregate_traffic(const Calibration& calib,
+                                     double q) const {
+  // Same expression tree as rate_with_queueing's dram_bytes_per_sec:
+  // miss_seconds is (mpf * miss_stall), so flop_time + miss_seconds * q
+  // reproduces flop_time + mpf * miss_stall * q bit-for-bit.
+  double total = 0.0;
+  for (const Term& t : terms_) {
+    const double time_per_flop = calib.flop_time() + t.miss_seconds * q;
+    total += 1.0 / time_per_flop * t.mpf * calib.line_bytes;
+  }
+  return total;
+}
+
+void RateSolver::solve(const Calibration& calib,
+                       const std::vector<RateRequest>& requests,
+                       double bandwidth, std::vector<PhaseRate>& out) {
   RDA_CHECK(bandwidth > 0.0);
+  terms_.clear();
+  terms_.reserve(requests.size());
+  for (const RateRequest& r : requests) {
+    const double f = std::clamp(r.resident_fraction, 0.0, 1.0);
+    Term t;
+    t.mpf = calib.stream_misses_per_flop(r.reuse) +
+            calib.reuse_misses_per_flop(r.reuse) * (1.0 - f);
+    t.miss_seconds = t.mpf * calib.miss_stall;
+    terms_.push_back(t);
+  }
+
   double q = 1.0;
-  if (aggregate_traffic(calib, requests, 1.0) > bandwidth) {
+  if (aggregate_traffic(calib, 1.0) > bandwidth) {
     // Aggregate traffic is strictly decreasing in q; bracket then bisect.
     double lo = 1.0, hi = 2.0;
-    while (aggregate_traffic(calib, requests, hi) > bandwidth && hi < 1e6) {
+    while (aggregate_traffic(calib, hi) > bandwidth && hi < 1e6) {
       hi *= 2.0;
     }
     for (int iter = 0; iter < 60 && hi - lo > 1e-9 * hi; ++iter) {
       const double mid = 0.5 * (lo + hi);
-      if (aggregate_traffic(calib, requests, mid) > bandwidth) {
+      if (aggregate_traffic(calib, mid) > bandwidth) {
         lo = mid;
       } else {
         hi = mid;
@@ -66,12 +89,11 @@ std::vector<PhaseRate> compute_rates_capped(
     }
     q = hi;
   }
-  std::vector<PhaseRate> rates;
-  rates.reserve(requests.size());
+  out.clear();
+  out.reserve(requests.size());
   for (const RateRequest& r : requests) {
-    rates.push_back(rate_with_queueing(calib, r.reuse, r.resident_fraction, q));
+    out.push_back(rate_with_queueing(calib, r.reuse, r.resident_fraction, q));
   }
-  return rates;
 }
 
 }  // namespace rda::sim

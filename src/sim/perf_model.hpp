@@ -41,4 +41,25 @@ std::vector<PhaseRate> compute_rates_capped(
     const Calibration& calib, const std::vector<RateRequest>& requests,
     double bandwidth);
 
+/// Allocation-free form of compute_rates_capped for the simulator's inner
+/// loop: per-thread miss terms are derived once per call (not once per
+/// bisection probe) and both the term scratch and `out` keep their capacity
+/// across calls. Bit-identical to the vector-returning function.
+class RateSolver {
+ public:
+  void solve(const Calibration& calib,
+             const std::vector<RateRequest>& requests, double bandwidth,
+             std::vector<PhaseRate>& out);
+
+ private:
+  struct Term {
+    double mpf = 0.0;         ///< total misses per flop
+    double miss_seconds = 0.0;  ///< mpf * miss_stall (stall share at q=1)
+  };
+
+  double aggregate_traffic(const Calibration& calib, double q) const;
+
+  std::vector<Term> terms_;
+};
+
 }  // namespace rda::sim

@@ -1,0 +1,49 @@
+// Flat binary min-heap ready queue — the CFS red-black-tree stand-in.
+//
+// The engine previously kept each runqueue as a
+// std::set<std::pair<double, ThreadId>>: every enqueue allocated a tree
+// node and every pop chased parent/child pointers. A binary heap over one
+// contiguous vector gives the same (vruntime, id) pop order — the pair's
+// lexicographic comparison breaks vruntime ties by thread id, exactly like
+// the set's iteration order — with O(log n) push/pop, no per-enqueue
+// allocation (the vector's capacity persists across the simulation), and
+// cache-friendly sift paths.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "util/check.hpp"
+
+namespace rda::sim {
+
+class ReadyQueue {
+ public:
+  using Entry = std::pair<double, ThreadId>;  ///< (vruntime, id)
+
+  void push(double vruntime, ThreadId id) {
+    heap_.emplace_back(vruntime, id);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  /// Removes and returns the smallest (vruntime, id) entry.
+  Entry pop_min() {
+    RDA_CHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Entry top = heap_.back();
+    heap_.pop_back();
+    return top;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  std::vector<Entry> heap_;  ///< min-heap under std::greater
+};
+
+}  // namespace rda::sim

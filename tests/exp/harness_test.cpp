@@ -90,6 +90,78 @@ TEST(Harness, SummarizeAveragesAndMaxes) {
   EXPECT_DOUBLE_EQ(h.avg_energy_drop, 0.25);
 }
 
+TEST(Harness, ParseJobsFlag) {
+  const char* none[] = {"prog"};
+  EXPECT_EQ(parse_jobs(1, const_cast<char**>(none)), 1);
+  const char* four[] = {"prog", "--quick", "--jobs", "4"};
+  EXPECT_EQ(parse_jobs(4, const_cast<char**>(four)), 4);
+  // 0 means "one per hardware thread", floored at 1.
+  const char* zero[] = {"prog", "--jobs", "0"};
+  EXPECT_GE(parse_jobs(3, const_cast<char**>(zero)), 1);
+  // Trailing --jobs with no value is ignored.
+  const char* dangling[] = {"prog", "--jobs"};
+  EXPECT_EQ(parse_jobs(2, const_cast<char**>(dangling)), 1);
+}
+
+TEST(Harness, RunMatrixIsRowMajorAndMatchesSingleRuns) {
+  const std::vector<workload::WorkloadSpec> specs = {tiny("BLAS-3"),
+                                                     tiny("Water_nsq")};
+  std::vector<RunConfig> configs(2);
+  for (RunConfig& c : configs) c.engine.machine = sim::MachineConfig::e5_2420();
+  configs[0].policy = core::PolicyKind::kLinuxDefault;
+  configs[1].policy = core::PolicyKind::kStrict;
+
+  const std::vector<RunRow> rows = run_matrix(specs, configs, 2);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].workload, "BLAS-3");
+  EXPECT_EQ(rows[0].policy, "Linux default");
+  EXPECT_EQ(rows[1].workload, "BLAS-3");
+  EXPECT_EQ(rows[1].policy, "RDA:Strict");
+  EXPECT_EQ(rows[2].workload, "Water_nsq");
+  EXPECT_EQ(rows[3].workload, "Water_nsq");
+
+  // Each cell equals the standalone run bit for bit: cells are isolated.
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const RunRow solo = run_workload(specs[s], configs[c]);
+      const RunRow& cell = rows[s * configs.size() + c];
+      EXPECT_EQ(cell.system_joules, solo.system_joules);
+      EXPECT_EQ(cell.makespan, solo.makespan);
+      EXPECT_EQ(cell.gflops, solo.gflops);
+      EXPECT_EQ(cell.gate_blocks, solo.gate_blocks);
+      EXPECT_EQ(cell.context_switches, solo.context_switches);
+    }
+  }
+}
+
+TEST(Harness, ComparePoliciesAllMatchesIndividualComparisons) {
+  const std::vector<workload::WorkloadSpec> specs = {tiny("BLAS-3"),
+                                                     tiny("Raytrace")};
+  sim::EngineConfig engine;
+  engine.machine = sim::MachineConfig::e5_2420();
+  const std::vector<PolicyComparison> all =
+      compare_policies_all(specs, engine, 3);
+  ASSERT_EQ(all.size(), 2u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const PolicyComparison solo = compare_policies(specs[i], engine);
+    EXPECT_EQ(all[i].baseline.system_joules, solo.baseline.system_joules);
+    EXPECT_EQ(all[i].strict.makespan, solo.strict.makespan);
+    EXPECT_EQ(all[i].compromise.gflops, solo.compromise.gflops);
+  }
+}
+
+TEST(Harness, RdaOptionsOverrideWinsOverPolicyFields) {
+  RunConfig cfg;
+  cfg.engine.machine = sim::MachineConfig::e5_2420();
+  cfg.policy = core::PolicyKind::kLinuxDefault;  // ignored:
+  core::RdaOptions options;
+  options.policy = core::PolicyKind::kStrict;
+  cfg.rda_options = options;
+  const RunRow row = run_workload(tiny("BLAS-3"), cfg);
+  EXPECT_EQ(row.policy, "RDA:Strict");
+  EXPECT_GT(row.gate_blocks, 0u);  // the gate was actually attached
+}
+
 TEST(Harness, ScaledWorkloadPreservesStructure) {
   const auto specs = workload::table2_workloads();
   const auto& full = workload::find_workload(specs, "Water_nsq");

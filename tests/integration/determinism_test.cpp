@@ -45,5 +45,55 @@ TEST(Determinism, PoliciesActuallyDiffer) {
   EXPECT_EQ(base.gate_blocks, 0u);
 }
 
+// The parallel matrix harness must be bit-identical for any --jobs value:
+// every cell is an isolated Engine+gate writing only its own result slot.
+// Kept small so the TSan stage can afford it; also exercised at full scale
+// by micro_sim_engine and the tier-1 fig9 smoke run.
+void expect_rows_identical(const std::vector<RunRow>& a,
+                           const std::vector<RunRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].workload, b[i].workload) << "row " << i;
+    EXPECT_EQ(a[i].policy, b[i].policy) << "row " << i;
+    EXPECT_EQ(a[i].system_joules, b[i].system_joules) << "row " << i;
+    EXPECT_EQ(a[i].dram_joules, b[i].dram_joules) << "row " << i;
+    EXPECT_EQ(a[i].gflops, b[i].gflops) << "row " << i;
+    EXPECT_EQ(a[i].gflops_per_watt, b[i].gflops_per_watt) << "row " << i;
+    EXPECT_EQ(a[i].makespan, b[i].makespan) << "row " << i;
+    EXPECT_EQ(a[i].total_flops, b[i].total_flops) << "row " << i;
+    EXPECT_EQ(a[i].gate_blocks, b[i].gate_blocks) << "row " << i;
+    EXPECT_EQ(a[i].context_switches, b[i].context_switches) << "row " << i;
+    EXPECT_EQ(a[i].migrations, b[i].migrations) << "row " << i;
+  }
+}
+
+std::vector<RunRow> run_small_matrix(int jobs) {
+  const auto all = workload::table2_workloads();
+  std::vector<workload::WorkloadSpec> specs = {
+      workload::scale_workload(workload::find_workload(all, "Water_nsq"),
+                               0.1, 4),
+      workload::scale_workload(workload::find_workload(all, "BLAS-3"),
+                               0.1, 4),
+  };
+  std::vector<RunConfig> configs(3);
+  for (RunConfig& c : configs) c.engine.machine = sim::MachineConfig::e5_2420();
+  configs[0].policy = core::PolicyKind::kLinuxDefault;
+  configs[1].policy = core::PolicyKind::kStrict;
+  configs[2].policy = core::PolicyKind::kCompromise;
+  return run_matrix(specs, configs, jobs);
+}
+
+TEST(MatrixDeterminism, JobsCountDoesNotChangeResults) {
+  const std::vector<RunRow> serial = run_small_matrix(1);
+  const std::vector<RunRow> parallel = run_small_matrix(4);
+  expect_rows_identical(serial, parallel);
+}
+
+TEST(MatrixDeterminism, RepeatedParallelRunsIdentical) {
+  const std::vector<RunRow> a = run_small_matrix(4);
+  const std::vector<RunRow> b = run_small_matrix(4);
+  expect_rows_identical(a, b);
+}
+
 }  // namespace
 }  // namespace rda::exp

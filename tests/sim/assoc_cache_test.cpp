@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "trace/generators.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -142,9 +144,80 @@ TEST(AssocCache, FlushOwnerEvictsAllItsLines) {
   EXPECT_FALSE(cache.access(0, 1));  // cold again
 }
 
+TEST(AssocCache, FlushCountsInvalidationsNotEvictions) {
+  // Regression: flush_owner used to book its invalidations as evictions,
+  // inflating the replacement count the partitioning logic reasons about.
+  SetAssociativeCache cache(small_cache());
+  for (std::uint64_t i = 0; i < 200; ++i) cache.access(i * 64, 1);
+  for (std::uint64_t i = 0; i < 100; ++i) cache.access(MB(1) + i * 64, 2);
+  const AssocCacheStats before = cache.stats();
+  EXPECT_EQ(before.evictions, 0u);  // cache never filled: no replacements
+  EXPECT_EQ(before.invalidations, 0u);
+
+  cache.flush_owner(1);
+  const AssocCacheStats after = cache.stats();
+  EXPECT_EQ(after.evictions, before.evictions);  // unchanged by the flush
+  EXPECT_EQ(after.invalidations, 200u);
+  // Owner-level stats: invalidations booked to the flushed owner only, and
+  // its access history survives the flush.
+  EXPECT_EQ(cache.owner_stats(1).invalidations, 200u);
+  EXPECT_EQ(cache.owner_stats(2).invalidations, 0u);
+  EXPECT_EQ(cache.owner_stats(1).accesses, 200u);
+  EXPECT_EQ(cache.owner_stats(1).misses, 200u);
+}
+
 TEST(AssocCache, ZeroWayPartitionRejected) {
   SetAssociativeCache cache(small_cache());
   EXPECT_THROW(cache.set_partition(1, 0), util::CheckFailure);
+}
+
+TEST(AssocCache, SampledGeometrySimulatesSubsetScalesCounts) {
+  AssocCacheConfig cfg;  // paper LLC: 15 MB, 20-way, 12288 sets
+  cfg.set_sample = 16;
+  SetAssociativeCache cache(cfg);
+  EXPECT_EQ(cache.sets(), 12288u);  // logical geometry unchanged
+  EXPECT_GT(cache.sampled_sets(), 0u);
+  EXPECT_LT(cache.sampled_sets(), cache.sets() / 8);  // roughly 1/16
+
+  // A touch landing in an unsampled set is a free "hit" with no bookkeeping;
+  // counts of sampled touches are scaled back up by sets/sampled_sets.
+  for (std::uint64_t i = 0; i < 200000; ++i) cache.access(i * 64, 1);
+  const AssocCacheStats stats = cache.stats();
+  EXPECT_GT(stats.accesses, 0u);
+  // Scaled accesses land near the true count (hash selection is uniform).
+  EXPECT_NEAR(static_cast<double>(stats.accesses), 200000.0, 0.25 * 200000.0);
+}
+
+TEST(AssocCache, SampledMissRatioTracksFullModel) {
+  // Same random trace through a full and a 1/16-sampled cache: miss ratios
+  // must agree within the 2% absolute budget validate_cache_model enforces.
+  for (const double ws_mb : {4.0, 12.0, 20.0}) {
+    AssocCacheConfig full_cfg;
+    AssocCacheConfig sampled_cfg;
+    sampled_cfg.set_sample = 16;
+    SetAssociativeCache full(full_cfg);
+    SetAssociativeCache sampled(sampled_cfg);
+
+    trace::RegionSpec spec;
+    spec.base = 0;
+    spec.size_bytes = static_cast<std::uint64_t>(MB(ws_mb));
+    spec.pattern = trace::Pattern::kRandomUniform;
+    spec.access_granularity = 64;
+    trace::RegionAccessSource src_a(spec, 400000, 21);
+    trace::RegionAccessSource src_b(spec, 400000, 21);
+    trace::TraceRecord rec;
+    while (src_a.next(rec)) full.access(rec.value, 1);
+    while (src_b.next(rec)) sampled.access(rec.value, 1);
+
+    const double err = std::fabs(sampled.stats().miss_ratio() -
+                                 full.stats().miss_ratio());
+    EXPECT_LE(err, 0.02) << "ws " << ws_mb << " MB";
+    // Scaled occupancy approximates the true line count.
+    const double occ_full = static_cast<double>(full.occupancy_lines(1));
+    const double occ_sampled = static_cast<double>(sampled.occupancy_lines(1));
+    EXPECT_NEAR(occ_sampled, occ_full, 0.15 * occ_full + 64.0)
+        << "ws " << ws_mb << " MB";
+  }
 }
 
 // Validation against the fluid occupancy model: a hot/cold pattern whose
