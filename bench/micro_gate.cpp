@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "runtime/gate.hpp"
+#include "util/atomic_file.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -177,25 +178,27 @@ int main(int argc, char** argv) {
   std::printf("%d-thread contended:    %.1f ns/op (%.2f Mops/s aggregate)\n",
               threads, contended_ns, contended_mops);
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out != nullptr) {
-    std::fprintf(out,
-                 "{\n"
-                 "  \"iters\": %llu,\n"
-                 "  \"threads\": %d,\n"
-                 "  \"uncontended_ns\": %.2f,\n"
-                 "  \"fast_path_ns\": %.2f,\n"
-                 "  \"try_denied_ns\": %.2f,\n"
-                 "  \"contended_ns_per_op\": %.2f,\n"
-                 "  \"contended_mops\": %.3f,\n"
-                 "  \"pre_refactor_uncontended_ns\": %.1f,\n"
-                 "  \"uncontended_vs_baseline\": %.4f\n"
-                 "}\n",
-                 static_cast<unsigned long long>(iters), threads,
-                 uncontended_ns, fast_path_ns, try_denied_ns, contended_ns,
-                 contended_mops, kPreRefactorUncontendedNs, vs_baseline);
-    std::fclose(out);
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"iters\": %llu,\n"
+                "  \"threads\": %d,\n"
+                "  \"uncontended_ns\": %.2f,\n"
+                "  \"fast_path_ns\": %.2f,\n"
+                "  \"try_denied_ns\": %.2f,\n"
+                "  \"contended_ns_per_op\": %.2f,\n"
+                "  \"contended_mops\": %.3f,\n"
+                "  \"pre_refactor_uncontended_ns\": %.1f,\n"
+                "  \"uncontended_vs_baseline\": %.4f\n"
+                "}\n",
+                static_cast<unsigned long long>(iters), threads,
+                uncontended_ns, fast_path_ns, try_denied_ns, contended_ns,
+                contended_mops, kPreRefactorUncontendedNs, vs_baseline);
+  try {
+    rda::util::write_file_atomic(out_path, json);
     std::printf("wrote %s\n", out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: %s\n", e.what());
   }
   // The refactor must not regress the hot path by more than 10%.
   return vs_baseline <= 1.10 ? 0 : 1;

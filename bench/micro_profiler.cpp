@@ -26,6 +26,7 @@
 #include "trace/generators.hpp"
 #include "trace/loop_nest.hpp"
 #include "trace/trace_io.hpp"
+#include "util/atomic_file.hpp"
 #include "util/parallel.hpp"
 #include "util/units.hpp"
 
@@ -181,33 +182,35 @@ int main(int argc, char** argv) {
   std::printf("wss exact %.2f MB vs sampled %.2f MB (rel err %.1f%%)\n",
               exact_wss_mb, sampled_wss_mb, 100.0 * wss_rel_err);
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out != nullptr) {
-    std::fprintf(out,
-                 "{\n"
-                 "  \"records\": %llu,\n"
-                 "  \"levels\": %d,\n"
-                 "  \"jobs\": %d,\n"
-                 "  \"sample_rate\": %g,\n"
-                 "  \"write_ms\": %.1f,\n"
-                 "  \"write_mrec_per_s\": %.2f,\n"
-                 "  \"serial_ms\": %.1f,\n"
-                 "  \"pipeline_ms\": %.1f,\n"
-                 "  \"pipeline_jobs1_ms\": %.1f,\n"
-                 "  \"speedup\": %.3f,\n"
-                 "  \"deterministic\": %s,\n"
-                 "  \"exact_wss_mb\": %.3f,\n"
-                 "  \"sampled_wss_mb\": %.3f,\n"
-                 "  \"wss_rel_err\": %.4f\n"
-                 "}\n",
-                 static_cast<unsigned long long>(records), levels, jobs,
-                 sample_rate, write_ms,
-                 static_cast<double>(file.record_count()) / 1e3 / write_ms,
-                 serial_ms, pipeline_ms, pipeline1_ms, speedup,
-                 deterministic ? "true" : "false", exact_wss_mb,
-                 sampled_wss_mb, wss_rel_err);
-    std::fclose(out);
+  char json[768];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"records\": %llu,\n"
+                "  \"levels\": %d,\n"
+                "  \"jobs\": %d,\n"
+                "  \"sample_rate\": %g,\n"
+                "  \"write_ms\": %.1f,\n"
+                "  \"write_mrec_per_s\": %.2f,\n"
+                "  \"serial_ms\": %.1f,\n"
+                "  \"pipeline_ms\": %.1f,\n"
+                "  \"pipeline_jobs1_ms\": %.1f,\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"deterministic\": %s,\n"
+                "  \"exact_wss_mb\": %.3f,\n"
+                "  \"sampled_wss_mb\": %.3f,\n"
+                "  \"wss_rel_err\": %.4f\n"
+                "}\n",
+                static_cast<unsigned long long>(records), levels, jobs,
+                sample_rate, write_ms,
+                static_cast<double>(file.record_count()) / 1e3 / write_ms,
+                serial_ms, pipeline_ms, pipeline1_ms, speedup,
+                deterministic ? "true" : "false", exact_wss_mb,
+                sampled_wss_mb, wss_rel_err);
+  try {
+    rda::util::write_file_atomic(out_path, json);
     std::printf("wrote %s\n", out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: %s\n", e.what());
   }
 
   std::remove(trace_path.c_str());

@@ -38,6 +38,7 @@
 #include "sim/assoc_cache.hpp"
 #include "sim/engine.hpp"
 #include "trace/generators.hpp"
+#include "util/atomic_file.hpp"
 #include "util/units.hpp"
 #include "workload/table2.hpp"
 
@@ -279,10 +280,9 @@ int main(int argc, char** argv) {
   std::printf("set sampling (K=%u):     max |miss-ratio err| %.4f\n", kSample,
               sampled_max_err);
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out != nullptr) {
-    std::fprintf(
-        out,
+  char json[1536];
+  std::snprintf(
+        json, sizeof(json),
         "{\n"
         "  \"reps\": %d,\n"
         "  \"host_cores\": %d,\n"
@@ -316,8 +316,11 @@ int main(int argc, char** argv) {
         kPreMatrixSeconds, kPreHeavySeconds / heavy.seconds,
         kPreMatrixSeconds / matrix_j1, heavy_vs_expected, churn_vs_expected,
         matrix_vs_expected);
-    std::fclose(out);
+  try {
+    rda::util::write_file_atomic(out_path, json);
     std::printf("wrote %s\n", out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: %s\n", e.what());
   }
 
   bool ok = true;

@@ -16,20 +16,22 @@ cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tier-1: admission core/gate/parity + profiler tests under ThreadSanitizer =="
+  echo "== tier-1: admission core/gate/parity + profiler + fault tests under ThreadSanitizer =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)" \
-    --target runtime_test core_test integration_test profiler_test trace_test
+    --target runtime_test core_test integration_test profiler_test trace_test \
+             fault_test
   ( cd build-tsan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ProfilePipeline|TraceArena|MatrixDeterminism' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ProfilePipeline|TraceArena|MatrixDeterminism|FaultGate|FaultScenario|Watchdog|Reclaim' \
       --output-on-failure -j "$(nproc)" )
 
-  echo "== tier-1: admission core/gate/waitlist tests under ASan+UBSan =="
+  echo "== tier-1: admission core/gate/waitlist + fault/recovery tests under ASan+UBSan =="
   cmake --preset asan
   cmake --build --preset asan -j "$(nproc)" \
-    --target runtime_test core_test integration_test
+    --target runtime_test core_test integration_test fault_test trace_test \
+             util_test
   ( cd build-asan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|Waitlist|WakeStrategy' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|Waitlist|WakeStrategy|FaultInjector|FaultScenario|FaultGate|Watchdog|Reclaim|TraceCorrupt|AtomicFile' \
       --output-on-failure -j "$(nproc)" )
 fi
 
@@ -60,5 +62,14 @@ build/bench/fig9_gflops --quick --csv --jobs "$(nproc)" > "$smoke_dir/par2.csv"
 build/bench/fig9_gflops --quick --csv --jobs 1 > "$smoke_dir/serial.csv"
 cmp "$smoke_dir/par1.csv" "$smoke_dir/par2.csv"
 cmp "$smoke_dir/par1.csv" "$smoke_dir/serial.csv"
+
+echo "== tier-1: fault-matrix smoke (ledger + determinism across --jobs) =="
+# Seeded fault grid through both substrates: exits non-zero on any invariant
+# ledger failure, and the CSV must be byte-identical regardless of fan-out.
+build/tools/fault_matrix --seed 1 --seeds 2 --jobs "$(nproc)" \
+  --out "$smoke_dir/fault_par.csv"
+build/tools/fault_matrix --seed 1 --seeds 2 --jobs 1 \
+  --out "$smoke_dir/fault_serial.csv"
+cmp "$smoke_dir/fault_par.csv" "$smoke_dir/fault_serial.csv"
 
 echo "tier-1 OK"

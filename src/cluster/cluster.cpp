@@ -32,6 +32,70 @@ ClusterScheduler::ClusterScheduler(ClusterConfig config,
   }
   node_demand_.assign(static_cast<std::size_t>(config_.nodes), 0.0);
   node_processes_.assign(static_cast<std::size_t>(config_.nodes), 0);
+  node_pending_.resize(static_cast<std::size_t>(config_.nodes));
+  node_down_.assign(static_cast<std::size_t>(config_.nodes), false);
+  route_failures_.assign(static_cast<std::size_t>(config_.nodes), 0);
+}
+
+void ClusterScheduler::trace_node(obs::EventKind kind, int node) const {
+  if (config_.trace_sink == nullptr) return;
+  obs::Event e;
+  e.time = 0.0;  // placement precedes simulated time
+  e.kind = kind;
+  e.process = static_cast<sim::ProcessId>(node);
+  e.set_label("node");
+  config_.trace_sink->record(e);
+}
+
+void ClusterScheduler::mark_up(int node) {
+  const std::size_t n = static_cast<std::size_t>(node);
+  if (!node_down_[n]) return;
+  node_down_[n] = false;
+  route_failures_[n] = 0;
+  trace_node(obs::EventKind::kNodeUp, node);
+}
+
+void ClusterScheduler::mark_down(int node) {
+  const std::size_t idx = static_cast<std::size_t>(node);
+  if (node_down_[idx]) return;
+  node_down_[idx] = true;
+  trace_node(obs::EventKind::kNodeDown, node);
+  // Drain the node's pending submissions and re-route them to healthy
+  // nodes (placement is deferred to run(), so nothing has materialized yet).
+  std::vector<Submission> drained = std::move(node_pending_[idx]);
+  node_pending_[idx].clear();
+  node_demand_[idx] = 0.0;
+  node_processes_[idx] -= static_cast<int>(drained.size());
+  for (Submission& s : drained) {
+    int target = pick_node(s.demand);
+    if (target < 0) {
+      // Every node is down: resurrect the least-failed one rather than
+      // dropping work on the floor.
+      int best = 0;
+      for (int n = 1; n < config_.nodes; ++n) {
+        if (route_failures_[n] < route_failures_[best]) best = n;
+      }
+      mark_up(best);
+      target = best;
+    }
+    const std::size_t t = static_cast<std::size_t>(target);
+    node_demand_[t] += s.demand;
+    ++node_processes_[t];
+    ++reroutes_;
+    node_pending_[t].push_back(std::move(s));
+  }
+}
+
+void ClusterScheduler::probe_recoveries() {
+  for (int n = 0; n < config_.nodes; ++n) {
+    if (!node_down_[static_cast<std::size_t>(n)]) continue;
+    const fault::FaultSpec* fired = config_.fault_injector->consult(
+        fault::Hook::kNodeRoute, sim::kInvalidThread, n);
+    if (fired != nullptr &&
+        fired->kind == fault::FaultKind::kNodeRecover) {
+      mark_up(n);
+    }
+  }
 }
 
 double ClusterScheduler::process_demand_estimate(
@@ -51,18 +115,29 @@ double ClusterScheduler::process_demand_estimate(
 }
 
 int ClusterScheduler::pick_node(double demand) const {
-  switch (policy_) {
-    case PlacementPolicy::kRoundRobin:
-      return next_round_robin_;
-    case PlacementPolicy::kLeastDeclaredLoad: {
-      int best = 0;
-      for (int n = 1; n < config_.nodes; ++n) {
-        if (node_demand_[n] < node_demand_[best]) best = n;
-      }
-      return best;
+  const auto up = [&](int n) { return !node_down_[static_cast<std::size_t>(n)]; };
+  // Least-loaded healthy node: shared fallback of two policies.
+  const auto least_loaded = [&]() {
+    int best = -1;
+    for (int n = 0; n < config_.nodes; ++n) {
+      if (!up(n)) continue;
+      if (best < 0 || node_demand_[n] < node_demand_[best]) best = n;
     }
+    return best;
+  };
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin: {
+      for (int step = 0; step < config_.nodes; ++step) {
+        const int n = (next_round_robin_ + step) % config_.nodes;
+        if (up(n)) return n;
+      }
+      return -1;
+    }
+    case PlacementPolicy::kLeastDeclaredLoad:
+      return least_loaded();
     case PlacementPolicy::kFirstFitCapacity: {
       for (int n = 0; n < config_.nodes; ++n) {
+        if (!up(n)) continue;
         // The capacity the node's own admission core decides against — the
         // same number its predicate will enforce at runtime. Gateless nodes
         // fall back to the raw machine LLC size.
@@ -73,15 +148,11 @@ int ClusterScheduler::pick_node(double demand) const {
                 : static_cast<double>(config_.node.machine.llc_bytes);
         if (node_demand_[n] + demand <= capacity) return n;
       }
-      // Nothing fits: fall back to the least-loaded node.
-      int best = 0;
-      for (int n = 1; n < config_.nodes; ++n) {
-        if (node_demand_[n] < node_demand_[best]) best = n;
-      }
-      return best;
+      // Nothing fits: fall back to the least-loaded healthy node.
+      return least_loaded();
     }
   }
-  return 0;
+  return -1;
 }
 
 const core::AdmissionCore* ClusterScheduler::node_core(int node) const {
@@ -95,15 +166,43 @@ int ClusterScheduler::add_process(
   RDA_CHECK_MSG(!ran_, "cannot add processes after run()");
   RDA_CHECK(!thread_programs.empty());
   const double demand = process_demand_estimate(thread_programs);
-  const int node = pick_node(demand);
-  next_round_robin_ = (next_round_robin_ + 1) % config_.nodes;
 
-  sim::Engine& engine = *engines_[node];
-  const sim::ProcessId pid = engine.create_process();
-  if (task_pool && gates_[node]) gates_[node]->mark_pool(pid);
-  for (sim::PhaseProgram& program : thread_programs) {
-    engine.add_thread(pid, std::move(program));
+  int node = -1;
+  // Bounded retry: each failed attempt either consumes an armed fault or
+  // marks a node down, so the loop terminates long before the bound.
+  const int max_attempts = 1 + 8 * config_.nodes;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (config_.fault_injector != nullptr) probe_recoveries();
+    node = pick_node(demand);
+    if (node < 0) {
+      // Every node down: rejoin the least-failed one — submission must
+      // never wedge on an all-down fleet.
+      int best = 0;
+      for (int n = 1; n < config_.nodes; ++n) {
+        if (route_failures_[n] < route_failures_[best]) best = n;
+      }
+      mark_up(best);
+      node = best;
+    }
+    if (config_.fault_injector == nullptr) break;
+    const fault::FaultSpec* fired = config_.fault_injector->consult(
+        fault::Hook::kNodeRoute, sim::kInvalidThread, node);
+    if (fired == nullptr || fired->kind != fault::FaultKind::kNodeFail) break;
+    ++total_route_failures_;
+    const std::size_t idx = static_cast<std::size_t>(node);
+    if (++route_failures_[idx] >= config_.node_fail_threshold) {
+      mark_down(node);
+    }
+    node = -1;  // bounce: retry placement
   }
+  RDA_CHECK_MSG(node >= 0, "cluster routing retries exhausted");
+  next_round_robin_ = (node + 1) % config_.nodes;
+
+  Submission s;
+  s.programs = std::move(thread_programs);
+  s.task_pool = task_pool;
+  s.demand = demand;
+  node_pending_[static_cast<std::size_t>(node)].push_back(std::move(s));
   node_demand_[node] += demand;
   ++node_processes_[node];
   return node;
@@ -112,8 +211,23 @@ int ClusterScheduler::add_process(
 ClusterResult ClusterScheduler::run() {
   RDA_CHECK_MSG(!ran_, "ClusterScheduler::run is single-shot");
   ran_ = true;
+  // Materialize the surviving placement: threads enter the engines only now,
+  // so a node failure during submission re-routed whole processes cleanly.
+  for (int n = 0; n < config_.nodes; ++n) {
+    sim::Engine& engine = *engines_[n];
+    for (Submission& s : node_pending_[static_cast<std::size_t>(n)]) {
+      const sim::ProcessId pid = engine.create_process();
+      if (s.task_pool && gates_[n]) gates_[n]->mark_pool(pid);
+      for (sim::PhaseProgram& program : s.programs) {
+        engine.add_thread(pid, std::move(program));
+      }
+    }
+    node_pending_[static_cast<std::size_t>(n)].clear();
+  }
   ClusterResult result;
   result.processes_per_node = node_processes_;
+  result.node_failures = total_route_failures_;
+  result.reroutes = reroutes_;
   for (int n = 0; n < config_.nodes; ++n) {
     if (engines_[n]->thread_count() == 0) {
       // Idle node: contributes only static power for the cluster makespan;

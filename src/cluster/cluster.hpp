@@ -15,10 +15,12 @@
 //                              spilling (bin-packing by declared demand).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/rda_scheduler.hpp"
+#include "fault/fault.hpp"
 #include "sim/engine.hpp"
 
 namespace rda::cluster {
@@ -38,6 +40,16 @@ struct ClusterConfig {
   /// Per-node RDA gate options; `use_gate` false = Linux default everywhere.
   bool use_gate = true;
   core::RdaOptions gate{};
+  /// Fault injection for the routing layer (non-owning; nullptr = off):
+  /// kNodeRoute consults fire kNodeFail (a placement attempt bounces) and
+  /// kNodeRecover (a down node rejoins). Node gates take their own injector
+  /// through `gate.fault_injector`.
+  fault::FaultInjector* fault_injector = nullptr;
+  /// Routing failures before a node is marked down and its pending
+  /// submissions are drained and re-routed to healthy nodes.
+  int node_fail_threshold = 3;
+  /// Node-health event sink (kNodeDown / kNodeUp; non-owning, nullptr off).
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 struct ClusterResult {
@@ -46,6 +58,9 @@ struct ClusterResult {
   /// Fleet-wide admission totals: the per-node AdmissionCore stats summed
   /// (all zero when the cluster runs without gates).
   core::MonitorStats admission;
+  // Node-health bookkeeping (all zero without a routing fault injector).
+  std::uint64_t node_failures = 0;  ///< routing attempts that bounced
+  std::uint64_t reroutes = 0;       ///< submissions drained off a down node
 
   /// Cluster makespan = slowest node (all nodes start together).
   double makespan() const;
@@ -77,13 +92,31 @@ class ClusterScheduler {
   ClusterResult run();
 
   const std::vector<double>& placed_demand() const { return node_demand_; }
+  bool node_down(int node) const {
+    return node_down_[static_cast<std::size_t>(node)];
+  }
 
   /// The admission engine of one node's gate (nullptr when `use_gate` is
   /// off). Placement and fleet-wide stats route through these cores.
   const core::AdmissionCore* node_core(int node) const;
 
  private:
+  /// One placed process, held until run() so a node failure can still
+  /// re-route it (threads are materialized into engines only at run time).
+  struct Submission {
+    std::vector<sim::PhaseProgram> programs;
+    bool task_pool = false;
+    double demand = 0.0;
+  };
+
+  /// Healthy-node placement under the active policy; -1 when none is up.
   int pick_node(double demand) const;
+  /// Gives each down node a deterministic consult so a targeted
+  /// kNodeRecover spec can fire; recovered nodes rejoin the placement set.
+  void probe_recoveries();
+  void mark_down(int node);
+  void mark_up(int node);
+  void trace_node(obs::EventKind kind, int node) const;
 
   ClusterConfig config_;
   PlacementPolicy policy_;
@@ -91,6 +124,11 @@ class ClusterScheduler {
   std::vector<std::unique_ptr<core::RdaScheduler>> gates_;
   std::vector<double> node_demand_;  ///< placed declared demand per node
   std::vector<int> node_processes_;
+  std::vector<std::vector<Submission>> node_pending_;
+  std::vector<bool> node_down_;
+  std::vector<int> route_failures_;
+  std::uint64_t total_route_failures_ = 0;
+  std::uint64_t reroutes_ = 0;
   int next_round_robin_ = 0;
   bool ran_ = false;
 };

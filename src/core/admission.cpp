@@ -114,9 +114,21 @@ bool AdmissionCore::withdraw(PeriodId id, double now) {
 }
 
 ReleaseTicket AdmissionCore::release(PeriodId id,
-                                     const ReleaseObservation& observed,
+                                     const ReleaseObservation& observed_in,
                                      double now) {
   ReleaseTicket ticket;
+  ReleaseObservation observed = observed_in;
+  if (config_.fault_injector != nullptr && observed.has_counters) {
+    const PeriodRecord* active = monitor_.registry().find(id);
+    RDA_CHECK_MSG(active != nullptr, "pp_end with unknown period id " << id);
+    const fault::FaultSpec* fired = config_.fault_injector->consult(
+        fault::Hook::kRelease, active->thread);
+    if (fired != nullptr && fired->kind == fault::FaultKind::kCorruptCounter) {
+      // A garbage counter read: the corrector must stay within its clamp
+      // bounds instead of poisoning future demands.
+      observed.peak_occupancy *= fired->factor;
+    }
+  }
   if (observed.has_counters && config_.feedback.enable) {
     const PeriodRecord* active = monitor_.registry().find(id);
     RDA_CHECK_MSG(active != nullptr, "pp_end with unknown period id " << id);

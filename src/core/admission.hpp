@@ -30,6 +30,7 @@
 #include "core/predicate.hpp"
 #include "core/progress_monitor.hpp"
 #include "core/resource_monitor.hpp"
+#include "fault/fault.hpp"
 #include "obs/sink.hpp"
 
 namespace rda::core {
@@ -65,6 +66,10 @@ struct AdmissionConfig {
   MonitorOptions monitor{};
   /// Admission-lifecycle event sink (non-owning; nullptr = tracing off).
   obs::TraceSink* trace_sink = nullptr;
+  /// Fault injection (non-owning; nullptr = off). The core itself consults
+  /// only the kRelease hook (corrupted counter observations); the substrates
+  /// consult the lifecycle hooks around their own admit/block/wake sites.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 /// One pp_begin, substrate-neutral. The first demand is the primary one;
@@ -148,6 +153,53 @@ class AdmissionCore {
   std::optional<PeriodId> active_for_thread(sim::ThreadId thread) const {
     return monitor_.registry().active_for_thread(thread);
   }
+
+  /// --- Self-healing lifecycle ---------------------------------------------
+
+  /// Reaps whatever period `thread` left behind (thread-exit detection /
+  /// task teardown): an admitted orphan's load is returned and waiters are
+  /// rescanned; a waitlisted orphan is evicted. See ProgressMonitor.
+  ProgressMonitor::ReapOutcome reap(sim::ThreadId thread, double now,
+                                    bool remember_waiter = false) {
+    cache_.erase(thread);
+    return monitor_.reap_thread(thread, now, remember_waiter);
+  }
+
+  /// Lease-based reclamation: reaps every period whose lease is more than
+  /// `max_epoch_age` advance_epoch() calls stale. heartbeat() refreshes a
+  /// live thread's lease.
+  std::size_t sweep(std::uint64_t max_epoch_age, double now,
+                    bool remember_waiters = false) {
+    const std::size_t reaped =
+        monitor_.sweep(max_epoch_age, now, remember_waiters);
+    if (reaped > 0) cache_.clear();
+    return reaped;
+  }
+  void heartbeat(sim::ThreadId thread) { monitor_.heartbeat(thread); }
+  void advance_epoch() { monitor_.advance_epoch(); }
+
+  /// Time-triggered starvation-watchdog pass (the round trigger runs inside
+  /// every rescan). Returns true when a waiter moved a degradation rung.
+  bool watchdog_tick(double now) { return monitor_.watchdog_tick(now); }
+
+  /// Stall-triggered escalation: the substrate proved nothing can progress,
+  /// so the head-most unexhausted waiter moves a rung immediately.
+  bool watchdog_stalled(double now) { return monitor_.watchdog_stalled(now); }
+
+  /// Post-wait state probes for the substrates: a granted period shows as
+  /// admitted; a watchdog-rejected or reaped-while-waiting one never gets a
+  /// Waker grant and must be discovered (and consumed) through these.
+  bool is_admitted(PeriodId id) const { return monitor_.is_admitted(id); }
+  bool is_rejected(PeriodId id) const { return monitor_.is_rejected(id); }
+  bool take_rejection(PeriodId id) { return monitor_.take_rejection(id); }
+  std::optional<PeriodId> take_rejection_for_thread(sim::ThreadId thread) {
+    return monitor_.take_rejection_for_thread(thread);
+  }
+  std::vector<sim::ThreadId> rejected_threads() const {
+    return monitor_.rejected_threads();
+  }
+  bool is_reclaimed(PeriodId id) const { return monitor_.is_reclaimed(id); }
+  bool take_reclaimed(PeriodId id) { return monitor_.take_reclaimed(id); }
 
   const AdmissionConfig& config() const { return config_; }
   const MonitorStats& stats() const { return monitor_.stats(); }

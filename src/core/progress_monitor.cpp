@@ -97,6 +97,7 @@ bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force,
 ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
     PeriodRecord record, double now) {
   record.begin_time = now;
+  record.lease_epoch = epoch_;
   const sim::ThreadId thread = record.thread;
   const sim::ProcessId process = record.process;
   // insert rejects a nested begin (periods do not nest, §2.3) before any
@@ -154,6 +155,7 @@ ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
   entry.process = process;
   entry.enqueue_time = now;
   entry.demand = stored->primary_demand();
+  entry.last_escalation_time = now;
   waitlist_.push(entry);
   ++stats_.blocks;
   trace(obs::EventKind::kBlock, now, *stored);
@@ -221,6 +223,229 @@ void ProgressMonitor::rescan(double now) {
       }
     }
   }
+
+  // 4. Starvation watchdog, round trigger: everything still parked after
+  //    the offers above survived one more fruitless wake round.
+  if (options_.watchdog.enable) watchdog_rounds(now);
+}
+
+void ProgressMonitor::watchdog_rounds(double now) {
+  const WatchdogOptions& wd = options_.watchdog;
+  if (wd.max_wake_rounds == 0 || waitlist_.empty()) return;
+  for (std::size_t i = 0; i < waitlist_.size(); ++i) {
+    ++waitlist_.entry_at(i).rounds;
+  }
+  // One escalation may remove an entry (shifting indices) — restart the
+  // scan after each. Terminates: escalate() always resets rounds and either
+  // removes the entry or advances/saturates its rung.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < waitlist_.size(); ++i) {
+      const Waitlist::Entry& e = waitlist_.entry_at(i);
+      if (e.rung >= 3 || e.rounds < wd.max_wake_rounds) continue;
+      escalate(i, now);
+      progressed = true;
+      break;
+    }
+  }
+}
+
+bool ProgressMonitor::watchdog_tick(double now) {
+  const WatchdogOptions& wd = options_.watchdog;
+  if (!wd.enable || wd.max_wait_seconds <= 0.0 || waitlist_.empty()) {
+    return false;
+  }
+  bool any = false;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < waitlist_.size(); ++i) {
+      const Waitlist::Entry& e = waitlist_.entry_at(i);
+      if (e.rung >= 3) continue;
+      if (now - e.last_escalation_time < wd.max_wait_seconds) continue;
+      escalate(i, now);
+      any = true;
+      progressed = true;
+      break;
+    }
+  }
+  return any;
+}
+
+bool ProgressMonitor::watchdog_stalled(double now) {
+  if (!options_.watchdog.enable || waitlist_.empty()) return false;
+  for (std::size_t i = 0; i < waitlist_.size(); ++i) {
+    if (waitlist_.entry_at(i).rung >= 3) continue;
+    escalate(i, now);
+    return true;
+  }
+  return false;  // every waiter has exhausted the ladder
+}
+
+bool ProgressMonitor::escalate(std::size_t index, double now) {
+  const WatchdogOptions& wd = options_.watchdog;
+  Waitlist::Entry& e = waitlist_.entry_at(index);
+  e.rounds = 0;
+  e.last_escalation_time = now;
+  PeriodRecord* record = registry_.find_mutable(e.period);
+  RDA_CHECK(record != nullptr);
+
+  // Rung 1: clamp oversized demands to a feasible charge. Applies only when
+  // something actually exceeds the bound — a feasible-but-starved waiter
+  // (leaked capacity, lost wake) skips straight to the next rung.
+  if (e.rung < 1) {
+    e.rung = 1;
+    if (wd.clamp) {
+      bool clamped = false;
+      for (ResourceDemand& d : record->demands) {
+        const double bound =
+            wd.clamp_fraction * resources_->capacity(d.resource);
+        if (d.amount > bound) {
+          d.amount = bound;
+          clamped = true;
+        }
+      }
+      if (clamped) {
+        e.demand = record->primary_demand();
+        ++stats_.demand_clamps;
+        trace(obs::EventKind::kDemandClamp, now, *record);
+        if (!(options_.pool_guard && pool_disabled(e.process)) &&
+            predicate_->try_schedule(*record)) {
+          const Waitlist::Entry woken = waitlist_.remove_at(index);
+          admit(woken.period);
+          wake_entry(woken, now);
+          return true;
+        }
+        // Feasible now; competes normally from here on.
+        return false;
+      }
+    }
+  }
+
+  // Rung 2: forced admission, with the charge mirrored into the separate
+  // oversubscription tally so the conservation ledger can audit it.
+  if (e.rung < 2) {
+    e.rung = 2;
+    if (wd.force_admit) {
+      for (const ResourceDemand& d : record->demands) {
+        resources_->increment_load(d.resource, d.amount);
+        resources_->add_oversubscribed(d.resource, d.amount);
+      }
+      record->oversub = true;
+      admit(e.period);
+      ++stats_.forced_admissions;
+      ++stats_.watchdog_force_admissions;
+      trace(obs::EventKind::kForceAdmit, now, *record);
+      const Waitlist::Entry woken = waitlist_.remove_at(index);
+      wake_entry(woken, now);
+      return true;
+    }
+  }
+
+  // Rung 3: evict with an error. No Waker grant — the substrate surfaces
+  // the rejection to the sleeping owner via take_rejection*.
+  e.rung = 3;
+  if (wd.reject) {
+    const Waitlist::Entry evicted = waitlist_.remove_at(index);
+    const PeriodRecord closed = registry_.remove(evicted.period);
+    ++stats_.rejections;
+    trace(obs::EventKind::kReject, now, closed);
+    rejected_.emplace(closed.id, closed.thread);
+    rejected_by_thread_.emplace(closed.thread, closed.id);
+    return true;
+  }
+  return false;  // ladder fully disabled for this entry; never re-checked
+}
+
+ProgressMonitor::ReapOutcome ProgressMonitor::reap_period(
+    PeriodId id, double now, bool remember_waiter) {
+  ReapOutcome outcome;
+  if (registry_.find(id) == nullptr) return outcome;
+  outcome.reaped = true;
+  outcome.period = id;
+  outcome.was_admitted = admitted_.erase(id) != 0;
+  if (!outcome.was_admitted) {
+    waitlist_.drain_admissible(
+        [&](const Waitlist::Entry& e) { return e.period == id; },
+        /*head_only=*/false);
+    if (remember_waiter) reclaimed_.insert(id);
+  }
+  const PeriodRecord record = registry_.remove(id);
+  ++stats_.reclaims;
+  trace(obs::EventKind::kReclaim, now, record);
+  if (outcome.was_admitted) {
+    for (const ResourceDemand& d : record.demands) {
+      resources_->decrement_load(d.resource, d.amount);
+      if (record.oversub) {
+        resources_->remove_oversubscribed(d.resource, d.amount);
+      }
+    }
+  }
+  // Either load was returned or a (possibly pool-disabling) waiter left —
+  // both can unblock someone.
+  rescan(now);
+  return outcome;
+}
+
+ProgressMonitor::ReapOutcome ProgressMonitor::reap_thread(
+    sim::ThreadId thread, double now, bool remember_waiter) {
+  const std::optional<PeriodId> id = registry_.active_for_thread(thread);
+  if (!id.has_value()) return {};
+  return reap_period(*id, now, remember_waiter);
+}
+
+std::size_t ProgressMonitor::sweep(std::uint64_t max_epoch_age, double now,
+                                   bool remember_waiters) {
+  std::vector<PeriodId> stale;
+  for (const PeriodRecord& r : registry_.snapshot()) {
+    if (epoch_ - r.lease_epoch > max_epoch_age) stale.push_back(r.id);
+  }
+  std::sort(stale.begin(), stale.end());  // deterministic reap order
+  std::size_t reaped = 0;
+  for (PeriodId id : stale) {
+    if (reap_period(id, now, remember_waiters).reaped) ++reaped;
+  }
+  return reaped;
+}
+
+void ProgressMonitor::heartbeat(sim::ThreadId thread) {
+  const std::optional<PeriodId> id = registry_.active_for_thread(thread);
+  if (!id.has_value()) return;
+  PeriodRecord* record = registry_.find_mutable(*id);
+  RDA_CHECK(record != nullptr);
+  record->lease_epoch = epoch_;
+}
+
+bool ProgressMonitor::take_rejection(PeriodId id) {
+  const auto it = rejected_.find(id);
+  if (it == rejected_.end()) return false;
+  rejected_by_thread_.erase(it->second);
+  rejected_.erase(it);
+  return true;
+}
+
+std::optional<PeriodId> ProgressMonitor::take_rejection_for_thread(
+    sim::ThreadId thread) {
+  const auto it = rejected_by_thread_.find(thread);
+  if (it == rejected_by_thread_.end()) return std::nullopt;
+  const PeriodId id = it->second;
+  rejected_.erase(id);
+  rejected_by_thread_.erase(it);
+  return id;
+}
+
+std::vector<sim::ThreadId> ProgressMonitor::rejected_threads() const {
+  std::vector<std::pair<PeriodId, sim::ThreadId>> pairs(rejected_.begin(),
+                                                        rejected_.end());
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<sim::ThreadId> out;
+  out.reserve(pairs.size());
+  for (const auto& [id, thread] : pairs) {
+    (void)id;
+    out.push_back(thread);
+  }
+  return out;
 }
 
 PeriodRecord ProgressMonitor::end_period(PeriodId id, double now) {
@@ -234,6 +459,9 @@ PeriodRecord ProgressMonitor::end_period(PeriodId id, double now) {
   trace(obs::EventKind::kEnd, now, record);
   for (const ResourceDemand& d : record.demands) {
     resources_->decrement_load(d.resource, d.amount);
+    if (record.oversub) {
+      resources_->remove_oversubscribed(d.resource, d.amount);
+    }
   }
   rescan(now);
   return record;

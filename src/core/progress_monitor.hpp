@@ -21,8 +21,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "core/predicate.hpp"
 #include "core/registry.hpp"
@@ -30,6 +33,33 @@
 #include "obs/sink.hpp"
 
 namespace rda::core {
+
+/// Starvation watchdog: detects waiters that make no progress (infeasible
+/// demand, lost wake, leaked capacity) and escalates them through a
+/// degradation ladder instead of letting them wait forever. Disabled by
+/// default — the paper's cooperative model needs none of it, and the default
+/// hot path must stay branch-free.
+struct WatchdogOptions {
+  bool enable = false;
+  /// Escalate a waiter one rung after this many rescans that left it parked
+  /// (a "wake round" = one release/cancel-driven waitlist re-evaluation).
+  /// 0 disables the round trigger.
+  std::uint32_t max_wake_rounds = 0;
+  /// Escalate a waiter one rung after this much time (sim seconds on the
+  /// sim substrate, wall-clock seconds on the native gate) without progress,
+  /// measured from enqueue or the previous escalation. Checked only from
+  /// watchdog_tick(). 0 disables the time trigger.
+  double max_wait_seconds = 0.0;
+  /// Ladder rung 1: clamp each declared demand to clamp_fraction × capacity,
+  /// making an infeasible request feasible (it then competes normally).
+  bool clamp = true;
+  double clamp_fraction = 1.0;
+  /// Ladder rung 2: force-admit with the excess booked in the resource
+  /// monitor's separate oversubscription tally.
+  bool force_admit = true;
+  /// Ladder rung 3: evict the waiter with an error the caller observes.
+  bool reject = true;
+};
 
 struct MonitorOptions {
   /// Waitlist scan mode on release: admit every fitting entry (true) or stop
@@ -40,6 +70,7 @@ struct MonitorOptions {
   bool pool_guard = true;
   /// Order in which freed capacity is re-offered to parked periods.
   WakeOrder wake_order = WakeOrder::kFifo;
+  WatchdogOptions watchdog{};
 };
 
 struct MonitorStats {
@@ -51,7 +82,13 @@ struct MonitorStats {
   std::uint64_t forced_admissions = 0;  ///< liveness overrides
   std::uint64_t pool_disables = 0;
   std::uint64_t pool_group_admissions = 0;
-  std::uint64_t cancels = 0;  ///< waitlisted requests withdrawn
+  std::uint64_t cancels = 0;       ///< waitlisted requests withdrawn
+  std::uint64_t reclaims = 0;      ///< orphaned periods reaped
+  std::uint64_t demand_clamps = 0; ///< watchdog rung 1 applications
+  std::uint64_t rejections = 0;    ///< watchdog rung 3 evictions
+  /// Watchdog rung-2 admits; a subset of forced_admissions (each also emits
+  /// kForceAdmit so the event/stat reconciliation stays one-to-one).
+  std::uint64_t watchdog_force_admissions = 0;
 
   /// Field-wise accumulation (cluster layer: fleet-wide admission totals).
   MonitorStats& operator+=(const MonitorStats& o) {
@@ -64,6 +101,10 @@ struct MonitorStats {
     pool_disables += o.pool_disables;
     pool_group_admissions += o.pool_group_admissions;
     cancels += o.cancels;
+    reclaims += o.reclaims;
+    demand_clamps += o.demand_clamps;
+    rejections += o.rejections;
+    watchdog_force_admissions += o.watchdog_force_admissions;
     return *this;
   }
 };
@@ -114,6 +155,57 @@ class ProgressMonitor {
   /// it had disabled (and thereby admit the remaining members).
   bool cancel_waiting(PeriodId id, double now);
 
+  /// --- Orphan reclamation (lease/heartbeat) -------------------------------
+
+  struct ReapOutcome {
+    bool reaped = false;
+    bool was_admitted = false;  ///< held load (vs parked on the waitlist)
+    PeriodId period = kInvalidPeriod;
+  };
+
+  /// Reaps whatever period `thread` still holds (admitted: load returned,
+  /// waiters rescanned; waitlisted: entry evicted). Driven by the native
+  /// gate's thread-exit detection and the sim's task teardown. When
+  /// `remember_waiter` is set, a reaped WAITLISTED period is remembered so a
+  /// live waiter polling on it can observe the eviction (take_reclaimed).
+  ReapOutcome reap_thread(sim::ThreadId thread, double now,
+                          bool remember_waiter = false);
+
+  /// Reaps every period whose lease is more than `max_epoch_age` epochs
+  /// stale. Returns the number of periods reaped.
+  std::size_t sweep(std::uint64_t max_epoch_age, double now,
+                    bool remember_waiters = false);
+
+  /// Refreshes the lease of the thread's active period (no-op when none).
+  void heartbeat(sim::ThreadId thread);
+  void advance_epoch() { ++epoch_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// --- Starvation watchdog -------------------------------------------------
+
+  /// Time-triggered escalation pass (the round-triggered pass runs inside
+  /// every rescan). Returns true when any waiter moved a ladder rung.
+  bool watchdog_tick(double now);
+
+  /// Stall-triggered escalation: the substrate proved nothing else can make
+  /// progress (all threads blocked), so waiting is futile regardless of the
+  /// round/time triggers — escalate the head-most unexhausted waiter one
+  /// rung immediately. Returns true when a waiter moved.
+  bool watchdog_stalled(double now);
+
+  /// Rejection / reclaim bookkeeping the substrates poll to surface errors:
+  /// a rejected or reclaimed-while-waiting period never gets a Waker grant,
+  /// so its (possibly still sleeping) owner must be able to learn its fate.
+  bool is_rejected(PeriodId id) const { return rejected_.count(id) != 0; }
+  bool take_rejection(PeriodId id);
+  std::optional<PeriodId> take_rejection_for_thread(sim::ThreadId thread);
+  /// Threads with an unconsumed rejection, in period-id order.
+  std::vector<sim::ThreadId> rejected_threads() const;
+  bool is_reclaimed(PeriodId id) const { return reclaimed_.count(id) != 0; }
+  bool take_reclaimed(PeriodId id) { return reclaimed_.erase(id) != 0; }
+
+  bool is_admitted(PeriodId id) const { return admitted_.count(id) != 0; }
+
   const MonitorStats& stats() const { return stats_; }
   const Waitlist& waitlist() const { return waitlist_; }
   const PeriodRegistry& registry() const { return registry_; }
@@ -124,6 +216,13 @@ class ProgressMonitor {
   void wake_entry(const Waitlist::Entry& entry, double now);
   /// Re-evaluates the waitlist after load decreased.
   void rescan(double now);
+  /// Reap implementation shared by reap_thread and sweep.
+  ReapOutcome reap_period(PeriodId id, double now, bool remember_waiter);
+  /// Round-triggered watchdog pass over the entries a rescan left parked.
+  void watchdog_rounds(double now);
+  /// Applies the next enabled ladder rung to the entry at `index`. Returns
+  /// true when the entry left the waitlist (admitted or rejected).
+  bool escalate(std::size_t index, double now);
   /// Group admission check for one disabled pool; admits and wakes the whole
   /// group when it fits. Returns true if the pool was re-enabled.
   bool try_admit_pool(sim::ProcessId process, bool force, double now);
@@ -143,6 +242,13 @@ class ProgressMonitor {
   std::set<sim::ProcessId> pools_;
   std::set<sim::ProcessId> disabled_pools_;
   MonitorStats stats_;
+
+  std::uint64_t epoch_ = 0;  ///< lease clock (advance_epoch)
+  /// Unconsumed watchdog rejections, both directions (period↔thread).
+  std::unordered_map<PeriodId, sim::ThreadId> rejected_;
+  std::unordered_map<sim::ThreadId, PeriodId> rejected_by_thread_;
+  /// Waitlisted periods reaped out from under a live waiter.
+  std::unordered_set<PeriodId> reclaimed_;
 };
 
 }  // namespace rda::core

@@ -18,6 +18,7 @@ AdmissionConfig to_core_config(double llc_capacity_bytes,
   config.feedback = options.feedback;
   config.monitor = options.monitor;
   config.trace_sink = options.trace_sink;
+  config.fault_injector = options.fault_injector;
   return config;
 }
 
@@ -28,7 +29,37 @@ RdaScheduler::RdaScheduler(double llc_capacity_bytes,
     : calib_(calib), core_(to_core_config(llc_capacity_bytes, options)) {}
 
 void RdaScheduler::attach(sim::ThreadWaker& waker) {
+  waker_ = &waker;
   core_.set_waker([&waker](sim::ThreadId tid) { waker.wake(tid); });
+}
+
+void RdaScheduler::on_thread_exit(sim::ThreadId thread, double now) {
+  // The dead thread can never consume a reclaimed/rejected notice, so the
+  // reap leaves no bookkeeping behind (remember_waiter = false).
+  core_.reap(thread, now, /*remember_waiter=*/false);
+  rejected_running_.erase(thread);
+}
+
+bool RdaScheduler::pending_admitted(sim::ThreadId thread) const {
+  const std::optional<PeriodId> id = core_.active_for_thread(thread);
+  return id.has_value() && core_.is_admitted(*id);
+}
+
+bool RdaScheduler::on_stall(double now) {
+  bool changed = core_.watchdog_tick(now);
+  // Sim time cannot advance while everything is blocked, so the wall-clock
+  // trigger alone can never fire here — a stall itself is the proof of
+  // starvation.
+  if (!changed) changed = core_.watchdog_stalled(now);
+  // Watchdog rejections never get a Waker grant; resume their owners here
+  // so they run the phase ungated instead of wedging the simulation.
+  for (sim::ThreadId thread : core_.rejected_threads()) {
+    core_.take_rejection_for_thread(thread);
+    rejected_running_.insert(thread);
+    if (waker_ != nullptr) waker_->wake(thread);
+    changed = true;
+  }
+  return changed;
 }
 
 sim::BeginResult RdaScheduler::on_phase_begin(sim::ThreadId thread,
@@ -65,6 +96,13 @@ sim::EndResult RdaScheduler::on_phase_end(sim::ThreadId thread,
                                           double now) {
   (void)process;
   (void)phase;
+  if (rejected_running_.erase(thread) != 0) {
+    // The period was watchdog-rejected before it ran; there is nothing to
+    // release — the phase executed ungated.
+    sim::EndResult result;
+    result.call_cost = calib_.api_call_cost;
+    return result;
+  }
   const std::optional<PeriodId> id = core_.active_for_thread(thread);
   RDA_CHECK_MSG(id.has_value(), "phase end from thread "
                                     << thread << " with no active period");

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 
 #include "core/admission.hpp"
 #include "obs/sink.hpp"
@@ -35,6 +36,9 @@ struct RdaOptions {
   MonitorOptions monitor{};
   /// Admission-lifecycle event sink (non-owning; nullptr = tracing off).
   obs::TraceSink* trace_sink = nullptr;
+  /// Fault injection (non-owning; nullptr = off). Forwarded to the core,
+  /// which consults the counter-corruption hook on release.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 class RdaScheduler final : public sim::PhaseGate {
@@ -60,6 +64,9 @@ class RdaScheduler final : public sim::PhaseGate {
                               const sim::PhaseObservation& observed,
                               double now) override;
   void attach(sim::ThreadWaker& waker) override;
+  void on_thread_exit(sim::ThreadId thread, double now) override;
+  bool pending_admitted(sim::ThreadId thread) const override;
+  bool on_stall(double now) override;
 
   /// The shared engine (e.g. to swap the wake strategy for ablations).
   AdmissionCore& core() { return core_; }
@@ -78,6 +85,10 @@ class RdaScheduler final : public sim::PhaseGate {
  private:
   sim::Calibration calib_;
   AdmissionCore core_;
+  sim::ThreadWaker* waker_ = nullptr;
+  /// Threads running ungated after a watchdog rejection: their next phase
+  /// end has no core period to release.
+  std::unordered_set<sim::ThreadId> rejected_running_;
 };
 
 }  // namespace rda::core

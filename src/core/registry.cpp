@@ -25,6 +25,11 @@ const PeriodRecord* PeriodRegistry::find(PeriodId id) const {
   return it == records_.end() ? nullptr : &it->second;
 }
 
+PeriodRecord* PeriodRegistry::find_mutable(PeriodId id) {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
 PeriodRecord PeriodRegistry::remove(PeriodId id) {
   const auto it = records_.find(id);
   RDA_CHECK_MSG(it != records_.end(),

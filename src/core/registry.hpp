@@ -44,6 +44,13 @@ struct PeriodRecord {
   /// amount; what observed hardware counters are compared against at
   /// release. 0 only for records built outside AdmissionCore.
   double declared_demand = 0.0;
+  /// Lease epoch at begin (refreshed by heartbeat); sweep() reaps periods
+  /// whose lease is older than the configured age.
+  std::uint64_t lease_epoch = 0;
+  /// Admitted by the watchdog's forced-oversubscription rung: its load is
+  /// mirrored in the resource monitor's oversubscription tally and must be
+  /// removed from both sides on release/reap.
+  bool oversub = false;
 
   /// Declares a single-resource period (the common, paper-default case).
   void set_single(ResourceKind resource, double amount) {
@@ -77,6 +84,10 @@ class PeriodRegistry {
 
   /// nullptr if the id is not active.
   const PeriodRecord* find(PeriodId id) const;
+
+  /// Mutable lookup for in-place reshaping (watchdog demand clamp, lease
+  /// refresh). The id and thread keys must not be modified through this.
+  PeriodRecord* find_mutable(PeriodId id);
 
   /// Removes and returns the record; throws util::CheckFailure if the id is
   /// unknown (double pp_end or a forged id).

@@ -40,6 +40,23 @@ void ResourceMonitor::decrement_load(ResourceKind kind, double demand) {
   ++version_;
 }
 
+void ResourceMonitor::add_oversubscribed(ResourceKind kind, double demand) {
+  RDA_CHECK_MSG(demand >= 0.0, "negative demand on " << to_string(kind));
+  oversub_[static_cast<std::size_t>(kind)] += demand;
+}
+
+void ResourceMonitor::remove_oversubscribed(ResourceKind kind, double demand) {
+  RDA_CHECK_MSG(demand >= 0.0, "negative demand on " << to_string(kind));
+  double& tally = oversub_[static_cast<std::size_t>(kind)];
+  const double tolerance = 1e-6 * demand + 1e-9;
+  RDA_CHECK_MSG(tally + tolerance >= demand,
+                "oversubscription underflow on "
+                    << to_string(kind) << ": tally " << tally << ", removing "
+                    << demand);
+  tally -= demand;
+  if (tally < dust_threshold(kind)) tally = 0.0;
+}
+
 bool ResourceMonitor::effectively_free(ResourceKind kind) const {
   return state(kind).usage <= dust_threshold(kind);
 }

@@ -47,6 +47,16 @@ class ResourceMonitor {
   /// is snapped to zero).
   void decrement_load(ResourceKind kind, double demand);
 
+  /// Forced-oversubscription tally: load admitted by the watchdog BEYOND
+  /// what the policy would allow. It rides on top of the ordinary usage
+  /// (the load itself is still charged via increment_load) purely as an
+  /// audit trail — the fault-matrix ledger asserts it returns to zero.
+  void add_oversubscribed(ResourceKind kind, double demand);
+  void remove_oversubscribed(ResourceKind kind, double demand);
+  double oversubscribed(ResourceKind kind) const {
+    return oversub_[static_cast<std::size_t>(kind)];
+  }
+
   /// True when the resource carries no load beyond floating-point dust.
   /// Admission liveness decisions must use this, never `usage() > 0`: a
   /// long sequence of increment/decrement pairs at megabyte scale leaves
@@ -60,6 +70,7 @@ class ResourceMonitor {
   double dust_threshold(ResourceKind kind) const;
 
   std::array<ResourceState, kNumResourceKinds> states_{};
+  std::array<double, kNumResourceKinds> oversub_{};
   std::uint64_t version_ = 1;
 };
 

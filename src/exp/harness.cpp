@@ -82,6 +82,14 @@ std::vector<RunConfig> three_policy_configs(
 
 }  // namespace
 
+std::size_t failed_cells(const std::vector<RunRow>& rows) {
+  std::size_t failed = 0;
+  for (const RunRow& row : rows) {
+    if (row.failed()) ++failed;
+  }
+  return failed;
+}
+
 std::vector<RunRow> run_matrix(const std::vector<workload::WorkloadSpec>& specs,
                                const std::vector<RunConfig>& configs,
                                int jobs) {
@@ -89,7 +97,19 @@ std::vector<RunRow> run_matrix(const std::vector<workload::WorkloadSpec>& specs,
   run_cells(rows.size(), jobs, [&](std::size_t cell) {
     const std::size_t s = cell / configs.size();
     const std::size_t c = cell % configs.size();
-    rows[cell] = run_workload(specs[s], configs[c]);
+    try {
+      rows[cell] = run_workload(specs[s], configs[c]);
+    } catch (const std::exception& e) {
+      // Fault isolation: one exploding cell must not take down the matrix.
+      // Only this cell's pre-allocated slot is touched, so jobs-parity holds
+      // for error rows exactly as for metric rows.
+      RunRow& row = rows[cell];
+      row.workload = specs[s].name;
+      row.policy = core::to_string(
+          configs[c].rda_options.has_value() ? configs[c].rda_options->policy
+                                             : configs[c].policy);
+      row.error = e.what();
+    }
   });
   return rows;
 }

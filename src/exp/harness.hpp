@@ -47,7 +47,15 @@ struct RunRow {
   std::uint64_t gate_blocks = 0;
   std::uint64_t context_switches = 0;
   std::uint64_t migrations = 0;
+  /// Non-empty: this cell's simulation threw instead of producing metrics
+  /// (the message is the exception text). The metric fields stay zeroed.
+  std::string error;
+
+  bool failed() const { return !error.empty(); }
 };
+
+/// Rows whose cell failed (fault isolation in run_matrix).
+std::size_t failed_cells(const std::vector<RunRow>& rows);
 
 /// Simulates `spec` under `config` and collects the metrics row.
 RunRow run_workload(const workload::WorkloadSpec& spec,
@@ -74,6 +82,11 @@ void run_cells(std::size_t count, int jobs, Fn&& fn) {
 /// Cross product of workloads x configs, one simulation per cell, fanned
 /// across `jobs` threads. Rows come back row-major (all configs of spec 0,
 /// then spec 1, ...) and are bit-identical for any `jobs` value.
+///
+/// Fault-isolating: a cell whose simulation throws records the exception
+/// text in its pre-allocated row's `error` field (workload/policy still
+/// filled) and the rest of the matrix completes normally. RDA_CHECK
+/// messages are deterministic, so error rows keep the jobs-parity property.
 std::vector<RunRow> run_matrix(const std::vector<workload::WorkloadSpec>& specs,
                                const std::vector<RunConfig>& configs,
                                int jobs = 1);

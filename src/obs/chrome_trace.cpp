@@ -1,9 +1,9 @@
 #include "obs/chrome_trace.hpp"
 
-#include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace rda::obs {
@@ -72,12 +72,9 @@ std::string chrome_trace_json(std::span<const Event> events) {
 
 void write_chrome_trace_file(const std::string& path,
                              std::span<const Event> events) {
-  std::ofstream os(path);
-  RDA_CHECK_MSG(os.good(), "cannot open trace output file " << path);
-  write_chrome_trace(os, events);
-  os.flush();
-  RDA_CHECK_MSG(os.good(), "write to trace output file " << path
-                                                         << " failed");
+  // Atomic replace: a crash mid-export must never leave a half-written JSON
+  // where a previous complete trace (or nothing) used to be.
+  util::write_file_atomic(path, chrome_trace_json(events));
 }
 
 }  // namespace rda::obs

@@ -30,9 +30,14 @@ enum class EventKind : std::uint8_t {
   kPoolDisable,  ///< §3.4: one denied member paused the whole pool
   kCancel,       ///< waitlisted request withdrawn (timeout / try_begin)
   kEnd,          ///< pp_end released the period's load
+  kReclaim,      ///< orphaned period reaped; its load/slot returned
+  kDemandClamp,  ///< watchdog rung 1: infeasible demand clamped to capacity
+  kReject,       ///< watchdog rung 3: waiter evicted with an error
+  kNodeDown,     ///< cluster node marked down after repeated failures
+  kNodeUp,       ///< cluster node rejoined the placement set
 };
 
-inline constexpr std::size_t kNumEventKinds = 8;
+inline constexpr std::size_t kNumEventKinds = 13;
 
 constexpr std::string_view to_string(EventKind kind) {
   switch (kind) {
@@ -44,6 +49,11 @@ constexpr std::string_view to_string(EventKind kind) {
     case EventKind::kPoolDisable: return "pool_disable";
     case EventKind::kCancel: return "cancel";
     case EventKind::kEnd: return "end";
+    case EventKind::kReclaim: return "reclaim";
+    case EventKind::kDemandClamp: return "demand_clamp";
+    case EventKind::kReject: return "reject";
+    case EventKind::kNodeDown: return "node_down";
+    case EventKind::kNodeUp: return "node_up";
   }
   return "?";
 }

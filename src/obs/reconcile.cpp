@@ -31,6 +31,11 @@ ReconcileReport reconcile(std::span<const Event> events,
 
   for (const Event& e : events) {
     ++counts[static_cast<std::size_t>(e.kind)];
+    if (e.kind == EventKind::kNodeDown || e.kind == EventKind::kNodeUp) {
+      // Node-health transitions carry a node id, not a period id, and live
+      // outside the per-period lifecycle machine.
+      continue;
+    }
     const auto it = periods.find(e.period);
     const bool known = it != periods.end();
     std::ostringstream site;
@@ -96,6 +101,32 @@ ReconcileReport reconcile(std::span<const Event> events,
           it->second = State::kClosed;
         }
         break;
+      case EventKind::kReclaim:
+        // An orphan can be reaped while holding load or while parked.
+        if (!known || (it->second != State::kAdmitted &&
+                       it->second != State::kBlocked)) {
+          fail(site.str() +
+               ": reclaim of a period that is neither admitted nor blocked");
+        } else {
+          it->second = State::kClosed;
+        }
+        break;
+      case EventKind::kDemandClamp:
+        // Rung 1 reshapes a waiter in place; the period stays blocked.
+        if (!known || it->second != State::kBlocked) {
+          fail(site.str() + ": demand-clamp of a period that is not blocked");
+        }
+        break;
+      case EventKind::kReject:
+        if (!known || it->second != State::kBlocked) {
+          fail(site.str() + ": reject of a period that is not waitlisted");
+        } else {
+          it->second = State::kClosed;
+        }
+        break;
+      case EventKind::kNodeDown:
+      case EventKind::kNodeUp:
+        break;  // handled above
     }
   }
 
@@ -126,6 +157,9 @@ ReconcileReport reconcile(std::span<const Event> events,
          "forced_admissions");
   expect(EventKind::kPoolDisable, stats.pool_disables, "pool_disables");
   expect(EventKind::kCancel, stats.cancels, "cancels");
+  expect(EventKind::kReclaim, stats.reclaims, "reclaims");
+  expect(EventKind::kDemandClamp, stats.demand_clamps, "demand_clamps");
+  expect(EventKind::kReject, stats.rejections, "rejections");
 
   // Every begin resolves exactly one way: admitted now, forced now, or
   // parked. (Waitlist exits — wake/force/cancel — are counted above.)
@@ -171,7 +205,9 @@ ReconcileReport reconcile_waits(std::span<const Event> events,
         break;
       case EventKind::kWake:
       case EventKind::kForceAdmit:
-      case EventKind::kCancel: {
+      case EventKind::kCancel:
+      case EventKind::kReject:
+      case EventKind::kReclaim: {
         const auto it = block_time.find(e.period);
         if (it != block_time.end()) {
           ++resolved;

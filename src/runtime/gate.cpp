@@ -1,5 +1,6 @@
 #include "runtime/gate.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <utility>
 
@@ -20,7 +21,51 @@ core::AdmissionConfig to_core_config(const GateConfig& config) {
   c.feedback = config.feedback;
   c.monitor = config.monitor;
   c.trace_sink = config.trace_sink;
+  c.fault_injector = config.fault_injector;
   return c;
+}
+
+/// Gates opted into reap_on_thread_exit. Deliberately leaked (never
+/// destroyed): the thread_local exit guards of detached threads can run
+/// after static destructors, and must still find a live registry.
+struct ExitReapRegistry {
+  std::mutex mu;
+  std::vector<AdmissionGate*> gates;
+};
+
+ExitReapRegistry& exit_registry() {
+  static ExitReapRegistry* r = new ExitReapRegistry;
+  return *r;
+}
+
+void register_for_exit_reap(AdmissionGate* gate) {
+  ExitReapRegistry& r = exit_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.gates.push_back(gate);
+}
+
+void deregister_for_exit_reap(AdmissionGate* gate) {
+  ExitReapRegistry& r = exit_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.gates.erase(std::remove(r.gates.begin(), r.gates.end(), gate),
+                r.gates.end());
+}
+
+/// Runs at thread exit and reaps the thread from every registered gate. The
+/// registry lock is held across the reaps so a gate mid-destruction (which
+/// deregisters first) can never be reached half-dead.
+struct ThreadExitGuard {
+  std::uint32_t tid = 0;
+  ~ThreadExitGuard() {
+    ExitReapRegistry& r = exit_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (AdmissionGate* gate : r.gates) gate->reap_thread(tid);
+  }
+};
+
+void arm_thread_exit_guard(std::uint32_t tid) {
+  thread_local ThreadExitGuard guard{tid};
+  guard.tid = tid;  // idempotent; also silences unused-variable concerns
 }
 
 }  // namespace
@@ -31,11 +76,34 @@ AdmissionGate::AdmissionGate(GateConfig config)
       epoch_(std::chrono::steady_clock::now()) {
   // The kernel wake event: flag the thread and ping every sleeper. Runs
   // under mu_ (the core is only ever called with mu_ held), so the insert
-  // needs no further synchronization.
+  // needs no further synchronization. With an injector attached the
+  // notification itself becomes a fault site: a lost wake leaves the grant
+  // standing core-side (sliced waiters recover it); a delayed wake sets the
+  // flag but swallows the ping (the next slice poll finds it).
   core_.set_waker([this](sim::ThreadId tid) {
-    granted_.insert(static_cast<std::uint32_t>(tid));
+    const std::uint32_t token = static_cast<std::uint32_t>(tid);
+    if (config_.fault_injector != nullptr) {
+      const fault::FaultSpec* fired =
+          config_.fault_injector->consult(fault::Hook::kWake, tid);
+      if (fired != nullptr) {
+        if (fired->kind == fault::FaultKind::kLostWake) {
+          ++lost_wakes_;
+          return;
+        }
+        if (fired->kind == fault::FaultKind::kDelayedWake) {
+          granted_.insert(token);
+          return;
+        }
+      }
+    }
+    granted_.insert(token);
     cv_.notify_all();
   });
+  if (config_.reap_on_thread_exit) register_for_exit_reap(this);
+}
+
+AdmissionGate::~AdmissionGate() {
+  if (config_.reap_on_thread_exit) deregister_for_exit_reap(this);
 }
 
 std::uint32_t AdmissionGate::self_id() {
@@ -66,6 +134,7 @@ std::optional<core::PeriodId> AdmissionGate::begin_impl(
     std::string label, WaitMode mode, std::chrono::nanoseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
   const std::uint32_t tid = self_id();
+  if (config_.reap_on_thread_exit) arm_thread_exit_guard(tid);
 
   core::AdmitRequest request;
   request.thread = tid;
@@ -86,6 +155,18 @@ std::optional<core::PeriodId> AdmissionGate::begin_impl(
 
   ++waits_;
   const double wait_start = now_seconds();
+
+  if (hardened()) {
+    const WaitOutcome outcome =
+        hardened_wait(lock, tid, ticket.id, mode, timeout);
+    total_wait_seconds_ += now_seconds() - wait_start;
+    if (outcome.failure != nullptr && mode == WaitMode::kBlocking) {
+      throw AdmissionRejected(ticket.id, outcome.failure);
+    }
+    return outcome.id;
+  }
+
+  // Paper-faithful fast path: a single predicate wait on the grant flag.
   bool granted = true;
   if (mode == WaitMode::kBlocking) {
     cv_.wait(lock, [&] { return granted_.count(tid) != 0; });
@@ -112,6 +193,59 @@ std::optional<core::PeriodId> AdmissionGate::begin_impl(
     return ticket.id;
   }
   return std::nullopt;
+}
+
+AdmissionGate::WaitOutcome AdmissionGate::hardened_wait(
+    std::unique_lock<std::mutex>& lock, std::uint32_t tid, core::PeriodId id,
+    WaitMode mode, std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  double slice = config_.retry.initial_slice_seconds;
+  const bool timed_watchdog = config_.monitor.watchdog.enable &&
+                              config_.monitor.watchdog.max_wait_seconds > 0.0;
+  for (;;) {
+    // Fate checks, in precedence order: an explicit grant wins, then the
+    // terminal verdicts, then the lost-wake recovery probe.
+    if (granted_.erase(tid) != 0) return {id, nullptr};
+    if (core_.take_rejection(id)) {
+      return {std::nullopt, "starvation watchdog evicted the request"};
+    }
+    if (core_.take_reclaimed(id)) {
+      return {std::nullopt, "waitlisted period was reclaimed"};
+    }
+    if (core_.is_admitted(id)) {
+      // Admitted core-side but the notification never arrived (injected
+      // loss): consume the grant directly.
+      ++recovered_wakes_;
+      return {id, nullptr};
+    }
+    // Drive the time-triggered watchdog from the waiter itself — the native
+    // gate has no other periodic actor. An escalation may have settled our
+    // own fate; re-check before sleeping.
+    if (timed_watchdog && core_.watchdog_tick(now_seconds())) continue;
+
+    if (mode == WaitMode::kTimed &&
+        std::chrono::steady_clock::now() >= deadline) {
+      if (!core_.withdraw(id, now_seconds())) {
+        // Already admitted: the grant raced the timeout, or its wake was
+        // injected away — consume it either way.
+        if (granted_.erase(tid) == 0) ++recovered_wakes_;
+        return {id, nullptr};
+      }
+      return {std::nullopt, nullptr};  // plain timeout
+    }
+
+    auto wait_dur = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double>(slice));
+    if (mode == WaitMode::kTimed) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::nanoseconds>(deadline - std::chrono::steady_clock::now());
+      wait_dur = std::max(std::chrono::nanoseconds(0),
+                          std::min(wait_dur, remaining));
+    }
+    cv_.wait_for(lock, wait_dur);
+    slice = std::min(slice * config_.retry.backoff_multiplier,
+                     config_.retry.max_slice_seconds);
+  }
 }
 
 core::PeriodId AdmissionGate::begin(ResourceKind resource, double demand,
@@ -156,6 +290,42 @@ void AdmissionGate::end(core::PeriodId id,
                         const core::ReleaseObservation& observed) {
   std::lock_guard<std::mutex> lock(mu_);
   core_.release(id, observed, now_seconds());
+  // The release's rescan may have escalated waiters (round-triggered
+  // watchdog); rung-3 rejections get no Waker call, so ping the sliced
+  // sleepers to discover their fate promptly.
+  if (hardened()) cv_.notify_all();
+}
+
+void AdmissionGate::reap_thread(std::uint32_t thread_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // remember_waiter: the reaped thread may still be alive inside a timed
+  // wait (supervisor-initiated reclaim); it must be able to observe the
+  // reclaim from its sliced wait instead of withdrawing a vanished period.
+  core_.reap(thread_id, now_seconds(), /*remember_waiter=*/true);
+  granted_.erase(thread_id);
+  groups_.erase(thread_id);
+  // Freed capacity (or a rescan verdict) may concern any sleeper.
+  cv_.notify_all();
+}
+
+std::size_t AdmissionGate::sweep(std::uint64_t max_epoch_age) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // remember_waiters: a live waiter evicted by the sweep must be able to
+  // observe the reclaim from its sliced wait.
+  const std::size_t reaped =
+      core_.sweep(max_epoch_age, now_seconds(), /*remember_waiters=*/true);
+  if (reaped > 0) cv_.notify_all();
+  return reaped;
+}
+
+void AdmissionGate::heartbeat() {
+  std::lock_guard<std::mutex> lock(mu_);
+  core_.heartbeat(self_id());
+}
+
+void AdmissionGate::advance_epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  core_.advance_epoch();
 }
 
 void AdmissionGate::mark_pool(std::uint32_t group) {
@@ -176,6 +346,8 @@ GateStats AdmissionGate::stats() const {
   s.total_wait_seconds = total_wait_seconds_;
   s.fast_path_hits = core_.fast_path_hits();
   s.partitioned_periods = core_.partitioned_periods();
+  s.lost_wakes = lost_wakes_;
+  s.recovered_wakes = recovered_wakes_;
   return s;
 }
 

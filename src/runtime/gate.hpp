@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -27,9 +28,35 @@
 
 #include "common/types.hpp"
 #include "core/admission.hpp"
+#include "fault/fault.hpp"
 #include "obs/sink.hpp"
 
 namespace rda::rt {
+
+/// Thrown by a blocking begin whose waitlisted request was evicted instead
+/// of granted: the starvation watchdog exhausted its degradation ladder
+/// (rung 3), or the period was reclaimed out from under the waiter.
+class AdmissionRejected : public std::runtime_error {
+ public:
+  AdmissionRejected(core::PeriodId period, const std::string& why)
+      : std::runtime_error("admission rejected for period " +
+                           std::to_string(period) + ": " + why),
+        period_(period) {}
+  core::PeriodId period() const { return period_; }
+
+ private:
+  core::PeriodId period_;
+};
+
+/// Sliced-wait retry/backoff used when the gate runs hardened (a fault
+/// injector is attached or the watchdog is enabled): a sleeper re-checks its
+/// fate every slice instead of trusting a single notification, so a lost or
+/// delayed wake degrades latency instead of hanging the caller.
+struct RetryOptions {
+  double initial_slice_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+  double max_slice_seconds = 0.05;
+};
 
 struct GateConfig {
   /// LLC capacity the admission decisions are made against.
@@ -52,6 +79,15 @@ struct GateConfig {
   /// Admission-lifecycle event sink (non-owning; nullptr = tracing off).
   /// Events are stamped with gate-epoch seconds.
   obs::TraceSink* trace_sink = nullptr;
+  /// Fault injection (non-owning; nullptr = off). The gate consults kWake
+  /// when delivering a grant (lost/delayed wake); the core consults kRelease
+  /// (corrupted counters). Attaching one switches waits to sliced mode.
+  fault::FaultInjector* fault_injector = nullptr;
+  /// Reap whatever period the calling thread still holds when it exits
+  /// (thread_local guard armed on the thread's first begin). Off by default:
+  /// the guard registers the gate in a process-wide registry.
+  bool reap_on_thread_exit = false;
+  RetryOptions retry{};
 };
 
 struct GateStats {
@@ -60,11 +96,14 @@ struct GateStats {
   double total_wait_seconds = 0.0;  ///< cumulative blocked time
   std::uint64_t fast_path_hits = 0;
   std::uint64_t partitioned_periods = 0;
+  std::uint64_t lost_wakes = 0;       ///< grants whose notification was dropped
+  std::uint64_t recovered_wakes = 0;  ///< dropped grants found by slice polls
 };
 
 class AdmissionGate {
  public:
   explicit AdmissionGate(GateConfig config = {});
+  ~AdmissionGate();
 
   AdmissionGate(const AdmissionGate&) = delete;
   AdmissionGate& operator=(const AdmissionGate&) = delete;
@@ -108,6 +147,26 @@ class AdmissionGate {
   /// is its own singleton group).
   void join_group(std::uint32_t group);
 
+  /// --- Self-healing lifecycle ---------------------------------------------
+
+  /// Reclaims whatever period `thread_id` (a token from
+  /// current_thread_token()) left behind: an admitted orphan's load is
+  /// returned, a waitlisted orphan is evicted, and the thread's grant flag
+  /// and group membership are dropped. Invoked automatically on thread exit
+  /// when GateConfig::reap_on_thread_exit is set.
+  void reap_thread(std::uint32_t thread_id);
+
+  /// Lease-based reclamation: reaps every period more than `max_epoch_age`
+  /// advance_epoch() calls stale. Evicted live waiters observe the reclaim
+  /// through their sliced wait (AdmissionRejected / nullopt).
+  std::size_t sweep(std::uint64_t max_epoch_age);
+  /// Refreshes the calling thread's lease.
+  void heartbeat();
+  void advance_epoch();
+
+  /// The calling thread's stable gate token (never reused in-process).
+  static std::uint32_t current_thread_token() { return self_id(); }
+
   GateStats stats() const;
   double usage(ResourceKind resource) const;
   std::size_t waiting() const;
@@ -115,9 +174,26 @@ class AdmissionGate {
  private:
   enum class WaitMode { kBlocking, kTry, kTimed };
 
+  struct WaitOutcome {
+    std::optional<core::PeriodId> id;
+    const char* failure = nullptr;  ///< non-null: rejected / reclaimed
+  };
+
   std::optional<core::PeriodId> begin_impl(
       std::vector<core::ResourceDemand> demands, ReuseLevel reuse,
       std::string label, WaitMode mode, std::chrono::nanoseconds timeout);
+
+  /// Sliced wait with exponential backoff: re-checks grant / rejection /
+  /// reclaim / silent admission every slice and drives the time-triggered
+  /// watchdog. Called with `lock` held; returns with it held.
+  WaitOutcome hardened_wait(std::unique_lock<std::mutex>& lock,
+                            std::uint32_t tid, core::PeriodId id,
+                            WaitMode mode, std::chrono::nanoseconds timeout);
+
+  bool hardened() const {
+    return config_.fault_injector != nullptr ||
+           config_.monitor.watchdog.enable;
+  }
 
   /// Stable small id for the calling thread: a process-lifetime token that
   /// is never reused, unlike std::this_thread::get_id() (which the OS
@@ -136,6 +212,8 @@ class AdmissionGate {
   std::unordered_map<std::uint32_t, std::uint32_t> groups_;
   std::uint64_t waits_ = 0;
   double total_wait_seconds_ = 0.0;
+  std::uint64_t lost_wakes_ = 0;
+  std::uint64_t recovered_wakes_ = 0;
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -204,10 +204,27 @@ void Engine::process_points(Thread& t) {
             // The paper parks the caller on a kernel wait queue; the API
             // cost is burned when it resumes.
             block(t, ThreadState::kGateBlocked);
+            if (config_.fault_injector != nullptr) {
+              const fault::FaultSpec* fired = config_.fault_injector->consult(
+                  fault::Hook::kBlock, t.id);
+              if (fired != nullptr &&
+                  fired->kind == fault::FaultKind::kThreadDeath) {
+                kill_thread(t);  // dies while parked on the waitlist
+              }
+            }
             return;
           }
           ++result_.gate_admissions;
           t.admitted = true;
+          if (config_.fault_injector != nullptr) {
+            const fault::FaultSpec* fired = config_.fault_injector->consult(
+                fault::Hook::kAdmit, t.id);
+            if (fired != nullptr &&
+                fired->kind == fault::FaultKind::kThreadDeath) {
+              kill_thread(t);  // dies holding admitted capacity
+              return;
+            }
+          }
           if (t.pending_overhead > kTimeEpsilon) return;  // burn cost first
         }
         double cap = 0.0;
@@ -349,6 +366,9 @@ SimResult Engine::run() {
     if (running.empty()) {
       RDA_CHECK_MSG(!any_ready(),
                     "ready threads exist but no core took them");
+      // Before declaring deadlock, try recovery: resume threads whose wake
+      // was lost, then let the gate escalate (watchdog) or reject waiters.
+      if (recover_stall()) continue;
       RDA_CHECK_MSG(false,
                     "scheduler deadlock: all unfinished threads are blocked");
     }
@@ -453,11 +473,60 @@ void Engine::wake(ThreadId thread) {
   Thread& t = threads_[thread];
   RDA_CHECK_MSG(t.state == ThreadState::kGateBlocked,
                 "wake on thread " << thread << " that is not gate-blocked");
+  if (config_.fault_injector != nullptr) {
+    const fault::FaultSpec* fired =
+        config_.fault_injector->consult(fault::Hook::kWake, t.id);
+    if (fired != nullptr) {
+      if (fired->kind == fault::FaultKind::kLostWake) {
+        // The grant stands core-side but the notification is dropped; the
+        // thread stays parked until recover_stall() notices the mismatch.
+        ++result_.lost_wakes;
+        return;
+      }
+      if (fired->kind == fault::FaultKind::kThreadDeath) {
+        t.stats.gate_blocked_time += now_ - t.block_since;
+        kill_thread(t);  // dies in the instant the grant lands
+        return;
+      }
+      // kDelayedWake has no distinct meaning in virtual time (delivery is
+      // instantaneous either way); deliver normally.
+    }
+  }
   trace(obs::EventKind::kWake, t);
   t.stats.gate_blocked_time += now_ - t.block_since;
   t.admitted = true;  // the gate admits before waking (paper Fig. 6)
   ++result_.gate_admissions;
   enqueue_ready(t);
+}
+
+void Engine::kill_thread(Thread& t) {
+  ++result_.injected_deaths;
+  if (gate_ != nullptr) gate_->on_thread_exit(t.id, now_);
+  // Death fires at admission-lifecycle hooks, before phase_enter, so the
+  // thread normally holds no LLC registration; drop one defensively so the
+  // cache model cannot leak occupancy.
+  if (llc_.registered(t.id)) llc_.phase_exit(t.id);
+  finish(t);
+}
+
+bool Engine::recover_stall() {
+  if (gate_ == nullptr) return false;
+  bool changed = false;
+  for (Thread& t : threads_) {
+    if (t.state != ThreadState::kGateBlocked) continue;
+    if (!gate_->pending_admitted(t.id)) continue;
+    // The gate granted the period but the wake never arrived; resume the
+    // thread inline rather than through wake(), which would consult the
+    // fault injector a second time for the same grant.
+    t.stats.gate_blocked_time += now_ - t.block_since;
+    t.admitted = true;
+    ++result_.gate_admissions;
+    ++result_.recovered_wakes;
+    enqueue_ready(t);
+    changed = true;
+  }
+  if (!changed) changed = gate_->on_stall(now_);
+  return changed;
 }
 
 }  // namespace rda::sim

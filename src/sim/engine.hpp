@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/sink.hpp"
 #include "sim/cache_model.hpp"
 #include "sim/calibration.hpp"
@@ -60,6 +61,11 @@ struct EngineConfig {
   /// records what threads *did*, the gate records what the scheduler
   /// *decided*.
   obs::TraceSink* trace_sink = nullptr;
+  /// Fault injection (non-owning; nullptr = off). The engine consults
+  /// kAdmit/kBlock after each admission decision (thread death) and kWake
+  /// when a grant is delivered (lost wake, death at wake). Firing is keyed
+  /// to consult counts, never wall time, so a plan replays exactly.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 class Engine final : public ThreadWaker {
@@ -175,6 +181,13 @@ class Engine final : public ThreadWaker {
   void release_core(Thread& t);
   void block(Thread& t, ThreadState blocked_state);
   void finish(Thread& t);
+  /// Injected thread death: tears the thread down mid-lifecycle. The gate's
+  /// on_thread_exit reaps whatever period it still holds.
+  void kill_thread(Thread& t);
+  /// All-blocked recovery: resume threads whose grant was lost, then give
+  /// the gate a last chance (watchdog escalation, rejections). Returns true
+  /// when anything changed.
+  bool recover_stall();
 
   /// Runs the begin/end state machine for a running thread until it is in
   /// the body with work, has pending overhead, blocked, or finished.

@@ -71,6 +71,33 @@ class PhaseGate {
 
   /// Called once by the engine before the run starts.
   virtual void attach(ThreadWaker& waker) = 0;
+
+  /// Fault-recovery hooks (default no-ops so ungated/simple gates ignore
+  /// them):
+
+  /// The owning thread died or was torn down without closing its period —
+  /// the gate should reap whatever it still holds (load or waitlist slot).
+  virtual void on_thread_exit(ThreadId thread, double now) {
+    (void)thread;
+    (void)now;
+  }
+
+  /// Lost-wake recovery probe: true when `thread`'s period has actually
+  /// been granted even though no wake() was delivered — the engine may then
+  /// resume the thread directly.
+  virtual bool pending_admitted(ThreadId thread) const {
+    (void)thread;
+    return false;
+  }
+
+  /// Last-resort progress hook: the engine has unfinished threads but none
+  /// runnable. Returns true when the gate changed state (escalated a
+  /// starved waiter, surfaced a rejection, woke somebody) — the engine then
+  /// re-evaluates instead of declaring deadlock.
+  virtual bool on_stall(double now) {
+    (void)now;
+    return false;
+  }
 };
 
 }  // namespace rda::sim

@@ -28,6 +28,10 @@ struct SimResult {
   std::uint64_t gate_blocks = 0;      ///< begins that had to wait
   std::uint64_t gate_admissions = 0;  ///< begins admitted (incl. after wait)
   std::uint64_t api_calls = 0;        ///< pp_begin + pp_end consults
+  // Fault-injection bookkeeping (all zero without an injector).
+  std::uint64_t injected_deaths = 0;  ///< threads killed mid-period
+  std::uint64_t lost_wakes = 0;       ///< admission grants dropped
+  std::uint64_t recovered_wakes = 0;  ///< lost grants recovered at stall
   bool hit_time_limit = false;
 
   std::vector<ThreadStats> threads;

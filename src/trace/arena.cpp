@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "trace/error.hpp"
 #include "trace/trace_io.hpp"
 #include "util/check.hpp"
 
@@ -72,9 +73,11 @@ class TraceArena::Buffer {
     const std::size_t file_size =
         stat_rc == 0 ? static_cast<std::size_t>(st.st_size) : 0;
     if (stat_rc == 0) {
-      RDA_CHECK_MSG(file_size >= static_cast<std::size_t>(offset) + record_bytes,
-                    path << " truncated: header promises "
-                         << record_count << " records");
+      if (file_size < static_cast<std::size_t>(offset) + record_bytes) {
+        trace_error(path, file_size,
+                    "truncated: header promises " +
+                        std::to_string(record_count) + " records");
+      }
       void* base = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
       if (base != MAP_FAILED) {
         buffer->map_base_ = base;
@@ -95,8 +98,11 @@ class TraceArena::Buffer {
     const std::size_t got =
         std::fread(buffer->heap_.data(), 1, record_bytes, f);
     std::fclose(f);
-    RDA_CHECK_MSG(got == record_bytes, path << " truncated: header promises "
-                                            << record_count << " records");
+    if (got != record_bytes) {
+      trace_error(path, static_cast<std::uint64_t>(offset) + got,
+                  "truncated: header promises " +
+                      std::to_string(record_count) + " records");
+    }
     buffer->records_ = buffer->heap_.data();
     return buffer;
   }

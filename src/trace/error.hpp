@@ -1,0 +1,37 @@
+// TraceError — malformed / truncated trace file, with the byte offset at
+// which the parse gave up.
+//
+// Derives from util::CheckFailure so every existing catch site (the tools'
+// top-level handlers, exp::run_matrix's per-cell isolation) keeps working
+// unchanged, while new code can catch TraceError specifically and report the
+// precise corruption point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace rda::trace {
+
+class TraceError : public util::CheckFailure {
+ public:
+  TraceError(const std::string& what, std::uint64_t byte_offset)
+      : util::CheckFailure(what), byte_offset_(byte_offset) {}
+
+  /// File offset of the first byte that could not be parsed.
+  std::uint64_t byte_offset() const { return byte_offset_; }
+
+ private:
+  std::uint64_t byte_offset_ = 0;
+};
+
+[[noreturn]] inline void trace_error(const std::string& path,
+                                     std::uint64_t byte_offset,
+                                     const std::string& why) {
+  throw TraceError(
+      path + ": " + why + " (at byte " + std::to_string(byte_offset) + ")",
+      byte_offset);
+}
+
+}  // namespace rda::trace

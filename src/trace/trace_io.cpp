@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "trace/error.hpp"
 #include "util/check.hpp"
 
 namespace rda::trace {
@@ -25,23 +26,34 @@ void write_pod(std::FILE* f, T value) {
   write_bytes(f, &value, sizeof(T));
 }
 
-void read_bytes(std::FILE* f, void* data, std::size_t n) {
-  RDA_CHECK_MSG(std::fread(data, 1, n, f) == n,
-                "trace file truncated or unreadable");
-}
+/// Offset-tracking reader: every short read reports the exact file position
+/// at which the data ran out, as a TraceError.
+struct Reader {
+  std::FILE* f = nullptr;
+  const std::string& path;
+  std::uint64_t offset = 0;
 
-template <typename T>
-T read_pod(std::FILE* f) {
-  T value{};
-  read_bytes(f, &value, sizeof(T));
-  return value;
-}
+  void read(void* data, std::size_t n, const char* what) {
+    const std::size_t got = std::fread(data, 1, n, f);
+    offset += got;
+    if (got != n) trace_error(path, offset, std::string("truncated ") + what);
+  }
+
+  template <typename T>
+  T pod(const char* what) {
+    T value{};
+    read(&value, sizeof(T), what);
+    return value;
+  }
+};
 
 /// Streaming reader over the record section of a trace file.
 class FileTraceSource final : public TraceSource {
  public:
   FileTraceSource(const std::string& path, long offset, std::uint64_t count)
-      : remaining_(count),
+      : path_(path),
+        offset_(static_cast<std::uint64_t>(offset)),
+        remaining_(count),
         buffer_(std::min<std::uint64_t>(count, kIoChunkRecords) *
                 kRecordBytes) {
     file_ = std::fopen(path.c_str(), "rb");
@@ -61,7 +73,14 @@ class FileTraceSource final : public TraceSource {
       // the tail on every chunk).
       const std::size_t want =
           std::min<std::uint64_t>(remaining_, kIoChunkRecords);
-      read_bytes(file_, buffer_.data(), want * kRecordBytes);
+      const std::size_t got =
+          std::fread(buffer_.data(), 1, want * kRecordBytes, file_);
+      offset_ += got;
+      if (got != want * kRecordBytes) {
+        trace_error(path_, offset_,
+                    "record section truncated mid-stream (header promised " +
+                        std::to_string(remaining_) + " more records)");
+      }
       buffer_len_ = want;
       buffer_pos_ = 0;
     }
@@ -74,7 +93,9 @@ class FileTraceSource final : public TraceSource {
   }
 
  private:
+  std::string path_;
   std::FILE* file_ = nullptr;
+  std::uint64_t offset_ = 0;
   std::uint64_t remaining_ = 0;
   std::vector<unsigned char> buffer_;
   std::size_t buffer_len_ = 0;
@@ -139,34 +160,63 @@ void TraceFileWriter::finalize() {
 }
 
 TraceFile TraceFile::open(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  RDA_CHECK_MSG(f != nullptr, "cannot open trace file " << path);
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  RDA_CHECK_MSG(raw != nullptr, "cannot open trace file " << path);
+  // RAII close: the offset-tracked reads below throw TraceError on any
+  // truncation, and the handle must not leak across that.
+  const std::unique_ptr<std::FILE, int (*)(std::FILE*)> closer(raw,
+                                                               &std::fclose);
+  Reader r{raw, path, 0};
+
   char magic[8];
-  read_bytes(f, magic, sizeof(magic));
-  RDA_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                path << " is not an RDA trace file");
+  r.read(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    trace_error(path, 0, "not an RDA trace file (bad magic)");
+  }
 
   TraceFile out;
   out.path_ = path;
-  const std::uint32_t loop_count = read_pod<std::uint32_t>(f);
+  const std::uint32_t loop_count = r.pod<std::uint32_t>("loop count");
   // Loops are stored parents-first (add order), so rebuilding in order is
-  // safe.
+  // safe — provided each parent index actually precedes its child.
   for (std::uint32_t i = 0; i < loop_count; ++i) {
-    const std::uint16_t name_len = read_pod<std::uint16_t>(f);
+    const std::uint16_t name_len = r.pod<std::uint16_t>("loop name length");
     std::string name(name_len, '\0');
-    read_bytes(f, name.data(), name_len);
-    const std::uint64_t pc_begin = read_pod<std::uint64_t>(f);
-    const std::uint64_t pc_end = read_pod<std::uint64_t>(f);
-    const std::uint32_t parent = read_pod<std::uint32_t>(f);
+    r.read(name.data(), name_len, "loop name");
+    const std::uint64_t pc_begin = r.pod<std::uint64_t>("loop pc_begin");
+    const std::uint64_t pc_end = r.pod<std::uint64_t>("loop pc_end");
+    const std::uint32_t parent = r.pod<std::uint32_t>("loop parent");
     if (parent == kNoParent) {
       out.nest_.add_loop(std::move(name), pc_begin, pc_end);
     } else {
+      if (parent >= i) {
+        trace_error(path, r.offset,
+                    "loop " + std::to_string(i) + " references parent " +
+                        std::to_string(parent) + " that does not precede it");
+      }
       out.nest_.add_nested(parent, std::move(name), pc_begin, pc_end);
     }
   }
-  out.record_count_ = read_pod<std::uint64_t>(f);
-  out.records_offset_ = std::ftell(f);
-  std::fclose(f);
+  out.record_count_ = r.pod<std::uint64_t>("record count");
+  out.records_offset_ = std::ftell(raw);
+
+  // Up-front size validation: a truncated or lying header is reported here,
+  // at open, instead of as a mid-stream failure deep inside a profiling run.
+  const std::uint64_t offset = static_cast<std::uint64_t>(out.records_offset_);
+  if (out.record_count_ > (UINT64_MAX - offset) / kRecordBytes) {
+    trace_error(path, offset, "implausible record count " +
+                                  std::to_string(out.record_count_));
+  }
+  RDA_CHECK(std::fseek(raw, 0, SEEK_END) == 0);
+  const std::uint64_t file_size =
+      static_cast<std::uint64_t>(std::ftell(raw));
+  const std::uint64_t need = offset + out.record_count_ * kRecordBytes;
+  if (file_size < need) {
+    trace_error(path, file_size,
+                "record section truncated: header promises " +
+                    std::to_string(out.record_count_) + " records (" +
+                    std::to_string(need) + " bytes) but the file ends early");
+  }
   return out;
 }
 

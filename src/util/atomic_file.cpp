@@ -1,0 +1,35 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace rda::util {
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  // Same directory as the target so the rename cannot cross a filesystem
+  // boundary (which would make it a non-atomic copy).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  RDA_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing: "
+                                             << std::strerror(errno));
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != content.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    RDA_CHECK_MSG(false, "short write to " << tmp << " (" << written << "/"
+                                           << content.size() << " bytes)");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    RDA_CHECK_MSG(false, "cannot rename " << tmp << " to " << path << ": "
+                                          << std::strerror(err));
+  }
+}
+
+}  // namespace rda::util

@@ -1,0 +1,20 @@
+// Crash-safe file output: write to a same-directory temp file, then rename.
+//
+// The exporters (Chrome trace, BENCH_*.json, fault-matrix CSV) feed
+// downstream tooling that parses whatever sits at the target path. A process
+// killed mid-write must never leave a half-written artifact there — rename(2)
+// within one directory is atomic, so readers observe either the previous
+// complete file or the new complete file, nothing in between.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rda::util {
+
+/// Writes `content` to `path` atomically (temp file + rename). Throws
+/// util::CheckFailure when the temp file cannot be written or the rename
+/// fails; the temp file is removed on failure.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace rda::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
+#include "obs/recorder.hpp"
 #include "util/check.hpp"
 #include "util/units.hpp"
 
@@ -129,6 +131,82 @@ TEST(Cluster, SingleShotRun) {
   EXPECT_THROW(sched.run(), util::CheckFailure);
   EXPECT_THROW(sched.add_process(one_thread_process(1)),
                util::CheckFailure);
+}
+
+TEST(ClusterFault, RepeatedRouteFailuresMarkNodeDownAndReroutePending) {
+  // The second placement attempt on node 0 bounces; with threshold 1 the
+  // node goes down, its already-pending process is drained onto node 1,
+  // and the bounced submission retries onto a healthy node.
+  fault::FaultPlan plan;
+  fault::FaultSpec fail;
+  fail.kind = fault::FaultKind::kNodeFail;
+  fail.hook = fault::Hook::kNodeRoute;
+  fail.node = 0;
+  fail.at_count = 2;  // first consult (process A's placement) succeeds
+  plan.add(fail);
+  fault::FaultInjector injector(std::move(plan));
+  obs::EventRecorder recorder(1 << 10);
+
+  ClusterConfig cfg = two_nodes();
+  cfg.fault_injector = &injector;
+  cfg.node_fail_threshold = 1;
+  cfg.trace_sink = &recorder;
+  ClusterScheduler sched(cfg, PlacementPolicy::kRoundRobin);
+
+  EXPECT_EQ(sched.add_process(one_thread_process(1)), 0);
+  EXPECT_EQ(sched.add_process(one_thread_process(1)), 1);
+  // Routed to node 0, bounced, node 0 marked down, retried onto node 1.
+  EXPECT_EQ(sched.add_process(one_thread_process(1)), 1);
+  EXPECT_TRUE(sched.node_down(0));
+  EXPECT_EQ(recorder.count(obs::EventKind::kNodeDown), 1u);
+
+  const ClusterResult result = sched.run();
+  EXPECT_EQ(result.node_failures, 1u);
+  EXPECT_EQ(result.reroutes, 1u);  // process A drained off the dead node
+  EXPECT_EQ(result.processes_per_node[0], 0);
+  EXPECT_EQ(result.processes_per_node[1], 3);
+  EXPECT_NEAR(result.total_flops(), 3e9, 1e6);
+}
+
+TEST(ClusterFault, DownNodeRejoinsOnRecoveryProbe) {
+  // Node 0 dies on the very first placement; the recovery probe run at the
+  // next submission fires kNodeRecover, so node 0 rejoins the placement
+  // set and round-robin resumes using it.
+  fault::FaultPlan plan;
+  fault::FaultSpec fail;
+  fail.kind = fault::FaultKind::kNodeFail;
+  fail.hook = fault::Hook::kNodeRoute;
+  fail.node = 0;
+  fail.at_count = 1;
+  plan.add(fail);
+  fault::FaultSpec recover;
+  recover.kind = fault::FaultKind::kNodeRecover;
+  recover.hook = fault::Hook::kNodeRoute;
+  recover.node = 0;
+  // Consult 2 is the down-node probe during process A's retry; consult 3
+  // is the probe at process B's submission — recover there.
+  recover.at_count = 3;
+  plan.add(recover);
+  fault::FaultInjector injector(std::move(plan));
+  obs::EventRecorder recorder(1 << 10);
+
+  ClusterConfig cfg = two_nodes();
+  cfg.fault_injector = &injector;
+  cfg.node_fail_threshold = 1;
+  cfg.trace_sink = &recorder;
+  ClusterScheduler sched(cfg, PlacementPolicy::kRoundRobin);
+
+  EXPECT_EQ(sched.add_process(one_thread_process(1)), 1);
+  EXPECT_TRUE(sched.node_down(0));
+  EXPECT_EQ(sched.add_process(one_thread_process(1)), 0);
+  EXPECT_FALSE(sched.node_down(0));
+  EXPECT_EQ(recorder.count(obs::EventKind::kNodeDown), 1u);
+  EXPECT_EQ(recorder.count(obs::EventKind::kNodeUp), 1u);
+
+  const ClusterResult result = sched.run();
+  EXPECT_EQ(result.node_failures, 1u);
+  EXPECT_EQ(result.processes_per_node[0], 1);
+  EXPECT_EQ(result.processes_per_node[1], 1);
 }
 
 }  // namespace

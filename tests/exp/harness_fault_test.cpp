@@ -1,0 +1,92 @@
+// run_matrix fault isolation: a cell whose simulation throws must land as an
+// error row (workload/policy filled, metrics zeroed) while every other cell
+// completes — and the rows, error rows included, must be independent of the
+// --jobs fan-out.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/harness.hpp"
+
+namespace rda::exp {
+namespace {
+
+workload::WorkloadSpec tiny(const char* name) {
+  const auto specs = workload::table2_workloads();
+  return workload::scale_workload(workload::find_workload(specs, name),
+                                  0.05, 8);
+}
+
+RunConfig good_config(core::PolicyKind policy) {
+  RunConfig cfg;
+  cfg.engine.machine = sim::MachineConfig::e5_2420();
+  cfg.policy = policy;
+  return cfg;
+}
+
+RunConfig poison_config() {
+  // Engine construction RDA_CHECKs max_step > 0, so this cell throws
+  // deterministically — same message on every run and every jobs value.
+  RunConfig cfg = good_config(core::PolicyKind::kStrict);
+  cfg.engine.max_step = 0.0;
+  return cfg;
+}
+
+TEST(HarnessFault, PoisonedCellBecomesErrorRowOthersComplete) {
+  const std::vector<workload::WorkloadSpec> specs = {tiny("BLAS-3")};
+  const std::vector<RunConfig> configs = {
+      good_config(core::PolicyKind::kLinuxDefault), poison_config(),
+      good_config(core::PolicyKind::kStrict)};
+
+  const std::vector<RunRow> rows = run_matrix(specs, configs, 1);
+  ASSERT_EQ(rows.size(), 3u);
+
+  EXPECT_FALSE(rows[0].failed());
+  EXPECT_GT(rows[0].gflops, 0.0);
+
+  // The poisoned cell: identified, zeroed, and attributed.
+  EXPECT_TRUE(rows[1].failed());
+  EXPECT_EQ(rows[1].workload, "BLAS-3");
+  EXPECT_EQ(rows[1].policy, "RDA:Strict");
+  EXPECT_NE(rows[1].error.find("max_step"), std::string::npos)
+      << rows[1].error;
+  EXPECT_EQ(rows[1].gflops, 0.0);
+  EXPECT_EQ(rows[1].system_joules, 0.0);
+
+  // The cell AFTER the poisoned one still ran.
+  EXPECT_FALSE(rows[2].failed());
+  EXPECT_GT(rows[2].gflops, 0.0);
+
+  EXPECT_EQ(failed_cells(rows), 1u);
+}
+
+TEST(HarnessFault, ErrorRowsAreJobsInvariant) {
+  const std::vector<workload::WorkloadSpec> specs = {tiny("BLAS-3"),
+                                                     tiny("Water_nsq")};
+  const std::vector<RunConfig> configs = {
+      good_config(core::PolicyKind::kStrict), poison_config()};
+
+  const std::vector<RunRow> serial = run_matrix(specs, configs, 1);
+  const std::vector<RunRow> parallel = run_matrix(specs, configs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].workload, parallel[i].workload) << i;
+    EXPECT_EQ(serial[i].policy, parallel[i].policy) << i;
+    EXPECT_EQ(serial[i].error, parallel[i].error) << i;
+    EXPECT_EQ(serial[i].failed(), parallel[i].failed()) << i;
+    EXPECT_EQ(serial[i].gflops, parallel[i].gflops) << i;
+    EXPECT_EQ(serial[i].system_joules, parallel[i].system_joules) << i;
+  }
+  EXPECT_EQ(failed_cells(serial), 2u);  // one poisoned cell per workload
+}
+
+TEST(HarnessFault, FailedCellsCountsOnlyErrorRows) {
+  std::vector<RunRow> rows(3);
+  EXPECT_EQ(failed_cells(rows), 0u);
+  rows[1].error = "boom";
+  EXPECT_EQ(failed_cells(rows), 1u);
+}
+
+}  // namespace
+}  // namespace rda::exp

@@ -1,0 +1,220 @@
+// Fault-scenario tests: the sim-substrate thread-death reclamation proof
+// (obs event ledger: kReclaim followed by the waiter's kWake) and the
+// byte-determinism of the ScenarioResult rows tools/fault_matrix compares.
+#include "fault/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/rda_scheduler.hpp"
+#include "obs/reconcile.hpp"
+#include "obs/recorder.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace rda::fault {
+namespace {
+
+using util::MB;
+
+struct SimRun {
+  obs::EventRecorder recorder{1 << 14};
+  sim::SimResult result;
+  core::MonitorStats stats;
+};
+
+/// Three single-thread processes, one 10 MB period each, on the 15 MB
+/// e5_2420 LLC: only one fits at a time, so threads 1 and 2 park behind
+/// thread 0 and every grant goes through the waitlist. Fills `run` (the
+/// recorder is not movable, so the caller owns the slot).
+void run_three_way_contention(FaultPlan plan, SimRun& run) {
+  FaultInjector injector(std::move(plan));
+
+  sim::EngineConfig cfg;
+  cfg.machine = sim::MachineConfig::e5_2420();
+  cfg.fault_injector = &injector;
+  sim::Engine engine(cfg);
+
+  core::RdaOptions options;
+  options.policy = core::PolicyKind::kStrict;
+  options.trace_sink = &run.recorder;
+  options.fault_injector = &injector;
+  core::RdaScheduler sched(static_cast<double>(cfg.machine.llc_bytes),
+                           cfg.calib, options);
+  engine.set_gate(&sched);
+
+  for (int t = 0; t < 3; ++t) {
+    sim::ProgramBuilder builder;
+    builder.period("pp", 1e8, MB(10), ReuseLevel::kHigh);
+    engine.add_thread(engine.create_process(), builder.build());
+  }
+  run.result = engine.run();
+  run.stats = sched.monitor_stats();
+}
+
+TEST(FaultScenario, SimDeathAtGrantReclaimsAdmittedOrphanAndAdmitsWaiter) {
+  // The granted thread dies the moment its waitlisted period is admitted:
+  // the reaper must return the orphan's load and the rescan must admit the
+  // NEXT waiter — proven from the recorded event stream, not just counters.
+  FaultPlan plan;
+  FaultSpec death;
+  death.kind = FaultKind::kThreadDeath;
+  death.hook = Hook::kWake;
+  plan.add(death);
+
+  SimRun run;
+  run_three_way_contention(std::move(plan), run);
+
+  EXPECT_EQ(run.result.injected_deaths, 1u);
+  EXPECT_EQ(run.stats.begins, 3u);
+  EXPECT_EQ(run.stats.ends, 2u);
+  EXPECT_EQ(run.stats.reclaims, 1u);
+  EXPECT_EQ(run.stats.blocks, 2u);
+
+  ASSERT_EQ(run.recorder.dropped(), 0u);
+  const std::vector<obs::Event> events = run.recorder.events();
+  EXPECT_EQ(run.recorder.count(obs::EventKind::kReclaim), 1u);
+
+  // Event-ledger proof: the reclaim is followed by a wake that admits a
+  // DIFFERENT thread's period (the waiter unblocked by the returned load).
+  const auto reclaim = std::find_if(
+      events.begin(), events.end(), [](const obs::Event& e) {
+        return e.kind == obs::EventKind::kReclaim;
+      });
+  ASSERT_NE(reclaim, events.end());
+  const auto wake_after = std::find_if(
+      reclaim + 1, events.end(), [&](const obs::Event& e) {
+        return e.kind == obs::EventKind::kWake && e.thread != reclaim->thread;
+      });
+  EXPECT_NE(wake_after, events.end())
+      << "no waiter was admitted after the orphan reclaim";
+
+  // Full stream/stat reconciliation with nothing stranded.
+  const obs::ReconcileReport report = obs::reconcile(events, run.stats);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_EQ(report.still_blocked, 0u);
+  EXPECT_EQ(report.still_admitted, 0u);
+}
+
+TEST(FaultScenario, SimDeathWhileWaitlistedEvictsOrphanEntry) {
+  FaultPlan plan;
+  FaultSpec death;
+  death.kind = FaultKind::kThreadDeath;
+  death.hook = Hook::kBlock;
+  plan.add(death);
+
+  SimRun run;
+  run_three_way_contention(std::move(plan), run);
+
+  EXPECT_EQ(run.result.injected_deaths, 1u);
+  EXPECT_EQ(run.stats.begins, 3u);
+  EXPECT_EQ(run.stats.ends, 2u);
+  EXPECT_EQ(run.stats.reclaims, 1u);
+  EXPECT_EQ(run.recorder.count(obs::EventKind::kReclaim), 1u);
+  const obs::ReconcileReport report =
+      obs::reconcile(run.recorder.events(), run.stats);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_EQ(report.still_blocked, 0u);
+  EXPECT_EQ(report.still_admitted, 0u);
+}
+
+TEST(FaultScenario, SimLostWakeIsRecoveredAtStall) {
+  FaultPlan plan;
+  FaultSpec lost;
+  lost.kind = FaultKind::kLostWake;
+  lost.hook = Hook::kWake;
+  plan.add(lost);
+
+  SimRun run;
+  run_three_way_contention(std::move(plan), run);
+
+  EXPECT_EQ(run.result.lost_wakes, 1u);
+  EXPECT_EQ(run.result.recovered_wakes, 1u);
+  // Despite the dropped grant, every period completed.
+  EXPECT_EQ(run.stats.begins, 3u);
+  EXPECT_EQ(run.stats.ends, 3u);
+}
+
+TEST(FaultScenario, ScriptedDeathCellHoldsLedger) {
+  ScenarioSpec spec;
+  spec.name = "contended";
+  spec.substrate = Substrate::kSim;
+  spec.seed = 1;
+  FaultSpec death;
+  death.kind = FaultKind::kThreadDeath;
+  death.hook = Hook::kAdmit;
+  // Only the first admission in this shape is immediate (kAdmit); all later
+  // grants go through the waitlist.
+  death.at_count = 1;
+  spec.plan.add(death);
+
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.reclaims, 1u);
+  EXPECT_EQ(r.fired_kinds, "thread_death");
+  EXPECT_EQ(r.begins, r.ends + r.reclaims);
+}
+
+TEST(FaultScenario, SimRepeatRunsAreByteIdentical) {
+  ScenarioSpec spec;
+  spec.name = "infeasible";
+  spec.substrate = Substrate::kSim;
+  spec.seed = 7;
+  spec.fault_count = 3;
+  const std::string first = csv_row(run_scenario(spec));
+  const std::string second = csv_row(run_scenario(spec));
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultScenario, NativeRepeatRunsAreByteIdentical) {
+  ScenarioSpec spec;
+  spec.name = "contended";
+  spec.substrate = Substrate::kNative;
+  spec.seed = 7;
+  spec.fault_count = 2;
+  const std::string first = csv_row(run_scenario(spec));
+  const std::string second = csv_row(run_scenario(spec));
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultScenario, UnknownShapeReportsFailureInsteadOfThrowing) {
+  ScenarioSpec spec;
+  spec.name = "no-such-shape";
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("unknown scenario shape"), std::string::npos)
+      << r.failure;
+}
+
+TEST(FaultScenario, GridCoversShapesSubstratesAndScriptedCells) {
+  const std::vector<ScenarioSpec> grid = scenario_grid(1, 3);
+  // 4 shapes x 2 substrates x 3 seeds + 5 scripted fault cells.
+  EXPECT_EQ(grid.size(), 4u * 2u * 3u + 5u);
+  // Seed index 0 is the fault-free control column.
+  EXPECT_EQ(grid.front().fault_count, 0u);
+  bool has_native = false;
+  for (const ScenarioSpec& s : grid) {
+    if (s.substrate == Substrate::kNative) has_native = true;
+  }
+  EXPECT_TRUE(has_native);
+}
+
+TEST(FaultScenario, CsvRowMatchesHeaderArity) {
+  const std::string header = csv_header();
+  ScenarioResult r;
+  r.name = "contended";
+  r.substrate = "sim";
+  r.failure = "a,b\nc";  // must be sanitized into one CSV cell
+  const std::string row = csv_row(r);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(row), commas(header));
+  EXPECT_EQ(std::count(row.begin(), row.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace rda::fault

@@ -1,0 +1,210 @@
+// Corrupt-trace regression tests: every malformed-input class must surface
+// as a TraceError carrying the exact byte offset at which parsing gave up —
+// bad magic, truncated loop table, lying record-count header, bad parent
+// links, and mid-stream truncation discovered by an already-open source.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "trace/arena.hpp"
+#include "trace/error.hpp"
+#include "trace/trace_io.hpp"
+#include "util/check.hpp"
+
+namespace rda::trace {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void append_bytes(std::string& buf, const void* data, std::size_t n) {
+  buf.append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void append_pod(std::string& buf, T value) {
+  append_bytes(buf, &value, sizeof(T));
+}
+
+void append_magic(std::string& buf) { buf.append("RDATRC01", 8); }
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+/// One loop-table entry: u16 name length, name, pc_begin, pc_end, parent.
+void append_loop(std::string& buf, const std::string& name,
+                 std::uint32_t parent) {
+  append_pod<std::uint16_t>(buf, static_cast<std::uint16_t>(name.size()));
+  append_bytes(buf, name.data(), name.size());
+  append_pod<std::uint64_t>(buf, 0x1000);
+  append_pod<std::uint64_t>(buf, 0x2000);
+  append_pod<std::uint32_t>(buf, parent);
+}
+
+std::optional<TraceError> open_error(const std::string& path) {
+  try {
+    TraceFile::open(path);
+  } catch (const TraceError& e) {
+    return e;
+  }
+  return std::nullopt;
+}
+
+TEST(TraceCorrupt, BadMagicReportsOffsetZero) {
+  const std::string path = temp_path("badmagic.rdatrc");
+  std::string buf = "XXXXXX01";
+  append_pod<std::uint32_t>(buf, 0);
+  append_pod<std::uint64_t>(buf, 0);
+  write_file(path, buf);
+
+  const std::optional<TraceError> err = open_error(path);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->byte_offset(), 0u);
+  EXPECT_NE(std::string(err->what()).find("bad magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCorrupt, TruncatedLoopTableReportsExactOffset) {
+  const std::string path = temp_path("shortloop.rdatrc");
+  std::string buf;
+  append_magic(buf);
+  append_pod<std::uint32_t>(buf, 1);  // promises one loop...
+  append_pod<std::uint16_t>(buf, 10);  // ...whose 10-byte name...
+  buf.append("abc", 3);                // ...is cut off after 3 bytes
+  write_file(path, buf);
+
+  const std::optional<TraceError> err = open_error(path);
+  ASSERT_TRUE(err.has_value());
+  // magic(8) + loop count(4) + name length(2) + the 3 bytes that were read.
+  EXPECT_EQ(err->byte_offset(), 17u);
+  EXPECT_NE(std::string(err->what()).find("loop name"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCorrupt, ParentMustPrecedeChild) {
+  const std::string path = temp_path("badparent.rdatrc");
+  std::string buf;
+  append_magic(buf);
+  append_pod<std::uint32_t>(buf, 2);
+  append_loop(buf, "outer", 0xffffffffu);
+  append_loop(buf, "inner", 5);  // forward/self reference: invalid
+  append_pod<std::uint64_t>(buf, 0);
+  write_file(path, buf);
+
+  const std::optional<TraceError> err = open_error(path);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(std::string(err->what()).find("parent"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCorrupt, SelfParentRejected) {
+  const std::string path = temp_path("selfparent.rdatrc");
+  std::string buf;
+  append_magic(buf);
+  append_pod<std::uint32_t>(buf, 1);
+  append_loop(buf, "l", 0);  // parent 0 == own index
+  append_pod<std::uint64_t>(buf, 0);
+  write_file(path, buf);
+  EXPECT_TRUE(open_error(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceCorrupt, LyingRecordCountFailsAtOpenNotMidProfile) {
+  const std::string path = temp_path("lyingcount.rdatrc");
+  std::string buf;
+  append_magic(buf);
+  append_pod<std::uint32_t>(buf, 0);
+  append_pod<std::uint64_t>(buf, 5);  // promises 5 records...
+  append_pod<std::uint64_t>(buf, 0xdeadbeef);
+  buf.push_back('\0');  // ...but carries only 1
+  write_file(path, buf);
+
+  const std::optional<TraceError> err = open_error(path);
+  ASSERT_TRUE(err.has_value());
+  // The size check reports at end-of-file: 8 + 4 + 8 + 9 record bytes.
+  EXPECT_EQ(err->byte_offset(), 29u);
+  EXPECT_NE(std::string(err->what()).find("ends early"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCorrupt, ImplausibleRecordCountRejected) {
+  const std::string path = temp_path("hugecount.rdatrc");
+  std::string buf;
+  append_magic(buf);
+  append_pod<std::uint32_t>(buf, 0);
+  append_pod<std::uint64_t>(buf, UINT64_MAX);  // would overflow size math
+  write_file(path, buf);
+
+  const std::optional<TraceError> err = open_error(path);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(std::string(err->what()).find("implausible"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCorrupt, MidStreamTruncationDetectedByOpenSource) {
+  // The file is valid when opened, then shrinks on disk (crash of a
+  // concurrent writer): the streaming source must report the truncation as
+  // a TraceError instead of returning short/garbage records.
+  const std::string path = temp_path("midstream.rdatrc");
+  LoopNest nest;
+  {
+    TraceFileWriter writer(path, nest);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      writer.write({i, RecordKind::kLoad});
+    }
+  }
+  const TraceFile file = TraceFile::open(path);  // header validated here
+  ASSERT_EQ(file.record_count(), 8u);
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 13);
+
+  auto source = file.records();  // fresh handle sees the shrunken file
+  TraceRecord record;
+  bool threw = false;
+  try {
+    while (source->next(record)) {
+    }
+  } catch (const TraceError& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("truncated mid-stream"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCorrupt, ArenaRejectsTruncatedRecordSection) {
+  const std::string path = temp_path("arenatrunc.rdatrc");
+  LoopNest nest;
+  {
+    TraceFileWriter writer(path, nest);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      writer.write({i, RecordKind::kStore});
+    }
+  }
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 5);
+  EXPECT_THROW(TraceArena::load(path), util::CheckFailure);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCorrupt, TraceErrorIsACheckFailure) {
+  // Every pre-existing catch site handles util::CheckFailure; the richer
+  // error must keep flowing through them unchanged.
+  const std::string path = temp_path("compat.rdatrc");
+  write_file(path, "definitely not a trace");
+  EXPECT_THROW(TraceFile::open(path), util::CheckFailure);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rda::trace

@@ -1,0 +1,73 @@
+// write_file_atomic tests: content fidelity, overwrite semantics, no stray
+// temp files, and failure behavior on an unwritable target directory.
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace rda::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(AtomicFile, WritesNewFileVerbatim) {
+  const std::string path = temp_path("atomic_new.txt");
+  const std::string content("line one\nline two\0with a nul byte", 33);
+  write_file_atomic(path, content);
+  EXPECT_EQ(slurp(path), content);
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, OverwritesExistingFileCompletely) {
+  const std::string path = temp_path("atomic_overwrite.txt");
+  write_file_atomic(path, "the first version, which is longer");
+  write_file_atomic(path, "v2");
+  // No remnant of the longer first version may survive the rename.
+  EXPECT_EQ(slurp(path), "v2");
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, EmptyContentProducesEmptyFile) {
+  const std::string path = temp_path("atomic_empty.txt");
+  write_file_atomic(path, "");
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(std::filesystem::file_size(path), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, LeavesNoTempFilesBehind) {
+  const std::string dir = temp_path("atomic_dir");
+  std::filesystem::create_directory(dir);
+  write_file_atomic(dir + "/out.json", "{}");
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(), "out.json");
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFile, ThrowsWhenTargetDirectoryMissing) {
+  EXPECT_THROW(
+      write_file_atomic("/nonexistent-rda-dir/sub/out.txt", "content"),
+      util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace rda::util
