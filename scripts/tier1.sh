@@ -22,7 +22,7 @@ if [[ "$run_tsan" == 1 ]]; then
     --target runtime_test core_test integration_test profiler_test trace_test \
              fault_test
   ( cd build-tsan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ProfilePipeline|TraceArena|MatrixDeterminism|FaultGate|FaultScenario|Watchdog|Reclaim' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|ProfilePipeline|TraceArena|MatrixDeterminism|FaultGate|FaultScenario|Watchdog|Reclaim' \
       --output-on-failure -j "$(nproc)" )
 
   echo "== tier-1: admission core/gate/waitlist + fault/recovery tests under ASan+UBSan =="
@@ -31,7 +31,7 @@ if [[ "$run_tsan" == 1 ]]; then
     --target runtime_test core_test integration_test fault_test trace_test \
              util_test
   ( cd build-asan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|Waitlist|WakeStrategy|FaultInjector|FaultScenario|FaultGate|Watchdog|Reclaim|TraceCorrupt|AtomicFile' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|Waitlist|WakeStrategy|FaultInjector|FaultScenario|FaultGate|Watchdog|Reclaim|TraceCorrupt|AtomicFile' \
       --output-on-failure -j "$(nproc)" )
 fi
 
@@ -45,6 +45,34 @@ echo "== tier-1: gate overhead snapshot (BENCH_gate.json) =="
 # Exits non-zero if the uncontended begin/end round trip regresses more
 # than 10% over the pre-AdmissionCore baseline (189 ns).
 ( cd build/bench && ./micro_gate --iters 1000000 --out BENCH_gate.json )
+
+echo "== tier-1: 16-thread contended admission throughput (sharded core) =="
+# Scaling gate for the sharded AdmissionCore: the fresh 16-thread point must
+# stay within 10% of the committed BENCH_gate.json snapshot. Only meaningful
+# with 16 real cores (micro_gate itself emits null below that, where the
+# number would measure the OS scheduler, not the gate).
+if [[ "$(nproc)" -ge 16 ]]; then
+  fresh_mops16="$(sed -n 's/.*"contended_mops_16": \([0-9.]*\),.*/\1/p' \
+    build/bench/BENCH_gate.json)"
+  committed_mops16="$(sed -n 's/.*"contended_mops_16": \([0-9.]*\),.*/\1/p' \
+    BENCH_gate.json)"
+  if [[ -z "$fresh_mops16" ]]; then
+    echo "error: micro_gate produced no 16-thread point on a >=16-core host"
+    exit 1
+  fi
+  if [[ -z "$committed_mops16" ]]; then
+    echo "no committed 16-thread baseline yet; recorded $fresh_mops16 Mops/s"
+  else
+    awk -v fresh="$fresh_mops16" -v base="$committed_mops16" 'BEGIN {
+      floor = base * 0.9;
+      printf "16-thread contended: %.3f Mops/s (committed %.3f, floor %.3f)\n",
+             fresh, base, floor;
+      exit (fresh >= floor) ? 0 : 1;
+    }'
+  fi
+else
+  echo "skipped: $(nproc) hardware threads (<16)"
+fi
 
 echo "== tier-1: simulation hot-path snapshot (BENCH_sim.json) =="
 # Exits non-zero if any engine scenario regresses more than 10% over the

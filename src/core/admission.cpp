@@ -1,5 +1,7 @@
 #include "core/admission.hpp"
 
+#include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "util/check.hpp"
@@ -13,19 +15,40 @@ AdmissionCore::AdmissionCore(AdmissionConfig config)
       monitor_(predicate_, resources_, config.monitor),
       corrector_(config.feedback) {
   resources_.set_capacity(ResourceKind::kLLC, config_.llc_capacity_bytes);
+  resources_.set_admission_bound(
+      ResourceKind::kLLC, policy_->admission_bound(config_.llc_capacity_bytes));
   if (config_.bandwidth_capacity > 0.0) {
     resources_.set_capacity(ResourceKind::kMemBandwidth,
                             config_.bandwidth_capacity);
+    resources_.set_admission_bound(
+        ResourceKind::kMemBandwidth,
+        policy_->admission_bound(config_.bandwidth_capacity));
   }
   monitor_.set_trace_sink(config_.trace_sink);
 }
 
+void AdmissionCore::trace(obs::EventKind kind, double now,
+                          const PeriodRecord& record) {
+  if (config_.trace_sink == nullptr) return;
+  obs::Event e;
+  e.time = now;
+  e.kind = kind;
+  e.thread = record.thread;
+  e.process = record.process;
+  e.period = record.id;
+  e.resource = record.primary_resource();
+  e.demand = record.primary_demand();
+  e.set_label(record.label);
+  config_.trace_sink->record(e);
+}
+
 bool AdmissionCore::fast_path_usable(
-    sim::ThreadId thread, sim::ProcessId process,
+    const ShardSlot& slot, sim::ThreadId thread, sim::ProcessId process,
     const std::vector<ResourceDemand>& demands) const {
+  (void)process;
   if (!config_.fast_path) return false;
-  const auto it = cache_.find(thread);
-  if (it == cache_.end() || !it->second.valid) return false;
+  const auto it = slot.cache.find(thread);
+  if (it == slot.cache.end() || !it->second.valid) return false;
   const std::vector<ResourceDemand>& cached = it->second.demands;
   if (cached.size() != demands.size()) return false;
   for (std::size_t i = 0; i < demands.size(); ++i) {
@@ -34,10 +57,12 @@ bool AdmissionCore::fast_path_usable(
   }
   // Nobody else touched the load table since this thread's own last call,
   // the previous identical request was admitted, and nobody is queued ahead
-  // — so replaying the predicate gives the identical "admit".
+  // — so replaying the predicate gives the identical "admit". The pool
+  // check is the lock-free count (any disabled pool spoils the cache): the
+  // per-process set lives behind the slow mutex this probe may not hold.
   if (it->second.version != resources_.version()) return false;
-  if (!monitor_.waitlist().empty()) return false;
-  if (monitor_.pool_disabled(process)) return false;
+  if (monitor_.waitlist().size() != 0) return false;
+  if (monitor_.disabled_pool_count() != 0) return false;
   return true;
 }
 
@@ -45,25 +70,126 @@ AdmitTicket AdmissionCore::admit(AdmitRequest request, double now) {
   RDA_CHECK_MSG(!request.demands.empty(),
                 "pp_begin with no declared demand from thread "
                     << request.thread);
-  // A nested begin (periods do not nest, §2.3 — a second begin from the
-  // same thread would leak the first period's charged load forever) is
-  // rejected by the registry insert inside begin_period, before any stats
-  // or trace mutation. Counters touched on this path are deferred until
-  // after that insert for the same reason.
   AdmitTicket ticket;
   ResourceDemand& primary = request.demands.front();
   const double declared = primary.amount;
   bool partitioned = false;
+  // §6 partitioning transform. With counter feedback enabled the corrected
+  // demand must be capped instead, so the whole transform moves into the
+  // slow lane (feedback forces every call there anyway).
+  if (!config_.feedback.enable && primary.resource == ResourceKind::kLLC &&
+      config_.partitioning.enable &&
+      primary.amount > resources_.capacity(ResourceKind::kLLC)) {
+    ticket.occupancy_cap = config_.partitioning.streaming_fraction *
+                           resources_.capacity(ResourceKind::kLLC);
+    primary.amount = ticket.occupancy_cap;
+    partitioned = true;
+  }
+  if (calm() && fast_admit(request, now, partitioned, declared, ticket)) {
+    return ticket;
+  }
+  return slow_admit(std::move(request), now, partitioned, declared,
+                    ticket.occupancy_cap);
+}
+
+bool AdmissionCore::fast_admit(AdmitRequest& request, double now,
+                               bool partitioned, double declared,
+                               AdmitTicket& ticket) {
+  const std::uint32_t shard = shard_of_thread(request.thread);
+  ShardSlot& slot = slots_[shard];
+
+  bool fast_hit = false;
+  if (config_.fast_path) {
+    std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
+    fast_hit = fast_path_usable(slot, request.thread, request.process,
+                                request.demands);
+  }
+
+  // Claim the budget demand by demand; any shortfall rolls back every
+  // partial claim and routes the decision to the slow lane (which can
+  // park us — the fast lane never parks anybody).
+  std::size_t acquired = 0;
+  for (; acquired < request.demands.size(); ++acquired) {
+    const ResourceDemand& d = request.demands[acquired];
+    if (!resources_.try_acquire(d.resource, d.amount, shard)) break;
+  }
+  if (acquired < request.demands.size()) {
+    for (std::size_t j = 0; j < acquired; ++j) {
+      resources_.decrement_load(request.demands[j].resource,
+                                request.demands[j].amount, shard);
+    }
+    return false;
+  }
+
+  PeriodRecord record;
+  record.thread = request.thread;
+  record.process = request.process;
+  record.demands = std::move(request.demands);
+  record.reuse = request.reuse;
+  record.label = std::move(request.label);
+  record.declared_demand = declared;
+  record.begin_time = now;
+  record.lease_epoch = monitor_.epoch();
+  record.admitted = true;  // budget already charged
+  PeriodId id = kInvalidPeriod;
+  try {
+    id = monitor_.mutable_registry().insert(std::move(record));
+  } catch (...) {
+    // Nested begin: return the budget so the thrown begin leaves no
+    // footprint, exactly like the slow lane's pre-stats registry check.
+    // insert validates before moving, so the record still owns the demands.
+    for (const ResourceDemand& d : record.demands) {
+      resources_.decrement_load(d.resource, d.amount, shard);
+    }
+    throw;
+  }
+  slot.begins.fetch_add(1);
+  slot.immediate.fetch_add(1);
+  if (partitioned) partitioned_periods_.fetch_add(1);
+  if (fast_hit) fast_path_hits_.fetch_add(1);
+  if (config_.trace_sink != nullptr) {
+    const PeriodRecord* stored = monitor_.registry().find(id);
+    RDA_CHECK(stored != nullptr);  // our own record; only we can end it
+    trace(obs::EventKind::kBegin, now, *stored);
+    trace(obs::EventKind::kAdmit, now, *stored);
+  }
+  if (config_.fast_path) {
+    // The demands moved into the registry record; copy them back out for
+    // the decision cache (record pointers are node-stable, and only the
+    // owning thread can remove its own calm record).
+    const PeriodRecord* stored = monitor_.registry().find(id);
+    RDA_CHECK(stored != nullptr);
+    std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
+    ThreadCache& cache = slot.cache[request.thread];
+    cache.valid = true;
+    cache.demands = stored->demands;
+    cache.version = resources_.version();
+  }
+  ticket.id = id;
+  ticket.admitted = true;
+  ticket.fast_path = fast_hit;
+  return true;
+}
+
+AdmitTicket AdmissionCore::slow_admit(AdmitRequest request, double now,
+                                      bool partitioned, double declared,
+                                      double occupancy_cap) {
+  ProgressMonitor::PendingDelivery pending;
+  AdmitTicket ticket;
+  {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  ProgressMonitor::WakeBatch batch(monitor_, &pending);
+  ticket.occupancy_cap = occupancy_cap;
+  ResourceDemand& primary = request.demands.front();
   if (primary.resource == ResourceKind::kLLC) {
     // Counter-feedback: charge the corrected demand learned from previous
-    // instances of this period (keyed by its static code location).
+    // instances of this period (keyed by its static code location). Only
+    // reachable with feedback enabled — admit() skipped the transform then.
     if (config_.feedback.enable) {
       primary.amount *= corrector_.correction(request.label);
     }
     if (config_.partitioning.enable &&
         primary.amount > resources_.capacity(ResourceKind::kLLC)) {
-      // §6: a larger-than-LLC working set streams from DRAM regardless —
-      // confine it to a small partition and charge only that.
       ticket.occupancy_cap = config_.partitioning.streaming_fraction *
                              resources_.capacity(ResourceKind::kLLC);
       primary.amount = ticket.occupancy_cap;
@@ -71,8 +197,14 @@ AdmitTicket AdmissionCore::admit(AdmitRequest request, double now) {
     }
   }
 
-  const bool fast =
-      fast_path_usable(request.thread, request.process, request.demands);
+  const std::uint32_t shard = shard_of_thread(request.thread);
+  ShardSlot& slot = slots_[shard];
+  bool fast = false;
+  if (config_.fast_path) {
+    std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
+    fast = fast_path_usable(slot, request.thread, request.process,
+                            request.demands);
+  }
 
   PeriodRecord record;
   record.thread = request.thread;
@@ -88,13 +220,16 @@ AdmitTicket AdmissionCore::admit(AdmitRequest request, double now) {
   const ProgressMonitor::BeginOutcome outcome =
       monitor_.begin_period(std::move(record), now);
 
-  RDA_CHECK_MSG(!fast || outcome.admitted,
-                "fast path replay diverged from the cached admit decision");
-  if (partitioned) ++partitioned_periods_;
-  if (fast) ++fast_path_hits_;
+  // Serialized, a valid probe is a proof the replay admits; under
+  // concurrency a fast-lane claim can invalidate it between the probe and
+  // the predicate — degrade to a miss rather than assert.
+  if (fast && !outcome.admitted) fast = false;
+  if (partitioned) partitioned_periods_.fetch_add(1);
+  if (fast) fast_path_hits_.fetch_add(1);
 
   if (config_.fast_path) {
-    ThreadCache& cache = cache_[request.thread];
+    std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
+    ThreadCache& cache = slot.cache[request.thread];
     cache.valid = outcome.admitted && !outcome.forced;
     cache.demands = std::move(request.demands);
     cache.version = resources_.version();
@@ -104,19 +239,111 @@ AdmitTicket AdmissionCore::admit(AdmitRequest request, double now) {
   ticket.admitted = outcome.admitted;
   ticket.forced = outcome.forced;
   ticket.fast_path = fast;
+  ticket.woke_from_waitlist = outcome.woke_from_waitlist;
+  }
+  monitor_.deliver(std::move(pending));
   return ticket;
 }
 
 bool AdmissionCore::withdraw(PeriodId id, double now) {
-  RDA_CHECK_MSG(monitor_.registry().find(id) != nullptr,
-                "withdraw of unknown period id " << id);
-  return monitor_.cancel_waiting(id, now);
+  ProgressMonitor::PendingDelivery pending;
+  bool cancelled;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    RDA_CHECK_MSG(monitor_.registry().find(id) != nullptr,
+                  "withdraw of unknown period id " << id);
+    cancelled = monitor_.cancel_waiting(id, now);
+  }
+  monitor_.deliver(std::move(pending));
+  return cancelled;
+}
+
+WithdrawResult AdmissionCore::try_withdraw(PeriodId id, double now) {
+  ProgressMonitor::PendingDelivery pending;
+  WithdrawResult result;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    if (monitor_.registry().find(id) == nullptr) {
+      result = WithdrawResult::kGone;
+    } else if (monitor_.cancel_waiting(id, now)) {
+      result = WithdrawResult::kCancelled;
+    } else {
+      // cancel_waiting refused: either the grant won the race (record is
+      // admitted) or the period vanished meanwhile.
+      result = monitor_.registry().find(id) != nullptr
+                   ? WithdrawResult::kAlreadyAdmitted
+                   : WithdrawResult::kGone;
+    }
+  }
+  monitor_.deliver(std::move(pending));
+  return result;
 }
 
 ReleaseTicket AdmissionCore::release(PeriodId id,
-                                     const ReleaseObservation& observed_in,
+                                     const ReleaseObservation& observed,
                                      double now) {
+  if (calm()) {
+    // Calm lock-free release: claim the record off its shard (only records
+    // that are admitted and not force-oversubscribed qualify — everything
+    // else carries slow-lane obligations) and return its budget.
+    std::optional<PeriodRecord> record =
+        monitor_.mutable_registry().take_if_calm(id);
+    if (record.has_value()) {
+      ReleaseTicket ticket;
+      ticket.fast_path = config_.fast_path;
+      ShardSlot& slot = slots_[shard_of_thread(record->thread)];
+      trace(obs::EventKind::kEnd, now, *record);
+      if (config_.fast_path) {
+        std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
+        ThreadCache& cache = slot.cache[record->thread];
+        // Replay validity: the cached decision survives this end only if
+        // nobody else touched the load table since our begin (then our
+        // increment+decrement cancel out). Read BEFORE the decrement.
+        const bool undisturbed = resources_.version() == cache.version;
+        for (const ResourceDemand& d : record->demands) {
+          resources_.decrement_load(d.resource, d.amount, record->stripe);
+        }
+        if (undisturbed && cache.valid) {
+          cache.version = resources_.version();
+        } else {
+          cache.valid = false;
+        }
+      } else {
+        for (const ResourceDemand& d : record->demands) {
+          resources_.decrement_load(d.resource, d.amount, record->stripe);
+        }
+      }
+      slot.ends.fetch_add(1);
+      // Dekker handshake, releaser side: the budget is returned (seq_cst);
+      // now re-read the park flags. A parker whose push we miss here saw
+      // our budget on its own second look — either way somebody rescans.
+      if (monitor_.waitlist().size() != 0 ||
+          monitor_.disabled_pool_count() != 0) {
+        ProgressMonitor::PendingDelivery pending;
+        {
+          std::lock_guard<std::mutex> lock(slow_mu_);
+          ProgressMonitor::WakeBatch batch(monitor_, &pending);
+          monitor_.rescan_release(now);
+        }
+        monitor_.deliver(std::move(pending));
+      }
+      ticket.record = std::move(*record);
+      return ticket;
+    }
+  }
+  return slow_release(id, observed, now);
+}
+
+ReleaseTicket AdmissionCore::slow_release(PeriodId id,
+                                          const ReleaseObservation& observed_in,
+                                          double now) {
+  ProgressMonitor::PendingDelivery pending;
   ReleaseTicket ticket;
+  {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  ProgressMonitor::WakeBatch batch(monitor_, &pending);
   ReleaseObservation observed = observed_in;
   if (config_.fault_injector != nullptr && observed.has_counters) {
     const PeriodRecord* active = monitor_.registry().find(id);
@@ -138,28 +365,212 @@ ReleaseTicket AdmissionCore::release(PeriodId id,
   if (!config_.fast_path) {
     // end_period itself rejects unknown ids; no pre-lookup needed.
     ticket.record = monitor_.end_period(id, now);
-    return ticket;
-  }
-  const PeriodRecord* active = monitor_.registry().find(id);
-  RDA_CHECK_MSG(active != nullptr, "pp_end with unknown period id " << id);
-  const sim::ThreadId thread = active->thread;
-  // The end is fast-pathable when no waiter can be affected: with an empty
-  // waitlist the decrement wakes nobody, so the kernel entry is skippable.
-  const bool fast = monitor_.waitlist().empty();
-  ticket.fast_path = fast;
-  // Replay validity: the cached admit decision survives this end only if
-  // nobody else touched the load table between our begin and now (then our
-  // increment+decrement cancel and the table returns to the decision's
-  // state).
-  ThreadCache& cache = cache_[thread];
-  const bool undisturbed = resources_.version() == cache.version;
-  ticket.record = monitor_.end_period(id, now);
-  if (fast && undisturbed && cache.valid) {
-    cache.version = resources_.version();
   } else {
-    cache.valid = false;
+    const PeriodRecord* active = monitor_.registry().find(id);
+    RDA_CHECK_MSG(active != nullptr, "pp_end with unknown period id " << id);
+    const sim::ThreadId thread = active->thread;
+    // The end is fast-pathable when no waiter can be affected: with an
+    // empty waitlist the decrement wakes nobody, so the kernel entry is
+    // skippable.
+    const bool fast = monitor_.waitlist().empty();
+    ticket.fast_path = fast;
+    ShardSlot& slot = slots_[shard_of_thread(thread)];
+    std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
+    ThreadCache& cache = slot.cache[thread];
+    // Replay validity: the cached admit decision survives this end only if
+    // nobody else touched the load table between our begin and now (then
+    // our increment+decrement cancel and the table returns to the
+    // decision's state).
+    const bool undisturbed = resources_.version() == cache.version;
+    ticket.record = monitor_.end_period(id, now);
+    if (fast && undisturbed && cache.valid) {
+      cache.version = resources_.version();
+    } else {
+      cache.valid = false;
+    }
   }
+  }
+  monitor_.deliver(std::move(pending));
   return ticket;
+}
+
+ProgressMonitor::ReapOutcome AdmissionCore::reap(sim::ThreadId thread,
+                                                 double now,
+                                                 bool remember_waiter) {
+  ProgressMonitor::PendingDelivery pending;
+  ProgressMonitor::ReapOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    {
+      ShardSlot& slot = slots_[shard_of_thread(thread)];
+      std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
+      slot.cache.erase(thread);
+    }
+    outcome = monitor_.reap_thread(thread, now, remember_waiter);
+  }
+  monitor_.deliver(std::move(pending));
+  return outcome;
+}
+
+std::size_t AdmissionCore::sweep(std::uint64_t max_epoch_age, double now,
+                                 bool remember_waiters) {
+  ProgressMonitor::PendingDelivery pending;
+  std::size_t reaped;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    reaped = monitor_.sweep(max_epoch_age, now, remember_waiters);
+    if (reaped > 0) {
+      for (ShardSlot& slot : slots_) {
+        std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
+        slot.cache.clear();
+      }
+    }
+  }
+  monitor_.deliver(std::move(pending));
+  return reaped;
+}
+
+void AdmissionCore::heartbeat(sim::ThreadId thread) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  monitor_.heartbeat(thread);
+}
+
+bool AdmissionCore::watchdog_tick(double now) {
+  ProgressMonitor::PendingDelivery pending;
+  bool any;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    any = monitor_.watchdog_tick(now);
+  }
+  monitor_.deliver(std::move(pending));
+  return any;
+}
+
+bool AdmissionCore::watchdog_stalled(double now) {
+  ProgressMonitor::PendingDelivery pending;
+  bool any;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    any = monitor_.watchdog_stalled(now);
+  }
+  monitor_.deliver(std::move(pending));
+  return any;
+}
+
+bool AdmissionCore::is_admitted(PeriodId id) const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return monitor_.is_admitted(id);
+}
+
+bool AdmissionCore::is_rejected(PeriodId id) const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return monitor_.is_rejected(id);
+}
+
+bool AdmissionCore::take_rejection(PeriodId id) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return monitor_.take_rejection(id);
+}
+
+std::optional<PeriodId> AdmissionCore::take_rejection_for_thread(
+    sim::ThreadId thread) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return monitor_.take_rejection_for_thread(thread);
+}
+
+std::vector<sim::ThreadId> AdmissionCore::rejected_threads() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return monitor_.rejected_threads();
+}
+
+bool AdmissionCore::is_reclaimed(PeriodId id) const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return monitor_.is_reclaimed(id);
+}
+
+bool AdmissionCore::take_reclaimed(PeriodId id) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return monitor_.take_reclaimed(id);
+}
+
+MonitorStats AdmissionCore::stats() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  MonitorStats merged = monitor_.stats();
+  for (const ShardSlot& slot : slots_) {
+    merged.begins += slot.begins.load();
+    merged.ends += slot.ends.load();
+    merged.immediate_admissions += slot.immediate.load();
+  }
+  return merged;
+}
+
+AdmissionCore::AuditReport AdmissionCore::audit() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  AuditReport report;
+  const auto fail = [&report](const std::string& detail) {
+    if (report.ok) {
+      report.ok = false;
+      report.detail = detail;
+    }
+  };
+
+  double ground[kNumResourceKinds] = {};
+  double oversub_ground[kNumResourceKinds] = {};
+  for (const PeriodRecord& r : monitor_.registry().snapshot()) {
+    if (!r.admitted) continue;
+    for (const ResourceDemand& d : r.demands) {
+      ground[static_cast<std::size_t>(d.resource)] += d.amount;
+      if (r.oversub) {
+        oversub_ground[static_cast<std::size_t>(d.resource)] += d.amount;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < kNumResourceKinds; ++r) {
+    const ResourceKind kind = static_cast<ResourceKind>(r);
+    const double cap = resources_.capacity(kind);
+    if (cap <= 0.0) continue;  // resource not configured
+    const double tol = 1e-3 * std::max(1.0, cap);
+    const double usage = resources_.usage(kind);
+    if (std::abs(usage - ground[r]) > tol) {
+      std::ostringstream os;
+      os << "striped usage " << usage << " != admitted-record ground truth "
+         << ground[r] << " on " << to_string(kind);
+      fail(os.str());
+    }
+    const double bound = resources_.admission_bound(kind);
+    if (std::isfinite(bound)) {
+      const double free = resources_.total_free(kind);
+      const double overdraft = resources_.overdraft(kind);
+      if (std::abs(usage + free - overdraft - bound) > tol) {
+        std::ostringstream os;
+        os << "budget not conserved on " << to_string(kind) << ": usage "
+           << usage << " + free " << free << " - overdraft " << overdraft
+           << " != bound " << bound;
+        fail(os.str());
+      }
+    }
+    const double oversub = resources_.oversubscribed(kind);
+    if (std::abs(oversub - oversub_ground[r]) > tol) {
+      std::ostringstream os;
+      os << "oversubscription tally " << oversub
+         << " != oversub-record ground truth " << oversub_ground[r] << " on "
+         << to_string(kind);
+      fail(os.str());
+    }
+  }
+  const std::size_t counted = monitor_.waitlist().size();
+  const std::size_t merged = monitor_.waitlist().entries().size();
+  if (counted != merged) {
+    std::ostringstream os;
+    os << "waitlist total counter " << counted << " != merged contents "
+       << merged;
+    fail(os.str());
+  }
+  return report;
 }
 
 }  // namespace rda::core

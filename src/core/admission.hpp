@@ -9,17 +9,44 @@
 // wake mechanism (sim event injection, condvar notify) into the core's
 // Waker callback and their notion of time into `now` seconds.
 //
-// Threading contract: the core is EXTERNALLY synchronized. It takes no lock
-// of its own — the simulator is single-threaded and the native gate already
-// serializes every call under one mutex, so an internal lock would only
-// double the cost. Callers must not interleave calls from two threads
-// without holding the same exclusion. The Waker is invoked synchronously
-// from inside admit/withdraw/release, i.e. while the caller's lock is held:
-// it must be cheap and must NOT re-enter the core.
+// Threading contract (sharded edition): the core is INTERNALLY synchronized
+// and splits every operation across two lanes.
+//
+//   * Fast lane (lock-free, the common case): when the system is CALM — no
+//     fault injector, no counter feedback, nobody parked on any waitlist,
+//     no §3.4-disabled pool — admit claims budget from the striped
+//     ResourceMonitor with atomic CAS and inserts into the calling thread's
+//     registry shard; release removes the record from its shard and returns
+//     the budget. The only shared state two unrelated threads touch is
+//     their own shard/stripe, so contended throughput scales with cores.
+//
+//   * Slow lane: everything else (parks, wakes, pools, watchdog, feedback,
+//     fault hooks) runs the full ProgressMonitor logic under one slow
+//     mutex, exactly as the pre-shard core did — byte-for-byte identical
+//     traces and stats when calls are serialized.
+//
+// The lanes hand off via a Dekker-style handshake on seq_cst atomics: a
+// parking thread publishes its waitlist entry and then re-reads the budget
+// (begin_period's second look); a fast release returns its budget and then
+// re-reads the waitlist count, escalating to a slow-lane rescan if anybody
+// is parked. One side always sees the other, so no wake is lost.
+//
+// Wakes are BATCHED: the slow lane accumulates woken threads per operation
+// and delivers them once, AFTER releasing the slow mutex (set_batch_waker
+// receives the whole batch; a plain set_waker waker is called per thread,
+// in wake order, at the same point). Delivering outside the lock lets a
+// wake callback re-enter the core — the sim engine's death-at-wake fault
+// path reaps the dying thread from inside the wake. The woken period is
+// already marked admitted before its wake is delivered, so a waiter that
+// probes its fate (is_admitted / take_rejection / …, all under the slow
+// mutex) instead of sleeping observes a consistent verdict.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,6 +57,7 @@
 #include "core/predicate.hpp"
 #include "core/progress_monitor.hpp"
 #include "core/resource_monitor.hpp"
+#include "core/sharding.hpp"
 #include "fault/fault.hpp"
 #include "obs/sink.hpp"
 
@@ -61,7 +89,8 @@ struct AdmissionConfig {
   bool fast_path = false;
   PartitionOptions partitioning{};
   /// Counter-feedback extension: correct declared demands from observed
-  /// per-period hardware counters.
+  /// per-period hardware counters. Forces every call through the slow lane
+  /// (the corrector is serial state).
   FeedbackOptions feedback{};
   MonitorOptions monitor{};
   /// Admission-lifecycle event sink (non-owning; nullptr = tracing off).
@@ -69,6 +98,8 @@ struct AdmissionConfig {
   /// Fault injection (non-owning; nullptr = off). The core itself consults
   /// only the kRelease hook (corrupted counter observations); the substrates
   /// consult the lifecycle hooks around their own admit/block/wake sites.
+  /// Attaching an injector forces every call through the slow lane so the
+  /// fault matrix stays deterministic.
   fault::FaultInjector* fault_injector = nullptr;
 };
 
@@ -91,6 +122,10 @@ struct AdmitTicket {
   bool admitted = false;
   bool forced = false;     ///< admitted via the liveness override
   bool fast_path = false;  ///< decision served from the thread cache
+  /// Admitted on the post-park second look of the lost-wake handshake: the
+  /// period visited the waitlist (blocks was counted) but the caller must
+  /// NOT sleep — no grant will ever arrive for it.
+  bool woke_from_waitlist = false;
   /// Non-zero when §6 partitioning capped the period's LLC occupancy.
   double occupancy_cap = 0.0;
 };
@@ -110,11 +145,19 @@ struct ReleaseTicket {
   PeriodRecord record;     ///< the closed period
 };
 
+/// Outcome of try_withdraw() — the race-tolerant withdraw the native gate's
+/// timeout path uses.
+enum class WithdrawResult {
+  kCancelled,        ///< was waitlisted; now cancelled
+  kAlreadyAdmitted,  ///< the grant won the race; caller owns the admission
+  kGone,             ///< already rejected/reclaimed/unknown
+};
+
 class AdmissionCore {
  public:
   /// The kernel wake event, abstracted: called once per period admitted off
-  /// the waitlist, with the thread that parked it. Invoked while the
-  /// caller's exclusion is held — must not re-enter the core.
+  /// the waitlist, with the thread that parked it. Invoked after the slow
+  /// mutex is released — re-entering the core from the callback is safe.
   using Waker = std::function<void(sim::ThreadId)>;
 
   explicit AdmissionCore(AdmissionConfig config = {});
@@ -123,18 +166,36 @@ class AdmissionCore {
   AdmissionCore& operator=(const AdmissionCore&) = delete;
 
   void set_waker(Waker waker) { monitor_.set_waker(std::move(waker)); }
-  void set_trace_sink(obs::TraceSink* sink) { monitor_.set_trace_sink(sink); }
+  /// Batched wake delivery: one call per slow-lane operation with every
+  /// thread it admitted off the waitlist, in wake order. Takes precedence
+  /// over set_waker.
+  void set_batch_waker(ProgressMonitor::BatchWakeFn waker) {
+    monitor_.set_batch_waker(std::move(waker));
+  }
+  /// Eviction notices (watchdog rung 3, waitlisted-orphan reclaim): lets
+  /// the substrate rouse a sleeping owner that will never get a grant.
+  void set_evict_notifier(ProgressMonitor::EvictFn notifier) {
+    monitor_.set_evict_notifier(std::move(notifier));
+  }
+  void set_trace_sink(obs::TraceSink* sink) {
+    monitor_.set_trace_sink(sink);
+    config_.trace_sink = sink;
+  }
   void set_wake_strategy(std::unique_ptr<WakeStrategy> strategy) {
     monitor_.set_wake_strategy(std::move(strategy));
   }
 
   /// Declares a process as a task-pool (§3.4 group pause semantics).
-  void mark_pool(sim::ProcessId process) { monitor_.mark_pool(process); }
+  void mark_pool(sim::ProcessId process) {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    monitor_.mark_pool(process);
+  }
 
   /// pp_begin. Applies feedback correction and §6 partitioning to the
-  /// primary LLC demand, consults the fast-path cache, then runs the full
-  /// predicate pipeline. Throws util::CheckFailure on a nested begin from
-  /// the same thread (before any stats or trace mutation).
+  /// primary LLC demand, consults the fast-path cache, then admits through
+  /// the calm lock-free lane or the full predicate pipeline. Throws
+  /// util::CheckFailure on a nested begin from the same thread (before any
+  /// stats or trace mutation).
   AdmitTicket admit(AdmitRequest request, double now);
 
   /// Withdraws a request that is still waitlisted (timeout / try_begin /
@@ -142,6 +203,11 @@ class AdmissionCore {
   /// already admitted (the grant raced the timeout; the caller must consume
   /// it and eventually release()). Throws on an unknown id.
   bool withdraw(PeriodId id, double now);
+
+  /// Race-tolerant withdraw: like withdraw(), but an id that vanished
+  /// (watchdog rejection, orphan reclaim) reports kGone instead of
+  /// throwing, and a won-by-the-grant race reports kAlreadyAdmitted.
+  WithdrawResult try_withdraw(PeriodId id, double now);
 
   /// pp_end. Feeds observed counters to the demand corrector, releases the
   /// period's load and rescans the waitlist (invoking the Waker for every
@@ -160,51 +226,54 @@ class AdmissionCore {
   /// task teardown): an admitted orphan's load is returned and waiters are
   /// rescanned; a waitlisted orphan is evicted. See ProgressMonitor.
   ProgressMonitor::ReapOutcome reap(sim::ThreadId thread, double now,
-                                    bool remember_waiter = false) {
-    cache_.erase(thread);
-    return monitor_.reap_thread(thread, now, remember_waiter);
-  }
+                                    bool remember_waiter = false);
 
   /// Lease-based reclamation: reaps every period whose lease is more than
   /// `max_epoch_age` advance_epoch() calls stale. heartbeat() refreshes a
   /// live thread's lease.
   std::size_t sweep(std::uint64_t max_epoch_age, double now,
-                    bool remember_waiters = false) {
-    const std::size_t reaped =
-        monitor_.sweep(max_epoch_age, now, remember_waiters);
-    if (reaped > 0) cache_.clear();
-    return reaped;
-  }
-  void heartbeat(sim::ThreadId thread) { monitor_.heartbeat(thread); }
+                    bool remember_waiters = false);
+  void heartbeat(sim::ThreadId thread);
   void advance_epoch() { monitor_.advance_epoch(); }
 
   /// Time-triggered starvation-watchdog pass (the round trigger runs inside
   /// every rescan). Returns true when a waiter moved a degradation rung.
-  bool watchdog_tick(double now) { return monitor_.watchdog_tick(now); }
+  bool watchdog_tick(double now);
 
   /// Stall-triggered escalation: the substrate proved nothing can progress,
   /// so the head-most unexhausted waiter moves a rung immediately.
-  bool watchdog_stalled(double now) { return monitor_.watchdog_stalled(now); }
+  bool watchdog_stalled(double now);
 
   /// Post-wait state probes for the substrates: a granted period shows as
   /// admitted; a watchdog-rejected or reaped-while-waiting one never gets a
-  /// Waker grant and must be discovered (and consumed) through these.
-  bool is_admitted(PeriodId id) const { return monitor_.is_admitted(id); }
-  bool is_rejected(PeriodId id) const { return monitor_.is_rejected(id); }
-  bool take_rejection(PeriodId id) { return monitor_.take_rejection(id); }
-  std::optional<PeriodId> take_rejection_for_thread(sim::ThreadId thread) {
-    return monitor_.take_rejection_for_thread(thread);
-  }
-  std::vector<sim::ThreadId> rejected_threads() const {
-    return monitor_.rejected_threads();
-  }
-  bool is_reclaimed(PeriodId id) const { return monitor_.is_reclaimed(id); }
-  bool take_reclaimed(PeriodId id) { return monitor_.take_reclaimed(id); }
+  /// Waker grant and must be discovered (and consumed) through these. All
+  /// take the slow mutex: an operation's wakes are flushed before its
+  /// effects become observable here.
+  bool is_admitted(PeriodId id) const;
+  bool is_rejected(PeriodId id) const;
+  bool take_rejection(PeriodId id);
+  std::optional<PeriodId> take_rejection_for_thread(sim::ThreadId thread);
+  std::vector<sim::ThreadId> rejected_threads() const;
+  bool is_reclaimed(PeriodId id) const;
+  bool take_reclaimed(PeriodId id);
+
+  /// Shard-accounting audit, meaningful at quiescence (no in-flight calls):
+  /// striped usage vs registry ground truth, budget conservation, waitlist
+  /// counter vs contents, oversubscription tally vs oversub records.
+  struct AuditReport {
+    bool ok = true;
+    std::string detail;  ///< first violated invariant, empty when ok
+  };
+  AuditReport audit() const;
 
   const AdmissionConfig& config() const { return config_; }
-  const MonitorStats& stats() const { return monitor_.stats(); }
-  std::uint64_t fast_path_hits() const { return fast_path_hits_; }
-  std::uint64_t partitioned_periods() const { return partitioned_periods_; }
+  /// Slow-lane monitor stats plus the fast lane's per-shard begin/end
+  /// counters, merged. By value: assembled at call time.
+  MonitorStats stats() const;
+  std::uint64_t fast_path_hits() const { return fast_path_hits_.load(); }
+  std::uint64_t partitioned_periods() const {
+    return partitioned_periods_.load();
+  }
   ResourceMonitor& resources() { return resources_; }
   const ResourceMonitor& resources() const { return resources_; }
   const ProgressMonitor& monitor() const { return monitor_; }
@@ -219,8 +288,37 @@ class AdmissionCore {
     std::uint64_t version = 0;  ///< load-table version at our last call
   };
 
-  bool fast_path_usable(sim::ThreadId thread, sim::ProcessId process,
+  /// Per-shard fast-lane state: the Fig. 11 decision cache for the threads
+  /// hashing here plus this shard's share of the begin/end counters.
+  /// Cacheline-aligned so shards do not false-share.
+  struct alignas(64) ShardSlot {
+    std::mutex cache_mu;
+    std::unordered_map<sim::ThreadId, ThreadCache> cache;
+    std::atomic<std::uint64_t> begins{0};
+    std::atomic<std::uint64_t> ends{0};
+    std::atomic<std::uint64_t> immediate{0};
+  };
+
+  /// True when the lock-free lane may decide alone: no injector, no
+  /// feedback, nobody parked, no pool disabled. Reads two seq_cst atomics.
+  bool calm() const {
+    return config_.fault_injector == nullptr && !config_.feedback.enable &&
+           monitor_.waitlist().size() == 0 &&
+           monitor_.disabled_pool_count() == 0;
+  }
+
+  bool fast_path_usable(const ShardSlot& slot, sim::ThreadId thread,
+                        sim::ProcessId process,
                         const std::vector<ResourceDemand>& demands) const;
+  /// Lock-free admit attempt. False = budget contention or nested-begin
+  /// impossible here; caller falls through to the slow lane.
+  bool fast_admit(AdmitRequest& request, double now, bool partitioned,
+                  double declared, AdmitTicket& ticket);
+  AdmitTicket slow_admit(AdmitRequest request, double now, bool partitioned,
+                         double declared, double occupancy_cap);
+  ReleaseTicket slow_release(PeriodId id, const ReleaseObservation& observed,
+                             double now);
+  void trace(obs::EventKind kind, double now, const PeriodRecord& record);
 
   AdmissionConfig config_;
   std::unique_ptr<SchedulingPolicy> policy_;
@@ -229,9 +327,13 @@ class AdmissionCore {
   ProgressMonitor monitor_;
   DemandCorrector corrector_;
 
-  std::unordered_map<sim::ThreadId, ThreadCache> cache_;
-  std::uint64_t fast_path_hits_ = 0;
-  std::uint64_t partitioned_periods_ = 0;
+  /// Serializes the slow lane (ProgressMonitor and everything reachable
+  /// from it). Lock order: slow_mu_ → registry shard / cache_mu.
+  mutable std::mutex slow_mu_;
+
+  std::array<ShardSlot, kNumShards> slots_;
+  std::atomic<std::uint64_t> fast_path_hits_{0};
+  std::atomic<std::uint64_t> partitioned_periods_{0};
 };
 
 }  // namespace rda::core

@@ -1,5 +1,6 @@
 #include "core/policy.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -33,6 +34,10 @@ bool CompromisePolicy::allow(double outcome,
   return outcome >= -(factor_ - 1.0) * resource.capacity;
 }
 
+double CompromisePolicy::admission_bound(double capacity) const {
+  return factor_ * capacity;
+}
+
 std::string CompromisePolicy::name() const {
   std::ostringstream os;
   os << "RDA:Compromise(x=" << factor_ << ")";
@@ -44,6 +49,11 @@ bool AlwaysAdmitPolicy::allow(double outcome,
   (void)outcome;
   (void)resource;
   return true;
+}
+
+double AlwaysAdmitPolicy::admission_bound(double capacity) const {
+  (void)capacity;
+  return std::numeric_limits<double>::infinity();
 }
 
 std::unique_ptr<SchedulingPolicy> make_policy(PolicyKind kind,

@@ -36,6 +36,14 @@ class SchedulingPolicy {
   /// `outcome` is remaining-after-admission (may be negative); `resource`
   /// carries capacity and current usage.
   virtual bool allow(double outcome, const ResourceState& resource) const = 0;
+
+  /// Total aggregate demand this policy admits against `capacity` — the
+  /// budget the striped resource monitor partitions across its stripes.
+  /// allow(remaining − demand) ⟺ usage + demand ≤ admission_bound(capacity),
+  /// which is what lets the lock-free fast lane replace the policy check
+  /// with an atomic budget acquisition.
+  virtual double admission_bound(double capacity) const { return capacity; }
+
   virtual std::string name() const = 0;
 };
 
@@ -51,6 +59,7 @@ class CompromisePolicy final : public SchedulingPolicy {
  public:
   explicit CompromisePolicy(double oversubscription_factor = 2.0);
   bool allow(double outcome, const ResourceState& resource) const override;
+  double admission_bound(double capacity) const override;
   std::string name() const override;
   double factor() const { return factor_; }
 
@@ -63,6 +72,7 @@ class CompromisePolicy final : public SchedulingPolicy {
 class AlwaysAdmitPolicy final : public SchedulingPolicy {
  public:
   bool allow(double outcome, const ResourceState& resource) const override;
+  double admission_bound(double capacity) const override;
   std::string name() const override { return "AlwaysAdmit"; }
 };
 

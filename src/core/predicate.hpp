@@ -27,14 +27,23 @@ class SchedulingPredicate {
   /// Algorithm 1, generalized to multi-resource periods: every declared
   /// demand must pass apply_policy on its resource. On true, all demands
   /// have been added to the load table atomically.
+  ///
+  /// apply_policy(remaining − demand) ⟺ usage + demand ≤ admission_bound
+  /// for every shipped policy (Strict: bound = capacity; Compromise:
+  /// x·capacity; AlwaysAdmit: +inf), so the check-then-increment is
+  /// expressed as an atomic budget acquisition on the period's stripe —
+  /// the same code path whether the caller holds the slow-lane lock or is
+  /// racing through the lock-free lane.
   bool try_schedule(const PeriodRecord& pp) {
-    for (const ResourceDemand& d : pp.demands) {
-      const ResourceState& res = resources_->state(d.resource);
-      const double outcome = res.remaining() - d.amount;
-      if (!policy_->allow(outcome, res)) return false;
-    }
-    for (const ResourceDemand& d : pp.demands) {
-      resources_->increment_load(d.resource, d.amount);
+    for (std::size_t i = 0; i < pp.demands.size(); ++i) {
+      const ResourceDemand& d = pp.demands[i];
+      if (!resources_->try_acquire(d.resource, d.amount, pp.stripe)) {
+        for (std::size_t j = 0; j < i; ++j) {
+          resources_->decrement_load(pp.demands[j].resource,
+                                     pp.demands[j].amount, pp.stripe);
+        }
+        return false;
+      }
     }
     return true;
   }

@@ -21,7 +21,17 @@ void ProgressMonitor::set_wake_strategy(
   strategy_ = std::move(strategy);
 }
 
-void ProgressMonitor::admit(PeriodId id) { admitted_.insert(id); }
+void ProgressMonitor::admit(PeriodId id) {
+  RDA_CHECK(registry_.mark_admitted(id));
+}
+
+void ProgressMonitor::disable_pool(sim::ProcessId process) {
+  if (disabled_pools_.insert(process).second) disabled_pool_count_.fetch_add(1);
+}
+
+void ProgressMonitor::enable_pool(sim::ProcessId process) {
+  if (disabled_pools_.erase(process) != 0) disabled_pool_count_.fetch_sub(1);
+}
 
 void ProgressMonitor::trace(obs::EventKind kind, double now,
                             const PeriodRecord& record) {
@@ -38,14 +48,45 @@ void ProgressMonitor::trace(obs::EventKind kind, double now,
   sink_->record(e);
 }
 
-void ProgressMonitor::wake_entry(const Waitlist::Entry& entry, double now) {
+void ProgressMonitor::wake_entry(const Waitlist::Entry& entry, double now,
+                                 bool notify) {
   ++stats_.wakes;
   if (sink_ != nullptr) {
     const PeriodRecord* record = registry_.find(entry.period);
     RDA_CHECK(record != nullptr);
     trace(obs::EventKind::kWake, now, *record);
   }
-  if (waker_) waker_(entry.thread);
+  if (notify) pending_wakes_.push_back({entry.thread, entry.period});
+}
+
+void ProgressMonitor::deliver(PendingDelivery batch) {
+  if (!batch.wakes.empty()) {
+    if (batch_waker_) {
+      batch_waker_(batch.wakes);
+    } else if (waker_) {
+      for (const WakeGrant& g : batch.wakes) waker_(g.thread);
+    }
+  }
+  if (!batch.evicts.empty() && evict_notifier_) evict_notifier_(batch.evicts);
+}
+
+void ProgressMonitor::flush_batch() {
+  // Callbacks run outside any batch; should one re-enter the monitor, the
+  // nested operation opens its own batch and drains its own additions.
+  while (!pending_wakes_.empty() || !pending_evicts_.empty()) {
+    std::vector<WakeGrant> wakes;
+    wakes.swap(pending_wakes_);
+    std::vector<EvictNotice> evicts;
+    evicts.swap(pending_evicts_);
+    if (!wakes.empty()) {
+      if (batch_waker_) {
+        batch_waker_(wakes);
+      } else if (waker_) {
+        for (const WakeGrant& g : wakes) waker_(g.thread);
+      }
+    }
+    if (!evicts.empty() && evict_notifier_) evict_notifier_(evicts);
+  }
 }
 
 bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force,
@@ -63,7 +104,7 @@ bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force,
     any = true;
   }
   if (!any) {
-    disabled_pools_.erase(process);
+    enable_pool(process);
     return true;
   }
   if (!force) {
@@ -80,7 +121,7 @@ bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force,
     const PeriodRecord* record = registry_.find(e.period);
     RDA_CHECK(record != nullptr);
     for (const ResourceDemand& d : record->demands) {
-      resources_->increment_load(d.resource, d.amount);
+      resources_->increment_load(d.resource, d.amount, record->stripe);
     }
     admit(e.period);
     if (force) {
@@ -89,15 +130,16 @@ bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force,
     }
     wake_entry(e, now);
   }
-  disabled_pools_.erase(process);
+  enable_pool(process);
   ++stats_.pool_group_admissions;
   return true;
 }
 
 ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
     PeriodRecord record, double now) {
+  WakeBatch batch(*this);
   record.begin_time = now;
-  record.lease_epoch = epoch_;
+  record.lease_epoch = epoch_.load();
   const sim::ThreadId thread = record.thread;
   const sim::ProcessId process = record.process;
   // insert rejects a nested begin (periods do not nest, §2.3) before any
@@ -132,7 +174,7 @@ ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
     }
     if (targets_free) {
       for (const ResourceDemand& d : stored->demands) {
-        resources_->increment_load(d.resource, d.amount);
+        resources_->increment_load(d.resource, d.amount, stored->stripe);
       }
       admit(id);
       ++stats_.forced_admissions;
@@ -143,7 +185,7 @@ ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
     }
     if (options_.pool_guard && is_pool(process)) {
       // §3.4: one denied member disables the whole pool.
-      disabled_pools_.insert(process);
+      disable_pool(process);
       ++stats_.pool_disables;
       trace(obs::EventKind::kPoolDisable, now, *stored);
     }
@@ -156,10 +198,55 @@ ProgressMonitor::BeginOutcome ProgressMonitor::begin_period(
   entry.enqueue_time = now;
   entry.demand = stored->primary_demand();
   entry.last_escalation_time = now;
-  waitlist_.push(entry);
+  const std::uint64_t pre_park_version = resources_->version();
+  waitlist_.push(entry);  // seq_cst publish: the parker's Dekker store
   ++stats_.blocks;
   trace(obs::EventKind::kBlock, now, *stored);
+
+  // Second look after the park is published — the parker's half of the
+  // lost-wake Dekker handshake with the lock-free release lane. A release
+  // that drained its budget before our push also missed our waitlist entry;
+  // re-running the predicate here sees its returned capacity. When calls
+  // are serialized this provably never fires (nothing changed since the
+  // failed try_schedule above), so sim traces are untouched.
+  if (!(options_.pool_guard && pool_disabled(process))) {
+    if (predicate_->try_schedule(*stored)) {
+      const std::vector<Waitlist::Entry> self = waitlist_.drain_admissible(
+          [id](const Waitlist::Entry& e) { return e.period == id; },
+          /*head_only=*/false);
+      RDA_CHECK(self.size() == 1);
+      admit(id);
+      wake_entry(self.front(), now, /*notify=*/false);  // we ARE the waiter
+      outcome.admitted = true;
+      outcome.woke_from_waitlist = true;
+      return outcome;
+    }
+  } else if (resources_->version() != pre_park_version &&
+             try_admit_pool(process, /*force=*/false, now) &&
+             is_admitted(id)) {
+    // Pool flavour of the same handshake, run only when a lock-free release
+    // moved the budget while we parked (version changed) — a release whose
+    // Dekker flag load missed our push can have made the whole group fit.
+    // Serialized runs never re-check here, keeping legacy trace order. The
+    // group admission queued a self-wake for us; withdraw it — we return
+    // admitted instead of sleeping.
+    for (auto it = pending_wakes_.rbegin(); it != pending_wakes_.rend();
+         ++it) {
+      if (it->thread == thread) {
+        pending_wakes_.erase(std::next(it).base());
+        break;
+      }
+    }
+    outcome.admitted = true;
+    outcome.woke_from_waitlist = true;
+    return outcome;
+  }
   return outcome;
+}
+
+void ProgressMonitor::rescan_release(double now) {
+  WakeBatch batch(*this);
+  rescan(now);
 }
 
 void ProgressMonitor::rescan(double now) {
@@ -182,10 +269,17 @@ void ProgressMonitor::rescan(double now) {
   for (;;) {
     const std::size_t i = strategy_->select(waitlist_.entries(), fits);
     if (i == WakeStrategy::npos) break;
-    const Waitlist::Entry e = waitlist_.remove_at(i);
+    Waitlist::Entry e = waitlist_.remove_at(i);
     const PeriodRecord* record = registry_.find(e.period);
     RDA_CHECK(record != nullptr);
-    RDA_CHECK(predicate_->try_schedule(*record));
+    if (!predicate_->try_schedule(*record)) {
+      // The advisory would_admit read a budget a concurrent fast-lane
+      // admission claimed first. Re-park at the original FIFO position and
+      // stop: this pass's capacity view is stale. (Serialized, the charge
+      // cannot fail — would_admit and try_schedule see the same budget.)
+      waitlist_.restore(std::move(e));
+      break;
+    }
     admit(e.period);
     wake_entry(e, now);
   }
@@ -208,7 +302,7 @@ void ProgressMonitor::rescan(double now) {
         const PeriodRecord* record = registry_.find(head.period);
         RDA_CHECK(record != nullptr);
         for (const ResourceDemand& d : record->demands) {
-          resources_->increment_load(d.resource, d.amount);
+          resources_->increment_load(d.resource, d.amount, record->stripe);
         }
         admit(head.period);
         ++stats_.forced_admissions;
@@ -252,6 +346,7 @@ void ProgressMonitor::watchdog_rounds(double now) {
 }
 
 bool ProgressMonitor::watchdog_tick(double now) {
+  WakeBatch batch(*this);
   const WatchdogOptions& wd = options_.watchdog;
   if (!wd.enable || wd.max_wait_seconds <= 0.0 || waitlist_.empty()) {
     return false;
@@ -274,6 +369,7 @@ bool ProgressMonitor::watchdog_tick(double now) {
 }
 
 bool ProgressMonitor::watchdog_stalled(double now) {
+  WakeBatch batch(*this);
   if (!options_.watchdog.enable || waitlist_.empty()) return false;
   for (std::size_t i = 0; i < waitlist_.size(); ++i) {
     if (waitlist_.entry_at(i).rung >= 3) continue;
@@ -329,7 +425,7 @@ bool ProgressMonitor::escalate(std::size_t index, double now) {
     e.rung = 2;
     if (wd.force_admit) {
       for (const ResourceDemand& d : record->demands) {
-        resources_->increment_load(d.resource, d.amount);
+        resources_->increment_load(d.resource, d.amount, record->stripe);
         resources_->add_oversubscribed(d.resource, d.amount);
       }
       record->oversub = true;
@@ -344,7 +440,8 @@ bool ProgressMonitor::escalate(std::size_t index, double now) {
   }
 
   // Rung 3: evict with an error. No Waker grant — the substrate surfaces
-  // the rejection to the sleeping owner via take_rejection*.
+  // the rejection to the sleeping owner via take_rejection* and the
+  // batched eviction notice.
   e.rung = 3;
   if (wd.reject) {
     const Waitlist::Entry evicted = waitlist_.remove_at(index);
@@ -353,6 +450,8 @@ bool ProgressMonitor::escalate(std::size_t index, double now) {
     trace(obs::EventKind::kReject, now, closed);
     rejected_.emplace(closed.id, closed.thread);
     rejected_by_thread_.emplace(closed.thread, closed.id);
+    pending_evicts_.push_back(
+        {closed.thread, closed.id, "starvation watchdog evicted the request"});
     return true;
   }
   return false;  // ladder fully disabled for this entry; never re-checked
@@ -361,23 +460,31 @@ bool ProgressMonitor::escalate(std::size_t index, double now) {
 ProgressMonitor::ReapOutcome ProgressMonitor::reap_period(
     PeriodId id, double now, bool remember_waiter) {
   ReapOutcome outcome;
-  if (registry_.find(id) == nullptr) return outcome;
+  // try_remove claims the record atomically against a racing fast-lane
+  // release: whoever removes it owns its discharge, the loser sees nothing.
+  std::optional<PeriodRecord> record = registry_.try_remove(id);
+  if (!record.has_value()) return outcome;
   outcome.reaped = true;
   outcome.period = id;
-  outcome.was_admitted = admitted_.erase(id) != 0;
+  outcome.was_admitted = record->admitted;
   if (!outcome.was_admitted) {
-    waitlist_.drain_admissible(
+    const std::vector<Waitlist::Entry> drained = waitlist_.drain_admissible(
         [&](const Waitlist::Entry& e) { return e.period == id; },
         /*head_only=*/false);
-    if (remember_waiter) reclaimed_.insert(id);
+    if (remember_waiter) {
+      reclaimed_.insert(id);
+      for (const Waitlist::Entry& e : drained) {
+        pending_evicts_.push_back(
+            {e.thread, id, "waitlisted period was reclaimed"});
+      }
+    }
   }
-  const PeriodRecord record = registry_.remove(id);
   ++stats_.reclaims;
-  trace(obs::EventKind::kReclaim, now, record);
+  trace(obs::EventKind::kReclaim, now, *record);
   if (outcome.was_admitted) {
-    for (const ResourceDemand& d : record.demands) {
-      resources_->decrement_load(d.resource, d.amount);
-      if (record.oversub) {
+    for (const ResourceDemand& d : record->demands) {
+      resources_->decrement_load(d.resource, d.amount, record->stripe);
+      if (record->oversub) {
         resources_->remove_oversubscribed(d.resource, d.amount);
       }
     }
@@ -390,6 +497,7 @@ ProgressMonitor::ReapOutcome ProgressMonitor::reap_period(
 
 ProgressMonitor::ReapOutcome ProgressMonitor::reap_thread(
     sim::ThreadId thread, double now, bool remember_waiter) {
+  WakeBatch batch(*this);
   const std::optional<PeriodId> id = registry_.active_for_thread(thread);
   if (!id.has_value()) return {};
   return reap_period(*id, now, remember_waiter);
@@ -397,9 +505,11 @@ ProgressMonitor::ReapOutcome ProgressMonitor::reap_thread(
 
 std::size_t ProgressMonitor::sweep(std::uint64_t max_epoch_age, double now,
                                    bool remember_waiters) {
+  WakeBatch batch(*this);
+  const std::uint64_t epoch = epoch_.load();
   std::vector<PeriodId> stale;
   for (const PeriodRecord& r : registry_.snapshot()) {
-    if (epoch_ - r.lease_epoch > max_epoch_age) stale.push_back(r.id);
+    if (epoch - r.lease_epoch > max_epoch_age) stale.push_back(r.id);
   }
   std::sort(stale.begin(), stale.end());  // deterministic reap order
   std::size_t reaped = 0;
@@ -414,7 +524,7 @@ void ProgressMonitor::heartbeat(sim::ThreadId thread) {
   if (!id.has_value()) return;
   PeriodRecord* record = registry_.find_mutable(*id);
   RDA_CHECK(record != nullptr);
-  record->lease_epoch = epoch_;
+  record->lease_epoch = epoch_.load();
 }
 
 bool ProgressMonitor::take_rejection(PeriodId id) {
@@ -449,16 +559,16 @@ std::vector<sim::ThreadId> ProgressMonitor::rejected_threads() const {
 }
 
 PeriodRecord ProgressMonitor::end_period(PeriodId id, double now) {
+  WakeBatch batch(*this);
   ++stats_.ends;
   PeriodRecord record = registry_.remove(id);
-  const bool was_admitted = admitted_.erase(id) != 0;
-  RDA_CHECK_MSG(was_admitted,
+  RDA_CHECK_MSG(record.admitted,
                 "pp_end on period " << id
                                     << " that was never admitted (still "
                                        "waitlisted?)");
   trace(obs::EventKind::kEnd, now, record);
   for (const ResourceDemand& d : record.demands) {
-    resources_->decrement_load(d.resource, d.amount);
+    resources_->decrement_load(d.resource, d.amount, record.stripe);
     if (record.oversub) {
       resources_->remove_oversubscribed(d.resource, d.amount);
     }
@@ -468,8 +578,11 @@ PeriodRecord ProgressMonitor::end_period(PeriodId id, double now) {
 }
 
 bool ProgressMonitor::cancel_waiting(PeriodId id, double now) {
-  if (admitted_.count(id) != 0) return false;
-  if (registry_.find(id) == nullptr) return false;
+  WakeBatch batch(*this);
+  {
+    const PeriodRecord* record = registry_.find(id);
+    if (record == nullptr || record->admitted) return false;
+  }
   waitlist_.drain_admissible(
       [&](const Waitlist::Entry& e) { return e.period == id; },
       /*head_only=*/false);

@@ -17,8 +17,18 @@
 //   * liveness override: a period whose demand can never fit (larger than
 //     the policy bound) is force-admitted when the resource is completely
 //     free — otherwise a paper-conform system would hang forever on it.
+//
+// Sharded-core edition: this is the SLOW LANE of the two-lane AdmissionCore.
+// All calls are serialized by the core's slow mutex (or by the caller, for
+// direct users like the unit tests); internally the monitor now sits on the
+// sharded registry/waitlist and stripes its load charges, so its bookkeeping
+// composes with the lock-free fast lane running beside it. Wakes are
+// BATCHED: a rescan appends woken threads to a pending list and the
+// outermost operation flushes them in one pass (one notify for the whole
+// pp_end storm instead of one per admission).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -29,6 +39,7 @@
 
 #include "core/predicate.hpp"
 #include "core/registry.hpp"
+#include "core/sharding.hpp"
 #include "core/waitlist.hpp"
 #include "obs/sink.hpp"
 
@@ -113,13 +124,46 @@ class ProgressMonitor {
  public:
   using WakeFn = std::function<void(sim::ThreadId)>;
 
+  /// One admission grant bound for a sleeping owner. Carrying the PERIOD id
+  /// (not just the thread) lets an asynchronous substrate discard a grant
+  /// that was delivered late — after its period was already recovered,
+  /// withdrawn, or ended — instead of mistaking it for the thread's next
+  /// period's grant.
+  struct WakeGrant {
+    sim::ThreadId thread = sim::kInvalidThread;
+    PeriodId period = kInvalidPeriod;
+  };
+
+  /// One call per flush with every grant issued by the operation, in wake
+  /// order — lets the native gate hand out all grants under one lock and
+  /// issue a single notify for the whole batch.
+  using BatchWakeFn = std::function<void(const std::vector<WakeGrant>&)>;
+
+  /// A waiter evicted without a wake grant (watchdog rung 3, or reaped off
+  /// the waitlist): the substrate must rouse the sleeping owner so it can
+  /// observe the error instead of sleeping to its timeout.
+  struct EvictNotice {
+    sim::ThreadId thread = sim::kInvalidThread;
+    PeriodId period = kInvalidPeriod;
+    const char* reason = "";
+  };
+  using EvictFn = std::function<void(const std::vector<EvictNotice>&)>;
+
   /// Non-owning references must outlive the monitor.
   ProgressMonitor(SchedulingPredicate& predicate, ResourceMonitor& resources,
                   MonitorOptions options = {});
 
   /// Channel used to resume a previously paused thread once its period is
-  /// admitted (the kernel wake event of the paper's implementation).
+  /// admitted (the kernel wake event of the paper's implementation). Wakes
+  /// are delivered at the end of the outermost monitor operation, in the
+  /// order the admissions happened.
   void set_waker(WakeFn waker) { waker_ = std::move(waker); }
+  /// Batched alternative; takes precedence over set_waker when both are set.
+  void set_batch_waker(BatchWakeFn waker) { batch_waker_ = std::move(waker); }
+  /// Eviction-notice channel (flushed with the wakes).
+  void set_evict_notifier(EvictFn notifier) {
+    evict_notifier_ = std::move(notifier);
+  }
 
   /// Replaces the wake-order strategy (defaults to the one selected by
   /// MonitorOptions::wake_order). Must not be null.
@@ -136,11 +180,21 @@ class ProgressMonitor {
   bool pool_disabled(sim::ProcessId process) const {
     return disabled_pools_.count(process) != 0;
   }
+  /// Lock-free count of currently disabled pools — part of the fast lane's
+  /// calm check (a disabled pool means §3.4 group semantics are live and
+  /// every admission must go through the slow lane).
+  std::size_t disabled_pool_count() const {
+    return disabled_pool_count_.load();
+  }
 
   struct BeginOutcome {
     PeriodId id = kInvalidPeriod;
     bool admitted = false;
     bool forced = false;  ///< admitted via the liveness override
+    /// Admitted on the post-park second look (the in-monitor half of the
+    /// lost-wake Dekker handshake): the period visited the waitlist but the
+    /// caller never needs to sleep. Impossible when calls are serialized.
+    bool woke_from_waitlist = false;
   };
 
   /// pp_begin. The record's id field is assigned by the registry.
@@ -154,6 +208,11 @@ class ProgressMonitor {
   /// unknown. Rescans afterwards: removing the waiter can re-enable a pool
   /// it had disabled (and thereby admit the remaining members).
   bool cancel_waiting(PeriodId id, double now);
+
+  /// Re-offers freed capacity to the waitlist. The fast release lane calls
+  /// this (under the core's slow mutex) when its Dekker check sees parked
+  /// waiters or a disabled pool after a lock-free discharge.
+  void rescan_release(double now);
 
   /// --- Orphan reclamation (lease/heartbeat) -------------------------------
 
@@ -178,8 +237,8 @@ class ProgressMonitor {
 
   /// Refreshes the lease of the thread's active period (no-op when none).
   void heartbeat(sim::ThreadId thread);
-  void advance_epoch() { ++epoch_; }
-  std::uint64_t epoch() const { return epoch_; }
+  void advance_epoch() { epoch_.fetch_add(1); }
+  std::uint64_t epoch() const { return epoch_.load(); }
 
   /// --- Starvation watchdog -------------------------------------------------
 
@@ -204,16 +263,68 @@ class ProgressMonitor {
   bool is_reclaimed(PeriodId id) const { return reclaimed_.count(id) != 0; }
   bool take_reclaimed(PeriodId id) { return reclaimed_.erase(id) != 0; }
 
-  bool is_admitted(PeriodId id) const { return admitted_.count(id) != 0; }
+  bool is_admitted(PeriodId id) const {
+    const PeriodRecord* record = registry_.find(id);
+    return record != nullptr && record->admitted;
+  }
 
   const MonitorStats& stats() const { return stats_; }
-  const Waitlist& waitlist() const { return waitlist_; }
-  const PeriodRegistry& registry() const { return registry_; }
-  std::size_t admitted_count() const { return admitted_.size(); }
+  const ShardedWaitlist& waitlist() const { return waitlist_; }
+  const ShardedRegistry& registry() const { return registry_; }
+  /// Fast-lane access: the core's lock-free admit inserts pre-admitted
+  /// records and its release claims calm records directly off the shards.
+  ShardedRegistry& mutable_registry() { return registry_; }
+
+  /// Wakes/evictions captured by a redirected WakeBatch for delivery after
+  /// the caller releases its locks: substrate wake callbacks may re-enter
+  /// the core (the sim engine's death-at-wake fault path reaps the dying
+  /// thread from inside the wake), so they must never run under the slow
+  /// mutex.
+  struct PendingDelivery {
+    std::vector<WakeGrant> wakes;
+    std::vector<EvictNotice> evicts;
+  };
+
+  /// Invokes the wake/evict callbacks for a captured batch. Call WITHOUT
+  /// the core's slow mutex held.
+  void deliver(PendingDelivery batch);
+
+  /// Scopes one logical monitor operation: wakes/evictions accumulated by
+  /// nested calls are flushed when the outermost batch closes. Every public
+  /// mutating entry point opens one, so direct users need not bother; the
+  /// admission core opens a REDIRECTED one (outermost, under its slow
+  /// mutex) so the callbacks can be invoked after the mutex is released.
+  class WakeBatch {
+   public:
+    explicit WakeBatch(ProgressMonitor& monitor,
+                       PendingDelivery* redirect = nullptr)
+        : monitor_(monitor), redirect_(redirect) {
+      ++monitor_.batch_depth_;
+    }
+    WakeBatch(const WakeBatch&) = delete;
+    WakeBatch& operator=(const WakeBatch&) = delete;
+    ~WakeBatch() {
+      if (--monitor_.batch_depth_ != 0) return;
+      if (redirect_ != nullptr) {
+        redirect_->wakes = std::move(monitor_.pending_wakes_);
+        redirect_->evicts = std::move(monitor_.pending_evicts_);
+        monitor_.pending_wakes_.clear();
+        monitor_.pending_evicts_.clear();
+      } else {
+        monitor_.flush_batch();
+      }
+    }
+
+   private:
+    ProgressMonitor& monitor_;
+    PendingDelivery* redirect_;
+  };
 
  private:
   void admit(PeriodId id);  ///< bookkeeping common to every admission
-  void wake_entry(const Waitlist::Entry& entry, double now);
+  void wake_entry(const Waitlist::Entry& entry, double now,
+                  bool notify = true);
+  void flush_batch();
   /// Re-evaluates the waitlist after load decreased.
   void rescan(double now);
   /// Reap implementation shared by reap_thread and sweep.
@@ -226,6 +337,8 @@ class ProgressMonitor {
   /// Group admission check for one disabled pool; admits and wakes the whole
   /// group when it fits. Returns true if the pool was re-enabled.
   bool try_admit_pool(sim::ProcessId process, bool force, double now);
+  void disable_pool(sim::ProcessId process);
+  void enable_pool(sim::ProcessId process);
   /// Emits one lifecycle event when a sink is attached.
   void trace(obs::EventKind kind, double now, const PeriodRecord& record);
 
@@ -234,21 +347,28 @@ class ProgressMonitor {
   MonitorOptions options_;
   std::unique_ptr<WakeStrategy> strategy_;
   WakeFn waker_;
+  BatchWakeFn batch_waker_;
+  EvictFn evict_notifier_;
   obs::TraceSink* sink_ = nullptr;
 
-  PeriodRegistry registry_;
-  Waitlist waitlist_;
-  std::unordered_set<PeriodId> admitted_;  ///< periods holding load
+  ShardedRegistry registry_;
+  ShardedWaitlist waitlist_;
   std::set<sim::ProcessId> pools_;
   std::set<sim::ProcessId> disabled_pools_;
+  std::atomic<std::size_t> disabled_pool_count_{0};
   MonitorStats stats_;
 
-  std::uint64_t epoch_ = 0;  ///< lease clock (advance_epoch)
+  std::atomic<std::uint64_t> epoch_{0};  ///< lease clock (advance_epoch)
   /// Unconsumed watchdog rejections, both directions (period↔thread).
   std::unordered_map<PeriodId, sim::ThreadId> rejected_;
   std::unordered_map<sim::ThreadId, PeriodId> rejected_by_thread_;
   /// Waitlisted periods reaped out from under a live waiter.
   std::unordered_set<PeriodId> reclaimed_;
+
+  /// Batched wake/evict delivery (see WakeBatch).
+  int batch_depth_ = 0;
+  std::vector<WakeGrant> pending_wakes_;
+  std::vector<EvictNotice> pending_evicts_;
 };
 
 }  // namespace rda::core

@@ -72,7 +72,7 @@ class RdaScheduler final : public sim::PhaseGate {
   AdmissionCore& core() { return core_; }
   const AdmissionCore& core() const { return core_; }
 
-  const MonitorStats& monitor_stats() const { return core_.stats(); }
+  MonitorStats monitor_stats() const { return core_.stats(); }
   std::uint64_t fast_path_hits() const { return core_.fast_path_hits(); }
   std::uint64_t partitioned_periods() const {
     return core_.partitioned_periods();

@@ -4,7 +4,13 @@
 
 namespace rda::core {
 
-PeriodId PeriodRegistry::insert(PeriodRecord record) {
+namespace {
+/// Per-registry stash bound: deep enough to absorb any realistic number of
+/// concurrently active periods per shard, small enough to be noise.
+constexpr std::size_t kNodeStashCap = 64;
+}  // namespace
+
+PeriodId PeriodRegistry::insert(PeriodRecord&& record) {
   for (const ResourceDemand& d : record.demands) {
     RDA_CHECK_MSG(d.amount >= 0.0, "negative period demand on "
                                        << to_string(d.resource));
@@ -13,10 +19,27 @@ PeriodId PeriodRegistry::insert(PeriodRecord record) {
                 "thread " << record.thread
                           << " already has an active period; periods do not "
                              "nest");
-  record.id = next_id_++;
+  record.id = next_id_;
+  next_id_ += stride_;
   const PeriodId id = record.id;
-  by_thread_.emplace(record.thread, id);
-  records_.emplace(id, std::move(record));
+  if (!thread_nodes_.empty()) {
+    ThreadMap::node_type node = std::move(thread_nodes_.back());
+    thread_nodes_.pop_back();
+    node.key() = record.thread;
+    node.mapped() = id;
+    by_thread_.insert(std::move(node));
+  } else {
+    by_thread_.emplace(record.thread, id);
+  }
+  if (!record_nodes_.empty()) {
+    RecordMap::node_type node = std::move(record_nodes_.back());
+    record_nodes_.pop_back();
+    node.key() = id;
+    node.mapped() = std::move(record);
+    records_.insert(std::move(node));
+  } else {
+    records_.emplace(id, std::move(record));
+  }
   return id;
 }
 
@@ -34,9 +57,15 @@ PeriodRecord PeriodRegistry::remove(PeriodId id) {
   const auto it = records_.find(id);
   RDA_CHECK_MSG(it != records_.end(),
                 "pp_end with unknown period id " << id);
-  PeriodRecord record = std::move(it->second);
-  records_.erase(it);
-  by_thread_.erase(record.thread);
+  RecordMap::node_type node = records_.extract(it);
+  PeriodRecord record = std::move(node.mapped());
+  if (record_nodes_.size() < kNodeStashCap) {
+    record_nodes_.push_back(std::move(node));
+  }
+  ThreadMap::node_type tnode = by_thread_.extract(record.thread);
+  if (tnode && thread_nodes_.size() < kNodeStashCap) {
+    thread_nodes_.push_back(std::move(tnode));
+  }
   return record;
 }
 

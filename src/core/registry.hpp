@@ -51,6 +51,13 @@ struct PeriodRecord {
   /// mirrored in the resource monitor's oversubscription tally and must be
   /// removed from both sides on release/reap.
   bool oversub = false;
+  /// Currently admitted (load charged)? False while parked on a waitlist.
+  /// Replaces the old monitor-side admitted set so the lock-free release
+  /// path learns the period's fate from the record it removed.
+  bool admitted = false;
+  /// ResourceMonitor stripe this period's load was charged on; its pp_end
+  /// must discharge the same stripe.
+  std::uint32_t stripe = 0;
 
   /// Declares a single-resource period (the common, paper-default case).
   void set_single(ResourceKind resource, double amount) {
@@ -79,8 +86,16 @@ struct PeriodRecord {
 
 class PeriodRegistry {
  public:
+  /// Ids are assigned first_id, first_id+stride, first_id+2·stride, … —
+  /// the sharded registry gives each shard a distinct residue class so ids
+  /// stay globally unique without cross-shard coordination.
+  explicit PeriodRegistry(PeriodId first_id = 1, PeriodId stride = 1)
+      : next_id_(first_id), stride_(stride) {}
+
   /// Registers a new active period; assigns and returns its unique id.
-  PeriodId insert(PeriodRecord record);
+  /// Validates before moving: if it throws (nested begin, negative demand)
+  /// the caller's record is untouched and still owns its demands.
+  PeriodId insert(PeriodRecord&& record);
 
   /// nullptr if the id is not active.
   const PeriodRecord* find(PeriodId id) const;
@@ -103,9 +118,19 @@ class PeriodRegistry {
   std::vector<PeriodRecord> snapshot() const;
 
  private:
-  std::unordered_map<PeriodId, PeriodRecord> records_;
-  std::unordered_map<sim::ThreadId, PeriodId> by_thread_;
+  using RecordMap = std::unordered_map<PeriodId, PeriodRecord>;
+  using ThreadMap = std::unordered_map<sim::ThreadId, PeriodId>;
+
+  RecordMap records_;
+  ThreadMap by_thread_;
   PeriodId next_id_ = 1;
+  PeriodId stride_ = 1;
+  /// Extracted-node stashes: begin/end on the calm path would otherwise pay
+  /// two map-node mallocs and two frees per period. remove() parks the
+  /// nodes here; insert() re-keys them. Bounded so an admission burst does
+  /// not pin memory forever.
+  std::vector<RecordMap::node_type> record_nodes_;
+  std::vector<ThreadMap::node_type> thread_nodes_;
 };
 
 }  // namespace rda::core

@@ -1,69 +1,230 @@
 #include "core/resource_monitor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
 namespace rda::core {
+
+namespace {
+
+// fetch_add for atomic<double> (not guaranteed lock-free as a member op on
+// all toolchains; a CAS loop is, given atomic<double>::is_always_lock_free
+// on this platform's 8-byte doubles).
+double atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load();
+  while (!a.compare_exchange_weak(cur, cur + delta)) {
+  }
+  return cur + delta;
+}
+
+}  // namespace
 
 ResourceMonitor::ResourceMonitor() = default;
 
 void ResourceMonitor::set_capacity(ResourceKind kind, double capacity) {
   RDA_CHECK_MSG(capacity > 0.0, "capacity must be positive for "
                                     << to_string(kind));
-  states_[static_cast<std::size_t>(kind)].capacity = capacity;
-  ++version_;
+  capacities_[static_cast<std::size_t>(kind)].store(capacity);
+  set_admission_bound(kind, capacity);
 }
 
-const ResourceState& ResourceMonitor::state(ResourceKind kind) const {
-  return states_[static_cast<std::size_t>(kind)];
+void ResourceMonitor::set_admission_bound(ResourceKind kind, double bound) {
+  RDA_CHECK_MSG(bound > 0.0, "admission bound must be positive for "
+                                 << to_string(kind));
+  bounds_[static_cast<std::size_t>(kind)].store(bound);
+  auto& stripes = stripes_[static_cast<std::size_t>(kind)];
+  double total_usage = 0.0;
+  for (auto& s : stripes) total_usage += s.usage.load();
+  // Even split keeps MB-scale budgets binary-exact (kStripes is a power of
+  // two) and gives every shard local headroom before it has to steal. An
+  // infinite bound splits into infinite stripes, which is exactly right.
+  // Usage already past the new bound (reconfiguring under forced load)
+  // becomes overdraft, never negative free.
+  const double per_stripe = std::max(0.0, bound - total_usage) / kStripes;
+  overdraft_[static_cast<std::size_t>(kind)].store(
+      std::max(0.0, total_usage - bound));
+  for (auto& s : stripes) s.free.store(per_stripe);
+  stripes[0].version.fetch_add(1);  // legacy: reconfiguration bumps the epoch
 }
 
-void ResourceMonitor::increment_load(ResourceKind kind, double demand) {
+ResourceState ResourceMonitor::state(ResourceKind kind) const {
+  return ResourceState{capacity(kind), usage(kind)};
+}
+
+double ResourceMonitor::usage(ResourceKind kind) const {
+  const auto& stripes = stripes_[static_cast<std::size_t>(kind)];
+  double sum = 0.0;
+  // Bounded seqlock: retry while the stripes moved underneath the sum, but
+  // never spin forever — a slightly torn advisory read beats a livelocked
+  // reader under fast-lane churn.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t before = version_sum(kind);
+    sum = 0.0;
+    for (const auto& s : stripes) sum += s.usage.load();
+    if (version_sum(kind) == before) break;
+  }
+  return sum;
+}
+
+double ResourceMonitor::total_free(ResourceKind kind) const {
+  const auto& stripes = stripes_[static_cast<std::size_t>(kind)];
+  double sum = 0.0;
+  for (const auto& s : stripes) sum += s.free.load();
+  return sum;
+}
+
+bool ResourceMonitor::try_acquire(ResourceKind kind, double demand,
+                                  std::uint32_t stripe) {
   RDA_CHECK_MSG(demand >= 0.0, "negative demand on " << to_string(kind));
-  states_[static_cast<std::size_t>(kind)].usage += demand;
-  ++version_;
+  auto& stripes = stripes_[static_cast<std::size_t>(kind)];
+  Stripe& own = stripes[stripe % kStripes];
+  if (demand == 0.0) {  // a zero claim always fits; keep the epoch moving
+    own.version.fetch_add(1);
+    return true;
+  }
+  // Fast path: the home stripe has the whole claim.
+  double f = own.free.load();
+  while (f >= demand) {
+    if (own.free.compare_exchange_weak(f, f - demand)) {
+      atomic_add(own.usage, demand);
+      own.version.fetch_add(1);
+      return true;
+    }
+  }
+  // Steal the shortfall from siblings, recording every partial claim so a
+  // failed acquisition can be rolled back exactly.
+  std::array<double, kStripes> taken{};
+  double got = 0.0;
+  for (std::uint32_t i = 0; i < kStripes && got < demand; ++i) {
+    Stripe& s = stripes[(stripe + i) % kStripes];
+    double free = s.free.load();
+    while (free > 0.0) {
+      const double take = std::min(free, demand - got);
+      if (s.free.compare_exchange_weak(free, free - take)) {
+        taken[(stripe + i) % kStripes] = take;
+        got += take;
+        break;
+      }
+    }
+  }
+  if (got == demand) {  // final steal takes exactly demand-got: sum is exact
+    atomic_add(own.usage, demand);
+    own.version.fetch_add(1);
+    return true;
+  }
+  for (std::uint32_t s = 0; s < kStripes; ++s) {
+    if (taken[s] > 0.0) atomic_add(stripes[s].free, taken[s]);
+  }
+  return false;
 }
 
-void ResourceMonitor::decrement_load(ResourceKind kind, double demand) {
+void ResourceMonitor::increment_load(ResourceKind kind, double demand,
+                                     std::uint32_t stripe) {
   RDA_CHECK_MSG(demand >= 0.0, "negative demand on " << to_string(kind));
-  ResourceState& s = states_[static_cast<std::size_t>(kind)];
+  auto& stripes = stripes_[static_cast<std::size_t>(kind)];
+  Stripe& own = stripes[stripe % kStripes];
+  atomic_add(own.usage, demand);
+  // Forced charge: consume whatever free budget exists (own stripe first),
+  // then book the shortfall as overdraft. Free never goes negative, so a
+  // concurrent try_acquire can keep trusting any positive free it CASes
+  // away even while a watchdog force-admit overshoots the bound.
+  double need = demand;
+  for (std::uint32_t i = 0; i < kStripes && need > 0.0; ++i) {
+    Stripe& s = stripes[(stripe + i) % kStripes];
+    double free = s.free.load();
+    while (free > 0.0) {
+      const double take = std::min(free, need);
+      if (s.free.compare_exchange_weak(free, free - take)) {
+        need -= take;
+        break;
+      }
+    }
+  }
+  if (need > 0.0) atomic_add(overdraft_[static_cast<std::size_t>(kind)], need);
+  own.version.fetch_add(1);
+}
+
+void ResourceMonitor::decrement_load(ResourceKind kind, double demand,
+                                     std::uint32_t stripe) {
+  RDA_CHECK_MSG(demand >= 0.0, "negative demand on " << to_string(kind));
+  Stripe& own = stripes_[static_cast<std::size_t>(kind)][stripe % kStripes];
   // Relative tolerance: repeated add/subtract at megabyte scale accumulates
   // ~ulp-sized dust; a REAL underflow (double end, forged demand) is off by
   // a whole demand, far beyond this band.
   const double tolerance = 1e-6 * demand + 1e-9;
-  RDA_CHECK_MSG(s.usage + tolerance >= demand,
-                "load underflow on " << to_string(kind) << ": usage "
-                                     << s.usage << ", removing " << demand);
-  s.usage -= demand;
-  if (s.usage < dust_threshold(kind)) s.usage = 0.0;  // snap dust to zero
-  ++version_;
+  const double dust = dust_threshold(kind);
+  double u = own.usage.load();
+  double nu;
+  do {
+    RDA_CHECK_MSG(u + tolerance >= demand,
+                  "load underflow on " << to_string(kind) << ": usage " << u
+                                       << ", removing " << demand);
+    nu = u - demand;
+    if (nu < dust) nu = 0.0;  // snap dust to zero
+  } while (!own.usage.compare_exchange_weak(u, nu));
+  // Return exactly what left the usage stripe (demand plus any snapped
+  // dust): pay down forced-admission overdraft first, then refill this
+  // stripe's free pool — conserving Σu + Σf − overdraft == bound.
+  double give = u - nu;
+  std::atomic<double>& od = overdraft_[static_cast<std::size_t>(kind)];
+  double cur = od.load();
+  while (cur > 0.0 && give > 0.0) {
+    const double pay = std::min(cur, give);
+    if (od.compare_exchange_weak(cur, cur - pay)) {
+      give -= pay;
+      break;
+    }
+  }
+  if (give > 0.0) atomic_add(own.free, give);
+  own.version.fetch_add(1);
 }
 
 void ResourceMonitor::add_oversubscribed(ResourceKind kind, double demand) {
   RDA_CHECK_MSG(demand >= 0.0, "negative demand on " << to_string(kind));
-  oversub_[static_cast<std::size_t>(kind)] += demand;
+  atomic_add(oversub_[static_cast<std::size_t>(kind)], demand);
 }
 
 void ResourceMonitor::remove_oversubscribed(ResourceKind kind, double demand) {
   RDA_CHECK_MSG(demand >= 0.0, "negative demand on " << to_string(kind));
-  double& tally = oversub_[static_cast<std::size_t>(kind)];
+  std::atomic<double>& tally = oversub_[static_cast<std::size_t>(kind)];
   const double tolerance = 1e-6 * demand + 1e-9;
-  RDA_CHECK_MSG(tally + tolerance >= demand,
-                "oversubscription underflow on "
-                    << to_string(kind) << ": tally " << tally << ", removing "
-                    << demand);
-  tally -= demand;
-  if (tally < dust_threshold(kind)) tally = 0.0;
+  const double dust = dust_threshold(kind);
+  double t = tally.load();
+  double nt;
+  do {
+    RDA_CHECK_MSG(t + tolerance >= demand,
+                  "oversubscription underflow on "
+                      << to_string(kind) << ": tally " << t << ", removing "
+                      << demand);
+    nt = t - demand;
+    if (nt < dust) nt = 0.0;
+  } while (!tally.compare_exchange_weak(t, nt));
 }
 
 bool ResourceMonitor::effectively_free(ResourceKind kind) const {
-  return state(kind).usage <= dust_threshold(kind);
+  return usage(kind) <= dust_threshold(kind);
+}
+
+std::uint64_t ResourceMonitor::version() const {
+  std::uint64_t sum = 1;  // legacy monitors start at epoch 1
+  for (std::size_t r = 0; r < kNumResourceKinds; ++r) {
+    sum += version_sum(static_cast<ResourceKind>(r));
+  }
+  return sum;
+}
+
+std::uint64_t ResourceMonitor::version_sum(ResourceKind kind) const {
+  const auto& stripes = stripes_[static_cast<std::size_t>(kind)];
+  std::uint64_t sum = 0;
+  for (const auto& s : stripes) sum += s.version.load();
+  return sum;
 }
 
 double ResourceMonitor::dust_threshold(ResourceKind kind) const {
   // Anything below a millionth of capacity is arithmetic residue, not load.
-  return 1e-6 * std::max(1.0, state(kind).capacity);
+  return 1e-6 * std::max(1.0, capacity(kind));
 }
 
 }  // namespace rda::core

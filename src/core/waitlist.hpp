@@ -42,6 +42,9 @@ class Waitlist {
     std::uint32_t rounds = 0;
     std::uint8_t rung = 0;
     double last_escalation_time = 0.0;
+    /// Global arrival sequence, assigned by the sharded waitlist so the
+    /// cross-shard merged view can reconstruct true FIFO order.
+    std::uint64_t seq = 0;
   };
 
   void push(Entry entry) { entries_.push_back(entry); }

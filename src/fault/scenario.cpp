@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -71,6 +72,24 @@ void check_monitor_ledger(ScenarioResult& result,
           "period leak: begins=" + std::to_string(stats.begins) +
               " but ends+cancels+reclaims+rejections=" +
               std::to_string(closed));
+}
+
+/// The same every-door ledger must also balance the REVERSIBLE
+/// oversubscription tally: a rung-2 force-admitted period that leaves
+/// through any door (pp_end, orphan reclaim) takes its oversub charge with
+/// it, so at quiescence the tally is zero. A reclaim path that forgets the
+/// discharge leaks apparent capacity permanently — exactly the bug class
+/// this cell-level assert pins.
+void check_oversub_ledger(ScenarioResult& result, double oversubscribed) {
+  require(result, std::abs(oversubscribed) < 1e-6,
+          "oversubscription tally not drained: " +
+              std::to_string(oversubscribed) +
+              " still booked after every period closed");
+}
+
+void check_shard_audit(ScenarioResult& result,
+                       const core::AdmissionCore::AuditReport& audit) {
+  require(result, audit.ok, "shard audit failed: " + audit.detail);
 }
 
 void check_events(ScenarioResult& result, const obs::EventRecorder& recorder,
@@ -189,10 +208,9 @@ void run_sim(const ScenarioSpec& spec, FaultInjector& injector,
           "LLC load not conserved: " +
               std::to_string(core.resources().usage(ResourceKind::kLLC)) +
               " bytes still charged after all threads finished");
-  require(result, core.resources().oversubscribed(ResourceKind::kLLC) == 0.0,
-          "oversubscription tally not drained: " +
-              std::to_string(
-                  core.resources().oversubscribed(ResourceKind::kLLC)));
+  check_oversub_ledger(result,
+                       core.resources().oversubscribed(ResourceKind::kLLC));
+  check_shard_audit(result, core.audit());
   require(result, core.monitor().registry().active_count() == 0,
           "registry not drained: " +
               std::to_string(core.monitor().registry().active_count()) +
@@ -362,6 +380,8 @@ void run_native(const ScenarioSpec& spec, FaultInjector& injector,
   require(result, gate.waiting() == 0,
           "waitlist not drained: " + std::to_string(gate.waiting()) +
               " entries still parked");
+  check_oversub_ledger(result, gate.oversubscribed(ResourceKind::kLLC));
+  check_shard_audit(result, gate.audit());
   check_monitor_ledger(result, stats.monitor);
   check_events(result, recorder, stats.monitor);
 }

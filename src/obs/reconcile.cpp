@@ -196,6 +196,7 @@ ReconcileReport reconcile_waits(std::span<const Event> events,
   std::unordered_map<core::PeriodId, double> block_time;
   std::uint64_t blocks = 0;
   std::uint64_t resolved = 0;
+  std::uint64_t cancelled = 0;
   double event_wait_total = 0.0;
   for (const Event& e : events) {
     switch (e.kind) {
@@ -211,6 +212,7 @@ ReconcileReport reconcile_waits(std::span<const Event> events,
         const auto it = block_time.find(e.period);
         if (it != block_time.end()) {
           ++resolved;
+          if (e.kind == EventKind::kCancel) ++cancelled;
           event_wait_total += e.time - it->second;
           block_time.erase(it);
         }
@@ -244,6 +246,19 @@ ReconcileReport reconcile_waits(std::span<const Event> events,
     std::ostringstream os;
     os << "gate counted " << gate.waits << " waits but the monitor only "
        << blocks << " blocks — a sleep with no block event";
+    fail(os.str());
+  }
+  // The other direction: every block must be accounted for as a logical
+  // wait, a no-sleep second-look admission, or a withdrawn (cancelled)
+  // request. Timed-out waiters both sleep AND cancel, so this is an
+  // inequality, not an identity — but a gate that loses wait accounting
+  // (or stops counting under sliced waits) falls below it.
+  if (gate.waits + gate.no_sleep_blocks + cancelled < blocks) {
+    std::ostringstream os;
+    os << "the monitor counted " << blocks << " blocks but the gate only "
+       << gate.waits << " waits + " << gate.no_sleep_blocks
+       << " no-sleep blocks (+" << cancelled
+       << " cancelled) — a block whose wait was never accounted";
     fail(os.str());
   }
   const double slack =

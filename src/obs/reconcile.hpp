@@ -43,7 +43,10 @@ ReconcileReport reconcile(std::span<const Event> events,
 /// Plain numbers rather than rt::GateStats — obs must not depend on the
 /// runtime layer (the runtime already depends on obs for its trace sink).
 struct WaitStatsCheck {
-  std::uint64_t waits = 0;          ///< rt::GateStats::waits
+  std::uint64_t waits = 0;  ///< rt::GateStats::waits (one per LOGICAL wait)
+  /// rt::GateStats::no_sleep_blocks — periods that visited the waitlist but
+  /// were admitted on the in-core second look before their caller slept.
+  std::uint64_t no_sleep_blocks = 0;
   double total_wait_seconds = 0.0;  ///< rt::GateStats::total_wait_seconds
   /// Per-wait tolerance between the gate's wall-clock wait accounting and
   /// the event-timestamp-derived total. The gate times mutex reacquisition
@@ -59,7 +62,12 @@ struct WaitStatsCheck {
 ///     inputs, so they must agree to rounding);
 ///   * gate waits <= blocks (a try_begin blocks and withdraws without ever
 ///     sleeping, so the gate may count fewer sleeps than the monitor
-///     counts blocks — never more);
+///     counts blocks — never more). A hardened gate that counted every
+///     retry SLICE as a wait would trip this on the first multi-slice
+///     sleep — the check that pins "one logical wait per admission";
+///   * gate waits + no_sleep_blocks + cancel-resolved blocks >= blocks
+///     (every block is either slept on, admitted on the second look, or
+///     withdrawn — an unaccounted block means lost wait accounting);
 ///   * |gate total_wait_seconds - event-derived total| within slack.
 ReconcileReport reconcile_waits(std::span<const Event> events,
                                 const WaitHistogram& histogram,

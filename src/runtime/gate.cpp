@@ -1,7 +1,6 @@
 #include "runtime/gate.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <utility>
 
 #include "util/check.hpp"
@@ -23,6 +22,13 @@ core::AdmissionConfig to_core_config(const GateConfig& config) {
   c.trace_sink = config.trace_sink;
   c.fault_injector = config.fault_injector;
   return c;
+}
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
 }
 
 /// Gates opted into reap_on_thread_exit. Deliberately leaked (never
@@ -74,31 +80,59 @@ AdmissionGate::AdmissionGate(GateConfig config)
     : config_(config),
       core_(to_core_config(config)),
       epoch_(std::chrono::steady_clock::now()) {
-  // The kernel wake event: flag the thread and ping every sleeper. Runs
-  // under mu_ (the core is only ever called with mu_ held), so the insert
-  // needs no further synchronization. With an injector attached the
-  // notification itself becomes a fault site: a lost wake leaves the grant
-  // standing core-side (sliced waiters recover it); a delayed wake sets the
-  // flag but swallows the ping (the next slice poll finds it).
-  core_.set_waker([this](sim::ThreadId tid) {
-    const std::uint32_t token = static_cast<std::uint32_t>(tid);
-    if (config_.fault_injector != nullptr) {
-      const fault::FaultSpec* fired =
-          config_.fault_injector->consult(fault::Hook::kWake, tid);
-      if (fired != nullptr) {
-        if (fired->kind == fault::FaultKind::kLostWake) {
-          ++lost_wakes_;
-          return;
+  // The kernel wake event: flag each granted thread and ping the sleepers
+  // once per batch. The core invokes this AFTER releasing its slow mutex,
+  // possibly from several releasing threads at once — wait_mu_ serializes
+  // the map inserts and the injector consults. With an injector attached
+  // the notification itself becomes a fault site: a lost wake drops the
+  // flag entirely (sliced waiters recover the admission core-side); a
+  // delayed wake sets the flag but swallows the ping (the next slice poll
+  // finds it).
+  core_.set_batch_waker(
+      [this](const std::vector<core::ProgressMonitor::WakeGrant>& grants) {
+        bool ping = false;
+        wait_channel_dirty_.store(true, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lock(wait_mu_);
+          for (const core::ProgressMonitor::WakeGrant& g : grants) {
+            const std::uint32_t token = static_cast<std::uint32_t>(g.thread);
+            if (config_.fault_injector != nullptr) {
+              const fault::FaultSpec* fired =
+                  config_.fault_injector->consult(fault::Hook::kWake,
+                                                  g.thread);
+              if (fired != nullptr) {
+                if (fired->kind == fault::FaultKind::kLostWake) {
+                  lost_wakes_.fetch_add(1, std::memory_order_relaxed);
+                  continue;
+                }
+                if (fired->kind == fault::FaultKind::kDelayedWake) {
+                  granted_[token] = g.period;
+                  continue;
+                }
+              }
+            }
+            granted_[token] = g.period;
+            ping = true;
+          }
         }
-        if (fired->kind == fault::FaultKind::kDelayedWake) {
-          granted_.insert(token);
-          return;
+        if (ping) cv_.notify_all();
+      });
+  // Waiters evicted WITHOUT a grant (watchdog rung 3, reaped off the
+  // waitlist): record the verdict and rouse the sleeper so it observes the
+  // error instead of sleeping to its timeout. This channel is what lets
+  // end()/sweep() stay notification-free — every fate transition pings.
+  core_.set_evict_notifier(
+      [this](const std::vector<core::ProgressMonitor::EvictNotice>& notices) {
+        wait_channel_dirty_.store(true, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lock(wait_mu_);
+          for (const core::ProgressMonitor::EvictNotice& n : notices) {
+            evicted_[static_cast<std::uint32_t>(n.thread)] = {n.period,
+                                                              n.reason};
+          }
         }
-      }
-    }
-    granted_.insert(token);
-    cv_.notify_all();
-  });
+        cv_.notify_all();
+      });
   if (config_.reap_on_thread_exit) register_for_exit_reap(this);
 }
 
@@ -116,13 +150,6 @@ std::uint32_t AdmissionGate::self_id() {
   return token;
 }
 
-std::uint32_t AdmissionGate::group_of(std::uint32_t thread_id) const {
-  const auto it = groups_.find(thread_id);
-  // Default: every thread is its own singleton group, so pool semantics
-  // never trigger unless join_group was called.
-  return it == groups_.end() ? thread_id : it->second;
-}
-
 double AdmissionGate::now_seconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        epoch_)
@@ -132,80 +159,155 @@ double AdmissionGate::now_seconds() const {
 std::optional<core::PeriodId> AdmissionGate::begin_impl(
     std::vector<core::ResourceDemand> demands, ReuseLevel reuse,
     std::string label, WaitMode mode, std::chrono::nanoseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
   const std::uint32_t tid = self_id();
   if (config_.reap_on_thread_exit) arm_thread_exit_guard(tid);
 
   core::AdmitRequest request;
   request.thread = tid;
-  request.process = group_of(tid);
+  // Default: every thread is its own singleton group, so pool semantics
+  // never trigger unless join_group was called.
+  request.process = tid;
+  if (wait_channel_dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    // Scrub leftovers from the thread's previous period: a recovery path
+    // may have returned before its (injected-away or late) grant landed.
+    // Anything present now predates the period this begin creates.
+    granted_.erase(tid);
+    evicted_.erase(tid);
+    const auto it = groups_.find(tid);
+    if (it != groups_.end()) request.process = it->second;
+  }
   request.demands = std::move(demands);
   request.reuse = reuse;
   request.label = std::move(label);
 
-  const core::AdmitTicket ticket = core_.admit(std::move(request),
-                                               now_seconds());
-  if (ticket.admitted) return ticket.id;
+  const core::AdmitTicket ticket =
+      core_.admit(std::move(request), now_seconds());
+  if (ticket.admitted) {
+    if (ticket.woke_from_waitlist) {
+      no_sleep_blocks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ticket.id;
+  }
 
   if (mode == WaitMode::kTry) {
-    const bool withdrawn = core_.withdraw(ticket.id, now_seconds());
-    RDA_CHECK(withdrawn);
-    return std::nullopt;
-  }
-
-  ++waits_;
-  const double wait_start = now_seconds();
-
-  if (hardened()) {
-    const WaitOutcome outcome =
-        hardened_wait(lock, tid, ticket.id, mode, timeout);
-    total_wait_seconds_ += now_seconds() - wait_start;
-    if (outcome.failure != nullptr && mode == WaitMode::kBlocking) {
-      throw AdmissionRejected(ticket.id, outcome.failure);
+    switch (core_.try_withdraw(ticket.id, now_seconds())) {
+      case core::WithdrawResult::kCancelled:
+        return std::nullopt;
+      case core::WithdrawResult::kAlreadyAdmitted:
+        // The grant won the race between admit() returning and the
+        // withdraw; the capacity is charged — the caller owns the period.
+        consume_grant(tid, ticket.id);
+        return ticket.id;
+      case core::WithdrawResult::kGone:
+        // Rejected or reclaimed before we could withdraw; consume the fate
+        // so it cannot leak into the thread's next begin.
+        (void)core_.take_rejection(ticket.id);
+        (void)core_.take_reclaimed(ticket.id);
+        return std::nullopt;
     }
-    return outcome.id;
+    return std::nullopt;  // unreachable
   }
 
-  // Paper-faithful fast path: a single predicate wait on the grant flag.
-  bool granted = true;
+  // One logical wait, however many slices it takes (wait_slices_ counts
+  // those separately — the old per-slice accounting double-counted).
+  waits_.fetch_add(1, std::memory_order_relaxed);
+  const double wait_start = now_seconds();
+  const WaitOutcome outcome = hardened()
+                                  ? hardened_wait(tid, ticket.id, mode, timeout)
+                                  : plain_wait(tid, ticket.id, mode, timeout);
+  atomic_add(total_wait_seconds_, now_seconds() - wait_start);
+  if (outcome.failure != nullptr && mode == WaitMode::kBlocking) {
+    throw AdmissionRejected(ticket.id, outcome.failure);
+  }
+  return outcome.id;
+}
+
+AdmissionGate::WaitOutcome AdmissionGate::plain_wait(
+    std::uint32_t tid, core::PeriodId id, WaitMode mode,
+    std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  // Paper-faithful cooperative path: one predicate wait. Grants AND
+  // evictions ping cv_, so the predicate covers both and no fate can slip
+  // past a sleeping waiter.
+  const auto ready = [&] {
+    const auto g = granted_.find(tid);
+    if (g != granted_.end() && g->second == id) return true;
+    const auto e = evicted_.find(tid);
+    return e != evicted_.end() && e->second.first == id;
+  };
+  bool woke = true;
   if (mode == WaitMode::kBlocking) {
-    cv_.wait(lock, [&] { return granted_.count(tid) != 0; });
+    cv_.wait(lock, ready);
   } else {
-    granted = cv_.wait_for(lock, timeout,
-                           [&] { return granted_.count(tid) != 0; });
+    woke = cv_.wait_for(lock, timeout, ready);
   }
-  total_wait_seconds_ += now_seconds() - wait_start;
-  if (granted) {
-    granted_.erase(tid);
-    return ticket.id;
+  if (woke) {
+    const auto g = granted_.find(tid);
+    if (g != granted_.end() && g->second == id) {
+      granted_.erase(g);
+      return {id, nullptr};
+    }
+    const auto e = evicted_.find(tid);
+    const char* reason = e->second.second;
+    evicted_.erase(e);
+    return {std::nullopt, reason};
   }
-  // Timed out. Withdraw can still lose to a wake that fired between the
-  // predicate's last false and re-acquiring mu_: then the period is already
-  // admitted (its load charged, the grant flagged) and withdraw returns
-  // false — consume the grant instead of stranding the capacity.
-  if (!core_.withdraw(ticket.id, now_seconds())) {
-    RDA_CHECK_MSG(granted_.count(tid) != 0,
-                  "timed-out period " << ticket.id
-                                      << " already admitted but no grant "
-                                         "flagged for thread "
-                                      << tid);
-    granted_.erase(tid);
-    return ticket.id;
+  // Timed out without a verdict. The withdraw races any in-flight grant;
+  // the core arbitrates.
+  lock.unlock();
+  switch (core_.try_withdraw(id, now_seconds())) {
+    case core::WithdrawResult::kCancelled:
+      return {std::nullopt, nullptr};  // plain timeout
+    case core::WithdrawResult::kAlreadyAdmitted:
+      consume_grant(tid, id);
+      return {id, nullptr};
+    case core::WithdrawResult::kGone:
+      break;
   }
-  return std::nullopt;
+  // Rejected or reclaimed while we slept: consume the fate (timed callers
+  // report nullopt, they never throw).
+  (void)core_.take_rejection(id);
+  (void)core_.take_reclaimed(id);
+  {
+    std::lock_guard<std::mutex> relock(wait_mu_);
+    const auto e = evicted_.find(tid);
+    if (e != evicted_.end() && e->second.first == id) evicted_.erase(e);
+  }
+  return {std::nullopt, nullptr};
 }
 
 AdmissionGate::WaitOutcome AdmissionGate::hardened_wait(
-    std::unique_lock<std::mutex>& lock, std::uint32_t tid, core::PeriodId id,
-    WaitMode mode, std::chrono::nanoseconds timeout) {
+    std::uint32_t tid, core::PeriodId id, WaitMode mode,
+    std::chrono::nanoseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   double slice = config_.retry.initial_slice_seconds;
   const bool timed_watchdog = config_.monitor.watchdog.enable &&
                               config_.monitor.watchdog.max_wait_seconds > 0.0;
   for (;;) {
     // Fate checks, in precedence order: an explicit grant wins, then the
-    // terminal verdicts, then the lost-wake recovery probe.
-    if (granted_.erase(tid) != 0) return {id, nullptr};
+    // terminal verdicts, then the lost-wake recovery probe. Channel state
+    // under wait_mu_; core probes outside it (the core locks internally).
+    {
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      const auto g = granted_.find(tid);
+      if (g != granted_.end()) {
+        if (g->second == id) {
+          granted_.erase(g);
+          return {id, nullptr};
+        }
+        granted_.erase(g);  // stale: late delivery for a recovered period
+      }
+      const auto e = evicted_.find(tid);
+      if (e != evicted_.end()) {
+        if (e->second.first == id) {
+          const char* reason = e->second.second;
+          evicted_.erase(e);
+          return {std::nullopt, reason};
+        }
+        evicted_.erase(e);  // stale
+      }
+    }
     if (core_.take_rejection(id)) {
       return {std::nullopt, "starvation watchdog evicted the request"};
     }
@@ -213,9 +315,11 @@ AdmissionGate::WaitOutcome AdmissionGate::hardened_wait(
       return {std::nullopt, "waitlisted period was reclaimed"};
     }
     if (core_.is_admitted(id)) {
-      // Admitted core-side but the notification never arrived (injected
-      // loss): consume the grant directly.
-      ++recovered_wakes_;
+      // Admitted core-side but no grant arrived (injected loss, or the
+      // delivery is still in flight): consume the admission directly. A
+      // grant that lands later is scrubbed by the next begin and can never
+      // match a newer period's id.
+      recovered_wakes_.fetch_add(1, std::memory_order_relaxed);
       return {id, nullptr};
     }
     // Drive the time-triggered watchdog from the waiter itself — the native
@@ -225,33 +329,100 @@ AdmissionGate::WaitOutcome AdmissionGate::hardened_wait(
 
     if (mode == WaitMode::kTimed &&
         std::chrono::steady_clock::now() >= deadline) {
-      if (!core_.withdraw(id, now_seconds())) {
-        // Already admitted: the grant raced the timeout, or its wake was
-        // injected away — consume it either way.
-        if (granted_.erase(tid) == 0) ++recovered_wakes_;
-        return {id, nullptr};
+      switch (core_.try_withdraw(id, now_seconds())) {
+        case core::WithdrawResult::kCancelled:
+          return {std::nullopt, nullptr};  // plain timeout
+        case core::WithdrawResult::kAlreadyAdmitted:
+          consume_grant(tid, id);
+          return {id, nullptr};
+        case core::WithdrawResult::kGone:
+          // Rejected/reclaimed in the race window; next loop iteration's
+          // fate probes would find it, but we are past the deadline —
+          // consume the verdict here and report the timeout.
+          (void)core_.take_rejection(id);
+          (void)core_.take_reclaimed(id);
+          {
+            std::lock_guard<std::mutex> lock(wait_mu_);
+            const auto e = evicted_.find(tid);
+            if (e != evicted_.end() && e->second.first == id) {
+              evicted_.erase(e);
+            }
+          }
+          return {std::nullopt, nullptr};
       }
-      return {std::nullopt, nullptr};  // plain timeout
     }
 
     auto wait_dur = std::chrono::duration_cast<std::chrono::nanoseconds>(
         std::chrono::duration<double>(slice));
     if (mode == WaitMode::kTimed) {
-      const auto remaining = std::chrono::duration_cast<
-          std::chrono::nanoseconds>(deadline - std::chrono::steady_clock::now());
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              deadline - std::chrono::steady_clock::now());
       wait_dur = std::max(std::chrono::nanoseconds(0),
                           std::min(wait_dur, remaining));
     }
-    cv_.wait_for(lock, wait_dur);
+    {
+      std::unique_lock<std::mutex> lock(wait_mu_);
+      // A verdict may have landed between the probes and this re-lock;
+      // sleep only if the channel is still empty for us.
+      if (granted_.count(tid) == 0 && evicted_.count(tid) == 0) {
+        cv_.wait_for(lock, wait_dur);
+        wait_slices_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     slice = std::min(slice * config_.retry.backoff_multiplier,
                      config_.retry.max_slice_seconds);
   }
 }
 
+void AdmissionGate::consume_grant(std::uint32_t tid, core::PeriodId id) {
+  // try_withdraw said kAlreadyAdmitted, but the grant's DELIVERY (our batch
+  // waker filling granted_) happens after the admitting thread drops the
+  // core's slow mutex and may still be in flight. Wait for it briefly and
+  // eat it, so it cannot linger and satisfy this thread's next begin.
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  const auto arrived = [&] {
+    const auto g = granted_.find(tid);
+    return g != granted_.end() && g->second == id;
+  };
+  if (config_.fault_injector != nullptr) {
+    // The notification itself may have been injected away (lost wake) — do
+    // not insist; a late delivery is scrubbed by the next begin.
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(50), arrived)) {
+      recovered_wakes_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  } else {
+    cv_.wait(lock, arrived);
+  }
+  granted_.erase(tid);
+}
+
+namespace {
+
+/// Per-thread recycled demand buffer: the single-resource begin would
+/// otherwise heap-allocate a one-element vector per period, and end() would
+/// free the one coming back in the release ticket. The pair below turns
+/// that into a steady-state zero-allocation hand-off.
+std::vector<core::ResourceDemand>& spare_demands() {
+  thread_local std::vector<core::ResourceDemand> spare;
+  return spare;
+}
+
+std::vector<core::ResourceDemand> one_demand(ResourceKind resource,
+                                             double demand) {
+  std::vector<core::ResourceDemand> v = std::move(spare_demands());
+  v.clear();
+  v.push_back({resource, demand});
+  return v;
+}
+
+}  // namespace
+
 core::PeriodId AdmissionGate::begin(ResourceKind resource, double demand,
                                     ReuseLevel reuse, std::string label) {
   const std::optional<core::PeriodId> id =
-      begin_impl({{resource, demand}}, reuse, std::move(label),
+      begin_impl(one_demand(resource, demand), reuse, std::move(label),
                  WaitMode::kBlocking, {});
   RDA_CHECK(id.has_value());
   return *id;
@@ -271,14 +442,14 @@ std::optional<core::PeriodId> AdmissionGate::try_begin(ResourceKind resource,
                                                        double demand,
                                                        ReuseLevel reuse,
                                                        std::string label) {
-  return begin_impl({{resource, demand}}, reuse, std::move(label),
+  return begin_impl(one_demand(resource, demand), reuse, std::move(label),
                     WaitMode::kTry, {});
 }
 
 std::optional<core::PeriodId> AdmissionGate::begin_for(
     ResourceKind resource, double demand, ReuseLevel reuse,
     std::chrono::nanoseconds timeout, std::string label) {
-  return begin_impl({{resource, demand}}, reuse, std::move(label),
+  return begin_impl(one_demand(resource, demand), reuse, std::move(label),
                     WaitMode::kTimed, timeout);
 }
 
@@ -288,77 +459,80 @@ void AdmissionGate::end(core::PeriodId id) {
 
 void AdmissionGate::end(core::PeriodId id,
                         const core::ReleaseObservation& observed) {
-  std::lock_guard<std::mutex> lock(mu_);
-  core_.release(id, observed, now_seconds());
-  // The release's rescan may have escalated waiters (round-triggered
-  // watchdog); rung-3 rejections get no Waker call, so ping the sliced
-  // sleepers to discover their fate promptly.
-  if (hardened()) cv_.notify_all();
+  // Everything the release sets in motion reaches the sleepers through the
+  // delivery channels: grants via the batch waker, rung-3 rejections and
+  // reclaims via the evict notifier — each of which notifies. Nothing here
+  // to ping (the old design notified only when hardened, leaving plain
+  // waiters a lost-wakeup window whenever a fate carried no Waker call).
+  core::ReleaseTicket ticket = core_.release(id, observed, now_seconds());
+  // Hand the closed period's demand buffer to this thread's next begin.
+  if (ticket.record.demands.capacity() > spare_demands().capacity()) {
+    spare_demands() = std::move(ticket.record.demands);
+  }
 }
 
 void AdmissionGate::reap_thread(std::uint32_t thread_id) {
-  std::lock_guard<std::mutex> lock(mu_);
   // remember_waiter: the reaped thread may still be alive inside a timed
-  // wait (supervisor-initiated reclaim); it must be able to observe the
-  // reclaim from its sliced wait instead of withdrawing a vanished period.
+  // wait (supervisor-initiated reclaim); the evict notice delivered by the
+  // reap (plus the core-side reclaimed_ fate for sliced pollers) lets it
+  // observe the reclaim instead of withdrawing a vanished period.
   core_.reap(thread_id, now_seconds(), /*remember_waiter=*/true);
-  granted_.erase(thread_id);
-  groups_.erase(thread_id);
-  // Freed capacity (or a rescan verdict) may concern any sleeper.
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    granted_.erase(thread_id);
+    groups_.erase(thread_id);
+  }
+  // Freed capacity already woke its admissions via the waker; this ping is
+  // for the reaped owner itself, should it be sleeping.
   cv_.notify_all();
 }
 
 std::size_t AdmissionGate::sweep(std::uint64_t max_epoch_age) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // remember_waiters: a live waiter evicted by the sweep must be able to
-  // observe the reclaim from its sliced wait.
-  const std::size_t reaped =
-      core_.sweep(max_epoch_age, now_seconds(), /*remember_waiters=*/true);
-  if (reaped > 0) cv_.notify_all();
-  return reaped;
+  // remember_waiters: live waiters evicted by the sweep observe the reclaim
+  // through the evict notices the sweep delivers.
+  return core_.sweep(max_epoch_age, now_seconds(), /*remember_waiters=*/true);
 }
 
-void AdmissionGate::heartbeat() {
-  std::lock_guard<std::mutex> lock(mu_);
-  core_.heartbeat(self_id());
-}
+void AdmissionGate::heartbeat() { core_.heartbeat(self_id()); }
 
-void AdmissionGate::advance_epoch() {
-  std::lock_guard<std::mutex> lock(mu_);
-  core_.advance_epoch();
-}
+void AdmissionGate::advance_epoch() { core_.advance_epoch(); }
 
-void AdmissionGate::mark_pool(std::uint32_t group) {
-  std::lock_guard<std::mutex> lock(mu_);
-  core_.mark_pool(group);
-}
+void AdmissionGate::mark_pool(std::uint32_t group) { core_.mark_pool(group); }
 
 void AdmissionGate::join_group(std::uint32_t group) {
-  std::lock_guard<std::mutex> lock(mu_);
+  wait_channel_dirty_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(wait_mu_);
   groups_[self_id()] = group;
 }
 
 GateStats AdmissionGate::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   GateStats s;
   s.monitor = core_.stats();
-  s.waits = waits_;
-  s.total_wait_seconds = total_wait_seconds_;
+  s.waits = waits_.load(std::memory_order_relaxed);
+  s.wait_slices = wait_slices_.load(std::memory_order_relaxed);
+  s.no_sleep_blocks = no_sleep_blocks_.load(std::memory_order_relaxed);
+  s.total_wait_seconds = total_wait_seconds_.load(std::memory_order_relaxed);
   s.fast_path_hits = core_.fast_path_hits();
   s.partitioned_periods = core_.partitioned_periods();
-  s.lost_wakes = lost_wakes_;
-  s.recovered_wakes = recovered_wakes_;
+  s.lost_wakes = lost_wakes_.load(std::memory_order_relaxed);
+  s.recovered_wakes = recovered_wakes_.load(std::memory_order_relaxed);
   return s;
 }
 
 double AdmissionGate::usage(ResourceKind resource) const {
-  std::lock_guard<std::mutex> lock(mu_);
   return core_.resources().usage(resource);
 }
 
 std::size_t AdmissionGate::waiting() const {
-  std::lock_guard<std::mutex> lock(mu_);
   return core_.monitor().waitlist().size();
+}
+
+double AdmissionGate::oversubscribed(ResourceKind resource) const {
+  return core_.resources().oversubscribed(resource);
+}
+
+core::AdmissionCore::AuditReport AdmissionGate::audit() const {
+  return core_.audit();
 }
 
 }  // namespace rda::rt

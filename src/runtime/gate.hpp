@@ -6,15 +6,26 @@
 // registry, predicate, waitlist, fast path, partitioning, feedback all live
 // in the core); a denied caller blocks on a condition variable (standing in
 // for the kernel wait queue + wake events of §3) until a completing period
-// releases enough capacity. The gate's one mutex provides the external
-// synchronization the core's threading contract requires; the core's Waker
-// runs under that mutex and only flags the thread + pings the sleepers.
+// releases enough capacity.
+//
+// Sharded-core edition: the core is internally synchronized (lock-free calm
+// lane + slow mutex), so the gate holds NO lock across core calls. Its one
+// mutex (wait_mu_) guards only the wait-channel state: the grant/evict maps
+// the core's batched Waker and evict notifier fill in, and the pool-group
+// table. The core delivers wakes AFTER releasing its slow mutex, so the
+// callbacks lock wait_mu_ themselves; a grant carries its period id so a
+// late delivery (racing a timeout-recovery) can never be mistaken for a
+// newer period's grant. Every fate transition — grant, watchdog rejection,
+// orphan reclaim — pings the condition variable, which is what lets plain
+// (non-hardened) waiters use a simple predicate wait without a lost-wakeup
+// window.
 //
 // Threads that never call the API are simply never throttled — exactly the
 // paper's behaviour for un-instrumented processes ("our system ignores
 // processes that have not provided progress period information").
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -23,7 +34,6 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -92,7 +102,16 @@ struct GateConfig {
 
 struct GateStats {
   core::MonitorStats monitor;
-  std::uint64_t waits = 0;          ///< begins that had to block
+  /// Begins that had to park AND sleep, counted ONCE per logical wait (a
+  /// hardened sliced wait is still one wait; see wait_slices for the slice
+  /// count). waits + no_sleep_blocks accounts for every monitor block.
+  std::uint64_t waits = 0;
+  /// Individual cv sleeps performed by hardened sliced waits (>= waits when
+  /// hardened; 0 on the plain path, whose single predicate wait is 1 wait).
+  std::uint64_t wait_slices = 0;
+  /// Begins whose period visited the waitlist but was admitted on the
+  /// in-core second look before the caller ever slept.
+  std::uint64_t no_sleep_blocks = 0;
   double total_wait_seconds = 0.0;  ///< cumulative blocked time
   std::uint64_t fast_path_hits = 0;
   std::uint64_t partitioned_periods = 0;
@@ -158,7 +177,7 @@ class AdmissionGate {
 
   /// Lease-based reclamation: reaps every period more than `max_epoch_age`
   /// advance_epoch() calls stale. Evicted live waiters observe the reclaim
-  /// through their sliced wait (AdmissionRejected / nullopt).
+  /// through their wait (AdmissionRejected / nullopt).
   std::size_t sweep(std::uint64_t max_epoch_age);
   /// Refreshes the calling thread's lease.
   void heartbeat();
@@ -170,6 +189,12 @@ class AdmissionGate {
   GateStats stats() const;
   double usage(ResourceKind resource) const;
   std::size_t waiting() const;
+
+  /// Diagnostics for scenario/stress ledgers: the reversible
+  /// oversubscription tally (must drain to zero at quiescence) and the
+  /// core's shard-accounting audit.
+  double oversubscribed(ResourceKind resource) const;
+  core::AdmissionCore::AuditReport audit() const;
 
  private:
   enum class WaitMode { kBlocking, kTry, kTimed };
@@ -183,12 +208,21 @@ class AdmissionGate {
       std::vector<core::ResourceDemand> demands, ReuseLevel reuse,
       std::string label, WaitMode mode, std::chrono::nanoseconds timeout);
 
+  /// Single predicate wait on the grant/evict channel (paper-faithful
+  /// cooperative path; no injector, no watchdog). Called unlocked.
+  WaitOutcome plain_wait(std::uint32_t tid, core::PeriodId id, WaitMode mode,
+                         std::chrono::nanoseconds timeout);
+
   /// Sliced wait with exponential backoff: re-checks grant / rejection /
   /// reclaim / silent admission every slice and drives the time-triggered
-  /// watchdog. Called with `lock` held; returns with it held.
-  WaitOutcome hardened_wait(std::unique_lock<std::mutex>& lock,
-                            std::uint32_t tid, core::PeriodId id,
+  /// watchdog. Called unlocked; core probes run outside wait_mu_.
+  WaitOutcome hardened_wait(std::uint32_t tid, core::PeriodId id,
                             WaitMode mode, std::chrono::nanoseconds timeout);
+
+  /// Eats the (possibly still in-flight) grant for `id` after try_withdraw
+  /// reported kAlreadyAdmitted, so it cannot linger and satisfy the
+  /// thread's NEXT begin.
+  void consume_grant(std::uint32_t tid, core::PeriodId id);
 
   bool hardened() const {
     return config_.fault_injector != nullptr ||
@@ -200,20 +234,40 @@ class AdmissionGate {
   /// recycles after thread exit, letting a new thread inherit a dead
   /// thread's group membership and stale granted_ flag).
   static std::uint32_t self_id();
-  std::uint32_t group_of(std::uint32_t thread_id) const;
   double now_seconds() const;
 
   GateConfig config_;
   core::AdmissionCore core_;
 
-  mutable std::mutex mu_;
+  /// Wait-channel lock. Guards granted_, evicted_, groups_ and nothing
+  /// else. NEVER held across a core_ call: the core's delivery callbacks
+  /// (batch waker, evict notifier) take it, so a core call made with it
+  /// held would self-deadlock when the operation delivers.
+  mutable std::mutex wait_mu_;
   std::condition_variable cv_;
-  std::unordered_set<std::uint32_t> granted_;  ///< woken thread ids
+  /// thread token -> period granted to it. Consumed (erased) by the owner;
+  /// an entry whose period doesn't match the owner's current wait is stale
+  /// (late delivery after a timeout-recovery) and is ignored/overwritten.
+  std::unordered_map<std::uint32_t, core::PeriodId> granted_;
+  /// thread token -> (period, reason) for waiters evicted without a grant.
+  std::unordered_map<std::uint32_t,
+                     std::pair<core::PeriodId, const char*>>
+      evicted_;
   std::unordered_map<std::uint32_t, std::uint32_t> groups_;
-  std::uint64_t waits_ = 0;
-  double total_wait_seconds_ = 0.0;
-  std::uint64_t lost_wakes_ = 0;
-  std::uint64_t recovered_wakes_ = 0;
+  /// Sticky "the wait channel has ever carried state" flag: set by the
+  /// first delivery (grant or evict) and by join_group. While clear, every
+  /// map above is empty, so begin can skip the wait_mu_ scrub entirely —
+  /// the uncontended hot path never touches the lock. Safe because period
+  /// ids are never reused: a stale entry can never match a new period, so
+  /// the scrub is hygiene, not correctness.
+  std::atomic<bool> wait_channel_dirty_{false};
+
+  std::atomic<std::uint64_t> waits_{0};
+  std::atomic<std::uint64_t> wait_slices_{0};
+  std::atomic<std::uint64_t> no_sleep_blocks_{0};
+  std::atomic<std::uint64_t> lost_wakes_{0};
+  std::atomic<std::uint64_t> recovered_wakes_{0};
+  std::atomic<double> total_wait_seconds_{0.0};
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -192,6 +192,7 @@ TEST(ObsReconcile, NativeGateWaitsReconcile) {
   // And the gate's wait counters agree with the event-derived view.
   obs::WaitStatsCheck gate_side;
   gate_side.waits = run.stats_.waits;
+  gate_side.no_sleep_blocks = run.stats_.no_sleep_blocks;
   gate_side.total_wait_seconds = run.stats_.total_wait_seconds;
   const obs::ReconcileReport waits =
       obs::reconcile_waits(run.events_, run.histogram_, gate_side);
@@ -216,6 +217,7 @@ TEST(ObsReconcile, WaitMismatchesAreDetected) {
   padded.add(1.0);
   obs::WaitStatsCheck gate_side;
   gate_side.waits = run.stats_.waits;
+  gate_side.no_sleep_blocks = run.stats_.no_sleep_blocks;
   gate_side.total_wait_seconds = run.stats_.total_wait_seconds;
   report = obs::reconcile_waits(run.events_, padded, gate_side);
   EXPECT_FALSE(report.ok);

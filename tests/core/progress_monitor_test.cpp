@@ -20,6 +20,9 @@ class MonitorFixture {
         predicate_(*policy_, resources_),
         monitor_(predicate_, resources_, options) {
     resources_.set_capacity(ResourceKind::kLLC, static_cast<double>(MB(15)));
+    resources_.set_admission_bound(
+        ResourceKind::kLLC,
+        policy_->admission_bound(static_cast<double>(MB(15))));
     monitor_.set_waker([this](sim::ThreadId tid) { woken_.push_back(tid); });
   }
 

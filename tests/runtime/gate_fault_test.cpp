@@ -101,6 +101,7 @@ TEST(FaultGate, LostWakeIsRecoveredBySlicedWait) {
   ASSERT_EQ(recorder.dropped(), 0u);
   obs::WaitStatsCheck check;
   check.waits = stats.waits;
+  check.no_sleep_blocks = stats.no_sleep_blocks;
   check.total_wait_seconds = stats.total_wait_seconds;
   const obs::ReconcileReport report = obs::reconcile_waits(
       recorder.events(), recorder.wait_histogram(), check);

@@ -1,0 +1,190 @@
+// Wake-delivery race regressions for the native gate.
+//
+// The single-lock gate hid two bug classes this suite pins:
+//   * a lost-wakeup window: end() only pinged the condition variable when
+//     the gate ran hardened, and the plain wait predicate only watched the
+//     grant flag — so a plain waiter whose fate arrived WITHOUT a Waker
+//     grant (evicted by a reap, or racing a timed withdraw) slept to its
+//     full timeout (or forever, for a blocking begin);
+//   * wait-accounting drift: hardened sliced waits counted every retry
+//     slice as a separate wait, inflating GateStats::waits.
+// Both are structural in the sharded gate (every fate transition notifies;
+// waits are counted once per logical wait) — these tests keep them so.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <thread>
+
+#include "fault/fault.hpp"
+#include "runtime/gate.hpp"
+#include "util/units.hpp"
+
+namespace rda {
+namespace {
+
+using namespace std::chrono_literals;
+using util::MB;
+
+rt::GateConfig plain_config() {
+  rt::GateConfig config;
+  config.llc_capacity_bytes = static_cast<double>(MB(15));
+  config.policy = core::PolicyKind::kStrict;
+  return config;
+}
+
+/// Failure backstop only — nothing on the success path depends on it.
+void await(const std::function<bool()>& pred, const char* what) {
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << what;
+    std::this_thread::sleep_for(50us);
+  }
+}
+
+// The timed-begin-vs-release race, rapid-fire: a release lands around the
+// waiter's timeout on every round. Whatever side wins, the round must
+// resolve promptly and leave no capacity charged, no waiter parked, and no
+// stale grant to poison the NEXT round's begin (same thread, new period).
+TEST(GateRace, TimedBeginVsReleaseRaceAlwaysResolves) {
+  rt::AdmissionGate gate(plain_config());
+  for (int round = 0; round < 120; ++round) {
+    const core::PeriodId held = gate.begin(
+        ResourceKind::kLLC, static_cast<double>(MB(10)), ReuseLevel::kHigh);
+    std::optional<core::PeriodId> got;
+    std::thread waiter([&gate, &got, round] {
+      // Timeout varies through the contention window so successive rounds
+      // land the withdraw on both sides of the release.
+      got = gate.begin_for(ResourceKind::kLLC, static_cast<double>(MB(10)),
+                           ReuseLevel::kHigh,
+                           std::chrono::microseconds(50 + 40 * (round % 8)));
+    });
+    // No park rendezvous here — the waiter may already have timed out and
+    // withdrawn. The stagger sweeps the release across the timeout window.
+    std::this_thread::sleep_for(std::chrono::microseconds(20 * (round % 11)));
+    gate.end(held);
+    waiter.join();
+    if (got.has_value()) gate.end(*got);
+    EXPECT_LT(gate.usage(ResourceKind::kLLC), 1e-6) << "round " << round;
+    EXPECT_EQ(gate.waiting(), 0u) << "round " << round;
+  }
+  const core::AdmissionCore::AuditReport audit = gate.audit();
+  EXPECT_TRUE(audit.ok) << audit.detail;
+  const rt::GateStats stats = gate.stats();
+  EXPECT_EQ(stats.monitor.begins,
+            stats.monitor.ends + stats.monitor.cancels);
+}
+
+// A plain (non-hardened) timed waiter whose release arrives mid-wait must
+// wake on the release, not sleep out its generous timeout.
+TEST(GateRace, ReleaseWakesPlainTimedWaiterPromptly) {
+  rt::AdmissionGate gate(plain_config());
+  const core::PeriodId held = gate.begin(
+      ResourceKind::kLLC, static_cast<double>(MB(10)), ReuseLevel::kHigh);
+  std::optional<core::PeriodId> got;
+  const auto start = std::chrono::steady_clock::now();
+  std::thread waiter([&gate, &got] {
+    got = gate.begin_for(ResourceKind::kLLC, static_cast<double>(MB(10)),
+                         ReuseLevel::kHigh, 30s);
+  });
+  await([&gate] { return gate.waiting() == 1; }, "waiter to park");
+  gate.end(held);
+  waiter.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(got.has_value());
+  gate.end(*got);
+  // Far below the 30 s timeout: the waiter was woken, not timed out.
+  EXPECT_LT(elapsed, 10s);
+  EXPECT_LT(gate.usage(ResourceKind::kLLC), 1e-6);
+}
+
+// A plain timed waiter reaped off the waitlist gets NO grant — only an
+// evict notice. The old gate never surfaced those to plain waiters, so the
+// reaped waiter slept to its full timeout.
+TEST(GateRace, ReapEvictsPlainTimedWaiterPromptly) {
+  rt::AdmissionGate gate(plain_config());
+  const core::PeriodId held = gate.begin(
+      ResourceKind::kLLC, static_cast<double>(MB(10)), ReuseLevel::kHigh);
+  std::atomic<std::uint32_t> waiter_token{0};
+  std::optional<core::PeriodId> got = core::kInvalidPeriod;
+  const auto start = std::chrono::steady_clock::now();
+  std::thread waiter([&gate, &waiter_token, &got] {
+    waiter_token.store(rt::AdmissionGate::current_thread_token());
+    got = gate.begin_for(ResourceKind::kLLC, static_cast<double>(MB(10)),
+                         ReuseLevel::kHigh, 30s);
+  });
+  await([&gate] { return gate.waiting() == 1; }, "waiter to park");
+  gate.reap_thread(waiter_token.load());
+  waiter.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(got.has_value());
+  EXPECT_LT(elapsed, 10s) << "reaped waiter slept toward its timeout";
+  gate.end(held);
+  EXPECT_LT(gate.usage(ResourceKind::kLLC), 1e-6);
+  EXPECT_EQ(gate.stats().monitor.reclaims, 1u);
+}
+
+// The blocking flavour: a reaped blocking waiter must observe
+// AdmissionRejected instead of sleeping forever.
+TEST(GateRace, ReapEvictsPlainBlockingWaiterWithError) {
+  rt::AdmissionGate gate(plain_config());
+  const core::PeriodId held = gate.begin(
+      ResourceKind::kLLC, static_cast<double>(MB(10)), ReuseLevel::kHigh);
+  std::atomic<std::uint32_t> waiter_token{0};
+  std::atomic<bool> rejected{false};
+  std::thread waiter([&gate, &waiter_token, &rejected] {
+    waiter_token.store(rt::AdmissionGate::current_thread_token());
+    try {
+      const core::PeriodId id = gate.begin(
+          ResourceKind::kLLC, static_cast<double>(MB(10)), ReuseLevel::kHigh);
+      gate.end(id);
+    } catch (const rt::AdmissionRejected&) {
+      rejected.store(true);
+    }
+  });
+  await([&gate] { return gate.waiting() == 1; }, "waiter to park");
+  gate.reap_thread(waiter_token.load());
+  waiter.join();
+  EXPECT_TRUE(rejected.load());
+  gate.end(held);
+  EXPECT_LT(gate.usage(ResourceKind::kLLC), 1e-6);
+}
+
+// Hardened sliced waits: however many retry slices the sleeper needs, the
+// stats record ONE logical wait (the slices are tallied separately), and
+// the monitor's block count stays in lock-step.
+TEST(GateRace, HardenedWaitCountsOneLogicalWait) {
+  // An armed-but-empty injector hardens the gate without injecting faults.
+  fault::FaultInjector injector{fault::FaultPlan{}};
+  rt::GateConfig config = plain_config();
+  config.fault_injector = &injector;
+  config.retry.initial_slice_seconds = 0.0002;
+  config.retry.max_slice_seconds = 0.002;
+  rt::AdmissionGate gate(config);
+
+  const core::PeriodId held = gate.begin(
+      ResourceKind::kLLC, static_cast<double>(MB(10)), ReuseLevel::kHigh);
+  std::thread waiter([&gate] {
+    const core::PeriodId id = gate.begin(
+        ResourceKind::kLLC, static_cast<double>(MB(10)), ReuseLevel::kHigh);
+    gate.end(id);
+  });
+  await([&gate] { return gate.waiting() == 1; }, "waiter to park");
+  // Hold long enough for several backoff slices to elapse.
+  std::this_thread::sleep_for(20ms);
+  gate.end(held);
+  waiter.join();
+
+  const rt::GateStats stats = gate.stats();
+  EXPECT_EQ(stats.monitor.blocks, 1u);
+  EXPECT_EQ(stats.waits, 1u) << "sliced wait counted per-slice";
+  EXPECT_GE(stats.wait_slices, 2u);
+  EXPECT_EQ(stats.no_sleep_blocks, 0u);
+  EXPECT_GT(stats.total_wait_seconds, 0.0);
+  EXPECT_LT(gate.usage(ResourceKind::kLLC), 1e-6);
+}
+
+}  // namespace
+}  // namespace rda
