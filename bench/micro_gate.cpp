@@ -17,17 +17,16 @@
 //     normalizing by a fixed calibration kernel that tracks how fast the
 //     machine itself is running today (see kCalibBaselineNs).
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "calib.hpp"
+#include "exp/harness.hpp"
 #include "runtime/gate.hpp"
 #include "util/atomic_file.hpp"
 #include "util/units.hpp"
@@ -35,6 +34,9 @@
 namespace {
 
 using namespace rda;
+using rda::bench::bench_calibration;
+using rda::bench::kCalibBaselineNs;
+using rda::bench::ns_since;
 using rda::util::MB;
 
 /// Uncontended begin/end latency measured by google-benchmark at commit
@@ -42,53 +44,12 @@ using rda::util::MB;
 /// directly (CPU time was 185 ns; wall 189 ns).
 constexpr double kPreRefactorUncontendedNs = 189.0;
 
-/// Calibration-kernel cost on the machine state that produced the 189 ns
-/// baseline. The container's effective CPU speed drifts between runs
-/// (micro_sim_engine measured the same committed code at 1367.3 and later
-/// 1801.2 ns/step — a 1.32x swing with zero code change), so an absolute-ns
-/// gate flags machine weather as regression. The kernel below exercises the
-/// same primitives as the gate path (uncontended mutex, atomic RMW,
-/// unordered_map insert/erase, small vector alloc); its measured cost today
-/// divided by this constant estimates the drift, and the gate compares
-/// against the drift-scaled baseline. Anchor derivation: 42.2 ns measured
-/// alongside a 1801.2/1367.3 = 1.317x sim-engine drift => 42.2 / 1.317.
-constexpr double kCalibBaselineNs = 32.0;
-
 rt::GateConfig config(core::PolicyKind policy, bool fast_path = false) {
   rt::GateConfig cfg;
   cfg.llc_capacity_bytes = static_cast<double>(MB(15));
   cfg.policy = policy;
   cfg.fast_path = fast_path;
   return cfg;
-}
-
-double ns_since(std::chrono::steady_clock::time_point start,
-                std::uint64_t iters) {
-  return std::chrono::duration<double, std::nano>(
-             std::chrono::steady_clock::now() - start)
-             .count() /
-         static_cast<double>(iters);
-}
-
-/// Fixed CPU-bound reference kernel; see kCalibBaselineNs. Must never be
-/// edited without re-anchoring that constant.
-double bench_calibration() {
-  constexpr std::uint64_t kIters = 200'000;
-  std::mutex mu;
-  std::atomic<std::uint64_t> counter{0};
-  std::unordered_map<std::uint64_t, std::uint64_t> map;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < kIters; ++i) {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      counter.fetch_add(1);
-    }
-    map.emplace(i, counter.load());
-    map.erase(i);
-    std::vector<double> v(1, 1.0);
-    counter.fetch_add(static_cast<std::uint64_t>(v[0]));
-  }
-  return ns_since(t0, kIters);
 }
 
 /// Uncontended begin/end round trip (always admitted). Measured as the
@@ -169,23 +130,12 @@ double bench_contended(std::uint64_t iters_per_thread, int threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto arg_u64 = [&](const std::string& key,
-                     std::uint64_t fallback) -> std::uint64_t {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (key == argv[i]) return std::strtoull(argv[i + 1], nullptr, 10);
-    }
-    return fallback;
-  };
-  auto arg_str = [&](const std::string& key, std::string fallback) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (key == argv[i]) return std::string(argv[i + 1]);
-    }
-    return fallback;
-  };
-
-  const std::uint64_t iters = arg_u64("--iters", 2'000'000);
-  const int threads = static_cast<int>(arg_u64("--threads", 8));
-  const std::string out_path = arg_str("--out", "BENCH_gate.json");
+  const std::uint64_t iters = exp::parse_u64_flag(argc, argv, "--iters",
+                                                  2'000'000);
+  const int threads =
+      static_cast<int>(exp::parse_u64_flag(argc, argv, "--threads", 8));
+  const std::string out_path =
+      exp::parse_string_flag(argc, argv, "--out", "BENCH_gate.json");
 
   // Best of 5 per point, with a short quiesce before each rep: the gate
   // path is ~200 ns, so a stray scheduler tick or a post-load frequency
@@ -245,13 +195,19 @@ int main(int argc, char** argv) {
                 cores);
   }
 
-  char mops16[64];
+  // A skipped metric names its reason instead of silently reading as a
+  // mysterious null (tier1.sh surfaces the reason when it skips the gate).
+  char mops16[192];
   if (cores >= 16) {
     std::snprintf(mops16, sizeof(mops16), "%.3f", contended_mops_16);
   } else {
-    std::snprintf(mops16, sizeof(mops16), "null");
+    std::snprintf(mops16, sizeof(mops16),
+                  "null,\n  \"contended_mops_16_skipped\": "
+                  "\"%u hardware threads (<16): the point would measure the "
+                  "OS scheduler, not the gate\"",
+                  cores);
   }
-  char json[832];
+  char json[1024];
   std::snprintf(json, sizeof(json),
                 "{\n"
                 "  \"iters\": %llu,\n"

@@ -20,18 +20,18 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)" \
     --target runtime_test core_test integration_test profiler_test trace_test \
-             fault_test
+             fault_test service_test
   ( cd build-tsan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|ProfilePipeline|TraceArena|MatrixDeterminism|FaultGate|FaultScenario|Watchdog|Reclaim' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|ProfilePipeline|TraceArena|MatrixDeterminism|FaultGate|FaultScenario|Watchdog|Reclaim|ServiceRace|ServicePump|SubmissionQueue' \
       --output-on-failure -j "$(nproc)" )
 
   echo "== tier-1: admission core/gate/waitlist + fault/recovery tests under ASan+UBSan =="
   cmake --preset asan
   cmake --build --preset asan -j "$(nproc)" \
     --target runtime_test core_test integration_test fault_test trace_test \
-             util_test
+             util_test service_test
   ( cd build-asan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|Waitlist|WakeStrategy|FaultInjector|FaultScenario|FaultGate|Watchdog|Reclaim|TraceCorrupt|AtomicFile' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|Waitlist|WakeStrategy|FaultInjector|FaultScenario|FaultGate|Watchdog|Reclaim|TraceCorrupt|AtomicFile|ServiceRace|ServiceFrontEnd|SubmissionQueue' \
       --output-on-failure -j "$(nproc)" )
 fi
 
@@ -71,7 +71,11 @@ if [[ "$(nproc)" -ge 16 ]]; then
     }'
   fi
 else
-  echo "skipped: $(nproc) hardware threads (<16)"
+  # micro_gate emits the same reason into the JSON so a null baseline is
+  # self-describing rather than a mystery.
+  reason="$(sed -n 's/.*"contended_mops_16_skipped": "\([^"]*\)".*/\1/p' \
+    build/bench/BENCH_gate.json)"
+  echo "skipped: ${reason:-$(nproc) hardware threads (<16)}"
 fi
 
 echo "== tier-1: simulation hot-path snapshot (BENCH_sim.json) =="
@@ -99,5 +103,25 @@ build/tools/fault_matrix --seed 1 --seeds 2 --jobs "$(nproc)" \
 build/tools/fault_matrix --seed 1 --seeds 2 --jobs 1 \
   --out "$smoke_dir/fault_serial.csv"
 cmp "$smoke_dir/fault_par.csv" "$smoke_dir/fault_serial.csv"
+
+echo "== tier-1: service front-end smoke (determinism across --jobs) =="
+# The deterministic service cells (arrival stream -> batched admission ->
+# locality routing, including the node-death cell) fanned out and serial:
+# byte-identical CSVs or the cell runner has a race / the simulation leaks
+# host state into results.
+build/bench/service_load --quick --csv --jobs "$(nproc)" \
+  > "$smoke_dir/service_par.csv"
+build/bench/service_load --quick --csv --jobs 1 \
+  > "$smoke_dir/service_serial.csv"
+cmp "$smoke_dir/service_par.csv" "$smoke_dir/service_serial.csv"
+
+echo "== tier-1: service load snapshot (BENCH_service.json) =="
+# Exits non-zero if locality routing stops out-serving random placement on
+# any arrival shape, if the fault cell loses work, or — against the
+# committed snapshot — if goodput drops >10%, p99 admission latency grows
+# >10%, or (on >=8-core hosts) the batched submission pump loses its 2x
+# edge over per-call admission after machine-drift calibration.
+( cd build/bench && ./service_load --out BENCH_service.json \
+    --baseline ../../BENCH_service.json )
 
 echo "tier-1 OK"

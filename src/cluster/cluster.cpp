@@ -11,6 +11,7 @@ std::string to_string(PlacementPolicy policy) {
     case PlacementPolicy::kRoundRobin: return "round-robin";
     case PlacementPolicy::kLeastDeclaredLoad: return "least-declared-load";
     case PlacementPolicy::kFirstFitCapacity: return "first-fit-capacity";
+    case PlacementPolicy::kLocalityAware: return "locality-aware";
   }
   return "?";
 }
@@ -37,12 +38,14 @@ ClusterScheduler::ClusterScheduler(ClusterConfig config,
   route_failures_.assign(static_cast<std::size_t>(config_.nodes), 0);
 }
 
-void ClusterScheduler::trace_node(obs::EventKind kind, int node) const {
+void ClusterScheduler::trace_node(obs::EventKind kind, int node,
+                                  double demand) const {
   if (config_.trace_sink == nullptr) return;
   obs::Event e;
   e.time = 0.0;  // placement precedes simulated time
   e.kind = kind;
   e.process = static_cast<sim::ProcessId>(node);
+  e.demand = demand;
   e.set_label("node");
   config_.trace_sink->record(e);
 }
@@ -60,6 +63,16 @@ void ClusterScheduler::mark_down(int node) {
   if (node_down_[idx]) return;
   node_down_[idx] = true;
   trace_node(obs::EventKind::kNodeDown, node);
+  // Tenants homed here lost their working set with the node; their next
+  // placement re-homes them (and the re-route below does it immediately for
+  // tenants with pending work — the first re-routed member picks the new
+  // home, the rest follow it, keeping the batch whole).
+  for (auto& [tenant, home] : tenant_homes_) {
+    if (home.node == node) {
+      home.node = -1;
+      home.footprint = 0.0;
+    }
+  }
   // Drain the node's pending submissions and re-route them to healthy
   // nodes (placement is deferred to run(), so nothing has materialized yet).
   std::vector<Submission> drained = std::move(node_pending_[idx]);
@@ -67,7 +80,7 @@ void ClusterScheduler::mark_down(int node) {
   node_demand_[idx] = 0.0;
   node_processes_[idx] -= static_cast<int>(drained.size());
   for (Submission& s : drained) {
-    int target = pick_node(s.demand);
+    int target = pick_node(s.demand, s.tenant);
     if (target < 0) {
       // Every node is down: resurrect the least-failed one rather than
       // dropping work on the floor.
@@ -82,6 +95,7 @@ void ClusterScheduler::mark_down(int node) {
     node_demand_[t] += s.demand;
     ++node_processes_[t];
     ++reroutes_;
+    note_placement(s.tenant, target, s.demand);
     node_pending_[t].push_back(std::move(s));
   }
 }
@@ -114,7 +128,38 @@ double ClusterScheduler::process_demand_estimate(
   return total;
 }
 
-int ClusterScheduler::pick_node(double demand) const {
+double ClusterScheduler::node_capacity(int node) const {
+  // The capacity the node's own admission core decides against — the same
+  // number its predicate will enforce at runtime. Gateless nodes fall back
+  // to the raw machine LLC size.
+  const core::AdmissionCore* core = node_core(node);
+  return core != nullptr
+             ? core->resources().capacity(ResourceKind::kLLC)
+             : static_cast<double>(config_.node.machine.llc_bytes);
+}
+
+void ClusterScheduler::note_placement(TenantId tenant, int node,
+                                      double demand) {
+  if (tenant == kNoTenant) return;
+  TenantHome& home = tenant_homes_[tenant];
+  if (home.node != node) {
+    // Spill or first placement: the working set starts rebuilding on the
+    // new node, so that IS the home now.
+    home.node = node;
+    home.footprint = 0.0;
+  }
+  home.footprint += demand;
+}
+
+int ClusterScheduler::tenant_home(TenantId tenant) const {
+  const auto it = tenant_homes_.find(tenant);
+  if (it == tenant_homes_.end()) return -1;
+  const int node = it->second.node;
+  if (node < 0 || node_down_[static_cast<std::size_t>(node)]) return -1;
+  return node;
+}
+
+int ClusterScheduler::pick_node(double demand, TenantId tenant) const {
   const auto up = [&](int n) { return !node_down_[static_cast<std::size_t>(n)]; };
   // Least-loaded healthy node: shared fallback of two policies.
   const auto least_loaded = [&]() {
@@ -138,21 +183,98 @@ int ClusterScheduler::pick_node(double demand) const {
     case PlacementPolicy::kFirstFitCapacity: {
       for (int n = 0; n < config_.nodes; ++n) {
         if (!up(n)) continue;
-        // The capacity the node's own admission core decides against — the
-        // same number its predicate will enforce at runtime. Gateless nodes
-        // fall back to the raw machine LLC size.
-        const core::AdmissionCore* core = node_core(n);
-        const double capacity =
-            core != nullptr
-                ? core->resources().capacity(ResourceKind::kLLC)
-                : static_cast<double>(config_.node.machine.llc_bytes);
-        if (node_demand_[n] + demand <= capacity) return n;
+        if (node_demand_[n] + demand <= node_capacity(n)) return n;
       }
       // Nothing fits: fall back to the least-loaded healthy node.
       return least_loaded();
     }
+    case PlacementPolicy::kLocalityAware: {
+      // Stay on the node already holding the tenant's working set while the
+      // node's total placed demand still fits its LLC; a tenant that
+      // outgrows the node spills to the least-loaded one (and re-homes
+      // there — the working set rebuilds where the periods now run).
+      const int home = tenant_home(tenant);
+      if (home >= 0 && node_demand_[home] + demand <= node_capacity(home)) {
+        return home;
+      }
+      return least_loaded();
+    }
   }
   return -1;
+}
+
+std::size_t ClusterScheduler::steal_rebalance() {
+  RDA_CHECK_MSG(!ran_, "steal_rebalance after run()");
+  std::size_t moved_total = 0;
+  // Each pass moves one whole tenant batch onto one idle node; repeat until
+  // no healthy node idles or no donor can spare a batch. Terminates: every
+  // move makes one idle node non-idle and never empties a donor.
+  while (true) {
+    int thief = -1;
+    for (int n = 0; n < config_.nodes; ++n) {
+      if (node_down_[static_cast<std::size_t>(n)]) continue;
+      if (node_pending_[static_cast<std::size_t>(n)].empty()) {
+        thief = n;
+        break;
+      }
+    }
+    if (thief < 0) break;
+
+    // Donor: the most-loaded healthy node holding at least two distinct
+    // tenant batches (stealing its only batch would just move the idleness).
+    // Victim batch: the donor's smallest tenant footprint — cheapest working
+    // set to re-warm on the thief's cold LLC. Anonymous submissions
+    // (kNoTenant) have no shared working set and count as one batch.
+    int donor = -1;
+    for (int n = 0; n < config_.nodes; ++n) {
+      if (n == thief || node_down_[static_cast<std::size_t>(n)]) continue;
+      std::unordered_map<TenantId, double> batches;
+      for (const Submission& s : node_pending_[static_cast<std::size_t>(n)]) {
+        batches[s.tenant] += s.demand;
+      }
+      if (batches.size() < 2) continue;
+      if (donor < 0 || node_demand_[n] > node_demand_[donor]) donor = n;
+    }
+    if (donor < 0) break;
+
+    std::unordered_map<TenantId, double> batches;
+    for (const Submission& s : node_pending_[static_cast<std::size_t>(donor)]) {
+      batches[s.tenant] += s.demand;
+    }
+    TenantId victim = kNoTenant;
+    bool have_victim = false;
+    for (const auto& [tenant, footprint] : batches) {
+      if (!have_victim || footprint < batches[victim] ||
+          (footprint == batches[victim] && tenant < victim)) {
+        victim = tenant;
+        have_victim = true;
+      }
+    }
+
+    // Move the whole batch, preserving submission order.
+    std::vector<Submission>& donor_pending =
+        node_pending_[static_cast<std::size_t>(donor)];
+    std::vector<Submission> kept;
+    std::size_t moved = 0;
+    for (Submission& s : donor_pending) {
+      if (s.tenant != victim) {
+        kept.push_back(std::move(s));
+        continue;
+      }
+      node_demand_[donor] -= s.demand;
+      node_demand_[thief] += s.demand;
+      --node_processes_[donor];
+      ++node_processes_[thief];
+      note_placement(s.tenant, thief, s.demand);
+      node_pending_[static_cast<std::size_t>(thief)].push_back(std::move(s));
+      ++moved;
+    }
+    donor_pending = std::move(kept);
+    ++steals_;
+    moved_total += moved;
+    trace_node(obs::EventKind::kSteal, thief, static_cast<double>(moved));
+  }
+  return moved_total;
 }
 
 const core::AdmissionCore* ClusterScheduler::node_core(int node) const {
@@ -162,7 +284,8 @@ const core::AdmissionCore* ClusterScheduler::node_core(int node) const {
 }
 
 int ClusterScheduler::add_process(
-    std::vector<sim::PhaseProgram> thread_programs, bool task_pool) {
+    std::vector<sim::PhaseProgram> thread_programs, bool task_pool,
+    TenantId tenant) {
   RDA_CHECK_MSG(!ran_, "cannot add processes after run()");
   RDA_CHECK(!thread_programs.empty());
   const double demand = process_demand_estimate(thread_programs);
@@ -173,7 +296,7 @@ int ClusterScheduler::add_process(
   const int max_attempts = 1 + 8 * config_.nodes;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (config_.fault_injector != nullptr) probe_recoveries();
-    node = pick_node(demand);
+    node = pick_node(demand, tenant);
     if (node < 0) {
       // Every node down: rejoin the least-failed one — submission must
       // never wedge on an all-down fleet.
@@ -202,14 +325,19 @@ int ClusterScheduler::add_process(
   s.programs = std::move(thread_programs);
   s.task_pool = task_pool;
   s.demand = demand;
+  s.tenant = tenant;
   node_pending_[static_cast<std::size_t>(node)].push_back(std::move(s));
   node_demand_[node] += demand;
   ++node_processes_[node];
+  note_placement(tenant, node, demand);
   return node;
 }
 
 ClusterResult ClusterScheduler::run() {
   RDA_CHECK_MSG(!ran_, "ClusterScheduler::run is single-shot");
+  // Locality-aware placement trades balance for warm caches; the steal pass
+  // claws the balance back where it is free (a node that would sit idle).
+  if (policy_ == PlacementPolicy::kLocalityAware) steal_rebalance();
   ran_ = true;
   // Materialize the surviving placement: threads enter the engines only now,
   // so a node failure during submission re-routed whole processes cleanly.
@@ -228,6 +356,7 @@ ClusterResult ClusterScheduler::run() {
   result.processes_per_node = node_processes_;
   result.node_failures = total_route_failures_;
   result.reroutes = reroutes_;
+  result.steals = steals_;
   for (int n = 0; n < config_.nodes; ++n) {
     if (engines_[n]->thread_count() == 0) {
       // Idle node: contributes only static power for the cluster makespan;

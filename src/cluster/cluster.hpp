@@ -12,11 +12,19 @@
 //   * round-robin            — demand-blind (the baseline a batch system does),
 //   * least-declared-load    — balance the sum of declared working sets,
 //   * first-fit-capacity     — pack nodes up to their LLC capacity before
-//                              spilling (bin-packing by declared demand).
+//                              spilling (bin-packing by declared demand),
+//   * locality-aware         — per-tenant footprint map: a tenant's processes
+//                              stay on the node already holding its LLC
+//                              working set (warm cache) until the footprint
+//                              outgrows the node, balanced by whole-tenant
+//                              batch stealing when a node would otherwise
+//                              idle (stealing single processes would shear a
+//                              tenant's working set across LLCs).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/rda_scheduler.hpp"
@@ -29,9 +37,15 @@ enum class PlacementPolicy {
   kRoundRobin,
   kLeastDeclaredLoad,
   kFirstFitCapacity,
+  kLocalityAware,
 };
 
 std::string to_string(PlacementPolicy policy);
+
+/// Tenant identity for locality-aware placement. 0 = anonymous (no
+/// affinity); anonymous processes place like kLeastDeclaredLoad.
+using TenantId = std::uint64_t;
+inline constexpr TenantId kNoTenant = 0;
 
 struct ClusterConfig {
   int nodes = 2;
@@ -61,6 +75,7 @@ struct ClusterResult {
   // Node-health bookkeeping (all zero without a routing fault injector).
   std::uint64_t node_failures = 0;  ///< routing attempts that bounced
   std::uint64_t reroutes = 0;       ///< submissions drained off a down node
+  std::uint64_t steals = 0;         ///< tenant batches stolen by idle nodes
 
   /// Cluster makespan = slowest node (all nodes start together).
   double makespan() const;
@@ -79,9 +94,12 @@ class ClusterScheduler {
 
   /// Submits one process (its per-thread phase programs). Placement happens
   /// immediately, based on the process's declared peak demand. Returns the
-  /// node index chosen.
+  /// node index chosen. Tenanted submissions (tenant != kNoTenant) carry
+  /// locality: under kLocalityAware they land on the tenant's home node —
+  /// the one already holding its LLC working set — until it outgrows the
+  /// node's capacity.
   int add_process(std::vector<sim::PhaseProgram> thread_programs,
-                  bool task_pool = false);
+                  bool task_pool = false, TenantId tenant = kNoTenant);
 
   /// Declared-demand estimate used for placement: the max over time of the
   /// sum of each thread's declared working set (threads of a process run
@@ -96,6 +114,20 @@ class ClusterScheduler {
     return node_down_[static_cast<std::size_t>(node)];
   }
 
+  /// Current home node of a tenant (-1 = unknown or home died). The home
+  /// follows the tenant's latest placement: after a spill or steal the
+  /// working set starts rebuilding on the new node, so that IS the home.
+  int tenant_home(TenantId tenant) const;
+
+  /// Idle-node work stealing: while a healthy node has nothing pending and
+  /// some other node holds more than one tenant batch, the idle node steals
+  /// the donor's smallest WHOLE tenant batch (never single processes — a
+  /// split batch would shear the tenant's working set across two LLCs).
+  /// run() performs this rebalance automatically under kLocalityAware;
+  /// exposed for tests and for callers that want a steal pass mid-stream.
+  /// Returns the number of submissions moved.
+  std::size_t steal_rebalance();
+
   /// The admission engine of one node's gate (nullptr when `use_gate` is
   /// off). Placement and fleet-wide stats route through these cores.
   const core::AdmissionCore* node_core(int node) const;
@@ -107,16 +139,20 @@ class ClusterScheduler {
     std::vector<sim::PhaseProgram> programs;
     bool task_pool = false;
     double demand = 0.0;
+    TenantId tenant = kNoTenant;
   };
 
   /// Healthy-node placement under the active policy; -1 when none is up.
-  int pick_node(double demand) const;
+  int pick_node(double demand, TenantId tenant = kNoTenant) const;
   /// Gives each down node a deterministic consult so a targeted
   /// kNodeRecover spec can fire; recovered nodes rejoin the placement set.
   void probe_recoveries();
   void mark_down(int node);
   void mark_up(int node);
-  void trace_node(obs::EventKind kind, int node) const;
+  void trace_node(obs::EventKind kind, int node, double demand = 0.0) const;
+  double node_capacity(int node) const;
+  /// Records a placement in the tenant footprint map (no-op for kNoTenant).
+  void note_placement(TenantId tenant, int node, double demand);
 
   ClusterConfig config_;
   PlacementPolicy policy_;
@@ -129,8 +165,17 @@ class ClusterScheduler {
   std::vector<int> route_failures_;
   std::uint64_t total_route_failures_ = 0;
   std::uint64_t reroutes_ = 0;
+  std::uint64_t steals_ = 0;
   int next_round_robin_ = 0;
   bool ran_ = false;
+
+  /// Per-tenant LLC footprint map: where the tenant's working set lives and
+  /// how much of it is placed there. node -1 = the home died.
+  struct TenantHome {
+    int node = -1;
+    double footprint = 0.0;
+  };
+  std::unordered_map<TenantId, TenantHome> tenant_homes_;
 };
 
 }  // namespace rda::cluster

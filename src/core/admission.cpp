@@ -177,8 +177,19 @@ AdmitTicket AdmissionCore::slow_admit(AdmitRequest request, double now,
   ProgressMonitor::PendingDelivery pending;
   AdmitTicket ticket;
   {
-  std::lock_guard<std::mutex> lock(slow_mu_);
-  ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    ticket = slow_admit_locked(std::move(request), now, partitioned, declared,
+                               occupancy_cap);
+  }
+  monitor_.deliver(std::move(pending));
+  return ticket;
+}
+
+AdmitTicket AdmissionCore::slow_admit_locked(AdmitRequest request, double now,
+                                             bool partitioned, double declared,
+                                             double occupancy_cap) {
+  AdmitTicket ticket;
   ticket.occupancy_cap = occupancy_cap;
   ResourceDemand& primary = request.demands.front();
   if (primary.resource == ResourceKind::kLLC) {
@@ -240,9 +251,54 @@ AdmitTicket AdmissionCore::slow_admit(AdmitRequest request, double now,
   ticket.forced = outcome.forced;
   ticket.fast_path = fast;
   ticket.woke_from_waitlist = outcome.woke_from_waitlist;
-  }
-  monitor_.deliver(std::move(pending));
   return ticket;
+}
+
+std::vector<AdmitTicket> AdmissionCore::admit_batch(
+    std::vector<AdmitRequest> requests, double now) {
+  std::vector<AdmitTicket> tickets(requests.size());
+  struct Leftover {
+    std::size_t index;
+    bool partitioned;
+    double declared;
+  };
+  std::vector<Leftover> leftovers;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    AdmitRequest& request = requests[i];
+    RDA_CHECK_MSG(!request.demands.empty(),
+                  "pp_begin with no declared demand from thread "
+                      << request.thread);
+    AdmitTicket& ticket = tickets[i];
+    ResourceDemand& primary = request.demands.front();
+    const double declared = primary.amount;
+    bool partitioned = false;
+    if (!config_.feedback.enable && primary.resource == ResourceKind::kLLC &&
+        config_.partitioning.enable &&
+        primary.amount > resources_.capacity(ResourceKind::kLLC)) {
+      ticket.occupancy_cap = config_.partitioning.streaming_fraction *
+                             resources_.capacity(ResourceKind::kLLC);
+      primary.amount = ticket.occupancy_cap;
+      partitioned = true;
+    }
+    if (calm() && fast_admit(request, now, partitioned, declared, ticket)) {
+      continue;
+    }
+    leftovers.push_back({i, partitioned, declared});
+  }
+  if (!leftovers.empty()) {
+    ProgressMonitor::PendingDelivery pending;
+    {
+      std::lock_guard<std::mutex> lock(slow_mu_);
+      ProgressMonitor::WakeBatch batch(monitor_, &pending);
+      for (const Leftover& l : leftovers) {
+        tickets[l.index] =
+            slow_admit_locked(std::move(requests[l.index]), now, l.partitioned,
+                              l.declared, tickets[l.index].occupancy_cap);
+      }
+    }
+    monitor_.deliver(std::move(pending));
+  }
+  return tickets;
 }
 
 bool AdmissionCore::withdraw(PeriodId id, double now) {
@@ -281,41 +337,48 @@ WithdrawResult AdmissionCore::try_withdraw(PeriodId id, double now) {
   return result;
 }
 
+bool AdmissionCore::fast_release(PeriodId id, double now,
+                                 ReleaseTicket& ticket) {
+  // Calm lock-free release: claim the record off its shard (only records
+  // that are admitted and not force-oversubscribed qualify — everything
+  // else carries slow-lane obligations) and return its budget.
+  std::optional<PeriodRecord> record =
+      monitor_.mutable_registry().take_if_calm(id);
+  if (!record.has_value()) return false;
+  ticket.fast_path = config_.fast_path;
+  ShardSlot& slot = slots_[shard_of_thread(record->thread)];
+  trace(obs::EventKind::kEnd, now, *record);
+  if (config_.fast_path) {
+    std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
+    ThreadCache& cache = slot.cache[record->thread];
+    // Replay validity: the cached decision survives this end only if
+    // nobody else touched the load table since our begin (then our
+    // increment+decrement cancel out). Read BEFORE the decrement.
+    const bool undisturbed = resources_.version() == cache.version;
+    for (const ResourceDemand& d : record->demands) {
+      resources_.decrement_load(d.resource, d.amount, record->stripe);
+    }
+    if (undisturbed && cache.valid) {
+      cache.version = resources_.version();
+    } else {
+      cache.valid = false;
+    }
+  } else {
+    for (const ResourceDemand& d : record->demands) {
+      resources_.decrement_load(d.resource, d.amount, record->stripe);
+    }
+  }
+  slot.ends.fetch_add(1);
+  ticket.record = std::move(*record);
+  return true;
+}
+
 ReleaseTicket AdmissionCore::release(PeriodId id,
                                      const ReleaseObservation& observed,
                                      double now) {
   if (calm()) {
-    // Calm lock-free release: claim the record off its shard (only records
-    // that are admitted and not force-oversubscribed qualify — everything
-    // else carries slow-lane obligations) and return its budget.
-    std::optional<PeriodRecord> record =
-        monitor_.mutable_registry().take_if_calm(id);
-    if (record.has_value()) {
-      ReleaseTicket ticket;
-      ticket.fast_path = config_.fast_path;
-      ShardSlot& slot = slots_[shard_of_thread(record->thread)];
-      trace(obs::EventKind::kEnd, now, *record);
-      if (config_.fast_path) {
-        std::lock_guard<std::mutex> cache_lock(slot.cache_mu);
-        ThreadCache& cache = slot.cache[record->thread];
-        // Replay validity: the cached decision survives this end only if
-        // nobody else touched the load table since our begin (then our
-        // increment+decrement cancel out). Read BEFORE the decrement.
-        const bool undisturbed = resources_.version() == cache.version;
-        for (const ResourceDemand& d : record->demands) {
-          resources_.decrement_load(d.resource, d.amount, record->stripe);
-        }
-        if (undisturbed && cache.valid) {
-          cache.version = resources_.version();
-        } else {
-          cache.valid = false;
-        }
-      } else {
-        for (const ResourceDemand& d : record->demands) {
-          resources_.decrement_load(d.resource, d.amount, record->stripe);
-        }
-      }
-      slot.ends.fetch_add(1);
+    ReleaseTicket ticket;
+    if (fast_release(id, now, ticket)) {
       // Dekker handshake, releaser side: the budget is returned (seq_cst);
       // now re-read the park flags. A parker whose push we miss here saw
       // our budget on its own second look — either way somebody rescans.
@@ -329,11 +392,48 @@ ReleaseTicket AdmissionCore::release(PeriodId id,
         }
         monitor_.deliver(std::move(pending));
       }
-      ticket.record = std::move(*record);
       return ticket;
     }
   }
   return slow_release(id, observed, now);
+}
+
+std::vector<ReleaseTicket> AdmissionCore::release_batch(
+    const std::vector<PeriodId>& ids, double now) {
+  std::vector<ReleaseTicket> tickets(ids.size());
+  std::vector<std::size_t> leftovers;
+  bool any_fast = false;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (calm() && fast_release(ids[i], now, tickets[i])) {
+      any_fast = true;
+      continue;
+    }
+    leftovers.push_back(i);
+  }
+  ProgressMonitor::PendingDelivery pending;
+  if (!leftovers.empty()) {
+    // One slow-mutex hold, one rescan, one wake flush for every record the
+    // calm lane could not claim. (end_periods rescans after all the budget
+    // is back, which also covers the Dekker obligation of the fast ones.)
+    std::vector<PeriodId> leftover_ids;
+    leftover_ids.reserve(leftovers.size());
+    for (const std::size_t i : leftovers) leftover_ids.push_back(ids[i]);
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    std::vector<PeriodRecord> records = monitor_.end_periods(leftover_ids, now);
+    for (std::size_t j = 0; j < leftovers.size(); ++j) {
+      tickets[leftovers[j]].record = std::move(records[j]);
+    }
+  } else if (any_fast && (monitor_.waitlist().size() != 0 ||
+                          monitor_.disabled_pool_count() != 0)) {
+    // Purely fast batch: the Dekker re-check escalates at most once for the
+    // whole batch instead of once per release.
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    ProgressMonitor::WakeBatch batch(monitor_, &pending);
+    monitor_.rescan_release(now);
+  }
+  monitor_.deliver(std::move(pending));
+  return tickets;
 }
 
 ReleaseTicket AdmissionCore::slow_release(PeriodId id,

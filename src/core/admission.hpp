@@ -198,6 +198,17 @@ class AdmissionCore {
   /// stats or trace mutation).
   AdmitTicket admit(AdmitRequest request, double now);
 
+  /// Batched pp_begin for the service front end's drain loop. Semantically
+  /// identical to calling admit() per request in order (tickets come back in
+  /// request order), but calm requests go through the lock-free lane
+  /// individually while every slow-lane leftover shares ONE slow-mutex
+  /// acquisition, one wake batch, and one deliver — the per-call lock and
+  /// notify cost is amortized across the whole batch. Leftovers keep their
+  /// original arrival order (FIFO fairness). A nested-begin throw aborts the
+  /// batch like it aborts the single call.
+  std::vector<AdmitTicket> admit_batch(std::vector<AdmitRequest> requests,
+                                       double now);
+
   /// Withdraws a request that is still waitlisted (timeout / try_begin /
   /// shutdown). Returns false — withdrawing NOTHING — when the period was
   /// already admitted (the grant raced the timeout; the caller must consume
@@ -214,6 +225,15 @@ class AdmissionCore {
   /// admission). Throws on an unknown id or a never-admitted period.
   ReleaseTicket release(PeriodId id, const ReleaseObservation& observed,
                         double now);
+
+  /// Batched pp_end. Calm records release through the lock-free lane; the
+  /// rest are discharged together under one slow-mutex hold with a single
+  /// waitlist rescan for the whole batch (ProgressMonitor::end_periods), and
+  /// the Dekker re-check after a purely fast batch escalates at most once.
+  /// No counter observations: feedback-corrected periods must go through the
+  /// single-call release() (feedback disables the calm lane anyway).
+  std::vector<ReleaseTicket> release_batch(const std::vector<PeriodId>& ids,
+                                           double now);
 
   /// Active (admitted OR waitlisted) period of a thread, if any.
   std::optional<PeriodId> active_for_thread(sim::ThreadId thread) const {
@@ -316,8 +336,15 @@ class AdmissionCore {
                   double declared, AdmitTicket& ticket);
   AdmitTicket slow_admit(AdmitRequest request, double now, bool partitioned,
                          double declared, double occupancy_cap);
+  /// slow_admit body; caller holds slow_mu_ inside an open WakeBatch.
+  AdmitTicket slow_admit_locked(AdmitRequest request, double now,
+                                bool partitioned, double declared,
+                                double occupancy_cap);
   ReleaseTicket slow_release(PeriodId id, const ReleaseObservation& observed,
                              double now);
+  /// Lock-free release attempt (no Dekker re-check — the caller owes one
+  /// rescan check per call/batch). False = record not claimable calmly.
+  bool fast_release(PeriodId id, double now, ReleaseTicket& ticket);
   void trace(obs::EventKind kind, double now, const PeriodRecord& record);
 
   AdmissionConfig config_;

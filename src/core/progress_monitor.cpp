@@ -577,6 +577,31 @@ PeriodRecord ProgressMonitor::end_period(PeriodId id, double now) {
   return record;
 }
 
+std::vector<PeriodRecord> ProgressMonitor::end_periods(
+    const std::vector<PeriodId>& ids, double now) {
+  WakeBatch batch(*this);
+  std::vector<PeriodRecord> records;
+  records.reserve(ids.size());
+  for (const PeriodId id : ids) {
+    ++stats_.ends;
+    PeriodRecord record = registry_.remove(id);
+    RDA_CHECK_MSG(record.admitted,
+                  "pp_end on period " << id
+                                      << " that was never admitted (still "
+                                         "waitlisted?)");
+    trace(obs::EventKind::kEnd, now, record);
+    for (const ResourceDemand& d : record.demands) {
+      resources_->decrement_load(d.resource, d.amount, record.stripe);
+      if (record.oversub) {
+        resources_->remove_oversubscribed(d.resource, d.amount);
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  rescan(now);
+  return records;
+}
+
 bool ProgressMonitor::cancel_waiting(PeriodId id, double now) {
   WakeBatch batch(*this);
   {

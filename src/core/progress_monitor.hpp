@@ -203,6 +203,14 @@ class ProgressMonitor {
   /// pp_end. Throws if the id is unknown. Returns the closed record.
   PeriodRecord end_period(PeriodId id, double now);
 
+  /// Batched pp_end: removes and discharges every id first, then re-offers
+  /// the freed capacity with ONE waitlist rescan for the whole batch (one
+  /// release storm = one scheduling pass = one wake flush, instead of a
+  /// rescan per end). Records are returned in id-argument order. Throws on
+  /// the first unknown or never-admitted id, like end_period.
+  std::vector<PeriodRecord> end_periods(const std::vector<PeriodId>& ids,
+                                        double now);
+
   /// Cancels a period that is still waitlisted (native-runtime timeout /
   /// shutdown path). Returns false if the period was already admitted or
   /// unknown. Rescans afterwards: removing the waiter can re-enable a pool

@@ -15,6 +15,43 @@ int parse_jobs(int argc, char** argv) {
   return 1;
 }
 
+namespace {
+
+const char* flag_value(int argc, char** argv, const std::string& key) {
+  const char* value = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) value = argv[i + 1];
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t parse_u64_flag(int argc, char** argv, const std::string& key,
+                             std::uint64_t fallback) {
+  const char* value = flag_value(argc, argv, key);
+  return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+double parse_double_flag(int argc, char** argv, const std::string& key,
+                         double fallback) {
+  const char* value = flag_value(argc, argv, key);
+  return value ? std::strtod(value, nullptr) : fallback;
+}
+
+std::string parse_string_flag(int argc, char** argv, const std::string& key,
+                              const std::string& fallback) {
+  const char* value = flag_value(argc, argv, key);
+  return value ? std::string(value) : fallback;
+}
+
+bool has_flag(int argc, char** argv, const std::string& key) {
+  for (int i = 1; i < argc; ++i) {
+    if (key == argv[i]) return true;
+  }
+  return false;
+}
+
 RunRow run_workload(const workload::WorkloadSpec& spec,
                     const RunConfig& config) {
   sim::Engine engine(config.engine);

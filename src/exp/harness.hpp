@@ -66,6 +66,18 @@ RunRow run_workload(const workload::WorkloadSpec& spec,
 /// binaries stay serial unless parallelism is requested.
 int parse_jobs(int argc, char** argv);
 
+/// `--key value` flag parsers shared by the bench/tool binaries (every
+/// binary used to hand-roll the same argv scan). The last occurrence wins;
+/// `fallback` is returned when the flag is absent or has no value.
+std::uint64_t parse_u64_flag(int argc, char** argv, const std::string& key,
+                             std::uint64_t fallback);
+double parse_double_flag(int argc, char** argv, const std::string& key,
+                         double fallback);
+std::string parse_string_flag(int argc, char** argv, const std::string& key,
+                              const std::string& fallback);
+/// True when the bare flag (no value) appears anywhere in argv.
+bool has_flag(int argc, char** argv, const std::string& key);
+
 /// Runs `fn(0) .. fn(count - 1)` on up to `jobs` threads. Each invocation
 /// must touch only its own state/result slot; the caller reads results in
 /// index order afterwards, so output is independent of `jobs`.

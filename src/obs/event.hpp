@@ -35,9 +35,13 @@ enum class EventKind : std::uint8_t {
   kReject,       ///< watchdog rung 3: waiter evicted with an error
   kNodeDown,     ///< cluster node marked down after repeated failures
   kNodeUp,       ///< cluster node rejoined the placement set
+  kEnqueue,      ///< service front end accepted a submission into the queue
+  kBatchDrain,   ///< drain loop pulled a batch; demand = batch size
+  kSteal,        ///< idle node stole a tenant batch; demand = batch size
+  kShed,         ///< overload ladder rung 3: submission shed before admission
 };
 
-inline constexpr std::size_t kNumEventKinds = 13;
+inline constexpr std::size_t kNumEventKinds = 17;
 
 constexpr std::string_view to_string(EventKind kind) {
   switch (kind) {
@@ -54,6 +58,10 @@ constexpr std::string_view to_string(EventKind kind) {
     case EventKind::kReject: return "reject";
     case EventKind::kNodeDown: return "node_down";
     case EventKind::kNodeUp: return "node_up";
+    case EventKind::kEnqueue: return "enqueue";
+    case EventKind::kBatchDrain: return "batch_drain";
+    case EventKind::kSteal: return "steal";
+    case EventKind::kShed: return "shed";
   }
   return "?";
 }

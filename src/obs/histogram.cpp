@@ -6,21 +6,49 @@
 
 namespace rda::obs {
 
-std::size_t WaitHistogram::bucket_of(double seconds) {
+template <unsigned SubBucketBits>
+std::size_t BasicLatencyHistogram<SubBucketBits>::bucket_of(double seconds) {
   if (!(seconds > 0.0)) return 0;  // negatives/NaN land in the floor bucket
   const double ns = seconds * 1e9;
-  if (ns < 1.0) return 0;
-  const auto whole = static_cast<std::uint64_t>(ns);
-  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(whole));
+  if (ns < 0.5) return 0;
+  if (ns >= 9.2e18) return kBuckets - 1;
+  // Round to the nearest nanosecond: bucket floors converted to seconds and
+  // back must land in their own bucket, which truncation would break
+  // whenever floor*1e-9*1e9 rounds a hair below the integer.
+  const auto whole = static_cast<std::uint64_t>(ns + 0.5);
+  if (whole < kSubBuckets) return static_cast<std::size_t>(whole);
+  // Value sits in octave [2^m, 2^(m+1)), split into kSubBuckets equal
+  // sub-buckets of width 2^(m - SubBucketBits).
+  const unsigned m = static_cast<unsigned>(std::bit_width(whole)) - 1;
+  const std::uint64_t sub =
+      (whole - (std::uint64_t{1} << m)) >> (m - SubBucketBits);
+  const std::size_t bucket =
+      kSubBuckets + static_cast<std::size_t>(m - SubBucketBits) * kSubBuckets +
+      static_cast<std::size_t>(sub);
   return std::min(bucket, kBuckets - 1);
 }
 
-double WaitHistogram::bucket_floor(std::size_t bucket) {
-  if (bucket == 0) return 0.0;
-  return std::ldexp(1.0, static_cast<int>(bucket) - 1) * 1e-9;
+template <unsigned SubBucketBits>
+double BasicLatencyHistogram<SubBucketBits>::bucket_floor(std::size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<double>(bucket) * 1e-9;
+  const std::size_t k = bucket - kSubBuckets;
+  const unsigned m = SubBucketBits + static_cast<unsigned>(k / kSubBuckets);
+  const std::size_t sub = k % kSubBuckets;
+  const double octave = std::ldexp(1.0, static_cast<int>(m));
+  const double width =
+      std::ldexp(1.0, static_cast<int>(m) - static_cast<int>(SubBucketBits));
+  return (octave + static_cast<double>(sub) * width) * 1e-9;
 }
 
-void WaitHistogram::add(double seconds) {
+template <unsigned SubBucketBits>
+double BasicLatencyHistogram<SubBucketBits>::bucket_ceiling(
+    std::size_t bucket) {
+  if (bucket + 1 < kBuckets) return bucket_floor(bucket + 1);
+  return bucket_floor(bucket) * 2.0;  // saturated top bucket
+}
+
+template <unsigned SubBucketBits>
+void BasicLatencyHistogram<SubBucketBits>::add(double seconds) {
   seconds = std::max(seconds, 0.0);
   ++buckets_[bucket_of(seconds)];
   ++count_;
@@ -29,7 +57,9 @@ void WaitHistogram::add(double seconds) {
   max_ = std::max(max_, seconds);
 }
 
-void WaitHistogram::merge(const WaitHistogram& other) {
+template <unsigned SubBucketBits>
+void BasicLatencyHistogram<SubBucketBits>::merge(
+    const BasicLatencyHistogram& other) {
   if (other.count_ == 0) return;
   for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
   min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
@@ -38,26 +68,37 @@ void WaitHistogram::merge(const WaitHistogram& other) {
   sum_ += other.sum_;
 }
 
-double WaitHistogram::mean() const {
+template <unsigned SubBucketBits>
+double BasicLatencyHistogram<SubBucketBits>::mean() const {
   return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
-double WaitHistogram::quantile(double q) const {
+template <unsigned SubBucketBits>
+double BasicLatencyHistogram<SubBucketBits>::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_ - 1);
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(seen);
     seen += buckets_[b];
     if (static_cast<double>(seen) > target) {
-      // Geometric midpoint of [floor, 2*floor); clamp into the observed
-      // range so the estimate never exceeds the exact extremes.
+      // The q-th rank falls in this bucket: interpolate linearly by its
+      // position among the bucket's samples (centered, so a lone sample
+      // reads as the bucket midpoint), then clamp into the exact observed
+      // range so the estimate never exceeds the true extremes.
       const double lo = bucket_floor(b);
-      const double mid = lo > 0.0 ? lo * std::sqrt(2.0) : 0.5e-9;
-      return std::clamp(mid, min_, max_);
+      const double hi = bucket_ceiling(b);
+      const double frac =
+          (target - before + 0.5) / static_cast<double>(buckets_[b]);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
     }
   }
   return max_;
 }
+
+template class BasicLatencyHistogram<0>;
+template class BasicLatencyHistogram<3>;
 
 }  // namespace rda::obs

@@ -1,10 +1,22 @@
-// Wait-latency histogram (block → wake/force-admit time).
+// Log-bucketed latency histograms.
 //
-// Power-of-two nanosecond buckets: constant memory, O(1) insert, and
-// quantiles good to a factor of two across fourteen decades — plenty to
-// tell "microseconds of queueing" from "stranded for seconds", which is the
-// question the cancel-path starvation bug hid. Exact min/max are tracked on
-// the side so the tails are not bucket-quantized.
+// BasicLatencyHistogram is the one implementation behind every latency
+// metric in the repo: nanosecond-resolution log-linear buckets (each
+// power-of-two octave split into 2^SubBucketBits equal sub-buckets, the way
+// HdrHistogram does it), constant memory, O(1) insert, and quantiles read by
+// linear interpolation inside the bucket holding the requested rank. Two
+// histograms of the same shape merge by plain bucket addition, so per-thread
+// instances combine into one deterministic aggregate regardless of merge
+// order. Exact min/max are tracked on the side so the tails are never
+// bucket-quantized.
+//
+// Two instantiations are exported:
+//   * WaitHistogram    — SubBucketBits = 0: pure power-of-two octaves, the
+//     original block→wake histogram (quantiles good to a factor of two,
+//     which is what the cancel-path starvation bug needed).
+//   * LatencyHistogram — SubBucketBits = 3: eight sub-buckets per octave
+//     (≤ 12.5% relative bucket width), tight enough for the p50/p95/p99
+//     admission-latency SLOs bench/service_load reports.
 #pragma once
 
 #include <array>
@@ -12,37 +24,58 @@
 
 namespace rda::obs {
 
-class WaitHistogram {
+template <unsigned SubBucketBits>
+class BasicLatencyHistogram {
  public:
-  static constexpr std::size_t kBuckets = 64;
+  /// Sub-buckets per power-of-two octave.
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << SubBucketBits;
+  /// Linear region (values below kSubBuckets ns get width-1 ns buckets),
+  /// then kSubBuckets log-linear buckets per octave up to 2^64 ns.
+  static constexpr std::size_t kBuckets =
+      kSubBuckets + (64 - SubBucketBits) * kSubBuckets;
 
   void add(double seconds);
-  void merge(const WaitHistogram& other);
+  /// Bucket-wise addition; min/max/count/sum combine exactly. Merge order
+  /// never changes the result (all fields are sums or extrema).
+  void merge(const BasicLatencyHistogram& other);
 
   std::uint64_t count() const { return count_; }
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
   double mean() const;
-  /// Quantile in [0,1]; returns a bucket-resolution estimate (the geometric
-  /// midpoint of the bucket holding the q-th sample). 0 when empty.
+  /// Quantile in [0,1]: linear interpolation across the bucket holding the
+  /// q-th rank, clamped into the exact observed [min, max]. 0 when empty.
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 
   std::uint64_t bucket_count(std::size_t bucket) const {
     return buckets_[bucket];
   }
   /// Lower bound of a bucket, in seconds.
   static double bucket_floor(std::size_t bucket);
-
- private:
+  /// Exclusive upper bound of a bucket, in seconds.
+  static double bucket_ceiling(std::size_t bucket);
   static std::size_t bucket_of(double seconds);
 
+ private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };
+
+extern template class BasicLatencyHistogram<0>;
+extern template class BasicLatencyHistogram<3>;
+
+/// Block→wake wait-latency histogram (original power-of-two buckets).
+using WaitHistogram = BasicLatencyHistogram<0>;
+
+/// SLO-grade latency histogram (≤ 12.5% bucket width) for p50/p95/p99
+/// extraction; the shape bench/service_load and the summary exporter use.
+using LatencyHistogram = BasicLatencyHistogram<3>;
 
 }  // namespace rda::obs

@@ -31,9 +31,13 @@ ReconcileReport reconcile(std::span<const Event> events,
 
   for (const Event& e : events) {
     ++counts[static_cast<std::size_t>(e.kind)];
-    if (e.kind == EventKind::kNodeDown || e.kind == EventKind::kNodeUp) {
-      // Node-health transitions carry a node id, not a period id, and live
-      // outside the per-period lifecycle machine.
+    if (e.kind == EventKind::kNodeDown || e.kind == EventKind::kNodeUp ||
+        e.kind == EventKind::kEnqueue || e.kind == EventKind::kBatchDrain ||
+        e.kind == EventKind::kSteal || e.kind == EventKind::kShed) {
+      // Node-health transitions carry a node id, not a period id; service
+      // queue events happen before (or instead of) the core lifecycle. Both
+      // live outside the per-period machine — reconcile_service covers the
+      // queue-side ledger.
       continue;
     }
     const auto it = periods.find(e.period);
@@ -126,6 +130,10 @@ ReconcileReport reconcile(std::span<const Event> events,
         break;
       case EventKind::kNodeDown:
       case EventKind::kNodeUp:
+      case EventKind::kEnqueue:
+      case EventKind::kBatchDrain:
+      case EventKind::kSteal:
+      case EventKind::kShed:
         break;  // handled above
     }
   }
@@ -170,6 +178,78 @@ ReconcileReport reconcile(std::span<const Event> events,
     os << "begins (" << stats.begins << ") != immediate admissions ("
        << stats.immediate_admissions << ") + blocks (" << stats.blocks
        << ") + begin-path force-admits (" << report.begin_forced << ")";
+    fail(os.str());
+  }
+
+  if (!errors.empty()) {
+    report.ok = false;
+    std::ostringstream os;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      if (i) os << "\n";
+      os << errors[i];
+    }
+    report.message = os.str();
+  }
+  return report;
+}
+
+ReconcileReport reconcile_service(std::span<const Event> events,
+                                  const ServiceStatsCheck& service) {
+  ReconcileReport report;
+  std::vector<std::string> errors;
+  const auto fail = [&](const std::string& what) { errors.push_back(what); };
+
+  std::uint64_t enqueues = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t begins = 0;
+  std::uint64_t drained = 0;  // Σ batch sizes carried by kBatchDrain
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kEnqueue: ++enqueues; break;
+      case EventKind::kBatchDrain:
+        ++drains;
+        drained += static_cast<std::uint64_t>(e.demand);
+        break;
+      case EventKind::kSteal: ++steals; break;
+      case EventKind::kShed: ++sheds; break;
+      case EventKind::kBegin: ++begins; break;
+      default: break;
+    }
+  }
+
+  const auto expect = [&](std::uint64_t seen, std::uint64_t stat,
+                          const char* what, const char* name) {
+    if (seen != stat) {
+      std::ostringstream os;
+      os << "event count mismatch: " << seen << " " << what
+         << " events vs service." << name << " == " << stat;
+      fail(os.str());
+    }
+  };
+  expect(enqueues, service.enqueued, "enqueue", "enqueued");
+  expect(drains, service.drains, "batch_drain", "drains");
+  expect(steals, service.steals, "steal", "steals");
+  expect(sheds, service.shed, "shed", "shed");
+
+  // The queue loses nothing: every accepted submission is drained in some
+  // batch or still sitting in the queue at capture end.
+  if (drained + service.still_queued != enqueues) {
+    std::ostringstream os;
+    os << "queue ledger broken: " << enqueues << " enqueues != " << drained
+       << " drained (sum of batch sizes) + " << service.still_queued
+       << " still queued";
+    fail(os.str());
+  }
+  // Every drained submission resolves exactly one way: one begin in the
+  // core, or shed by the overload ladder. A lost submission shows up as a
+  // drain/begin gap here; a double-admit as excess begins.
+  if (drained != begins + sheds) {
+    std::ostringstream os;
+    os << "drain ledger broken: " << drained
+       << " drained submissions != " << begins << " begins + " << sheds
+       << " sheds";
     fail(os.str());
   }
 

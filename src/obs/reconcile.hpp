@@ -55,6 +55,31 @@ struct WaitStatsCheck {
   double slack_seconds = 0.05;
 };
 
+/// The service front end's queue counters to reconcile against the event
+/// stream. Plain numbers for the same layering reason as WaitStatsCheck.
+struct ServiceStatsCheck {
+  std::uint64_t enqueued = 0;      ///< submissions accepted into the queue
+  std::uint64_t drains = 0;        ///< batch-drain passes
+  std::uint64_t steals = 0;        ///< whole-tenant-batch steals
+  std::uint64_t shed = 0;          ///< submissions shed by the overload ladder
+  std::uint64_t still_queued = 0;  ///< left in the queue at capture end
+};
+
+/// Extends the fault-matrix ledger invariant
+///   begins == ends + cancels + reclaims + rejections
+/// down to the service queue:
+///   * count(kind) == the matching ServiceStatsCheck field, for enqueue /
+///     batch-drain / steal / shed;
+///   * Σ batch-drain sizes (the kBatchDrain event's demand payload)
+///     == enqueued - still_queued — the queue loses nothing: every accepted
+///     submission is either drained in some batch or still waiting;
+///   * drained == begins + sheds — every drained submission either entered
+///     the core (exactly one kBegin) or was shed by the overload ladder.
+/// A node dying mid-drain and rejoining must not break any of these: a lost
+/// submission shows up as a drain/begin gap, a double-admit as excess begins.
+ReconcileReport reconcile_service(std::span<const Event> events,
+                                  const ServiceStatsCheck& service);
+
 /// Cross-checks the wait-latency histogram and the native gate's wait
 /// counters against the event stream:
 ///   * histogram count == block intervals closed by a wake/force/cancel;

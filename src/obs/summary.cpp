@@ -53,7 +53,8 @@ std::string summarize(std::span<const Event> events,
   os << "wait latency: " << waits.count() << " waits";
   if (waits.count() > 0) {
     os << "  p50 " << format_seconds(waits.p50()) << "  p95 "
-       << format_seconds(waits.p95()) << "  max "
+       << format_seconds(waits.p95()) << "  p99 "
+       << format_seconds(waits.p99()) << "  max "
        << format_seconds(waits.max());
   }
   os << "\n";

@@ -1,0 +1,113 @@
+#include "service/arrival.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace rda::service {
+
+std::string_view to_string(ArrivalShape shape) {
+  switch (shape) {
+    case ArrivalShape::kPoisson: return "poisson";
+    case ArrivalShape::kDiurnal: return "diurnal";
+    case ArrivalShape::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Exponential gap with mean 1/rate. 1 - u is in (0, 1], so the log is
+/// finite and the gap strictly positive.
+double exponential_gap(util::Rng& rng, double rate) {
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+}  // namespace
+
+ArrivalGenerator::ArrivalGenerator(ArrivalConfig config)
+    : config_(config), rng_(config.seed) {
+  RDA_CHECK_MSG(config_.rate > 0.0, "arrival rate must be positive");
+  RDA_CHECK_MSG(config_.tenants >= 1, "need at least one tenant");
+  RDA_CHECK_MSG(config_.diurnal_amplitude >= 0.0 &&
+                    config_.diurnal_amplitude < 1.0,
+                "diurnal amplitude must be in [0, 1)");
+  RDA_CHECK_MSG(config_.burst_fraction > 0.0 && config_.burst_fraction < 1.0,
+                "burst fraction must be in (0, 1)");
+  RDA_CHECK_MSG(config_.burst_multiplier >= 1.0,
+                "burst multiplier must be >= 1");
+}
+
+double ArrivalGenerator::next_gap() {
+  switch (config_.shape) {
+    case ArrivalShape::kPoisson:
+      return exponential_gap(rng_, config_.rate);
+    case ArrivalShape::kDiurnal: {
+      // Thinning (Lewis & Shedler): propose at the peak rate, accept a
+      // proposal at t with probability λ(t)/λ_max. Rejected proposals
+      // advance time, so the accepted stream follows λ(t) exactly.
+      const double peak = config_.rate * (1.0 + config_.diurnal_amplitude);
+      double t = time_;
+      for (;;) {
+        t += exponential_gap(rng_, peak);
+        const double phase = 2.0 * std::numbers::pi * t /
+                             config_.diurnal_period_seconds;
+        const double lambda =
+            config_.rate *
+            (1.0 + config_.diurnal_amplitude * std::sin(phase));
+        if (rng_.next_double() * peak < lambda) return t - time_;
+      }
+    }
+    case ArrivalShape::kBursty: {
+      // Two-state MMPP with the long-run mean pinned to config_.rate:
+      //   rate = f·on + (1-f)·off   with   on = m·off
+      // ⇒ off = rate / (f·m + 1 - f).
+      const double f = config_.burst_fraction;
+      const double m = config_.burst_multiplier;
+      const double off_rate = config_.rate / (f * m + 1.0 - f);
+      const double on_rate = m * off_rate;
+      const double on_hold = config_.burst_mean_seconds;
+      const double off_hold = on_hold * (1.0 - f) / f;
+      double t = time_;
+      for (;;) {
+        if (t >= state_ends_) {
+          // Entering a fresh state (the stream starts quiet); draw its
+          // exponential holding time.
+          burst_on_ = state_ends_ == 0.0 ? false : !burst_on_;
+          state_ends_ =
+              t + exponential_gap(rng_, 1.0 / (burst_on_ ? on_hold
+                                                         : off_hold));
+        }
+        const double gap =
+            exponential_gap(rng_, burst_on_ ? on_rate : off_rate);
+        if (t + gap <= state_ends_) return t + gap - time_;
+        t = state_ends_;  // gap crossed the state boundary: redraw there
+      }
+    }
+  }
+  RDA_CHECK_MSG(false, "unreachable arrival shape");
+  return 0.0;
+}
+
+Arrival ArrivalGenerator::next() {
+  time_ += next_gap();
+
+  Arrival a;
+  a.time = time_;
+  a.seq = seq_++;
+  if (config_.tenants == 1 || rng_.next_bool(config_.hot_tenant_share)) {
+    a.tenant = 1;
+  } else {
+    a.tenant = 2 + rng_.next_below(config_.tenants - 1);
+  }
+  const auto jitter = [&](double mean, double spread) {
+    return mean * (1.0 - spread + 2.0 * spread * rng_.next_double());
+  };
+  a.demand_bytes = jitter(config_.demand_mean_bytes, config_.demand_spread);
+  a.service_seconds =
+      jitter(config_.service_mean_seconds, config_.service_spread);
+  return a;
+}
+
+}  // namespace rda::service

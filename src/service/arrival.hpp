@@ -1,0 +1,99 @@
+// Open-loop arrival generation for the service front end.
+//
+// The ROADMAP's north star is a front end serving millions of users; the
+// admission engine therefore has to be driven the way real traffic drives
+// it — open loop, where arrivals keep coming regardless of how far behind
+// the system is — not the closed-loop "submit, wait, submit" shape the
+// figure benches use. A generator is a pure function of its seed: it
+// streams arrivals one at a time in O(1) state, so a run over millions of
+// short periods is reproducible bit-for-bit and two routing policies can
+// be compared on the identical trace.
+//
+// Three arrival shapes, per the evaluation matrix:
+//   * Poisson  — homogeneous rate λ (exponential inter-arrival gaps),
+//   * diurnal  — nonhomogeneous λ(t) = λ·(1 + A·sin(2πt/T)) via thinning
+//                (the classic day/night load swing, compressed to T),
+//   * bursty   — two-state MMPP: an ON state at λ·burst multiplier and a
+//                quiet OFF state, with exponential state holding times.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace rda::service {
+
+enum class ArrivalShape {
+  kPoisson,
+  kDiurnal,
+  kBursty,
+};
+
+std::string_view to_string(ArrivalShape shape);
+
+/// One submission hitting the front door.
+struct Arrival {
+  double time = 0.0;             ///< seconds since stream start
+  std::uint64_t seq = 0;         ///< 0-based arrival index
+  std::uint64_t tenant = 1;      ///< 1-based tenant id (locality key)
+  double demand_bytes = 0.0;     ///< declared LLC working set
+  double service_seconds = 0.0;  ///< base service time once admitted
+};
+
+struct ArrivalConfig {
+  ArrivalShape shape = ArrivalShape::kPoisson;
+  /// Long-run mean arrival rate (arrivals/second) for every shape — the
+  /// diurnal and bursty modulations preserve this mean, so shapes are
+  /// compared at equal offered load.
+  double rate = 20000.0;
+  std::uint64_t seed = 1;
+
+  /// Tenants draw 1..tenants; tenant 1 is "hot" and receives
+  /// `hot_tenant_share` of the traffic (its reuse makes it the
+  /// LLC-hit-sensitive tenant locality routing is supposed to help).
+  std::uint32_t tenants = 8;
+  double hot_tenant_share = 0.4;
+
+  /// Declared demand ~ uniform in mean·(1 ± spread); same for service time.
+  double demand_mean_bytes = 2.0 * 1024.0 * 1024.0;
+  double demand_spread = 0.5;
+  double service_mean_seconds = 2.0e-3;
+  double service_spread = 0.5;
+
+  /// kDiurnal: one "day" lasts this long; rate swings ±amplitude around
+  /// the mean. amplitude must stay < 1 so λ(t) never goes negative.
+  double diurnal_period_seconds = 1.0;
+  double diurnal_amplitude = 0.8;
+
+  /// kBursty: ON-state rate is `burst_multiplier`× the OFF-state rate;
+  /// the process spends `burst_fraction` of its time ON; ON episodes last
+  /// `burst_mean_seconds` on average (exponential holding times).
+  double burst_multiplier = 8.0;
+  double burst_fraction = 0.125;
+  double burst_mean_seconds = 0.02;
+};
+
+/// Streams the arrival process defined by the config. next() is O(1);
+/// calling it n times yields the first n arrivals of the (infinite) trace.
+class ArrivalGenerator {
+ public:
+  explicit ArrivalGenerator(ArrivalConfig config);
+
+  Arrival next();
+
+  const ArrivalConfig& config() const { return config_; }
+
+ private:
+  double next_gap();
+
+  ArrivalConfig config_;
+  util::Rng rng_;
+  double time_ = 0.0;
+  std::uint64_t seq_ = 0;
+  // kBursty state machine.
+  bool burst_on_ = false;
+  double state_ends_ = 0.0;
+};
+
+}  // namespace rda::service

@@ -1,0 +1,630 @@
+#include "service/frontend.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rda::service {
+
+std::string_view to_string(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kLocalityAware: return "locality-aware";
+    case RoutePolicy::kRandom: return "random";
+    case RoutePolicy::kLeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+ServiceFrontEnd::ServiceFrontEnd(ServiceConfig config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      rng_(config.seed),
+      node_up_(static_cast<std::size_t>(config.nodes), true),
+      outstanding_(static_cast<std::size_t>(config.nodes), 0.0),
+      in_flight_count_(static_cast<std::size_t>(config.nodes), 0),
+      parked_depth_(static_cast<std::size_t>(config.nodes), 0) {
+  RDA_CHECK_MSG(config_.nodes >= 1, "service needs at least one node");
+  RDA_CHECK_MSG(config_.drain_interval_seconds > 0.0,
+                "drain interval must be positive");
+  RDA_CHECK_MSG(config_.oversubscription >= 1.0,
+                "oversubscription factor must be >= 1");
+  cores_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (int n = 0; n < config_.nodes; ++n) {
+    core::AdmissionConfig cc;
+    cc.llc_capacity_bytes = config_.node_llc_bytes;
+    cc.policy = core::PolicyKind::kStrict;
+    cc.trace_sink = config_.trace_sink;
+    cores_.push_back(std::make_unique<core::AdmissionCore>(cc));
+    cores_.back()->set_batch_waker(
+        [this, n](const std::vector<core::ProgressMonitor::WakeGrant>&
+                      grants) { on_wakes(n, grants); });
+  }
+}
+
+std::uint64_t ServiceFrontEnd::flight_key(int node, core::PeriodId period) {
+  RDA_CHECK(period < (std::uint64_t{1} << 56));
+  return (static_cast<std::uint64_t>(node) << 56) | period;
+}
+
+int ServiceFrontEnd::tenant_home(std::uint64_t tenant) const {
+  const auto it = tenant_home_.find(tenant);
+  if (it == tenant_home_.end()) return -1;
+  return node_up_[static_cast<std::size_t>(it->second)] ? it->second : -1;
+}
+
+std::size_t ServiceFrontEnd::backlog() const {
+  return queue_.size() + requeue_.size() + parked_.size();
+}
+
+void ServiceFrontEnd::fold_checksum(std::uint64_t a, std::uint64_t b) {
+  const auto mix = [this](std::uint64_t x) {
+    checksum_ ^=
+        x + 0x9e3779b97f4a7c15ull + (checksum_ << 6) + (checksum_ >> 2);
+  };
+  mix(a);
+  mix(b);
+}
+
+void ServiceFrontEnd::trace_service(obs::EventKind kind, double at,
+                                    std::uint64_t seq, std::uint64_t tenant,
+                                    double demand) {
+  if (config_.trace_sink == nullptr) return;
+  obs::Event e;
+  e.time = at;
+  e.kind = kind;
+  e.thread = static_cast<sim::ThreadId>(seq);
+  e.process = static_cast<sim::ProcessId>(tenant);
+  e.demand = demand;
+  config_.trace_sink->record(e);
+}
+
+void ServiceFrontEnd::enqueue(const Sub& sub, double at) {
+  Sub queued = sub;
+  queued.enqueue_time = at;
+  if (!queue_.push(queued)) {
+    ++stats_.overflow_drops;  // never entered the ledger
+    return;
+  }
+  ++stats_.enqueued;
+  trace_service(obs::EventKind::kEnqueue, at, sub.seq, sub.tenant,
+                sub.demand);
+}
+
+int ServiceFrontEnd::least_loaded() const {
+  int best = -1;
+  for (int n = 0; n < config_.nodes; ++n) {
+    if (!node_up_[static_cast<std::size_t>(n)]) continue;
+    if (best < 0 || outstanding_[static_cast<std::size_t>(n)] <
+                        outstanding_[static_cast<std::size_t>(best)]) {
+      best = n;
+    }
+  }
+  return best;
+}
+
+int ServiceFrontEnd::route(std::uint64_t tenant, double declared,
+                           bool& warm) {
+  warm = false;
+  int chosen = -1;
+  switch (config_.routing) {
+    case RoutePolicy::kRandom: {
+      std::vector<int> up;
+      up.reserve(static_cast<std::size_t>(config_.nodes));
+      for (int n = 0; n < config_.nodes; ++n) {
+        if (node_up_[static_cast<std::size_t>(n)]) up.push_back(n);
+      }
+      RDA_CHECK_MSG(!up.empty(), "no node is up to route to");
+      chosen = up[rng_.next_below(up.size())];
+      break;
+    }
+    case RoutePolicy::kLeastLoaded:
+      chosen = least_loaded();
+      break;
+    case RoutePolicy::kLocalityAware: {
+      // Prefer the home node, where the tenant's footprint is warm:
+      //   1. the home can admit now, or its waitlist is still shallow
+      //      (a short warm wait beats a cold run) -> home;
+      //   2. the home is deep but some node can admit NOW -> spill cold
+      //      there (the home does not move), capping the latency a hot
+      //      tenant pays for warmth;
+      //   3. the whole fleet is saturated -> park at home after all:
+      //      everywhere means waiting, so wait where the period will run
+      //      warm. Cross-node imbalance is the steal pass's job,
+      //      sustained overload the ladder's (the depth EWMA counts
+      //      parked periods).
+      const auto it = tenant_home_.find(tenant);
+      const int home = (it != tenant_home_.end() &&
+                        node_up_[static_cast<std::size_t>(it->second)])
+                           ? it->second
+                           : -1;
+      if (home < 0) {
+        chosen = least_loaded();
+      } else {
+        const auto h = static_cast<std::size_t>(home);
+        if (outstanding_[h] + declared <= config_.node_llc_bytes ||
+            parked_depth_[h] < config_.home_park_limit) {
+          chosen = home;
+          warm = true;
+        } else {
+          const int alt = least_loaded();
+          if (alt >= 0 && alt != home &&
+              outstanding_[static_cast<std::size_t>(alt)] + declared <=
+                  config_.node_llc_bytes) {
+            chosen = alt;
+          } else {
+            chosen = home;
+            warm = true;
+          }
+        }
+      }
+      break;
+    }
+  }
+  RDA_CHECK_MSG(chosen >= 0, "no node is up to route to");
+  if (config_.routing == RoutePolicy::kLocalityAware) {
+    // The home is sticky: a spill runs cold on another node while the
+    // tenant's working set stays warm at home (re-homing on every spill
+    // would shear the footprint exactly when the fleet saturates). Only
+    // the first placement, a steal, or a node death moves the home.
+    tenant_home_.emplace(tenant, chosen);
+  } else {
+    // Under kRandom / kLeastLoaded a placement that happens to land on the
+    // tenant's previous node is warm too — warmth is discovered there, not
+    // engineered — and the home follows the latest placement.
+    const auto it = tenant_home_.find(tenant);
+    warm = it != tenant_home_.end() && it->second == chosen;
+    tenant_home_[tenant] = chosen;
+  }
+  return chosen;
+}
+
+double ServiceFrontEnd::shape_demand(double demand, double& penalty,
+                                     bool& clamped,
+                                     bool& oversubscribed) const {
+  clamped = false;
+  oversubscribed = false;
+  // Safety clamp: a demand larger than the LLC can never be admitted by
+  // the strict predicate; cap it like watchdog rung 1 would.
+  double shaped = std::min(demand, config_.node_llc_bytes);
+  if (rung_ >= 1) {
+    const double cap = config_.clamp_fraction * config_.node_llc_bytes;
+    if (shaped > cap) {
+      shaped = cap;
+      clamped = true;
+      penalty *= config_.clamp_penalty;
+    }
+  }
+  if (rung_ >= 2) {
+    shaped /= config_.oversubscription;
+    oversubscribed = true;
+    penalty *= config_.thrash_penalty;
+  }
+  return shaped;
+}
+
+void ServiceFrontEnd::record_admission(const Sub& sub, int node,
+                                       core::PeriodId period, double declared,
+                                       double penalty, bool warm,
+                                       bool from_wake) {
+  const double latency = std::max(0.0, now_ - sub.enqueue_time);
+  latency_.add(latency);
+  const double alpha = config_.ladder.ewma_alpha;
+  latency_ewma_ = alpha * latency + (1.0 - alpha) * latency_ewma_;
+  ++stats_.admitted;
+  if (from_wake) ++stats_.woken;
+
+  const std::uint64_t key = flight_key(node, period);
+  Flight flight;
+  flight.sub = sub;
+  flight.node = node;
+  flight.thread = static_cast<sim::ThreadId>(sub.seq);
+  flight.declared = declared;
+  RDA_CHECK(in_flight_.emplace(key, flight).second);
+  outstanding_[static_cast<std::size_t>(node)] += declared;
+  ++in_flight_count_[static_cast<std::size_t>(node)];
+
+  const double factor =
+      penalty * (warm ? config_.warm_service_factor : 1.0);
+  const double done_at = now_ + sub.service * factor;
+  completions_.push(Completion{done_at, key});
+  fold_checksum(sub.seq, (static_cast<std::uint64_t>(node) << 32) ^
+                             std::bit_cast<std::uint64_t>(done_at));
+}
+
+void ServiceFrontEnd::on_wakes(
+    int node, const std::vector<core::ProgressMonitor::WakeGrant>& grants) {
+  for (const core::ProgressMonitor::WakeGrant& grant : grants) {
+    const std::uint64_t key = flight_key(node, grant.period);
+    const auto it = parked_.find(key);
+    RDA_CHECK_MSG(it != parked_.end(),
+                  "wake for a period the service never parked");
+    const Parked parked = it->second;
+    parked_.erase(it);
+    --parked_depth_[static_cast<std::size_t>(node)];
+    record_admission(parked.sub, node, grant.period, parked.declared,
+                     parked.penalty, parked.warm, /*from_wake=*/true);
+  }
+}
+
+void ServiceFrontEnd::release_due(double now) {
+  // Pop everything due, bucketing per node so each node pays ONE
+  // release_batch (one slow-lane pass + one wake delivery) per drain.
+  std::vector<std::vector<core::PeriodId>> due(
+      static_cast<std::size_t>(config_.nodes));
+  std::vector<std::vector<double>> done_times(
+      static_cast<std::size_t>(config_.nodes));
+  while (!completions_.empty() && completions_.top().time <= now) {
+    const Completion top = completions_.top();
+    completions_.pop();
+    const auto it = in_flight_.find(top.key);
+    if (it == in_flight_.end()) continue;  // reaped by a node death
+    const int node = it->second.node;
+    due[static_cast<std::size_t>(node)].push_back(
+        top.key & ((std::uint64_t{1} << 56) - 1));
+    done_times[static_cast<std::size_t>(node)].push_back(top.time);
+  }
+  for (int n = 0; n < config_.nodes; ++n) {
+    auto& ids = due[static_cast<std::size_t>(n)];
+    if (ids.empty()) continue;
+    cores_[static_cast<std::size_t>(n)]->release_batch(ids, now);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const std::uint64_t key = flight_key(n, ids[i]);
+      const auto it = in_flight_.find(key);
+      RDA_CHECK(it != in_flight_.end());
+      const Flight& flight = it->second;
+      ++stats_.completed;
+      completed_work_ += flight.sub.service;
+      last_completion_ =
+          std::max(last_completion_, done_times[static_cast<std::size_t>(n)][i]);
+      outstanding_[static_cast<std::size_t>(n)] -= flight.declared;
+      --in_flight_count_[static_cast<std::size_t>(n)];
+      fold_checksum(flight.sub.seq,
+                    std::bit_cast<std::uint64_t>(
+                        done_times[static_cast<std::size_t>(n)][i]));
+      in_flight_.erase(it);
+    }
+  }
+}
+
+void ServiceFrontEnd::apply_fault(double now) {
+  const NodeFault& fault = config_.fault;
+  if (fault.node < 0 || fault.node >= config_.nodes) return;
+  const auto n = static_cast<std::size_t>(fault.node);
+
+  if (!fault_done_ && !fault_down_ && now >= fault.fail_at_seconds) {
+    fault_down_ = true;
+    node_up_[n] = false;
+    if (fault.recover_at_seconds <= fault.fail_at_seconds) fault_done_ = true;
+    trace_service(obs::EventKind::kNodeDown, now, 0, 0, outstanding_[n]);
+
+    // Cancel every period parked on the dead node and re-queue its
+    // submission (deterministic order: ascending period id).
+    std::vector<std::uint64_t> parked_keys;
+    for (const auto& [key, parked] : parked_) {
+      if (parked.node == fault.node) parked_keys.push_back(key);
+    }
+    std::sort(parked_keys.begin(), parked_keys.end());
+    for (const std::uint64_t key : parked_keys) {
+      // An earlier withdrawal can unblock the dying node's waitlist and
+      // wake (admit) a later parked period; it lands in in_flight_ and the
+      // reap loop below re-queues it instead.
+      const auto parked_it = parked_.find(key);
+      if (parked_it == parked_.end()) continue;
+      const Parked parked = parked_it->second;
+      const core::PeriodId period = key & ((std::uint64_t{1} << 56) - 1);
+      const core::WithdrawResult result =
+          cores_[n]->try_withdraw(period, now);
+      RDA_CHECK_MSG(result == core::WithdrawResult::kCancelled,
+                    "parked period raced its own node death");
+      parked_.erase(key);
+      --parked_depth_[n];
+      ++stats_.reroutes;
+      Sub sub = parked.sub;
+      sub.enqueue_time = now;
+      ++stats_.enqueued;
+      trace_service(obs::EventKind::kEnqueue, now, sub.seq, sub.tenant,
+                    sub.demand);
+      requeue_.push_back(sub);
+    }
+
+    // Reap every admitted period the node was carrying and re-queue it;
+    // the stale completions are skipped when their time comes.
+    std::vector<std::uint64_t> flight_keys;
+    for (const auto& [key, flight] : in_flight_) {
+      if (flight.node == fault.node) flight_keys.push_back(key);
+    }
+    std::sort(flight_keys.begin(), flight_keys.end());
+    for (const std::uint64_t key : flight_keys) {
+      const Flight flight = in_flight_.at(key);
+      const core::ProgressMonitor::ReapOutcome outcome =
+          cores_[n]->reap(flight.thread, now);
+      RDA_CHECK_MSG(outcome.reaped && outcome.was_admitted,
+                    "in-flight period was not admitted at reap time");
+      in_flight_.erase(key);
+      outstanding_[n] -= flight.declared;
+      --in_flight_count_[n];
+      ++stats_.reroutes;
+      Sub sub = flight.sub;
+      sub.enqueue_time = now;
+      ++stats_.enqueued;
+      trace_service(obs::EventKind::kEnqueue, now, sub.seq, sub.tenant,
+                    sub.demand);
+      requeue_.push_back(sub);
+    }
+
+    // The dead node is nobody's home anymore.
+    for (auto it = tenant_home_.begin(); it != tenant_home_.end();) {
+      it = it->second == fault.node ? tenant_home_.erase(it) : std::next(it);
+    }
+    return;
+  }
+
+  if (fault_down_ && !fault_done_ && now >= fault.recover_at_seconds) {
+    fault_down_ = false;
+    fault_done_ = true;
+    node_up_[n] = true;
+    trace_service(obs::EventKind::kNodeUp, now, 0, 0, 0.0);
+  }
+}
+
+void ServiceFrontEnd::steal_pass(double now) {
+  if (config_.routing != RoutePolicy::kLocalityAware) return;
+
+  // Aggregate the parked population per (node, tenant). The map is ordered
+  // and the per-batch key lists are sorted, so the pass is deterministic
+  // regardless of hash-map iteration order.
+  std::map<std::pair<int, std::uint64_t>, std::vector<std::uint64_t>>
+      batches;
+  std::vector<std::size_t> parked_count(
+      static_cast<std::size_t>(config_.nodes), 0);
+  for (const auto& [key, parked] : parked_) {
+    batches[{parked.node, parked.sub.tenant}].push_back(key);
+    ++parked_count[static_cast<std::size_t>(parked.node)];
+  }
+  if (batches.empty()) return;
+
+  int thief = -1;
+  for (int n = 0; n < config_.nodes; ++n) {
+    const auto idx = static_cast<std::size_t>(n);
+    if (node_up_[idx] && in_flight_count_[idx] == 0 &&
+        parked_count[idx] == 0) {
+      thief = n;
+      break;
+    }
+  }
+  if (thief < 0) return;
+
+  // Donor: the node with the deepest parked backlog, but only if it holds
+  // MORE than one tenant's batch — stealing a lone tenant's batch would
+  // just shear its working set to a cold LLC for nothing.
+  int donor = -1;
+  std::size_t donor_depth = 0;
+  for (int n = 0; n < config_.nodes; ++n) {
+    const auto idx = static_cast<std::size_t>(n);
+    if (n == thief || parked_count[idx] == 0) continue;
+    std::size_t tenants_here = 0;
+    for (const auto& [node_tenant, keys] : batches) {
+      if (node_tenant.first == n) ++tenants_here;
+    }
+    if (tenants_here >= 2 && parked_count[idx] > donor_depth) {
+      donor = n;
+      donor_depth = parked_count[idx];
+    }
+  }
+  if (donor < 0) return;
+
+  // Victim: the donor's smallest whole batch (ties to the lowest tenant
+  // id) — cheapest working set to rebuild on the thief.
+  std::uint64_t victim = 0;
+  std::size_t victim_size = 0;
+  for (const auto& [node_tenant, keys] : batches) {
+    if (node_tenant.first != donor) continue;
+    if (victim == 0 || keys.size() < victim_size) {
+      victim = node_tenant.second;
+      victim_size = keys.size();
+    }
+  }
+  RDA_CHECK(victim != 0);
+
+  auto keys = batches.at({donor, victim});
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t moved = 0;
+  for (const std::uint64_t key : keys) {
+    // Withdrawing an earlier victim can unblock the donor's waitlist and
+    // wake (admit) a later one mid-batch; a woken period stays home.
+    const auto it = parked_.find(key);
+    if (it == parked_.end()) continue;
+    const Parked parked = it->second;
+    const core::PeriodId period = key & ((std::uint64_t{1} << 56) - 1);
+    const core::WithdrawResult result =
+        cores_[static_cast<std::size_t>(donor)]->try_withdraw(period, now);
+    RDA_CHECK_MSG(result == core::WithdrawResult::kCancelled,
+                  "stolen period raced its own wake");
+    parked_.erase(key);
+    --parked_depth_[static_cast<std::size_t>(donor)];
+    // Stolen work keeps its original enqueue time: its admission latency
+    // reflects the whole wait, not a reset clock.
+    ++moved;
+    ++stats_.enqueued;
+    trace_service(obs::EventKind::kEnqueue, now, parked.sub.seq,
+                  parked.sub.tenant, parked.sub.demand);
+    requeue_.push_back(parked.sub);
+  }
+  if (moved == 0) return;
+  tenant_home_[victim] = thief;
+  ++stats_.steals;
+  stats_.stolen += moved;
+  trace_service(obs::EventKind::kSteal, now, 0, victim,
+                static_cast<double>(moved));
+}
+
+void ServiceFrontEnd::drain_pass(double now) {
+  std::vector<Sub> popped;
+  popped.swap(requeue_);  // displaced work keeps its seniority
+  if (popped.size() < config_.drain_batch_max) {
+    queue_.pop_batch(popped, config_.drain_batch_max - popped.size());
+  }
+  if (popped.empty()) return;
+
+  ++stats_.drains;
+  stats_.drained += popped.size();
+  trace_service(obs::EventKind::kBatchDrain, now, stats_.drains, 0,
+                static_cast<double>(popped.size()));
+
+  if (rung_ >= 3) {
+    for (const Sub& sub : popped) {
+      ++stats_.shed;
+      trace_service(obs::EventKind::kShed, now, sub.seq, sub.tenant,
+                    sub.demand);
+    }
+    return;
+  }
+
+  // Route every submission, bucketing requests per node so each node pays
+  // ONE admit_batch for its whole share of the drain.
+  struct NodeBatch {
+    std::vector<core::AdmitRequest> requests;
+    std::vector<const Sub*> subs;
+    std::vector<double> declared;
+    std::vector<double> penalties;
+    std::vector<bool> warm;
+  };
+  std::vector<NodeBatch> batches(static_cast<std::size_t>(config_.nodes));
+  for (const Sub& sub : popped) {
+    double penalty = 1.0;
+    bool clamped = false;
+    bool oversubscribed = false;
+    const double declared =
+        shape_demand(sub.demand, penalty, clamped, oversubscribed);
+    if (clamped) ++stats_.clamped;
+    if (oversubscribed) ++stats_.oversubscribed;
+    bool warm = false;
+    const int node = route(sub.tenant, declared, warm);
+    auto& batch = batches[static_cast<std::size_t>(node)];
+    core::AdmitRequest request;
+    request.thread = static_cast<sim::ThreadId>(sub.seq);
+    request.process = static_cast<sim::ProcessId>(sub.tenant);
+    request.demands = {{ResourceKind::kLLC, declared}};
+    batch.requests.push_back(std::move(request));
+    batch.subs.push_back(&sub);
+    batch.declared.push_back(declared);
+    batch.penalties.push_back(penalty);
+    batch.warm.push_back(warm);
+  }
+
+  for (int n = 0; n < config_.nodes; ++n) {
+    auto& batch = batches[static_cast<std::size_t>(n)];
+    if (batch.requests.empty()) continue;
+    const std::vector<core::AdmitTicket> tickets =
+        cores_[static_cast<std::size_t>(n)]->admit_batch(
+            std::move(batch.requests), now);
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const core::AdmitTicket& ticket = tickets[i];
+      if (ticket.admitted) {
+        record_admission(*batch.subs[i], n, ticket.id, batch.declared[i],
+                         batch.penalties[i], batch.warm[i],
+                         /*from_wake=*/false);
+      } else {
+        Parked parked;
+        parked.sub = *batch.subs[i];
+        parked.node = n;
+        parked.declared = batch.declared[i];
+        parked.penalty = batch.penalties[i];
+        parked.warm = batch.warm[i];
+        RDA_CHECK(
+            parked_.emplace(flight_key(n, ticket.id), parked).second);
+        ++parked_depth_[static_cast<std::size_t>(n)];
+      }
+    }
+  }
+}
+
+void ServiceFrontEnd::update_ladder() {
+  const double alpha = config_.ladder.ewma_alpha;
+  const auto depth = static_cast<double>(backlog());
+  depth_ewma_ = alpha * depth + (1.0 - alpha) * depth_ewma_;
+  // With nothing waiting, the current admission latency is effectively
+  // zero; decay the EWMA so a drained (or fully shedding) fleet can walk
+  // back down the ladder instead of pinning on the last hot sample.
+  if (depth == 0.0) latency_ewma_ *= 1.0 - alpha;
+  stats_.max_backlog =
+      std::max(stats_.max_backlog, static_cast<std::uint64_t>(depth));
+
+  const bool hot = depth_ewma_ > config_.ladder.queue_high ||
+                   latency_ewma_ > config_.ladder.latency_high_seconds;
+  const bool cool = depth_ewma_ < 0.5 * config_.ladder.queue_high &&
+                    latency_ewma_ < 0.5 * config_.ladder.latency_high_seconds;
+  if (hot && rung_ < 3) {
+    ++rung_;
+    ++stats_.escalations;
+  } else if (cool && rung_ > 0) {
+    --rung_;
+    ++stats_.deescalations;
+  }
+}
+
+ServiceReport ServiceFrontEnd::run(ArrivalGenerator& gen,
+                                   std::uint64_t count) {
+  RDA_CHECK_MSG(!ran_, "ServiceFrontEnd::run is one-shot");
+  ran_ = true;
+
+  Arrival pending{};
+  std::uint64_t left = count;
+  bool have = false;
+  if (left > 0) {
+    pending = gen.next();
+    have = true;
+  }
+
+  while (true) {
+    const double tick_end = now_ + config_.drain_interval_seconds;
+    while (have && pending.time <= tick_end) {
+      Sub sub;
+      sub.seq = pending.seq;
+      sub.tenant = pending.tenant;
+      sub.demand = pending.demand_bytes;
+      sub.service = pending.service_seconds;
+      enqueue(sub, pending.time);
+      --left;
+      if (left > 0) {
+        pending = gen.next();
+      } else {
+        have = false;
+      }
+    }
+    now_ = tick_end;
+
+    apply_fault(now_);
+    release_due(now_);
+    steal_pass(now_);
+    drain_pass(now_);
+    update_ladder();
+
+    // Keep ticking after the last completion until the ladder settles:
+    // idle ticks decay both EWMAs geometrically, so this terminates.
+    if (!have && queue_.size() == 0 && requeue_.empty() &&
+        parked_.empty() && in_flight_.empty() && completions_.empty() &&
+        rung_ == 0) {
+      break;
+    }
+  }
+
+  ServiceReport report;
+  stats_.final_rung = rung_;
+  stats_.still_queued = queue_.size() + requeue_.size();
+  report.stats = stats_;
+  report.admission_latency = latency_;
+  report.elapsed_seconds = last_completion_ > 0.0 ? last_completion_ : now_;
+  if (report.elapsed_seconds > 0.0) {
+    report.goodput_per_second =
+        static_cast<double>(stats_.completed) / report.elapsed_seconds;
+    report.work_per_second = completed_work_ / report.elapsed_seconds;
+  }
+  for (const auto& core : cores_) report.admission += core->stats();
+  report.checksum = checksum_;
+  return report;
+}
+
+}  // namespace rda::service

@@ -1,0 +1,264 @@
+// ServiceFrontEnd — the traffic-scale admission front end (ROADMAP item 2).
+//
+// Wires the open-loop arrival stream into the sharded AdmissionCore the way
+// a production service would: arrivals land in the MPSC submission queue;
+// a drain loop runs on a fixed virtual-time cadence and, per pass, (1)
+// releases every period whose service completed, (2) lets an idle node
+// steal a parked tenant batch, (3) pops a batch off the queue, routes each
+// submission to a node, and admits each node's share with ONE
+// admit_batch/release_batch call — so the slow-lane mutex, the waitlist
+// rescan, and the wake delivery are paid once per node per pass instead of
+// once per period.
+//
+// Placement is locality-aware: a tenant's periods follow its home node (the
+// one already holding its LLC working set — warm periods run faster by
+// warm_service_factor), parking on the home's waitlist up to
+// home_park_limit deep before spilling cold to the least-loaded node, and
+// falling back to least-loaded when the home is down. Whole-tenant-batch
+// work stealing keeps a rejoined node from idling without shearing any
+// tenant's working set across two LLCs.
+//
+// Overload control reuses the degradation-ladder shape of the admission
+// watchdog, keyed off the backlog and admission-latency EWMAs:
+//   rung 0  normal admission,
+//   rung 1  clamp: demands capped to clamp_fraction × node LLC (easier to
+//           admit, at a service-time penalty for the clamped period),
+//   rung 2  forced oversubscription: declared demand is additionally
+//           divided by the oversubscription factor, packing ~x tenants'
+//           working sets per LLC (every rung-2 period pays the thrash
+//           penalty),
+//   rung 3  shed: drained submissions are dropped before admission.
+//
+// The whole simulation is virtual-time and single-threaded: a (config,
+// arrival seed) pair reproduces the run bit-for-bit, which the tier-1
+// byte-determinism stage depends on. The wall-clock counterpart (real
+// producer threads against one core) lives in service/pump.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "obs/histogram.hpp"
+#include "obs/sink.hpp"
+#include "service/arrival.hpp"
+#include "service/queue.hpp"
+#include "util/rng.hpp"
+
+namespace rda::service {
+
+enum class RoutePolicy {
+  kLocalityAware,  ///< tenant-home placement + whole-batch stealing
+  kRandom,         ///< uniform random over up nodes (the strawman)
+  kLeastLoaded,    ///< smallest outstanding declared demand
+};
+
+std::string_view to_string(RoutePolicy policy);
+
+struct LadderOptions {
+  /// Escalate one rung when the backlog EWMA (queued + parked) exceeds
+  /// this, or the admission-latency EWMA exceeds latency_high_seconds.
+  double queue_high = 512.0;
+  double latency_high_seconds = 0.050;
+  double ewma_alpha = 0.25;
+  /// De-escalation happens when BOTH EWMAs fall below half their
+  /// thresholds (hysteresis keeps the ladder from flapping).
+};
+
+/// Node death at full load (the fault-matrix cell): the node goes down at
+/// fail_at (parked periods are cancelled, admitted ones reaped; both are
+/// re-queued) and rejoins idle at recover_at (<= fail_at = never).
+struct NodeFault {
+  int node = -1;
+  double fail_at_seconds = 0.0;
+  double recover_at_seconds = 0.0;
+};
+
+struct ServiceConfig {
+  int nodes = 4;
+  /// Per-node LLC capacity the admission cores gate against.
+  double node_llc_bytes = 15360.0 * 1024.0;
+  RoutePolicy routing = RoutePolicy::kLocalityAware;
+  double drain_interval_seconds = 1.0e-3;
+  std::size_t drain_batch_max = 4096;
+  std::size_t queue_capacity = 1 << 16;
+  LadderOptions ladder{};
+  /// Rung-2 under-declaration factor (the paper's Compromise x).
+  double oversubscription = 2.0;
+  /// Rung-1 demand cap as a fraction of node LLC capacity.
+  double clamp_fraction = 0.5;
+  /// Bounded home affinity (kLocalityAware only): a period whose home is
+  /// up parks on the home's waitlist as long as fewer than this many
+  /// periods are already parked there — it will run warm once capacity
+  /// frees. Beyond the limit it spills cold to a node that can admit it
+  /// immediately, if one exists (the home does NOT move), capping the
+  /// latency a hot tenant can pay for warmth; with the whole fleet
+  /// saturated it parks at home regardless, since waiting warm dominates
+  /// waiting cold.
+  std::size_t home_park_limit = 2;
+  /// Service-time multipliers: a warm period (placed on its tenant's home
+  /// node) runs faster; clamped and oversubscribed periods run slower.
+  double warm_service_factor = 0.6;
+  double clamp_penalty = 1.25;
+  double thrash_penalty = 1.5;
+  /// Seed for the kRandom routing draw (arrivals carry their own seed).
+  std::uint64_t seed = 1;
+  /// Shared sink for service events AND the node cores' lifecycle events
+  /// (non-owning; nullptr = tracing off). Period ids are per-node, so the
+  /// per-period obs::reconcile applies per node; the queue-side ledger
+  /// (obs::reconcile_service) applies to the combined stream.
+  obs::TraceSink* trace_sink = nullptr;
+  NodeFault fault{};
+};
+
+struct ServiceStats {
+  std::uint64_t enqueued = 0;   ///< kEnqueue events (incl. re-queues)
+  std::uint64_t drains = 0;     ///< drain passes that popped anything
+  std::uint64_t drained = 0;    ///< submissions popped across all drains
+  std::uint64_t shed = 0;       ///< dropped by ladder rung 3
+  std::uint64_t steals = 0;     ///< tenant batches moved to an idle node
+  std::uint64_t stolen = 0;     ///< submissions inside those batches
+  std::uint64_t reroutes = 0;   ///< submissions re-queued by a node death
+  std::uint64_t admitted = 0;   ///< periods admitted (immediately or woken)
+  std::uint64_t woken = 0;      ///< subset admitted off a waitlist
+  std::uint64_t completed = 0;  ///< periods that finished service
+  std::uint64_t clamped = 0;         ///< rung-1 demand caps applied
+  std::uint64_t oversubscribed = 0;  ///< rung-2 under-declared admissions
+  std::uint64_t escalations = 0;
+  std::uint64_t deescalations = 0;
+  std::uint64_t overflow_drops = 0;  ///< queue-full pushes (not enqueued)
+  std::uint64_t max_backlog = 0;     ///< peak queued + parked
+  int final_rung = 0;
+  std::uint64_t still_queued = 0;  ///< left in the queue at report time
+};
+
+struct ServiceReport {
+  ServiceStats stats;
+  /// Enqueue → admission (immediate or wake) per period.
+  obs::LatencyHistogram admission_latency;
+  double elapsed_seconds = 0.0;     ///< virtual time of the last completion
+  double goodput_per_second = 0.0;  ///< completed periods / elapsed
+  double work_per_second = 0.0;     ///< completed base service-sec / elapsed
+  /// Node cores' stats summed (the begins==ends+cancels+reclaims ledger).
+  core::MonitorStats admission;
+  /// Order-sensitive fingerprint of (seq, node, admit time, completion
+  /// time) — equal checksums mean byte-identical runs.
+  std::uint64_t checksum = 0;
+};
+
+class ServiceFrontEnd {
+ public:
+  explicit ServiceFrontEnd(ServiceConfig config);
+
+  /// Feeds `count` arrivals from `gen` through the queue → drain → admit →
+  /// complete lifecycle, then drains to quiescence. One-shot.
+  ServiceReport run(ArrivalGenerator& gen, std::uint64_t count);
+
+  // Introspection for tests.
+  int current_rung() const { return rung_; }
+  int tenant_home(std::uint64_t tenant) const;
+  bool node_up(int node) const {
+    return node_up_[static_cast<std::size_t>(node)];
+  }
+  const core::AdmissionCore& node_core(int node) const {
+    return *cores_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  /// One queued submission (the MPSC queue element).
+  struct Sub {
+    std::uint64_t seq = 0;
+    std::uint64_t tenant = 1;
+    double demand = 0.0;
+    double service = 0.0;
+    double enqueue_time = 0.0;
+  };
+  /// A period parked on some node's waitlist, waiting for its wake.
+  struct Parked {
+    Sub sub;
+    int node = -1;
+    double declared = 0.0;  ///< demand as charged to the core
+    double penalty = 1.0;
+    bool warm = false;
+  };
+  /// An admitted period until its completion is released. Keeps the whole
+  /// submission so a node death can re-queue the work it was carrying.
+  struct Flight {
+    Sub sub;
+    int node = -1;
+    sim::ThreadId thread = sim::kInvalidThread;
+    double declared = 0.0;
+  };
+  struct Completion {
+    double time = 0.0;
+    std::uint64_t key = 0;  ///< node/period composite, tie-break
+    bool operator>(const Completion& o) const {
+      return time != o.time ? time > o.time : key > o.key;
+    }
+  };
+
+  static std::uint64_t flight_key(int node, core::PeriodId period);
+
+  void enqueue(const Sub& sub, double at);
+  void trace_service(obs::EventKind kind, double at, std::uint64_t seq,
+                     std::uint64_t tenant, double demand);
+  /// Routes one shaped submission; returns the chosen node (always an up
+  /// node) and whether the placement is warm (landed on the tenant home).
+  int route(std::uint64_t tenant, double declared, bool& warm);
+  int least_loaded() const;
+  /// Applies the current rung's demand transformation.
+  double shape_demand(double demand, double& penalty, bool& clamped,
+                      bool& oversubscribed) const;
+  void record_admission(const Sub& sub, int node, core::PeriodId period,
+                        double declared, double penalty, bool warm,
+                        bool from_wake);
+  void on_wakes(int node, const std::vector<core::ProgressMonitor::WakeGrant>&
+                              grants);
+  void release_due(double now);
+  void apply_fault(double now);
+  void steal_pass(double now);
+  void drain_pass(double now);
+  void update_ladder();
+  std::size_t backlog() const;
+  void fold_checksum(std::uint64_t a, std::uint64_t b);
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<core::AdmissionCore>> cores_;
+  SubmissionQueue<Sub> queue_;
+  /// Re-queued submissions (steals, node-death reroutes): drained before
+  /// the MPSC queue so displaced work keeps its seniority.
+  std::vector<Sub> requeue_;
+  util::Rng rng_;
+  double now_ = 0.0;
+
+  std::vector<bool> node_up_;
+  std::vector<double> outstanding_;     ///< declared bytes admitted per node
+  std::vector<std::uint64_t> in_flight_count_;
+  std::vector<std::size_t> parked_depth_;  ///< parked periods per node
+  std::unordered_map<std::uint64_t, int> tenant_home_;
+  std::unordered_map<std::uint64_t, Parked> parked_;     ///< by flight key
+  std::unordered_map<std::uint64_t, Flight> in_flight_;  ///< by flight key
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions_;
+
+  int rung_ = 0;
+  double depth_ewma_ = 0.0;
+  double latency_ewma_ = 0.0;
+  bool fault_down_ = false;
+  bool fault_done_ = false;
+
+  ServiceStats stats_;
+  obs::LatencyHistogram latency_;
+  double last_completion_ = 0.0;
+  double completed_work_ = 0.0;
+  std::uint64_t checksum_ = 0x9e3779b97f4a7c15ull;
+  bool ran_ = false;
+};
+
+}  // namespace rda::service

@@ -1,0 +1,155 @@
+#include "service/pump.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "service/queue.hpp"
+#include "util/check.hpp"
+
+namespace rda::service {
+
+namespace {
+
+core::AdmitRequest make_request(sim::ThreadId thread, double demand) {
+  core::AdmitRequest request;
+  request.thread = thread;
+  request.process = thread;
+  request.demands = {{ResourceKind::kLLC, demand}};
+  return request;
+}
+
+}  // namespace
+
+PumpResult run_pump(const PumpConfig& config) {
+  RDA_CHECK_MSG(config.producers >= 1, "pump needs at least one producer");
+  const std::uint64_t total_ops =
+      static_cast<std::uint64_t>(config.producers) *
+      config.ops_per_producer;
+  RDA_CHECK_MSG(total_ops + 1000 <
+                    static_cast<std::uint64_t>(sim::kInvalidThread),
+                "op count exceeds the per-op thread-id space");
+
+  core::AdmissionConfig cc;
+  cc.llc_capacity_bytes = config.llc_capacity_bytes;
+  cc.policy = core::PolicyKind::kStrict;
+  core::AdmissionCore core(cc);
+  // Wakes only ever target the squatters, which never fit; a no-op waker
+  // documents that nobody sleeps on this core.
+  core.set_batch_waker([](const auto&) {});
+
+  // Park the squatters: the first holds 55% of the LLC, the rest park
+  // behind it (two cannot co-fit), so the waitlist stays non-empty and
+  // every producer op goes through the slow lane.
+  const sim::ThreadId squatter_base =
+      static_cast<sim::ThreadId>(total_ops + 1);
+  std::vector<core::PeriodId> squatter_parked;
+  core::PeriodId squatter_held = core::kInvalidPeriod;
+  for (int s = 0; s < config.squatters; ++s) {
+    const core::AdmitTicket ticket = core.admit(
+        make_request(squatter_base + static_cast<sim::ThreadId>(s),
+                     0.55 * config.llc_capacity_bytes),
+        0.0);
+    if (s == 0) {
+      RDA_CHECK_MSG(ticket.admitted, "first squatter must fit alone");
+      squatter_held = ticket.id;
+    } else {
+      RDA_CHECK_MSG(!ticket.admitted, "squatters must not co-fit");
+      squatter_parked.push_back(ticket.id);
+    }
+  }
+
+  const double demand = config.demand_fraction * config.llc_capacity_bytes;
+  const auto start = std::chrono::steady_clock::now();
+
+  if (!config.batched) {
+    std::vector<std::thread> producers;
+    producers.reserve(static_cast<std::size_t>(config.producers));
+    for (int p = 0; p < config.producers; ++p) {
+      producers.emplace_back([&, p] {
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(p) * config.ops_per_producer;
+        for (std::uint64_t i = 0; i < config.ops_per_producer; ++i) {
+          const auto thread = static_cast<sim::ThreadId>(base + i);
+          const core::AdmitTicket ticket =
+              core.admit(make_request(thread, demand), 0.0);
+          RDA_CHECK_MSG(ticket.admitted,
+                        "pump demand sized to always admit");
+          core.release(ticket.id, {}, 0.0);
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  } else {
+    SubmissionQueue<sim::ThreadId> queue(config.queue_capacity);
+    std::vector<std::thread> producers;
+    producers.reserve(static_cast<std::size_t>(config.producers));
+    for (int p = 0; p < config.producers; ++p) {
+      producers.emplace_back([&, p] {
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(p) * config.ops_per_producer;
+        for (std::uint64_t i = 0; i < config.ops_per_producer; ++i) {
+          const auto thread = static_cast<sim::ThreadId>(base + i);
+          while (!queue.push(thread)) std::this_thread::yield();
+        }
+      });
+    }
+
+    std::thread drainer([&] {
+      std::vector<sim::ThreadId> batch;
+      std::vector<core::AdmitRequest> requests;
+      std::vector<core::PeriodId> admitted;
+      std::uint64_t drained = 0;
+      while (drained < total_ops) {
+        batch.clear();
+        queue.pop_batch(batch, config.batch_max);
+        if (batch.empty()) {
+          std::this_thread::yield();
+          continue;
+        }
+        drained += batch.size();
+        requests.clear();
+        for (const sim::ThreadId thread : batch) {
+          requests.push_back(make_request(thread, demand));
+        }
+        const std::vector<core::AdmitTicket> tickets =
+            core.admit_batch(std::move(requests), 0.0);
+        requests = {};
+        admitted.clear();
+        for (const core::AdmitTicket& ticket : tickets) {
+          RDA_CHECK_MSG(ticket.admitted,
+                        "pump demand sized to always admit");
+          admitted.push_back(ticket.id);
+        }
+        core.release_batch(admitted, 0.0);
+      }
+    });
+
+    for (std::thread& t : producers) t.join();
+    drainer.join();
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+
+  // Unwind the squatters so the core audit comes out clean.
+  for (const core::PeriodId id : squatter_parked) {
+    core.try_withdraw(id, 0.0);
+  }
+  if (squatter_held != core::kInvalidPeriod) {
+    core.release(squatter_held, {}, 0.0);
+  }
+  const core::AdmissionCore::AuditReport audit = core.audit();
+  RDA_CHECK_MSG(audit.ok, audit.detail);
+
+  PumpResult result;
+  result.ops = total_ops;
+  result.seconds =
+      std::chrono::duration<double>(stop - start).count();
+  result.mops = result.seconds > 0.0
+                    ? static_cast<double>(total_ops) / result.seconds / 1e6
+                    : 0.0;
+  return result;
+}
+
+}  // namespace rda::service

@@ -209,5 +209,134 @@ TEST(ClusterFault, DownNodeRejoinsOnRecoveryProbe) {
   EXPECT_EQ(result.processes_per_node[1], 1);
 }
 
+// --- Locality-aware placement + tenant-batch work stealing -------------------
+
+TEST(ClusterLocality, TenantStaysOnItsHomeNode) {
+  ClusterScheduler sched(two_nodes(), PlacementPolicy::kLocalityAware);
+  // Tenant 7's first process homes it on node 0; later submissions follow
+  // even when plain load balancing would alternate.
+  EXPECT_EQ(sched.add_process(one_thread_process(3), false, 7), 0);
+  EXPECT_EQ(sched.tenant_home(7), 0);
+  EXPECT_EQ(sched.add_process(one_thread_process(3), false, 8), 1);
+  EXPECT_EQ(sched.add_process(one_thread_process(3), false, 7), 0);
+  EXPECT_EQ(sched.add_process(one_thread_process(3), false, 7), 0);
+  EXPECT_EQ(sched.tenant_home(7), 0);
+  EXPECT_EQ(sched.tenant_home(8), 1);
+}
+
+TEST(ClusterLocality, TenantSpillsWhenHomeOutgrowsCapacity) {
+  ClusterScheduler sched(two_nodes(), PlacementPolicy::kLocalityAware);
+  // 15 MB LLC per node: three 6 MB processes cannot all stay home. The
+  // third spills to the least-loaded node and RE-HOMES the tenant there.
+  EXPECT_EQ(sched.add_process(one_thread_process(6), false, 7), 0);
+  EXPECT_EQ(sched.add_process(one_thread_process(6), false, 7), 0);
+  EXPECT_EQ(sched.add_process(one_thread_process(6), false, 7), 1);
+  EXPECT_EQ(sched.tenant_home(7), 1);
+}
+
+TEST(ClusterLocality, AnonymousSubmissionsBalanceLikeLeastLoad) {
+  ClusterScheduler sched(two_nodes(), PlacementPolicy::kLocalityAware);
+  EXPECT_EQ(sched.add_process(one_thread_process(10)), 0);
+  EXPECT_EQ(sched.add_process(one_thread_process(4)), 1);
+  EXPECT_EQ(sched.add_process(one_thread_process(4)), 1);
+}
+
+TEST(ClusterLocality, IdleNodeStealsWholeTenantBatch) {
+  // A node that died and rejoined is the canonical idle node: its work was
+  // drained to the survivor, which now holds two tenant batches. The steal
+  // pass must move ONE whole batch back, never split one.
+  fault::FaultPlan plan;
+  // Consults on node 1, in order: tenant 8's two clean placements (1-2),
+  // then its third submission bounces three times (3-5, default threshold
+  // 3 → node down + drain), then the recovery probe rejoins it (6).
+  for (int i = 3; i <= 5; ++i) {
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kNodeFail;
+    spec.hook = fault::Hook::kNodeRoute;
+    spec.at_count = static_cast<std::uint64_t>(i);
+    spec.node = 1;
+    plan.add(spec);
+  }
+  fault::FaultSpec recover;
+  recover.kind = fault::FaultKind::kNodeRecover;
+  recover.hook = fault::Hook::kNodeRoute;
+  recover.at_count = 6;
+  recover.node = 1;
+  plan.add(recover);
+  fault::FaultInjector injector(plan);
+
+  obs::EventRecorder recorder(1 << 10);
+  ClusterConfig cfg = two_nodes();
+  cfg.fault_injector = &injector;
+  cfg.trace_sink = &recorder;
+  ClusterScheduler sched(cfg, PlacementPolicy::kLocalityAware);
+
+  EXPECT_EQ(sched.add_process(one_thread_process(1), false, 7), 0);
+  EXPECT_EQ(sched.add_process(one_thread_process(1), false, 7), 0);
+  EXPECT_EQ(sched.add_process(one_thread_process(1), false, 8), 1);
+  EXPECT_EQ(sched.add_process(one_thread_process(1), false, 8), 1);
+  // Node 1 dies mid-placement (its pending pair drains to node 0), rejoins
+  // via the recovery probe, and the bounced submission lands on node 0 with
+  // the rest of tenant 8's batch.
+  EXPECT_EQ(sched.add_process(one_thread_process(1), false, 8), 0);
+  EXPECT_FALSE(sched.node_down(1));
+  EXPECT_EQ(sched.tenant_home(8), 0);
+
+  // Node 1 is up and idle; node 0 holds both tenants. The steal moves the
+  // smaller whole batch — tenant 7, two submissions — to the idle node.
+  const std::size_t moved = sched.steal_rebalance();
+  EXPECT_EQ(moved, 2u);
+  EXPECT_EQ(sched.tenant_home(7), 1);
+  EXPECT_EQ(sched.tenant_home(8), 0);
+  EXPECT_EQ(recorder.count(obs::EventKind::kSteal), 1u);
+
+  const ClusterResult result = sched.run();
+  EXPECT_EQ(result.steals, 1u);
+  EXPECT_EQ(result.processes_per_node[0], 3);
+  EXPECT_EQ(result.processes_per_node[1], 2);
+}
+
+TEST(ClusterLocality, StealRefusesToShearALoneTenant) {
+  ClusterScheduler sched(two_nodes(), PlacementPolicy::kLocalityAware);
+  // One tenant, two processes: stealing one would split its working set
+  // across both LLCs, so the idle node must stay idle.
+  sched.add_process(one_thread_process(2), false, 7);
+  sched.add_process(one_thread_process(2), false, 7);
+  EXPECT_EQ(sched.steal_rebalance(), 0u);
+  EXPECT_EQ(sched.tenant_home(7), 0);
+}
+
+TEST(ClusterLocality, NodeDeathRehomesTenantsKeepingBatchesWhole) {
+  fault::FaultPlan plan;
+  // The first two consults on node 0 are tenant 7's clean placements; the
+  // next three (the third submission's routing retries) all bounce, which
+  // crosses the default down threshold of 3.
+  for (int i = 3; i <= 5; ++i) {
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kNodeFail;
+    spec.hook = fault::Hook::kNodeRoute;
+    spec.at_count = static_cast<std::uint64_t>(i);
+    spec.node = 0;
+    plan.add(spec);
+  }
+  fault::FaultInjector injector(plan);
+  ClusterConfig cfg = two_nodes();
+  cfg.fault_injector = &injector;
+  ClusterScheduler sched(cfg, PlacementPolicy::kLocalityAware);
+
+  EXPECT_EQ(sched.add_process(one_thread_process(2), false, 7), 0);
+  EXPECT_EQ(sched.add_process(one_thread_process(2), false, 7), 0);
+  // The next placement bounces off node 0 three times, kills it, and the
+  // drain re-routes tenant 7's whole batch to node 1 — which re-homes it.
+  EXPECT_EQ(sched.add_process(one_thread_process(2), false, 7), 1);
+  EXPECT_TRUE(sched.node_down(0));
+  EXPECT_EQ(sched.tenant_home(7), 1);
+
+  const ClusterResult result = sched.run();
+  EXPECT_EQ(result.reroutes, 2u);
+  EXPECT_EQ(result.processes_per_node[0], 0);
+  EXPECT_EQ(result.processes_per_node[1], 3);
+}
+
 }  // namespace
 }  // namespace rda::cluster

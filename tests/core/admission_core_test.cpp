@@ -210,5 +210,152 @@ TEST(AdmissionCore, EmptyDemandListRejected) {
   EXPECT_THROW(core.admit(std::move(bad), 0.0), util::CheckFailure);
 }
 
+// --- Batch entry points (service front end drain loop) ----------------------
+
+TEST(AdmissionBatch, AdmitBatchMatchesPerCallSequence) {
+  // The batched path must be semantically identical to calling admit() per
+  // request in order: same tickets, same stats, same resource usage.
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  AdmissionCore batched(config);
+  AdmissionCore serial(config);
+
+  std::vector<AdmitRequest> reqs;
+  for (sim::ThreadId t = 1; t <= 6; ++t) {
+    reqs.push_back(request(t, mb(4), "b" + std::to_string(t)));
+  }
+  std::vector<AdmitRequest> reqs_copy = reqs;
+
+  const std::vector<AdmitTicket> tickets =
+      batched.admit_batch(std::move(reqs), 0.0);
+  std::vector<AdmitTicket> expected;
+  for (AdmitRequest& r : reqs_copy) {
+    expected.push_back(serial.admit(std::move(r), 0.0));
+  }
+
+  ASSERT_EQ(tickets.size(), expected.size());
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(tickets[i].admitted, expected[i].admitted) << "request " << i;
+    EXPECT_EQ(tickets[i].forced, expected[i].forced) << "request " << i;
+    EXPECT_EQ(tickets[i].id, expected[i].id) << "request " << i;
+  }
+  EXPECT_EQ(batched.stats().begins, serial.stats().begins);
+  EXPECT_EQ(batched.stats().blocks, serial.stats().blocks);
+  EXPECT_EQ(batched.stats().immediate_admissions,
+            serial.stats().immediate_admissions);
+  EXPECT_EQ(batched.resources().usage(ResourceKind::kLLC),
+            serial.resources().usage(ResourceKind::kLLC));
+  EXPECT_TRUE(batched.audit().ok) << batched.audit().detail;
+}
+
+TEST(AdmissionBatch, AdmitBatchParksOverflowInArrivalOrder) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  AdmissionCore core(config);
+  std::vector<ProgressMonitor::WakeGrant> grants;
+  core.set_batch_waker(
+      [&](const std::vector<ProgressMonitor::WakeGrant>& batch) {
+        grants.insert(grants.end(), batch.begin(), batch.end());
+      });
+
+  // 16 MB of budget, four 6 MB requests: two admit, two park — in order.
+  std::vector<AdmitRequest> reqs;
+  for (sim::ThreadId t = 1; t <= 4; ++t) reqs.push_back(request(t, mb(6)));
+  const std::vector<AdmitTicket> tickets =
+      core.admit_batch(std::move(reqs), 0.0);
+  EXPECT_TRUE(tickets[0].admitted);
+  EXPECT_TRUE(tickets[1].admitted);
+  EXPECT_FALSE(tickets[2].admitted);
+  EXPECT_FALSE(tickets[3].admitted);
+  EXPECT_EQ(core.monitor().waitlist().size(), 2u);
+
+  // Freeing both admitted periods wakes the parked pair FIFO, and the whole
+  // release batch delivers ONE wake flush.
+  core.release_batch({tickets[0].id, tickets[1].id}, 1.0);
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0].thread, 3u);
+  EXPECT_EQ(grants[1].thread, 4u);
+  EXPECT_EQ(core.stats().wakes, 2u);
+  EXPECT_TRUE(core.audit().ok) << core.audit().detail;
+}
+
+TEST(AdmissionBatch, ReleaseBatchMatchesPerCallSequence) {
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  AdmissionCore batched(config);
+  AdmissionCore serial(config);
+
+  std::vector<PeriodId> batched_ids;
+  std::vector<PeriodId> serial_ids;
+  for (sim::ThreadId t = 1; t <= 5; ++t) {
+    batched_ids.push_back(batched.admit(request(t, mb(2)), 0.0).id);
+    serial_ids.push_back(serial.admit(request(t, mb(2)), 0.0).id);
+  }
+
+  const std::vector<ReleaseTicket> tickets =
+      batched.release_batch(batched_ids, 1.0);
+  for (const PeriodId id : serial_ids) serial.release(id, {}, 1.0);
+
+  ASSERT_EQ(tickets.size(), 5u);
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(tickets[i].record.id, batched_ids[i]);
+  }
+  EXPECT_EQ(batched.stats().ends, serial.stats().ends);
+  EXPECT_TRUE(batched.resources().effectively_free(ResourceKind::kLLC));
+  EXPECT_TRUE(batched.audit().ok) << batched.audit().detail;
+}
+
+TEST(AdmissionBatch, ReleaseBatchDischargesOversubRecords) {
+  // Forced-oversub records carry slow-lane obligations (oversub tally): the
+  // batch path must discharge them exactly like the per-call slow release.
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  config.monitor.watchdog.enable = true;
+  config.monitor.watchdog.clamp = false;
+  config.monitor.watchdog.force_admit = true;
+  config.monitor.watchdog.max_wake_rounds = 1;
+  AdmissionCore core(config);
+
+  const AdmitTicket holder = core.admit(request(1, mb(12)), 0.0);
+  ASSERT_TRUE(holder.admitted);
+  const AdmitTicket waiter = core.admit(request(2, mb(12)), 0.1);
+  ASSERT_FALSE(waiter.admitted);
+  // Two stall escalations: rung 2 force-admits the waiter with the excess
+  // booked in the oversubscription tally.
+  while (!core.is_admitted(waiter.id)) {
+    ASSERT_TRUE(core.watchdog_stalled(0.2));
+  }
+  EXPECT_GT(core.resources().oversubscribed(ResourceKind::kLLC), 0.0);
+
+  core.release_batch({holder.id, waiter.id}, 1.0);
+  EXPECT_EQ(core.resources().oversubscribed(ResourceKind::kLLC), 0.0);
+  EXPECT_TRUE(core.resources().effectively_free(ResourceKind::kLLC));
+  EXPECT_EQ(core.stats().ends, 2u);
+  EXPECT_TRUE(core.audit().ok) << core.audit().detail;
+}
+
+TEST(AdmissionBatch, EndPeriodsUsesOneRescanForTheWholeBatch) {
+  // Direct monitor-level check: a batch of ends re-offers capacity with a
+  // single scheduling pass, so a waiter that fits only after ALL the ends
+  // still wakes (work-conserving), and wake rounds advance once per batch.
+  AdmissionConfig config;
+  config.llc_capacity_bytes = mb(16);
+  AdmissionCore core(config);
+  std::vector<sim::ThreadId> woken;
+  core.set_waker([&](sim::ThreadId tid) { woken.push_back(tid); });
+
+  const AdmitTicket a = core.admit(request(1, mb(8)), 0.0);
+  const AdmitTicket b = core.admit(request(2, mb(8)), 0.0);
+  const AdmitTicket big = core.admit(request(3, mb(14)), 0.1);
+  ASSERT_FALSE(big.admitted);
+
+  // Releasing a alone cannot admit the 14 MB waiter; the batch of both must.
+  core.release_batch({a.id, b.id}, 1.0);
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0], 3u);
+  core.release(big.id, {}, 2.0);
+  EXPECT_TRUE(core.audit().ok) << core.audit().detail;
+}
+
 }  // namespace
 }  // namespace rda::core

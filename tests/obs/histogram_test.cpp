@@ -74,5 +74,100 @@ TEST(WaitHistogram, BucketFloorsDouble) {
   EXPECT_DOUBLE_EQ(WaitHistogram::bucket_floor(11), 1024e-9);
 }
 
+// LatencyHistogram (SubBucketBits = 3) splits every octave into eight
+// sub-buckets, so relative bucket width is at most 12.5% — tight enough
+// for SLO-grade p50/p95/p99. The tests below pin the bucket layout and
+// the interpolation behaviour the service bench depends on.
+
+TEST(LatencyHistogram, LinearRegionBucketBoundaries) {
+  // Below kSubBuckets (8) ns, buckets are exactly 1 ns wide.
+  EXPECT_EQ(LatencyHistogram::kSubBuckets, 8u);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_floor(0), 0.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_floor(1), 1e-9);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_floor(7), 7e-9);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3e-9), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(7e-9), 7u);
+}
+
+TEST(LatencyHistogram, SubBucketBoundaries) {
+  // First split octave [8, 16) ns: eight 1 ns sub-buckets starting at
+  // bucket index 8; the next octave [16, 32) ns has 2 ns sub-buckets.
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_floor(8), 8e-9);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_floor(15), 15e-9);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_floor(16), 16e-9);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_floor(17), 18e-9);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_ceiling(17), 20e-9);
+  EXPECT_EQ(LatencyHistogram::bucket_of(8e-9), 8u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(15e-9), 15u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(16e-9), 16u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(19e-9), 17u);
+  // 1 us = 1024..  sits at the start of the [1024, 2048) ns octave minus
+  // the 1000 ns offset: 1000 ns lands in sub-bucket (1000-512)/64 = 7 of
+  // the [512, 1024) octave.
+  const std::size_t b = LatencyHistogram::bucket_of(1e-6);
+  EXPECT_LE(LatencyHistogram::bucket_floor(b), 1e-6);
+  EXPECT_GT(LatencyHistogram::bucket_ceiling(b), 1e-6);
+}
+
+TEST(LatencyHistogram, EveryBucketFloorMapsBackToItself) {
+  // bucket_of(bucket_floor(b)) == b for every bucket: the floor is the
+  // canonical representative, so the two functions must be inverses.
+  // (Stop at the octave of 2^53 ns where doubles still hold exact
+  // integers; beyond that floor values are not representable.)
+  const std::size_t limit =
+      LatencyHistogram::kSubBuckets + 53 * LatencyHistogram::kSubBuckets;
+  for (std::size_t b = 1; b < limit; ++b) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_floor(b)), b)
+        << "bucket " << b;
+  }
+}
+
+TEST(LatencyHistogram, SingleSampleIsExact) {
+  LatencyHistogram h;
+  h.add(4.2e-3);
+  EXPECT_DOUBLE_EQ(h.p50(), 4.2e-3);
+  EXPECT_DOUBLE_EQ(h.p95(), 4.2e-3);
+  EXPECT_DOUBLE_EQ(h.p99(), 4.2e-3);
+}
+
+TEST(LatencyHistogram, PercentileInterpolationWithinBucketWidth) {
+  LatencyHistogram h;
+  // Uniform ramp 1..1000 us: true p50 = 500.5 us, p95 = 950.05 us,
+  // p99 = 990.01 us. With 12.5% buckets the estimate must land within
+  // one bucket width of the truth.
+  for (int i = 1; i <= 1000; ++i) h.add(i * 1e-6);
+  EXPECT_NEAR(h.quantile(0.50), 500.5e-6, 0.125 * 500.5e-6);
+  EXPECT_NEAR(h.quantile(0.95), 950.05e-6, 0.125 * 950.05e-6);
+  EXPECT_NEAR(h.quantile(0.99), 990.01e-6, 0.125 * 990.01e-6);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000e-6);
+  EXPECT_NEAR(h.sum(), 500.5e-3, 1e-9);
+}
+
+TEST(LatencyHistogram, MergeIsOrderIndependent) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram c;
+  for (int i = 0; i < 50; ++i) a.add(1e-6 + i * 1e-8);
+  for (int i = 0; i < 50; ++i) b.add(1e-3 + i * 1e-6);
+  c.add(0.5);
+
+  LatencyHistogram ab_c;
+  ab_c.merge(a);
+  ab_c.merge(b);
+  ab_c.merge(c);
+  LatencyHistogram c_ba;
+  c_ba.merge(c);
+  c_ba.merge(b);
+  c_ba.merge(a);
+
+  EXPECT_EQ(ab_c.count(), c_ba.count());
+  EXPECT_DOUBLE_EQ(ab_c.p50(), c_ba.p50());
+  EXPECT_DOUBLE_EQ(ab_c.p99(), c_ba.p99());
+  EXPECT_DOUBLE_EQ(ab_c.min(), c_ba.min());
+  EXPECT_DOUBLE_EQ(ab_c.max(), c_ba.max());
+  EXPECT_DOUBLE_EQ(ab_c.sum(), c_ba.sum());
+}
+
 }  // namespace
 }  // namespace rda::obs

@@ -1,0 +1,103 @@
+#include "service/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace rda::service {
+namespace {
+
+TEST(SubmissionQueue, FifoSingleThread) {
+  SubmissionQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 5u);
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.pop(v));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SubmissionQueue, FullQueueRejectsWithoutBlocking) {
+  SubmissionQueue<int> q(4);  // rounds to capacity 4
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_FALSE(q.push(99));
+  int v = -1;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(q.push(99));  // freed slot is reusable
+}
+
+TEST(SubmissionQueue, PopBatchTakesInOrderUpToMax) {
+  SubmissionQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.pop_batch(out, 100), 6u);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.back(), 9);
+}
+
+TEST(SubmissionQueue, WrapAroundKeepsFifo) {
+  SubmissionQueue<int> q(4);
+  int v = -1;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(q.push(2 * round));
+    EXPECT_TRUE(q.push(2 * round + 1));
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2 * round);
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2 * round + 1);
+  }
+}
+
+TEST(SubmissionQueue, MultiProducerSingleConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20000;
+  SubmissionQueue<std::uint64_t> q(1 << 10);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t value =
+            static_cast<std::uint64_t>(p) * kPerProducer + i;
+        while (!q.push(value)) std::this_thread::yield();
+      }
+    });
+  }
+
+  // Single consumer: per-producer values must arrive in producer order,
+  // and every value must arrive exactly once.
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::uint64_t consumed = 0;
+  std::vector<std::uint64_t> batch;
+  while (consumed < kProducers * kPerProducer) {
+    batch.clear();
+    if (q.pop_batch(batch, 256) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const std::uint64_t value : batch) {
+      const auto p = static_cast<std::size_t>(value / kPerProducer);
+      const std::uint64_t i = value % kPerProducer;
+      ASSERT_LT(p, static_cast<std::size_t>(kProducers));
+      ASSERT_EQ(i, next[p]) << "producer " << p << " order violated";
+      ++next[p];
+      ++consumed;
+    }
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(q.size(), 0u);
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
+}
+
+}  // namespace
+}  // namespace rda::service
