@@ -109,6 +109,59 @@ double bench_try_denied(std::uint64_t iters) {
   return best;
 }
 
+rt::GateConfig multi_config(core::PolicyKind policy) {
+  rt::GateConfig cfg = config(policy);
+  cfg.bandwidth_capacity = 30e9;       // bytes/s, e5_2420 DRAM
+  cfg.energy_capacity_watts = 100.0;   // ample: measures the path, not waits
+  return cfg;
+}
+
+/// Uncontended THREE-demand begin_multi/end round trip (LLC + bandwidth +
+/// energy, always admitted): the vector-demand overhead on top of the
+/// scalar path above.
+double bench_multi_uncontended(std::uint64_t iters) {
+  rt::AdmissionGate gate(multi_config(core::PolicyKind::kStrict));
+  const std::vector<core::ResourceDemand> demands = {
+      {ResourceKind::kLLC, static_cast<double>(MB(1))},
+      {ResourceKind::kMemBandwidth, 1e9},
+      {ResourceKind::kEnergyBudget, 5.0}};
+  for (int i = 0; i < 1000; ++i) {
+    gate.end(gate.begin_multi(demands, ReuseLevel::kHigh));
+  }
+  const std::uint64_t chunk = std::max<std::uint64_t>(iters / 32, 1);
+  double best = 1e18;
+  for (std::uint64_t done = 0; done < iters; done += chunk) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < chunk; ++i) {
+      gate.end(gate.begin_multi(demands, ReuseLevel::kHigh));
+    }
+    best = std::min(best, ns_since(t0, chunk));
+  }
+  return best;
+}
+
+/// T-thread contended three-demand round trips, all within every budget
+/// (T x {1 MB, 1 GB/s, 5 W} against {15 MB, 30 GB/s, 100 W}): lock and
+/// budget-stripe contention on the vector path, not waiting.
+double bench_multi_contended(std::uint64_t iters_per_thread, int threads) {
+  rt::AdmissionGate gate(multi_config(core::PolicyKind::kCompromise));
+  std::vector<std::thread> workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&gate, iters_per_thread] {
+      const std::vector<core::ResourceDemand> demands = {
+          {ResourceKind::kLLC, static_cast<double>(MB(1))},
+          {ResourceKind::kMemBandwidth, 1e9},
+          {ResourceKind::kEnergyBudget, 5.0}};
+      for (std::uint64_t i = 0; i < iters_per_thread; ++i) {
+        gate.end(gate.begin_multi(demands, ReuseLevel::kHigh));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return ns_since(t0, iters_per_thread * static_cast<std::uint64_t>(threads));
+}
+
 /// T-thread contended round trips, all within capacity (1 MB each on a
 /// 15 MB cache under Compromise): measures lock contention, not waiting.
 double bench_contended(std::uint64_t iters_per_thread, int threads) {
@@ -159,9 +212,14 @@ int main(int argc, char** argv) {
   const double fast_path_ns =
       best5([&] { return bench_uncontended(iters, true); });
   const double try_denied_ns = best5([&] { return bench_try_denied(iters); });
+  const double multi_uncontended_ns =
+      best5([&] { return bench_multi_uncontended(iters); });
   const double contended_ns = best5(
       [&] { return bench_contended(iters / 4, threads); });
   const double contended_mops = 1e3 / contended_ns;
+  const double multi_contended_ns =
+      best5([&] { return bench_multi_contended(iters / 4, threads); });
+  const double multi_contended_mops = 1e3 / multi_contended_ns;
   const double vs_baseline = uncontended_ns / kPreRefactorUncontendedNs;
   const double vs_baseline_adj = vs_baseline / machine_factor;
 
@@ -185,8 +243,12 @@ int main(int argc, char** argv) {
       uncontended_ns, kPreRefactorUncontendedNs, vs_baseline, vs_baseline_adj);
   std::printf("fast-path begin/end:   %.1f ns\n", fast_path_ns);
   std::printf("try_begin denied:      %.1f ns\n", try_denied_ns);
+  std::printf("3-demand begin/end:    %.1f ns (%.2fx the scalar path)\n",
+              multi_uncontended_ns, multi_uncontended_ns / uncontended_ns);
   std::printf("%d-thread contended:    %.1f ns/op (%.2f Mops/s aggregate)\n",
               threads, contended_ns, contended_mops);
+  std::printf("%d-thread 3-demand:     %.1f ns/op (%.2f Mops/s aggregate)\n",
+              threads, multi_contended_ns, multi_contended_mops);
   if (cores >= 16) {
     std::printf("16-thread contended:   %.2f Mops/s aggregate\n",
                 contended_mops_16);
@@ -207,7 +269,7 @@ int main(int argc, char** argv) {
                   "OS scheduler, not the gate\"",
                   cores);
   }
-  char json[1024];
+  char json[1536];
   std::snprintf(json, sizeof(json),
                 "{\n"
                 "  \"iters\": %llu,\n"
@@ -217,8 +279,10 @@ int main(int argc, char** argv) {
                 "  \"uncontended_ns\": %.2f,\n"
                 "  \"fast_path_ns\": %.2f,\n"
                 "  \"try_denied_ns\": %.2f,\n"
+                "  \"multi_uncontended_ns\": %.2f,\n"
                 "  \"contended_ns_per_op\": %.2f,\n"
                 "  \"contended_mops\": %.3f,\n"
+                "  \"multi_contended_mops\": %.3f,\n"
                 "  \"contended_mops_16\": %s,\n"
                 "  \"pre_refactor_uncontended_ns\": %.1f,\n"
                 "  \"uncontended_vs_baseline\": %.4f,\n"
@@ -226,8 +290,9 @@ int main(int argc, char** argv) {
                 "}\n",
                 static_cast<unsigned long long>(iters), threads, calib_ns,
                 machine_factor, uncontended_ns, fast_path_ns, try_denied_ns,
-                contended_ns, contended_mops, mops16,
-                kPreRefactorUncontendedNs, vs_baseline, vs_baseline_adj);
+                multi_uncontended_ns, contended_ns, contended_mops,
+                multi_contended_mops, mops16, kPreRefactorUncontendedNs,
+                vs_baseline, vs_baseline_adj);
   try {
     rda::util::write_file_atomic(out_path, json);
     std::printf("wrote %s\n", out_path.c_str());

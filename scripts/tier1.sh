@@ -46,6 +46,36 @@ echo "== tier-1: gate overhead snapshot (BENCH_gate.json) =="
 # than 10% over the pre-AdmissionCore baseline (189 ns).
 ( cd build/bench && ./micro_gate --iters 1000000 --out BENCH_gate.json )
 
+echo "== tier-1: multi-demand gate points (vector admission path) =="
+# The 3-demand begin_multi round trip and its 8-thread contended throughput
+# must stay within 10% of the committed BENCH_gate.json snapshot after
+# normalizing both sides by their own calibration factor (latency scales
+# with machine slowness; throughput scales inversely).
+json_field() { sed -n "s/.*\"$2\": \([0-9.]*\),*.*/\1/p" "$1"; }
+fresh_gate="build/bench/BENCH_gate.json"
+fresh_mf="$(json_field "$fresh_gate" machine_factor)"
+base_mf="$(json_field BENCH_gate.json machine_factor)"
+fresh_multi_ns="$(json_field "$fresh_gate" multi_uncontended_ns)"
+base_multi_ns="$(json_field BENCH_gate.json multi_uncontended_ns)"
+fresh_multi_mops="$(json_field "$fresh_gate" multi_contended_mops)"
+base_multi_mops="$(json_field BENCH_gate.json multi_contended_mops)"
+if [[ -z "$base_multi_ns" || -z "$base_multi_mops" ]]; then
+  echo "no committed multi-demand baseline yet; recorded ${fresh_multi_ns} ns," \
+       "${fresh_multi_mops} Mops/s"
+else
+  awk -v fns="$fresh_multi_ns" -v bns="$base_multi_ns" \
+      -v fmops="$fresh_multi_mops" -v bmops="$base_multi_mops" \
+      -v fmf="$fresh_mf" -v bmf="$base_mf" 'BEGIN {
+    ns_adj = fns / fmf; ns_base = bns / bmf;
+    mops_adj = fmops * fmf; mops_base = bmops * bmf;
+    printf "multi uncontended: %.1f ns adj (baseline %.1f, ceiling %.1f)\n",
+           ns_adj, ns_base, ns_base * 1.10;
+    printf "multi contended:   %.3f Mops/s adj (baseline %.3f, floor %.3f)\n",
+           mops_adj, mops_base, mops_base * 0.90;
+    exit (ns_adj <= ns_base * 1.10 && mops_adj >= mops_base * 0.90) ? 0 : 1;
+  }'
+fi
+
 echo "== tier-1: 16-thread contended admission throughput (sharded core) =="
 # Scaling gate for the sharded AdmissionCore: the fresh 16-thread point must
 # stay within 10% of the committed BENCH_gate.json snapshot. Only meaningful
@@ -94,6 +124,18 @@ build/bench/fig9_gflops --quick --csv --jobs "$(nproc)" > "$smoke_dir/par2.csv"
 build/bench/fig9_gflops --quick --csv --jobs 1 > "$smoke_dir/serial.csv"
 cmp "$smoke_dir/par1.csv" "$smoke_dir/par2.csv"
 cmp "$smoke_dir/par1.csv" "$smoke_dir/serial.csv"
+
+echo "== tier-1: power-cap smoke (multi-resource gates + determinism) =="
+# Quick energy-cap + mixed-workload cells: the watts budget must hold, the
+# LLC+bandwidth combiner must beat LLC-only on GFLOPS/W, and the CSV must
+# be byte-identical regardless of --jobs fan-out.
+build/bench/power_cap --quick --csv --jobs "$(nproc)" > "$smoke_dir/power_par.csv"
+build/bench/power_cap --quick --csv --jobs 1 > "$smoke_dir/power_serial.csv"
+cmp "$smoke_dir/power_par.csv" "$smoke_dir/power_serial.csv"
+# Exits non-zero when the cap is violated, never binds, or the mixed cell
+# loses its 1.05x efficiency edge.
+( cd build/bench && ./power_cap --quick --jobs "$(nproc)" \
+    --out BENCH_power_quick.json > /dev/null )
 
 echo "== tier-1: fault-matrix smoke (ledger + determinism across --jobs) =="
 # Seeded fault grid through both substrates: exits non-zero on any invariant

@@ -30,9 +30,18 @@ rt::AdmissionGate& pp_gate() {
   return *gate_slot();
 }
 
+core::PeriodId pp_begin(std::span<const core::ResourceDemand> demands,
+                        ReuseLevel reuse) {
+  return pp_gate().begin_multi(
+      std::vector<core::ResourceDemand>(demands.begin(), demands.end()),
+      reuse);
+}
+
 core::PeriodId pp_begin(ResourceKind resource, std::uint64_t demand_bytes,
                         ReuseLevel reuse) {
-  return pp_gate().begin(resource, static_cast<double>(demand_bytes), reuse);
+  const core::ResourceDemand demand{resource,
+                                    static_cast<double>(demand_bytes)};
+  return pp_begin(std::span<const core::ResourceDemand>(&demand, 1), reuse);
 }
 
 void pp_end(core::PeriodId id) { pp_gate().end(id); }

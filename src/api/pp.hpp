@@ -7,6 +7,16 @@
 //   DGEMM(n, A, B, C);
 //   pp_end(pp_id);
 //
+// Multi-resource periods declare a demand VECTOR instead (LLC bytes + DRAM
+// bandwidth + watts under a RAPL-style cap):
+//
+//   const rda::core::ResourceDemand demands[] = {
+//       {RESOURCE_LLC, MB(6.3)},
+//       {RESOURCE_MEM_BW, 2.0e9},
+//       {RESOURCE_ENERGY, 11.0},
+//   };
+//   double pp_id = pp_begin(demands, REUSE_HIGH);
+//
 // These free functions bind to one process-wide native AdmissionGate. Call
 // pp_configure() once at startup (or accept the Table 1 defaults); every
 // thread of the process then uses pp_begin/pp_end around its periods.
@@ -14,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/types.hpp"
 #include "runtime/gate.hpp"
@@ -28,8 +39,14 @@ void pp_configure(const rt::GateConfig& config);
 /// The process-wide gate (created on first use with default config).
 rt::AdmissionGate& pp_gate();
 
-/// Begins a progress period; blocks until the demand is admitted. Returns
-/// the unique period identifier.
+/// Begins a multi-resource progress period: every declared {resource,
+/// amount} pair is admitted atomically (all-or-nothing) under the gate's
+/// combining policy. Blocks until admitted. Returns the unique period id.
+core::PeriodId pp_begin(std::span<const core::ResourceDemand> demands,
+                        ReuseLevel reuse);
+
+/// Single-resource form (the paper's Fig. 4 signature) — forwards to the
+/// span overload with a one-element vector.
 core::PeriodId pp_begin(ResourceKind resource, std::uint64_t demand_bytes,
                         ReuseLevel reuse);
 
@@ -42,6 +59,8 @@ class PeriodScope {
   PeriodScope(ResourceKind resource, std::uint64_t demand_bytes,
               ReuseLevel reuse)
       : id_(pp_begin(resource, demand_bytes, reuse)) {}
+  PeriodScope(std::span<const core::ResourceDemand> demands, ReuseLevel reuse)
+      : id_(pp_begin(demands, reuse)) {}
   ~PeriodScope() { pp_end(id_); }
   PeriodScope(const PeriodScope&) = delete;
   PeriodScope& operator=(const PeriodScope&) = delete;

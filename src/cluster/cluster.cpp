@@ -32,6 +32,8 @@ ClusterScheduler::ClusterScheduler(ClusterConfig config,
     }
   }
   node_demand_.assign(static_cast<std::size_t>(config_.nodes), 0.0);
+  node_demand_vec_.assign(static_cast<std::size_t>(config_.nodes),
+                          DemandVector{});
   node_processes_.assign(static_cast<std::size_t>(config_.nodes), 0);
   node_pending_.resize(static_cast<std::size_t>(config_.nodes));
   node_down_.assign(static_cast<std::size_t>(config_.nodes), false);
@@ -78,9 +80,10 @@ void ClusterScheduler::mark_down(int node) {
   std::vector<Submission> drained = std::move(node_pending_[idx]);
   node_pending_[idx].clear();
   node_demand_[idx] = 0.0;
+  node_demand_vec_[idx] = DemandVector{};
   node_processes_[idx] -= static_cast<int>(drained.size());
   for (Submission& s : drained) {
-    int target = pick_node(s.demand, s.tenant);
+    int target = pick_node(s.demand_vec, s.tenant);
     if (target < 0) {
       // Every node is down: resurrect the least-failed one rather than
       // dropping work on the floor.
@@ -92,7 +95,7 @@ void ClusterScheduler::mark_down(int node) {
       target = best;
     }
     const std::size_t t = static_cast<std::size_t>(target);
-    node_demand_[t] += s.demand;
+    charge_node(target, s, +1.0);
     ++node_processes_[t];
     ++reroutes_;
     note_placement(s.tenant, target, s.demand);
@@ -114,28 +117,73 @@ void ClusterScheduler::probe_recoveries() {
 
 double ClusterScheduler::process_demand_estimate(
     const std::vector<sim::PhaseProgram>& thread_programs) {
-  // Per thread: its largest declared marked demand. Process: their sum —
-  // the worst-case simultaneous footprint the node's gate may see.
-  double total = 0.0;
+  return process_demand_vector(
+      thread_programs)[static_cast<std::size_t>(ResourceKind::kLLC)];
+}
+
+DemandVector ClusterScheduler::process_demand_vector(
+    const std::vector<sim::PhaseProgram>& thread_programs) {
+  // Per thread: its largest declared marked demand on each resource.
+  // Process: their sum — the worst-case simultaneous footprint the node's
+  // gate may see on any one resource.
+  DemandVector total{};
   for (const sim::PhaseProgram& program : thread_programs) {
-    double peak = 0.0;
+    DemandVector peak{};
     for (const sim::PhaseSpec& phase : program.phases) {
       if (!phase.marked) continue;
-      peak = std::max(peak, static_cast<double>(phase.declared_wss()));
+      auto& llc = peak[static_cast<std::size_t>(ResourceKind::kLLC)];
+      llc = std::max(llc, static_cast<double>(phase.declared_wss()));
+      auto& bw = peak[static_cast<std::size_t>(ResourceKind::kMemBandwidth)];
+      bw = std::max(bw, phase.bw_bytes_per_sec);
+      auto& w = peak[static_cast<std::size_t>(ResourceKind::kEnergyBudget)];
+      w = std::max(w, phase.watts);
     }
-    total += peak;
+    for (std::size_t k = 0; k < kNumResourceKinds; ++k) total[k] += peak[k];
   }
   return total;
 }
 
 double ClusterScheduler::node_capacity(int node) const {
+  return node_capacity(node, ResourceKind::kLLC);
+}
+
+double ClusterScheduler::node_capacity(int node, ResourceKind kind) const {
   // The capacity the node's own admission core decides against — the same
   // number its predicate will enforce at runtime. Gateless nodes fall back
-  // to the raw machine LLC size.
+  // to the raw machine figures; a kind the node does not constrain reports
+  // zero (and is skipped by fits()).
   const core::AdmissionCore* core = node_core(node);
-  return core != nullptr
-             ? core->resources().capacity(ResourceKind::kLLC)
-             : static_cast<double>(config_.node.machine.llc_bytes);
+  if (core != nullptr) return core->resources().capacity(kind);
+  switch (kind) {
+    case ResourceKind::kLLC:
+      return static_cast<double>(config_.node.machine.llc_bytes);
+    case ResourceKind::kMemBandwidth:
+      return config_.node.machine.dram_bandwidth;
+    default:
+      return 0.0;
+  }
+}
+
+bool ClusterScheduler::fits(int node, const DemandVector& demand) const {
+  for (std::size_t k = 0; k < kNumResourceKinds; ++k) {
+    if (demand[k] <= 0.0) continue;
+    const double cap = node_capacity(node, static_cast<ResourceKind>(k));
+    if (cap <= 0.0) continue;  // unconstrained on this node
+    if (node_demand_vec_[static_cast<std::size_t>(node)][k] + demand[k] >
+        cap) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ClusterScheduler::charge_node(int node, const Submission& s,
+                                   double sign) {
+  const std::size_t n = static_cast<std::size_t>(node);
+  node_demand_[n] += sign * s.demand;
+  for (std::size_t k = 0; k < kNumResourceKinds; ++k) {
+    node_demand_vec_[n][k] += sign * s.demand_vec[k];
+  }
 }
 
 void ClusterScheduler::note_placement(TenantId tenant, int node,
@@ -159,7 +207,8 @@ int ClusterScheduler::tenant_home(TenantId tenant) const {
   return node;
 }
 
-int ClusterScheduler::pick_node(double demand, TenantId tenant) const {
+int ClusterScheduler::pick_node(const DemandVector& demand,
+                                TenantId tenant) const {
   const auto up = [&](int n) { return !node_down_[static_cast<std::size_t>(n)]; };
   // Least-loaded healthy node: shared fallback of two policies.
   const auto least_loaded = [&]() {
@@ -183,20 +232,19 @@ int ClusterScheduler::pick_node(double demand, TenantId tenant) const {
     case PlacementPolicy::kFirstFitCapacity: {
       for (int n = 0; n < config_.nodes; ++n) {
         if (!up(n)) continue;
-        if (node_demand_[n] + demand <= node_capacity(n)) return n;
+        if (fits(n, demand)) return n;
       }
       // Nothing fits: fall back to the least-loaded healthy node.
       return least_loaded();
     }
     case PlacementPolicy::kLocalityAware: {
       // Stay on the node already holding the tenant's working set while the
-      // node's total placed demand still fits its LLC; a tenant that
-      // outgrows the node spills to the least-loaded one (and re-homes
+      // node's total placed demand still fits EVERY resource it constrains;
+      // a tenant that outgrows the node on any one resource (LLC, DRAM
+      // bandwidth, watts) spills to the least-loaded one (and re-homes
       // there — the working set rebuilds where the periods now run).
       const int home = tenant_home(tenant);
-      if (home >= 0 && node_demand_[home] + demand <= node_capacity(home)) {
-        return home;
-      }
+      if (home >= 0 && fits(home, demand)) return home;
       return least_loaded();
     }
   }
@@ -261,8 +309,8 @@ std::size_t ClusterScheduler::steal_rebalance() {
         kept.push_back(std::move(s));
         continue;
       }
-      node_demand_[donor] -= s.demand;
-      node_demand_[thief] += s.demand;
+      charge_node(donor, s, -1.0);
+      charge_node(thief, s, +1.0);
       --node_processes_[donor];
       ++node_processes_[thief];
       note_placement(s.tenant, thief, s.demand);
@@ -288,7 +336,9 @@ int ClusterScheduler::add_process(
     TenantId tenant) {
   RDA_CHECK_MSG(!ran_, "cannot add processes after run()");
   RDA_CHECK(!thread_programs.empty());
-  const double demand = process_demand_estimate(thread_programs);
+  const DemandVector demand_vec = process_demand_vector(thread_programs);
+  const double demand =
+      demand_vec[static_cast<std::size_t>(ResourceKind::kLLC)];
 
   int node = -1;
   // Bounded retry: each failed attempt either consumes an armed fault or
@@ -296,7 +346,7 @@ int ClusterScheduler::add_process(
   const int max_attempts = 1 + 8 * config_.nodes;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (config_.fault_injector != nullptr) probe_recoveries();
-    node = pick_node(demand, tenant);
+    node = pick_node(demand_vec, tenant);
     if (node < 0) {
       // Every node down: rejoin the least-failed one — submission must
       // never wedge on an all-down fleet.
@@ -325,11 +375,12 @@ int ClusterScheduler::add_process(
   s.programs = std::move(thread_programs);
   s.task_pool = task_pool;
   s.demand = demand;
+  s.demand_vec = demand_vec;
   s.tenant = tenant;
-  node_pending_[static_cast<std::size_t>(node)].push_back(std::move(s));
-  node_demand_[node] += demand;
+  charge_node(node, s, +1.0);
   ++node_processes_[node];
   note_placement(tenant, node, demand);
+  node_pending_[static_cast<std::size_t>(node)].push_back(std::move(s));
   return node;
 }
 

@@ -22,6 +22,7 @@
 //                              tenant's working set across LLCs).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -32,6 +33,12 @@
 #include "sim/engine.hpp"
 
 namespace rda::cluster {
+
+/// Per-resource placed/declared demand, indexed by ResourceKind. Placement
+/// fit checks compare every declared component against the node's capacity
+/// for that resource — a bandwidth-heavy process can be turned away from a
+/// node whose LLC still has room, and vice versa.
+using DemandVector = std::array<double, kNumResourceKinds>;
 
 enum class PlacementPolicy {
   kRoundRobin,
@@ -107,6 +114,12 @@ class ClusterScheduler {
   static double process_demand_estimate(
       const std::vector<sim::PhaseProgram>& thread_programs);
 
+  /// Per-resource version of the estimate: each thread's peak declared
+  /// demand per resource kind (LLC working set, DRAM bandwidth, watts),
+  /// summed across threads.
+  static DemandVector process_demand_vector(
+      const std::vector<sim::PhaseProgram>& thread_programs);
+
   ClusterResult run();
 
   const std::vector<double>& placed_demand() const { return node_demand_; }
@@ -138,12 +151,19 @@ class ClusterScheduler {
   struct Submission {
     std::vector<sim::PhaseProgram> programs;
     bool task_pool = false;
-    double demand = 0.0;
+    double demand = 0.0;       ///< LLC component (ordering heuristics)
+    DemandVector demand_vec{}; ///< per-resource (fit checks)
     TenantId tenant = kNoTenant;
   };
 
   /// Healthy-node placement under the active policy; -1 when none is up.
-  int pick_node(double demand, TenantId tenant = kNoTenant) const;
+  /// Fit-based policies require EVERY declared resource component to fit
+  /// the node; load-ordering heuristics compare the LLC component.
+  int pick_node(const DemandVector& demand, TenantId tenant = kNoTenant) const;
+  /// True when every nonzero component of `demand` fits node `n`'s
+  /// remaining per-resource placement headroom (kinds the node does not
+  /// constrain are ignored).
+  bool fits(int node, const DemandVector& demand) const;
   /// Gives each down node a deterministic consult so a targeted
   /// kNodeRecover spec can fire; recovered nodes rejoin the placement set.
   void probe_recoveries();
@@ -151,14 +171,17 @@ class ClusterScheduler {
   void mark_up(int node);
   void trace_node(obs::EventKind kind, int node, double demand = 0.0) const;
   double node_capacity(int node) const;
+  double node_capacity(int node, ResourceKind kind) const;
   /// Records a placement in the tenant footprint map (no-op for kNoTenant).
   void note_placement(TenantId tenant, int node, double demand);
+  void charge_node(int node, const Submission& s, double sign);
 
   ClusterConfig config_;
   PlacementPolicy policy_;
   std::vector<std::unique_ptr<sim::Engine>> engines_;
   std::vector<std::unique_ptr<core::RdaScheduler>> gates_;
-  std::vector<double> node_demand_;  ///< placed declared demand per node
+  std::vector<double> node_demand_;  ///< placed declared LLC demand per node
+  std::vector<DemandVector> node_demand_vec_;  ///< per-resource placed demand
   std::vector<int> node_processes_;
   std::vector<std::vector<Submission>> node_pending_;
   std::vector<bool> node_down_;

@@ -18,15 +18,17 @@ enum class ResourceKind : std::uint8_t {
   kLLC,          ///< shared last-level cache capacity (bytes)
   kMemBandwidth, ///< DRAM bandwidth (bytes/second)
   kL2,           ///< private L2 capacity (bytes) — available for extensions
+  kEnergyBudget, ///< package power budget (watts) — RAPL-style energy cap
 };
 
-inline constexpr std::size_t kNumResourceKinds = 3;
+inline constexpr std::size_t kNumResourceKinds = 4;
 
 constexpr std::string_view to_string(ResourceKind kind) {
   switch (kind) {
     case ResourceKind::kLLC: return "LLC";
     case ResourceKind::kMemBandwidth: return "MemBW";
     case ResourceKind::kL2: return "L2";
+    case ResourceKind::kEnergyBudget: return "Energy";
   }
   return "?";
 }
@@ -67,6 +69,7 @@ constexpr ReuseLevel categorize_reuse(double reuse_ratio,
 /// quickstart example reads exactly like the paper's Figure 4.
 inline constexpr ResourceKind RESOURCE_LLC = ResourceKind::kLLC;
 inline constexpr ResourceKind RESOURCE_MEM_BW = ResourceKind::kMemBandwidth;
+inline constexpr ResourceKind RESOURCE_ENERGY = ResourceKind::kEnergyBudget;
 inline constexpr ReuseLevel REUSE_LOW = ReuseLevel::kLow;
 inline constexpr ReuseLevel REUSE_MED = ReuseLevel::kMedium;
 inline constexpr ReuseLevel REUSE_HIGH = ReuseLevel::kHigh;

@@ -8,21 +8,49 @@
 
 namespace rda::core {
 
+namespace {
+
+PolicyTable build_policy_table(
+    const AdmissionConfig& config, const SchedulingPolicy& default_policy,
+    std::vector<std::unique_ptr<SchedulingPolicy>>& owned) {
+  PolicyTable table;
+  table.fill(&default_policy);
+  for (const PerResourcePolicy& pr : config.resource_policies) {
+    owned.push_back(make_policy(pr.policy, pr.oversubscription));
+    table[static_cast<std::size_t>(pr.resource)] = owned.back().get();
+  }
+  return table;
+}
+
+}  // namespace
+
 AdmissionCore::AdmissionCore(AdmissionConfig config)
     : config_(config),
       policy_(make_policy(config.policy, config.oversubscription)),
-      predicate_(*policy_, resources_),
+      policy_table_(
+          build_policy_table(config_, *policy_, override_policies_)),
+      combiner_(make_combiner(config_.combiner)),
+      combiner_calm_(config_.combiner.kind == CombinerKind::kAllMustFit),
+      predicate_(policy_table_, *combiner_, resources_),
       monitor_(predicate_, resources_, config.monitor),
       corrector_(config.feedback) {
-  resources_.set_capacity(ResourceKind::kLLC, config_.llc_capacity_bytes);
-  resources_.set_admission_bound(
-      ResourceKind::kLLC, policy_->admission_bound(config_.llc_capacity_bytes));
-  if (config_.bandwidth_capacity > 0.0) {
-    resources_.set_capacity(ResourceKind::kMemBandwidth,
-                            config_.bandwidth_capacity);
+  // Each configured resource's budget is bounded by ITS OWN policy, so e.g.
+  // a Compromise LLC coexists with a Strict watts budget. Unconfigured
+  // kinds keep a zero budget — callers only declare demands on configured
+  // resources.
+  const auto configure = [&](ResourceKind kind, double capacity) {
+    resources_.set_capacity(kind, capacity);
     resources_.set_admission_bound(
-        ResourceKind::kMemBandwidth,
-        policy_->admission_bound(config_.bandwidth_capacity));
+        kind,
+        policy_table_[static_cast<std::size_t>(kind)]->admission_bound(
+            capacity));
+  };
+  configure(ResourceKind::kLLC, config_.llc_capacity_bytes);
+  if (config_.bandwidth_capacity > 0.0) {
+    configure(ResourceKind::kMemBandwidth, config_.bandwidth_capacity);
+  }
+  if (config_.energy_capacity_watts > 0.0) {
+    configure(ResourceKind::kEnergyBudget, config_.energy_capacity_watts);
   }
   monitor_.set_trace_sink(config_.trace_sink);
 }
@@ -606,6 +634,24 @@ MonitorStats AdmissionCore::stats() const {
     merged.immediate_admissions += slot.immediate.load();
   }
   return merged;
+}
+
+std::vector<obs::ResourceRow> AdmissionCore::resource_rows() const {
+  std::vector<obs::ResourceRow> rows;
+  for (std::size_t r = 0; r < kNumResourceKinds; ++r) {
+    const ResourceKind kind = static_cast<ResourceKind>(r);
+    if (resources_.capacity(kind) <= 0.0) continue;  // not configured
+    obs::ResourceRow row;
+    row.kind = kind;
+    row.capacity = resources_.capacity(kind);
+    row.bound = resources_.admission_bound(kind);
+    row.usage = resources_.usage(kind);
+    row.free = resources_.total_free(kind);
+    row.overdraft = resources_.overdraft(kind);
+    row.oversubscribed = resources_.oversubscribed(kind);
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 AdmissionCore::AuditReport AdmissionCore::audit() const {

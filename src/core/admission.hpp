@@ -60,6 +60,7 @@
 #include "core/sharding.hpp"
 #include "fault/fault.hpp"
 #include "obs/sink.hpp"
+#include "obs/summary.hpp"
 
 namespace rda::core {
 
@@ -76,15 +77,35 @@ struct PartitionOptions {
   double streaming_fraction = 0.10;
 };
 
+/// Per-resource bound override: one resource kind running a different
+/// Strict/Compromise configuration than the core-wide default.
+struct PerResourcePolicy {
+  ResourceKind resource = ResourceKind::kLLC;
+  PolicyKind policy = PolicyKind::kStrict;
+  double oversubscription = 2.0;
+};
+
 struct AdmissionConfig {
   /// LLC capacity the admission decisions are made against (bytes).
   double llc_capacity_bytes = 15360.0 * 1024.0;  // paper Table 1 default
   /// Multi-resource extension: when > 0, DRAM bandwidth (bytes/second)
   /// becomes a second gated resource.
   double bandwidth_capacity = 0.0;
+  /// Multi-resource extension: when > 0, a RAPL-style package power budget
+  /// (watts) becomes a gated resource — periods declaring kEnergyBudget
+  /// demands are throttled to hold the cap.
+  double energy_capacity_watts = 0.0;
   PolicyKind policy = PolicyKind::kStrict;
   /// Oversubscription factor x for RDA:Compromise (paper uses 2).
   double oversubscription = 2.0;
+  /// Per-resource overrides of the default bound policy above (e.g. LLC on
+  /// Compromise while the watts budget stays Strict). At most one entry per
+  /// resource kind; later entries win.
+  std::vector<PerResourcePolicy> resource_policies;
+  /// How per-resource verdicts fold into one admission decision. Anything
+  /// but all-must-fit forces every call through the slow lane (the
+  /// lock-free budget CAS can only express per-resource hard fits).
+  CombinerOptions combiner{};
   /// Enable the cached-decision fast path (Fig. 11 second series).
   bool fast_path = false;
   PartitionOptions partitioning{};
@@ -286,6 +307,12 @@ class AdmissionCore {
   };
   AuditReport audit() const;
 
+  /// Per-resource ledger snapshot (one row per configured kind, in kind
+  /// order) for obs::summarize and obs::reconcile_resources: capacity,
+  /// policy bound, aggregate usage, unclaimed budget, overdraft, and the
+  /// watchdog oversubscription tally.
+  std::vector<obs::ResourceRow> resource_rows() const;
+
   const AdmissionConfig& config() const { return config_; }
   /// Slow-lane monitor stats plus the fast lane's per-shard begin/end
   /// counters, merged. By value: assembled at call time.
@@ -298,6 +325,10 @@ class AdmissionCore {
   const ResourceMonitor& resources() const { return resources_; }
   const ProgressMonitor& monitor() const { return monitor_; }
   const SchedulingPolicy& policy() const { return *policy_; }
+  const SchedulingPolicy& policy(ResourceKind kind) const {
+    return *policy_table_[static_cast<std::size_t>(kind)];
+  }
+  const CombiningPolicy& combiner() const { return *combiner_; }
   const DemandCorrector& corrector() const { return corrector_; }
 
  private:
@@ -319,11 +350,12 @@ class AdmissionCore {
     std::atomic<std::uint64_t> immediate{0};
   };
 
-  /// True when the lock-free lane may decide alone: no injector, no
-  /// feedback, nobody parked, no pool disabled. Reads two seq_cst atomics.
+  /// True when the lock-free lane may decide alone: all-must-fit combining,
+  /// no injector, no feedback, nobody parked, no pool disabled. Reads two
+  /// seq_cst atomics.
   bool calm() const {
-    return config_.fault_injector == nullptr && !config_.feedback.enable &&
-           monitor_.waitlist().size() == 0 &&
+    return combiner_calm_ && config_.fault_injector == nullptr &&
+           !config_.feedback.enable && monitor_.waitlist().size() == 0 &&
            monitor_.disabled_pool_count() == 0;
   }
 
@@ -349,6 +381,14 @@ class AdmissionCore {
 
   AdmissionConfig config_;
   std::unique_ptr<SchedulingPolicy> policy_;
+  /// Owned per-resource override policies (resource_policies entries).
+  std::vector<std::unique_ptr<SchedulingPolicy>> override_policies_;
+  /// Per-kind bound policies; kinds without an override point at policy_.
+  PolicyTable policy_table_{};
+  std::unique_ptr<CombiningPolicy> combiner_;
+  /// Precomputed: the configured combiner admits via per-resource hard
+  /// fits, so the lock-free lane's budget CAS expresses it exactly.
+  bool combiner_calm_ = true;
   ResourceMonitor resources_;
   SchedulingPredicate predicate_;
   ProgressMonitor monitor_;

@@ -19,57 +19,62 @@ namespace rda::core {
 
 class SchedulingPredicate {
  public:
-  /// Non-owning references; both must outlive the predicate.
+  /// Non-owning references; both must outlive the predicate. Every resource
+  /// kind gets `policy` as its bound and admission combines all-must-fit.
   SchedulingPredicate(const SchedulingPolicy& policy,
                       ResourceMonitor& resources)
-      : policy_(&policy), resources_(&resources) {}
-
-  /// Algorithm 1, generalized to multi-resource periods: every declared
-  /// demand must pass apply_policy on its resource. On true, all demands
-  /// have been added to the load table atomically.
-  ///
-  /// apply_policy(remaining − demand) ⟺ usage + demand ≤ admission_bound
-  /// for every shipped policy (Strict: bound = capacity; Compromise:
-  /// x·capacity; AlwaysAdmit: +inf), so the check-then-increment is
-  /// expressed as an atomic budget acquisition on the period's stripe —
-  /// the same code path whether the caller holds the slow-lane lock or is
-  /// racing through the lock-free lane.
-  bool try_schedule(const PeriodRecord& pp) {
-    for (std::size_t i = 0; i < pp.demands.size(); ++i) {
-      const ResourceDemand& d = pp.demands[i];
-      if (!resources_->try_acquire(d.resource, d.amount, pp.stripe)) {
-        for (std::size_t j = 0; j < i; ++j) {
-          resources_->decrement_load(pp.demands[j].resource,
-                                     pp.demands[j].amount, pp.stripe);
-        }
-        return false;
-      }
-    }
-    return true;
+      : resources_(&resources), combiner_(&default_combiner()) {
+    policies_.fill(&policy);
   }
 
-  /// Decision only, no load change — used for group (thread-pool) checks.
-  bool would_admit(ResourceKind resource, double demand) const {
-    const ResourceState& res = resources_->state(resource);
-    return policy_->allow(res.remaining() - demand, res);
+  /// Per-resource bounds + pluggable combiner. `policies` entries must be
+  /// non-null and, like `combiner` and `resources`, outlive the predicate.
+  SchedulingPredicate(const PolicyTable& policies,
+                      const CombiningPolicy& combiner,
+                      ResourceMonitor& resources)
+      : policies_(policies), resources_(&resources), combiner_(&combiner) {}
+
+  /// Algorithm 1, generalized to multi-resource periods: the combiner folds
+  /// the per-resource verdicts into one decision and, on admit, charges the
+  /// whole demand vector atomically (exact rollback on deny).
+  ///
+  /// For all-must-fit: apply_policy(remaining − demand) ⟺ usage + demand ≤
+  /// admission_bound for every shipped policy (Strict: bound = capacity;
+  /// Compromise: x·capacity; AlwaysAdmit: +inf), so the check-then-increment
+  /// is expressed as an atomic budget acquisition on the period's stripe —
+  /// the same code path whether the caller holds the slow-lane lock or is
+  /// racing through the lock-free lane. The other combiners are slow-lane
+  /// only (AdmissionCore::calm() gates them off the lock-free path).
+  bool try_schedule(const PeriodRecord& pp) {
+    return combiner_->try_schedule(pp.demands, pp.stripe, *resources_,
+                                   policies_);
+  }
+
+  /// Vector decision only, no load change — used for group (thread-pool)
+  /// checks, where the pool's summed per-resource demands are the vector.
+  bool would_admit(const std::vector<ResourceDemand>& demands) const {
+    return combiner_->would_admit(demands, *resources_, policies_);
   }
 
   /// Multi-resource decision only: the exact check try_schedule performs,
   /// without the load charge — used by wake strategies to enumerate fitting
   /// waitlist candidates before committing to one.
   bool would_admit(const PeriodRecord& pp) const {
-    for (const ResourceDemand& d : pp.demands) {
-      const ResourceState& res = resources_->state(d.resource);
-      if (!policy_->allow(res.remaining() - d.amount, res)) return false;
-    }
-    return true;
+    return combiner_->would_admit(pp.demands, *resources_, policies_);
   }
 
-  const SchedulingPolicy& policy() const { return *policy_; }
+  const SchedulingPolicy& policy() const {
+    return *policies_[static_cast<std::size_t>(ResourceKind::kLLC)];
+  }
+  const SchedulingPolicy& policy(ResourceKind kind) const {
+    return *policies_[static_cast<std::size_t>(kind)];
+  }
+  const CombiningPolicy& combiner() const { return *combiner_; }
 
  private:
-  const SchedulingPolicy* policy_;
+  PolicyTable policies_{};
   ResourceMonitor* resources_;
+  const CombiningPolicy* combiner_;
 };
 
 }  // namespace rda::core

@@ -108,12 +108,15 @@ bool ProgressMonitor::try_admit_pool(sim::ProcessId process, bool force,
     return true;
   }
   if (!force) {
+    // The pool admits as one aggregate period: its summed per-resource
+    // demands form a vector the combiner judges exactly like a single
+    // period's.
+    std::vector<ResourceDemand> group_demand;
     for (std::size_t r = 0; r < kNumResourceKinds; ++r) {
       if (sums[r] <= 0.0) continue;
-      if (!predicate_->would_admit(static_cast<ResourceKind>(r), sums[r])) {
-        return false;
-      }
+      group_demand.push_back({static_cast<ResourceKind>(r), sums[r]});
     }
+    if (!predicate_->would_admit(group_demand)) return false;
   }
   // Whole group fits (or is forced): admit and wake every member.
   std::vector<Waitlist::Entry> group = waitlist_.remove_process(process);

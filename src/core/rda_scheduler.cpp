@@ -11,8 +11,11 @@ AdmissionConfig to_core_config(double llc_capacity_bytes,
   AdmissionConfig config;
   config.llc_capacity_bytes = llc_capacity_bytes;
   config.bandwidth_capacity = options.bandwidth_capacity;
+  config.energy_capacity_watts = options.energy_capacity_watts;
   config.policy = options.policy;
   config.oversubscription = options.oversubscription;
+  config.resource_policies = options.resource_policies;
+  config.combiner = options.combiner;
   config.fast_path = options.fast_path;
   config.partitioning = options.partitioning;
   config.feedback = options.feedback;
@@ -75,6 +78,9 @@ sim::BeginResult RdaScheduler::on_phase_begin(sim::ThreadId thread,
       phase.bw_bytes_per_sec > 0.0) {
     request.demands.push_back(
         {ResourceKind::kMemBandwidth, phase.bw_bytes_per_sec});
+  }
+  if (core_.config().energy_capacity_watts > 0.0 && phase.watts > 0.0) {
+    request.demands.push_back({ResourceKind::kEnergyBudget, phase.watts});
   }
   request.reuse = phase.reuse;
   request.label = phase.label;

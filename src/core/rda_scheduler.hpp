@@ -30,6 +30,15 @@ struct RdaOptions {
   /// gated resource with this capacity (bytes/second); periods declaring a
   /// bandwidth demand must fit BOTH resources to be admitted.
   double bandwidth_capacity = 0.0;
+  /// Multi-resource extension: when > 0, a package power budget (watts)
+  /// becomes a gated resource; phases declaring `watts` are throttled so
+  /// the sum of admitted watts holds the cap (fig10's GFLOPS/W machinery
+  /// provides the ground truth).
+  double energy_capacity_watts = 0.0;
+  /// Per-resource bound overrides + demand-vector combining policy; see
+  /// core::AdmissionConfig.
+  std::vector<PerResourcePolicy> resource_policies;
+  CombinerOptions combiner{};
   /// Counter-feedback extension: correct declared demands from observed
   /// per-period hardware counters.
   FeedbackOptions feedback{};

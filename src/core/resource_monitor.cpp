@@ -94,22 +94,25 @@ bool ResourceMonitor::try_acquire(ResourceKind kind, double demand,
     }
   }
   // Steal the shortfall from siblings, recording every partial claim so a
-  // failed acquisition can be rolled back exactly.
+  // failed acquisition can be rolled back exactly. Track the DECREASING
+  // remainder, not an accumulating sum: the final steal takes `need` itself,
+  // and need - need == 0.0 exactly, where got + (demand - got) can miss
+  // `demand` by an ulp and spuriously fail an acquire with ample budget.
   std::array<double, kStripes> taken{};
-  double got = 0.0;
-  for (std::uint32_t i = 0; i < kStripes && got < demand; ++i) {
+  double need = demand;
+  for (std::uint32_t i = 0; i < kStripes && need > 0.0; ++i) {
     Stripe& s = stripes[(stripe + i) % kStripes];
     double free = s.free.load();
     while (free > 0.0) {
-      const double take = std::min(free, demand - got);
+      const double take = std::min(free, need);
       if (s.free.compare_exchange_weak(free, free - take)) {
         taken[(stripe + i) % kStripes] = take;
-        got += take;
+        need -= take;
         break;
       }
     }
   }
-  if (got == demand) {  // final steal takes exactly demand-got: sum is exact
+  if (need == 0.0) {
     atomic_add(own.usage, demand);
     own.version.fetch_add(1);
     return true;

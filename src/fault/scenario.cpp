@@ -44,6 +44,7 @@ std::size_t shape_thread_count(const std::string& name) {
   if (name == "infeasible") return 4;
   if (name == "churn") return 3;
   if (name == "pool") return 4;
+  if (name == "multires") return 4;
   return 4;
 }
 
@@ -74,17 +75,20 @@ void check_monitor_ledger(ScenarioResult& result,
               std::to_string(closed));
 }
 
-/// The same every-door ledger must also balance the REVERSIBLE
-/// oversubscription tally: a rung-2 force-admitted period that leaves
-/// through any door (pp_end, orphan reclaim) takes its oversub charge with
-/// it, so at quiescence the tally is zero. A reclaim path that forgets the
-/// discharge leaks apparent capacity permanently — exactly the bug class
-/// this cell-level assert pins.
-void check_oversub_ledger(ScenarioResult& result, double oversubscribed) {
-  require(result, std::abs(oversubscribed) < 1e-6,
-          "oversubscription tally not drained: " +
-              std::to_string(oversubscribed) +
-              " still booked after every period closed");
+/// Per-resource quiescence ledger, over EVERY configured kind (LLC, DRAM
+/// bandwidth, energy budget): the stripe invariant usage + free − overdraft
+/// == bound must hold per kind, and usage, overdraft, and the REVERSIBLE
+/// oversubscription tally must each drain back to zero — a rung-2
+/// force-admitted period that leaves through any door (pp_end, orphan
+/// reclaim) takes its oversub charge and overdraft with it, on every
+/// resource row it was charged on, not just the LLC. A reclaim path that
+/// forgets the discharge on one row leaks apparent capacity permanently —
+/// exactly the bug class this cell-level assert pins.
+void check_resource_ledger(ScenarioResult& result,
+                           const std::vector<obs::ResourceRow>& rows) {
+  const obs::ReconcileReport report =
+      obs::reconcile_resources(rows, /*expect_quiescent=*/true);
+  require(result, report.ok, "resource ledger failed: " + report.message);
 }
 
 void check_shard_audit(ScenarioResult& result,
@@ -172,6 +176,24 @@ void populate_sim(const std::string& name, sim::Engine& engine,
     sched.mark_pool(pool);
     add_threads(pool, 3, 2, MB(6), 2e8);
     add_threads(engine.create_process(), 1, 2, MB(7), 2e8);
+  } else if (name == "multires") {
+    // Vector demands on all three resource rows: two 8 MB LLC-heavy threads
+    // contend for cache while two streaming threads declare DRAM bandwidth
+    // and watts that overcommit their budgets (2 x 18 GB/s on a 30 GB/s
+    // row, 2 x 14 W on a 20 W cap). Waitlist churn — and any injected
+    // corrupted counter — therefore lands on the bandwidth and energy rows
+    // too, and the per-kind ledger must still drain all of them.
+    for (int t = 0; t < 2; ++t) {
+      add_threads(engine.create_process(), 1, 3, MB(8), 3e8);
+    }
+    for (int t = 0; t < 2; ++t) {
+      sim::ProgramBuilder builder;
+      for (int p = 0; p < 3; ++p) {
+        builder.period_bw("stream", 2e8, MB(2), ReuseLevel::kLow, 18e9);
+        builder.watts(14.0);
+      }
+      engine.add_thread(engine.create_process(), builder.build());
+    }
   } else {
     throw std::runtime_error("unknown scenario shape: " + name);
   }
@@ -191,6 +213,13 @@ void run_sim(const ScenarioSpec& spec, FaultInjector& injector,
   options.trace_sink = &recorder;
   options.fault_injector = &injector;
   options.monitor.watchdog = scenario_watchdog(3);
+  if (spec.name == "multires") {
+    // All three resource rows configured, and counter feedback on so a
+    // kCorruptCounter fault actually perturbs state the ledger must absorb.
+    options.bandwidth_capacity = cfg.machine.dram_bandwidth;
+    options.energy_capacity_watts = 20.0;
+    options.feedback.enable = true;
+  }
   core::RdaScheduler sched(static_cast<double>(cfg.machine.llc_bytes),
                            cfg.calib, options);
   engine.set_gate(&sched);
@@ -208,8 +237,7 @@ void run_sim(const ScenarioSpec& spec, FaultInjector& injector,
           "LLC load not conserved: " +
               std::to_string(core.resources().usage(ResourceKind::kLLC)) +
               " bytes still charged after all threads finished");
-  check_oversub_ledger(result,
-                       core.resources().oversubscribed(ResourceKind::kLLC));
+  check_resource_ledger(result, core.resource_rows());
   check_shard_audit(result, core.audit());
   require(result, core.monitor().registry().active_count() == 0,
           "registry not drained: " +
@@ -380,7 +408,7 @@ void run_native(const ScenarioSpec& spec, FaultInjector& injector,
   require(result, gate.waiting() == 0,
           "waitlist not drained: " + std::to_string(gate.waiting()) +
               " entries still parked");
-  check_oversub_ledger(result, gate.oversubscribed(ResourceKind::kLLC));
+  check_resource_ledger(result, gate.resource_rows());
   check_shard_audit(result, gate.audit());
   check_monitor_ledger(result, stats.monitor);
   check_events(result, recorder, stats.monitor);
@@ -439,7 +467,7 @@ std::vector<ScenarioSpec> scenario_grid(std::uint64_t base_seed,
                                         std::size_t seeds) {
   static const char* kShapes[] = {"contended", "infeasible", "churn", "pool"};
   std::vector<ScenarioSpec> grid;
-  grid.reserve(4 * 2 * seeds);
+  grid.reserve((4 * 2 + 1) * seeds);
   for (const char* shape : kShapes) {
     for (const Substrate substrate : {Substrate::kSim, Substrate::kNative}) {
       for (std::size_t i = 0; i < seeds; ++i) {
@@ -453,6 +481,18 @@ std::vector<ScenarioSpec> scenario_grid(std::uint64_t base_seed,
         grid.push_back(std::move(spec));
       }
     }
+  }
+  // The multi-resource shape runs on the sim substrate only (the native
+  // scenarios drive the gate with scripted single-resource rounds): its
+  // cells prove the per-kind ledger — bandwidth and energy rows included —
+  // under the same random fault draws as the single-resource shapes.
+  for (std::size_t i = 0; i < seeds; ++i) {
+    ScenarioSpec spec;
+    spec.name = "multires";
+    spec.substrate = Substrate::kSim;
+    spec.seed = base_seed + i;
+    spec.fault_count = i;
+    grid.push_back(std::move(spec));
   }
   // Scripted cells: the recovery paths a random draw might miss are pinned
   // so every matrix run proves them — death while admitted, death while
@@ -483,6 +523,17 @@ std::vector<ScenarioSpec> scenario_grid(std::uint64_t base_seed,
            1);
   scripted("contended", Substrate::kNative, FaultKind::kDelayedWake,
            Hook::kWake, 2);
+  // Corrupted counters against the multi-resource rows: the release-path
+  // corruption feeds the demand corrector while bandwidth and energy rows
+  // carry load, so the per-kind ledger (oversubscription AND overdraft back
+  // to zero on all three kinds) is proven under counter faults, not just
+  // wake faults. Counts 1 and 4 strike an early and a late release.
+  scripted("multires", Substrate::kSim, FaultKind::kCorruptCounter,
+           Hook::kRelease, 1);
+  scripted("multires", Substrate::kSim, FaultKind::kCorruptCounter,
+           Hook::kRelease, 4);
+  scripted("multires", Substrate::kSim, FaultKind::kThreadDeath, Hook::kBlock,
+           2);
   return grid;
 }
 

@@ -1,5 +1,6 @@
 #include "obs/reconcile.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <sstream>
@@ -349,6 +350,66 @@ ReconcileReport reconcile_waits(std::span<const Event> events,
        << "s disagrees with the event-derived total " << event_wait_total
        << "s by more than " << slack << "s";
     fail(os.str());
+  }
+
+  if (!errors.empty()) {
+    report.ok = false;
+    std::ostringstream os;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      if (i) os << "\n";
+      os << errors[i];
+    }
+    report.message = os.str();
+  }
+  return report;
+}
+
+ReconcileReport reconcile_resources(std::span<const ResourceRow> resources,
+                                    bool expect_quiescent) {
+  ReconcileReport report;
+  std::vector<std::string> errors;
+  const auto fail = [&](const std::string& what) { errors.push_back(what); };
+
+  for (const ResourceRow& row : resources) {
+    const std::string name(to_string(row.kind));
+    // Megabyte-scale increment/decrement churn leaves ~1e-2-byte residues;
+    // scale the tolerance like AdmissionCore::audit does.
+    const double tol = 1e-3 * std::max(1.0, row.capacity);
+    if (!std::isinf(row.bound)) {
+      const double lhs = row.usage + row.free - row.overdraft;
+      if (std::abs(lhs - row.bound) > tol) {
+        std::ostringstream os;
+        os << name << ": usage (" << row.usage << ") + free (" << row.free
+           << ") - overdraft (" << row.overdraft
+           << ") != admission bound (" << row.bound << ")";
+        fail(os.str());
+      }
+    }
+    if (row.overdraft < -tol) {
+      fail(name + ": negative overdraft");
+    }
+    if (row.oversubscribed < -tol) {
+      fail(name + ": negative oversubscription tally");
+    }
+    if (expect_quiescent) {
+      if (std::abs(row.usage) > tol) {
+        std::ostringstream os;
+        os << name << ": usage " << row.usage << " did not return to zero";
+        fail(os.str());
+      }
+      if (std::abs(row.overdraft) > tol) {
+        std::ostringstream os;
+        os << name << ": overdraft " << row.overdraft
+           << " did not return to zero";
+        fail(os.str());
+      }
+      if (std::abs(row.oversubscribed) > tol) {
+        std::ostringstream os;
+        os << name << ": oversubscription tally " << row.oversubscribed
+           << " did not return to zero";
+        fail(os.str());
+      }
+    }
   }
 
   if (!errors.empty()) {

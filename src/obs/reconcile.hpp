@@ -21,6 +21,7 @@
 #include "core/progress_monitor.hpp"
 #include "obs/event.hpp"
 #include "obs/histogram.hpp"
+#include "obs/summary.hpp"
 
 namespace rda::obs {
 
@@ -97,5 +98,17 @@ ReconcileReport reconcile_service(std::span<const Event> events,
 ReconcileReport reconcile_waits(std::span<const Event> events,
                                 const WaitHistogram& histogram,
                                 const WaitStatsCheck& gate);
+
+/// Per-resource budget-ledger check over a monitor snapshot (one row per
+/// configured kind, from core::AdmissionCore::resource_rows()):
+///   * stripe invariant: usage + free − overdraft == bound, for EVERY kind
+///     with a finite bound — a corrupted counter on any row (LLC, bandwidth,
+///     energy) breaks its own kind's equation, not some aggregate;
+///   * overdraft and the oversubscription tally are never negative;
+///   * at quiescence (`expect_quiescent`): usage, overdraft, and the
+///     oversubscription tally have all returned to zero — forced admissions
+///     were fully repaid on every resource, not just the LLC.
+ReconcileReport reconcile_resources(std::span<const ResourceRow> resources,
+                                    bool expect_quiescent);
 
 }  // namespace rda::obs

@@ -1,6 +1,8 @@
 #include "obs/summary.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <sstream>
 
 #include "util/table.hpp"
@@ -24,10 +26,27 @@ std::string format_seconds(double s) {
   return os.str();
 }
 
+std::string format_amount(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  if (std::isinf(v)) {
+    os << "inf";
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
 }  // namespace
 
+double ResourceRow::headroom() const {
+  if (std::isinf(bound)) return bound;
+  return std::max(0.0, bound - usage);
+}
+
 std::string summarize(std::span<const Event> events,
-                      const WaitHistogram& waits) {
+                      const WaitHistogram& waits,
+                      std::span<const ResourceRow> resources) {
   std::array<std::uint64_t, kNumEventKinds> counts{};
   double t_min = 0.0;
   double t_max = 0.0;
@@ -58,6 +77,21 @@ std::string summarize(std::span<const Event> events,
        << format_seconds(waits.max());
   }
   os << "\n";
+  if (!resources.empty()) {
+    util::Table rtable({"resource", "capacity", "bound", "usage", "headroom",
+                        "overdraft", "oversub"});
+    for (const ResourceRow& row : resources) {
+      rtable.begin_row()
+          .add_cell(std::string(to_string(row.kind)))
+          .add_cell(format_amount(row.capacity))
+          .add_cell(format_amount(row.bound))
+          .add_cell(format_amount(row.usage))
+          .add_cell(format_amount(row.headroom()))
+          .add_cell(format_amount(row.overdraft))
+          .add_cell(format_amount(row.oversubscribed));
+    }
+    os << rtable.render();
+  }
   return os.str();
 }
 

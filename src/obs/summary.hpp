@@ -5,14 +5,37 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
+#include "common/types.hpp"
 #include "obs/event.hpp"
 #include "obs/histogram.hpp"
 
 namespace rda::obs {
 
-/// Per-kind counts + wait distribution as an aligned text block.
+/// One resource's admission-ledger snapshot: the monitor's per-kind row
+/// (capacity, policy bound, aggregate usage, unclaimed budget, overdraft
+/// from forced charges, watchdog oversubscription tally). Plain data — obs
+/// must not depend on the core layer, so the core side populates these
+/// (core::AdmissionCore::resource_rows()).
+struct ResourceRow {
+  ResourceKind kind = ResourceKind::kLLC;
+  double capacity = 0.0;
+  double bound = 0.0;   ///< policy admission bound (may be +inf)
+  double usage = 0.0;
+  double free = 0.0;    ///< unclaimed admission budget across stripes
+  double overdraft = 0.0;
+  double oversubscribed = 0.0;
+
+  /// Admissible headroom left under the policy bound (0 when overdrafted).
+  double headroom() const;
+};
+
+/// Per-kind counts + wait distribution as an aligned text block. When
+/// `resources` is non-empty a second table reports each configured
+/// resource's usage / overdraft / oversubscription alongside the events.
 std::string summarize(std::span<const Event> events,
-                      const WaitHistogram& waits);
+                      const WaitHistogram& waits,
+                      std::span<const ResourceRow> resources = {});
 
 }  // namespace rda::obs

@@ -13,8 +13,11 @@ core::AdmissionConfig to_core_config(const GateConfig& config) {
   core::AdmissionConfig c;
   c.llc_capacity_bytes = config.llc_capacity_bytes;
   c.bandwidth_capacity = config.bandwidth_capacity;
+  c.energy_capacity_watts = config.energy_capacity_watts;
   c.policy = config.policy;
   c.oversubscription = config.oversubscription;
+  c.resource_policies = config.resource_policies;
+  c.combiner = config.combiner;
   c.fast_path = config.fast_path;
   c.partitioning = config.partitioning;
   c.feedback = config.feedback;

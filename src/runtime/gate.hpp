@@ -74,8 +74,15 @@ struct GateConfig {
   /// Multi-resource extension: when > 0, DRAM bandwidth (bytes/second)
   /// becomes a second gated resource (used via begin_multi).
   double bandwidth_capacity = 0.0;
+  /// Multi-resource extension: when > 0, a package power budget (watts)
+  /// becomes a gated resource (kEnergyBudget demands via begin_multi).
+  double energy_capacity_watts = 0.0;
   core::PolicyKind policy = core::PolicyKind::kStrict;
   double oversubscription = 2.0;
+  /// Per-resource bound overrides + demand-vector combining policy; see
+  /// core::AdmissionConfig.
+  std::vector<core::PerResourcePolicy> resource_policies;
+  core::CombinerOptions combiner{};
   /// Enable the cached-decision fast path (Fig. 11): a repeat begin with an
   /// unchanged demand against an unchanged load table skips nothing
   /// semantically (the decision is still replayed) but is counted, letting
@@ -195,6 +202,10 @@ class AdmissionGate {
   /// core's shard-accounting audit.
   double oversubscribed(ResourceKind resource) const;
   core::AdmissionCore::AuditReport audit() const;
+  /// Per-resource ledger snapshot (see core::AdmissionCore::resource_rows).
+  std::vector<obs::ResourceRow> resource_rows() const {
+    return core_.resource_rows();
+  }
 
  private:
   enum class WaitMode { kBlocking, kTry, kTimed };

@@ -107,6 +107,13 @@ Arrival ArrivalGenerator::next() {
   a.demand_bytes = jitter(config_.demand_mean_bytes, config_.demand_spread);
   a.service_seconds =
       jitter(config_.service_mean_seconds, config_.service_spread);
+  if (config_.bw_mean_bytes_per_sec > 0.0) {
+    a.bw_bytes_per_sec =
+        jitter(config_.bw_mean_bytes_per_sec, config_.bw_spread);
+  }
+  if (config_.watts_mean > 0.0) {
+    a.watts = jitter(config_.watts_mean, config_.watts_spread);
+  }
   return a;
 }
 

@@ -39,6 +39,8 @@ struct Arrival {
   std::uint64_t tenant = 1;      ///< 1-based tenant id (locality key)
   double demand_bytes = 0.0;     ///< declared LLC working set
   double service_seconds = 0.0;  ///< base service time once admitted
+  double bw_bytes_per_sec = 0.0; ///< declared DRAM bandwidth (0 = none)
+  double watts = 0.0;            ///< declared package power (0 = none)
 };
 
 struct ArrivalConfig {
@@ -60,6 +62,14 @@ struct ArrivalConfig {
   double demand_spread = 0.5;
   double service_mean_seconds = 2.0e-3;
   double service_spread = 0.5;
+
+  /// Multi-resource demands, same uniform jitter. A zero mean means the
+  /// stream declares none of that resource AND draws nothing from the RNG
+  /// for it, so pre-existing (LLC-only) streams stay bit-identical.
+  double bw_mean_bytes_per_sec = 0.0;
+  double bw_spread = 0.5;
+  double watts_mean = 0.0;
+  double watts_spread = 0.5;
 
   /// kDiurnal: one "day" lasts this long; rate swings ±amplitude around
   /// the mean. amplitude must stay < 1 so λ(t) never goes negative.

@@ -8,6 +8,14 @@
 
 namespace rda::service {
 
+namespace {
+
+constexpr std::size_t idx(ResourceKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
 std::string_view to_string(RoutePolicy policy) {
   switch (policy) {
     case RoutePolicy::kLocalityAware: return "locality-aware";
@@ -23,6 +31,7 @@ ServiceFrontEnd::ServiceFrontEnd(ServiceConfig config)
       rng_(config.seed),
       node_up_(static_cast<std::size_t>(config.nodes), true),
       outstanding_(static_cast<std::size_t>(config.nodes), 0.0),
+      outstanding_vec_(static_cast<std::size_t>(config.nodes)),
       in_flight_count_(static_cast<std::size_t>(config.nodes), 0),
       parked_depth_(static_cast<std::size_t>(config.nodes), 0) {
   RDA_CHECK_MSG(config_.nodes >= 1, "service needs at least one node");
@@ -34,6 +43,8 @@ ServiceFrontEnd::ServiceFrontEnd(ServiceConfig config)
   for (int n = 0; n < config_.nodes; ++n) {
     core::AdmissionConfig cc;
     cc.llc_capacity_bytes = config_.node_llc_bytes;
+    cc.bandwidth_capacity = config_.node_bandwidth;
+    cc.energy_capacity_watts = config_.node_energy_watts;
     cc.policy = core::PolicyKind::kStrict;
     cc.trace_sink = config_.trace_sink;
     cores_.push_back(std::make_unique<core::AdmissionCore>(cc));
@@ -180,32 +191,105 @@ int ServiceFrontEnd::route(std::uint64_t tenant, double declared,
   return chosen;
 }
 
-double ServiceFrontEnd::shape_demand(double demand, double& penalty,
-                                     bool& clamped,
-                                     bool& oversubscribed) const {
+double ServiceFrontEnd::node_capacity(ResourceKind kind) const {
+  switch (kind) {
+    case ResourceKind::kLLC: return config_.node_llc_bytes;
+    case ResourceKind::kMemBandwidth: return config_.node_bandwidth;
+    case ResourceKind::kEnergyBudget: return config_.node_energy_watts;
+    default: return 0.0;
+  }
+}
+
+ServiceFrontEnd::DemandVector ServiceFrontEnd::shape_demand(
+    const Sub& sub, double& penalty, bool& clamped,
+    bool& oversubscribed) const {
   clamped = false;
   oversubscribed = false;
-  // Safety clamp: a demand larger than the LLC can never be admitted by
-  // the strict predicate; cap it like watchdog rung 1 would.
-  double shaped = std::min(demand, config_.node_llc_bytes);
+  DemandVector shaped{};
+  // Safety clamp per component: a demand larger than the node capacity can
+  // never be admitted by the strict predicate; cap it like watchdog rung 1
+  // would. Resources the nodes do not gate are dropped here, so an ungated
+  // fleet ignores bw/watts declarations entirely.
+  shaped[idx(ResourceKind::kLLC)] =
+      std::min(sub.demand, config_.node_llc_bytes);
+  if (config_.node_bandwidth > 0.0) {
+    shaped[idx(ResourceKind::kMemBandwidth)] =
+        std::min(sub.bw, config_.node_bandwidth);
+  }
+  if (config_.node_energy_watts > 0.0) {
+    shaped[idx(ResourceKind::kEnergyBudget)] =
+        std::min(sub.watts, config_.node_energy_watts);
+  }
   if (rung_ >= 1) {
-    const double cap = config_.clamp_fraction * config_.node_llc_bytes;
-    if (shaped > cap) {
-      shaped = cap;
+    // Clamp the DOMINANT resource: the component consuming the largest
+    // fraction of its node capacity is the one keeping this submission out,
+    // whichever resource that is. (LLC-only demands make this exactly the
+    // old LLC clamp.)
+    std::size_t dom = idx(ResourceKind::kLLC);
+    double dom_frac =
+        shaped[dom] / config_.node_llc_bytes;
+    for (std::size_t k = 0; k < kNumResourceKinds; ++k) {
+      const double cap = node_capacity(static_cast<ResourceKind>(k));
+      if (cap <= 0.0) continue;
+      const double frac = shaped[k] / cap;
+      if (frac > dom_frac) {
+        dom = k;
+        dom_frac = frac;
+      }
+    }
+    const double cap =
+        config_.clamp_fraction * node_capacity(static_cast<ResourceKind>(dom));
+    if (shaped[dom] > cap) {
+      shaped[dom] = cap;
       clamped = true;
       penalty *= config_.clamp_penalty;
     }
   }
   if (rung_ >= 2) {
-    shaped /= config_.oversubscription;
+    // Thrash rung: under-declare EVERY component — the node is past the
+    // point where precise accounting helps, trade fidelity for throughput.
+    for (double& component : shaped) component /= config_.oversubscription;
     oversubscribed = true;
     penalty *= config_.thrash_penalty;
   }
   return shaped;
 }
 
+std::vector<core::ResourceDemand> ServiceFrontEnd::to_demands(
+    const DemandVector& declared) const {
+  std::vector<core::ResourceDemand> demands;
+  demands.push_back(
+      {ResourceKind::kLLC, declared[idx(ResourceKind::kLLC)]});
+  if (config_.node_bandwidth > 0.0 &&
+      declared[idx(ResourceKind::kMemBandwidth)] > 0.0) {
+    demands.push_back({ResourceKind::kMemBandwidth,
+                       declared[idx(ResourceKind::kMemBandwidth)]});
+  }
+  if (config_.node_energy_watts > 0.0 &&
+      declared[idx(ResourceKind::kEnergyBudget)] > 0.0) {
+    demands.push_back({ResourceKind::kEnergyBudget,
+                       declared[idx(ResourceKind::kEnergyBudget)]});
+  }
+  return demands;
+}
+
+void ServiceFrontEnd::charge_outstanding(int node,
+                                         const DemandVector& declared,
+                                         double sign) {
+  const auto n = static_cast<std::size_t>(node);
+  outstanding_[n] += sign * declared[idx(ResourceKind::kLLC)];
+  DemandVector& vec = outstanding_vec_[n];
+  for (std::size_t k = 0; k < kNumResourceKinds; ++k) {
+    vec[k] += sign * declared[k];
+    if (sign > 0.0) {
+      peak_outstanding_[k] = std::max(peak_outstanding_[k], vec[k]);
+    }
+  }
+}
+
 void ServiceFrontEnd::record_admission(const Sub& sub, int node,
-                                       core::PeriodId period, double declared,
+                                       core::PeriodId period,
+                                       const DemandVector& declared,
                                        double penalty, bool warm,
                                        bool from_wake) {
   const double latency = std::max(0.0, now_ - sub.enqueue_time);
@@ -222,7 +306,7 @@ void ServiceFrontEnd::record_admission(const Sub& sub, int node,
   flight.thread = static_cast<sim::ThreadId>(sub.seq);
   flight.declared = declared;
   RDA_CHECK(in_flight_.emplace(key, flight).second);
-  outstanding_[static_cast<std::size_t>(node)] += declared;
+  charge_outstanding(node, declared, +1.0);
   ++in_flight_count_[static_cast<std::size_t>(node)];
 
   const double factor =
@@ -268,7 +352,12 @@ void ServiceFrontEnd::release_due(double now) {
   for (int n = 0; n < config_.nodes; ++n) {
     auto& ids = due[static_cast<std::size_t>(n)];
     if (ids.empty()) continue;
-    cores_[static_cast<std::size_t>(n)]->release_batch(ids, now);
+    // Settle the outstanding mirror BEFORE release_batch: the core frees the
+    // completed periods' budget and synchronously wakes parked work in that
+    // call, and the wake path charges the woken flights' demands. Were the
+    // completed flights still on the books at that moment, the mirror would
+    // transiently double-count (completed + woken) and peak_outstanding
+    // would read ~2x a bound the core never actually exceeded.
     for (std::size_t i = 0; i < ids.size(); ++i) {
       const std::uint64_t key = flight_key(n, ids[i]);
       const auto it = in_flight_.find(key);
@@ -278,13 +367,14 @@ void ServiceFrontEnd::release_due(double now) {
       completed_work_ += flight.sub.service;
       last_completion_ =
           std::max(last_completion_, done_times[static_cast<std::size_t>(n)][i]);
-      outstanding_[static_cast<std::size_t>(n)] -= flight.declared;
+      charge_outstanding(n, flight.declared, -1.0);
       --in_flight_count_[static_cast<std::size_t>(n)];
       fold_checksum(flight.sub.seq,
                     std::bit_cast<std::uint64_t>(
                         done_times[static_cast<std::size_t>(n)][i]));
       in_flight_.erase(it);
     }
+    cores_[static_cast<std::size_t>(n)]->release_batch(ids, now);
   }
 }
 
@@ -343,7 +433,7 @@ void ServiceFrontEnd::apply_fault(double now) {
       RDA_CHECK_MSG(outcome.reaped && outcome.was_admitted,
                     "in-flight period was not admitted at reap time");
       in_flight_.erase(key);
-      outstanding_[n] -= flight.declared;
+      charge_outstanding(fault.node, flight.declared, -1.0);
       --in_flight_count_[n];
       ++stats_.reroutes;
       Sub sub = flight.sub;
@@ -487,7 +577,7 @@ void ServiceFrontEnd::drain_pass(double now) {
   struct NodeBatch {
     std::vector<core::AdmitRequest> requests;
     std::vector<const Sub*> subs;
-    std::vector<double> declared;
+    std::vector<DemandVector> declared;
     std::vector<double> penalties;
     std::vector<bool> warm;
   };
@@ -496,17 +586,18 @@ void ServiceFrontEnd::drain_pass(double now) {
     double penalty = 1.0;
     bool clamped = false;
     bool oversubscribed = false;
-    const double declared =
-        shape_demand(sub.demand, penalty, clamped, oversubscribed);
+    const DemandVector declared =
+        shape_demand(sub, penalty, clamped, oversubscribed);
     if (clamped) ++stats_.clamped;
     if (oversubscribed) ++stats_.oversubscribed;
     bool warm = false;
-    const int node = route(sub.tenant, declared, warm);
+    const int node =
+        route(sub.tenant, declared[idx(ResourceKind::kLLC)], warm);
     auto& batch = batches[static_cast<std::size_t>(node)];
     core::AdmitRequest request;
     request.thread = static_cast<sim::ThreadId>(sub.seq);
     request.process = static_cast<sim::ProcessId>(sub.tenant);
-    request.demands = {{ResourceKind::kLLC, declared}};
+    request.demands = to_demands(declared);
     batch.requests.push_back(std::move(request));
     batch.subs.push_back(&sub);
     batch.declared.push_back(declared);
@@ -585,6 +676,8 @@ ServiceReport ServiceFrontEnd::run(ArrivalGenerator& gen,
       sub.seq = pending.seq;
       sub.tenant = pending.tenant;
       sub.demand = pending.demand_bytes;
+      sub.bw = pending.bw_bytes_per_sec;
+      sub.watts = pending.watts;
       sub.service = pending.service_seconds;
       enqueue(sub, pending.time);
       --left;
@@ -622,6 +715,10 @@ ServiceReport ServiceFrontEnd::run(ArrivalGenerator& gen,
         static_cast<double>(stats_.completed) / report.elapsed_seconds;
     report.work_per_second = completed_work_ / report.elapsed_seconds;
   }
+  for (std::size_t k = 0; k < kNumResourceKinds; ++k) {
+    report.node_capacity[k] = node_capacity(static_cast<ResourceKind>(k));
+  }
+  report.peak_outstanding = peak_outstanding_;
   for (const auto& core : cores_) report.admission += core->stats();
   report.checksum = checksum_;
   return report;

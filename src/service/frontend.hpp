@@ -35,6 +35,7 @@
 // producer threads against one core) lives in service/pump.hpp.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -83,6 +84,11 @@ struct ServiceConfig {
   int nodes = 4;
   /// Per-node LLC capacity the admission cores gate against.
   double node_llc_bytes = 15360.0 * 1024.0;
+  /// Per-node DRAM bandwidth capacity (bytes/second); 0 = bandwidth is not
+  /// a gated resource (arrivals' bw demands are ignored).
+  double node_bandwidth = 0.0;
+  /// Per-node package power budget (watts); 0 = energy is not gated.
+  double node_energy_watts = 0.0;
   RoutePolicy routing = RoutePolicy::kLocalityAware;
   double drain_interval_seconds = 1.0e-3;
   std::size_t drain_batch_max = 4096;
@@ -141,6 +147,11 @@ struct ServiceReport {
   ServiceStats stats;
   /// Enqueue → admission (immediate or wake) per period.
   obs::LatencyHistogram admission_latency;
+  /// Per-resource capacity a node gates against (0 = ungated) and the peak
+  /// declared demand outstanding on any one node — headroom = capacity −
+  /// peak, reported for bandwidth and energy alongside LLC.
+  std::array<double, kNumResourceKinds> node_capacity{};
+  std::array<double, kNumResourceKinds> peak_outstanding{};
   double elapsed_seconds = 0.0;     ///< virtual time of the last completion
   double goodput_per_second = 0.0;  ///< completed periods / elapsed
   double work_per_second = 0.0;     ///< completed base service-sec / elapsed
@@ -170,11 +181,16 @@ class ServiceFrontEnd {
   }
 
  private:
+  /// Per-resource declared demand, indexed by ResourceKind.
+  using DemandVector = std::array<double, kNumResourceKinds>;
+
   /// One queued submission (the MPSC queue element).
   struct Sub {
     std::uint64_t seq = 0;
     std::uint64_t tenant = 1;
-    double demand = 0.0;
+    double demand = 0.0;  ///< declared LLC bytes
+    double bw = 0.0;      ///< declared DRAM bandwidth (0 = none)
+    double watts = 0.0;   ///< declared package power (0 = none)
     double service = 0.0;
     double enqueue_time = 0.0;
   };
@@ -182,7 +198,7 @@ class ServiceFrontEnd {
   struct Parked {
     Sub sub;
     int node = -1;
-    double declared = 0.0;  ///< demand as charged to the core
+    DemandVector declared{};  ///< demand vector as charged to the core
     double penalty = 1.0;
     bool warm = false;
   };
@@ -192,7 +208,7 @@ class ServiceFrontEnd {
     Sub sub;
     int node = -1;
     sim::ThreadId thread = sim::kInvalidThread;
-    double declared = 0.0;
+    DemandVector declared{};
   };
   struct Completion {
     double time = 0.0;
@@ -211,12 +227,23 @@ class ServiceFrontEnd {
   /// node) and whether the placement is warm (landed on the tenant home).
   int route(std::uint64_t tenant, double declared, bool& warm);
   int least_loaded() const;
-  /// Applies the current rung's demand transformation.
-  double shape_demand(double demand, double& penalty, bool& clamped,
-                      bool& oversubscribed) const;
+  /// Per-node capacity of one resource kind (0 = ungated).
+  double node_capacity(ResourceKind kind) const;
+  /// Applies the current rung's demand transformation to the submission's
+  /// whole demand vector. Rung 1 clamps the DOMINANT resource — the one
+  /// consuming the largest fraction of its node capacity — instead of
+  /// always the LLC; rung 2 under-declares every component.
+  DemandVector shape_demand(const Sub& sub, double& penalty, bool& clamped,
+                            bool& oversubscribed) const;
+  /// The admit-request demand vector for a shaped submission (only kinds
+  /// the nodes actually gate).
+  std::vector<core::ResourceDemand> to_demands(
+      const DemandVector& declared) const;
+  void charge_outstanding(int node, const DemandVector& declared,
+                          double sign);
   void record_admission(const Sub& sub, int node, core::PeriodId period,
-                        double declared, double penalty, bool warm,
-                        bool from_wake);
+                        const DemandVector& declared, double penalty,
+                        bool warm, bool from_wake);
   void on_wakes(int node, const std::vector<core::ProgressMonitor::WakeGrant>&
                               grants);
   void release_due(double now);
@@ -237,7 +264,9 @@ class ServiceFrontEnd {
   double now_ = 0.0;
 
   std::vector<bool> node_up_;
-  std::vector<double> outstanding_;     ///< declared bytes admitted per node
+  std::vector<double> outstanding_;     ///< declared LLC bytes per node
+  std::vector<DemandVector> outstanding_vec_;  ///< per-resource, per node
+  DemandVector peak_outstanding_{};     ///< max over nodes and time
   std::vector<std::uint64_t> in_flight_count_;
   std::vector<std::size_t> parked_depth_;  ///< parked periods per node
   std::unordered_map<std::uint64_t, int> tenant_home_;

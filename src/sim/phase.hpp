@@ -27,6 +27,9 @@ struct PhaseSpec {
   /// Declared DRAM-bandwidth demand (bytes/second); 0 = undeclared. Gated
   /// only when the scheduler's multi-resource extension is enabled.
   double bw_bytes_per_sec = 0.0;
+  /// Declared package-power demand (watts); 0 = undeclared. Gated only when
+  /// the scheduler configures an energy budget (RAPL-style power cap).
+  double watts = 0.0;
   ReuseLevel reuse = ReuseLevel::kLow;
 
   std::uint64_t declared_wss() const {
@@ -81,6 +84,13 @@ class ProgramBuilder {
                             double bw_bytes_per_sec) {
     period(std::move(label), flops, wss_bytes, reuse);
     program_.phases.back().bw_bytes_per_sec = bw_bytes_per_sec;
+    return *this;
+  }
+
+  /// Declares a package-power demand (watts) on the most recent phase
+  /// (multi-resource extension: admitted against the energy budget).
+  ProgramBuilder& watts(double watts) {
+    if (!program_.phases.empty()) program_.phases.back().watts = watts;
     return *this;
   }
 

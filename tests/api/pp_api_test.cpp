@@ -67,5 +67,55 @@ TEST_F(PpApiTest, ConcurrentThreadsSerializeOverCapacity) {
   EXPECT_EQ(max_concurrent.load(), 1);
 }
 
+TEST_F(PpApiTest, MultiResourceSpanShapeFromTheHeaderComment) {
+  // The exact calling shape the pp.hpp comment promises: a C array of
+  // {resource, amount} pairs passed straight to the span overload.
+  rt::GateConfig cfg;
+  cfg.llc_capacity_bytes = static_cast<double>(MB(15));
+  cfg.bandwidth_capacity = 30e9;
+  cfg.energy_capacity_watts = 20.0;
+  cfg.policy = core::PolicyKind::kStrict;
+  pp_configure(cfg);
+
+  const core::ResourceDemand demands[] = {
+      {RESOURCE_LLC, static_cast<double>(MB(6.3))},
+      {RESOURCE_MEM_BW, 2.0e9},
+      {RESOURCE_ENERGY, 11.0},
+  };
+  const auto pp_id = pp_begin(demands, REUSE_HIGH);
+  EXPECT_NE(pp_id, core::kInvalidPeriod);
+  // Every declared kind is charged while the period is open...
+  EXPECT_GT(pp_gate().usage(RESOURCE_LLC), 0.0);
+  EXPECT_GT(pp_gate().usage(RESOURCE_MEM_BW), 0.0);
+  EXPECT_GT(pp_gate().usage(RESOURCE_ENERGY), 0.0);
+  pp_end(pp_id);
+  // ...and every kind drains at pp_end (all-or-nothing release).
+  EXPECT_NEAR(pp_gate().usage(RESOURCE_LLC), 0.0, 1e-6);
+  EXPECT_NEAR(pp_gate().usage(RESOURCE_MEM_BW), 0.0, 1e-6);
+  EXPECT_NEAR(pp_gate().usage(RESOURCE_ENERGY), 0.0, 1e-6);
+
+  // RAII form over the same span.
+  {
+    PeriodScope scope(demands, REUSE_HIGH);
+    EXPECT_NE(scope.id(), core::kInvalidPeriod);
+    EXPECT_GT(pp_gate().usage(RESOURCE_ENERGY), 0.0);
+  }
+  EXPECT_NEAR(pp_gate().usage(RESOURCE_ENERGY), 0.0, 1e-6);
+
+  // Restore the suite-wide LLC-only configuration for later tests.
+  SetUpTestSuite();
+}
+
+TEST_F(PpApiTest, ScalarBeginForwardsToTheVectorPath) {
+  // The Fig. 4 scalar signature is now a one-element vector: admitting a
+  // scalar period must not touch the unconfigured bandwidth/energy rows.
+  const auto pp_id = pp_begin(RESOURCE_LLC, MB(3), REUSE_MED);
+  EXPECT_NE(pp_id, core::kInvalidPeriod);
+  EXPECT_GT(pp_gate().usage(RESOURCE_LLC), 0.0);
+  EXPECT_NEAR(pp_gate().usage(RESOURCE_MEM_BW), 0.0, 1e-6);
+  EXPECT_NEAR(pp_gate().usage(RESOURCE_ENERGY), 0.0, 1e-6);
+  pp_end(pp_id);
+}
+
 }  // namespace
 }  // namespace rda::api

@@ -55,6 +55,46 @@ TEST(Cluster, DemandEstimateUsesDeclaredNotTrue) {
               static_cast<double>(MB(10)), 1.0);
 }
 
+TEST(Cluster, DemandVectorAggregatesEveryKind) {
+  std::vector<sim::PhaseProgram> programs;
+  programs.push_back(sim::ProgramBuilder()
+                         .period_bw("a", 1e9, MB(2), ReuseLevel::kHigh, 5e9)
+                         .watts(4.0)
+                         .period("b", 1e9, MB(5), ReuseLevel::kHigh)
+                         .build());
+  programs.push_back(sim::ProgramBuilder()
+                         .period_bw("c", 1e9, MB(3), ReuseLevel::kLow, 7e9)
+                         .build());
+  const DemandVector vec = ClusterScheduler::process_demand_vector(programs);
+  // Per thread the per-kind peak; per process the sum over threads.
+  EXPECT_NEAR(vec[static_cast<std::size_t>(ResourceKind::kLLC)],
+              static_cast<double>(MB(8)), 1.0);
+  EXPECT_NEAR(vec[static_cast<std::size_t>(ResourceKind::kMemBandwidth)],
+              12e9, 1.0);
+  EXPECT_NEAR(vec[static_cast<std::size_t>(ResourceKind::kEnergyBudget)],
+              4.0, 1e-9);
+}
+
+TEST(Cluster, FirstFitSpillsOnBandwidthNotJustLlc) {
+  // Streams with tiny working sets but 12 GB/s appetites against 30 GB/s
+  // nodes: LLC-only placement would pack all three onto node 0; the vector
+  // fit check must spill the third on its bandwidth component.
+  ClusterConfig cfg = two_nodes();
+  cfg.gate.bandwidth_capacity = cfg.node.machine.dram_bandwidth;
+  ClusterScheduler sched(cfg, PlacementPolicy::kFirstFitCapacity);
+  auto stream = [] {
+    std::vector<sim::PhaseProgram> programs;
+    programs.push_back(
+        sim::ProgramBuilder()
+            .period_bw("s", 1e9, MB(1), ReuseLevel::kLow, 12e9)
+            .build());
+    return programs;
+  };
+  EXPECT_EQ(sched.add_process(stream()), 0);
+  EXPECT_EQ(sched.add_process(stream()), 0);  // 24 GB/s on node 0
+  EXPECT_EQ(sched.add_process(stream()), 1);  // 36 > 30: bandwidth spill
+}
+
 TEST(Cluster, RoundRobinAlternates) {
   ClusterScheduler sched(two_nodes(), PlacementPolicy::kRoundRobin);
   EXPECT_EQ(sched.add_process(one_thread_process(1)), 0);

@@ -191,8 +191,17 @@ TEST(FaultScenario, UnknownShapeReportsFailureInsteadOfThrowing) {
 
 TEST(FaultScenario, GridCoversShapesSubstratesAndScriptedCells) {
   const std::vector<ScenarioSpec> grid = scenario_grid(1, 3);
-  // 4 shapes x 2 substrates x 3 seeds + 5 scripted fault cells.
-  EXPECT_EQ(grid.size(), 4u * 2u * 3u + 5u);
+  // 4 shapes x 2 substrates x 3 seeds + the sim-only multi-resource shape's
+  // 3 seeds + 8 scripted fault cells.
+  EXPECT_EQ(grid.size(), 4u * 2u * 3u + 3u + 8u);
+  bool has_multires = false;
+  for (const ScenarioSpec& s : grid) {
+    if (s.name == "multires") {
+      has_multires = true;
+      EXPECT_EQ(s.substrate, Substrate::kSim);
+    }
+  }
+  EXPECT_TRUE(has_multires);
   // Seed index 0 is the fault-free control column.
   EXPECT_EQ(grid.front().fault_count, 0u);
   bool has_native = false;

@@ -121,5 +121,48 @@ TEST(Arrival, DemandAndServiceStayInsideTheSpread) {
   }
 }
 
+TEST(Arrival, ZeroMeanDeclaresNothingAndDrawsNothing) {
+  // A zero bw/watts mean must not consume RNG state, so an LLC-only stream
+  // stays bit-identical no matter what the (unused) spreads are set to.
+  ArrivalConfig plain;
+  plain.seed = 7;
+  ArrivalConfig tweaked = plain;
+  tweaked.bw_spread = 0.9;
+  tweaked.watts_spread = 0.1;
+  ArrivalGenerator a(plain);
+  ArrivalGenerator b(tweaked);
+  for (int i = 0; i < 2000; ++i) {
+    const Arrival x = a.next();
+    const Arrival y = b.next();
+    EXPECT_EQ(x.bw_bytes_per_sec, 0.0);
+    EXPECT_EQ(x.watts, 0.0);
+    EXPECT_EQ(x.time, y.time);
+    EXPECT_EQ(x.tenant, y.tenant);
+    EXPECT_EQ(x.demand_bytes, y.demand_bytes);
+    EXPECT_EQ(x.service_seconds, y.service_seconds);
+  }
+}
+
+TEST(Arrival, MultiResourceDemandsStayInsideTheirSpread) {
+  ArrivalConfig cfg;
+  cfg.bw_mean_bytes_per_sec = 4.0e9;
+  cfg.bw_spread = 0.5;
+  cfg.watts_mean = 8.0;
+  cfg.watts_spread = 0.25;
+  ArrivalGenerator gen(cfg);
+  ArrivalGenerator twin(cfg);
+  for (int i = 0; i < 5000; ++i) {
+    const Arrival a = gen.next();
+    ASSERT_GE(a.bw_bytes_per_sec, 2.0e9);
+    ASSERT_LE(a.bw_bytes_per_sec, 6.0e9);
+    ASSERT_GE(a.watts, 6.0);
+    ASSERT_LE(a.watts, 10.0);
+    // The extended stream is as reproducible as the LLC-only one.
+    const Arrival b = twin.next();
+    ASSERT_EQ(a.bw_bytes_per_sec, b.bw_bytes_per_sec);
+    ASSERT_EQ(a.watts, b.watts);
+  }
+}
+
 }  // namespace
 }  // namespace rda::service

@@ -205,5 +205,66 @@ TEST(ServiceFrontEnd, RejoinedIdleNodeStealsAParkedTenantBatch) {
   EXPECT_EQ(report.stats.completed, 1200u);
 }
 
+TEST(ServiceFrontEnd, MultiResourceRunReportsPerResourceHeadroom) {
+  ServiceConfig cfg = small_service();
+  cfg.node_bandwidth = 30e9;
+  cfg.node_energy_watts = 25.0;
+  ArrivalConfig arr = calm_arrivals(11);
+  arr.bw_mean_bytes_per_sec = 6e9;
+  arr.watts_mean = 5.0;
+
+  ArrivalGenerator gen(arr);
+  ServiceFrontEnd service(cfg);
+  const ServiceReport report = service.run(gen, 15000);
+
+  EXPECT_EQ(report.stats.completed, 15000u);
+  EXPECT_EQ(report.stats.still_queued, 0u);
+  // The report names every gated capacity...
+  constexpr auto kLlc = static_cast<std::size_t>(ResourceKind::kLLC);
+  constexpr auto kBw = static_cast<std::size_t>(ResourceKind::kMemBandwidth);
+  constexpr auto kWatts =
+      static_cast<std::size_t>(ResourceKind::kEnergyBudget);
+  EXPECT_EQ(report.node_capacity[kLlc], cfg.node_llc_bytes);
+  EXPECT_EQ(report.node_capacity[kBw], 30e9);
+  EXPECT_EQ(report.node_capacity[kWatts], 25.0);
+  // ...and the peak declared demand outstanding per node stays within the
+  // strict per-node bound for every kind (headroom is never negative).
+  EXPECT_GT(report.peak_outstanding[kBw], 0.0);
+  EXPECT_GT(report.peak_outstanding[kWatts], 0.0);
+  EXPECT_LE(report.peak_outstanding[kLlc], cfg.node_llc_bytes * (1 + 1e-9));
+  EXPECT_LE(report.peak_outstanding[kBw], 30e9 * (1 + 1e-9));
+  EXPECT_LE(report.peak_outstanding[kWatts], 25.0 * (1 + 1e-9));
+
+  // The extended run is exactly as reproducible as the LLC-only one.
+  ArrivalGenerator twin_gen(arr);
+  ServiceFrontEnd twin(cfg);
+  EXPECT_EQ(twin.run(twin_gen, 15000).checksum, report.checksum);
+}
+
+TEST(ServiceFrontEnd, LadderClampsTheDominantResourceNotJustLlc) {
+  // Bandwidth-dominant overload: tiny 1 MB working sets (far below the
+  // rung-1 LLC cap of clamp_fraction * 15 MB) but 25 GB/s appetites on
+  // 30 GB/s nodes. Any clamp recorded here must have cut the bandwidth
+  // component, because the LLC component can never trip its cap.
+  ServiceConfig cfg = small_service();
+  cfg.node_bandwidth = 30e9;
+  cfg.ladder.queue_high = 64.0;
+  ArrivalConfig arr = calm_arrivals(29);
+  arr.rate = 25000.0;
+  arr.demand_mean_bytes = 1.0 * kMB;
+  arr.demand_spread = 0.2;
+  arr.bw_mean_bytes_per_sec = 25e9;
+  arr.bw_spread = 0.1;
+
+  ArrivalGenerator gen(arr);
+  ServiceFrontEnd service(cfg);
+  const ServiceReport report = service.run(gen, 30000);
+
+  EXPECT_GT(report.stats.escalations, 0u);
+  EXPECT_GT(report.stats.clamped, 0u);
+  EXPECT_EQ(report.stats.completed + report.stats.shed, 30000u);
+  EXPECT_EQ(report.stats.final_rung, 0);
+}
+
 }  // namespace
 }  // namespace rda::service
