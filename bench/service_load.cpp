@@ -4,19 +4,24 @@
 // BENCH_service.json for trend tracking and gates against the committed
 // snapshot.
 //
-//   service_load [--arrivals N] [--jobs J] [--out BENCH_service.json]
-//                [--baseline PATH] [--quick] [--csv]
+//   service_load [--arrivals N] [--jobs J] [--shards K]
+//                [--out BENCH_service.json] [--baseline PATH]
+//                [--quick] [--csv]
 //
 // Two kinds of metrics live here and are gated differently:
 //   * Virtual-time cells (shape x routing, fault) are seeded and
-//     deterministic — byte-identical for any --jobs value (tier1.sh cmps
-//     the --csv output across fan-outs). Their goodput/p99 regression gate
-//     against the committed baseline needs no machine calibration.
-//   * The wall-clock pump cell (batched drain vs per-call admission on a
-//     slow-lane-pinned core) measures this machine today. It is only
-//     meaningful with >=8 real cores; below that the JSON carries an
-//     explicit "skipped" reason instead of a mysterious null, and the
-//     committed mops floor is scaled by the calib.hpp drift kernel.
+//     deterministic — byte-identical for any --jobs value AND any
+//     --shards value (tier1.sh cmps the --csv output across fan-outs and
+//     across drain-shard counts; the lockstep merge makes K a pure
+//     concurrency knob). Their goodput/p99 regression gate against the
+//     committed baseline needs no machine calibration.
+//   * The wall-clock pump cells measure this machine today: batched drain
+//     vs per-call admission on slow-lane-pinned cores, and the
+//     drain-scaling point (4 drain shards over a 4-node fleet vs one
+//     drainer). Both are only meaningful with >=8 real cores; below that
+//     the JSON carries an explicit "skipped" reason instead of a
+//     mysterious null, and the committed mops floor is scaled by the
+//     calib.hpp drift kernel.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -80,7 +85,7 @@ std::vector<Cell> build_cells() {
   return cells;
 }
 
-CellResult run_cell(const Cell& cell, std::uint64_t arrivals) {
+CellResult run_cell(const Cell& cell, std::uint64_t arrivals, int shards) {
   service::ArrivalConfig arr;
   arr.shape = cell.shape;
   arr.rate = 9000.0;
@@ -95,6 +100,7 @@ CellResult run_cell(const Cell& cell, std::uint64_t arrivals) {
 
   service::ServiceConfig cfg;
   cfg.nodes = 4;
+  cfg.drain_shards = shards;
   cfg.node_llc_bytes = static_cast<double>(MB(15));
   cfg.routing = cell.routing;
   if (cell.fault) {
@@ -131,21 +137,26 @@ CellResult run_cell(const Cell& cell, std::uint64_t arrivals) {
 }
 
 void print_csv(const std::vector<CellResult>& results) {
+  // `mailboxed` is deliberately in the byte-compared CSV: it must equal
+  // stolen + reroutes for EVERY shard count, so the cross-K cmp in
+  // tier1.sh also pins the mailbox ledger.
   std::printf(
-      "cell,completed,shed,steals,reroutes,goodput,work_per_second,"
-      "p50,p95,p99,checksum\n");
+      "cell,completed,shed,steals,reroutes,mailboxed,goodput,"
+      "work_per_second,p50,p95,p99,checksum\n");
   for (const CellResult& r : results) {
-    std::printf("%s,%llu,%llu,%llu,%llu,%.17g,%.17g,%.17g,%.17g,%.17g,%llx\n",
-                r.cell.name.c_str(),
-                static_cast<unsigned long long>(r.report.stats.completed),
-                static_cast<unsigned long long>(r.report.stats.shed),
-                static_cast<unsigned long long>(r.report.stats.steals),
-                static_cast<unsigned long long>(r.report.stats.reroutes),
-                r.report.goodput_per_second, r.report.work_per_second,
-                r.report.admission_latency.p50(),
-                r.report.admission_latency.p95(),
-                r.report.admission_latency.p99(),
-                static_cast<unsigned long long>(r.report.checksum));
+    std::printf(
+        "%s,%llu,%llu,%llu,%llu,%llu,%.17g,%.17g,%.17g,%.17g,%.17g,%llx\n",
+        r.cell.name.c_str(),
+        static_cast<unsigned long long>(r.report.stats.completed),
+        static_cast<unsigned long long>(r.report.stats.shed),
+        static_cast<unsigned long long>(r.report.stats.steals),
+        static_cast<unsigned long long>(r.report.stats.reroutes),
+        static_cast<unsigned long long>(r.report.stats.mailboxed),
+        r.report.goodput_per_second, r.report.work_per_second,
+        r.report.admission_latency.p50(),
+        r.report.admission_latency.p95(),
+        r.report.admission_latency.p99(),
+        static_cast<unsigned long long>(r.report.checksum));
   }
 }
 
@@ -175,6 +186,8 @@ int main(int argc, char** argv) {
   const std::uint64_t arrivals =
       exp::parse_u64_flag(argc, argv, "--arrivals", quick ? 8'000 : 40'000);
   const int jobs = exp::parse_jobs(argc, argv);
+  const int shards = static_cast<int>(
+      exp::parse_u64_flag(argc, argv, "--shards", 0));
   const std::string out_path =
       exp::parse_string_flag(argc, argv, "--out", "BENCH_service.json");
   const std::string baseline_path =
@@ -186,7 +199,7 @@ int main(int argc, char** argv) {
   const std::vector<Cell> cells = build_cells();
   std::vector<CellResult> results(cells.size());
   exp::run_cells(cells.size(), jobs, [&](std::size_t i) {
-    results[i] = run_cell(cells[i], arrivals);
+    results[i] = run_cell(cells[i], arrivals, shards);
   });
 
   if (csv) {
@@ -229,6 +242,9 @@ int main(int argc, char** argv) {
   double per_call_mops = 0.0;
   double batched_mops = 0.0;
   double batch_speedup = 0.0;
+  double sharded_1_mops = 0.0;
+  double sharded_4_mops = 0.0;
+  double drain_scaling = 0.0;
   const bool pump_ran = cores >= 8;
   if (pump_ran) {
     service::PumpConfig pump;
@@ -242,6 +258,27 @@ int main(int argc, char** argv) {
     std::printf(
         "pump: per-call %.3f Mops/s, batched %.3f Mops/s (%.2fx)\n",
         per_call_mops, batched_mops, batch_speedup);
+
+    // Drain scaling: the same 4-node fleet drained by ONE thread vs by 4
+    // shard drainers, each owning a disjoint queue+node set. The single
+    // drainer serializes 4 cores' admissions; sharding must recover >=2x.
+    pump.nodes = 4;
+    pump.shards = 1;
+    sharded_1_mops = service::run_pump(pump).mops;
+    pump.shards = 4;
+    sharded_4_mops = service::run_pump(pump).mops;
+    drain_scaling =
+        sharded_1_mops > 0.0 ? sharded_4_mops / sharded_1_mops : 0.0;
+    std::printf(
+        "drain scaling: 1 shard %.3f Mops/s, 4 shards %.3f Mops/s (%.2fx)\n",
+        sharded_1_mops, sharded_4_mops, drain_scaling);
+    if (drain_scaling < 2.0) {
+      std::fprintf(stderr,
+                   "error: 4-shard drain only %.2fx over one drainer "
+                   "(needs >=2x on an 8-core host)\n",
+                   drain_scaling);
+      return 1;
+    }
   } else {
     std::printf("pump: skipped (%u hardware threads, need 8)\n", cores);
   }
@@ -249,7 +286,7 @@ int main(int argc, char** argv) {
   std::ostringstream json;
   json << "{\n";
   json << "  \"arrivals\": " << arrivals << ",\n";
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "  \"calib_ns\": %.2f,\n  \"machine_factor\": %.4f,\n",
                 calib_ns, machine_factor);
@@ -262,7 +299,7 @@ int main(int argc, char** argv) {
         "    {\"name\": \"%s\", \"goodput\": %.3f, \"work_per_second\": "
         "%.6f,\n     \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f,\n"
         "     \"completed\": %llu, \"shed\": %llu, \"steals\": %llu, "
-        "\"reroutes\": %llu}%s\n",
+        "\"reroutes\": %llu, \"mailboxed\": %llu}%s\n",
         r.cell.name.c_str(), r.report.goodput_per_second,
         r.report.work_per_second, 1e3 * r.report.admission_latency.p50(),
         1e3 * r.report.admission_latency.p95(),
@@ -271,6 +308,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.report.stats.shed),
         static_cast<unsigned long long>(r.report.stats.steals),
         static_cast<unsigned long long>(r.report.stats.reroutes),
+        static_cast<unsigned long long>(r.report.stats.mailboxed),
         i + 1 < results.size() ? "," : "");
     json << buf;
   }
@@ -278,15 +316,29 @@ int main(int argc, char** argv) {
   if (pump_ran) {
     std::snprintf(buf, sizeof(buf),
                   "  \"per_call_mops\": %.3f,\n  \"batched_mops\": %.3f,\n"
-                  "  \"batch_speedup\": %.3f\n",
+                  "  \"batch_speedup\": %.3f,\n",
                   per_call_mops, batched_mops, batch_speedup);
+    json << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"sharded_1_mops\": %.3f,\n"
+                  "  \"sharded_4_mops\": %.3f,\n"
+                  "  \"drain_scaling\": %.3f\n",
+                  sharded_1_mops, sharded_4_mops, drain_scaling);
     json << buf;
   } else {
     std::snprintf(buf, sizeof(buf),
                   "  \"per_call_mops\": null,\n  \"batched_mops\": null,\n"
                   "  \"batch_speedup\": null,\n"
                   "  \"batch_speedup_skipped\": \"%u hardware threads (<8): "
-                  "the pump would measure the OS scheduler\"\n",
+                  "the pump would measure the OS scheduler\",\n",
+                  cores);
+    json << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"sharded_1_mops\": null,\n"
+                  "  \"sharded_4_mops\": null,\n"
+                  "  \"drain_scaling\": null,\n"
+                  "  \"drain_scaling_skipped\": \"%u hardware threads (<8): "
+                  "shard drainers would time-slice one core\"\n",
                   cores);
     json << buf;
   }

@@ -22,7 +22,7 @@ if [[ "$run_tsan" == 1 ]]; then
     --target runtime_test core_test integration_test profiler_test trace_test \
              fault_test service_test
   ( cd build-tsan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|ProfilePipeline|TraceArena|MatrixDeterminism|FaultGate|FaultScenario|Watchdog|Reclaim|ServiceRace|ServicePump|SubmissionQueue' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|ProfilePipeline|TraceArena|MatrixDeterminism|FaultGate|FaultScenario|Watchdog|Reclaim|ServiceRace|ServicePump|ShardMailbox|SubmissionQueue' \
       --output-on-failure -j "$(nproc)" )
 
   echo "== tier-1: admission core/gate/waitlist + fault/recovery tests under ASan+UBSan =="
@@ -31,7 +31,7 @@ if [[ "$run_tsan" == 1 ]]; then
     --target runtime_test core_test integration_test fault_test trace_test \
              util_test service_test
   ( cd build-asan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|Waitlist|WakeStrategy|FaultInjector|FaultScenario|FaultGate|Watchdog|Reclaim|TraceCorrupt|AtomicFile|ServiceRace|ServiceFrontEnd|SubmissionQueue' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|Waitlist|WakeStrategy|FaultInjector|FaultScenario|FaultGate|Watchdog|Reclaim|TraceCorrupt|AtomicFile|ServiceRace|ServicePump|ServiceFrontEnd|ShardHash|ShardMailbox|ArrivalTrace|SubmissionQueue' \
       --output-on-failure -j "$(nproc)" )
 fi
 
@@ -157,13 +157,48 @@ build/bench/service_load --quick --csv --jobs 1 \
   > "$smoke_dir/service_serial.csv"
 cmp "$smoke_dir/service_par.csv" "$smoke_dir/service_serial.csv"
 
+echo "== tier-1: sharded drain smoke (determinism across --shards) =="
+# The same cells through 1, 4, and 16 drain shards: the tenant-hash
+# partition plus the seniority-ordered mailbox merge must reproduce the
+# single-queue schedule byte-for-byte, mailboxed ledger column included.
+# The serial CSV above ran at the default sharding (one per node), so the
+# cmp chain also pins default == explicit.
+build/bench/service_load --quick --csv --jobs 1 --shards 1 \
+  > "$smoke_dir/service_k1.csv"
+build/bench/service_load --quick --csv --jobs "$(nproc)" --shards 4 \
+  > "$smoke_dir/service_k4.csv"
+build/bench/service_load --quick --csv --jobs 1 --shards 16 \
+  > "$smoke_dir/service_k16.csv"
+cmp "$smoke_dir/service_serial.csv" "$smoke_dir/service_k1.csv"
+cmp "$smoke_dir/service_serial.csv" "$smoke_dir/service_k4.csv"
+cmp "$smoke_dir/service_serial.csv" "$smoke_dir/service_k16.csv"
+
 echo "== tier-1: service load snapshot (BENCH_service.json) =="
 # Exits non-zero if locality routing stops out-serving random placement on
 # any arrival shape, if the fault cell loses work, or — against the
 # committed snapshot — if goodput drops >10%, p99 admission latency grows
 # >10%, or (on >=8-core hosts) the batched submission pump loses its 2x
-# edge over per-call admission after machine-drift calibration.
+# edge over per-call admission / the sharded drain loses its 2x scaling
+# at 4 drain workers, after machine-drift calibration.
 ( cd build/bench && ./service_load --out BENCH_service.json \
     --baseline ../../BENCH_service.json )
+# The wall-clock pump points are host-dependent: below 8 cores service_load
+# writes null metrics with a reason. Surface that reason here (same
+# contract as contended_mops_16_skipped) so a null in the snapshot is
+# self-describing — and refuse a null on a host big enough to measure.
+for key in batch_speedup drain_scaling; do
+  val="$(sed -n "s/.*\"$key\": \([0-9.]*\),*.*/\1/p" \
+    build/bench/BENCH_service.json)"
+  if [[ -n "$val" ]]; then
+    echo "pump $key: $val"
+  elif [[ "$(nproc)" -ge 8 ]]; then
+    echo "error: service_load produced no $key point on a >=8-core host"
+    exit 1
+  else
+    reason="$(sed -n "s/.*\"${key}_skipped\": \"\([^\"]*\)\".*/\1/p" \
+      build/bench/BENCH_service.json)"
+    echo "pump $key skipped: ${reason:-$(nproc) hardware threads (<8)}"
+  fi
+done
 
 echo "tier-1 OK"

@@ -39,9 +39,10 @@ enum class EventKind : std::uint8_t {
   kBatchDrain,   ///< drain loop pulled a batch; demand = batch size
   kSteal,        ///< idle node stole a tenant batch; demand = batch size
   kShed,         ///< overload ladder rung 3: submission shed before admission
+  kMailbox,      ///< requeued submission posted to a drain shard's mailbox
 };
 
-inline constexpr std::size_t kNumEventKinds = 17;
+inline constexpr std::size_t kNumEventKinds = 18;
 
 constexpr std::string_view to_string(EventKind kind) {
   switch (kind) {
@@ -62,6 +63,7 @@ constexpr std::string_view to_string(EventKind kind) {
     case EventKind::kBatchDrain: return "batch_drain";
     case EventKind::kSteal: return "steal";
     case EventKind::kShed: return "shed";
+    case EventKind::kMailbox: return "mailbox";
   }
   return "?";
 }

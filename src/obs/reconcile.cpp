@@ -34,7 +34,8 @@ ReconcileReport reconcile(std::span<const Event> events,
     ++counts[static_cast<std::size_t>(e.kind)];
     if (e.kind == EventKind::kNodeDown || e.kind == EventKind::kNodeUp ||
         e.kind == EventKind::kEnqueue || e.kind == EventKind::kBatchDrain ||
-        e.kind == EventKind::kSteal || e.kind == EventKind::kShed) {
+        e.kind == EventKind::kSteal || e.kind == EventKind::kShed ||
+        e.kind == EventKind::kMailbox) {
       // Node-health transitions carry a node id, not a period id; service
       // queue events happen before (or instead of) the core lifecycle. Both
       // live outside the per-period machine — reconcile_service covers the
@@ -135,6 +136,7 @@ ReconcileReport reconcile(std::span<const Event> events,
       case EventKind::kBatchDrain:
       case EventKind::kSteal:
       case EventKind::kShed:
+      case EventKind::kMailbox:
         break;  // handled above
     }
   }
@@ -203,6 +205,8 @@ ReconcileReport reconcile_service(std::span<const Event> events,
   std::uint64_t enqueues = 0;
   std::uint64_t drains = 0;
   std::uint64_t steals = 0;
+  std::uint64_t stolen = 0;  // Σ batch sizes carried by kSteal
+  std::uint64_t mailboxed = 0;
   std::uint64_t sheds = 0;
   std::uint64_t begins = 0;
   std::uint64_t drained = 0;  // Σ batch sizes carried by kBatchDrain
@@ -213,7 +217,11 @@ ReconcileReport reconcile_service(std::span<const Event> events,
         ++drains;
         drained += static_cast<std::uint64_t>(e.demand);
         break;
-      case EventKind::kSteal: ++steals; break;
+      case EventKind::kSteal:
+        ++steals;
+        stolen += static_cast<std::uint64_t>(e.demand);
+        break;
+      case EventKind::kMailbox: ++mailboxed; break;
       case EventKind::kShed: ++sheds; break;
       case EventKind::kBegin: ++begins; break;
       default: break;
@@ -232,7 +240,18 @@ ReconcileReport reconcile_service(std::span<const Event> events,
   expect(enqueues, service.enqueued, "enqueue", "enqueued");
   expect(drains, service.drains, "batch_drain", "drains");
   expect(steals, service.steals, "steal", "steals");
+  expect(stolen, service.stolen, "steal-size", "stolen");
+  expect(mailboxed, service.mailboxed, "mailbox", "mailboxed");
   expect(sheds, service.shed, "shed", "shed");
+
+  // Every displaced submission — stolen by an idle node or rerouted off a
+  // dead one — took exactly one mailbox hop to reach its drain shard.
+  if (mailboxed != stolen + service.reroutes) {
+    std::ostringstream os;
+    os << "mailbox ledger broken: " << mailboxed << " mailbox hops != "
+       << stolen << " stolen + " << service.reroutes << " rerouted";
+    fail(os.str());
+  }
 
   // The queue loses nothing: every accepted submission is drained in some
   // batch or still sitting in the queue at capture end.

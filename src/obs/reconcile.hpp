@@ -62,6 +62,9 @@ struct ServiceStatsCheck {
   std::uint64_t enqueued = 0;      ///< submissions accepted into the queue
   std::uint64_t drains = 0;        ///< batch-drain passes
   std::uint64_t steals = 0;        ///< whole-tenant-batch steals
+  std::uint64_t stolen = 0;        ///< submissions inside stolen batches
+  std::uint64_t reroutes = 0;      ///< submissions re-queued by a node death
+  std::uint64_t mailboxed = 0;     ///< requeues posted to shard mailboxes
   std::uint64_t shed = 0;          ///< submissions shed by the overload ladder
   std::uint64_t still_queued = 0;  ///< left in the queue at capture end
 };
@@ -75,7 +78,11 @@ struct ServiceStatsCheck {
 ///     == enqueued - still_queued — the queue loses nothing: every accepted
 ///     submission is either drained in some batch or still waiting;
 ///   * drained == begins + sheds — every drained submission either entered
-///     the core (exactly one kBegin) or was shed by the overload ladder.
+///     the core (exactly one kBegin) or was shed by the overload ladder;
+///   * Σ steal sizes (the kSteal event's demand payload) == stolen, and
+///     count(kMailbox) == mailboxed == stolen + reroutes — every displaced
+///     submission (steal or node-death reroute) took exactly one mailbox
+///     hop to its drain shard, and none was invented or dropped in transit.
 /// A node dying mid-drain and rejoining must not break any of these: a lost
 /// submission shows up as a drain/begin gap, a double-admit as excess begins.
 ReconcileReport reconcile_service(std::span<const Event> events,

@@ -1,8 +1,14 @@
 #include "service/arrival.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <numbers>
+#include <sstream>
+#include <utility>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace rda::service {
@@ -115,6 +121,95 @@ Arrival ArrivalGenerator::next() {
     a.watts = jitter(config_.watts_mean, config_.watts_spread);
   }
   return a;
+}
+
+namespace {
+
+constexpr char kTraceHeader[] =
+    "time,seq,tenant,demand_bytes,service_seconds,bw_bytes_per_sec,watts";
+
+}  // namespace
+
+TraceArrivals::TraceArrivals(std::vector<Arrival> arrivals)
+    : arrivals_(std::move(arrivals)) {
+  double last = 0.0;
+  for (const Arrival& a : arrivals_) {
+    RDA_CHECK_MSG(a.time >= last, "arrival trace times must be monotonic");
+    last = a.time;
+  }
+}
+
+TraceArrivals TraceArrivals::from_csv(const std::string& path) {
+  std::ifstream in(path);
+  RDA_CHECK_MSG(in.good(), "cannot open arrival trace: " + path);
+  std::string line;
+  RDA_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                "arrival trace is empty: " + path);
+  RDA_CHECK_MSG(line == kTraceHeader,
+                "arrival trace header mismatch in " + path + ": " + line);
+
+  std::vector<Arrival> arrivals;
+  std::size_t row = 1;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    const char* p = line.c_str();
+    const auto field = [&](double& out) {
+      char* end = nullptr;
+      out = std::strtod(p, &end);
+      RDA_CHECK_MSG(end != p, "bad number in arrival trace " + path +
+                                  " row " + std::to_string(row));
+      p = *end == ',' ? end + 1 : end;
+    };
+    Arrival a;
+    double seq = 0.0;
+    double tenant = 0.0;
+    field(a.time);
+    field(seq);
+    field(tenant);
+    field(a.demand_bytes);
+    field(a.service_seconds);
+    field(a.bw_bytes_per_sec);
+    field(a.watts);
+    a.seq = static_cast<std::uint64_t>(seq);
+    a.tenant = static_cast<std::uint64_t>(tenant);
+    RDA_CHECK_MSG(a.tenant >= 1, "arrival trace tenant ids are 1-based (" +
+                                     path + " row " + std::to_string(row) +
+                                     ")");
+    arrivals.push_back(a);
+  }
+  return TraceArrivals(std::move(arrivals));
+}
+
+Arrival TraceArrivals::next() {
+  RDA_CHECK_MSG(cursor_ < arrivals_.size(),
+                "arrival trace exhausted: replay asked for more arrivals "
+                "than were recorded");
+  return arrivals_[cursor_++];
+}
+
+std::vector<Arrival> record_arrivals(ArrivalSource& source,
+                                     std::uint64_t count) {
+  std::vector<Arrival> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(source.next());
+  return out;
+}
+
+void write_arrival_trace_csv(const std::string& path,
+                             std::span<const Arrival> arrivals) {
+  std::ostringstream os;
+  os << kTraceHeader << "\n";
+  char buf[256];
+  for (const Arrival& a : arrivals) {
+    std::snprintf(buf, sizeof(buf),
+                  "%.17g,%llu,%llu,%.17g,%.17g,%.17g,%.17g\n", a.time,
+                  static_cast<unsigned long long>(a.seq),
+                  static_cast<unsigned long long>(a.tenant), a.demand_bytes,
+                  a.service_seconds, a.bw_bytes_per_sec, a.watts);
+    os << buf;
+  }
+  util::write_file_atomic(path, os.str());
 }
 
 }  // namespace rda::service

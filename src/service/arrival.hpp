@@ -15,10 +15,19 @@
 //                (the classic day/night load swing, compressed to T),
 //   * bursty   — two-state MMPP: an ON state at λ·burst multiplier and a
 //                quiet OFF state, with exponential state holding times.
+//
+// Beyond the synthetic shapes, `TraceArrivals` replays a recorded
+// (t, tenant, demand, service, bw, watts) tuple stream from a CSV file —
+// so a production capture (or a recorded synthetic run) is a reproducible
+// input: record once with `record_arrivals` + `write_arrival_trace_csv`,
+// replay forever, bit-for-bit.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -84,13 +93,22 @@ struct ArrivalConfig {
   double burst_mean_seconds = 0.02;
 };
 
+/// Anything that can feed the front end one arrival at a time: the seeded
+/// synthetic generators and recorded-trace replay share this face, so the
+/// service layer cannot tell a live stream from a replayed capture.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+  virtual Arrival next() = 0;
+};
+
 /// Streams the arrival process defined by the config. next() is O(1);
 /// calling it n times yields the first n arrivals of the (infinite) trace.
-class ArrivalGenerator {
+class ArrivalGenerator final : public ArrivalSource {
  public:
   explicit ArrivalGenerator(ArrivalConfig config);
 
-  Arrival next();
+  Arrival next() override;
 
   const ArrivalConfig& config() const { return config_; }
 
@@ -105,5 +123,36 @@ class ArrivalGenerator {
   bool burst_on_ = false;
   double state_ends_ = 0.0;
 };
+
+/// Replays a pre-recorded arrival stream. next() past the end is a check
+/// failure — a replayed run must ask for exactly what was recorded.
+class TraceArrivals final : public ArrivalSource {
+ public:
+  explicit TraceArrivals(std::vector<Arrival> arrivals);
+
+  /// Loads a trace written by write_arrival_trace_csv (or any CSV with its
+  /// header). Malformed rows and non-monotonic times are check failures —
+  /// a corrupt trace must not silently replay as a different workload.
+  static TraceArrivals from_csv(const std::string& path);
+
+  Arrival next() override;
+
+  std::size_t size() const { return arrivals_.size(); }
+  std::size_t remaining() const { return arrivals_.size() - cursor_; }
+
+ private:
+  std::vector<Arrival> arrivals_;
+  std::size_t cursor_ = 0;
+};
+
+/// Captures the next `count` arrivals of any source into a vector (the
+/// recording half of the round trip).
+std::vector<Arrival> record_arrivals(ArrivalSource& source,
+                                     std::uint64_t count);
+
+/// Writes a trace CSV (atomic tempfile+rename). Doubles are printed with
+/// %.17g, so from_csv reproduces the recorded stream bit-for-bit.
+void write_arrival_trace_csv(const std::string& path,
+                             std::span<const Arrival> arrivals);
 
 }  // namespace rda::service

@@ -27,7 +27,6 @@ std::string_view to_string(RoutePolicy policy) {
 
 ServiceFrontEnd::ServiceFrontEnd(ServiceConfig config)
     : config_(config),
-      queue_(config.queue_capacity),
       rng_(config.seed),
       node_up_(static_cast<std::size_t>(config.nodes), true),
       outstanding_(static_cast<std::size_t>(config.nodes), 0.0),
@@ -35,10 +34,26 @@ ServiceFrontEnd::ServiceFrontEnd(ServiceConfig config)
       in_flight_count_(static_cast<std::size_t>(config.nodes), 0),
       parked_depth_(static_cast<std::size_t>(config.nodes), 0) {
   RDA_CHECK_MSG(config_.nodes >= 1, "service needs at least one node");
+  RDA_CHECK_MSG(config_.drain_shards >= 0,
+                "drain shard count cannot be negative");
   RDA_CHECK_MSG(config_.drain_interval_seconds > 0.0,
                 "drain interval must be positive");
   RDA_CHECK_MSG(config_.oversubscription >= 1.0,
                 "oversubscription factor must be >= 1");
+  RDA_CHECK_MSG(config_.shed_keep_fraction >= 0.0 &&
+                    config_.shed_keep_fraction < 1.0,
+                "shed keep fraction must be in [0, 1)");
+  num_shards_ = config_.drain_shards > 0 ? config_.drain_shards
+                                         : config_.nodes;
+  // Every shard queue gets the FULL global capacity: the overflow decision
+  // is made against the global backlog in enqueue(), so a per-shard push
+  // must never fail on its own — even if the tenant hash sends everything
+  // to one shard.
+  shards_.resize(static_cast<std::size_t>(num_shards_));
+  for (DrainShard& shard : shards_) {
+    shard.queue =
+        std::make_unique<SubmissionQueue<Sub>>(config_.queue_capacity);
+  }
   cores_.reserve(static_cast<std::size_t>(config_.nodes));
   for (int n = 0; n < config_.nodes; ++n) {
     core::AdmissionConfig cc;
@@ -65,8 +80,14 @@ int ServiceFrontEnd::tenant_home(std::uint64_t tenant) const {
   return node_up_[static_cast<std::size_t>(it->second)] ? it->second : -1;
 }
 
+std::size_t ServiceFrontEnd::inbox_backlog() const {
+  std::size_t total = 0;
+  for (const DrainShard& shard : shards_) total += shard.inbox.size();
+  return total;
+}
+
 std::size_t ServiceFrontEnd::backlog() const {
-  return queue_.size() + requeue_.size() + parked_.size();
+  return queue_backlog_ + inbox_backlog() + parked_.size();
 }
 
 void ServiceFrontEnd::fold_checksum(std::uint64_t a, std::uint64_t b) {
@@ -92,14 +113,31 @@ void ServiceFrontEnd::trace_service(obs::EventKind kind, double at,
 }
 
 void ServiceFrontEnd::enqueue(const Sub& sub, double at) {
-  Sub queued = sub;
-  queued.enqueue_time = at;
-  if (!queue_.push(queued)) {
+  if (queue_backlog_ >= config_.queue_capacity) {
     ++stats_.overflow_drops;  // never entered the ledger
     return;
   }
+  Sub queued = sub;
+  queued.enqueue_time = at;
+  DrainShard& shard =
+      shards_[static_cast<std::size_t>(shard_for_tenant(sub.tenant))];
+  RDA_CHECK_MSG(shard.queue->push(queued),
+                "shard queue full below the global capacity bound");
+  ++queue_backlog_;
+  ++shard.counters.enqueued;
   ++stats_.enqueued;
   trace_service(obs::EventKind::kEnqueue, at, sub.seq, sub.tenant,
+                sub.demand);
+}
+
+void ServiceFrontEnd::mailbox_requeue(const Sub& sub, int from_node,
+                                      double at) {
+  const int to = shard_for_tenant(sub.tenant);
+  shards_[static_cast<std::size_t>(to)].inbox.send(requeue_seq_++, sub);
+  const int from = shard_of_node(from_node, num_shards_);
+  ++shards_[static_cast<std::size_t>(from)].counters.mail_out;
+  ++stats_.mailboxed;
+  trace_service(obs::EventKind::kMailbox, at, sub.seq, sub.tenant,
                 sub.demand);
 }
 
@@ -416,7 +454,7 @@ void ServiceFrontEnd::apply_fault(double now) {
       ++stats_.enqueued;
       trace_service(obs::EventKind::kEnqueue, now, sub.seq, sub.tenant,
                     sub.demand);
-      requeue_.push_back(sub);
+      mailbox_requeue(sub, fault.node, now);
     }
 
     // Reap every admitted period the node was carrying and re-queue it;
@@ -441,7 +479,7 @@ void ServiceFrontEnd::apply_fault(double now) {
       ++stats_.enqueued;
       trace_service(obs::EventKind::kEnqueue, now, sub.seq, sub.tenant,
                     sub.demand);
-      requeue_.push_back(sub);
+      mailbox_requeue(sub, fault.node, now);
     }
 
     // The dead node is nobody's home anymore.
@@ -540,7 +578,7 @@ void ServiceFrontEnd::steal_pass(double now) {
     ++stats_.enqueued;
     trace_service(obs::EventKind::kEnqueue, now, parked.sub.seq,
                   parked.sub.tenant, parked.sub.demand);
-    requeue_.push_back(parked.sub);
+    mailbox_requeue(parked.sub, donor, now);
   }
   if (moved == 0) return;
   tenant_home_[victim] = thief;
@@ -550,12 +588,72 @@ void ServiceFrontEnd::steal_pass(double now) {
                 static_cast<double>(moved));
 }
 
-void ServiceFrontEnd::drain_pass(double now) {
-  std::vector<Sub> popped;
-  popped.swap(requeue_);  // displaced work keeps its seniority
-  if (popped.size() < config_.drain_batch_max) {
-    queue_.pop_batch(popped, config_.drain_batch_max - popped.size());
+std::vector<ServiceFrontEnd::Sub> ServiceFrontEnd::merge_drain_batch() {
+  // Requeues first, in ascending seniority: displaced work keeps its
+  // place. Each mailbox sorts its own entries; the global sort restores
+  // decision order across shards (a steal and a reroute landing in the
+  // same round replay in the order they were decided).
+  std::vector<Mailbox<Sub>::Entry> requeues;
+  for (DrainShard& shard : shards_) {
+    shard.counters.mail_in += shard.inbox.drain(requeues);
   }
+  std::sort(requeues.begin(), requeues.end(),
+            [](const Mailbox<Sub>::Entry& a, const Mailbox<Sub>::Entry& b) {
+              return a.seniority < b.seniority;
+            });
+
+  std::vector<Sub> popped;
+  popped.reserve(requeues.size());
+  for (Mailbox<Sub>::Entry& entry : requeues) {
+    const int shard = shard_for_tenant(entry.value.tenant);
+    ++shards_[static_cast<std::size_t>(shard)].counters.drained;
+    popped.push_back(std::move(entry.value));
+  }
+
+  // Top up each shard's staging runway to the full batch cap. The merge
+  // below then yields a true global-FIFO prefix: a shard that contributed
+  // fewer than cap entries has an EMPTY queue, so no submission it holds
+  // could have outranked one the merge took.
+  for (DrainShard& shard : shards_) {
+    if (shard.staged.size() < config_.drain_batch_max) {
+      std::vector<Sub> refill;
+      shard.queue->pop_batch(refill,
+                             config_.drain_batch_max - shard.staged.size());
+      for (Sub& sub : refill) shard.staged.push_back(std::move(sub));
+    }
+    shard.counters.peak_staged = std::max(
+        shard.counters.peak_staged,
+        static_cast<std::uint64_t>(shard.staged.size()));
+  }
+
+  // K-way min-seq merge of the runway heads. Fresh arrivals enter their
+  // shard queue in ascending global seq, so each runway is an ascending
+  // subsequence and picking the smallest head reconstructs the order a
+  // single queue would have popped — byte-identical for any K.
+  std::size_t room = popped.size() < config_.drain_batch_max
+                         ? config_.drain_batch_max - popped.size()
+                         : 0;
+  while (room > 0) {
+    DrainShard* best = nullptr;
+    for (DrainShard& shard : shards_) {
+      if (shard.staged.empty()) continue;
+      if (best == nullptr ||
+          shard.staged.front().seq < best->staged.front().seq) {
+        best = &shard;
+      }
+    }
+    if (best == nullptr) break;
+    popped.push_back(std::move(best->staged.front()));
+    best->staged.pop_front();
+    ++best->counters.drained;
+    --queue_backlog_;
+    --room;
+  }
+  return popped;
+}
+
+void ServiceFrontEnd::drain_pass(double now) {
+  std::vector<Sub> popped = merge_drain_batch();
   if (popped.empty()) return;
 
   ++stats_.drains;
@@ -564,12 +662,39 @@ void ServiceFrontEnd::drain_pass(double now) {
                 static_cast<double>(popped.size()));
 
   if (rung_ >= 3) {
-    for (const Sub& sub : popped) {
-      ++stats_.shed;
-      trace_service(obs::EventKind::kShed, now, sub.seq, sub.tenant,
-                    sub.demand);
+    // SLO-aware shedding: keep the floor(fraction × batch) submissions
+    // whose declared work (demand × service) is largest and shed the
+    // cheap tail first — the kept few carry most of the batch's work, so
+    // goodput degrades less than dropping everything. fraction 0 is
+    // exactly the old drop-all rung.
+    const std::size_t keep = static_cast<std::size_t>(
+        config_.shed_keep_fraction * static_cast<double>(popped.size()));
+    std::vector<char> kept(popped.size(), 0);
+    if (keep > 0) {
+      std::vector<std::size_t> order(popped.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double ca = popped[a].demand * popped[a].service;
+                  const double cb = popped[b].demand * popped[b].service;
+                  if (ca != cb) return ca > cb;
+                  return popped[a].seq < popped[b].seq;
+                });
+      for (std::size_t i = 0; i < keep; ++i) kept[order[i]] = 1;
     }
-    return;
+    std::vector<Sub> survivors;
+    survivors.reserve(keep);
+    for (std::size_t i = 0; i < popped.size(); ++i) {
+      if (kept[i] != 0) {
+        survivors.push_back(popped[i]);
+        continue;
+      }
+      ++stats_.shed;
+      trace_service(obs::EventKind::kShed, now, popped[i].seq,
+                    popped[i].tenant, popped[i].demand);
+    }
+    if (survivors.empty()) return;
+    popped.swap(survivors);  // survivors proceed to admission, in order
   }
 
   // Route every submission, bucketing requests per node so each node pays
@@ -636,6 +761,15 @@ void ServiceFrontEnd::update_ladder() {
   const double alpha = config_.ladder.ewma_alpha;
   const auto depth = static_cast<double>(backlog());
   depth_ewma_ = alpha * depth + (1.0 - alpha) * depth_ewma_;
+  // Per-shard backlog EWMAs are observability only: the ladder keys off
+  // the GLOBAL depth above, so escalation decisions are identical for any
+  // shard count (a per-shard trigger would make admission depend on K).
+  for (DrainShard& shard : shards_) {
+    const auto local = static_cast<double>(
+        shard.queue->size() + shard.staged.size() + shard.inbox.size());
+    shard.counters.backlog_ewma =
+        alpha * local + (1.0 - alpha) * shard.counters.backlog_ewma;
+  }
   // With nothing waiting, the current admission latency is effectively
   // zero; decay the EWMA so a drained (or fully shedding) fleet can walk
   // back down the ladder instead of pinning on the last hot sample.
@@ -656,7 +790,7 @@ void ServiceFrontEnd::update_ladder() {
   }
 }
 
-ServiceReport ServiceFrontEnd::run(ArrivalGenerator& gen,
+ServiceReport ServiceFrontEnd::run(ArrivalSource& arrivals,
                                    std::uint64_t count) {
   RDA_CHECK_MSG(!ran_, "ServiceFrontEnd::run is one-shot");
   ran_ = true;
@@ -665,7 +799,7 @@ ServiceReport ServiceFrontEnd::run(ArrivalGenerator& gen,
   std::uint64_t left = count;
   bool have = false;
   if (left > 0) {
-    pending = gen.next();
+    pending = arrivals.next();
     have = true;
   }
 
@@ -682,7 +816,7 @@ ServiceReport ServiceFrontEnd::run(ArrivalGenerator& gen,
       enqueue(sub, pending.time);
       --left;
       if (left > 0) {
-        pending = gen.next();
+        pending = arrivals.next();
       } else {
         have = false;
       }
@@ -697,7 +831,7 @@ ServiceReport ServiceFrontEnd::run(ArrivalGenerator& gen,
 
     // Keep ticking after the last completion until the ladder settles:
     // idle ticks decay both EWMAs geometrically, so this terminates.
-    if (!have && queue_.size() == 0 && requeue_.empty() &&
+    if (!have && queue_backlog_ == 0 && inbox_backlog() == 0 &&
         parked_.empty() && in_flight_.empty() && completions_.empty() &&
         rung_ == 0) {
       break;
@@ -706,8 +840,13 @@ ServiceReport ServiceFrontEnd::run(ArrivalGenerator& gen,
 
   ServiceReport report;
   stats_.final_rung = rung_;
-  stats_.still_queued = queue_.size() + requeue_.size();
+  stats_.still_queued = queue_backlog_ + inbox_backlog();
   report.stats = stats_;
+  report.drain_shards = num_shards_;
+  report.shards.reserve(shards_.size());
+  for (const DrainShard& shard : shards_) {
+    report.shards.push_back(shard.counters);
+  }
   report.admission_latency = latency_;
   report.elapsed_seconds = last_completion_ > 0.0 ? last_completion_ : now_;
   if (report.elapsed_seconds > 0.0) {

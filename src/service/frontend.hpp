@@ -1,14 +1,29 @@
 // ServiceFrontEnd — the traffic-scale admission front end (ROADMAP item 2).
 //
 // Wires the open-loop arrival stream into the sharded AdmissionCore the way
-// a production service would: arrivals land in the MPSC submission queue;
-// a drain loop runs on a fixed virtual-time cadence and, per pass, (1)
-// releases every period whose service completed, (2) lets an idle node
-// steal a parked tenant batch, (3) pops a batch off the queue, routes each
-// submission to a node, and admits each node's share with ONE
-// admit_batch/release_batch call — so the slow-lane mutex, the waitlist
-// rescan, and the wake delivery are paid once per node per pass instead of
-// once per period.
+// a production service would: arrivals are routed AT PUSH TIME to one of K
+// drain shards (a seeded hash of the tenant id — K defaults to the node
+// count), each with its own bounded MPSC submission queue; the drain loop
+// runs on a fixed virtual-time cadence and, per pass, (1) releases every
+// period whose service completed, (2) lets an idle node steal a parked
+// tenant batch, (3) drains each shard's mailbox and queue, merges the
+// shard streams into one deterministic batch, routes each submission to a
+// node, and admits each node's share with ONE admit_batch/release_batch
+// call — so the slow-lane mutex, the waitlist rescan, and the wake
+// delivery are paid once per node per pass instead of once per period.
+//
+// Sharded drain execution model (DESIGN §16). Each shard is the sole
+// consumer of its own queue; cross-shard effects (steals, node-death
+// reroutes) go through seniority-ordered per-shard mailboxes drained at
+// pass start, so no shard ever touches another shard's queue tail. In
+// virtual time the shards run lockstep rounds and the pass merges their
+// streams back into the canonical global order — all mailbox requeues
+// first (ascending seniority = decision order), then a k-way min-seq merge
+// of the shard staging runways — so the run is byte-identical for ANY
+// shard count: K=1, K=4, and K=16 produce the same checksum, the same
+// trace, the same CSV. The overload ladder stays global for the same
+// reason (per-shard EWMAs would make admission decisions depend on K);
+// per-shard backlog EWMAs exist but are observability-only.
 //
 // Placement is locality-aware: a tenant's periods follow its home node (the
 // one already holding its LLC working set — warm periods run faster by
@@ -37,6 +52,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <queue>
@@ -49,6 +65,7 @@
 #include "obs/sink.hpp"
 #include "service/arrival.hpp"
 #include "service/queue.hpp"
+#include "service/shard.hpp"
 #include "util/rng.hpp"
 
 namespace rda::service {
@@ -82,6 +99,12 @@ struct NodeFault {
 
 struct ServiceConfig {
   int nodes = 4;
+  /// Drain shards (K): submissions are routed at push time to shard
+  /// shard_of_tenant(seed, tenant, K), each shard owning its own bounded
+  /// queue. 0 = one shard per node. Byte-determinism holds for ANY K — the
+  /// lockstep merge restores the canonical global order — so K is purely a
+  /// concurrency knob for the wall-clock pump, never a behavior knob.
+  int drain_shards = 0;
   /// Per-node LLC capacity the admission cores gate against.
   double node_llc_bytes = 15360.0 * 1024.0;
   /// Per-node DRAM bandwidth capacity (bytes/second); 0 = bandwidth is not
@@ -98,6 +121,12 @@ struct ServiceConfig {
   double oversubscription = 2.0;
   /// Rung-1 demand cap as a fraction of node LLC capacity.
   double clamp_fraction = 0.5;
+  /// Rung-3 SLO-aware shedding: keep the floor(fraction × batch) drained
+  /// submissions carrying the MOST declared work (demand × service time)
+  /// and shed the cheap tail — under overload the expensive admissions are
+  /// the ones goodput cannot afford to rebuild. 0 = shed the whole batch
+  /// (the old drop-all behavior, kept as the regression baseline).
+  double shed_keep_fraction = 0.25;
   /// Bounded home affinity (kLocalityAware only): a period whose home is
   /// up parks on the home's waitlist as long as fewer than this many
   /// periods are already parked there — it will run warm once capacity
@@ -130,6 +159,10 @@ struct ServiceStats {
   std::uint64_t steals = 0;     ///< tenant batches moved to an idle node
   std::uint64_t stolen = 0;     ///< submissions inside those batches
   std::uint64_t reroutes = 0;   ///< submissions re-queued by a node death
+  /// Requeues posted to a drain shard's mailbox. Every displaced
+  /// submission takes exactly one hop, so mailboxed == stolen + reroutes
+  /// for every K (the ledger obs::reconcile_service checks).
+  std::uint64_t mailboxed = 0;
   std::uint64_t admitted = 0;   ///< periods admitted (immediately or woken)
   std::uint64_t woken = 0;      ///< subset admitted off a waitlist
   std::uint64_t completed = 0;  ///< periods that finished service
@@ -143,8 +176,25 @@ struct ServiceStats {
   std::uint64_t still_queued = 0;  ///< left in the queue at report time
 };
 
+/// Per-drain-shard observability counters. In virtual time the shards run
+/// lockstep, so these are bookkeeping views of the partition — they are
+/// NEVER inputs to an admission decision (the ladder stays global; DESIGN
+/// §16 explains why per-shard control EWMAs would break the K-invariance
+/// contract). At quiescence Σ enqueued == stats.enqueued − mailboxed,
+/// Σ drained == stats.drained, Σ mail_in == Σ mail_out == stats.mailboxed.
+struct ShardCounters {
+  std::uint64_t enqueued = 0;     ///< fresh arrivals routed to this shard
+  std::uint64_t drained = 0;      ///< submissions this shard fed to merges
+  std::uint64_t mail_in = 0;      ///< requeues drained from this inbox
+  std::uint64_t mail_out = 0;     ///< requeues this shard's nodes displaced
+  std::uint64_t peak_staged = 0;  ///< deepest staging runway seen
+  double backlog_ewma = 0.0;      ///< smoothed queue+staged+inbox depth
+};
+
 struct ServiceReport {
   ServiceStats stats;
+  int drain_shards = 0;
+  std::vector<ShardCounters> shards;
   /// Enqueue → admission (immediate or wake) per period.
   obs::LatencyHistogram admission_latency;
   /// Per-resource capacity a node gates against (0 = ungated) and the peak
@@ -166,12 +216,17 @@ class ServiceFrontEnd {
  public:
   explicit ServiceFrontEnd(ServiceConfig config);
 
-  /// Feeds `count` arrivals from `gen` through the queue → drain → admit →
-  /// complete lifecycle, then drains to quiescence. One-shot.
-  ServiceReport run(ArrivalGenerator& gen, std::uint64_t count);
+  /// Feeds `count` arrivals from `arrivals` (a live generator or a
+  /// replayed trace) through the queue → drain → admit → complete
+  /// lifecycle, then drains to quiescence. One-shot.
+  ServiceReport run(ArrivalSource& arrivals, std::uint64_t count);
 
   // Introspection for tests.
   int current_rung() const { return rung_; }
+  int drain_shards() const { return num_shards_; }
+  int shard_for_tenant(std::uint64_t tenant) const {
+    return shard_of_tenant(config_.seed, tenant, num_shards_);
+  }
   int tenant_home(std::uint64_t tenant) const;
   bool node_up(int node) const {
     return node_up_[static_cast<std::size_t>(node)];
@@ -218,9 +273,24 @@ class ServiceFrontEnd {
     }
   };
 
+  /// One drain shard: its own MPSC queue (this shard is the sole
+  /// consumer), the staging runway the lockstep merge pulls from (popped
+  /// off the queue but not yet merged into a batch — keeping it per shard
+  /// preserves the per-queue FIFO prefix the min-seq merge needs), and the
+  /// seniority-ordered inbox for cross-shard requeues.
+  struct DrainShard {
+    std::unique_ptr<SubmissionQueue<Sub>> queue;
+    std::deque<Sub> staged;
+    Mailbox<Sub> inbox;
+    ShardCounters counters;
+  };
+
   static std::uint64_t flight_key(int node, core::PeriodId period);
 
   void enqueue(const Sub& sub, double at);
+  /// Posts a displaced submission (steal or node-death reroute) to its
+  /// tenant's drain shard, stamped with the next global seniority number.
+  void mailbox_requeue(const Sub& sub, int from_node, double at);
   void trace_service(obs::EventKind kind, double at, std::uint64_t seq,
                      std::uint64_t tenant, double demand);
   /// Routes one shaped submission; returns the chosen node (always an up
@@ -254,12 +324,26 @@ class ServiceFrontEnd {
   std::size_t backlog() const;
   void fold_checksum(std::uint64_t a, std::uint64_t b);
 
+  /// Assembles the pass's drain batch: all mailbox requeues in ascending
+  /// seniority (decision order), then a k-way min-seq merge of the shard
+  /// staging runways up to drain_batch_max. The result is the canonical
+  /// global order for any shard count.
+  std::vector<Sub> merge_drain_batch();
+  std::size_t inbox_backlog() const;
+
   ServiceConfig config_;
   std::vector<std::unique_ptr<core::AdmissionCore>> cores_;
-  SubmissionQueue<Sub> queue_;
-  /// Re-queued submissions (steals, node-death reroutes): drained before
-  /// the MPSC queue so displaced work keeps its seniority.
-  std::vector<Sub> requeue_;
+  std::vector<DrainShard> shards_;
+  int num_shards_ = 1;
+  /// Next global seniority number for mailbox requeues. Assigned in the
+  /// (globally sequential) fault/steal phases, so ascending seniority
+  /// replays displaced work in exactly the order it was displaced.
+  std::uint64_t requeue_seq_ = 0;
+  /// Submissions accepted but not yet merged into a drain batch (queues +
+  /// staging runways, summed over shards). The overflow decision tests
+  /// this GLOBAL count against queue_capacity — per-shard occupancy varies
+  /// with K, the global backlog does not, so drops are K-invariant.
+  std::size_t queue_backlog_ = 0;
   util::Rng rng_;
   double now_ = 0.0;
 

@@ -87,12 +87,110 @@ TEST(ServiceFrontEnd, QueueLedgerReconcilesAgainstServiceEvents) {
   check.enqueued = report.stats.enqueued;
   check.drains = report.stats.drains;
   check.steals = report.stats.steals;
+  check.stolen = report.stats.stolen;
+  check.reroutes = report.stats.reroutes;
+  check.mailboxed = report.stats.mailboxed;
   check.shed = report.stats.shed;
   check.still_queued = report.stats.still_queued;
   const auto events = recorder.events();
   const obs::ReconcileReport ledger =
       obs::reconcile_service(events, check);
   EXPECT_TRUE(ledger.ok) << ledger.message;
+}
+
+TEST(ServiceFrontEnd, ShardedDrainIsByteIdenticalAcrossShardCounts) {
+  // The config exercises every cross-shard path: a node death (reroutes),
+  // a rejoin (steals), and enough load that shard queues stay non-trivial.
+  // The lockstep merge must make K invisible: any shard count replays the
+  // same canonical order, so checksum, stats, and percentiles all match.
+  ArrivalConfig arr = calm_arrivals(37);
+  arr.rate = 1500.0;
+  arr.demand_mean_bytes = 6.0 * kMB;
+  arr.service_mean_seconds = 5.0e-3;
+  ServiceConfig cfg;
+  cfg.nodes = 2;
+  cfg.node_llc_bytes = 15.0 * kMB;
+  cfg.ladder.queue_high = 1.0e9;
+  cfg.ladder.latency_high_seconds = 1.0e9;
+  cfg.fault.node = 1;
+  cfg.fault.fail_at_seconds = 0.2;
+  cfg.fault.recover_at_seconds = 0.35;
+
+  std::vector<ServiceReport> reports;
+  for (const int shards : {1, 4, 16}) {
+    cfg.drain_shards = shards;
+    ArrivalGenerator gen(arr);
+    ServiceFrontEnd service(cfg);
+    reports.push_back(service.run(gen, 1200));
+    EXPECT_EQ(reports.back().drain_shards, shards);
+    EXPECT_EQ(reports.back().shards.size(),
+              static_cast<std::size_t>(shards));
+  }
+  const ServiceReport& base = reports.front();
+  EXPECT_GE(base.stats.steals, 1u);
+  EXPECT_GT(base.stats.reroutes, 0u);
+  for (const ServiceReport& r : reports) {
+    EXPECT_EQ(r.checksum, base.checksum);
+    EXPECT_EQ(r.stats.completed, base.stats.completed);
+    EXPECT_EQ(r.stats.drains, base.stats.drains);
+    EXPECT_EQ(r.stats.stolen, base.stats.stolen);
+    EXPECT_EQ(r.stats.reroutes, base.stats.reroutes);
+    EXPECT_EQ(r.stats.mailboxed, base.stats.mailboxed);
+    EXPECT_EQ(r.elapsed_seconds, base.elapsed_seconds);
+    EXPECT_EQ(r.admission_latency.p99(), base.admission_latency.p99());
+
+    // Mailbox ledger: every displaced submission took exactly one hop.
+    EXPECT_EQ(r.stats.mailboxed, r.stats.stolen + r.stats.reroutes);
+    // Per-shard counters partition the global stats exactly.
+    std::uint64_t enqueued = 0, drained = 0, mail_in = 0, mail_out = 0;
+    for (const ShardCounters& c : r.shards) {
+      enqueued += c.enqueued;
+      drained += c.drained;
+      mail_in += c.mail_in;
+      mail_out += c.mail_out;
+    }
+    EXPECT_EQ(enqueued, r.stats.enqueued - r.stats.mailboxed);
+    EXPECT_EQ(drained, r.stats.drained);
+    EXPECT_EQ(mail_in, r.stats.mailboxed);
+    EXPECT_EQ(mail_out, r.stats.mailboxed);
+  }
+}
+
+TEST(ServiceFrontEnd, SloSheddingKeepsGoodputAtOrAboveDropAll) {
+  // Bursty overload that pins the ladder at rung 3 long enough to shed
+  // thousands. shed_keep_fraction 0 is the old drop-all rung; 0.25 keeps
+  // the quarter of each drained batch carrying the most declared work.
+  // Shedding cheapest-first must not cost goodput — the kept periods are
+  // exactly the ones whose completed work is hardest to replace.
+  ArrivalConfig arr = calm_arrivals(23);
+  arr.shape = ArrivalShape::kBursty;
+  arr.rate = 25000.0;
+  arr.demand_mean_bytes = 8.0 * kMB;
+
+  ServiceConfig cfg = small_service();
+  cfg.ladder.queue_high = 64.0;
+
+  cfg.shed_keep_fraction = 0.0;
+  ArrivalGenerator g1(arr);
+  ServiceFrontEnd drop_all(cfg);
+  const ServiceReport base = drop_all.run(g1, 30000);
+
+  cfg.shed_keep_fraction = 0.25;
+  ArrivalGenerator g2(arr);
+  ServiceFrontEnd slo(cfg);
+  const ServiceReport kept = slo.run(g2, 30000);
+
+  ASSERT_GT(base.stats.shed, 0u);
+  ASSERT_GT(kept.stats.shed, 0u);
+  // Both resolve every arrival exactly once.
+  EXPECT_EQ(base.stats.completed + base.stats.shed, 30000u);
+  EXPECT_EQ(kept.stats.completed + kept.stats.shed, 30000u);
+  // SLO-aware shedding sheds fewer and completes more...
+  EXPECT_LT(kept.stats.shed, base.stats.shed);
+  EXPECT_GT(kept.stats.completed, base.stats.completed);
+  // ...and goodput does not regress against the drop-all baseline.
+  EXPECT_GE(kept.goodput_per_second, base.goodput_per_second);
+  EXPECT_GE(kept.work_per_second, base.work_per_second);
 }
 
 TEST(ServiceFrontEnd, OverloadClimbsTheLadderAndShedsAtTheTop) {

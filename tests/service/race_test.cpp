@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -28,6 +30,167 @@ TEST(ServicePump, BatchedAndPerCallBothCompleteAllOps) {
     EXPECT_EQ(result.ops, 6000u);
     EXPECT_GT(result.seconds, 0.0);
     EXPECT_GT(result.mops, 0.0);
+  }
+}
+
+TEST(ServicePump, ShardedDrainCompletesAllOpsForAnyShardCount) {
+  // 4 nodes drained by 1, 3, or 4 shard threads (3 exercises the uneven
+  // n % shards ownership split). Every op must admit AND release on its
+  // own node regardless of how the drainers partition the fleet.
+  for (const int shards : {1, 3, 4}) {
+    PumpConfig cfg;
+    cfg.producers = 2;
+    cfg.ops_per_producer = 2000;
+    cfg.batched = true;
+    cfg.nodes = 4;
+    cfg.shards = shards;
+    cfg.batch_max = 128;
+    const PumpResult result = run_pump(cfg);
+    EXPECT_EQ(result.ops, 4000u) << shards << " shards";
+    EXPECT_GT(result.mops, 0.0) << shards << " shards";
+  }
+}
+
+TEST(ServiceRace, ShardedDrainSurvivesNodeDeathMidRun) {
+  // The wall-clock analogue of the frontend's fault cell: 4 nodes, 4
+  // shard queues, 4 drain threads, concurrent producers — and node 2 dies
+  // mid-run while holding an admitted resident period. Its drainer then
+  // plays the mailbox role: everything it pops is forwarded to shard 3's
+  // queue (push is multi-producer safe — that is the wall-clock mailbox)
+  // and admitted on node 3. Nothing may be lost, doubled, or deadlocked.
+  constexpr int kNodes = 4;
+  constexpr int kProducers = 3;
+  constexpr std::uint64_t kPerProducer = 2000;
+  constexpr std::uint64_t kBase = kProducers * kPerProducer;
+  constexpr std::uint64_t kExtra = 100;  // pushed after the death, node 2
+  constexpr double kCapacity = 15360.0 * 1024.0;
+
+  std::vector<std::unique_ptr<core::AdmissionCore>> cores;
+  for (int n = 0; n < kNodes; ++n) {
+    core::AdmissionConfig cc;
+    cc.llc_capacity_bytes = kCapacity;
+    cc.policy = core::PolicyKind::kStrict;
+    cores.push_back(std::make_unique<core::AdmissionCore>(cc));
+    cores.back()->set_batch_waker([](const auto&) {});
+  }
+
+  std::vector<std::unique_ptr<SubmissionQueue<sim::ThreadId>>> queues;
+  for (int n = 0; n < kNodes; ++n) {
+    queues.push_back(
+        std::make_unique<SubmissionQueue<sim::ThreadId>>(1 << 12));
+  }
+
+  std::atomic<std::uint64_t> remaining{kBase + kExtra};
+  std::atomic<bool> node2_down{false};
+  std::atomic<std::uint64_t> forwarded{0};
+
+  const auto make_request = [&](sim::ThreadId thread) {
+    core::AdmitRequest r;
+    r.thread = thread;
+    r.process = thread;
+    r.demands = {{ResourceKind::kLLC, 1.0e-4 * kCapacity}};
+    return r;
+  };
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const auto thread =
+            static_cast<sim::ThreadId>(p * kPerProducer + i);
+        SubmissionQueue<sim::ThreadId>& queue =
+            *queues[static_cast<std::size_t>(thread) % kNodes];
+        while (!queue.push(thread)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::thread> drainers;
+  for (int s = 0; s < kNodes; ++s) {
+    drainers.emplace_back([&, s] {
+      std::vector<sim::ThreadId> batch;
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        batch.clear();
+        if (queues[static_cast<std::size_t>(s)]->pop_batch(batch, 256) ==
+            0) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (s == 2 && node2_down.load(std::memory_order_acquire)) {
+          // Dead node: forward every popped submission to shard 3 — the
+          // lock-light reroute hop. remaining is NOT decremented; the op
+          // still has to complete, just elsewhere.
+          for (const sim::ThreadId thread : batch) {
+            while (!queues[3]->push(thread)) std::this_thread::yield();
+          }
+          forwarded.fetch_add(batch.size(), std::memory_order_relaxed);
+          continue;
+        }
+        std::vector<core::AdmitRequest> requests;
+        requests.reserve(batch.size());
+        for (const sim::ThreadId thread : batch) {
+          requests.push_back(make_request(thread));
+        }
+        const auto tickets = cores[static_cast<std::size_t>(s)]
+                                 ->admit_batch(std::move(requests), 0.0);
+        std::vector<core::PeriodId> ids;
+        ids.reserve(tickets.size());
+        for (const auto& ticket : tickets) {
+          ASSERT_TRUE(ticket.admitted);
+          ids.push_back(ticket.id);
+        }
+        cores[static_cast<std::size_t>(s)]->release_batch(ids, 0.0);
+        remaining.fetch_sub(ids.size(), std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  // Chaos: node 2 carries a resident admitted period, dies mid-run (the
+  // resident is reaped, its budget reclaimed), and 100 more node-2 ops
+  // arrive AFTER the death — all of which must take the forward hop.
+  std::thread chaos([&] {
+    const auto resident_thread = static_cast<sim::ThreadId>(kBase + 500);
+    const core::AdmitTicket resident =
+        cores[2]->admit(make_request(resident_thread), 0.0);
+    ASSERT_TRUE(resident.admitted);
+    while (remaining.load(std::memory_order_acquire) >
+           (kBase + kExtra) / 2) {
+      std::this_thread::yield();  // let the fleet get half-way
+    }
+    node2_down.store(true, std::memory_order_release);
+    const core::ProgressMonitor::ReapOutcome outcome =
+        cores[2]->reap(resident_thread, 0.0);
+    EXPECT_TRUE(outcome.reaped);
+    EXPECT_TRUE(outcome.was_admitted);
+    for (std::uint64_t i = 0; i < kExtra; ++i) {
+      // ids ≡ 2 (mod 4): routed to the dead node's queue at push time.
+      const auto thread = static_cast<sim::ThreadId>(kBase + 2 + 4 * i);
+      while (!queues[2]->push(thread)) std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : producers) t.join();
+  for (std::thread& t : drainers) t.join();
+  chaos.join();
+
+  EXPECT_EQ(remaining.load(), 0u);
+  EXPECT_GE(forwarded.load(), kExtra);
+
+  // Every core audits clean at quiescence and the fleet-wide ledger
+  // balances: each op began and ended exactly once, the resident resolved
+  // as the one reclaim.
+  core::MonitorStats total;
+  for (int n = 0; n < kNodes; ++n) {
+    const core::AdmissionCore::AuditReport audit = cores[n]->audit();
+    EXPECT_TRUE(audit.ok) << "node " << n << ": " << audit.detail;
+    total += cores[n]->stats();
+  }
+  EXPECT_EQ(total.begins, total.ends + total.cancels + total.reclaims +
+                              total.rejections);
+  EXPECT_EQ(total.ends, kBase + kExtra);
+  EXPECT_EQ(total.reclaims, 1u);
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(queues[static_cast<std::size_t>(n)]->size(), 0u);
   }
 }
 
