@@ -22,7 +22,7 @@ if [[ "$run_tsan" == 1 ]]; then
     --target runtime_test core_test integration_test profiler_test trace_test \
              fault_test service_test
   ( cd build-tsan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|ProfilePipeline|TraceArena|MatrixDeterminism|FaultGate|FaultScenario|Watchdog|Reclaim|ServiceRace|ServicePump|ShardMailbox|SubmissionQueue' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|ProfilePipeline|TraceArena|MatrixDeterminism|FaultGate|FaultScenario|Watchdog|Reclaim|ServiceRace|ServicePump|ShardMailbox|SubmissionQueue|TenantLedger|Adversary|Credit' \
       --output-on-failure -j "$(nproc)" )
 
   echo "== tier-1: admission core/gate/waitlist + fault/recovery tests under ASan+UBSan =="
@@ -31,7 +31,7 @@ if [[ "$run_tsan" == 1 ]]; then
     --target runtime_test core_test integration_test fault_test trace_test \
              util_test service_test
   ( cd build-asan && ctest \
-      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|Waitlist|WakeStrategy|FaultInjector|FaultScenario|FaultGate|Watchdog|Reclaim|TraceCorrupt|AtomicFile|ServiceRace|ServicePump|ServiceFrontEnd|ShardHash|ShardMailbox|ArrivalTrace|SubmissionQueue' \
+      -R 'AdmissionGate|AdmissionCore|AdmissionParity|ContendedStress|Sharding|GateRace|Waitlist|WakeStrategy|FaultInjector|FaultScenario|FaultGate|Watchdog|Reclaim|TraceCorrupt|AtomicFile|ServiceRace|ServicePump|ServiceFrontEnd|ShardHash|ShardMailbox|ArrivalTrace|SubmissionQueue|TenantLedger|Adversary|Credit' \
       --output-on-failure -j "$(nproc)" )
 fi
 
@@ -172,6 +172,33 @@ build/bench/service_load --quick --csv --jobs 1 --shards 16 \
 cmp "$smoke_dir/service_serial.csv" "$smoke_dir/service_k1.csv"
 cmp "$smoke_dir/service_serial.csv" "$smoke_dir/service_k4.csv"
 cmp "$smoke_dir/service_serial.csv" "$smoke_dir/service_k16.csv"
+
+echo "== tier-1: adversary smoke (ledger determinism across --jobs/--shards) =="
+# The adversarial-tenant cells with the TenantLedger engaged: fanned-out,
+# serial, and 1/16-shard runs must be byte-identical — including the
+# ledger_fingerprint column, which pins audit order, credit balances, and
+# penalty rungs themselves to the K-invariance contract (DESIGN §17).
+build/bench/adversary --quick --csv --jobs "$(nproc)" \
+  > "$smoke_dir/adversary_par.csv"
+build/bench/adversary --quick --csv --jobs 1 \
+  > "$smoke_dir/adversary_serial.csv"
+build/bench/adversary --quick --csv --jobs 1 --shards 1 \
+  > "$smoke_dir/adversary_k1.csv"
+build/bench/adversary --quick --csv --jobs "$(nproc)" --shards 16 \
+  > "$smoke_dir/adversary_k16.csv"
+cmp "$smoke_dir/adversary_par.csv" "$smoke_dir/adversary_serial.csv"
+cmp "$smoke_dir/adversary_serial.csv" "$smoke_dir/adversary_k1.csv"
+cmp "$smoke_dir/adversary_serial.csv" "$smoke_dir/adversary_k16.csv"
+
+echo "== tier-1: adversary snapshot (BENCH_adversary.json) =="
+# Exits non-zero if one WSS inflator among eight tenants costs honest
+# tenants < 25% unenforced (the attack stopped mattering), if enforcement
+# recovers < 90% of all-honest honest-tenant goodput, if an all-honest
+# fleet pays > 2% for the machinery, if Jain fairness fails to improve,
+# if credit conservation breaks — or, against the committed snapshot, if
+# recovery falls > 0.10 or any cell's honest goodput drops > 10%.
+( cd build/bench && ./adversary --out BENCH_adversary.json \
+    --baseline ../../BENCH_adversary.json )
 
 echo "== tier-1: service load snapshot (BENCH_service.json) =="
 # Exits non-zero if locality routing stops out-serving random placement on

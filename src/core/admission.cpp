@@ -156,6 +156,7 @@ bool AdmissionCore::fast_admit(AdmitRequest& request, double now,
   record.reuse = request.reuse;
   record.label = std::move(request.label);
   record.declared_demand = declared;
+  record.declared_bandwidth = record.demand_for(ResourceKind::kMemBandwidth);
   record.begin_time = now;
   record.lease_epoch = monitor_.epoch();
   record.admitted = true;  // budget already charged
@@ -219,6 +220,13 @@ AdmitTicket AdmissionCore::slow_admit_locked(AdmitRequest request, double now,
                                              double occupancy_cap) {
   AdmitTicket ticket;
   ticket.occupancy_cap = occupancy_cap;
+  const double declared_bandwidth =
+      [&] {
+        for (const ResourceDemand& d : request.demands) {
+          if (d.resource == ResourceKind::kMemBandwidth) return d.amount;
+        }
+        return 0.0;
+      }();
   ResourceDemand& primary = request.demands.front();
   if (primary.resource == ResourceKind::kLLC) {
     // Counter-feedback: charge the corrected demand learned from previous
@@ -227,12 +235,30 @@ AdmitTicket AdmissionCore::slow_admit_locked(AdmitRequest request, double now,
     if (config_.feedback.enable) {
       primary.amount *= corrector_.correction(request.label);
     }
+    // Tenant-truth haircut: a tenant past the ledger's rung 1 is charged
+    // its audited usage ratio — an inflator pays what it uses, an
+    // under-declarer what it takes. Per-tenant intent on top of the
+    // per-label corrector above.
+    if (config_.tenant_ledger != nullptr) {
+      primary.amount *= config_.tenant_ledger->demand_correction(
+          static_cast<std::uint64_t>(request.process));
+    }
     if (config_.partitioning.enable &&
         primary.amount > resources_.capacity(ResourceKind::kLLC)) {
       ticket.occupancy_cap = config_.partitioning.streaming_fraction *
                              resources_.capacity(ResourceKind::kLLC);
       primary.amount = ticket.occupancy_cap;
       partitioned = true;
+    }
+  }
+  if (config_.feedback.enable) {
+    // Vector-demand feedback: bandwidth corrections live in their own
+    // per-kind state, so an LLC-only misdeclaration never reshapes the
+    // bandwidth charge (and vice versa).
+    for (ResourceDemand& d : request.demands) {
+      if (d.resource == ResourceKind::kMemBandwidth) {
+        d.amount *= corrector_.correction(request.label, d.resource);
+      }
     }
   }
 
@@ -256,6 +282,7 @@ AdmitTicket AdmissionCore::slow_admit_locked(AdmitRequest request, double now,
   record.reuse = request.reuse;
   record.label = std::move(request.label);
   record.declared_demand = declared;
+  record.declared_bandwidth = declared_bandwidth;
   const ProgressMonitor::BeginOutcome outcome =
       monitor_.begin_period(std::move(record), now);
 
@@ -484,11 +511,32 @@ ReleaseTicket AdmissionCore::slow_release(PeriodId id,
       observed.peak_occupancy *= fired->factor;
     }
   }
-  if (observed.has_counters && config_.feedback.enable) {
+  if (observed.has_counters &&
+      (config_.feedback.enable || config_.tenant_ledger != nullptr)) {
+    // A reaped or reclaimed period may already be gone (end_period below
+    // rejects unknown ids itself); a vanished record simply has no
+    // declaration left to audit.
     const PeriodRecord* active = monitor_.registry().find(id);
-    RDA_CHECK_MSG(active != nullptr, "pp_end with unknown period id " << id);
-    corrector_.observe(active->label, active->declared_demand,
-                       observed.peak_occupancy, observed.cache_contended);
+    if (active != nullptr) {
+      if (config_.feedback.enable) {
+        corrector_.observe(active->label, active->declared_demand,
+                           observed.peak_occupancy, observed.cache_contended);
+        if (observed.has_bandwidth && active->declared_bandwidth > 0.0) {
+          corrector_.observe(active->label, ResourceKind::kMemBandwidth,
+                             active->declared_bandwidth,
+                             observed.peak_bandwidth,
+                             observed.bandwidth_contended);
+        }
+      }
+      // Tenant-truth audit: the same counter evidence the corrector
+      // consumes, judged per TENANT (the process identity), not per label.
+      if (config_.tenant_ledger != nullptr) {
+        config_.tenant_ledger->audit(
+            static_cast<std::uint64_t>(active->process),
+            active->declared_demand, observed.peak_occupancy,
+            observed.cache_contended, now);
+      }
+    }
   }
   if (!config_.fast_path) {
     // end_period itself rejects unknown ids; no pre-lookup needed.

@@ -54,6 +54,7 @@
 
 #include "core/feedback.hpp"
 #include "core/policy.hpp"
+#include "core/tenant_ledger.hpp"
 #include "core/predicate.hpp"
 #include "core/progress_monitor.hpp"
 #include "core/resource_monitor.hpp"
@@ -114,6 +115,13 @@ struct AdmissionConfig {
   /// (the corrector is serial state).
   FeedbackOptions feedback{};
   MonitorOptions monitor{};
+  /// Tenant-truth enforcement tier (non-owning; nullptr = off). When set,
+  /// every completed period with counters is audited against its tenant's
+  /// declaration (request.process is the tenant identity) and admissions
+  /// from haircut-rung tenants are charged the audited usage ratio instead
+  /// of the declared demand. Forces every call through the slow lane — the
+  /// ledger is serial state, like the corrector.
+  TenantLedger* tenant_ledger = nullptr;
   /// Admission-lifecycle event sink (non-owning; nullptr = tracing off).
   obs::TraceSink* trace_sink = nullptr;
   /// Fault injection (non-owning; nullptr = off). The core itself consults
@@ -158,6 +166,14 @@ struct ReleaseObservation {
   double peak_occupancy = 0.0;  ///< bytes actually resident at peak
   bool cache_contended = false;
   bool has_counters = false;
+  /// Observed DRAM bandwidth (bytes/second) for the vector-demand feedback
+  /// path; consumed only when has_bandwidth is set AND the period declared
+  /// a kMemBandwidth demand.
+  double peak_bandwidth = 0.0;
+  bool has_bandwidth = false;
+  /// True when the memory bus was saturated while the period ran — its
+  /// bandwidth peak is then a lower bound, like cache_contended for the LLC.
+  bool bandwidth_contended = false;
 };
 
 /// Outcome of release().
@@ -355,7 +371,8 @@ class AdmissionCore {
   /// seq_cst atomics.
   bool calm() const {
     return combiner_calm_ && config_.fault_injector == nullptr &&
-           !config_.feedback.enable && monitor_.waitlist().size() == 0 &&
+           !config_.feedback.enable && config_.tenant_ledger == nullptr &&
+           monitor_.waitlist().size() == 0 &&
            monitor_.disabled_pool_count() == 0;
   }
 

@@ -13,22 +13,23 @@ DemandCorrector::DemandCorrector(FeedbackOptions options)
   RDA_CHECK(options_.max_correction >= options_.min_correction);
 }
 
-double DemandCorrector::correction(const std::string& label) const {
+double DemandCorrector::correction(const std::string& label,
+                                   ResourceKind kind) const {
   if (!options_.enable) return 1.0;
   const auto it = states_.find(label);
-  if (it == states_.end() || it->second.samples < options_.min_samples) {
-    return 1.0;
-  }
-  return std::clamp(it->second.ratio, options_.min_correction,
+  if (it == states_.end()) return 1.0;
+  const State& state = it->second[static_cast<std::size_t>(kind)];
+  if (state.samples < options_.min_samples) return 1.0;
+  return std::clamp(state.ratio, options_.min_correction,
                     options_.max_correction);
 }
 
-void DemandCorrector::observe(const std::string& label,
+void DemandCorrector::observe(const std::string& label, ResourceKind kind,
                               double declared_demand, double observed_peak,
                               bool contended) {
   if (!options_.enable || declared_demand <= 0.0) return;
   ++observations_;
-  State& state = states_[label];
+  State& state = states_[label][static_cast<std::size_t>(kind)];
   ++state.samples;
   const double ratio = observed_peak / declared_demand;
   if (contended) {

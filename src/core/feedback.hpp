@@ -7,16 +7,26 @@
 // efficiently ... and is therefore a subject to explore in later work."
 //
 // This module implements that hybrid: each completed period's observed peak
-// LLC occupancy (the counter view) is compared with its declared demand, and
-// future instances of the same period — identified by its label, i.e. its
-// static code location, which the paper argues is the stable key — are
-// charged a corrected demand. Over-declaring code stops wasting capacity;
+// usage (the counter view) is compared with its declared demand, and future
+// instances of the same period — identified by its label, i.e. its static
+// code location, which the paper argues is the stable key — are charged a
+// corrected demand. Over-declaring code stops wasting capacity;
 // under-declaring code stops thrashing its neighbours.
+//
+// Vector demands (PR 8) made declarations multi-resource, so correction
+// state is kept per (label, resource kind): a loop that over-declares its
+// LLC working set but nails its DRAM bandwidth gets its LLC charge shrunk
+// without its bandwidth charge moving, and vice versa. The kind-less
+// overloads are the original LLC-only API and keep every existing call
+// site and trace bit-identical.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+
+#include "common/types.hpp"
 
 namespace rda::core {
 
@@ -31,7 +41,7 @@ struct FeedbackOptions {
   /// Clamp on the correction factor.
   double min_correction = 0.25;
   double max_correction = 4.0;
-  /// Observations required before a correction is applied.
+  /// Observations required before a correction is applied (per kind).
   std::uint32_t min_samples = 2;
 };
 
@@ -40,15 +50,25 @@ class DemandCorrector {
   explicit DemandCorrector(FeedbackOptions options = {});
 
   /// Multiplier to apply to the declared demand of a period with this
-  /// label; 1.0 while unknown or under-sampled.
-  double correction(const std::string& label) const;
+  /// label on this resource kind; 1.0 while unknown or under-sampled.
+  double correction(const std::string& label, ResourceKind kind) const;
+  /// LLC shorthand (the original single-resource API).
+  double correction(const std::string& label) const {
+    return correction(label, ResourceKind::kLLC);
+  }
 
-  /// Records one completed period: what it declared vs the peak occupancy
-  /// the counters saw. `contended` should be true when the cache was full
-  /// while the period ran (its peak is then a lower bound, not a
-  /// measurement, and must not shrink the correction).
+  /// Records one completed period on one resource kind: what it declared vs
+  /// the peak usage the counters saw. `contended` should be true when the
+  /// resource was saturated while the period ran (its peak is then a lower
+  /// bound, not a measurement, and must not shrink the correction).
+  void observe(const std::string& label, ResourceKind kind,
+               double declared_demand, double observed_peak, bool contended);
+  /// LLC shorthand (the original single-resource API).
   void observe(const std::string& label, double declared_demand,
-               double observed_peak, bool contended);
+               double observed_peak, bool contended) {
+    observe(label, ResourceKind::kLLC, declared_demand, observed_peak,
+            contended);
+  }
 
   std::size_t tracked_labels() const { return states_.size(); }
   std::uint64_t observations() const { return observations_; }
@@ -61,7 +81,9 @@ class DemandCorrector {
   };
 
   FeedbackOptions options_;
-  std::unordered_map<std::string, State> states_;
+  /// One independent correction state per resource kind under each label.
+  std::unordered_map<std::string, std::array<State, kNumResourceKinds>>
+      states_;
   std::uint64_t observations_ = 0;
 };
 

@@ -20,6 +20,7 @@ AdmissionConfig to_core_config(double llc_capacity_bytes,
   config.partitioning = options.partitioning;
   config.feedback = options.feedback;
   config.monitor = options.monitor;
+  config.tenant_ledger = options.tenant_ledger;
   config.trace_sink = options.trace_sink;
   config.fault_injector = options.fault_injector;
   return config;
@@ -116,6 +117,13 @@ sim::EndResult RdaScheduler::on_phase_end(sim::ThreadId thread,
   counters.peak_occupancy = observed.peak_occupancy;
   counters.cache_contended = observed.cache_contended;
   counters.has_counters = true;
+  if (observed.duration > 0.0 && observed.dram_bytes > 0.0) {
+    // The DRAM-traffic counter view of the phase: average achieved
+    // bandwidth, the trustworthy signal to audit a declared bytes/second
+    // demand against.
+    counters.peak_bandwidth = observed.dram_bytes / observed.duration;
+    counters.has_bandwidth = true;
+  }
   const ReleaseTicket ticket = core_.release(*id, counters, now);
 
   sim::EndResult result;

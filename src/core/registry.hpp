@@ -44,6 +44,10 @@ struct PeriodRecord {
   /// amount; what observed hardware counters are compared against at
   /// release. 0 only for records built outside AdmissionCore.
   double declared_demand = 0.0;
+  /// DRAM-bandwidth demand as DECLARED (before counter-feedback reshaped
+  /// the charged amount); what observed bandwidth is compared against at
+  /// release. 0 when the period declared none.
+  double declared_bandwidth = 0.0;
   /// Lease epoch at begin (refreshed by heartbeat); sweep() reaps periods
   /// whose lease is older than the configured age.
   std::uint64_t lease_epoch = 0;

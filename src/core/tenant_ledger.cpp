@@ -1,0 +1,269 @@
+#include "core/tenant_ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace rda::core {
+
+TenantLedger::TenantLedger(TenantLedgerOptions options)
+    : options_(options) {
+  RDA_CHECK(options_.tolerance > 0.0);
+  RDA_CHECK(options_.honesty_decay > 0.0 && options_.honesty_decay < 1.0);
+  RDA_CHECK(options_.ratio_decay > 0.0 && options_.ratio_decay <= 1.0);
+  RDA_CHECK(options_.escalate_after >= 1);
+  RDA_CHECK(options_.recover_after >= 1);
+  RDA_CHECK(options_.correction_min > 0.0);
+  RDA_CHECK(options_.correction_max >= options_.correction_min);
+  RDA_CHECK(options_.credit_unit_bytes > 0.0);
+  RDA_CHECK(options_.surcharge >= 1.0);
+}
+
+void TenantLedger::trace(obs::EventKind kind, double now,
+                         std::uint64_t tenant, double demand) const {
+  if (options_.trace_sink == nullptr) return;
+  obs::Event e;
+  e.time = now;
+  e.kind = kind;
+  e.process = static_cast<sim::ProcessId>(tenant);
+  e.demand = demand;
+  options_.trace_sink->record(e);
+}
+
+TenantVerdict TenantLedger::audit(std::uint64_t tenant, double declared,
+                                  double observed, bool contended,
+                                  double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return audit_locked(tenant, declared, observed, contended, now);
+}
+
+TenantVerdict TenantLedger::audit_locked(std::uint64_t tenant,
+                                         double declared, double observed,
+                                         bool contended, double now) {
+  TenantVerdict verdict;
+  if (tenant == 0 || declared <= 0.0) {
+    verdict.counted = false;
+    return verdict;  // anonymous or unpriced work is not auditable
+  }
+  ++audits_;
+  TenantState& state = tenants_[tenant];
+  ++state.audit_count;
+
+  const double ratio = std::max(observed, 0.0) / declared;
+  const double band = std::log1p(options_.tolerance);
+  // ratio == 0 means the counters saw nothing resident — treat as maximal
+  // inflation rather than feeding log(0) through the band test.
+  const bool honest =
+      ratio > 0.0 && std::abs(std::log(ratio)) <= band;
+
+  if (contended && ratio < 1.0) {
+    // Contended lower bound: the period may have been unable to grow its
+    // occupancy, so an apparent over-declaration proves nothing. Record the
+    // audit (the ratio may still GROW toward 1) but touch no streak and no
+    // score — this is the recoverability guarantee for honest-but-contended
+    // tenants.
+    state.ratio = std::max(state.ratio, ratio);
+    verdict.counted = false;
+    verdict.rung = state.rung;
+    return verdict;
+  }
+
+  // Decayed running max, exactly the DemandCorrector shape: the haircut
+  // relaxes only under repeated consistent evidence.
+  state.ratio = std::max(ratio, state.ratio * options_.ratio_decay);
+  state.honesty = options_.honesty_decay * state.honesty +
+                  (1.0 - options_.honesty_decay) * (honest ? 1.0 : 0.0);
+  verdict.honest = honest;
+
+  if (honest) {
+    state.honest_streak += 1;
+    state.divergent_streak = 0;
+    // Karma donation: honest unused reservation becomes credits. Truncation
+    // (floor + cap) happens at grant time so conservation stays exact.
+    if (declared > observed) {
+      const double unused = declared - observed;
+      auto units = static_cast<std::uint64_t>(
+          unused / options_.credit_unit_bytes);
+      const std::uint64_t room =
+          state.credits >= options_.credit_cap
+              ? 0
+              : options_.credit_cap - state.credits;
+      units = std::min(units, room);
+      if (units > 0) {
+        state.credits += units;
+        state.granted += units;
+        total_granted_ += units;
+        verdict.credits_granted = units;
+        trace(obs::EventKind::kCreditGrant, now, tenant,
+              static_cast<double>(units));
+      }
+    }
+    if (state.rung > 0 && state.honest_streak >= options_.recover_after) {
+      state.honest_streak = 0;
+      --state.rung;
+      verdict.rung_changed = true;
+      trace(obs::EventKind::kPenalty, now, tenant,
+            static_cast<double>(state.rung));
+    }
+  } else {
+    state.divergent_streak += 1;
+    state.honest_streak = 0;
+    if (state.audit_count >= options_.min_audits && state.rung < 4 &&
+        state.divergent_streak >= options_.escalate_after) {
+      state.divergent_streak = 0;
+      ++state.rung;
+      ++penalties_;
+      verdict.rung_changed = true;
+      trace(obs::EventKind::kPenalty, now, tenant,
+            static_cast<double>(state.rung));
+    }
+  }
+  verdict.rung = state.rung;
+  return verdict;
+}
+
+void TenantLedger::apply(std::span<const AuditRecord> records) {
+  if (records.empty()) return;
+  std::vector<const AuditRecord*> ordered;
+  ordered.reserve(records.size());
+  for (const AuditRecord& r : records) ordered.push_back(&r);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const AuditRecord* a, const AuditRecord* b) {
+              return a->audit_seq < b->audit_seq;
+            });
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const AuditRecord* r : ordered) {
+    audit_locked(r->tenant, r->declared, r->observed, r->contended, r->time);
+  }
+}
+
+int TenantLedger::rung(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.rung;
+}
+
+double TenantLedger::demand_correction(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.rung < 1) return 1.0;
+  return std::clamp(it->second.ratio, options_.correction_min,
+                    options_.correction_max);
+}
+
+double TenantLedger::honesty(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 1.0 : it->second.honesty;
+}
+
+double TenantLedger::credit_price(std::uint64_t tenant) const {
+  return rung(tenant) >= 2 ? options_.surcharge : 1.0;
+}
+
+bool TenantLedger::within_quota(std::uint64_t tenant,
+                                std::uint64_t open) const {
+  if (rung(tenant) < 4) return true;
+  return open < options_.quota_outstanding;
+}
+
+std::uint64_t TenantLedger::spend(std::uint64_t tenant, std::uint64_t want,
+                                  double now) {
+  if (want == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0;
+  const std::uint64_t paid = std::min(want, it->second.credits);
+  if (paid == 0) return 0;
+  it->second.credits -= paid;
+  it->second.spent += paid;
+  total_spent_ += paid;
+  trace(obs::EventKind::kCreditSpend, now, tenant,
+        static_cast<double>(paid));
+  return paid;
+}
+
+std::uint64_t TenantLedger::credits_balance(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.credits;
+}
+
+std::uint64_t TenantLedger::total_granted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_granted_;
+}
+
+std::uint64_t TenantLedger::total_spent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_spent_;
+}
+
+std::uint64_t TenantLedger::total_outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t sum = 0;
+  for (const auto& [tenant, state] : tenants_) sum += state.credits;
+  return sum;
+}
+
+bool TenantLedger::credits_conserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t outstanding = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t spent = 0;
+  for (const auto& [tenant, state] : tenants_) {
+    outstanding += state.credits;
+    granted += state.granted;
+    spent += state.spent;
+    // Per-tenant conservation implies the global identity; check both so a
+    // compensating pair of corruptions cannot cancel out.
+    if (state.granted != state.spent + state.credits) return false;
+  }
+  return granted == total_granted_ && spent == total_spent_ &&
+         total_granted_ == total_spent_ + outstanding;
+}
+
+std::uint64_t TenantLedger::audits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return audits_;
+}
+
+std::uint64_t TenantLedger::penalties() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return penalties_;
+}
+
+std::uint64_t TenantLedger::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  const auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (const auto& [tenant, state] : tenants_) {
+    mix(tenant);
+    mix_double(state.honesty);
+    mix_double(state.ratio);
+    mix(state.audit_count);
+    mix(state.divergent_streak);
+    mix(state.honest_streak);
+    mix(static_cast<std::uint64_t>(state.rung));
+    mix(state.credits);
+    mix(state.granted);
+    mix(state.spent);
+  }
+  mix(audits_);
+  mix(penalties_);
+  mix(total_granted_);
+  mix(total_spent_);
+  return h;
+}
+
+}  // namespace rda::core

@@ -1,0 +1,214 @@
+// TenantLedger — the tenant-truth enforcement tier above the admission
+// predicate (ROADMAP item 1).
+//
+// The paper's predicate trusts every pp_begin declaration, so one greedy
+// tenant that inflates its declared WSS hoards LLC capacity and starves
+// honest neighbours, and one that under-declares thrashes them. The ledger
+// closes that gap with three mechanisms layered over the per-LABEL
+// DemandCorrector (which fixes honest mistakes; the ledger judges
+// per-TENANT intent):
+//
+//   1. Demand-truth auditing. Every completed period's measured peak
+//      occupancy is compared against what its tenant declared. An audit is
+//      honest when |log(observed/declared)| stays inside the tolerance
+//      band; each verdict feeds a decayed per-tenant honesty score and the
+//      consecutive-divergence streaks that drive the penalty ladder. A
+//      contended observation whose peak is BELOW the declaration is a lower
+//      bound, not a lie (the period may simply have been unable to grow its
+//      occupancy) — it is recorded but never moves a streak, which is what
+//      makes a contended-but-honest tenant recoverable by construction.
+//
+//   2. Karma-style credit accounting. A tenant whose honest audit shows it
+//      reserved more than it used donates the unused budget as credits
+//      (integer units, so conservation is exact: Σgranted == Σspent +
+//      Σoutstanding at all times); a tenant bursting over its long-term
+//      fair share spends credits. Fair share is thereby a long-term
+//      average, not an instantaneous cap — bursty-but-honest tenants ride
+//      their own banked slack. Divergent audits grant nothing, so inflating
+//      a declaration can never mint credits.
+//
+//   3. A per-tenant penalty ladder, engaging only on SUSTAINED divergence
+//      (escalate_after consecutive divergent audits per rung) and decaying
+//      back on honest behaviour (recover_after consecutive honest audits
+//      per rung):
+//        rung 0  trusted — declarations taken at face value,
+//        rung 1  haircut — declared demand is rescaled by the audited
+//                usage ratio (an inflator is charged what it uses; an
+//                under-declarer is charged what it takes),
+//        rung 2  credit surcharge — bursts cost surcharge× the credits,
+//        rung 3  deprioritized — the tenant's submissions go to the back
+//                of every admission batch,
+//        rung 4  hard quota — at most quota_outstanding submissions open
+//                (admitted or parked) at once; the excess is shed.
+//      Rungs compose downward: rung 4 also pays the haircut, surcharge,
+//      and deprioritization.
+//
+// Determinism contract (the K-invariance discipline of DESIGN §16): audits
+// arriving from K drain shards are captured as per-shard AuditRecord slices
+// stamped with a global audit_seq and applied through apply(), which sorts
+// by seq — so ledger state, fingerprint(), and every enforcement decision
+// are byte-identical for any shard count. The ledger is internally
+// synchronized (one mutex; state is tiny and off every fast path) so the
+// sharded AdmissionCore's slow lanes can audit concurrently with admission
+// queries from other threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace rda::core {
+
+struct TenantLedgerOptions {
+  /// Honest band: |log(observed/declared)| <= log(1 + tolerance).
+  double tolerance = 0.30;
+  /// Per-audit EMA weight of the PREVIOUS honesty score (1 − this is the
+  /// weight of the fresh verdict).
+  double honesty_decay = 0.80;
+  /// Decay for the audited usage ratio (same shape as FeedbackOptions:
+  /// a decayed running max so the haircut only relaxes under repeated
+  /// consistent evidence).
+  double ratio_decay = 0.90;
+  /// Audits required before any penalty can engage — one noisy period must
+  /// not brand a tenant.
+  std::uint32_t min_audits = 3;
+  /// Consecutive divergent audits to climb one rung.
+  std::uint32_t escalate_after = 3;
+  /// Consecutive honest audits to descend one rung.
+  std::uint32_t recover_after = 6;
+  /// Haircut clamp (rung >= 1): declared × clamp(ratio, min, max).
+  double correction_min = 0.10;
+  double correction_max = 8.0;
+  /// Bytes of unused honest reservation per credit unit.
+  double credit_unit_bytes = 64.0 * 1024.0;
+  /// Per-tenant credit balance cap (units); grants truncate here so one
+  /// idle tenant cannot bank unbounded burst rights.
+  std::uint64_t credit_cap = 1u << 20;
+  /// Rung >= 2: bursts cost this multiple of the base credit price.
+  double surcharge = 4.0;
+  /// Rung 4: max open (admitted + parked) submissions per tenant.
+  std::uint64_t quota_outstanding = 2;
+  /// Event sink for kPenalty / kCreditGrant / kCreditSpend (non-owning;
+  /// nullptr = tracing off).
+  obs::TraceSink* trace_sink = nullptr;
+};
+
+/// One captured audit: a completed period's declared primary demand vs the
+/// peak occupancy the counters (or the service's occupancy model) saw.
+/// Captured per drain shard, stamped with a GLOBAL completion-order seq,
+/// merged and applied deterministically by TenantLedger::apply.
+struct AuditRecord {
+  std::uint64_t audit_seq = 0;
+  std::uint64_t tenant = 0;
+  double declared = 0.0;
+  double observed = 0.0;
+  bool contended = false;
+  double time = 0.0;
+};
+
+/// Outcome of one audit, for tests and stats.
+struct TenantVerdict {
+  bool honest = false;
+  bool counted = true;  ///< false: contended lower bound, streaks untouched
+  int rung = 0;         ///< rung AFTER this audit
+  bool rung_changed = false;
+  std::uint64_t credits_granted = 0;
+};
+
+class TenantLedger {
+ public:
+  explicit TenantLedger(TenantLedgerOptions options = {});
+
+  TenantLedger(const TenantLedger&) = delete;
+  TenantLedger& operator=(const TenantLedger&) = delete;
+
+  /// Audits one completed period and applies its consequences (honesty
+  /// EMA, streaks, rung moves, credit grant). Thread-safe.
+  TenantVerdict audit(std::uint64_t tenant, double declared, double observed,
+                      bool contended, double now);
+
+  /// Applies a batch of captured audits in audit_seq order (the records
+  /// may arrive unsorted — one slice per drain shard; apply() owns the
+  /// deterministic merge). Equivalent to calling audit() per record in seq
+  /// order.
+  void apply(std::span<const AuditRecord> records);
+
+  /// Current penalty rung of a tenant (0 = trusted / unknown).
+  int rung(std::uint64_t tenant) const;
+
+  /// Declared-demand multiplier (rung >= 1): the audited usage ratio,
+  /// clamped — < 1 shrinks an inflator's reservation to what it uses,
+  /// > 1 grows an under-declarer's to what it takes. 1.0 below rung 1.
+  double demand_correction(std::uint64_t tenant) const;
+
+  /// Decayed honesty score in [0, 1]; 1.0 for unknown tenants.
+  double honesty(std::uint64_t tenant) const;
+
+  /// Credit price multiplier for a burst (surcharge at rung >= 2, else 1).
+  double credit_price(std::uint64_t tenant) const;
+
+  /// True when the tenant is past the deprioritization rung.
+  bool deprioritized(std::uint64_t tenant) const { return rung(tenant) >= 3; }
+
+  /// Rung-4 quota check: may this tenant open one more submission given
+  /// `open` already admitted or parked? Always true below rung 4.
+  bool within_quota(std::uint64_t tenant, std::uint64_t open) const;
+
+  /// Spends up to `want` credit units; returns the units actually spent
+  /// (the whole balance when it falls short — the caller learns the
+  /// deficit from the difference). Thread-safe.
+  std::uint64_t spend(std::uint64_t tenant, std::uint64_t want, double now);
+
+  /// --- Conservation + determinism ----------------------------------------
+
+  std::uint64_t credits_balance(std::uint64_t tenant) const;
+  std::uint64_t total_granted() const;
+  std::uint64_t total_spent() const;
+  std::uint64_t total_outstanding() const;
+  /// Σgranted == Σspent + Σoutstanding, exactly (integer units).
+  bool credits_conserved() const;
+
+  std::uint64_t audits() const;
+  std::uint64_t penalties() const;  ///< rung escalations applied
+
+  /// Order-sensitive digest of the full per-tenant state (tenants walked in
+  /// id order). Equal fingerprints mean byte-identical ledgers — the
+  /// cross-K determinism tests compare exactly this.
+  std::uint64_t fingerprint() const;
+
+  const TenantLedgerOptions& options() const { return options_; }
+
+ private:
+  struct TenantState {
+    double honesty = 1.0;          ///< decayed EMA of honest verdicts
+    double ratio = 1.0;            ///< decayed audited observed/declared
+    std::uint32_t audit_count = 0;
+    std::uint32_t divergent_streak = 0;
+    std::uint32_t honest_streak = 0;
+    int rung = 0;
+    std::uint64_t credits = 0;         ///< outstanding balance (units)
+    std::uint64_t granted = 0;         ///< lifetime grants (units)
+    std::uint64_t spent = 0;           ///< lifetime spends (units)
+  };
+
+  TenantVerdict audit_locked(std::uint64_t tenant, double declared,
+                             double observed, bool contended, double now);
+  void trace(obs::EventKind kind, double now, std::uint64_t tenant,
+             double demand) const;
+
+  TenantLedgerOptions options_;
+  mutable std::mutex mu_;
+  /// Ordered so fingerprint() and iteration are deterministic without a
+  /// per-call sort.
+  std::map<std::uint64_t, TenantState> tenants_;
+  std::uint64_t audits_ = 0;
+  std::uint64_t penalties_ = 0;
+  std::uint64_t total_granted_ = 0;
+  std::uint64_t total_spent_ = 0;
+};
+
+}  // namespace rda::core

@@ -40,9 +40,12 @@ enum class EventKind : std::uint8_t {
   kSteal,        ///< idle node stole a tenant batch; demand = batch size
   kShed,         ///< overload ladder rung 3: submission shed before admission
   kMailbox,      ///< requeued submission posted to a drain shard's mailbox
+  kPenalty,      ///< tenant ledger moved a tenant's penalty rung; demand = rung
+  kCreditGrant,  ///< unused fair share banked as credits; demand = units
+  kCreditSpend,  ///< burst over fair share paid in credits; demand = units
 };
 
-inline constexpr std::size_t kNumEventKinds = 18;
+inline constexpr std::size_t kNumEventKinds = 21;
 
 constexpr std::string_view to_string(EventKind kind) {
   switch (kind) {
@@ -64,6 +67,9 @@ constexpr std::string_view to_string(EventKind kind) {
     case EventKind::kSteal: return "steal";
     case EventKind::kShed: return "shed";
     case EventKind::kMailbox: return "mailbox";
+    case EventKind::kPenalty: return "penalty";
+    case EventKind::kCreditGrant: return "credit_grant";
+    case EventKind::kCreditSpend: return "credit_spend";
   }
   return "?";
 }

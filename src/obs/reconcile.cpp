@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <map>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
@@ -35,11 +36,14 @@ ReconcileReport reconcile(std::span<const Event> events,
     if (e.kind == EventKind::kNodeDown || e.kind == EventKind::kNodeUp ||
         e.kind == EventKind::kEnqueue || e.kind == EventKind::kBatchDrain ||
         e.kind == EventKind::kSteal || e.kind == EventKind::kShed ||
-        e.kind == EventKind::kMailbox) {
+        e.kind == EventKind::kMailbox || e.kind == EventKind::kPenalty ||
+        e.kind == EventKind::kCreditGrant ||
+        e.kind == EventKind::kCreditSpend) {
       // Node-health transitions carry a node id, not a period id; service
-      // queue events happen before (or instead of) the core lifecycle. Both
-      // live outside the per-period machine — reconcile_service covers the
-      // queue-side ledger.
+      // queue events happen before (or instead of) the core lifecycle;
+      // tenant-ledger events (penalty rung moves, credit flow) carry a
+      // tenant id. All live outside the per-period machine —
+      // reconcile_service covers the queue-side ledger.
       continue;
     }
     const auto it = periods.find(e.period);
@@ -137,6 +141,9 @@ ReconcileReport reconcile(std::span<const Event> events,
       case EventKind::kSteal:
       case EventKind::kShed:
       case EventKind::kMailbox:
+      case EventKind::kPenalty:
+      case EventKind::kCreditGrant:
+      case EventKind::kCreditSpend:
         break;  // handled above
     }
   }
@@ -209,7 +216,17 @@ ReconcileReport reconcile_service(std::span<const Event> events,
   std::uint64_t mailboxed = 0;
   std::uint64_t sheds = 0;
   std::uint64_t begins = 0;
+  std::uint64_t ends = 0;
   std::uint64_t drained = 0;  // Σ batch sizes carried by kBatchDrain
+  // Per-tenant attribution: service events and the core lifecycle both
+  // carry the tenant id in Event::process (ordered map → sorted rows).
+  std::map<std::uint64_t, TenantLedgerRow> tenants;
+  const auto row = [&](const Event& e) -> TenantLedgerRow& {
+    const auto id = static_cast<std::uint64_t>(e.process);
+    TenantLedgerRow& r = tenants[id];
+    r.tenant = id;
+    return r;
+  };
   for (const Event& e : events) {
     switch (e.kind) {
       case EventKind::kEnqueue: ++enqueues; break;
@@ -222,10 +239,37 @@ ReconcileReport reconcile_service(std::span<const Event> events,
         stolen += static_cast<std::uint64_t>(e.demand);
         break;
       case EventKind::kMailbox: ++mailboxed; break;
-      case EventKind::kShed: ++sheds; break;
-      case EventKind::kBegin: ++begins; break;
+      case EventKind::kShed:
+        ++sheds;
+        ++row(e).sheds;
+        break;
+      case EventKind::kBegin:
+        ++begins;
+        ++row(e).begins;
+        break;
+      case EventKind::kEnd:
+        ++ends;
+        ++row(e).ends;
+        break;
       default: break;
     }
+  }
+  report.tenants.reserve(tenants.size());
+  TenantLedgerRow sum;
+  for (const auto& [id, r] : tenants) {
+    report.tenants.push_back(r);
+    sum.begins += r.begins;
+    sum.ends += r.ends;
+    sum.sheds += r.sheds;
+  }
+  // The rows partition the stream: a begin/end/shed outside every row would
+  // mean tenant identity was dropped between arrival and the core.
+  if (sum.begins != begins || sum.ends != ends || sum.sheds != sheds) {
+    std::ostringstream os;
+    os << "per-tenant rows do not sum to totals: begins " << sum.begins
+       << "/" << begins << ", ends " << sum.ends << "/" << ends
+       << ", sheds " << sum.sheds << "/" << sheds;
+    fail(os.str());
   }
 
   const auto expect = [&](std::uint64_t seen, std::uint64_t stat,

@@ -17,6 +17,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/progress_monitor.hpp"
 #include "obs/event.hpp"
@@ -24,6 +25,18 @@
 #include "obs/summary.hpp"
 
 namespace rda::obs {
+
+/// One tenant's slice of the service ledger (reconcile_service): how many
+/// of the stream's core begins, core ends, and queue sheds carried this
+/// tenant id (Event::process). Rows are sorted by tenant and must sum to
+/// the stream totals — a begin or shed attributed to no tenant row means
+/// identity was lost somewhere between arrival and the core.
+struct TenantLedgerRow {
+  std::uint64_t tenant = 0;
+  std::uint64_t begins = 0;
+  std::uint64_t ends = 0;
+  std::uint64_t sheds = 0;
+};
 
 struct ReconcileReport {
   bool ok = true;
@@ -33,6 +46,10 @@ struct ReconcileReport {
   std::uint64_t begin_forced = 0;    ///< force-admits on the begin path
   std::uint64_t still_blocked = 0;   ///< periods blocked at capture end
   std::uint64_t still_admitted = 0;  ///< periods admitted but not yet ended
+
+  /// Per-tenant begins/ends/sheds (populated by reconcile_service only;
+  /// sorted by tenant id, rows sum to the stream totals).
+  std::vector<TenantLedgerRow> tenants;
 };
 
 /// Requires a complete capture (EventRing::dropped() == 0) — a lossy ring
@@ -85,6 +102,8 @@ struct ServiceStatsCheck {
 ///     hop to its drain shard, and none was invented or dropped in transit.
 /// A node dying mid-drain and rejoining must not break any of these: a lost
 /// submission shows up as a drain/begin gap, a double-admit as excess begins.
+/// Also fills ReconcileReport::tenants with per-tenant begins/ends/sheds
+/// rows (keyed by Event::process) and fails unless they sum to the totals.
 ReconcileReport reconcile_service(std::span<const Event> events,
                                   const ServiceStatsCheck& service);
 

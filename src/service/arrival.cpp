@@ -22,6 +22,16 @@ std::string_view to_string(ArrivalShape shape) {
   return "?";
 }
 
+std::string_view to_string(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kNone: return "none";
+    case AdversaryKind::kWssInflator: return "wss-inflator";
+    case AdversaryKind::kUnderDeclarer: return "under-declarer";
+    case AdversaryKind::kChurn: return "churn";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Exponential gap with mean 1/rate. 1 - u is in (0, 1], so the log is
@@ -43,6 +53,10 @@ ArrivalGenerator::ArrivalGenerator(ArrivalConfig config)
                 "burst fraction must be in (0, 1)");
   RDA_CHECK_MSG(config_.burst_multiplier >= 1.0,
                 "burst multiplier must be >= 1");
+  RDA_CHECK_MSG(config_.adversary.factor > 0.0,
+                "adversary factor must be positive");
+  RDA_CHECK_MSG(config_.adversary.churn_pieces >= 1,
+                "churn must emit at least one piece");
 }
 
 double ArrivalGenerator::next_gap() {
@@ -97,6 +111,12 @@ double ArrivalGenerator::next_gap() {
 }
 
 Arrival ArrivalGenerator::next() {
+  if (!pending_.empty()) {
+    Arrival stub = pending_.front();
+    pending_.pop_front();
+    stub.seq = seq_++;
+    return stub;
+  }
   time_ += next_gap();
 
   Arrival a;
@@ -120,12 +140,41 @@ Arrival ArrivalGenerator::next() {
   if (config_.watts_mean > 0.0) {
     a.watts = jitter(config_.watts_mean, config_.watts_spread);
   }
+
+  // Adversary overlay: transforms the already-drawn arrival, so RNG
+  // consumption — and every honest tenant's sub-stream — is untouched.
+  const AdversaryConfig& adv = config_.adversary;
+  if (adv.kind != AdversaryKind::kNone && a.tenant == adv.tenant) {
+    switch (adv.kind) {
+      case AdversaryKind::kNone:
+        break;
+      case AdversaryKind::kWssInflator:
+        a.true_demand_bytes = a.demand_bytes;
+        a.demand_bytes *= adv.factor;
+        break;
+      case AdversaryKind::kUnderDeclarer:
+        a.true_demand_bytes = a.demand_bytes * adv.factor;
+        break;
+      case AdversaryKind::kChurn: {
+        a.service_seconds /= static_cast<double>(adv.churn_pieces);
+        for (std::uint32_t p = 1; p < adv.churn_pieces; ++p) {
+          pending_.push_back(a);  // seq assigned at emission
+        }
+        break;
+      }
+    }
+  }
   return a;
 }
 
 namespace {
 
 constexpr char kTraceHeader[] =
+    "time,seq,tenant,demand_bytes,service_seconds,bw_bytes_per_sec,watts,"
+    "true_demand_bytes";
+/// Pre-adversary captures lack the true_demand column; they replay with
+/// true_demand = 0 (every declaration truthful) — bit-identical behavior.
+constexpr char kLegacyTraceHeader[] =
     "time,seq,tenant,demand_bytes,service_seconds,bw_bytes_per_sec,watts";
 
 }  // namespace
@@ -145,7 +194,8 @@ TraceArrivals TraceArrivals::from_csv(const std::string& path) {
   std::string line;
   RDA_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
                 "arrival trace is empty: " + path);
-  RDA_CHECK_MSG(line == kTraceHeader,
+  const bool legacy = line == kLegacyTraceHeader;
+  RDA_CHECK_MSG(legacy || line == kTraceHeader,
                 "arrival trace header mismatch in " + path + ": " + line);
 
   std::vector<Arrival> arrivals;
@@ -171,6 +221,7 @@ TraceArrivals TraceArrivals::from_csv(const std::string& path) {
     field(a.service_seconds);
     field(a.bw_bytes_per_sec);
     field(a.watts);
+    if (!legacy) field(a.true_demand_bytes);
     a.seq = static_cast<std::uint64_t>(seq);
     a.tenant = static_cast<std::uint64_t>(tenant);
     RDA_CHECK_MSG(a.tenant >= 1, "arrival trace tenant ids are 1-based (" +
@@ -203,10 +254,11 @@ void write_arrival_trace_csv(const std::string& path,
   char buf[256];
   for (const Arrival& a : arrivals) {
     std::snprintf(buf, sizeof(buf),
-                  "%.17g,%llu,%llu,%.17g,%.17g,%.17g,%.17g\n", a.time,
+                  "%.17g,%llu,%llu,%.17g,%.17g,%.17g,%.17g,%.17g\n", a.time,
                   static_cast<unsigned long long>(a.seq),
                   static_cast<unsigned long long>(a.tenant), a.demand_bytes,
-                  a.service_seconds, a.bw_bytes_per_sec, a.watts);
+                  a.service_seconds, a.bw_bytes_per_sec, a.watts,
+                  a.true_demand_bytes);
     os << buf;
   }
   util::write_file_atomic(path, os.str());

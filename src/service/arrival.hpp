@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <string>
 #include <string_view>
@@ -41,6 +42,35 @@ enum class ArrivalShape {
 
 std::string_view to_string(ArrivalShape shape);
 
+/// Adversarial tenant behaviors layered over any base shape. The transform
+/// applies AFTER the base draw, so a kNone stream is bit-identical to one
+/// generated before this extension existed.
+enum class AdversaryKind {
+  kNone,
+  /// Declares factor× the working set it will actually touch — reserving
+  /// LLC it never fills, starving honest tenants at admission.
+  kWssInflator,
+  /// Touches factor× the working set it declares — slipping past admission
+  /// cheap, then thrashing the nodes it lands on.
+  kUnderDeclarer,
+  /// Splits every request into `churn_pieces` back-to-back stubs (full
+  /// declared WSS each, 1/pieces of the service time) — same work, pieces×
+  /// the admission/audit traffic.
+  kChurn,
+};
+
+std::string_view to_string(AdversaryKind kind);
+
+struct AdversaryConfig {
+  AdversaryKind kind = AdversaryKind::kNone;
+  /// The misbehaving tenant (1-based; others in the stream stay honest).
+  std::uint64_t tenant = 1;
+  /// Inflation / under-declaration severity (observed-vs-declared ratio is
+  /// 1/factor for the inflator, factor for the under-declarer).
+  double factor = 8.0;
+  std::uint32_t churn_pieces = 8;
+};
+
 /// One submission hitting the front door.
 struct Arrival {
   double time = 0.0;             ///< seconds since stream start
@@ -50,6 +80,10 @@ struct Arrival {
   double service_seconds = 0.0;  ///< base service time once admitted
   double bw_bytes_per_sec = 0.0; ///< declared DRAM bandwidth (0 = none)
   double watts = 0.0;            ///< declared package power (0 = none)
+  /// Working set the request will ACTUALLY touch; 0 = the declaration is
+  /// truthful. Only adversarial streams set it — it is what the service
+  /// layer's occupancy model reports to the audit path.
+  double true_demand_bytes = 0.0;
 };
 
 struct ArrivalConfig {
@@ -91,6 +125,10 @@ struct ArrivalConfig {
   double burst_multiplier = 8.0;
   double burst_fraction = 0.125;
   double burst_mean_seconds = 0.02;
+
+  /// Adversarial-tenant overlay (kNone = every tenant honest; the stream
+  /// is then bit-identical to the pre-adversary generator).
+  AdversaryConfig adversary{};
 };
 
 /// Anything that can feed the front end one arrival at a time: the seeded
@@ -122,6 +160,9 @@ class ArrivalGenerator final : public ArrivalSource {
   // kBursty state machine.
   bool burst_on_ = false;
   double state_ends_ = 0.0;
+  /// kChurn stubs awaiting emission (seq assigned when they leave, so the
+  /// stream's seq stays dense and monotonic).
+  std::deque<Arrival> pending_;
 };
 
 /// Replays a pre-recorded arrival stream. next() past the end is a check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <utility>
 
 #include "util/check.hpp"
@@ -45,6 +46,12 @@ ServiceFrontEnd::ServiceFrontEnd(ServiceConfig config)
                 "shed keep fraction must be in [0, 1)");
   num_shards_ = config_.drain_shards > 0 ? config_.drain_shards
                                          : config_.nodes;
+  true_outstanding_.assign(static_cast<std::size_t>(config_.nodes), 0.0);
+  if (config_.enforce) {
+    core::TenantLedgerOptions opts = config_.ledger;
+    if (opts.trace_sink == nullptr) opts.trace_sink = config_.trace_sink;
+    ledger_ = std::make_unique<core::TenantLedger>(opts);
+  }
   // Every shard queue gets the FULL global capacity: the overflow decision
   // is made against the global backlog in enqueue(), so a per-shard push
   // must never fail on its own — even if the tenant hash sends everything
@@ -325,6 +332,73 @@ void ServiceFrontEnd::charge_outstanding(int node,
   }
 }
 
+double ServiceFrontEnd::true_occupancy(const Sub& sub) const {
+  const double touched = sub.true_demand > 0.0 ? sub.true_demand : sub.demand;
+  // A working set cannot occupy more LLC than the node has.
+  return std::min(touched, config_.node_llc_bytes);
+}
+
+void ServiceFrontEnd::apply_audits() {
+  if (ledger_ == nullptr) return;
+  std::vector<core::AuditRecord> merged;
+  for (DrainShard& shard : shards_) {
+    merged.insert(merged.end(), shard.audit_slice.begin(),
+                  shard.audit_slice.end());
+    shard.audit_slice.clear();
+  }
+  if (merged.empty()) return;
+  // apply() replays the records in global audit_seq order, so the ledger
+  // ends up byte-identical no matter how the slices partitioned them.
+  ledger_->apply(merged);
+}
+
+bool ServiceFrontEnd::enforce_ledger(const Sub& sub,
+                                     DemandVector& declared) {
+  // Rung 4: hard quota on open submissions. Shedding (not parking) the
+  // excess keeps the drain loop live — a parked-forever quota victim would
+  // wedge quiescence — and the ledger invariants intact (the shed is
+  // counted like any ladder shed).
+  std::uint64_t& open = tenant_open_[sub.tenant];
+  if (!ledger_->within_quota(sub.tenant, open)) {
+    ++stats_.quota_denied;
+    return false;
+  }
+
+  // Rung 1+: haircut — admission charges the audited truth, not the claim.
+  double& llc = declared[idx(ResourceKind::kLLC)];
+  const double correction = ledger_->demand_correction(sub.tenant);
+  if (correction != 1.0) {
+    llc = std::min(llc * correction, config_.node_llc_bytes);
+    ++stats_.haircuts;
+  }
+
+  // Credit-priced bursts: demand beyond the long-term fair share (an equal
+  // split of fleet LLC across the tenants seen so far) must be funded by
+  // banked credits, surcharge-priced at rung >= 2. An unfundable burst is
+  // clamped to the fair share, never shed — fair share is guaranteed,
+  // bursts are a privilege.
+  const double fair =
+      static_cast<double>(config_.nodes) * config_.node_llc_bytes /
+      static_cast<double>(std::max<std::size_t>(tenant_rows_.size(), 1));
+  if (llc > fair) {
+    const double unit = ledger_->options().credit_unit_bytes;
+    const auto units_over =
+        static_cast<std::uint64_t>(std::ceil((llc - fair) / unit));
+    const auto want = static_cast<std::uint64_t>(std::ceil(
+        static_cast<double>(units_over) * ledger_->credit_price(sub.tenant)));
+    if (ledger_->credits_balance(sub.tenant) >= want) {
+      const std::uint64_t paid = ledger_->spend(sub.tenant, want, now_);
+      RDA_CHECK_MSG(paid == want, "funded burst paid short");
+    } else {
+      llc = fair;
+      ++stats_.burst_clamps;
+    }
+  }
+
+  ++open;  // the submission is now headed for admit_batch (or a waitlist)
+  return true;
+}
+
 void ServiceFrontEnd::record_admission(const Sub& sub, int node,
                                        core::PeriodId period,
                                        const DemandVector& declared,
@@ -336,6 +410,22 @@ void ServiceFrontEnd::record_admission(const Sub& sub, int node,
   latency_ewma_ = alpha * latency + (1.0 - alpha) * latency_ewma_;
   ++stats_.admitted;
   if (from_wake) ++stats_.woken;
+  TenantSummary& row = tenant_rows_[sub.tenant];
+  row.tenant = sub.tenant;
+  ++row.admissions;
+  row.latency_sum += latency;
+
+  if (config_.model_true_occupancy) {
+    // The thrash model: the node's PHYSICAL load is the sum of what its
+    // periods actually touch. A period admitted while that exceeds the LLC
+    // runs slower — which is exactly the damage an under-declarer does,
+    // with or without enforcement.
+    double& true_load = true_outstanding_[static_cast<std::size_t>(node)];
+    true_load += true_occupancy(sub);
+    if (true_load > config_.node_llc_bytes) {
+      penalty *= config_.thrash_penalty;
+    }
+  }
 
   const std::uint64_t key = flight_key(node, period);
   Flight flight;
@@ -401,15 +491,40 @@ void ServiceFrontEnd::release_due(double now) {
       const auto it = in_flight_.find(key);
       RDA_CHECK(it != in_flight_.end());
       const Flight& flight = it->second;
+      const double done = done_times[static_cast<std::size_t>(n)][i];
       ++stats_.completed;
       completed_work_ += flight.sub.service;
-      last_completion_ =
-          std::max(last_completion_, done_times[static_cast<std::size_t>(n)][i]);
+      last_completion_ = std::max(last_completion_, done);
+      TenantSummary& row = tenant_rows_[flight.sub.tenant];
+      row.tenant = flight.sub.tenant;
+      ++row.completed;
+      row.work += flight.sub.service;
+      if (config_.model_true_occupancy) {
+        true_outstanding_[static_cast<std::size_t>(n)] -=
+            true_occupancy(flight.sub);
+      }
+      if (ledger_ != nullptr) {
+        --tenant_open_[flight.sub.tenant];
+        // Capture the audit into this node's shard slice, stamped with the
+        // global completion-settle order (which is already K-invariant);
+        // apply_audits() merges the slices back into that order.
+        core::AuditRecord audit;
+        audit.audit_seq = audit_seq_++;
+        audit.tenant = flight.sub.tenant;
+        audit.declared = flight.sub.demand;
+        audit.observed = config_.model_true_occupancy
+                             ? true_occupancy(flight.sub)
+                             : flight.sub.demand;
+        // Under global overload the fleet itself limits what a period can
+        // occupy; a below-declaration peak is then a lower bound, not a lie.
+        audit.contended = rung_ >= 2;
+        audit.time = done;
+        shards_[static_cast<std::size_t>(shard_of_node(n, num_shards_))]
+            .audit_slice.push_back(audit);
+      }
       charge_outstanding(n, flight.declared, -1.0);
       --in_flight_count_[static_cast<std::size_t>(n)];
-      fold_checksum(flight.sub.seq,
-                    std::bit_cast<std::uint64_t>(
-                        done_times[static_cast<std::size_t>(n)][i]));
+      fold_checksum(flight.sub.seq, std::bit_cast<std::uint64_t>(done));
       in_flight_.erase(it);
     }
     cores_[static_cast<std::size_t>(n)]->release_batch(ids, now);
@@ -448,6 +563,7 @@ void ServiceFrontEnd::apply_fault(double now) {
                     "parked period raced its own node death");
       parked_.erase(key);
       --parked_depth_[n];
+      if (ledger_ != nullptr) --tenant_open_[parked.sub.tenant];
       ++stats_.reroutes;
       Sub sub = parked.sub;
       sub.enqueue_time = now;
@@ -472,6 +588,10 @@ void ServiceFrontEnd::apply_fault(double now) {
                     "in-flight period was not admitted at reap time");
       in_flight_.erase(key);
       charge_outstanding(fault.node, flight.declared, -1.0);
+      if (config_.model_true_occupancy) {
+        true_outstanding_[n] -= true_occupancy(flight.sub);
+      }
+      if (ledger_ != nullptr) --tenant_open_[flight.sub.tenant];
       --in_flight_count_[n];
       ++stats_.reroutes;
       Sub sub = flight.sub;
@@ -572,6 +692,7 @@ void ServiceFrontEnd::steal_pass(double now) {
                   "stolen period raced its own wake");
     parked_.erase(key);
     --parked_depth_[static_cast<std::size_t>(donor)];
+    if (ledger_ != nullptr) --tenant_open_[parked.sub.tenant];
     // Stolen work keeps its original enqueue time: its admission latency
     // reflects the whole wait, not a reset clock.
     ++moved;
@@ -653,6 +774,10 @@ std::vector<ServiceFrontEnd::Sub> ServiceFrontEnd::merge_drain_batch() {
 }
 
 void ServiceFrontEnd::drain_pass(double now) {
+  // Fold last release's audits into the ledger BEFORE any enforcement
+  // decision this pass — enforcement always acts on settled evidence.
+  apply_audits();
+
   std::vector<Sub> popped = merge_drain_batch();
   if (popped.empty()) return;
 
@@ -690,11 +815,27 @@ void ServiceFrontEnd::drain_pass(double now) {
         continue;
       }
       ++stats_.shed;
+      TenantSummary& row = tenant_rows_[popped[i].tenant];
+      row.tenant = popped[i].tenant;
+      ++row.shed;
       trace_service(obs::EventKind::kShed, now, popped[i].seq,
                     popped[i].tenant, popped[i].demand);
     }
     if (survivors.empty()) return;
     popped.swap(survivors);  // survivors proceed to admission, in order
+  }
+
+  if (ledger_ != nullptr) {
+    // Rung 3: deprioritized tenants' submissions go to the BACK of the
+    // batch (stable, so order within each class is preserved) — honest
+    // tenants' work is routed and admitted first, and when capacity runs
+    // out mid-batch it is the deprioritized tail that parks.
+    const auto first_depri = std::stable_partition(
+        popped.begin(), popped.end(), [&](const Sub& sub) {
+          return !ledger_->deprioritized(sub.tenant);
+        });
+    stats_.deprioritized +=
+        static_cast<std::uint64_t>(std::distance(first_depri, popped.end()));
   }
 
   // Route every submission, bucketing requests per node so each node pays
@@ -711,10 +852,21 @@ void ServiceFrontEnd::drain_pass(double now) {
     double penalty = 1.0;
     bool clamped = false;
     bool oversubscribed = false;
-    const DemandVector declared =
+    DemandVector declared =
         shape_demand(sub, penalty, clamped, oversubscribed);
     if (clamped) ++stats_.clamped;
     if (oversubscribed) ++stats_.oversubscribed;
+    if (ledger_ != nullptr && !enforce_ledger(sub, declared)) {
+      // Rung-4 quota shed: counted exactly like a ladder shed so the
+      // drained == begins + sheds ledger stays balanced.
+      ++stats_.shed;
+      TenantSummary& row = tenant_rows_[sub.tenant];
+      row.tenant = sub.tenant;
+      ++row.shed;
+      trace_service(obs::EventKind::kShed, now, sub.seq, sub.tenant,
+                    sub.demand);
+      continue;
+    }
     bool warm = false;
     const int node =
         route(sub.tenant, declared[idx(ResourceKind::kLLC)], warm);
@@ -813,6 +965,10 @@ ServiceReport ServiceFrontEnd::run(ArrivalSource& arrivals,
       sub.bw = pending.bw_bytes_per_sec;
       sub.watts = pending.watts;
       sub.service = pending.service_seconds;
+      sub.true_demand = pending.true_demand_bytes;
+      TenantSummary& row = tenant_rows_[sub.tenant];
+      row.tenant = sub.tenant;
+      ++row.arrivals;
       enqueue(sub, pending.time);
       --left;
       if (left > 0) {
@@ -838,9 +994,20 @@ ServiceReport ServiceFrontEnd::run(ArrivalSource& arrivals,
     }
   }
 
+  // The loop breaks right after drain_pass, whose apply_audits() already
+  // folded this tick's completions in; this is a belt-and-braces flush so
+  // no captured audit can outlive the run.
+  apply_audits();
+
   ServiceReport report;
   stats_.final_rung = rung_;
   stats_.still_queued = queue_backlog_ + inbox_backlog();
+  if (ledger_ != nullptr) {
+    stats_.audits = ledger_->audits();
+    stats_.penalties = ledger_->penalties();
+    stats_.credits_granted = ledger_->total_granted();
+    stats_.credits_spent = ledger_->total_spent();
+  }
   report.stats = stats_;
   report.drain_shards = num_shards_;
   report.shards.reserve(shards_.size());
@@ -860,6 +1027,20 @@ ServiceReport ServiceFrontEnd::run(ArrivalSource& arrivals,
   report.peak_outstanding = peak_outstanding_;
   for (const auto& core : cores_) report.admission += core->stats();
   report.checksum = checksum_;
+  report.tenants.reserve(tenant_rows_.size());
+  for (const auto& [tenant, row] : tenant_rows_) {
+    TenantSummary out = row;
+    if (ledger_ != nullptr) {
+      out.rung = ledger_->rung(tenant);
+      out.honesty = ledger_->honesty(tenant);
+      out.credits = ledger_->credits_balance(tenant);
+    }
+    report.tenants.push_back(out);
+  }
+  if (ledger_ != nullptr) {
+    report.ledger_fingerprint = ledger_->fingerprint();
+    report.credits_conserved = ledger_->credits_conserved();
+  }
   return report;
 }
 

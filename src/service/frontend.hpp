@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "core/admission.hpp"
+#include "core/tenant_ledger.hpp"
 #include "obs/histogram.hpp"
 #include "obs/sink.hpp"
 #include "service/arrival.hpp"
@@ -149,6 +150,21 @@ struct ServiceConfig {
   /// (obs::reconcile_service) applies to the combined stream.
   obs::TraceSink* trace_sink = nullptr;
   NodeFault fault{};
+  /// Tenant-truth enforcement (DESIGN §17): audit every completion against
+  /// its tenant's declaration, run the credit fair-share economy, and apply
+  /// the per-tenant penalty ladder in the drain loop — quota sheds, then
+  /// haircuts, then credit-priced bursts, then deprioritization. Off by
+  /// default so pre-existing runs (and the committed BENCH baselines) stay
+  /// byte-identical.
+  bool enforce = false;
+  core::TenantLedgerOptions ledger{};
+  /// Occupancy model for the audit path: a completed period reports
+  /// min(its TRUE working set, node LLC) as observed peak (true demand 0 =
+  /// the declaration was truthful). Also arms the thrash model — a period
+  /// admitted while its node's TRUE placed demand exceeds the LLC runs
+  /// thrash_penalty× slower — so an under-declarer does real damage whether
+  /// or not enforcement is on. Off = audits see declared == observed.
+  bool model_true_occupancy = false;
 };
 
 struct ServiceStats {
@@ -174,6 +190,15 @@ struct ServiceStats {
   std::uint64_t max_backlog = 0;     ///< peak queued + parked
   int final_rung = 0;
   std::uint64_t still_queued = 0;  ///< left in the queue at report time
+  // Tenant-truth enforcement (all zero when ServiceConfig::enforce is off).
+  std::uint64_t audits = 0;           ///< completed-period audits applied
+  std::uint64_t penalties = 0;        ///< ledger rung escalations
+  std::uint64_t haircuts = 0;         ///< rung-1 demand rescales applied
+  std::uint64_t deprioritized = 0;    ///< rung-3 submissions sent batch-back
+  std::uint64_t quota_denied = 0;     ///< rung-4 sheds (subset of `shed`)
+  std::uint64_t burst_clamps = 0;     ///< over-fair-share bursts unfunded
+  std::uint64_t credits_granted = 0;  ///< ledger lifetime grant units
+  std::uint64_t credits_spent = 0;    ///< ledger lifetime spend units
 };
 
 /// Per-drain-shard observability counters. In virtual time the shards run
@@ -189,6 +214,24 @@ struct ShardCounters {
   std::uint64_t mail_out = 0;     ///< requeues this shard's nodes displaced
   std::uint64_t peak_staged = 0;  ///< deepest staging runway seen
   double backlog_ewma = 0.0;      ///< smoothed queue+staged+inbox depth
+};
+
+/// Per-tenant outcome ledger, tracked in every run (enforcement on or off)
+/// so a bench can compare the same tenant across both. completed + shed <=
+/// arrivals only transiently; at quiescence the difference is overflow
+/// drops, which carry no tenant attribution.
+struct TenantSummary {
+  std::uint64_t tenant = 0;
+  std::uint64_t arrivals = 0;     ///< fresh submissions (requeues excluded)
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;         ///< ladder + quota sheds
+  double work = 0.0;              ///< completed base service seconds
+  std::uint64_t admissions = 0;
+  double latency_sum = 0.0;       ///< enqueue → admission, summed
+  // Ledger view at report time (defaults when enforcement is off).
+  int rung = 0;
+  double honesty = 1.0;
+  std::uint64_t credits = 0;      ///< outstanding balance (units)
 };
 
 struct ServiceReport {
@@ -210,6 +253,15 @@ struct ServiceReport {
   /// Order-sensitive fingerprint of (seq, node, admit time, completion
   /// time) — equal checksums mean byte-identical runs.
   std::uint64_t checksum = 0;
+  /// Per-tenant rows, sorted by tenant id (always populated).
+  std::vector<TenantSummary> tenants;
+  /// TenantLedger digest (0 when enforcement is off). Cross-K runs must
+  /// produce equal fingerprints — the ledger half of the K-invariance
+  /// contract.
+  std::uint64_t ledger_fingerprint = 0;
+  /// Exact credit conservation: granted == spent + outstanding, in integer
+  /// units, checked at report time (trivially true when enforcement is off).
+  bool credits_conserved = true;
 };
 
 class ServiceFrontEnd {
@@ -248,6 +300,11 @@ class ServiceFrontEnd {
     double watts = 0.0;   ///< declared package power (0 = none)
     double service = 0.0;
     double enqueue_time = 0.0;
+    /// LLC bytes the request actually touches (0 = the declaration is the
+    /// truth). Feeds the audit observation and the thrash model; never the
+    /// admission predicate — the whole point is that admission only sees
+    /// declarations.
+    double true_demand = 0.0;
   };
   /// A period parked on some node's waitlist, waiting for its wake.
   struct Parked {
@@ -283,6 +340,10 @@ class ServiceFrontEnd {
     std::deque<Sub> staged;
     Mailbox<Sub> inbox;
     ShardCounters counters;
+    /// Audits captured by this shard's nodes since the last drain pass,
+    /// each stamped with a GLOBAL completion-order seq; apply_audits()
+    /// merges the slices by seq so ledger state is K-invariant.
+    std::vector<core::AuditRecord> audit_slice;
   };
 
   static std::uint64_t flight_key(int node, core::PeriodId period);
@@ -321,6 +382,18 @@ class ServiceFrontEnd {
   void steal_pass(double now);
   void drain_pass(double now);
   void update_ladder();
+  /// The LLC bytes a submission will actually occupy on a node.
+  double true_occupancy(const Sub& sub) const;
+  /// Merges every shard's captured audit slice (sorted by global seq) into
+  /// the ledger. Runs at the TOP of each drain pass — and once more after
+  /// the run loop exits — so enforcement always acts on last pass's
+  /// completions and no audit is stranded.
+  void apply_audits();
+  /// Rung-4 quota + credit-priced burst gate for one drained submission.
+  /// Returns false when the submission must be shed (quota exceeded);
+  /// otherwise may clamp the declared LLC component to the fair share
+  /// (unfunded burst) and records the credit spend.
+  bool enforce_ledger(const Sub& sub, DemandVector& declared);
   std::size_t backlog() const;
   void fold_checksum(std::uint64_t a, std::uint64_t b);
 
@@ -365,6 +438,19 @@ class ServiceFrontEnd {
   double latency_ewma_ = 0.0;
   bool fault_down_ = false;
   bool fault_done_ = false;
+
+  /// Enforcement state (null / empty unless config_.enforce).
+  std::unique_ptr<core::TenantLedger> ledger_;
+  std::uint64_t audit_seq_ = 0;  ///< global completion-order audit stamp
+  /// Open (admitted + parked) submissions per tenant — the rung-4 quota
+  /// denominator. Displaced work (reroute/steal) leaves the count while
+  /// mailboxed and rejoins it on re-admission.
+  std::unordered_map<std::uint64_t, std::uint64_t> tenant_open_;
+  /// TRUE placed LLC bytes per node (model_true_occupancy only): the
+  /// physical load the thrash model compares against capacity.
+  std::vector<double> true_outstanding_;
+  /// Per-tenant outcome rows (always tracked; ordered for the report).
+  std::map<std::uint64_t, TenantSummary> tenant_rows_;
 
   ServiceStats stats_;
   obs::LatencyHistogram latency_;

@@ -145,5 +145,35 @@ TEST(Feedback, UnderDeclarationProtectsCache) {
   EXPECT_LT(corrected, 1.05 * plain);
 }
 
+// Per-kind independence (vector demands): a label that over-declares its
+// LLC working set but nails its DRAM bandwidth must get its LLC charge
+// shrunk without the bandwidth charge moving — and vice versa. One state
+// per (label, kind), not one shared ratio.
+TEST(DemandCorrector, KindsCorrectIndependently) {
+  DemandCorrector corrector(enabled());
+  for (int i = 0; i < 10; ++i) {
+    // LLC: declares 100, uses 25. Bandwidth: declares 100, uses 100.
+    corrector.observe("pp", ResourceKind::kLLC, 100.0, 25.0, false);
+    corrector.observe("pp", ResourceKind::kMemBandwidth, 100.0, 100.0,
+                      false);
+  }
+  EXPECT_NEAR(corrector.correction("pp", ResourceKind::kLLC), 0.25, 1e-6);
+  EXPECT_DOUBLE_EQ(corrector.correction("pp", ResourceKind::kMemBandwidth),
+                   1.0);
+  // Untouched kinds under the same label stay at unity (and under-sampled).
+  EXPECT_DOUBLE_EQ(corrector.correction("pp", ResourceKind::kEnergyBudget),
+                   1.0);
+
+  // The mirror image: bandwidth under-declared, LLC honest.
+  DemandCorrector mirror(enabled());
+  for (int i = 0; i < 3; ++i) {
+    mirror.observe("bw", ResourceKind::kLLC, 100.0, 100.0, false);
+    mirror.observe("bw", ResourceKind::kMemBandwidth, 100.0, 250.0, false);
+  }
+  EXPECT_DOUBLE_EQ(mirror.correction("bw", ResourceKind::kLLC), 1.0);
+  EXPECT_NEAR(mirror.correction("bw", ResourceKind::kMemBandwidth), 2.5,
+              1e-9);
+}
+
 }  // namespace
 }  // namespace rda::core

@@ -1,0 +1,290 @@
+// TenantLedger — demand-truth auditing, Karma credits, and the penalty
+// ladder (DESIGN §17): escalation only on sustained divergence, guaranteed
+// recovery for honest-but-contended tenants, exact credit conservation,
+// and the sharded-capture determinism contract (apply() of per-shard
+// slices == sequential audits in seq order).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/tenant_ledger.hpp"
+
+namespace rda::core {
+namespace {
+
+TenantLedgerOptions fast() {
+  TenantLedgerOptions o;
+  o.min_audits = 3;
+  o.escalate_after = 3;
+  o.recover_after = 2;  // quick descents for unit tests
+  o.credit_unit_bytes = 1024.0;
+  return o;
+}
+
+/// Audits `n` periods for `tenant`, all with the same declared/observed.
+void audit_n(TenantLedger& ledger, std::uint64_t tenant, int n,
+             double declared, double observed, bool contended = false) {
+  for (int i = 0; i < n; ++i) {
+    ledger.audit(tenant, declared, observed, contended, static_cast<double>(i));
+  }
+}
+
+TEST(TenantLedger, UnknownTenantIsTrusted) {
+  TenantLedger ledger(fast());
+  EXPECT_EQ(ledger.rung(7), 0);
+  EXPECT_DOUBLE_EQ(ledger.honesty(7), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.demand_correction(7), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.credit_price(7), 1.0);
+  EXPECT_FALSE(ledger.deprioritized(7));
+  EXPECT_TRUE(ledger.within_quota(7, 1'000'000));
+  EXPECT_EQ(ledger.spend(7, 10, 0.0), 0u);
+}
+
+TEST(TenantLedger, AnonymousOrUnpricedWorkIsNotAuditable) {
+  TenantLedger ledger(fast());
+  EXPECT_FALSE(ledger.audit(0, 100.0, 50.0, false, 0.0).counted);
+  EXPECT_FALSE(ledger.audit(5, 0.0, 50.0, false, 0.0).counted);
+  EXPECT_EQ(ledger.audits(), 0u);
+}
+
+TEST(TenantLedger, HonestAuditsStayTrustedAndMintCredits) {
+  TenantLedger ledger(fast());
+  // Declared 100KiB, used 80KiB: inside the 30% band, 20KiB unused.
+  audit_n(ledger, 1, 5, 100.0 * 1024.0, 80.0 * 1024.0);
+  EXPECT_EQ(ledger.rung(1), 0);
+  EXPECT_DOUBLE_EQ(ledger.honesty(1), 1.0);
+  // 20KiB / 1KiB unit = 20 credits per audit, 5 audits.
+  EXPECT_EQ(ledger.credits_balance(1), 100u);
+  EXPECT_TRUE(ledger.credits_conserved());
+}
+
+TEST(TenantLedger, DivergentAuditsGrantNothing) {
+  TenantLedger ledger(fast());
+  // Inflated 8x: far outside the band — unused budget must NOT mint.
+  audit_n(ledger, 1, 5, 800.0, 100.0);
+  EXPECT_EQ(ledger.credits_balance(1), 0u);
+  EXPECT_EQ(ledger.total_granted(), 0u);
+}
+
+TEST(TenantLedger, InflatorClimbsTheFullLadder) {
+  TenantLedger ledger(fast());
+  // Each rung needs escalate_after = 3 consecutive divergent audits (the
+  // first rung also satisfies min_audits = 3 on the way).
+  for (int r = 1; r <= 4; ++r) {
+    audit_n(ledger, 1, 3, 800.0, 100.0);
+    EXPECT_EQ(ledger.rung(1), r);
+  }
+  // Rung is capped at 4; further divergence cannot push past it.
+  audit_n(ledger, 1, 10, 800.0, 100.0);
+  EXPECT_EQ(ledger.rung(1), 4);
+
+  // Rung 1+: the haircut charges the inflator what it uses (ratio 1/8 —
+  // the decayed running max has converged there by 22 audits).
+  EXPECT_NEAR(ledger.demand_correction(1), 0.125, 1e-9);
+  // Rung 2+: bursts pay the surcharge.
+  EXPECT_DOUBLE_EQ(ledger.credit_price(1), ledger.options().surcharge);
+  // Rung 3+: back of every batch.
+  EXPECT_TRUE(ledger.deprioritized(1));
+  // Rung 4: hard quota on open submissions.
+  EXPECT_TRUE(ledger.within_quota(1, 0));
+  EXPECT_FALSE(ledger.within_quota(1, ledger.options().quota_outstanding));
+  EXPECT_LT(ledger.honesty(1), 0.1);
+}
+
+TEST(TenantLedger, UnderDeclarerIsChargedWhatItTakes) {
+  TenantLedger ledger(fast());
+  audit_n(ledger, 1, 3, 100.0, 600.0);  // takes 6x what it declared
+  EXPECT_EQ(ledger.rung(1), 1);
+  EXPECT_NEAR(ledger.demand_correction(1), 6.0, 1e-9);
+  // The haircut clamps at correction_max even for wilder lies.
+  audit_n(ledger, 2, 3, 100.0, 100.0 * 1e6);
+  EXPECT_DOUBLE_EQ(ledger.demand_correction(2),
+                   ledger.options().correction_max);
+}
+
+TEST(TenantLedger, OneNoisyPeriodDoesNotBrandATenant) {
+  TenantLedgerOptions o = fast();
+  o.min_audits = 3;
+  o.escalate_after = 1;  // a single divergent audit would escalate...
+  TenantLedger ledger(o);
+  ledger.audit(1, 800.0, 100.0, false, 0.0);
+  // ...but min_audits has not been met yet.
+  EXPECT_EQ(ledger.rung(1), 0);
+}
+
+TEST(TenantLedger, HonestBehaviorDescendsTheLadder) {
+  TenantLedger ledger(fast());
+  audit_n(ledger, 1, 12, 800.0, 100.0);  // climb to rung 4
+  ASSERT_EQ(ledger.rung(1), 4);
+  // recover_after = 2 honest audits per rung: 8 honest audits walk all the
+  // way back down to trusted.
+  audit_n(ledger, 1, 8, 100.0, 100.0);
+  EXPECT_EQ(ledger.rung(1), 0);
+  EXPECT_DOUBLE_EQ(ledger.demand_correction(1), 1.0);
+  EXPECT_TRUE(ledger.within_quota(1, 1'000'000));
+}
+
+TEST(TenantLedger, ContendedLowerBoundNeverEscalates) {
+  TenantLedger ledger(fast());
+  // Contended periods whose occupancy stayed below the declaration prove
+  // nothing: the tenant may simply have been squeezed. A lifetime of them
+  // must not move the ladder — this is the recoverability guarantee.
+  audit_n(ledger, 1, 50, 800.0, 100.0, /*contended=*/true);
+  EXPECT_EQ(ledger.rung(1), 0);
+  EXPECT_DOUBLE_EQ(ledger.honesty(1), 1.0);
+  // A contended period that still EXCEEDED its declaration is a lie and
+  // counts (observed > declared cannot be explained by contention).
+  audit_n(ledger, 1, 3, 100.0, 600.0, /*contended=*/true);
+  EXPECT_EQ(ledger.rung(1), 1);
+}
+
+TEST(TenantLedger, ContendedAuditsDoNotResetAnHonestStreak) {
+  TenantLedger ledger(fast());
+  audit_n(ledger, 1, 12, 800.0, 100.0);  // rung 4
+  ASSERT_EQ(ledger.rung(1), 4);
+  // Interleave honest audits with contended lower bounds: the streak must
+  // survive the uncounted audits, so recovery still happens.
+  for (int i = 0; i < 8; ++i) {
+    ledger.audit(1, 100.0, 100.0, false, 0.0);
+    ledger.audit(1, 800.0, 100.0, true, 0.0);
+  }
+  EXPECT_EQ(ledger.rung(1), 0);
+}
+
+TEST(CreditConservation, ExactAcrossGrantsAndSpends) {
+  TenantLedger ledger(fast());
+  audit_n(ledger, 1, 4, 100.0 * 1024.0, 80.0 * 1024.0);  // 80 credits
+  audit_n(ledger, 2, 2, 50.0 * 1024.0, 40.0 * 1024.0);   // 20 credits
+  EXPECT_EQ(ledger.total_granted(), 100u);
+
+  // Spend caps at the balance; the caller learns the deficit.
+  EXPECT_EQ(ledger.spend(1, 30, 0.0), 30u);
+  EXPECT_EQ(ledger.spend(2, 100, 0.0), 20u);
+  EXPECT_EQ(ledger.spend(2, 5, 0.0), 0u);
+
+  EXPECT_EQ(ledger.credits_balance(1), 50u);
+  EXPECT_EQ(ledger.credits_balance(2), 0u);
+  EXPECT_EQ(ledger.total_spent(), 50u);
+  EXPECT_EQ(ledger.total_outstanding(), 50u);
+  EXPECT_TRUE(ledger.credits_conserved());
+}
+
+TEST(CreditConservation, GrantsTruncateAtTheCap) {
+  TenantLedgerOptions o = fast();
+  o.credit_cap = 25;
+  TenantLedger ledger(o);
+  audit_n(ledger, 1, 3, 100.0 * 1024.0, 80.0 * 1024.0);  // 20/audit, cap 25
+  EXPECT_EQ(ledger.credits_balance(1), 25u);
+  EXPECT_EQ(ledger.total_granted(), 25u);
+  EXPECT_TRUE(ledger.credits_conserved());
+}
+
+// The sharded-capture contract: audits recorded into per-shard slices and
+// merged through apply() must produce byte-identical ledger state to
+// auditing sequentially in global seq order, for any slicing.
+TEST(TenantLedger, ApplyOfShardSlicesMatchesSequentialAudits) {
+  std::vector<AuditRecord> records;
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    AuditRecord r;
+    r.audit_seq = seq;
+    r.tenant = 1 + seq % 5;
+    r.declared = 100.0 * 1024.0;
+    // Mix honest, inflated, and contended-lower-bound periods.
+    r.observed = (seq % 3 == 0) ? 90.0 * 1024.0 : 12.0 * 1024.0;
+    r.contended = seq % 7 == 0;
+    r.time = static_cast<double>(seq);
+    records.push_back(r);
+  }
+
+  TenantLedger sequential(fast());
+  for (const AuditRecord& r : records) {
+    sequential.audit(r.tenant, r.declared, r.observed, r.contended, r.time);
+  }
+
+  for (int shards : {1, 3, 16}) {
+    // Deal records round-robin into K slices (what K drain shards capture),
+    // then concatenate the slices — records arrive at apply() out of seq
+    // order exactly as the sharded drain would deliver them.
+    std::vector<std::vector<AuditRecord>> slices(
+        static_cast<std::size_t>(shards));
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      slices[i % static_cast<std::size_t>(shards)].push_back(records[i]);
+    }
+    std::vector<AuditRecord> merged;
+    for (const auto& slice : slices) {
+      merged.insert(merged.end(), slice.begin(), slice.end());
+    }
+
+    TenantLedger sharded(fast());
+    sharded.apply(merged);
+    EXPECT_EQ(sharded.fingerprint(), sequential.fingerprint())
+        << "ledger state diverged at " << shards << " shards";
+    for (std::uint64_t t = 1; t <= 5; ++t) {
+      EXPECT_EQ(sharded.rung(t), sequential.rung(t));
+      EXPECT_DOUBLE_EQ(sharded.honesty(t), sequential.honesty(t));
+      EXPECT_EQ(sharded.credits_balance(t), sequential.credits_balance(t));
+    }
+  }
+}
+
+TEST(TenantLedger, FingerprintSeparatesDifferentHistories) {
+  TenantLedger a(fast());
+  TenantLedger b(fast());
+  audit_n(a, 1, 3, 100.0, 100.0);
+  audit_n(b, 1, 3, 100.0, 99.0);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// Concurrent audit-vs-admit: drain threads audit and grant while admission
+// threads query corrections, quotas, and spend credits. Run under TSan by
+// tier1.sh; the assertions here pin conservation across the race.
+TEST(TenantLedger, ConcurrentAuditVsAdmitStress) {
+  TenantLedger ledger(fast());
+  constexpr int kAuditors = 4;
+  constexpr int kAdmitters = 4;
+  constexpr int kOpsPerThread = 2'000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+
+  for (int a = 0; a < kAuditors; ++a) {
+    threads.emplace_back([&ledger, &go, a] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t tenant = 1 + static_cast<std::uint64_t>(i % 8);
+        const bool lie = (i + a) % 4 == 0;
+        ledger.audit(tenant, 100.0 * 1024.0,
+                     lie ? 10.0 * 1024.0 : 90.0 * 1024.0, i % 5 == 0,
+                     static_cast<double>(i));
+      }
+    });
+  }
+  std::atomic<std::uint64_t> spent_by_admitters{0};
+  for (int w = 0; w < kAdmitters; ++w) {
+    threads.emplace_back([&ledger, &go, &spent_by_admitters, w] {
+      while (!go.load(std::memory_order_acquire)) {}
+      std::uint64_t local = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t tenant = 1 + static_cast<std::uint64_t>(i % 8);
+        (void)ledger.demand_correction(tenant);
+        (void)ledger.within_quota(tenant, static_cast<std::uint64_t>(i % 3));
+        (void)ledger.deprioritized(tenant);
+        if ((i + w) % 16 == 0) {
+          local += ledger.spend(tenant, 2, static_cast<double>(i));
+        }
+      }
+      spent_by_admitters.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ledger.audits(),
+            static_cast<std::uint64_t>(kAuditors) * kOpsPerThread);
+  EXPECT_EQ(ledger.total_spent(), spent_by_admitters.load());
+  EXPECT_TRUE(ledger.credits_conserved());
+}
+
+}  // namespace
+}  // namespace rda::core
